@@ -1,0 +1,128 @@
+//! Fixed-tensor password encoding shared by the GAN, VAE, and flow
+//! baselines: 12 slots × 95 symbols (94 printable non-space ASCII
+//! characters plus an end-padding symbol), one-hot.
+
+/// Maximum password length the fixed tensor can hold.
+pub const MAX_LEN: usize = 12;
+
+/// Symbols per slot: 94 characters + the pad symbol.
+pub const SYMBOLS: usize = 95;
+
+/// Index of the pad symbol.
+pub const PAD: usize = 94;
+
+/// Flattened tensor width: `12 × 95`.
+pub const WIDTH: usize = MAX_LEN * SYMBOLS;
+
+/// Symbol index of a character, or `None` outside the alphabet.
+#[must_use]
+pub fn char_index(c: char) -> Option<usize> {
+    let b = c as u32;
+    if (33..=126).contains(&b) {
+        Some((b - 33) as usize)
+    } else {
+        None
+    }
+}
+
+/// Character with symbol index `i` (< 94).
+///
+/// # Panics
+///
+/// Panics for the pad symbol or out-of-range indices.
+#[must_use]
+pub fn index_char(i: usize) -> char {
+    assert!(i < PAD, "index {i} is not a character symbol");
+    char::from(b'!' + i as u8)
+}
+
+/// One-hot encodes a password into a `WIDTH` vector; `None` when the
+/// password is too long or uses characters outside the alphabet.
+#[must_use]
+pub fn encode(password: &str) -> Option<Vec<f32>> {
+    let chars: Vec<char> = password.chars().collect();
+    if chars.len() > MAX_LEN {
+        return None;
+    }
+    let mut out = vec![0.0f32; WIDTH];
+    for (slot, out_slot) in out.chunks_mut(SYMBOLS).enumerate() {
+        let idx = match chars.get(slot) {
+            Some(&c) => char_index(c)?,
+            None => PAD,
+        };
+        out_slot[idx] = 1.0;
+    }
+    Some(out)
+}
+
+/// Decodes a tensor by per-slot argmax, stopping at the first pad symbol.
+///
+/// # Panics
+///
+/// Panics if `tensor.len() != WIDTH`.
+#[must_use]
+pub fn decode(tensor: &[f32]) -> String {
+    assert_eq!(tensor.len(), WIDTH, "tensor must be 12x95");
+    let mut out = String::new();
+    for slot in tensor.chunks(SYMBOLS) {
+        let mut best = 0;
+        for (i, &v) in slot.iter().enumerate() {
+            if v > slot[best] {
+                best = i;
+            }
+        }
+        if best == PAD {
+            break;
+        }
+        out.push(index_char(best));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for pw in ["", "a", "Pass123$", "abcdefghijkl", "!~09Zz"] {
+            let enc = encode(pw).unwrap();
+            assert_eq!(decode(&enc), pw);
+            // Exactly one hot per slot.
+            for slot in enc.chunks(SYMBOLS) {
+                assert_eq!(slot.iter().filter(|&&v| v == 1.0).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unencodable() {
+        assert!(encode("thirteen chars").is_none()); // 14 chars (and a space)
+        assert!(encode("with space").is_none());
+        assert!(encode("caf\u{e9}").is_none());
+        assert!(encode(&"a".repeat(13)).is_none());
+    }
+
+    #[test]
+    fn decode_stops_at_first_pad() {
+        let mut t = encode("abc").unwrap();
+        // Put a char after the pad; decode must ignore it.
+        t[4 * SYMBOLS..5 * SYMBOLS].fill(0.0);
+        t[4 * SYMBOLS] = 1.0;
+        assert_eq!(decode(&t), "abc");
+    }
+
+    #[test]
+    fn char_index_bounds() {
+        assert_eq!(char_index('!'), Some(0));
+        assert_eq!(char_index('~'), Some(93));
+        assert_eq!(index_char(0), '!');
+        assert_eq!(index_char(93), '~');
+    }
+
+    #[test]
+    #[should_panic(expected = "not a character")]
+    fn index_char_pad_panics() {
+        let _ = index_char(PAD);
+    }
+}

@@ -1,0 +1,307 @@
+use pagpass_nn::{AdamW, Mat, Param, Rng};
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::{self, WIDTH};
+use crate::mlp::MlpNet;
+
+/// PassFlow hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Number of additive coupling layers (alternating halves).
+    pub couplings: usize,
+    /// Hidden width of each coupling MLP.
+    pub hidden: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Dequantization noise amplitude added to one-hot inputs.
+    pub dequant: f32,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig { couplings: 4, hidden: 192, batch: 32, lr: 3e-4, dequant: 0.05 }
+    }
+}
+
+impl FlowConfig {
+    /// A minimal configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> FlowConfig {
+        FlowConfig { couplings: 2, hidden: 16, batch: 8, lr: 1e-3, dequant: 0.05 }
+    }
+}
+
+/// The PassFlow baseline (Pagnotta et al., DSN 2022), built on NICE
+/// (Dinh et al. 2014): additive coupling layers over the dequantized
+/// one-hot password tensor, a final diagonal scaling, and a standard-normal
+/// prior. Training maximizes exact log-likelihood; generation inverts the
+/// flow on prior samples and decodes per-slot argmax.
+#[derive(Debug, Clone)]
+pub struct PassFlow {
+    config: FlowConfig,
+    couplings: Vec<MlpNet>,
+    /// Diagonal log-scaling `s`: `z = y · eˢ`, log-det = Σ s.
+    log_scale: Param,
+    rng: Rng,
+    /// Mean negative log-likelihood per epoch.
+    pub nll_history: Vec<f32>,
+}
+
+impl PassFlow {
+    /// Initializes the coupling stack.
+    #[must_use]
+    pub fn new(config: FlowConfig, seed: u64) -> PassFlow {
+        let mut rng = Rng::seed_from(seed);
+        let half = WIDTH / 2;
+        let couplings = (0..config.couplings)
+            .map(|_| MlpNet::new(&[half, config.hidden, WIDTH - half], &mut rng))
+            .collect();
+        PassFlow {
+            couplings,
+            log_scale: Param::new(Mat::zeros(1, WIDTH), false),
+            config,
+            rng,
+            nll_history: Vec::new(),
+        }
+    }
+
+    /// Trains for `epochs` passes over the encodable subset of `corpus`.
+    pub fn train(&mut self, corpus: &[String], epochs: usize) {
+        let real: Vec<Vec<f32>> = corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        if real.is_empty() {
+            return;
+        }
+        let mut opt = AdamW::new(self.config.lr);
+        opt.weight_decay = 0.0;
+        let b = self.config.batch.min(real.len());
+        let steps = (real.len() / b).max(1);
+        for _ in 0..epochs {
+            let mut epoch = 0.0f32;
+            for _ in 0..steps {
+                epoch += self.step(&real, b, &mut opt);
+            }
+            self.nll_history.push(epoch / steps as f32);
+        }
+    }
+
+    /// One exact-likelihood gradient step; returns the batch NLL (without
+    /// the constant `D/2·ln 2π`).
+    fn step(&mut self, real: &[Vec<f32>], b: usize, opt: &mut AdamW) -> f32 {
+        for net in &mut self.couplings {
+            net.visit_params(&mut Param::zero_grad);
+        }
+        self.log_scale.zero_grad();
+
+        // Dequantized batch.
+        let mut x = Mat::zeros(b, WIDTH);
+        for r in 0..b {
+            let idx = self.rng.below(real.len());
+            let row = x.row_mut(r);
+            row.copy_from_slice(&real[idx]);
+            for v in row.iter_mut() {
+                *v += self.config.dequant * self.rng.uniform();
+            }
+        }
+
+        // Forward through couplings.
+        let mut h = x;
+        for (i, net) in self.couplings.iter_mut().enumerate() {
+            h = coupling_forward(net, &h, i % 2 == 1);
+        }
+        // Diagonal scaling: z = h · eˢ.
+        let s = self.log_scale.value.row(0).to_vec();
+        let mut z = h.clone();
+        for r in 0..b {
+            for (v, &si) in z.row_mut(r).iter_mut().zip(&s) {
+                *v *= si.exp();
+            }
+        }
+
+        // NLL = mean_b [ 0.5‖z‖² ] − Σ s.
+        let inv = 1.0 / b as f32;
+        let mut nll = -s.iter().sum::<f32>();
+        for r in 0..b {
+            nll += 0.5 * z.row(r).iter().map(|v| v * v).sum::<f32>() * inv;
+        }
+
+        // Backward. dNLL/dz = z/b; dNLL/ds_i = mean_b[z_i·h_i·e^{s_i}] − 1
+        // = mean_b[z_i²] − 1; dNLL/dh = (z/b)·eˢ.
+        let mut dh = Mat::zeros(b, WIDTH);
+        {
+            let ds = self.log_scale.grad.row_mut(0);
+            for r in 0..b {
+                let zrow = z.row(r);
+                let drow = dh.row_mut(r);
+                for i in 0..WIDTH {
+                    ds[i] += zrow[i] * zrow[i] * inv;
+                    drow[i] = zrow[i] * inv * s[i].exp();
+                }
+            }
+            for d in ds.iter_mut() {
+                *d -= 1.0;
+            }
+        }
+        for (i, net) in self.couplings.iter_mut().enumerate().rev() {
+            dh = coupling_backward(net, &dh, i % 2 == 1);
+        }
+
+        opt.begin_step();
+        for net in &mut self.couplings {
+            net.visit_params(&mut |p| opt.update(p));
+        }
+        opt.update(&mut self.log_scale);
+        nll
+    }
+
+    /// Generates `n` passwords by inverting the flow on prior samples.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = Rng::seed_from(seed);
+        let s = self.log_scale.value.row(0).to_vec();
+        let mut out = Vec::with_capacity(n);
+        let b = self.config.batch.max(1);
+        while out.len() < n {
+            let take = (n - out.len()).min(b);
+            let mut y = Mat::zeros(take, WIDTH);
+            for r in 0..take {
+                for (v, &si) in y.row_mut(r).iter_mut().zip(&s) {
+                    *v = rng.normal() * (-si).exp();
+                }
+            }
+            for (i, net) in self.couplings.iter().enumerate().rev() {
+                y = coupling_inverse(net, &y, i % 2 == 1);
+            }
+            for r in 0..take {
+                out.push(encoding::decode(y.row(r)));
+            }
+        }
+        out
+    }
+}
+
+/// Additive coupling: the passive half conditions an offset added to the
+/// active half. `swap` selects which half is passive.
+fn coupling_forward(net: &mut MlpNet, x: &Mat, swap: bool) -> Mat {
+    let (passive, active) = split(x, swap);
+    let m = net.forward(&passive);
+    let mut new_active = active;
+    new_active.add_assign(&m);
+    join(&passive, &new_active, swap)
+}
+
+/// Backward through one coupling; accumulates the coupling MLP's gradients.
+fn coupling_backward(net: &mut MlpNet, dy: &Mat, swap: bool) -> Mat {
+    let (d_passive, d_active) = split(dy, swap);
+    let d_from_m = net.backward(&d_active);
+    let mut d_passive_total = d_passive;
+    d_passive_total.add_assign(&d_from_m);
+    join(&d_passive_total, &d_active, swap)
+}
+
+/// Exact inverse of [`coupling_forward`].
+fn coupling_inverse(net: &MlpNet, y: &Mat, swap: bool) -> Mat {
+    let (passive, active) = split(y, swap);
+    let m = net.apply(&passive);
+    let mut orig_active = active;
+    for (a, &mm) in orig_active.as_mut_slice().iter_mut().zip(m.as_slice()) {
+        *a -= mm;
+    }
+    join(&passive, &orig_active, swap)
+}
+
+fn split(x: &Mat, swap: bool) -> (Mat, Mat) {
+    let half = WIDTH / 2;
+    let (lo_cols, hi_cols) = (half, WIDTH - half);
+    let mut lo = Mat::zeros(x.rows(), lo_cols);
+    let mut hi = Mat::zeros(x.rows(), hi_cols);
+    for r in 0..x.rows() {
+        lo.row_mut(r).copy_from_slice(&x.row(r)[..half]);
+        hi.row_mut(r).copy_from_slice(&x.row(r)[half..]);
+    }
+    if swap {
+        (hi, lo)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn join(passive: &Mat, active: &Mat, swap: bool) -> Mat {
+    let (lo, hi) = if swap { (active, passive) } else { (passive, active) };
+    let mut out = Mat::zeros(lo.rows(), WIDTH);
+    let half = WIDTH / 2;
+    for r in 0..lo.rows() {
+        out.row_mut(r)[..half].copy_from_slice(lo.row(r));
+        out.row_mut(r)[half..].copy_from_slice(hi.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        (0..48).map(|i| format!("flow{:02}", i % 12)).collect()
+    }
+
+    #[test]
+    fn couplings_invert_exactly() {
+        let mut rng = Rng::seed_from(1);
+        let half = WIDTH / 2;
+        let mut net = MlpNet::new(&[half, 8, WIDTH - half], &mut rng);
+        let x = Mat::randn(3, WIDTH, 1.0, &mut rng);
+        for swap in [false, true] {
+            let y = coupling_forward(&mut net, &x, swap);
+            let back = coupling_inverse(&net, &y, swap);
+            for (a, b) in x.as_slice().iter().zip(back.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_flow_forward_inverse_roundtrip() {
+        let flow = PassFlow::new(FlowConfig::tiny(), 2);
+        // Push a known tensor through forward (couplings only, no noise)
+        // then invert; this exercises the generate() path.
+        let x = encoding::encode("test99").unwrap();
+        let mut h = Mat::from_rows(1, WIDTH, x.clone());
+        let mut nets = flow.couplings.clone();
+        for (i, net) in nets.iter_mut().enumerate() {
+            h = coupling_forward(net, &h, i % 2 == 1);
+        }
+        let mut back = h;
+        for (i, net) in flow.couplings.iter().enumerate().rev() {
+            back = coupling_inverse(net, &back, i % 2 == 1);
+        }
+        for (a, b) in x.iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn training_reduces_nll() {
+        let mut flow = PassFlow::new(FlowConfig::tiny(), 3);
+        flow.train(&corpus(), 10);
+        let h = &flow.nll_history;
+        assert_eq!(h.len(), 10);
+        assert!(h.last().unwrap() < h.first().unwrap(), "NLL should fall: {h:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let flow = PassFlow::new(FlowConfig::tiny(), 4);
+        let a = flow.generate(11, 6);
+        assert_eq!(a.len(), 11);
+        assert_eq!(a, flow.generate(11, 6));
+    }
+
+    #[test]
+    fn empty_corpus_is_a_no_op() {
+        let mut flow = PassFlow::new(FlowConfig::tiny(), 5);
+        flow.train(&[], 2);
+        assert!(flow.nll_history.is_empty());
+    }
+}

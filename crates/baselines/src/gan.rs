@@ -1,0 +1,291 @@
+use pagpass_nn::{softmax_in_place, AdamW, Mat, Rng};
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::{self, SYMBOLS, WIDTH};
+use crate::mlp::MlpNet;
+
+/// PassGAN hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GanConfig {
+    /// Latent noise dimensionality.
+    pub latent: usize,
+    /// Hidden width of generator and critic.
+    pub hidden: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Critic updates per generator update (WGAN uses several).
+    pub critic_steps: usize,
+    /// WGAN weight-clipping bound.
+    pub clip: f32,
+    /// Learning rate for both networks.
+    pub lr: f32,
+}
+
+impl Default for GanConfig {
+    fn default() -> GanConfig {
+        GanConfig { latent: 48, hidden: 192, batch: 32, critic_steps: 3, clip: 0.05, lr: 1e-4 }
+    }
+}
+
+impl GanConfig {
+    /// A minimal configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> GanConfig {
+        GanConfig { latent: 8, hidden: 24, batch: 8, critic_steps: 2, clip: 0.05, lr: 1e-3 }
+    }
+}
+
+/// The PassGAN baseline (Hitaj et al. 2019): a Wasserstein GAN whose
+/// generator maps noise to a 12×95 per-slot softmax "password tensor" and
+/// whose critic scores tensors; real passwords enter as one-hot tensors.
+///
+/// This reproduction uses the original WGAN weight-clipping formulation
+/// (the IWGAN gradient penalty needs second-order autodiff; see DESIGN.md).
+/// Generation decodes per-slot argmax of the generator output, so diversity
+/// comes entirely from the latent draw — which is exactly why GAN-family
+/// models show high repeat rates in the paper's Fig. 10.
+#[derive(Debug, Clone)]
+pub struct PassGan {
+    config: GanConfig,
+    generator: MlpNet,
+    critic: MlpNet,
+    rng: Rng,
+    /// Mean critic scores (real − fake) per epoch, for diagnostics.
+    pub critic_gap_history: Vec<f32>,
+}
+
+impl PassGan {
+    /// Initializes generator and critic.
+    #[must_use]
+    pub fn new(config: GanConfig, seed: u64) -> PassGan {
+        let mut rng = Rng::seed_from(seed);
+        PassGan {
+            generator: MlpNet::new(&[config.latent, config.hidden, config.hidden, WIDTH], &mut rng),
+            critic: MlpNet::new(&[WIDTH, config.hidden, config.hidden, 1], &mut rng),
+            config,
+            rng,
+            critic_gap_history: Vec::new(),
+        }
+    }
+
+    /// Trains for `epochs` passes over the encodable subset of `corpus`.
+    pub fn train(&mut self, corpus: &[String], epochs: usize) {
+        let real: Vec<Vec<f32>> =
+            corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        if real.is_empty() {
+            return;
+        }
+        let mut opt_g = AdamW::new(self.config.lr);
+        let mut opt_c = AdamW::new(self.config.lr);
+        opt_g.weight_decay = 0.0;
+        opt_c.weight_decay = 0.0;
+        let b = self.config.batch.min(real.len());
+        let steps_per_epoch = (real.len() / b).max(1);
+        for _ in 0..epochs {
+            let mut gap_sum = 0.0f32;
+            for _ in 0..steps_per_epoch {
+                // Critic phase.
+                let mut gap = 0.0;
+                for _ in 0..self.config.critic_steps {
+                    gap = self.critic_step(&real, b, &mut opt_c);
+                }
+                gap_sum += gap;
+                // Generator phase.
+                self.generator_step(b, &mut opt_g);
+            }
+            self.critic_gap_history.push(gap_sum / steps_per_epoch as f32);
+        }
+    }
+
+    /// One WGAN critic update; returns the real−fake score gap.
+    fn critic_step(&mut self, real: &[Vec<f32>], b: usize, opt: &mut AdamW) -> f32 {
+        self.critic.visit_params(&mut pagpass_nn::Param::zero_grad);
+        // Real batch.
+        let mut real_batch = Mat::zeros(b, WIDTH);
+        for r in 0..b {
+            let idx = self.rng.below(real.len());
+            real_batch.row_mut(r).copy_from_slice(&real[idx]);
+        }
+        let real_scores = self.critic.forward(&real_batch);
+        let real_mean: f32 = real_scores.as_slice().iter().sum::<f32>() / b as f32;
+        // Critic maximizes real − fake ⇒ minimizes −real + fake.
+        let d_real = Mat::from_rows(b, 1, vec![-1.0 / b as f32; b]);
+        let _ = self.critic.backward(&d_real);
+
+        let fake_batch = self.sample_tensors(b);
+        let fake_scores = self.critic.forward(&fake_batch);
+        let fake_mean: f32 = fake_scores.as_slice().iter().sum::<f32>() / b as f32;
+        let d_fake = Mat::from_rows(b, 1, vec![1.0 / b as f32; b]);
+        let _ = self.critic.backward(&d_fake);
+
+        opt.begin_step();
+        self.critic.visit_params(&mut |p| opt.update(p));
+        self.critic.clip_weights(self.config.clip);
+        real_mean - fake_mean
+    }
+
+    /// One generator update: maximize the critic's score of fresh fakes.
+    fn generator_step(&mut self, b: usize, opt: &mut AdamW) {
+        self.generator.visit_params(&mut pagpass_nn::Param::zero_grad);
+        let z = self.sample_noise(b);
+        let logits = self.generator.forward(&z);
+        let (probs, softmax_cache) = per_slot_softmax(&logits);
+        let scores = self.critic.forward(&probs);
+        let _ = scores;
+        // dL/dscore = −1/b (generator maximizes the critic score).
+        let d_scores = Mat::from_rows(b, 1, vec![-1.0 / b as f32; b]);
+        let d_probs = self.critic.backward(&d_scores);
+        let d_logits = per_slot_softmax_backward(&softmax_cache, &d_probs);
+        let _ = self.generator.backward(&d_logits);
+        opt.begin_step();
+        self.generator.visit_params(&mut |p| opt.update(p));
+    }
+
+    /// Generates `n` passwords (argmax decode of generator outputs).
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = Rng::seed_from(seed);
+        let mut out = Vec::with_capacity(n);
+        let b = self.config.batch.max(1);
+        while out.len() < n {
+            let take = (n - out.len()).min(b);
+            let mut z = Mat::zeros(take, self.config.latent);
+            for v in z.as_mut_slice() {
+                *v = rng.normal();
+            }
+            let logits = self.generator.apply(&z);
+            for r in 0..take {
+                let mut row = logits.row(r).to_vec();
+                for slot in row.chunks_mut(SYMBOLS) {
+                    softmax_in_place(slot);
+                }
+                out.push(encoding::decode(&row));
+            }
+        }
+        out
+    }
+
+    fn sample_noise(&mut self, b: usize) -> Mat {
+        let mut z = Mat::zeros(b, self.config.latent);
+        for v in z.as_mut_slice() {
+            *v = self.rng.normal();
+        }
+        z
+    }
+
+    /// Fresh fake tensors for the critic phase (no generator grads needed).
+    fn sample_tensors(&mut self, b: usize) -> Mat {
+        let z = self.sample_noise(b);
+        let logits = self.generator.apply(&z);
+        per_slot_softmax(&logits).0
+    }
+}
+
+/// Applies softmax independently to every 95-wide slot of every row;
+/// returns `(probs, probs_copy_for_backward)`.
+fn per_slot_softmax(logits: &Mat) -> (Mat, Mat) {
+    let mut probs = logits.clone();
+    for r in 0..probs.rows() {
+        for slot in probs.row_mut(r).chunks_mut(SYMBOLS) {
+            softmax_in_place(slot);
+        }
+    }
+    let cache = probs.clone();
+    (probs, cache)
+}
+
+/// Softmax Jacobian-vector product per slot: `d = p ∘ (dy − ⟨dy, p⟩)`.
+fn per_slot_softmax_backward(probs: &Mat, dy: &Mat) -> Mat {
+    let mut d = Mat::zeros(dy.rows(), dy.cols());
+    for r in 0..dy.rows() {
+        let prow = probs.row(r);
+        let dyrow = dy.row(r);
+        let drow = d.row_mut(r);
+        for s in 0..prow.len() / SYMBOLS {
+            let lo = s * SYMBOLS;
+            let hi = lo + SYMBOLS;
+            let dot: f32 = prow[lo..hi].iter().zip(&dyrow[lo..hi]).map(|(p, g)| p * g).sum();
+            for i in lo..hi {
+                drow[i] = prow[i] * (dyrow[i] - dot);
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        (0..64).map(|i| format!("pw{:02}ab", i % 20)).collect()
+    }
+
+    #[test]
+    fn generates_n_decodable_passwords() {
+        let gan = PassGan::new(GanConfig::tiny(), 1);
+        let out = gan.generate(13, 5);
+        assert_eq!(out.len(), 13);
+        for pw in &out {
+            assert!(pw.chars().count() <= encoding::MAX_LEN);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gan = PassGan::new(GanConfig::tiny(), 1);
+        assert_eq!(gan.generate(8, 3), gan.generate(8, 3));
+    }
+
+    #[test]
+    fn training_runs_and_tracks_the_critic_gap() {
+        let mut gan = PassGan::new(GanConfig::tiny(), 2);
+        gan.train(&corpus(), 3);
+        assert_eq!(gan.critic_gap_history.len(), 3);
+        assert!(gan.critic_gap_history.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn training_moves_the_generator() {
+        let mut gan = PassGan::new(GanConfig::tiny(), 3);
+        let before = gan.generate(20, 11);
+        gan.train(&corpus(), 4);
+        let after = gan.generate(20, 11);
+        assert_ne!(before, after, "training must change generator outputs");
+    }
+
+    #[test]
+    fn empty_corpus_is_a_no_op() {
+        let mut gan = PassGan::new(GanConfig::tiny(), 4);
+        gan.train(&[], 2);
+        assert!(gan.critic_gap_history.is_empty());
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut rng = Rng::seed_from(5);
+        let logits = Mat::randn(1, WIDTH, 1.0, &mut rng);
+        let dy = Mat::randn(1, WIDTH, 1.0, &mut rng);
+        let (probs, cache) = per_slot_softmax(&logits);
+        let analytic = per_slot_softmax_backward(&cache, &dy);
+        let _ = probs;
+        // Finite-difference on a few coordinates of slot 0.
+        for k in [0usize, 7, 94] {
+            let eps = 1e-3;
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[k] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[k] -= eps;
+            let f = |m: &Mat| -> f32 {
+                let (p, _) = per_slot_softmax(m);
+                p.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+            };
+            let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[k]).abs() < 1e-2,
+                "coordinate {k}: {numeric} vs {}",
+                analytic.as_slice()[k]
+            );
+        }
+    }
+}

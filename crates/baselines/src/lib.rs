@@ -1,0 +1,42 @@
+//! Deep-learning password-guessing baselines from the PagPassGPT
+//! evaluation (Table IV): **PassGAN** (GAN), **VAEPass** (VAE), and
+//! **PassFlow** (normalizing flow).
+//!
+//! Each model follows its family's published architecture at CPU scale
+//! (see DESIGN.md §2 for the documented substitutions — e.g. the WGAN
+//! critic uses weight clipping rather than a gradient penalty, because the
+//! penalty needs second-order autodiff):
+//!
+//! * [`PassGan`] — a WGAN over per-position softmax outputs of a fixed
+//!   12-slot password tensor (Hitaj et al. 2019),
+//! * [`VaePass`] — an MLP variational autoencoder with per-position
+//!   categorical reconstruction (Yang et al. 2022),
+//! * [`PassFlow`] — a NICE flow (additive couplings + diagonal scaling)
+//!   over dequantized one-hot encodings (Pagnotta et al., DSN 2022).
+//!
+//! All three share the [`encoding`] module: passwords of up to 12
+//! characters over the 94-character alphabet, one-hot encoded with an
+//! end-padding symbol — 95 symbols × 12 slots.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_baselines::{PassGan, GanConfig};
+//!
+//! let corpus: Vec<String> = (0..32).map(|i| format!("pw{i:04}")).collect();
+//! let mut gan = PassGan::new(GanConfig::tiny(), 1);
+//! gan.train(&corpus, 3);
+//! let guesses = gan.generate(10, 7);
+//! assert_eq!(guesses.len(), 10);
+//! ```
+
+pub mod encoding;
+mod flow;
+mod gan;
+mod mlp;
+mod vae;
+
+pub use flow::{FlowConfig, PassFlow};
+pub use gan::{GanConfig, PassGan};
+pub use mlp::MlpNet;
+pub use vae::{VaeConfig, VaePass};

@@ -1,0 +1,201 @@
+use pagpass_nn::{gelu, gelu_grad, Linear, Mat, Param, Rng};
+
+/// A plain GELU MLP with manual backprop, built from [`pagpass_nn::Linear`]
+/// layers — the building block of the GAN generator/critic, the VAE
+/// encoder/decoder, and the flow coupling functions.
+///
+/// The final layer has no activation (callers apply softmax / identity /
+/// whatever their loss needs).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_baselines::MlpNet;
+/// use pagpass_nn::{Mat, Rng};
+///
+/// let mut net = MlpNet::new(&[4, 8, 2], &mut Rng::seed_from(0));
+/// let y = net.forward(&Mat::zeros(3, 4));
+/// assert_eq!((y.rows(), y.cols()), (3, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpNet {
+    layers: Vec<Linear>,
+    cached_pre: Vec<Mat>,
+}
+
+impl MlpNet {
+    /// Builds layers `dims[0] → dims[1] → … → dims.last()`, with
+    /// `1/√fan_in` Gaussian weights (He-style, suited to deep MLPs over
+    /// wide one-hot inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    #[must_use]
+    pub fn new(dims: &[usize], rng: &mut Rng) -> MlpNet {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| {
+                let mut layer = Linear::new(w[0], w[1], rng);
+                layer.w.value = Mat::randn(w[0], w[1], 1.0 / (w[0] as f32).sqrt(), rng);
+                layer
+            })
+            .collect();
+        MlpNet { layers, cached_pre: Vec::new() }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Forward pass caching pre-activations for [`backward`](Self::backward).
+    #[must_use]
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        self.cached_pre.clear();
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                self.cached_pre.push(h.clone());
+                for v in h.as_mut_slice() {
+                    *v = gelu(*v);
+                }
+            }
+        }
+        h
+    }
+
+    /// Inference-only forward pass.
+    #[must_use]
+    pub fn apply(&self, x: &Mat) -> Mat {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.apply(&h);
+            if i + 1 < n {
+                for v in h.as_mut_slice() {
+                    *v = gelu(*v);
+                }
+            }
+        }
+        h
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns `dX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a preceding [`forward`](Self::forward).
+    #[must_use]
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let mut d = dy.clone();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i + 1 < n {
+                let pre = &self.cached_pre[i];
+                for (g, &p) in d.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                    *g *= gelu_grad(p);
+                }
+            }
+            d = layer.backward(&d);
+        }
+        d
+    }
+
+    /// Visits all parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Clamps every weight and bias into `[-c, c]` (WGAN critic clipping).
+    pub fn clip_weights(&mut self, c: f32) {
+        self.visit_params(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v = v.clamp(-c, c);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagpass_nn::gradcheck::GradCheck;
+
+    #[test]
+    fn forward_apply_agree() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = MlpNet::new(&[5, 7, 3], &mut rng);
+        let x = Mat::randn(4, 5, 1.0, &mut rng);
+        let a = net.forward(&x);
+        let b = net.apply(&x);
+        for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = MlpNet::new(&[4, 6, 6, 2], &mut rng);
+        let x = Mat::randn(5, 4, 1.0, &mut rng);
+        let report = GradCheck::default().run(
+            &mut net,
+            &|n, f| n.visit_params(f),
+            &mut |n| {
+                let y = n.forward(&x);
+                let mut loss = 0.0;
+                let mut d = Mat::zeros(y.rows(), y.cols());
+                for (i, (dv, &yv)) in
+                    d.as_mut_slice().iter_mut().zip(y.as_slice()).enumerate()
+                {
+                    let w = (i as f32 * 0.7).cos();
+                    *dv = w;
+                    loss += yv * w;
+                }
+                let _ = n.backward(&d);
+                loss
+            },
+        );
+        assert_eq!(report.failures, 0, "{report:?}");
+    }
+
+    #[test]
+    fn input_gradient_flows() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = MlpNet::new(&[3, 5, 2], &mut rng);
+        let x = Mat::randn(2, 3, 1.0, &mut rng);
+        let _ = net.forward(&x);
+        let dx = net.backward(&Mat::from_rows(2, 2, vec![1.0; 4]));
+        assert_eq!((dx.rows(), dx.cols()), (2, 3));
+        assert!(dx.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn clip_bounds_all_weights() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = MlpNet::new(&[8, 8], &mut rng);
+        net.clip_weights(0.01);
+        net.visit_params(&mut |p| {
+            assert!(p.value.as_slice().iter().all(|v| v.abs() <= 0.01));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn one_dim_panics() {
+        let _ = MlpNet::new(&[3], &mut Rng::seed_from(0));
+    }
+}

@@ -1,0 +1,240 @@
+use pagpass_nn::{softmax_in_place, AdamW, Mat, Rng};
+use serde::{Deserialize, Serialize};
+
+use crate::encoding::{self, SYMBOLS, WIDTH};
+use crate::mlp::MlpNet;
+
+/// VAEPass hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VaeConfig {
+    /// Latent dimensionality.
+    pub latent: usize,
+    /// Hidden width of encoder and decoder.
+    pub hidden: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// KL-term weight (β-VAE style; 1.0 = vanilla).
+    pub beta: f32,
+}
+
+impl Default for VaeConfig {
+    fn default() -> VaeConfig {
+        VaeConfig { latent: 48, hidden: 192, batch: 32, lr: 3e-4, beta: 0.5 }
+    }
+}
+
+impl VaeConfig {
+    /// A minimal configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> VaeConfig {
+        VaeConfig { latent: 8, hidden: 24, batch: 8, lr: 1e-3, beta: 0.5 }
+    }
+}
+
+/// The VAEPass baseline (Yang et al. 2022): an MLP variational autoencoder
+/// over the fixed 12×95 one-hot password tensor, trained with per-slot
+/// categorical cross-entropy reconstruction plus a KL prior term.
+/// Generation decodes `z ~ N(0, I)` through the decoder with per-slot
+/// argmax.
+#[derive(Debug, Clone)]
+pub struct PassVaeInner {
+    encoder: MlpNet,
+    decoder: MlpNet,
+}
+
+/// Public VAEPass model.
+#[derive(Debug, Clone)]
+pub struct VaePass {
+    config: VaeConfig,
+    nets: PassVaeInner,
+    rng: Rng,
+    /// Mean ELBO loss per epoch.
+    pub loss_history: Vec<f32>,
+}
+
+impl VaePass {
+    /// Initializes encoder (`x → [μ, logσ²]`) and decoder (`z → logits`).
+    #[must_use]
+    pub fn new(config: VaeConfig, seed: u64) -> VaePass {
+        let mut rng = Rng::seed_from(seed);
+        VaePass {
+            nets: PassVaeInner {
+                encoder: MlpNet::new(&[WIDTH, config.hidden, 2 * config.latent], &mut rng),
+                decoder: MlpNet::new(&[config.latent, config.hidden, WIDTH], &mut rng),
+            },
+            config,
+            rng,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// Trains for `epochs` passes over the encodable subset of `corpus`.
+    pub fn train(&mut self, corpus: &[String], epochs: usize) {
+        let real: Vec<Vec<f32>> = corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        if real.is_empty() {
+            return;
+        }
+        let mut opt = AdamW::new(self.config.lr);
+        opt.weight_decay = 0.0;
+        let b = self.config.batch.min(real.len());
+        let steps = (real.len() / b).max(1);
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            for _ in 0..steps {
+                epoch_loss += self.step(&real, b, &mut opt);
+            }
+            self.loss_history.push(epoch_loss / steps as f32);
+        }
+    }
+
+    /// One ELBO gradient step; returns the batch loss.
+    fn step(&mut self, real: &[Vec<f32>], b: usize, opt: &mut AdamW) -> f32 {
+        let latent = self.config.latent;
+        self.nets.encoder.visit_params(&mut pagpass_nn::Param::zero_grad);
+        self.nets.decoder.visit_params(&mut pagpass_nn::Param::zero_grad);
+
+        let mut x = Mat::zeros(b, WIDTH);
+        for r in 0..b {
+            let idx = self.rng.below(real.len());
+            x.row_mut(r).copy_from_slice(&real[idx]);
+        }
+        // Encode to (mu, logvar).
+        let enc_out = self.nets.encoder.forward(&x);
+        let mut z = Mat::zeros(b, latent);
+        let mut eps = Mat::zeros(b, latent);
+        for r in 0..b {
+            for i in 0..latent {
+                let mu = enc_out.get(r, i);
+                let logvar = enc_out.get(r, latent + i).clamp(-8.0, 8.0);
+                let e = self.rng.normal();
+                eps.set(r, i, e);
+                z.set(r, i, mu + e * (0.5 * logvar).exp());
+            }
+        }
+        // Decode and reconstruct.
+        let logits = self.nets.decoder.forward(&z);
+        let inv = 1.0 / b as f32;
+        let mut recon_loss = 0.0f32;
+        let mut d_logits = Mat::zeros(b, WIDTH);
+        for r in 0..b {
+            let lrow = logits.row(r);
+            let xrow = x.row(r);
+            let drow = d_logits.row_mut(r);
+            for s in 0..encoding::MAX_LEN {
+                let lo = s * SYMBOLS;
+                let mut probs = lrow[lo..lo + SYMBOLS].to_vec();
+                softmax_in_place(&mut probs);
+                let target = xrow[lo..lo + SYMBOLS]
+                    .iter()
+                    .position(|&v| v == 1.0)
+                    .expect("one-hot input");
+                recon_loss -= probs[target].max(1e-12).ln() * inv;
+                for (i, &p) in probs.iter().enumerate() {
+                    drow[lo + i] = p * inv;
+                }
+                drow[lo + target] -= inv;
+            }
+        }
+        // KL(q || N(0,I)) and its gradients wrt (mu, logvar).
+        let mut kl = 0.0f32;
+        let d_z = self.nets.decoder.backward(&d_logits);
+        let mut d_enc = Mat::zeros(b, 2 * latent);
+        for r in 0..b {
+            for i in 0..latent {
+                let mu = enc_out.get(r, i);
+                let logvar = enc_out.get(r, latent + i).clamp(-8.0, 8.0);
+                let var = logvar.exp();
+                kl += 0.5 * (mu * mu + var - 1.0 - logvar) * inv;
+                let dz = d_z.get(r, i);
+                // z = mu + eps·exp(logvar/2)
+                let d_mu = dz + self.config.beta * mu * inv;
+                let d_logvar = dz * eps.get(r, i) * 0.5 * (0.5 * logvar).exp()
+                    + self.config.beta * 0.5 * (var - 1.0) * inv;
+                d_enc.set(r, i, d_mu);
+                d_enc.set(r, latent + i, d_logvar);
+            }
+        }
+        let _ = self.nets.encoder.backward(&d_enc);
+
+        opt.begin_step();
+        self.nets.encoder.visit_params(&mut |p| opt.update(p));
+        self.nets.decoder.visit_params(&mut |p| opt.update(p));
+        recon_loss + self.config.beta * kl
+    }
+
+    /// Generates `n` passwords by decoding standard-normal latents.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = Rng::seed_from(seed);
+        let mut out = Vec::with_capacity(n);
+        let b = self.config.batch.max(1);
+        while out.len() < n {
+            let take = (n - out.len()).min(b);
+            let mut z = Mat::zeros(take, self.config.latent);
+            for v in z.as_mut_slice() {
+                *v = rng.normal();
+            }
+            let logits = self.nets.decoder.apply(&z);
+            for r in 0..take {
+                let mut row = logits.row(r).to_vec();
+                for slot in row.chunks_mut(SYMBOLS) {
+                    softmax_in_place(slot);
+                }
+                out.push(encoding::decode(&row));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        (0..64).map(|i| format!("aa{:02}zz", i % 16)).collect()
+    }
+
+    #[test]
+    fn generates_n_passwords_deterministically() {
+        let vae = VaePass::new(VaeConfig::tiny(), 1);
+        let a = vae.generate(9, 4);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a, vae.generate(9, 4));
+    }
+
+    #[test]
+    fn training_reduces_the_elbo() {
+        let mut vae = VaePass::new(VaeConfig::tiny(), 2);
+        vae.train(&corpus(), 12);
+        let h = &vae.loss_history;
+        assert_eq!(h.len(), 12);
+        assert!(
+            h.last().unwrap() < h.first().unwrap(),
+            "ELBO should fall: {h:?}"
+        );
+        assert!(h.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn empty_corpus_is_a_no_op() {
+        let mut vae = VaePass::new(VaeConfig::tiny(), 3);
+        vae.train(&[], 2);
+        assert!(vae.loss_history.is_empty());
+    }
+
+    #[test]
+    fn trained_vae_output_distribution_moves_toward_corpus() {
+        let mut vae = VaePass::new(VaeConfig::tiny(), 4);
+        let style = |pwds: &[String]| -> f64 {
+            // Fraction of outputs that start with 'a' like the corpus.
+            pwds.iter().filter(|p| p.starts_with('a')).count() as f64 / pwds.len() as f64
+        };
+        let before = style(&vae.generate(60, 9));
+        vae.train(&corpus(), 25);
+        let after = style(&vae.generate(60, 9));
+        assert!(after > before, "style before {before}, after {after}");
+    }
+}

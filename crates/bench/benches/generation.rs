@@ -1,0 +1,83 @@
+//! Generation-path benchmarks: model sampling, D&C-GEN scheduling, PCFG
+//! enumeration, and the evaluation metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pagpass_datasets::{clean, SiteProfile};
+use pagpass_eval::GuessCurve;
+use pagpass_nn::GptConfig;
+use pagpass_patterns::PatternDistribution;
+use pagpass_pcfg::PcfgModel;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{DcGen, DcGenConfig, ModelKind, PasswordModel};
+
+fn tiny_model() -> PasswordModel {
+    PasswordModel::new(
+        ModelKind::PagPassGpt,
+        GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+        1,
+    )
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let model = tiny_model();
+    let pattern = "L6N2".parse().unwrap();
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("free_256", |b| {
+        b.iter(|| std::hint::black_box(model.generate_free(256, 1.0, 7)));
+    });
+    group.bench_function("guided_256", |b| {
+        b.iter(|| std::hint::black_box(model.generate_guided(&pattern, 256, 1.0, 7)));
+    });
+    group.finish();
+}
+
+fn bench_dcgen(c: &mut Criterion) {
+    let model = tiny_model();
+    let corpus = clean(SiteProfile::rockyou().generate(2_000, 3)).retained;
+    let patterns = PatternDistribution::from_passwords(corpus.iter().map(String::as_str));
+    let mut group = c.benchmark_group("dcgen");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("budget_1000_threshold_64", |b| {
+        b.iter(|| {
+            let dc = DcGen::new(
+                &model,
+                DcGenConfig { threshold: 64, seed: 5, ..DcGenConfig::new(1_000) },
+            );
+            std::hint::black_box(dc.run(&patterns).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_pcfg_enumeration(c: &mut Criterion) {
+    let corpus = clean(SiteProfile::rockyou().generate(5_000, 4)).retained;
+    let model = PcfgModel::train(corpus.iter().map(String::as_str));
+    let mut group = c.benchmark_group("pcfg");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(5_000));
+    group.bench_function("enumerate_5000", |b| {
+        b.iter(|| std::hint::black_box(model.guesses(5_000)));
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let test = clean(SiteProfile::rockyou().generate(5_000, 6)).retained;
+    let guesses = clean(SiteProfile::linkedin().generate(20_000, 6)).retained;
+    let budgets: Vec<usize> = vec![1_000, 5_000, guesses.len()];
+    let mut group = c.benchmark_group("metrics");
+    group.throughput(Throughput::Elements(guesses.len() as u64));
+    group.bench_function("guess_curve", |b| {
+        b.iter(|| std::hint::black_box(GuessCurve::compute(&guesses, &test, &budgets)));
+    });
+    group.bench_function("pattern_distance_top150", |b| {
+        b.iter(|| std::hint::black_box(pagpass_eval::pattern_distance(&guesses, &test, 150)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_dcgen, bench_pcfg_enumeration, bench_metrics);
+criterion_main!(benches);

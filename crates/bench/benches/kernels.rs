@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the nn substrate: matmul kernels, full training
+//! steps, and KV-cached decode steps — the costs behind every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagpass_nn::{AdamW, Gpt, GptConfig, Mat, Rng};
+use pagpass_tokenizer::VOCAB_SIZE;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let mut rng = Rng::seed_from(1);
+    for n in [32usize, 64, 128] {
+        let a = Mat::randn(n, n, 1.0, &mut rng);
+        let b = Mat::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_bt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpt_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpt_train_step");
+    group.sample_size(10);
+    for (name, config) in [
+        ("tiny", GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 }),
+        ("small", GptConfig::small(VOCAB_SIZE)),
+    ] {
+        let mut model = Gpt::new(config, &mut Rng::seed_from(2));
+        let mut opt = AdamW::new(1e-3);
+        let b = 16;
+        let t = 16;
+        let tokens: Vec<u32> = (0..b * t).map(|i| (i % VOCAB_SIZE) as u32).collect();
+        group.bench_function(BenchmarkId::new("batch16x16", name), |bench| {
+            bench.iter(|| std::hint::black_box(model.train_step(&tokens, b, t, None, &mut opt)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpt_decode_step");
+    group.sample_size(20);
+    let model = Gpt::new(GptConfig::small(VOCAB_SIZE), &mut Rng::seed_from(3));
+    for batch in [1usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("kv_cached", batch), &batch, |bench, &batch| {
+            bench.iter_batched(
+                || model.begin_decode(batch),
+                |mut state| {
+                    let tokens = vec![1u32; batch];
+                    for _ in 0..8 {
+                        std::hint::black_box(model.decode_step(&tokens, &mut state));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_gpt_train_step, bench_decode_step);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Tokenizer and pattern-algebra throughput: these run once per training
+//! password and once per generated guess, so they must stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pagpass_datasets::SiteProfile;
+use pagpass_patterns::{Pattern, PatternDistribution};
+use pagpass_tokenizer::Tokenizer;
+
+fn bench_pattern_extraction(c: &mut Criterion) {
+    let pwds = SiteProfile::rockyou().generate(2_000, 9);
+    let mut group = c.benchmark_group("patterns");
+    group.throughput(Throughput::Elements(pwds.len() as u64));
+    group.bench_function("extract_2000", |b| {
+        b.iter(|| {
+            for pw in &pwds {
+                let _ = std::hint::black_box(Pattern::of_password(pw));
+            }
+        });
+    });
+    group.bench_function("distribution_2000", |b| {
+        b.iter(|| {
+            std::hint::black_box(PatternDistribution::from_passwords(
+                pwds.iter().map(String::as_str),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let tok = Tokenizer::new();
+    let pwds = SiteProfile::rockyou().generate(2_000, 10);
+    let encoded: Vec<Vec<u32>> =
+        pwds.iter().filter_map(|p| tok.encode_training(p).ok()).collect();
+    let mut group = c.benchmark_group("tokenizer");
+    group.throughput(Throughput::Elements(pwds.len() as u64));
+    group.bench_function("encode_2000", |b| {
+        b.iter(|| {
+            for pw in &pwds {
+                let _ = std::hint::black_box(tok.encode_training(pw));
+            }
+        });
+    });
+    group.throughput(Throughput::Elements(encoded.len() as u64));
+    group.bench_function("decode_2000", |b| {
+        b.iter(|| {
+            for ids in &encoded {
+                let _ = std::hint::black_box(tok.decode_rule(ids));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_extraction, bench_tokenizer);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation — D&C-GEN division threshold `T` sweep (the trade-off the
+//! paper discusses in §III-C2 and §V: smaller `T` → more divisions, lower
+//! repeat rate, more scheduling work).
+//!
+//! Also includes the `--uniform` allocation ablation: splitting the budget
+//! uniformly across patterns instead of by the empirical prior.
+
+use pagpass_bench::report::pct;
+use pagpass_bench::{save_json, Context, Table};
+use pagpass_datasets::Site;
+use pagpass_eval::{hit_rate, repeat_rate};
+use pagpass_patterns::PatternDistribution;
+use pagpassgpt::{DcGen, DcGenConfig, ModelKind};
+
+fn main() {
+    let ctx = Context::from_args();
+    let site = Site::RockYou;
+    let split = ctx.split(site);
+    let model = ctx.gpt_model(ModelKind::PagPassGpt, site);
+    let patterns = PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
+    let n = ctx.scale.budgets[ctx.scale.budgets.len().saturating_sub(2)] as u64;
+
+    let mut table = Table::new(vec![
+        "T".into(),
+        "Allocation".into(),
+        "Hit rate".into(),
+        "Repeat rate".into(),
+        "Leaves".into(),
+        "Expansions".into(),
+    ]);
+    let mut json = Vec::new();
+    let base = ctx.scale.dcgen_threshold;
+    for (t, uniform) in [
+        (base / 4, false),
+        (base, false),
+        (base * 4, false),
+        (base * 16, false),
+        (base, true),
+    ] {
+        let report = DcGen::new(
+            &model,
+            DcGenConfig {
+                threshold: t.max(1),
+                uniform_patterns: uniform,
+                seed: ctx.seed ^ 51,
+                ..DcGenConfig::new(n)
+            },
+        )
+        .run(&patterns)
+        .expect("PagPassGPT kind");
+        let hr = hit_rate(&report.passwords, &split.test).rate();
+        let rr = repeat_rate(&report.passwords);
+        table.row(vec![
+            t.to_string(),
+            if uniform { "uniform" } else { "Pr(P)" }.into(),
+            pct(hr),
+            pct(rr),
+            report.leaf_tasks.to_string(),
+            report.expansions.to_string(),
+        ]);
+        json.push((t, uniform, hr, rr, report.leaf_tasks, report.expansions));
+    }
+    println!("Ablation — D&C-GEN threshold sweep at N={n} ({} scale)", ctx.scale.name);
+    table.print();
+    save_json(&format!("ablation-threshold-{}-s{}", ctx.scale.name, ctx.seed), &json);
+}

@@ -1,0 +1,27 @@
+//! Fig. 8 — category hit rate `HR_s` of PassGPT vs PagPassGPT for pattern
+//! categories with s = 1..12 segments (pattern-guided guessing test).
+//!
+//! Paper shape: PagPassGPT ≥ PassGPT everywhere; the gap peaks mid-range
+//! (paper: s = 5 with 13.00% vs 40.54%) and PassGPT collapses to ~0 for
+//! s > 9 while PagPassGPT stays useful.
+
+use pagpass_bench::report::pct;
+use pagpass_bench::{runs, Context, Table};
+
+fn main() {
+    let ctx = Context::from_args();
+    let r = runs::guided_runs(&ctx);
+    let mut table = Table::new(vec![
+        "Segments".into(),
+        "HR_s PassGPT".into(),
+        "HR_s PagPassGPT".into(),
+    ]);
+    for &(segments, hr_pass, hr_pag) in &r.categories {
+        table.row(vec![segments.to_string(), pct(hr_pass), pct(hr_pag)]);
+    }
+    println!(
+        "Fig. 8 — HR_s per pattern category ({} guesses/pattern, {} scale)",
+        r.per_pattern, ctx.scale.name
+    );
+    table.print();
+}

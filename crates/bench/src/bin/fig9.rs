@@ -1,0 +1,43 @@
+//! Fig. 9 — per-pattern hit rate `HR_P` of PassGPT vs PagPassGPT for the
+//! top-5 patterns of each category with s = 1..6 segments.
+//!
+//! Paper shape: PagPassGPT beats PassGPT on almost every pattern and still
+//! hits patterns where PassGPT scores zero.
+
+use pagpass_bench::report::pct;
+use pagpass_bench::{runs, Context, Table};
+
+fn main() {
+    let ctx = Context::from_args();
+    let r = runs::guided_runs(&ctx);
+    let mut table = Table::new(vec![
+        "Pattern".into(),
+        "Segments".into(),
+        "Test pwds".into(),
+        "HR_P PassGPT".into(),
+        "HR_P PagPassGPT".into(),
+    ]);
+    let mut shown_per_cat = std::collections::HashMap::new();
+    for res in &r.patterns {
+        if res.segments > 6 {
+            continue;
+        }
+        let count = shown_per_cat.entry(res.segments).or_insert(0usize);
+        if *count >= 5 {
+            continue;
+        }
+        *count += 1;
+        table.row(vec![
+            res.pattern.clone(),
+            res.segments.to_string(),
+            res.test_conforming.to_string(),
+            pct(res.hr_passgpt()),
+            pct(res.hr_pagpassgpt()),
+        ]);
+    }
+    println!(
+        "Fig. 9 — HR_P for top-5 patterns of categories s=1..6 ({} guesses/pattern, {} scale)",
+        r.per_pattern, ctx.scale.name
+    );
+    table.print();
+}

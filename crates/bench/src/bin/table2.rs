@@ -1,0 +1,40 @@
+//! Table II — key characteristics of the applied datasets: unique entries,
+//! cleaned entries, and retention rate per site.
+//!
+//! Paper values (real leaks): RockYou 14 344 391 / 13 265 184 / 92.5%,
+//! LinkedIn 60 525 521 / 49 776 665 / 82.2%, phpBB 98.4%, MySpace 98.0%,
+//! Yahoo! 98.5%. The synthetic sites reproduce the retention ordering and
+//! magnitudes at reduced size.
+
+use pagpass_bench::report::pct;
+use pagpass_bench::{save_json, Context, Table};
+use pagpass_datasets::Site;
+
+fn main() {
+    let ctx = Context::from_args();
+    let mut table = Table::new(vec![
+        "Name".into(),
+        "Unique".into(),
+        "Cleaned".into(),
+        "Retention rate".into(),
+    ]);
+    let mut json = Vec::new();
+    for site in Site::ALL {
+        let report = ctx.cleaned(site);
+        table.row(vec![
+            site.name().into(),
+            report.unique_total.to_string(),
+            report.retained.len().to_string(),
+            pct(report.retention_rate()),
+        ]);
+        json.push((
+            site.name().to_owned(),
+            report.unique_total,
+            report.retained.len(),
+            report.retention_rate(),
+        ));
+    }
+    println!("Table II — key characteristics of applied datasets ({} scale)", ctx.scale.name);
+    table.print();
+    save_json(&format!("table2-{}-s{}", ctx.scale.name, ctx.seed), &json);
+}

@@ -1,0 +1,38 @@
+//! Table III — sample passwords generated in the pattern-guided test for
+//! the patterns "L5N2" and "L5S1N2".
+//!
+//! Paper shape: PassGPT's hard filtering truncates words ("polic#10" —
+//! "police" loses its "e" because the pattern demands a special character);
+//! PagPassGPT, which conditions instead of filters, keeps words intact.
+
+use pagpass_bench::{save_json, Context, Table};
+use pagpass_patterns::Pattern;
+use pagpassgpt::ModelKind;
+
+fn main() {
+    let ctx = Context::from_args();
+    let site = pagpass_datasets::Site::RockYou;
+    let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
+    let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
+    let patterns: Vec<Pattern> = ["L5N2", "L5S1N2"].iter().map(|s| s.parse().unwrap()).collect();
+    let k = 10;
+
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for model in [&passgpt, &pagpass] {
+        for pattern in &patterns {
+            columns.push(model.generate_guided(pattern, k, 1.0, ctx.seed ^ 31));
+        }
+    }
+    let mut table = Table::new(vec![
+        "PassGPT L5N2".into(),
+        "PassGPT L5S1N2".into(),
+        "PagPassGPT L5N2".into(),
+        "PagPassGPT L5S1N2".into(),
+    ]);
+    for i in 0..k {
+        table.row(columns.iter().map(|c| c[i].clone()).collect());
+    }
+    println!("Table III — sample pattern-guided passwords ({} scale)", ctx.scale.name);
+    table.print();
+    save_json(&format!("table3-{}-s{}", ctx.scale.name, ctx.seed), &columns);
+}

@@ -1,0 +1,26 @@
+//! Table V — length and pattern distances between each model's generated
+//! passwords and the test set (Euclidean, Eqs. 6–7).
+//!
+//! Paper values: PagPassGPT 4.78% / 2.79% — the closest to the test set;
+//! PassGPT 8.49% / 4.16%; PassFlow is the outlier (50.61% / 13.62%).
+
+use pagpass_bench::report::pct;
+use pagpass_bench::{runs, Context, Table};
+
+fn main() {
+    let ctx = Context::from_args();
+    let r = runs::distribution_runs(&ctx);
+    let mut table = Table::new(vec![
+        "Model".into(),
+        "Length Distance".into(),
+        "Pattern Distance".into(),
+    ]);
+    for (model, dlen, dpat) in &r.models {
+        table.row(vec![model.clone(), pct(*dlen), pct(*dpat)]);
+    }
+    println!(
+        "Table V — distribution distances over {} generated passwords ({} scale)",
+        r.generated, ctx.scale.name
+    );
+    table.print();
+}

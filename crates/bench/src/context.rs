@@ -1,0 +1,348 @@
+use std::path::PathBuf;
+
+use pagpass_baselines::{FlowConfig, GanConfig, PassFlow, PassGan, VaeConfig, VaePass};
+use pagpass_datasets::{clean, split_passwords, CleanReport, Site, Split, SplitRatios};
+use pagpass_markov::MarkovModel;
+use pagpass_nn::GptConfig;
+use pagpass_pcfg::PcfgModel;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{ModelKind, PasswordModel, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Workload presets. The paper's numbers are recorded in the doc comments;
+/// the presets scale guesses and corpus together so the shape of every
+/// result survives (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// Seconds-scale smoke test (integration tests use this).
+    Smoke,
+    /// The standard single-core run used for `EXPERIMENTS.md` (~minutes
+    /// per experiment).
+    Default,
+    /// A heavier run for machines with more time.
+    Full,
+}
+
+impl ScalePreset {
+    /// Parses `smoke` / `default` / `full`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ScalePreset> {
+        match s {
+            "smoke" => Some(ScalePreset::Smoke),
+            "default" => Some(ScalePreset::Default),
+            "full" => Some(ScalePreset::Full),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Smoke => "smoke",
+            ScalePreset::Default => "default",
+            ScalePreset::Full => "full",
+        }
+    }
+}
+
+/// Concrete workload parameters derived from a preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Preset name (used in cache keys).
+    pub name: String,
+    /// Raw leak entries generated per site
+    /// (paper: 14.3M RockYou / 60.5M LinkedIn).
+    pub raw_entries: usize,
+    /// GPT width/depth (paper: 256-dim, 12 layers, 8 heads).
+    pub gpt: GptConfig,
+    /// Training epochs (paper: 30).
+    pub epochs: usize,
+    /// Guess budgets for the trawling test (paper: 10⁶..10⁹).
+    pub budgets: Vec<usize>,
+    /// Guesses per target pattern in the guided test (paper: 100 000).
+    pub guided_per_pattern: usize,
+    /// Target patterns per category (paper: 21).
+    pub per_category: usize,
+    /// D&C-GEN division threshold (paper: 4 000, GPU-sized).
+    pub dcgen_threshold: u64,
+    /// Passwords generated for the distribution test (paper: 10⁸).
+    pub distribution_n: usize,
+}
+
+impl Scale {
+    /// Materializes a preset.
+    #[must_use]
+    pub fn preset(preset: ScalePreset) -> Scale {
+        match preset {
+            ScalePreset::Smoke => Scale {
+                name: preset.name().to_owned(),
+                raw_entries: 3_000,
+                gpt: GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+                epochs: 2,
+                budgets: vec![50, 200],
+                guided_per_pattern: 40,
+                per_category: 2,
+                dcgen_threshold: 64,
+                distribution_n: 300,
+            },
+            ScalePreset::Default => Scale {
+                name: preset.name().to_owned(),
+                raw_entries: 60_000,
+                gpt: GptConfig::small(VOCAB_SIZE),
+                epochs: 10,
+                budgets: vec![100, 1_000, 10_000, 20_000],
+                guided_per_pattern: 1_000,
+                per_category: 10,
+                dcgen_threshold: 256,
+                distribution_n: 10_000,
+            },
+            ScalePreset::Full => Scale {
+                name: preset.name().to_owned(),
+                raw_entries: 400_000,
+                gpt: GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 64, n_layers: 4, n_heads: 4 },
+                epochs: 10,
+                budgets: vec![1_000, 10_000, 100_000, 300_000],
+                guided_per_pattern: 10_000,
+                per_category: 21,
+                dcgen_threshold: 1_024,
+                distribution_n: 100_000,
+            },
+        }
+    }
+}
+
+/// Shared experiment state: deterministic corpora plus a disk cache of
+/// trained models keyed by `(model, site, scale)`.
+#[derive(Debug)]
+pub struct Context {
+    /// The workload scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Context {
+    /// Parses `--scale`/`--seed` from CLI args, defaulting to
+    /// `default`/`42`. Unknown flags abort with a usage message.
+    #[must_use]
+    pub fn from_args() -> Context {
+        let mut preset = ScalePreset::Default;
+        let mut seed = 42u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    preset = ScalePreset::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown scale {v:?}; use smoke|default|full");
+                        std::process::exit(2);
+                    });
+                }
+                "--seed" => {
+                    seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+                }
+                other => {
+                    eprintln!("unknown flag {other:?}; supported: --scale smoke|default|full, --seed N");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Context::new(Scale::preset(preset), seed)
+    }
+
+    /// Creates a context with explicit scale and seed.
+    #[must_use]
+    pub fn new(scale: Scale, seed: u64) -> Context {
+        Context { scale, seed }
+    }
+
+    /// The raw synthetic leak of a site (before cleaning).
+    #[must_use]
+    pub fn raw_leak(&self, site: Site) -> Vec<String> {
+        site.profile().generate(self.scale.raw_entries, self.seed)
+    }
+
+    /// Cleaning report of a site's leak.
+    #[must_use]
+    pub fn cleaned(&self, site: Site) -> CleanReport {
+        clean(self.raw_leak(site))
+    }
+
+    /// The paper's 7:1:2 split of a site's cleaned leak.
+    #[must_use]
+    pub fn split(&self, site: Site) -> Split {
+        split_passwords(self.cleaned(site).retained, SplitRatios::PAPER, self.seed ^ 0x5eed)
+    }
+
+    /// Directory for cached trained models.
+    #[must_use]
+    pub fn artifacts_dir() -> PathBuf {
+        workspace_root().join("artifacts")
+    }
+
+    fn cache_path(&self, model: &str, site: Site) -> PathBuf {
+        Context::artifacts_dir().join(format!(
+            "{model}-{}-{}-s{}.bin",
+            site.name().replace('!', ""),
+            self.scale.name,
+            self.seed
+        ))
+    }
+
+    /// Trains (or loads from cache) a GPT password model on a site's
+    /// training split.
+    #[must_use]
+    pub fn gpt_model(&self, kind: ModelKind, site: Site) -> PasswordModel {
+        let path = self.cache_path(&kind.name().to_lowercase(), site);
+        if let Ok(model) = PasswordModel::load(kind, &path) {
+            eprintln!("[cache] loaded {kind} for {site} from {}", path.display());
+            return model;
+        }
+        let split = self.split(site);
+        eprintln!(
+            "[train] {kind} on {site}: {} train / {} val passwords, {} epochs",
+            split.train.len(),
+            split.validation.len(),
+            self.scale.epochs
+        );
+        let mut model = PasswordModel::new(kind, self.scale.gpt, self.seed);
+        let config = TrainConfig {
+            epochs: self.scale.epochs,
+            log_every: 200,
+            seed: self.seed,
+            ..TrainConfig::default()
+        };
+        let report = model.train(&split.train, &split.validation, &config);
+        eprintln!(
+            "[train] {kind} on {site}: loss {:?} -> {:?}",
+            report.epoch_losses.first(),
+            report.epoch_losses.last()
+        );
+        std::fs::create_dir_all(Context::artifacts_dir()).ok();
+        model.save(&path).ok();
+        model
+    }
+
+    /// Trains a PassGAN on a site's training split. The continuous-space
+    /// baselines get a short fixed budget: their role in the paper's tables
+    /// is the weak lower bound, and more epochs do not change that shape.
+    #[must_use]
+    pub fn gan_model(&self, site: Site) -> PassGan {
+        let split = self.split(site);
+        let mut gan = PassGan::new(self.gan_config(), self.seed);
+        eprintln!("[train] PassGAN on {site}");
+        gan.train(&split.train, self.baseline_epochs());
+        gan
+    }
+
+    /// Trains a VAEPass on a site's training split.
+    #[must_use]
+    pub fn vae_model(&self, site: Site) -> VaePass {
+        let split = self.split(site);
+        let mut vae = VaePass::new(self.vae_config(), self.seed);
+        eprintln!("[train] VAEPass on {site}");
+        vae.train(&split.train, self.baseline_epochs());
+        vae
+    }
+
+    /// Trains a PassFlow on a site's training split.
+    #[must_use]
+    pub fn flow_model(&self, site: Site) -> PassFlow {
+        let split = self.split(site);
+        let mut flow = PassFlow::new(self.flow_config(), self.seed);
+        eprintln!("[train] PassFlow on {site}");
+        flow.train(&split.train, self.baseline_epochs());
+        flow
+    }
+
+    fn baseline_epochs(&self) -> usize {
+        if self.scale.name == "smoke" { 2 } else { 3 }
+    }
+
+    /// Trains the PCFG baseline.
+    #[must_use]
+    pub fn pcfg_model(&self, site: Site) -> PcfgModel {
+        let split = self.split(site);
+        PcfgModel::train(split.train.iter().map(String::as_str))
+    }
+
+    /// Trains the Markov baseline (order 3).
+    #[must_use]
+    pub fn markov_model(&self, site: Site) -> MarkovModel {
+        let split = self.split(site);
+        MarkovModel::train(split.train.iter().map(String::as_str), 3, 0.01)
+    }
+
+    fn gan_config(&self) -> GanConfig {
+        if self.scale.name == "smoke" {
+            GanConfig::tiny()
+        } else {
+            GanConfig { hidden: 128, ..GanConfig::default() }
+        }
+    }
+
+    fn vae_config(&self) -> VaeConfig {
+        if self.scale.name == "smoke" {
+            VaeConfig::tiny()
+        } else {
+            VaeConfig { hidden: 128, ..VaeConfig::default() }
+        }
+    }
+
+    fn flow_config(&self) -> FlowConfig {
+        if self.scale.name == "smoke" {
+            FlowConfig::tiny()
+        } else {
+            FlowConfig { hidden: 128, ..FlowConfig::default() }
+        }
+    }
+}
+
+/// Workspace root, resolved from this crate's manifest directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/bench sits two levels below the root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(ScalePreset::parse("smoke"), Some(ScalePreset::Smoke));
+        assert_eq!(ScalePreset::parse("default"), Some(ScalePreset::Default));
+        assert_eq!(ScalePreset::parse("full"), Some(ScalePreset::Full));
+        assert_eq!(ScalePreset::parse("nope"), None);
+    }
+
+    #[test]
+    fn context_corpora_are_deterministic() {
+        let ctx = Context::new(Scale::preset(ScalePreset::Smoke), 7);
+        let a = ctx.split(Site::RockYou);
+        let b = ctx.split(Site::RockYou);
+        assert_eq!(a, b);
+        assert!(!a.train.is_empty() && !a.test.is_empty());
+    }
+
+    #[test]
+    fn workspace_root_has_the_workspace_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+        assert!(workspace_root().join("DESIGN.md").exists());
+    }
+
+    #[test]
+    fn budgets_are_ascending_in_every_preset() {
+        for preset in [ScalePreset::Smoke, ScalePreset::Default, ScalePreset::Full] {
+            let scale = Scale::preset(preset);
+            assert!(scale.budgets.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(scale.gpt.vocab_size, VOCAB_SIZE);
+        }
+    }
+}

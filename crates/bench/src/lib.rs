@@ -1,0 +1,26 @@
+//! Experiment harness reproducing every table and figure of the PagPassGPT
+//! paper (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured results).
+//!
+//! Each table/figure has a binary under `src/bin/`; all of them share:
+//!
+//! * [`Scale`] — scaled-down workload presets (`smoke`, `default`, `full`)
+//!   with the paper's parameters documented alongside,
+//! * [`Context`] — deterministic corpora (synthetic leaks), cleaning,
+//!   splits, and a disk cache of trained models under `artifacts/` so
+//!   binaries share training work,
+//! * [`report`] — aligned text tables plus JSON dumps under
+//!   `crates/bench/results/`.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p pagpass-bench --bin table4 -- --scale default
+//! ```
+
+pub mod context;
+pub mod report;
+pub mod runs;
+
+pub use context::{Context, Scale, ScalePreset};
+pub use report::{results_dir, save_json, Table};

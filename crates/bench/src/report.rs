@@ -1,0 +1,140 @@
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use crate::context::workspace_root;
+
+/// Directory experiment binaries write JSON results into.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("crates/bench/results")
+}
+
+/// Serializes `value` to `crates/bench/results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics when the results directory cannot be created or written — an
+/// experiment that cannot record its output should fail loudly.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    eprintln!("[result] wrote {}", path.display());
+}
+
+/// Loads a previously saved JSON result, if present.
+#[must_use]
+pub fn load_json<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+/// A simple aligned text table, printed the way the paper's tables read.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_bench::Table;
+///
+/// let mut t = Table::new(vec!["Model".into(), "Hit rate".into()]);
+/// t.row(vec!["PassGPT".into(), "41.93%".into()]);
+/// let text = t.render();
+/// assert!(text.contains("PassGPT"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Table {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                let _ = write!(out, "| {cell:width$} ");
+            }
+            out.push_str("|\n");
+        };
+        render_row(&mut out, &self.header);
+        for (i, &w) in widths.iter().enumerate() {
+            let _ = write!(&mut out, "|{}", "-".repeat(w + 2));
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a ratio as the paper prints it: `41.93%`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["A".into(), "Longer".into()]);
+        t.row(vec!["xx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Every line has the same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.4193), "41.93%");
+        assert_eq!(pct(0.0), "0.00%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        save_json("selftest", &vec![1u32, 2, 3]);
+        let loaded: Option<Vec<u32>> = load_json("selftest");
+        assert_eq!(loaded, Some(vec![1, 2, 3]));
+        std::fs::remove_file(results_dir().join("selftest.json")).ok();
+    }
+}

@@ -1,0 +1,277 @@
+//! Shared expensive computations, cached as JSON under `results/` so the
+//! table/figure binaries that present the same run (Table IV + Fig. 10,
+//! Fig. 8 + Fig. 9, Table V + Fig. 11) do not recompute it.
+
+use pagpass_datasets::Site;
+use pagpass_eval::{GuessCurve, PatternGuidedEval};
+use pagpass_patterns::PatternDistribution;
+use pagpassgpt::{DcGen, DcGenConfig, ModelKind};
+use serde::{Deserialize, Serialize};
+
+use crate::report::{load_json, save_json};
+use crate::Context;
+
+/// One model's guess-stream evaluation in the trawling test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCurve {
+    /// Model name as the paper prints it.
+    pub model: String,
+    /// Hit/repeat rates at each budget.
+    pub curve: GuessCurve,
+}
+
+/// Results of the trawling attack test (Table IV + Fig. 10): every model
+/// generates up to the largest budget on the RockYou-like site; curves are
+/// evaluated on the held-out test split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrawlingRuns {
+    /// Scale name the run was produced under.
+    pub scale: String,
+    /// Guess budgets (the paper's 10⁶..10⁹ ladder, scaled).
+    pub budgets: Vec<usize>,
+    /// Test-split size.
+    pub test_size: usize,
+    /// Per-model curves.
+    pub models: Vec<ModelCurve>,
+}
+
+/// Computes (or loads) the trawling runs.
+#[must_use]
+pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
+    let key = format!("trawling-{}-s{}", ctx.scale.name, ctx.seed);
+    if let Some(cached) = load_json::<TrawlingRuns>(&key) {
+        if cached.scale == ctx.scale.name {
+            eprintln!("[cache] loaded {key}");
+            return cached;
+        }
+    }
+    let site = Site::RockYou;
+    let split = ctx.split(site);
+    let budgets = ctx.scale.budgets.clone();
+    let n = *budgets.last().expect("budgets are non-empty");
+    let mut models = Vec::new();
+
+    let gan = ctx.gan_model(site);
+    eprintln!("[gen] PassGAN x{n}");
+    models.push(curve("PassGAN", &gan.generate(n, ctx.seed ^ 1), &split.test, &budgets));
+
+    let vae = ctx.vae_model(site);
+    eprintln!("[gen] VAEPass x{n}");
+    models.push(curve("VAEPass", &vae.generate(n, ctx.seed ^ 2), &split.test, &budgets));
+
+    let flow = ctx.flow_model(site);
+    eprintln!("[gen] PassFlow x{n}");
+    models.push(curve("PassFlow", &flow.generate(n, ctx.seed ^ 3), &split.test, &budgets));
+
+    let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
+    eprintln!("[gen] PassGPT x{n}");
+    models.push(curve("PassGPT", &passgpt.generate_free(n, 1.0, ctx.seed ^ 4), &split.test, &budgets));
+
+    let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
+    eprintln!("[gen] PagPassGPT x{n}");
+    models.push(curve("PagPassGPT", &pagpass.generate_free(n, 1.0, ctx.seed ^ 5), &split.test, &budgets));
+
+    // D&C-GEN takes the budget N as an *input* (Algorithm 1), so each
+    // budget is its own run — checkpointing one stream would evaluate
+    // pattern-ordered prefixes instead of the algorithm's actual output.
+    let train_patterns =
+        PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
+    let mut dc_curve = GuessCurve { budgets: budgets.clone(), hit_rates: Vec::new(), repeat_rates: Vec::new() };
+    for &budget in &budgets {
+        eprintln!("[gen] PagPassGPT-D&C x{budget}");
+        let dc = DcGen::new(
+            &pagpass,
+            DcGenConfig {
+                threshold: ctx.scale.dcgen_threshold,
+                seed: ctx.seed ^ 6,
+                ..DcGenConfig::new(budget as u64)
+            },
+        )
+        .run(&train_patterns)
+        .expect("PagPassGPT model kind");
+        dc_curve
+            .hit_rates
+            .push(pagpass_eval::hit_rate(&dc.passwords, &split.test).rate());
+        dc_curve.repeat_rates.push(pagpass_eval::repeat_rate(&dc.passwords));
+    }
+    models.push(ModelCurve { model: "PagPassGPT-D&C".to_owned(), curve: dc_curve });
+
+    // Extension baselines beyond the paper's table: the classic
+    // probability-based families it surveys in §II-B2.
+    let pcfg = ctx.pcfg_model(site);
+    eprintln!("[gen] PCFG x{n}");
+    models.push(curve("PCFG (ext)", &pcfg.guesses(n), &split.test, &budgets));
+    let markov = ctx.markov_model(site);
+    eprintln!("[gen] Markov x{n}");
+    models.push(curve("Markov-3 (ext)", &markov.sample_many(n, 12, ctx.seed ^ 7), &split.test, &budgets));
+
+    let runs = TrawlingRuns { scale: ctx.scale.name.clone(), budgets, test_size: split.test.len(), models };
+    save_json(&key, &runs);
+    runs
+}
+
+fn curve(model: &str, guesses: &[String], test: &[String], budgets: &[usize]) -> ModelCurve {
+    ModelCurve { model: model.to_owned(), curve: GuessCurve::compute(guesses, test, budgets) }
+}
+
+/// One pattern's result in the pattern-guided test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuidedPatternResult {
+    /// The pattern (e.g. `L5N2`).
+    pub pattern: String,
+    /// Its segment count (category).
+    pub segments: usize,
+    /// Test passwords conforming to the pattern.
+    pub test_conforming: usize,
+    /// PassGPT hits / hit rate.
+    pub passgpt_hits: usize,
+    /// PagPassGPT hits.
+    pub pagpassgpt_hits: usize,
+}
+
+impl GuidedPatternResult {
+    /// `HR_P` of PassGPT.
+    #[must_use]
+    pub fn hr_passgpt(&self) -> f64 {
+        if self.test_conforming == 0 { 0.0 } else { self.passgpt_hits as f64 / self.test_conforming as f64 }
+    }
+
+    /// `HR_P` of PagPassGPT.
+    #[must_use]
+    pub fn hr_pagpassgpt(&self) -> f64 {
+        if self.test_conforming == 0 { 0.0 } else { self.pagpassgpt_hits as f64 / self.test_conforming as f64 }
+    }
+}
+
+/// Results of the pattern-guided guessing test (Fig. 8 + Fig. 9).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuidedRuns {
+    /// Scale name.
+    pub scale: String,
+    /// Guesses generated per target pattern.
+    pub per_pattern: usize,
+    /// Per-pattern results, ordered by (segments, rank).
+    pub patterns: Vec<GuidedPatternResult>,
+    /// `(segments, HR_s PassGPT, HR_s PagPassGPT)` per category.
+    pub categories: Vec<(usize, f64, f64)>,
+}
+
+/// Computes (or loads) the pattern-guided runs.
+#[must_use]
+pub fn guided_runs(ctx: &Context) -> GuidedRuns {
+    let key = format!("guided-{}-s{}", ctx.scale.name, ctx.seed);
+    if let Some(cached) = load_json::<GuidedRuns>(&key) {
+        if cached.scale == ctx.scale.name {
+            eprintln!("[cache] loaded {key}");
+            return cached;
+        }
+    }
+    let site = Site::RockYou;
+    let split = ctx.split(site);
+    let eval = PatternGuidedEval::new(&split.test);
+    let targets = eval.target_patterns(ctx.scale.per_category);
+    let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
+    let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
+    let n = ctx.scale.guided_per_pattern;
+
+    let mut patterns = Vec::new();
+    let mut categories = Vec::new();
+    for (&segments, pats) in &targets {
+        let mut cat_results_pass = Vec::new();
+        let mut cat_results_pag = Vec::new();
+        for pattern in pats {
+            eprintln!("[guided] {pattern} x{n} (category {segments})");
+            let g_pass = passgpt.generate_guided(pattern, n, 1.0, ctx.seed ^ 11);
+            let g_pag = pagpass.generate_guided(pattern, n, 1.0, ctx.seed ^ 12);
+            let hit_pass = eval.score_pattern(pattern, &g_pass);
+            let hit_pag = eval.score_pattern(pattern, &g_pag);
+            patterns.push(GuidedPatternResult {
+                pattern: pattern.to_string(),
+                segments,
+                test_conforming: hit_pass.test_conforming,
+                passgpt_hits: hit_pass.hits,
+                pagpassgpt_hits: hit_pag.hits,
+            });
+            cat_results_pass.push(hit_pass);
+            cat_results_pag.push(hit_pag);
+        }
+        categories.push((
+            segments,
+            eval.category_hit_rate(segments, &cat_results_pass),
+            eval.category_hit_rate(segments, &cat_results_pag),
+        ));
+    }
+    let runs = GuidedRuns { scale: ctx.scale.name.clone(), per_pattern: n, patterns, categories };
+    save_json(&key, &runs);
+    runs
+}
+
+/// Results of the distribution-quality test (Table V + Fig. 11).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributionRuns {
+    /// Scale name.
+    pub scale: String,
+    /// Passwords generated per model.
+    pub generated: usize,
+    /// `(model, length distance, pattern distance)`.
+    pub models: Vec<(String, f64, f64)>,
+    /// PagPassGPT distances at growing generation counts
+    /// `(n, length distance, pattern distance)` (Fig. 11).
+    pub pagpass_curve: Vec<(usize, f64, f64)>,
+}
+
+/// Computes (or loads) the distribution runs.
+#[must_use]
+pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
+    let key = format!("distribution-{}-s{}", ctx.scale.name, ctx.seed);
+    if let Some(cached) = load_json::<DistributionRuns>(&key) {
+        if cached.scale == ctx.scale.name {
+            eprintln!("[cache] loaded {key}");
+            return cached;
+        }
+    }
+    let site = Site::RockYou;
+    let split = ctx.split(site);
+    let n = ctx.scale.distribution_n;
+    let test = &split.test;
+    let mut models = Vec::new();
+
+    let measure = |name: &str, guesses: &[String], models: &mut Vec<(String, f64, f64)>| {
+        models.push((
+            name.to_owned(),
+            pagpass_eval::length_distance(guesses, test),
+            pagpass_eval::pattern_distance(guesses, test, 150),
+        ));
+    };
+
+    eprintln!("[dist] PassGAN x{n}");
+    measure("PassGAN", &ctx.gan_model(site).generate(n, ctx.seed ^ 21), &mut models);
+    eprintln!("[dist] VAEPass x{n}");
+    measure("VAEPass", &ctx.vae_model(site).generate(n, ctx.seed ^ 22), &mut models);
+    eprintln!("[dist] PassFlow x{n}");
+    measure("PassFlow", &ctx.flow_model(site).generate(n, ctx.seed ^ 23), &mut models);
+    eprintln!("[dist] PassGPT x{n}");
+    let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
+    measure("PassGPT", &passgpt.generate_free(n, 1.0, ctx.seed ^ 24), &mut models);
+    eprintln!("[dist] PagPassGPT x{n}");
+    let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
+    let pag_guesses = pagpass.generate_free(n, 1.0, ctx.seed ^ 25);
+    measure("PagPassGPT", &pag_guesses, &mut models);
+
+    // Fig. 11: distances over growing prefixes of the PagPassGPT stream.
+    let mut pagpass_curve = Vec::new();
+    let mut checkpoint = (n / 100).max(10);
+    while checkpoint <= n {
+        let prefix = &pag_guesses[..checkpoint];
+        pagpass_curve.push((
+            checkpoint,
+            pagpass_eval::length_distance(prefix, test),
+            pagpass_eval::pattern_distance(prefix, test, 150),
+        ));
+        checkpoint *= 10;
+    }
+
+    let runs = DistributionRuns { scale: ctx.scale.name.clone(), generated: n, models, pagpass_curve };
+    save_json(&key, &runs);
+    runs
+}

@@ -1,0 +1,359 @@
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pagpass_nn::Rng;
+use pagpass_patterns::{Pattern, PatternDistribution};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, ModelKind, PasswordModel};
+
+/// Configuration of a D&C-GEN run (paper Algorithm 1 plus the §III-C3
+/// optimizations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcGenConfig {
+    /// Total guess budget `N`.
+    pub total: u64,
+    /// Division threshold `T`: a subtask with a quota at or below this is
+    /// executed instead of split. The paper sets 4 000 for its GPU; pick
+    /// the batch size your hardware generates efficiently.
+    pub threshold: u64,
+    /// Sampling temperature inside leaf tasks.
+    pub temperature: f32,
+    /// RNG seed (exact reproducibility requires `workers == 1`).
+    pub seed: u64,
+    /// Optional cap on how many top patterns receive budget; probabilities
+    /// are renormalized over the kept set.
+    pub max_patterns: Option<usize>,
+    /// Ablation switch: allocate the budget uniformly across patterns
+    /// instead of by their empirical probability.
+    pub uniform_patterns: bool,
+    /// Concurrent task workers (paper optimization 3). With `1` the run is
+    /// fully deterministic.
+    pub workers: usize,
+}
+
+impl DcGenConfig {
+    /// A sensible CPU-scale default: `N` guesses with threshold 256,
+    /// single-worker for determinism.
+    #[must_use]
+    pub fn new(total: u64) -> DcGenConfig {
+        DcGenConfig {
+            total,
+            threshold: 256,
+            temperature: 1.0,
+            seed: 0,
+            max_patterns: None,
+            uniform_patterns: false,
+            workers: 1,
+        }
+    }
+}
+
+/// Outcome of a D&C-GEN run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DcGenReport {
+    /// Every generated password, leaf by leaf.
+    pub passwords: Vec<String>,
+    /// Number of leaf tasks executed.
+    pub leaf_tasks: usize,
+    /// Number of task expansions (model-guided divisions).
+    pub expansions: usize,
+    /// Subtasks dropped because their quota rounded below one password.
+    pub deleted_tasks: usize,
+    /// Patterns that received budget.
+    pub patterns_used: usize,
+}
+
+/// The D&C-GEN divide-and-conquer generator.
+///
+/// The guess budget is first divided across patterns by `Pr(P)` (capped at
+/// each pattern's search space — optimization 2), then recursively across
+/// next-character extensions using the model's conditional distribution,
+/// until a subtask's quota is at most [`DcGenConfig::threshold`]. Leaves
+/// sample their quota under the (pattern, prefix) constraint. Distinct
+/// subtasks are disjoint by construction — they differ in pattern or in
+/// prefix — so repeats can only arise *within* one leaf.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pagpassgpt::{DcGen, DcGenConfig, ModelKind, PasswordModel};
+/// use pagpass_patterns::PatternDistribution;
+///
+/// # fn demo(model: &PasswordModel, patterns: &PatternDistribution) {
+/// let report = DcGen::new(model, DcGenConfig::new(10_000)).run(patterns).unwrap();
+/// println!("{} passwords from {} leaves", report.passwords.len(), report.leaf_tasks);
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DcGen<'a> {
+    model: &'a PasswordModel,
+    config: DcGenConfig,
+}
+
+/// One pending subtask: a pattern index, a password prefix, and a quota.
+#[derive(Debug, Clone)]
+struct Task {
+    pattern_idx: usize,
+    prefix: String,
+    quota: f64,
+}
+
+impl<'a> DcGen<'a> {
+    /// Creates a generator borrowing a trained PagPassGPT model.
+    #[must_use]
+    pub fn new(model: &'a PasswordModel, config: DcGenConfig) -> DcGen<'a> {
+        DcGen { model, config }
+    }
+
+    /// Runs Algorithm 1 against the pattern prior `patterns` (normally the
+    /// training corpus's [`PatternDistribution`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WrongKind`] for PassGPT models — D&C-GEN relies
+    /// on pattern-conditioned prefixes, which only PagPassGPT offers.
+    pub fn run(&self, patterns: &PatternDistribution) -> Result<DcGenReport, CoreError> {
+        if self.model.kind() != ModelKind::PagPassGpt {
+            return Err(CoreError::WrongKind { expected: "PagPassGPT" });
+        }
+        let ranked = {
+            let mut ranked = patterns.ranked();
+            if let Some(cap) = self.config.max_patterns {
+                ranked.truncate(cap);
+            }
+            ranked
+        };
+        let mass: f64 = if self.config.uniform_patterns {
+            ranked.len() as f64
+        } else {
+            ranked.iter().map(|e| e.probability).sum()
+        };
+        let mut report = DcGenReport {
+            passwords: Vec::new(),
+            leaf_tasks: 0,
+            expansions: 0,
+            deleted_tasks: 0,
+            patterns_used: 0,
+        };
+        if ranked.is_empty() || mass <= 0.0 || self.config.total == 0 {
+            return Ok(report);
+        }
+
+        // Line 3: N_{P_i} = N · Pr(P_i), renormalized over the kept set and
+        // capped at the pattern's search space (optimization 2).
+        let mut initial: Vec<Task> = Vec::new();
+        let pattern_list: Vec<Pattern> = ranked.iter().map(|e| e.pattern.clone()).collect();
+        for (idx, entry) in ranked.iter().enumerate() {
+            let pr = if self.config.uniform_patterns { 1.0 } else { entry.probability };
+            let mut quota = self.config.total as f64 * pr / mass;
+            quota = quota.min(entry.pattern.search_space());
+            if quota < 1.0 {
+                report.deleted_tasks += 1;
+                continue;
+            }
+            report.patterns_used += 1;
+            initial.push(Task { pattern_idx: idx, prefix: String::new(), quota });
+        }
+
+        let threshold = self.config.threshold as f64;
+        let queue: Mutex<VecDeque<Task>> = Mutex::new(initial.into());
+        let pending = AtomicUsize::new(queue.lock().len());
+        let results: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let stats: Mutex<(usize, usize, usize)> = Mutex::new((0, 0, 0)); // leaves, expansions, deleted
+
+        let workers = self.config.workers.max(1);
+        crossbeam::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let pending = &pending;
+                let results = &results;
+                let stats = &stats;
+                let patterns = &pattern_list;
+                scope.spawn(move |_| {
+                    let mut rng = Rng::seed_from(self.config.seed.wrapping_add(w as u64 * 0x9e3779b9));
+                    loop {
+                        let task = queue.lock().pop_front();
+                        let Some(task) = task else {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        let pattern = &patterns[task.pattern_idx];
+                        if task.quota <= threshold
+                            || task.prefix.chars().count() == pattern.char_len()
+                        {
+                            // Leaf: execute (Algorithm 1, lines 5 & 13).
+                            let n = task.quota.round().max(1.0) as usize;
+                            let pwds = self.model.generate_leaf(
+                                pattern,
+                                &task.prefix,
+                                n,
+                                self.config.temperature,
+                                &mut rng,
+                            );
+                            results.lock().extend(pwds);
+                            stats.lock().0 += 1;
+                        } else {
+                            // Split on the next character (lines 15–20).
+                            let (ids, probs) =
+                                self.model.next_char_distribution(pattern, &task.prefix);
+                            let vocab = self.model.tokenizer().vocab();
+                            let mut children = Vec::new();
+                            let mut deleted = 0usize;
+                            for (&id, &p) in ids.iter().zip(&probs) {
+                                let child_quota = task.quota * p;
+                                if child_quota < 1.0 {
+                                    deleted += 1;
+                                    continue;
+                                }
+                                let ch = match vocab.token_of(id) {
+                                    Some(pagpass_tokenizer::Token::Char(c)) => c,
+                                    _ => continue,
+                                };
+                                let mut prefix = task.prefix.clone();
+                                prefix.push(ch);
+                                children.push(Task {
+                                    pattern_idx: task.pattern_idx,
+                                    prefix,
+                                    quota: child_quota,
+                                });
+                            }
+                            {
+                                let mut s = stats.lock();
+                                s.1 += 1;
+                                s.2 += deleted;
+                            }
+                            pending.fetch_add(children.len(), Ordering::SeqCst);
+                            queue.lock().extend(children);
+                        }
+                        pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+
+        let (leaves, expansions, deleted) = *stats.lock();
+        report.leaf_tasks = leaves;
+        report.expansions = expansions;
+        report.deleted_tasks += deleted;
+        report.passwords = results.into_inner();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagpass_nn::GptConfig;
+    use pagpass_tokenizer::VOCAB_SIZE;
+
+    fn tiny_model(kind: ModelKind) -> PasswordModel {
+        PasswordModel::new(
+            kind,
+            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            5,
+        )
+    }
+
+    fn simple_patterns() -> PatternDistribution {
+        PatternDistribution::from_passwords(
+            ["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied(),
+        )
+    }
+
+    #[test]
+    fn rejects_passgpt_models() {
+        let model = tiny_model(ModelKind::PassGpt);
+        let err = DcGen::new(&model, DcGenConfig::new(100)).run(&simple_patterns());
+        assert!(matches!(err, Err(CoreError::WrongKind { .. })));
+    }
+
+    #[test]
+    fn small_budget_executes_leaves_directly() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig { threshold: 1_000, ..DcGenConfig::new(100) };
+        let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert_eq!(report.expansions, 0, "all quotas are below the threshold");
+        assert!(report.leaf_tasks > 0);
+        assert!(!report.passwords.is_empty());
+        // Budget conservation up to rounding: within 2x of N.
+        let n = report.passwords.len() as u64;
+        assert!((50..=200).contains(&n), "generated {n} for budget 100");
+    }
+
+    #[test]
+    fn large_budget_forces_divisions() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig { threshold: 50, ..DcGenConfig::new(2_000) };
+        let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert!(report.expansions > 0, "quotas above T must split");
+    }
+
+    #[test]
+    fn all_outputs_conform_to_some_requested_pattern() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let patterns = simple_patterns();
+        let config = DcGenConfig { threshold: 64, ..DcGenConfig::new(500) };
+        let report = DcGen::new(&model, config).run(&patterns).unwrap();
+        let known: Vec<Pattern> = patterns.ranked().into_iter().map(|e| e.pattern).collect();
+        for pw in &report.passwords {
+            let p = Pattern::of_password(pw).unwrap();
+            assert!(known.contains(&p), "{pw} has unexpected pattern {p}");
+        }
+    }
+
+    #[test]
+    fn single_worker_is_deterministic() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig { threshold: 64, seed: 9, ..DcGenConfig::new(300) };
+        let a = DcGen::new(&model, config.clone()).run(&simple_patterns()).unwrap();
+        let b = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert_eq!(a.passwords, b.passwords);
+    }
+
+    #[test]
+    fn multi_worker_run_completes_with_same_volume() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let single = DcGenConfig { threshold: 64, workers: 1, ..DcGenConfig::new(400) };
+        let multi = DcGenConfig { threshold: 64, workers: 4, ..DcGenConfig::new(400) };
+        let a = DcGen::new(&model, single).run(&simple_patterns()).unwrap();
+        let b = DcGen::new(&model, multi).run(&simple_patterns()).unwrap();
+        assert_eq!(a.leaf_tasks, b.leaf_tasks, "task tree is schedule-independent");
+        assert_eq!(a.passwords.len(), b.passwords.len());
+    }
+
+    #[test]
+    fn search_space_cap_limits_small_patterns() {
+        // Pattern N1 admits only 10 passwords; a huge budget must be capped.
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let patterns = PatternDistribution::from_passwords(["7"].iter().copied());
+        let config = DcGenConfig { threshold: 1_000_000, ..DcGenConfig::new(100_000) };
+        let report = DcGen::new(&model, config).run(&patterns).unwrap();
+        assert!(report.passwords.len() <= 10 * 2, "cap at search space, got {}", report.passwords.len());
+    }
+
+    #[test]
+    fn zero_budget_and_empty_priors_are_harmless() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let empty = PatternDistribution::new();
+        let r1 = DcGen::new(&model, DcGenConfig::new(0)).run(&simple_patterns()).unwrap();
+        let r2 = DcGen::new(&model, DcGenConfig::new(100)).run(&empty).unwrap();
+        assert!(r1.passwords.is_empty());
+        assert!(r2.passwords.is_empty());
+    }
+
+    #[test]
+    fn max_patterns_caps_and_renormalizes() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig { max_patterns: Some(1), threshold: 1_000, ..DcGenConfig::new(100) };
+        let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert_eq!(report.patterns_used, 1);
+        // All budget flows to the one pattern.
+        assert!(report.passwords.len() >= 80);
+    }
+}

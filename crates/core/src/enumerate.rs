@@ -1,0 +1,269 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use pagpass_patterns::Pattern;
+use pagpass_tokenizer::{TokenId, Vocab};
+
+use crate::{ModelKind, PasswordModel};
+
+/// Result of a guided enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumerationReport {
+    /// Passwords in (approximately exact) descending model probability.
+    pub passwords: Vec<String>,
+    /// Natural-log probability of each password under the model.
+    pub log_probs: Vec<f64>,
+    /// Search nodes expanded (each costs one model forward pass).
+    pub expanded: usize,
+}
+
+impl PasswordModel {
+    /// Enumerates the `n` most probable passwords conforming to `pattern`,
+    /// in descending model probability — the GPT analogue of PCFG's
+    /// priority-order guessing and OMEN's level enumeration, and a
+    /// duplicate-free alternative to sampling for small-to-medium guess
+    /// counts.
+    ///
+    /// Best-first search over password prefixes: the frontier holds
+    /// partial passwords scored by their exact log-probability; expanding
+    /// one costs a single model evaluation restricted to the character
+    /// class the pattern demands next. Because extending a prefix can only
+    /// lower its probability, completed passwords pop in globally
+    /// descending order. `max_expansions` bounds the model-evaluation
+    /// budget (the search returns what it found when exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_expansions == 0`.
+    #[must_use]
+    pub fn enumerate_guided(
+        &self,
+        pattern: &Pattern,
+        n: usize,
+        max_expansions: usize,
+    ) -> EnumerationReport {
+        assert!(max_expansions > 0, "the expansion budget must be positive");
+        let vocab = self.tokenizer().vocab();
+        let total = pattern.char_len();
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        heap.push(Node { lp: 0.0, prefix: String::new() });
+        let mut report =
+            EnumerationReport { passwords: Vec::new(), log_probs: Vec::new(), expanded: 0 };
+
+        while let Some(node) = heap.pop() {
+            if report.passwords.len() >= n {
+                break;
+            }
+            if node.prefix.chars().count() == total {
+                report.log_probs.push(node.lp);
+                report.passwords.push(node.prefix);
+                continue;
+            }
+            if report.expanded >= max_expansions {
+                // Budget exhausted: keep draining completed nodes only.
+                continue;
+            }
+            report.expanded += 1;
+            let (ids, probs) = self.next_char_distribution(pattern, &node.prefix);
+            for (&id, &p) in ids.iter().zip(&probs) {
+                if p <= 0.0 {
+                    continue;
+                }
+                let Some(c) = char_of(vocab, id) else { continue };
+                let mut prefix = node.prefix.clone();
+                prefix.push(c);
+                heap.push(Node { lp: node.lp + p.ln(), prefix });
+            }
+        }
+        report
+    }
+
+    /// Enumerates the `n` most probable passwords under a PassGPT-style
+    /// free search (no pattern): children are all characters plus `<EOS>`.
+    /// Only meaningful for [`ModelKind::PassGpt`]; PagPassGPT enumerates
+    /// per pattern via [`enumerate_guided`](Self::enumerate_guided) (that
+    /// is exactly what D&C-GEN generalizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::WrongKind`] for PagPassGPT models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_expansions == 0`.
+    pub fn enumerate_free(
+        &self,
+        n: usize,
+        max_len: usize,
+        max_expansions: usize,
+    ) -> Result<EnumerationReport, crate::CoreError> {
+        assert!(max_expansions > 0, "the expansion budget must be positive");
+        if self.kind() != ModelKind::PassGpt {
+            return Err(crate::CoreError::WrongKind { expected: "PassGPT" });
+        }
+        let vocab = self.tokenizer().vocab();
+        let mut heap: BinaryHeap<FreeNode> = BinaryHeap::new();
+        heap.push(FreeNode { lp: 0.0, prefix: String::new(), complete: false });
+        let mut report =
+            EnumerationReport { passwords: Vec::new(), log_probs: Vec::new(), expanded: 0 };
+        while let Some(node) = heap.pop() {
+            if report.passwords.len() >= n {
+                break;
+            }
+            if node.complete {
+                report.log_probs.push(node.lp);
+                report.passwords.push(node.prefix);
+                continue;
+            }
+            if report.expanded >= max_expansions {
+                continue;
+            }
+            report.expanded += 1;
+            let mut rule = vec![Vocab::BOS];
+            for c in node.prefix.chars() {
+                rule.push(vocab.char_id(c).expect("enumerated chars are in the vocabulary"));
+            }
+            let logits = self.gpt().next_token_logits(&rule);
+            let mut probs = logits;
+            pagpass_nn::softmax_in_place(&mut probs);
+            // <EOS> completes the password.
+            if !node.prefix.is_empty() {
+                let p_end = f64::from(probs[Vocab::EOS as usize]);
+                if p_end > 0.0 {
+                    heap.push(FreeNode {
+                        lp: node.lp + p_end.ln(),
+                        prefix: node.prefix.clone(),
+                        complete: true,
+                    });
+                }
+            }
+            if node.prefix.chars().count() < max_len {
+                for (id, &p) in probs.iter().enumerate() {
+                    let Some(c) = char_of(vocab, id as TokenId) else { continue };
+                    let p = f64::from(p);
+                    if p > 1e-9 {
+                        let mut prefix = node.prefix.clone();
+                        prefix.push(c);
+                        heap.push(FreeNode { lp: node.lp + p.ln(), prefix, complete: false });
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn char_of(vocab: &pagpass_tokenizer::Vocab, id: TokenId) -> Option<char> {
+    match vocab.token_of(id) {
+        Some(pagpass_tokenizer::Token::Char(c)) => Some(c),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    lp: f64,
+    prefix: String,
+}
+
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Node) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Node) -> Ordering {
+        self.lp
+            .partial_cmp(&other.lp)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.prefix.cmp(&self.prefix))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FreeNode {
+    lp: f64,
+    prefix: String,
+    complete: bool,
+}
+
+impl Eq for FreeNode {}
+impl PartialOrd for FreeNode {
+    fn partial_cmp(&self, other: &FreeNode) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FreeNode {
+    fn cmp(&self, other: &FreeNode) -> Ordering {
+        self.lp
+            .partial_cmp(&other.lp)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.prefix.cmp(&self.prefix))
+            .then_with(|| self.complete.cmp(&other.complete))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainConfig;
+    use pagpass_nn::GptConfig;
+    use pagpass_tokenizer::VOCAB_SIZE;
+
+    fn tiny(kind: ModelKind) -> PasswordModel {
+        PasswordModel::new(
+            kind,
+            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            7,
+        )
+    }
+
+    #[test]
+    fn guided_enumeration_is_descending_unique_and_conforming() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "N2".parse().unwrap();
+        let report = model.enumerate_guided(&pattern, 100, 10_000);
+        // N2 admits exactly 100 passwords.
+        assert_eq!(report.passwords.len(), 100);
+        assert!(report.log_probs.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        let unique: std::collections::HashSet<&String> = report.passwords.iter().collect();
+        assert_eq!(unique.len(), 100);
+        for pw in &report.passwords {
+            assert!(pattern.matches(pw));
+        }
+    }
+
+    #[test]
+    fn guided_enumeration_respects_the_expansion_budget() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L4".parse().unwrap();
+        let report = model.enumerate_guided(&pattern, 1_000, 20);
+        assert!(report.expanded <= 20);
+        assert!(report.passwords.len() < 1_000);
+    }
+
+    #[test]
+    fn guided_enumeration_tracks_training() {
+        let corpus: Vec<String> = std::iter::repeat_n("77".to_owned(), 60).collect();
+        let mut model = tiny(ModelKind::PagPassGpt);
+        model.train(&corpus, &[], &TrainConfig { epochs: 8, ..TrainConfig::quick() });
+        let pattern: Pattern = "N2".parse().unwrap();
+        let report = model.enumerate_guided(&pattern, 3, 10_000);
+        assert_eq!(report.passwords[0], "77", "the memorized password enumerates first");
+    }
+
+    #[test]
+    fn free_enumeration_requires_passgpt() {
+        let pag = tiny(ModelKind::PagPassGpt);
+        assert!(matches!(
+            pag.enumerate_free(5, 8, 100),
+            Err(crate::CoreError::WrongKind { .. })
+        ));
+        let pass = tiny(ModelKind::PassGpt);
+        let report = pass.enumerate_free(5, 6, 5_000).unwrap();
+        assert!(report.log_probs.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        let unique: std::collections::HashSet<&String> = report.passwords.iter().collect();
+        assert_eq!(unique.len(), report.passwords.len());
+    }
+}

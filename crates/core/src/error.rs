@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+use pagpass_tokenizer::TokenizeError;
+
+/// Errors surfaced by model training and generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Encoding a training password failed.
+    Tokenize(TokenizeError),
+    /// The training corpus was empty after encoding.
+    EmptyCorpus,
+    /// Weight persistence failed.
+    Io(std::io::Error),
+    /// A stored model could not be loaded.
+    Load(pagpass_nn::LoadError),
+    /// An operation requiring a specific model kind was invoked on the
+    /// other (e.g. D&C-GEN on a PassGPT model).
+    WrongKind {
+        /// The kind the operation requires.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tokenize(e) => write!(f, "tokenization failed: {e}"),
+            CoreError::EmptyCorpus => write!(f, "training corpus is empty after encoding"),
+            CoreError::Io(e) => write!(f, "i/o error: {e}"),
+            CoreError::Load(e) => write!(f, "model load failed: {e}"),
+            CoreError::WrongKind { expected } => {
+                write!(f, "operation requires a {expected} model")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tokenize(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            CoreError::Load(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TokenizeError> for CoreError {
+    fn from(e: TokenizeError) -> CoreError {
+        CoreError::Tokenize(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> CoreError {
+        CoreError::Io(e)
+    }
+}
+
+impl From<pagpass_nn::LoadError> for CoreError {
+    fn from(e: pagpass_nn::LoadError) -> CoreError {
+        CoreError::Load(e)
+    }
+}

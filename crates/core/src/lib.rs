@@ -1,0 +1,57 @@
+//! PagPassGPT and PassGPT: pattern-guided password guessing via GPT, plus
+//! the D&C-GEN divide-and-conquer generation algorithm.
+//!
+//! This is the reproduction of the primary contribution of *PagPassGPT:
+//! Pattern Guided Password Guessing via Generative Pretrained Transformer*
+//! (DSN 2024). Two models share one GPT-2-style backbone from
+//! [`pagpass_nn`]:
+//!
+//! * **PassGPT** (the state-of-the-art baseline, Rando et al. 2023) — a
+//!   character-level LM over rules `<BOS> password <EOS>`. Guided
+//!   generation *filters* candidate tokens to the character class the
+//!   pattern demands at each position, which truncates words (paper
+//!   Table III).
+//! * **PagPassGPT** (the paper's model) — an LM over rules
+//!   `<BOS> pattern <SEP> password <EOS>`. The pattern acts as *background
+//!   knowledge*: guided generation primes the model with
+//!   `<BOS> pattern <SEP>` and lets it complete the password with the
+//!   pattern in context (Eq. 1), so both the pattern and the model's
+//!   language knowledge shape every token.
+//!
+//! [`DcGen`] implements Algorithm 1: the guess budget is split across
+//! patterns by their empirical prior, then recursively across next-token
+//! extensions until each subtask's quota falls below a threshold; leaf
+//! subtasks sample passwords under their (pattern, prefix) constraint.
+//! Because subtasks are disjoint by construction, duplicates can only occur
+//! inside a single leaf, which is what collapses the repeat rate (paper
+//! Fig. 10).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pagpassgpt::{ModelKind, PasswordModel, TrainConfig};
+//!
+//! let passwords: Vec<String> = vec!["hello123".into(), "Pass123$".into()];
+//! let mut model = PasswordModel::new(
+//!     ModelKind::PagPassGpt,
+//!     pagpass_nn::GptConfig::small(pagpass_tokenizer::VOCAB_SIZE),
+//!     7,
+//! );
+//! model.train(&passwords, &[], &TrainConfig::quick());
+//! let pattern = "L5N3".parse().unwrap();
+//! let guesses = model.generate_guided(&pattern, 100, 1.0, 42);
+//! assert_eq!(guesses.len(), 100);
+//! ```
+
+mod dcgen;
+mod enumerate;
+mod error;
+mod generate;
+mod model;
+mod trainer;
+
+pub use dcgen::{DcGen, DcGenConfig, DcGenReport};
+pub use enumerate::EnumerationReport;
+pub use error::CoreError;
+pub use model::{ModelKind, PasswordModel};
+pub use trainer::{TrainConfig, TrainingReport};

@@ -1,0 +1,254 @@
+use pagpass_nn::{AdamW, Gpt, LrSchedule, Rng};
+use pagpass_tokenizer::{TokenId, Vocab};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+///
+/// The paper trains with batch size 512 for 30 epochs, AdamW at 5e-5, on
+/// four RTX 3080s. [`TrainConfig::default`] keeps the optimizer family and
+/// schedule but scales batch count and size for single-core CPU runs;
+/// [`TrainConfig::paper`] records the paper's numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Sequences per optimization step.
+    pub batch_size: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Warmup steps before the peak (cosine decay after).
+    pub warmup_steps: u64,
+    /// Shuffling/initialization seed.
+    pub seed: u64,
+    /// Optional cap on batches per epoch (subsampling for quick runs).
+    pub max_batches_per_epoch: Option<usize>,
+    /// Optional global gradient-norm clip (standard transformer
+    /// stabilization; `None` disables).
+    pub grad_clip: Option<f32>,
+    /// Print progress every this many steps (0 = silent).
+    pub log_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            lr: 3e-3,
+            warmup_steps: 50,
+            seed: 1337,
+            max_batches_per_epoch: None,
+            grad_clip: Some(1.0),
+            log_every: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's configuration (§IV-B1). Only practical with GPUs; kept
+    /// for documentation and scaling experiments.
+    #[must_use]
+    pub fn paper() -> TrainConfig {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 512,
+            lr: 5e-5,
+            warmup_steps: 0,
+            seed: 1337,
+            max_batches_per_epoch: None,
+            grad_clip: None,
+            log_every: 100,
+        }
+    }
+
+    /// A fast configuration for unit tests.
+    #[must_use]
+    pub fn quick() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 3e-3,
+            warmup_steps: 5,
+            seed: 7,
+            max_batches_per_epoch: Some(8),
+            grad_clip: Some(1.0),
+            log_every: 0,
+        }
+    }
+}
+
+/// Loss history of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation loss per epoch (empty when no validation set given).
+    pub val_losses: Vec<f32>,
+    /// Total optimization steps.
+    pub steps: u64,
+    /// Total non-padding target tokens consumed.
+    pub tokens_seen: u64,
+}
+
+/// Trains `gpt` on pre-encoded rules.
+///
+/// Rules are shuffled each epoch, grouped into batches, and padded to the
+/// longest rule in the batch with `<PAD>` (which the loss ignores).
+pub(crate) fn run_training(
+    gpt: &mut Gpt,
+    train_rules: &[Vec<TokenId>],
+    val_rules: &[Vec<TokenId>],
+    config: &TrainConfig,
+) -> TrainingReport {
+    let mut report =
+        TrainingReport { epoch_losses: Vec::new(), val_losses: Vec::new(), steps: 0, tokens_seen: 0 };
+    if train_rules.is_empty() {
+        return report;
+    }
+    let ctx = gpt.config().ctx_len;
+    let mut rng = Rng::seed_from(config.seed);
+    let mut opt = AdamW::new(config.lr);
+    let batches_per_epoch = {
+        let full = train_rules.len().div_ceil(config.batch_size);
+        config.max_batches_per_epoch.map_or(full, |cap| cap.min(full))
+    };
+    let total_steps = (batches_per_epoch * config.epochs) as u64;
+    let schedule = LrSchedule::warmup_cosine(config.lr, config.warmup_steps, total_steps.max(1));
+
+    let mut order: Vec<usize> = (0..train_rules.len()).collect();
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_batches = 0usize;
+        for chunk in order.chunks(config.batch_size).take(batches_per_epoch) {
+            let (tokens, b, t, targets) = pad_batch(train_rules, chunk, ctx);
+            opt.lr = schedule.lr_at(report.steps);
+            let loss = gpt.compute_grads(&tokens, b, t, Some(Vocab::PAD));
+            if let Some(max_norm) = config.grad_clip {
+                let _ = gpt.clip_grad_norm(max_norm);
+            }
+            opt.begin_step();
+            gpt.visit_params(&mut |p| opt.update(p));
+            report.steps += 1;
+            report.tokens_seen += targets;
+            epoch_loss += f64::from(loss);
+            epoch_batches += 1;
+            if config.log_every > 0 && report.steps.is_multiple_of(config.log_every as u64) {
+                eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", report.steps, opt.lr);
+            }
+        }
+        report.epoch_losses.push((epoch_loss / epoch_batches.max(1) as f64) as f32);
+        if !val_rules.is_empty() {
+            report.val_losses.push(validation_loss(gpt, val_rules, config.batch_size));
+        }
+    }
+    report
+}
+
+/// Mean loss over a held-out set (no parameter updates).
+pub(crate) fn validation_loss(gpt: &mut Gpt, rules: &[Vec<TokenId>], batch_size: usize) -> f32 {
+    let ctx = gpt.config().ctx_len;
+    let order: Vec<usize> = (0..rules.len()).collect();
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    for chunk in order.chunks(batch_size) {
+        let (tokens, b, t, _) = pad_batch(rules, chunk, ctx);
+        total += f64::from(gpt.eval_loss(&tokens, b, t, Some(Vocab::PAD)));
+        batches += 1;
+    }
+    (total / batches.max(1) as f64) as f32
+}
+
+/// Pads the selected rules to a common length (the longest in the batch,
+/// clamped to the context window). Returns `(tokens, b, t, target_count)`.
+fn pad_batch(
+    rules: &[Vec<TokenId>],
+    chunk: &[usize],
+    ctx: usize,
+) -> (Vec<TokenId>, usize, usize, u64) {
+    let t = chunk.iter().map(|&i| rules[i].len()).max().unwrap_or(1).min(ctx);
+    let b = chunk.len();
+    let mut tokens = vec![Vocab::PAD; b * t];
+    let mut targets = 0u64;
+    for (row, &i) in chunk.iter().enumerate() {
+        let rule = &rules[i];
+        let len = rule.len().min(t);
+        tokens[row * t..row * t + len].copy_from_slice(&rule[..len]);
+        targets += len.saturating_sub(1) as u64;
+    }
+    (tokens, b, t, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagpass_nn::GptConfig;
+    use pagpass_tokenizer::{Tokenizer, VOCAB_SIZE};
+
+    fn tiny_gpt() -> Gpt {
+        Gpt::new(
+            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            &mut Rng::seed_from(11),
+        )
+    }
+
+    fn encode_all(pwds: &[&str]) -> Vec<Vec<TokenId>> {
+        let tok = Tokenizer::new();
+        pwds.iter().map(|p| tok.encode_training(p).unwrap()).collect()
+    }
+
+    #[test]
+    fn loss_decreases_on_a_small_corpus() {
+        let rules = encode_all(&["abc123", "dog456", "cat789", "sun111", "ice222", "fox333"]);
+        let mut gpt = tiny_gpt();
+        let config = TrainConfig { epochs: 6, batch_size: 6, lr: 3e-3, ..TrainConfig::default() };
+        let report = run_training(&mut gpt, &rules, &rules, &config);
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert_eq!(report.val_losses.len(), 6);
+        assert!(report.epoch_losses[5] < report.epoch_losses[0]);
+        assert!(report.steps == 6);
+        assert!(report.tokens_seen > 0);
+    }
+
+    #[test]
+    fn empty_corpus_returns_empty_report() {
+        let mut gpt = tiny_gpt();
+        let report = run_training(&mut gpt, &[], &[], &TrainConfig::quick());
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn pad_batch_shapes_and_target_count() {
+        let rules = encode_all(&["ab1", "abcdef99"]);
+        let (tokens, b, t, targets) = pad_batch(&rules, &[0, 1], 32);
+        assert_eq!(b, 2);
+        assert_eq!(t, rules[1].len());
+        assert_eq!(tokens.len(), b * t);
+        assert_eq!(targets, (rules[0].len() - 1 + rules[1].len() - 1) as u64);
+        // Row 0 is padded after its rule.
+        assert_eq!(tokens[rules[0].len()..t], vec![Vocab::PAD; t - rules[0].len()]);
+    }
+
+    #[test]
+    fn max_batches_cap_subsamples() {
+        let rules = encode_all(&["abc123"; 100]);
+        let mut gpt = tiny_gpt();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            max_batches_per_epoch: Some(3),
+            ..TrainConfig::default()
+        };
+        let report = run_training(&mut gpt, &rules, &[], &config);
+        assert_eq!(report.steps, 6);
+    }
+
+    #[test]
+    fn configs_have_paper_values() {
+        let paper = TrainConfig::paper();
+        assert_eq!(paper.epochs, 30);
+        assert_eq!(paper.batch_size, 512);
+        assert!((paper.lr - 5e-5).abs() < 1e-9);
+    }
+}

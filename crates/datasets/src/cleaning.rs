@@ -1,0 +1,146 @@
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the paper's data-cleaning step (§IV-A1).
+///
+/// Cleaning keeps passwords of 4–12 characters made solely of printable
+/// ASCII excluding space, and removes duplicates. `retained` preserves
+/// first-occurrence order so downstream splits are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanReport {
+    /// Unique, policy-conforming passwords in first-seen order.
+    pub retained: Vec<String>,
+    /// Number of raw entries seen.
+    pub raw_total: usize,
+    /// Number of *unique* raw entries (the paper's "Unique" column).
+    pub unique_total: usize,
+    /// Unique entries dropped for length (outside 4..=12 chars).
+    pub dropped_length: usize,
+    /// Unique entries dropped for character set (non-ASCII, space, control).
+    pub dropped_charset: usize,
+}
+
+impl CleanReport {
+    /// The paper's "Retention rate": cleaned / unique.
+    #[must_use]
+    pub fn retention_rate(&self) -> f64 {
+        if self.unique_total == 0 {
+            return 0.0;
+        }
+        self.retained.len() as f64 / self.unique_total as f64
+    }
+}
+
+/// Applies the paper's cleaning rules to a raw leak.
+///
+/// * duplicate entries are removed (first occurrence wins),
+/// * lengths outside 4–12 characters are dropped,
+/// * entries with non-ASCII, invisible, or space characters are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_datasets::clean;
+///
+/// let report = clean(vec![
+///     "abc123".to_owned(),
+///     "abc123".to_owned(),      // duplicate
+///     "ab".to_owned(),          // too short
+///     "caf\u{e9}pass".to_owned(), // non-ASCII
+/// ]);
+/// assert_eq!(report.retained, vec!["abc123".to_owned()]);
+/// assert_eq!(report.unique_total, 3);
+/// assert_eq!(report.dropped_length, 1);
+/// assert_eq!(report.dropped_charset, 1);
+/// ```
+#[must_use]
+pub fn clean(raw: Vec<String>) -> CleanReport {
+    let raw_total = raw.len();
+    let mut seen: HashSet<String> = HashSet::with_capacity(raw.len());
+    let mut retained = Vec::new();
+    let mut dropped_length = 0usize;
+    let mut dropped_charset = 0usize;
+    for pw in raw {
+        if !seen.insert(pw.clone()) {
+            continue;
+        }
+        let len = pw.chars().count();
+        if !pw.chars().all(|c| c.is_ascii_graphic()) {
+            dropped_charset += 1;
+        } else if !(4..=12).contains(&len) {
+            dropped_length += 1;
+        } else {
+            retained.push(pw);
+        }
+    }
+    CleanReport {
+        raw_total,
+        unique_total: seen.len(),
+        retained,
+        dropped_length,
+        dropped_charset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_4_to_12_printable_ascii() {
+        let report = clean(vec![
+            "good1234".into(),
+            "abc".into(),                 // 3 chars
+            "abcd".into(),                // boundary ok
+            "abcdefghijkl".into(),        // 12 ok
+            "abcdefghijklm".into(),       // 13 no
+            "with space1".into(),         // space
+            "tab\there".into(),           // control
+            "\u{30d1}\u{30b9}\u{30ef}\u{30fc}\u{30c9}".into(), // non-ASCII
+        ]);
+        assert_eq!(
+            report.retained,
+            vec!["good1234".to_owned(), "abcd".to_owned(), "abcdefghijkl".to_owned()]
+        );
+        assert_eq!(report.dropped_length, 2);
+        assert_eq!(report.dropped_charset, 3);
+    }
+
+    #[test]
+    fn deduplicates_before_counting() {
+        let report = clean(vec!["same1234".into(); 10]);
+        assert_eq!(report.raw_total, 10);
+        assert_eq!(report.unique_total, 1);
+        assert_eq!(report.retained.len(), 1);
+        assert_eq!(report.retention_rate(), 1.0);
+    }
+
+    #[test]
+    fn preserves_first_seen_order() {
+        let report = clean(vec!["bbbb".into(), "aaaa".into(), "bbbb".into(), "cccc".into()]);
+        assert_eq!(report.retained, vec!["bbbb", "aaaa", "cccc"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let report = clean(vec![]);
+        assert_eq!(report.retention_rate(), 0.0);
+        assert!(report.retained.is_empty());
+    }
+
+    #[test]
+    fn synthetic_leak_retention_is_site_appropriate() {
+        use crate::SiteProfile;
+        // Paper Table II retention: RockYou 92.5%, LinkedIn 82.2%,
+        // phpBB 98.4%, MySpace 98.0%, Yahoo! 98.5%. Our profiles should
+        // land in the same ordering regime.
+        let ret = |p: SiteProfile| clean(p.generate(20_000, 11)).retention_rate();
+        let rocky = ret(SiteProfile::rockyou());
+        let linked = ret(SiteProfile::linkedin());
+        let phpbb = ret(SiteProfile::phpbb());
+        assert!(linked < rocky, "LinkedIn {linked} should retain less than RockYou {rocky}");
+        assert!(rocky < phpbb, "RockYou {rocky} should retain less than phpBB {phpbb}");
+        assert!(phpbb > 0.9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic password-leak corpora for the PagPassGPT reproduction.
+//!
+//! The paper evaluates on five real leaked datasets (RockYou, LinkedIn,
+//! phpBB, MySpace, Yahoo!). Real breach data cannot be redistributed, so
+//! this crate builds *synthetic leaks* that preserve the statistical
+//! properties the paper's results rest on:
+//!
+//! * **heavy-tailed reuse** — password frequencies follow a Zipf-like law,
+//!   so popular passwords appear many times before deduplication;
+//! * **convergent pattern choice** — most passwords are made of meaningful
+//!   word/name roots plus digit and special-character decorations, so the
+//!   top PCFG patterns (`L6N2`, `L8`, `N6`, …) dominate across sites, as the
+//!   paper observes;
+//! * **site-specific flavor** — each site profile perturbs the recipe
+//!   mixture (more digits on one site, more leetspeak on another), which is
+//!   what makes the cross-site attack test (Table VI) non-trivial.
+//!
+//! The crate also implements the paper's data-cleaning rules (§IV-A1):
+//! keep lengths 4–12, drop non-ASCII and invisible characters, deduplicate —
+//! and the 7:1:2 train/validation/test split (§IV-A2).
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_datasets::{SiteProfile, clean, split_passwords, SplitRatios};
+//!
+//! let raw = SiteProfile::rockyou().generate(1_000, 42);
+//! let report = clean(raw);
+//! assert!(report.retention_rate() > 0.5);
+//! let split = split_passwords(report.retained, SplitRatios::PAPER, 7);
+//! assert!(split.train.len() > split.test.len());
+//! ```
+
+mod cleaning;
+mod splits;
+mod stats;
+mod synth;
+pub mod words;
+
+pub use cleaning::{clean, CleanReport};
+pub use splits::{split_passwords, Split, SplitRatios};
+pub use stats::CorpusStats;
+pub use synth::{Site, SiteProfile};

@@ -1,0 +1,158 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Ratios of a train/validation/test split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatios {
+    /// Fraction of the corpus used for training.
+    pub train: f64,
+    /// Fraction used for validation.
+    pub validation: f64,
+    /// Fraction used for testing (the attack target set).
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// The paper's 7:1:2 split (§IV-A2).
+    pub const PAPER: SplitRatios = SplitRatios { train: 0.7, validation: 0.1, test: 0.2 };
+
+    /// Validates that the ratios are positive and sum to 1 (±1e-9).
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self.train > 0.0
+            && self.validation >= 0.0
+            && self.test > 0.0
+            && (self.train + self.validation + self.test - 1.0).abs() < 1e-9
+    }
+}
+
+/// A deterministic train/validation/test partition of unique passwords.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training set (model fitting).
+    pub train: Vec<String>,
+    /// Validation set (early stopping / tuning).
+    pub validation: Vec<String>,
+    /// Test set (the passwords the attack tries to hit).
+    pub test: Vec<String>,
+}
+
+impl Split {
+    /// Total number of passwords across the three parts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+
+    /// Whether all three parts are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Shuffles `passwords` with `seed` and splits by `ratios`.
+///
+/// The inputs are expected to be unique (run [`clean`](crate::clean) first);
+/// the three parts are then disjoint as sets, which the paper's hit-rate
+/// definition relies on ("training sets that do not contain any passwords
+/// from the test set").
+///
+/// # Panics
+///
+/// Panics if `ratios` is not [valid](SplitRatios::is_valid).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_datasets::{split_passwords, SplitRatios};
+///
+/// let pwds: Vec<String> = (0..100).map(|i| format!("pw{i:04}")).collect();
+/// let split = split_passwords(pwds, SplitRatios::PAPER, 42);
+/// assert_eq!(split.train.len(), 70);
+/// assert_eq!(split.validation.len(), 10);
+/// assert_eq!(split.test.len(), 20);
+/// ```
+#[must_use]
+pub fn split_passwords(mut passwords: Vec<String>, ratios: SplitRatios, seed: u64) -> Split {
+    assert!(ratios.is_valid(), "split ratios must be positive and sum to 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    passwords.shuffle(&mut rng);
+    let n = passwords.len();
+    let n_train = (n as f64 * ratios.train).round() as usize;
+    let n_val = (n as f64 * ratios.validation).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+    let test = passwords.split_off(n_train + n_val);
+    let validation = passwords.split_off(n_train);
+    Split { train: passwords, validation, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn corpus(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("pw{i:05}")).collect()
+    }
+
+    #[test]
+    fn paper_ratios_are_7_1_2() {
+        let split = split_passwords(corpus(1000), SplitRatios::PAPER, 0);
+        assert_eq!(split.train.len(), 700);
+        assert_eq!(split.validation.len(), 100);
+        assert_eq!(split.test.len(), 200);
+        assert_eq!(split.len(), 1000);
+    }
+
+    #[test]
+    fn parts_are_disjoint_and_cover() {
+        let split = split_passwords(corpus(503), SplitRatios::PAPER, 9);
+        let train: HashSet<_> = split.train.iter().collect();
+        let val: HashSet<_> = split.validation.iter().collect();
+        let test: HashSet<_> = split.test.iter().collect();
+        assert!(train.is_disjoint(&val));
+        assert!(train.is_disjoint(&test));
+        assert!(val.is_disjoint(&test));
+        assert_eq!(train.len() + val.len() + test.len(), 503);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = split_passwords(corpus(100), SplitRatios::PAPER, 5);
+        let b = split_passwords(corpus(100), SplitRatios::PAPER, 5);
+        let c = split_passwords(corpus(100), SplitRatios::PAPER, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shuffle_actually_shuffles() {
+        let split = split_passwords(corpus(100), SplitRatios::PAPER, 5);
+        assert_ne!(split.train, corpus(100)[..70].to_vec());
+    }
+
+    #[test]
+    fn tiny_corpora_do_not_panic() {
+        for n in 0..5 {
+            let split = split_passwords(corpus(n), SplitRatios::PAPER, 1);
+            assert_eq!(split.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "split ratios")]
+    fn invalid_ratios_panic() {
+        let bad = SplitRatios { train: 0.5, validation: 0.1, test: 0.1 };
+        let _ = split_passwords(corpus(10), bad, 0);
+    }
+
+    #[test]
+    fn ratio_validity() {
+        assert!(SplitRatios::PAPER.is_valid());
+        assert!(!SplitRatios { train: 0.0, validation: 0.5, test: 0.5 }.is_valid());
+    }
+}

@@ -1,0 +1,120 @@
+use pagpass_patterns::PatternDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a cleaned corpus.
+///
+/// Reproduces the *format* of the paper's Table II (unique / cleaned /
+/// retention) plus the length histogram and pattern distribution used by
+/// later experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Site or corpus name.
+    pub name: String,
+    /// Unique raw entries before cleaning.
+    pub unique: usize,
+    /// Passwords surviving cleaning.
+    pub cleaned: usize,
+    /// `cleaned / unique`.
+    pub retention_rate: f64,
+    /// Count of passwords by character length, indexed 0..=12 (index 0
+    /// unused; lengths outside 4..=12 cannot occur after cleaning).
+    pub length_histogram: Vec<usize>,
+    /// Empirical PCFG pattern distribution of the cleaned corpus.
+    pub patterns: PatternDistribution,
+}
+
+impl CorpusStats {
+    /// Computes statistics for a cleaned corpus.
+    ///
+    /// `unique` is the pre-cleaning unique count (from
+    /// [`CleanReport`](crate::CleanReport)); pass `cleaned.len()` if the
+    /// corpus was born clean.
+    #[must_use]
+    pub fn compute(name: &str, unique: usize, cleaned: &[String]) -> CorpusStats {
+        let mut length_histogram = vec![0usize; 13];
+        for pw in cleaned {
+            let len = pw.chars().count().min(12);
+            length_histogram[len] += 1;
+        }
+        let patterns = PatternDistribution::from_passwords(cleaned.iter().map(String::as_str));
+        CorpusStats {
+            name: name.to_owned(),
+            unique,
+            cleaned: cleaned.len(),
+            retention_rate: if unique == 0 { 0.0 } else { cleaned.len() as f64 / unique as f64 },
+            length_histogram,
+            patterns,
+        }
+    }
+
+    /// Probability of each length 4..=12, normalized over the corpus.
+    ///
+    /// This is the `Pr(L_i)` vector of the paper's length-distance metric
+    /// (Eq. 6).
+    #[must_use]
+    pub fn length_probabilities(&self) -> [f64; 9] {
+        let total: usize = self.length_histogram.iter().sum();
+        let mut probs = [0.0f64; 9];
+        if total == 0 {
+            return probs;
+        }
+        for (i, p) in probs.iter_mut().enumerate() {
+            *p = self.length_histogram[i + 4] as f64 / total as f64;
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clean, SiteProfile};
+
+    #[test]
+    fn stats_of_a_small_corpus() {
+        let corpus = vec!["abc123".to_owned(), "defg5678".to_owned(), "hij!".to_owned()];
+        let stats = CorpusStats::compute("test", 4, &corpus);
+        assert_eq!(stats.cleaned, 3);
+        assert_eq!(stats.unique, 4);
+        assert!((stats.retention_rate - 0.75).abs() < 1e-12);
+        assert_eq!(stats.length_histogram[6], 1);
+        assert_eq!(stats.length_histogram[8], 1);
+        assert_eq!(stats.length_histogram[4], 1);
+        assert_eq!(stats.patterns.total(), 3);
+    }
+
+    #[test]
+    fn length_probabilities_normalize() {
+        let corpus: Vec<String> = (0..50).map(|i| format!("pass{i:04}")).collect();
+        let stats = CorpusStats::compute("t", 50, &corpus);
+        let probs = stats.length_probabilities();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(probs[4], 1.0); // all length 8
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let stats = CorpusStats::compute("empty", 0, &[]);
+        assert_eq!(stats.retention_rate, 0.0);
+        assert_eq!(stats.length_probabilities().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn top_patterns_converge_across_sites() {
+        // The paper's motivation: top patterns are consistent across
+        // datasets. Check our synthetic sites share most of their top-10.
+        let top = |p: SiteProfile| -> Vec<String> {
+            let cleaned = clean(p.generate(20_000, 21)).retained;
+            CorpusStats::compute("x", cleaned.len(), &cleaned)
+                .patterns
+                .top(10)
+                .into_iter()
+                .map(|e| e.pattern.to_string())
+                .collect()
+        };
+        let a = top(SiteProfile::rockyou());
+        let b = top(SiteProfile::linkedin());
+        let shared = a.iter().filter(|p| b.contains(p)).count();
+        assert!(shared >= 6, "top-10 patterns should largely agree, shared {shared}: {a:?} vs {b:?}");
+    }
+}

@@ -1,0 +1,473 @@
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::words;
+
+/// The five leak sites of the paper's evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// RockYou-like: consumer site, playful passwords, heavy digit suffixes.
+    RockYou,
+    /// LinkedIn-like: professional site, more "policy-compliant" passwords.
+    LinkedIn,
+    /// phpBB-like: forum, short techie passwords, keyboard walks.
+    PhpBb,
+    /// MySpace-like: early social network; the real leak was phished via a
+    /// form that encouraged letters+digit endings.
+    MySpace,
+    /// Yahoo!-like: webmail, mixed population.
+    Yahoo,
+}
+
+impl Site {
+    /// All sites in the paper's Table II order.
+    pub const ALL: [Site; 5] = [Site::RockYou, Site::LinkedIn, Site::PhpBb, Site::MySpace, Site::Yahoo];
+
+    /// Human-readable name matching the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::RockYou => "RockYou",
+            Site::LinkedIn => "LinkedIn",
+            Site::PhpBb => "phpBB",
+            Site::MySpace => "MySpace",
+            Site::Yahoo => "Yahoo!",
+        }
+    }
+
+    /// The generator profile for this site.
+    #[must_use]
+    pub fn profile(self) -> SiteProfile {
+        match self {
+            Site::RockYou => SiteProfile::rockyou(),
+            Site::LinkedIn => SiteProfile::linkedin(),
+            Site::PhpBb => SiteProfile::phpbb(),
+            Site::MySpace => SiteProfile::myspace(),
+            Site::Yahoo => SiteProfile::yahoo(),
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Recipe mixture describing how one site's users build passwords.
+///
+/// Weights are relative (they need not sum to 1); each generated password
+/// picks a recipe from the mixture and decorates a Zipf-sampled root.
+/// The fields correspond to habits documented in the password literature
+/// the paper cites (meaningful words, digit suffixes, capitalization,
+/// leetspeak, years).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// Display name of the site.
+    pub name: String,
+    /// Weight of "word only" recipes (pattern `L*`).
+    pub w_word: f64,
+    /// Weight of "word + digits" recipes (`L*N*`), the dominant leak shape.
+    pub w_word_digits: f64,
+    /// Weight of "digits only" (`N*`).
+    pub w_digits: f64,
+    /// Weight of "word + special + digits" (`L*S*N*`).
+    pub w_word_special_digits: f64,
+    /// Weight of "word + digits + special" (`L*N*S*`).
+    pub w_word_digits_special: f64,
+    /// Weight of "two words" (`L*`), concatenated roots.
+    pub w_two_words: f64,
+    /// Weight of "name + year" (`L*N2`/`L*N4`).
+    pub w_name_year: f64,
+    /// Weight of keyboard walks.
+    pub w_walk: f64,
+    /// Probability that the leading letter is capitalized.
+    pub cap_rate: f64,
+    /// Probability of applying a leet substitution to the root (a→4, e→3…).
+    pub leet_rate: f64,
+    /// Zipf exponent for root selection (larger ⇒ heavier head).
+    pub zipf_s: f64,
+    /// Zipf exponent for whole-password reuse (larger ⇒ more duplicates in
+    /// the raw leak).
+    pub reuse_s: f64,
+    /// Number of "very popular" passwords that the reuse law cycles over.
+    pub reuse_pool: usize,
+    /// Probability that a raw entry is noise that cleaning should drop
+    /// (too short, too long, or containing out-of-alphabet characters).
+    pub noise_rate: f64,
+}
+
+impl SiteProfile {
+    /// RockYou-like profile: playful, digit-suffix heavy, some noise.
+    #[must_use]
+    pub fn rockyou() -> SiteProfile {
+        SiteProfile {
+            name: "RockYou".to_owned(),
+            w_word: 0.22,
+            w_word_digits: 0.34,
+            w_digits: 0.16,
+            w_word_special_digits: 0.04,
+            w_word_digits_special: 0.05,
+            w_two_words: 0.06,
+            w_name_year: 0.08,
+            w_walk: 0.05,
+            cap_rate: 0.12,
+            leet_rate: 0.05,
+            zipf_s: 1.05,
+            reuse_s: 1.30,
+            reuse_pool: 400,
+            noise_rate: 0.040,
+        }
+    }
+
+    /// LinkedIn-like profile: longer, more specials, lower reuse.
+    #[must_use]
+    pub fn linkedin() -> SiteProfile {
+        SiteProfile {
+            name: "LinkedIn".to_owned(),
+            w_word: 0.14,
+            w_word_digits: 0.36,
+            w_digits: 0.08,
+            w_word_special_digits: 0.09,
+            w_word_digits_special: 0.10,
+            w_two_words: 0.08,
+            w_name_year: 0.09,
+            w_walk: 0.06,
+            cap_rate: 0.22,
+            leet_rate: 0.09,
+            zipf_s: 0.95,
+            reuse_s: 1.15,
+            reuse_pool: 600,
+            noise_rate: 0.105,
+        }
+    }
+
+    /// phpBB-like profile: short techie passwords and walks.
+    #[must_use]
+    pub fn phpbb() -> SiteProfile {
+        SiteProfile {
+            name: "phpBB".to_owned(),
+            w_word: 0.26,
+            w_word_digits: 0.30,
+            w_digits: 0.12,
+            w_word_special_digits: 0.04,
+            w_word_digits_special: 0.05,
+            w_two_words: 0.05,
+            w_name_year: 0.07,
+            w_walk: 0.11,
+            cap_rate: 0.08,
+            leet_rate: 0.08,
+            zipf_s: 1.00,
+            reuse_s: 1.25,
+            reuse_pool: 300,
+            noise_rate: 0.008,
+        }
+    }
+
+    /// MySpace-like profile: famously letters-then-digit endings.
+    #[must_use]
+    pub fn myspace() -> SiteProfile {
+        SiteProfile {
+            name: "MySpace".to_owned(),
+            w_word: 0.16,
+            w_word_digits: 0.44,
+            w_digits: 0.06,
+            w_word_special_digits: 0.05,
+            w_word_digits_special: 0.08,
+            w_two_words: 0.06,
+            w_name_year: 0.10,
+            w_walk: 0.05,
+            cap_rate: 0.15,
+            leet_rate: 0.05,
+            zipf_s: 1.10,
+            reuse_s: 1.30,
+            reuse_pool: 250,
+            noise_rate: 0.010,
+        }
+    }
+
+    /// Yahoo!-like profile: balanced webmail population.
+    #[must_use]
+    pub fn yahoo() -> SiteProfile {
+        SiteProfile {
+            name: "Yahoo!".to_owned(),
+            w_word: 0.20,
+            w_word_digits: 0.35,
+            w_digits: 0.12,
+            w_word_special_digits: 0.05,
+            w_word_digits_special: 0.06,
+            w_two_words: 0.07,
+            w_name_year: 0.09,
+            w_walk: 0.06,
+            cap_rate: 0.14,
+            leet_rate: 0.06,
+            zipf_s: 1.02,
+            reuse_s: 1.22,
+            reuse_pool: 350,
+            noise_rate: 0.008,
+        }
+    }
+
+    /// Generates `n` raw leak entries (with realistic duplicates and noise).
+    ///
+    /// The output corresponds to a leak file *before* the paper's cleaning
+    /// step; feed it to [`clean`](crate::clean). Deterministic in
+    /// `(profile, n, seed)`.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(&self.name));
+        // A fraction of users re-use one of `reuse_pool` popular passwords
+        // drawn by a Zipf law; the rest mint "personal" passwords.
+        let pool: Vec<String> = (0..self.reuse_pool).map(|_| self.mint(&mut rng)).collect();
+        let zipf_weights: Vec<f64> = (1..=self.reuse_pool)
+            .map(|r| 1.0 / (r as f64).powf(self.reuse_s))
+            .collect();
+        let zipf = WeightedIndex::new(&zipf_weights).expect("non-empty positive weights");
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pw = if rng.gen_bool(0.45) {
+                pool[zipf.sample(&mut rng)].clone()
+            } else {
+                self.mint(&mut rng)
+            };
+            out.push(if rng.gen_bool(self.noise_rate) { self.noisify(pw, &mut rng) } else { pw });
+        }
+        out
+    }
+
+    /// Mints one fresh password according to the recipe mixture.
+    fn mint(&self, rng: &mut StdRng) -> String {
+        let weights = [
+            self.w_word,
+            self.w_word_digits,
+            self.w_digits,
+            self.w_word_special_digits,
+            self.w_word_digits_special,
+            self.w_two_words,
+            self.w_name_year,
+            self.w_walk,
+        ];
+        let recipe = WeightedIndex::new(weights)
+            .expect("profile weights are positive")
+            .sample(rng);
+        let pw = match recipe {
+            0 => self.root(rng),
+            1 => format!("{}{}", self.root(rng), digits(rng, 1..=4)),
+            2 => words::DIGIT_STRINGS[rng.gen_range(0..words::DIGIT_STRINGS.len())].to_owned(),
+            3 => format!("{}{}{}", self.root(rng), special(rng), digits(rng, 1..=3)),
+            4 => format!("{}{}{}", self.root(rng), digits(rng, 1..=3), special(rng)),
+            5 => {
+                let a = self.root(rng);
+                let b = self.root(rng);
+                format!("{a}{b}")
+            }
+            6 => {
+                let name = zipf_pick(words::NAMES, self.zipf_s, rng);
+                let year = if rng.gen_bool(0.5) {
+                    format!("{}", rng.gen_range(1950..=2012))
+                } else {
+                    format!("{:02}", rng.gen_range(0..100))
+                };
+                format!("{}{year}", self.capitalize(name.to_owned(), rng))
+            }
+            _ => {
+                let walk = words::KEYBOARD_WALKS[rng.gen_range(0..words::KEYBOARD_WALKS.len())];
+                if rng.gen_bool(0.4) {
+                    format!("{walk}{}", digits(rng, 1..=3))
+                } else {
+                    walk.to_owned()
+                }
+            }
+        };
+        fit(pw, rng)
+    }
+
+    /// Zipf-samples a root word/name and applies capitalization + leet.
+    fn root(&self, rng: &mut StdRng) -> String {
+        let word = if rng.gen_bool(0.62) {
+            zipf_pick(words::COMMON_WORDS, self.zipf_s, rng)
+        } else {
+            zipf_pick(words::NAMES, self.zipf_s, rng)
+        };
+        let mut word = word.to_owned();
+        if rng.gen_bool(self.leet_rate) {
+            word = leet(&word);
+        }
+        self.capitalize(word, rng)
+    }
+
+    fn capitalize(&self, mut word: String, rng: &mut StdRng) -> String {
+        if rng.gen_bool(self.cap_rate) {
+            if let Some(first) = word.get(0..1) {
+                let upper = first.to_ascii_uppercase();
+                word.replace_range(0..1, &upper);
+            }
+        }
+        word
+    }
+
+    /// Produces the out-of-policy entries real leaks contain: too short,
+    /// too long, or with non-ASCII / invisible characters.
+    fn noisify(&self, pw: String, rng: &mut StdRng) -> String {
+        match rng.gen_range(0..4) {
+            0 => pw.chars().take(rng.gen_range(1..=3)).collect(), // too short
+            1 => format!("{pw}{pw}{}", digits(rng, 5..=8)),       // too long (>= 13 chars)
+            2 => format!("caf\u{e9}{pw}"),                        // non-ASCII
+            _ => format!("{} {}", pw, digits(rng, 1..=2)),        // embedded space
+        }
+    }
+}
+
+/// Clamps a minted password into the 4–12 character policy: users on these
+/// sites mostly typed policy-conforming passwords; the out-of-policy tail
+/// is produced by `noisify` instead.
+fn fit(pw: String, rng: &mut StdRng) -> String {
+    let len = pw.chars().count();
+    if len > 12 {
+        pw.chars().take(12).collect()
+    } else if len < 4 {
+        format!("{pw}{}", digits(rng, 4 - len..=4 - len))
+    } else {
+        pw
+    }
+}
+
+/// Zipf-weighted pick by list rank.
+fn zipf_pick<'a>(list: &[&'a str], s: f64, rng: &mut StdRng) -> &'a str {
+    // Inverse-CDF-free approximation: rejection-sample ranks with weight
+    // r^-s against the uniform envelope. Lists are small, so a simple
+    // weighted draw on first use would also work; this avoids building the
+    // table per call.
+    loop {
+        let r = rng.gen_range(0..list.len());
+        let w = 1.0 / ((r + 1) as f64).powf(s);
+        if rng.gen_bool(w.clamp(0.0, 1.0)) {
+            return list[r];
+        }
+    }
+}
+
+fn digits(rng: &mut StdRng, len: std::ops::RangeInclusive<usize>) -> String {
+    let n = rng.gen_range(len);
+    // Bias toward the digit habits users actually have: repeats, years,
+    // straights, and "1" endings.
+    match rng.gen_range(0..4) {
+        0 => "1".repeat(n),
+        1 => (0..n).map(|i| char::from(b'1' + (i % 9) as u8)).collect(),
+        2 => {
+            let d = rng.gen_range(b'0'..=b'9');
+            (0..n).map(|_| char::from(d)).collect()
+        }
+        _ => (0..n).map(|_| char::from(rng.gen_range(b'0'..=b'9'))).collect(),
+    }
+}
+
+fn special(rng: &mut StdRng) -> char {
+    words::POPULAR_SPECIALS[rng.gen_range(0..words::POPULAR_SPECIALS.len())]
+}
+
+/// Classic leetspeak substitutions.
+fn leet(word: &str) -> String {
+    word.chars()
+        .map(|c| match c {
+            'a' => '4',
+            'e' => '3',
+            'i' => '1',
+            'o' => '0',
+            's' => '5',
+            't' => '7',
+            other => other,
+        })
+        .collect()
+}
+
+/// Tiny FNV-style hash to decorrelate per-site RNG streams.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SiteProfile::rockyou().generate(500, 1);
+        let b = SiteProfile::rockyou().generate(500, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SiteProfile::rockyou().generate(500, 1);
+        let b = SiteProfile::rockyou().generate(500, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_sites_differ_but_overlap() {
+        let a: HashSet<String> = SiteProfile::rockyou().generate(3000, 7).into_iter().collect();
+        let b: HashSet<String> = SiteProfile::linkedin().generate(3000, 7).into_iter().collect();
+        let inter = a.intersection(&b).count();
+        assert!(inter > 0, "cross-site attack needs overlapping distributions");
+        assert!(inter < a.len().min(b.len()), "sites must not be identical");
+    }
+
+    #[test]
+    fn leaks_contain_realistic_duplicates() {
+        let raw = SiteProfile::rockyou().generate(5000, 3);
+        let unique: HashSet<&String> = raw.iter().collect();
+        let dup_rate = 1.0 - unique.len() as f64 / raw.len() as f64;
+        assert!(dup_rate > 0.15, "leaks are heavy-tailed, got dup rate {dup_rate}");
+    }
+
+    #[test]
+    fn most_entries_are_clean_ascii_4_to_12() {
+        let raw = SiteProfile::myspace().generate(4000, 9);
+        let ok = raw
+            .iter()
+            .filter(|p| {
+                (4..=12).contains(&p.chars().count())
+                    && p.chars().all(|c| c.is_ascii_graphic())
+            })
+            .count();
+        assert!(ok as f64 / raw.len() as f64 > 0.70);
+    }
+
+    #[test]
+    fn leet_substitutions() {
+        assert_eq!(leet("estate"), "357473");
+        assert_eq!(leet("xyz"), "xyz");
+    }
+
+    #[test]
+    fn site_roundtrip_and_names() {
+        for site in Site::ALL {
+            assert_eq!(site.profile().name, site.name());
+            assert!(!site.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn noise_rate_controls_retention() {
+        // phpBB (98.4% paper retention) should retain more than LinkedIn
+        // (82.2% paper retention).
+        let phpbb = SiteProfile::phpbb().generate(4000, 5);
+        let linkedin = SiteProfile::linkedin().generate(4000, 5);
+        let keep = |v: &Vec<String>| {
+            v.iter()
+                .filter(|p| (4..=12).contains(&p.chars().count()) && p.chars().all(|c| c.is_ascii_graphic()))
+                .count() as f64
+                / v.len() as f64
+        };
+        assert!(keep(&phpbb) > keep(&linkedin));
+    }
+}

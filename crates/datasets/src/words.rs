@@ -1,0 +1,117 @@
+//! Word material for the synthetic leak generator.
+//!
+//! These lists play the role of the "meaningful words" the paper's cited
+//! user studies find in real passwords: dictionary words, first names, pet
+//! names, fandoms, and keyboard walks. They are deliberately modest in size
+//! — a few hundred roots — because real leaks are also dominated by a small
+//! head of popular roots; the tail diversity comes from decorations
+//! (digits, years, capitalization, leetspeak) applied by the generator.
+
+/// Common English words and password-typical nouns, roughly ordered by how
+/// often such roots appear in public leak analyses (rank feeds a Zipf law).
+pub const COMMON_WORDS: &[&str] = &[
+    "password", "iloveyou", "princess", "sunshine", "football", "monkey", "shadow", "master",
+    "superman", "batman", "dragon", "baseball", "soccer", "hockey", "angel", "lovely", "flower",
+    "summer", "winter", "spring", "autumn", "purple", "orange", "yellow", "silver", "golden",
+    "chocolate", "cookie", "banana", "cherry", "apple", "peach", "happy", "smile", "lucky",
+    "star", "moon", "ocean", "river", "tiger", "eagle", "wolf", "bear", "lion", "panda",
+    "kitty", "puppy", "bunny", "turtle", "dolphin", "butterfly", "diamond", "crystal", "pearl",
+    "heart", "love", "forever", "always", "friend", "family", "mother", "father", "sister",
+    "brother", "baby", "honey", "sweet", "candy", "sugar", "spice", "pepper", "ginger",
+    "coffee", "pizza", "music", "guitar", "piano", "dance", "dream", "magic", "wizard",
+    "knight", "castle", "legend", "hero", "ninja", "pirate", "rocket", "thunder", "lightning",
+    "storm", "rainbow", "cloud", "beach", "paradise", "heaven", "spirit", "phoenix", "griffin",
+    "unicorn", "pegasus", "jordan", "chelsea", "arsenal", "liverpool", "madrid", "dallas",
+    "austin", "boston", "denver", "phoenixaz", "vegas", "london", "paris", "tokyo", "sydney",
+    "mexico", "brazil", "canada", "america", "freedom", "victory", "warrior", "hunter",
+    "ranger", "sniper", "gamer", "player", "winner", "champion", "student", "teacher",
+    "doctor", "nurse", "angelito", "corazon", "amor", "bonita", "hermosa", "mariposa",
+    "estrella", "tequiero", "hello", "welcome", "secret", "private", "hidden", "trust",
+    "peace", "faith", "hope", "grace", "glory", "power", "money", "rich", "boss", "king",
+    "queen", "prince", "duke", "chief", "ghost", "demon", "devil", "zombie", "vampire",
+    "monster", "alien", "robot", "matrix", "nemesis", "genesis", "exodus", "trinity",
+    "infinity", "eternity", "destiny", "serenity", "harmony", "melody", "whatever", "nothing",
+    "something", "anything", "everything", "computer", "internet", "google", "gmail",
+    "facebook", "myspace", "linkedin", "yahoo", "rockyou", "samsung", "nokia", "toyota",
+    "honda", "ferrari", "porsche", "mustang", "camaro", "corvette", "harley", "yamaha",
+];
+
+/// First names (the paper's targeted-attack citations observe that users
+/// prefer name-based passwords; trawling corpora show the same head).
+pub const NAMES: &[&str] = &[
+    "michael", "jessica", "ashley", "amanda", "daniel", "joshua", "andrew", "matthew",
+    "anthony", "justin", "jennifer", "melissa", "nicole", "stephanie", "elizabeth", "brandon",
+    "samantha", "christian", "alexandra", "brittany", "danielle", "victoria", "natalie",
+    "vanessa", "gabriel", "isabella", "sophia", "olivia", "emma", "ava", "mia", "emily",
+    "abigail", "madison", "charlotte", "carlos", "miguel", "jose", "juan", "luis", "pedro",
+    "maria", "carmen", "rosa", "sofia", "lucia", "diego", "pablo", "javier", "fernando",
+    "ricardo", "eduardo", "roberto", "antonio", "francisco", "alejandro", "david", "james",
+    "john", "robert", "william", "richard", "thomas", "charles", "chris", "kevin", "brian",
+    "jason", "eric", "mark", "steven", "paul", "kenneth", "george", "ryan", "adam", "tyler",
+    "aaron", "jacob", "nathan", "zachary", "kyle", "ethan", "noah", "logan", "lucas", "mason",
+    "dylan", "caleb", "hannah", "sarah", "rachel", "laura", "megan", "kayla", "anna", "alexis",
+    "taylor", "lauren", "kimberly", "crystal", "michelle", "tiffany", "erica", "monica",
+    "veronica", "valeria", "andrea", "paola", "daniela", "mariana", "fernanda",
+];
+
+/// Keyboard walks and digit habits that show up verbatim in leaks.
+pub const KEYBOARD_WALKS: &[&str] = &[
+    "qwerty", "qwertyuiop", "asdf", "asdfgh", "asdfghjkl", "zxcvbnm", "qazwsx", "wasd",
+    "poiuy", "mnbvcxz", "qweasd", "zaq", "xsw", "qwe", "asd", "zxc",
+];
+
+/// Popular pure-digit strings (PINs, repeats, straights).
+pub const DIGIT_STRINGS: &[&str] = &[
+    "123456", "12345", "123456789", "1234567", "12345678", "1234", "111111", "000000",
+    "123123", "654321", "666666", "696969", "112233", "159753", "131313", "777777",
+    "555555", "123321", "7777777", "11111111", "87654321", "999999", "222222", "101010",
+];
+
+/// Suffix/infix special characters weighted toward the ones users pick.
+pub const POPULAR_SPECIALS: &[char] = &[
+    '!', '.', '@', '*', '_', '-', '#', '$', '&', '?', '+', '~', '%', '^', '=', '/',
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lists_are_nonempty_and_lowercase_ascii() {
+        for list in [COMMON_WORDS, NAMES, KEYBOARD_WALKS] {
+            assert!(!list.is_empty());
+            for w in list {
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+                assert!(!w.is_empty());
+            }
+        }
+        for d in DIGIT_STRINGS {
+            assert!(d.chars().all(|c| c.is_ascii_digit()), "{d}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_lists() {
+        for list in [COMMON_WORDS, NAMES, KEYBOARD_WALKS, DIGIT_STRINGS] {
+            let set: HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn specials_are_in_the_32_char_class() {
+        for &c in POPULAR_SPECIALS {
+            assert_eq!(
+                pagpass_patterns::CharClass::of(c),
+                Some(pagpass_patterns::CharClass::Special)
+            );
+        }
+    }
+
+    #[test]
+    fn head_sizes_support_zipf_sampling() {
+        assert!(COMMON_WORDS.len() >= 150);
+        assert!(NAMES.len() >= 100);
+    }
+}

@@ -1,0 +1,407 @@
+//! Evaluation metrics for password guessing models, exactly as defined in
+//! the PagPassGPT paper's evaluation (§IV):
+//!
+//! * [`hit_rate`] — deduplicated guesses ∩ test set over test-set size
+//!   (Table IV, Table VI),
+//! * [`repeat_rate`] — fraction of duplicate guesses (Fig. 10),
+//! * [`GuessCurve`] — both metrics at a ladder of guess budgets
+//!   (10⁶…10⁹ in the paper; configurable here),
+//! * [`length_distance`] / [`pattern_distance`] — Euclidean distances
+//!   between generated and test distributions (Eqs. 6–7, Table V, Fig. 11),
+//! * [`PatternGuidedEval`] — the `HR_s` / `HR_P` protocol of the
+//!   pattern-guided guessing test (Eqs. 4–5, Figs. 8–9), including the
+//!   top-21-patterns-per-category target selection,
+//! * [`GuessNumberEstimator`] — Monte Carlo guess-number estimation
+//!   (Dell'Amico & Filippone 2015), turning any scoring model into a
+//!   strength meter calibrated in guesses-to-crack.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_eval::{hit_rate, repeat_rate};
+//!
+//! let test: Vec<String> = vec!["abc123".into(), "qwerty".into()];
+//! let guesses: Vec<String> = vec!["abc123".into(), "abc123".into(), "zzz".into()];
+//! assert_eq!(hit_rate(&guesses, &test).hits, 1);
+//! assert!((repeat_rate(&guesses) - 1.0 / 3.0).abs() < 1e-12);
+//! ```
+
+use std::collections::{BTreeMap, HashSet};
+
+use pagpass_patterns::{Pattern, PatternDistribution};
+use serde::{Deserialize, Serialize};
+
+mod guess_number;
+
+pub use guess_number::GuessNumberEstimator;
+
+/// Outcome of a hit-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HitRateReport {
+    /// Distinct guesses that appear in the test set.
+    pub hits: usize,
+    /// Distinct guesses made.
+    pub unique_guesses: usize,
+    /// Total guesses made (with duplicates).
+    pub total_guesses: usize,
+    /// Test-set size.
+    pub test_size: usize,
+}
+
+impl HitRateReport {
+    /// `hits / test_size` — the paper's hit rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.test_size == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.test_size as f64
+    }
+}
+
+/// Computes the paper's hit rate: both guesses and test set are
+/// deduplicated, then the intersection is counted against the test size.
+#[must_use]
+pub fn hit_rate<S: AsRef<str>>(guesses: &[S], test_set: &[S]) -> HitRateReport {
+    let test: HashSet<&str> = test_set.iter().map(AsRef::as_ref).collect();
+    let unique: HashSet<&str> = guesses.iter().map(AsRef::as_ref).collect();
+    let hits = unique.iter().filter(|g| test.contains(*g)).count();
+    HitRateReport {
+        hits,
+        unique_guesses: unique.len(),
+        total_guesses: guesses.len(),
+        test_size: test.len(),
+    }
+}
+
+/// Fraction of guesses that duplicate an earlier guess:
+/// `1 - unique/total` (paper §IV-D2).
+#[must_use]
+pub fn repeat_rate<S: AsRef<str>>(guesses: &[S]) -> f64 {
+    if guesses.is_empty() {
+        return 0.0;
+    }
+    let unique: HashSet<&str> = guesses.iter().map(AsRef::as_ref).collect();
+    1.0 - unique.len() as f64 / guesses.len() as f64
+}
+
+/// Hit and repeat rates along a ladder of guess budgets.
+///
+/// A model's guesses are a stream; the curve reports the metrics over each
+/// prefix of the stream, which is how the paper's Table IV / Fig. 10 vary
+/// the guess number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuessCurve {
+    /// The budgets evaluated (clamped to the stream length).
+    pub budgets: Vec<usize>,
+    /// Hit rate at each budget.
+    pub hit_rates: Vec<f64>,
+    /// Repeat rate at each budget.
+    pub repeat_rates: Vec<f64>,
+}
+
+impl GuessCurve {
+    /// Evaluates the guess stream at each budget (single pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `budgets` is not ascending.
+    #[must_use]
+    pub fn compute<S: AsRef<str>>(guesses: &[S], test_set: &[S], budgets: &[usize]) -> GuessCurve {
+        let test: HashSet<&str> = test_set.iter().map(AsRef::as_ref).collect();
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut hits = 0usize;
+        let mut curve = GuessCurve {
+            budgets: budgets.iter().map(|&b| b.min(guesses.len())).collect(),
+            hit_rates: Vec::with_capacity(budgets.len()),
+            repeat_rates: Vec::with_capacity(budgets.len()),
+        };
+        let mut sorted: Vec<usize> = curve.budgets.clone();
+        sorted.sort_unstable();
+        debug_assert_eq!(sorted, curve.budgets, "budgets must be ascending");
+        let mut idx = 0usize;
+        for (i, guess) in guesses.iter().enumerate() {
+            let g = guess.as_ref();
+            if seen.insert(g) && test.contains(g) {
+                hits += 1;
+            }
+            while idx < curve.budgets.len() && i + 1 == curve.budgets[idx] {
+                curve.push_point(hits, seen.len(), i + 1, test.len());
+                idx += 1;
+            }
+        }
+        while idx < curve.budgets.len() {
+            curve.push_point(hits, seen.len(), guesses.len(), test.len());
+            idx += 1;
+        }
+        curve
+    }
+
+    fn push_point(&mut self, hits: usize, unique: usize, total: usize, test_size: usize) {
+        self.hit_rates.push(if test_size == 0 { 0.0 } else { hits as f64 / test_size as f64 });
+        self.repeat_rates.push(if total == 0 { 0.0 } else { 1.0 - unique as f64 / total as f64 });
+    }
+}
+
+/// Length distance (Eq. 6): Euclidean distance between the length
+/// distributions (lengths 4–12) of generated passwords and the test set.
+#[must_use]
+pub fn length_distance<S: AsRef<str>>(generated: &[S], test_set: &[S]) -> f64 {
+    let gp = length_probs(generated);
+    let tp = length_probs(test_set);
+    gp.iter().zip(&tp).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+}
+
+fn length_probs<S: AsRef<str>>(pwds: &[S]) -> [f64; 9] {
+    let mut counts = [0usize; 9];
+    let mut total = 0usize;
+    for pw in pwds {
+        let len = pw.as_ref().chars().count();
+        if (4..=12).contains(&len) {
+            counts[len - 4] += 1;
+            total += 1;
+        }
+    }
+    let mut probs = [0.0f64; 9];
+    if total > 0 {
+        for (p, &c) in probs.iter_mut().zip(&counts) {
+            *p = c as f64 / total as f64;
+        }
+    }
+    probs
+}
+
+/// Pattern distance (Eq. 7): Euclidean distance between the probabilities
+/// of the test set's `top_k` most common patterns (150 in the paper) under
+/// the two distributions.
+#[must_use]
+pub fn pattern_distance<S: AsRef<str>>(generated: &[S], test_set: &[S], top_k: usize) -> f64 {
+    let test_dist = PatternDistribution::from_passwords(test_set.iter().map(AsRef::as_ref));
+    let gen_dist = PatternDistribution::from_passwords(generated.iter().map(AsRef::as_ref));
+    test_dist
+        .top(top_k)
+        .into_iter()
+        .map(|entry| {
+            let d = entry.probability - gen_dist.probability(&entry.pattern);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Per-pattern result inside a pattern-guided evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternHit {
+    /// The target pattern `P`.
+    pub pattern: Pattern,
+    /// Hits against test passwords conforming to `P`.
+    pub hits: usize,
+    /// Test passwords conforming to `P` (`TC_P^test`).
+    pub test_conforming: usize,
+}
+
+impl PatternHit {
+    /// `HR_P = NH_P / TC_P^test` (Eq. 5).
+    #[must_use]
+    pub fn hr_p(&self) -> f64 {
+        if self.test_conforming == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.test_conforming as f64
+    }
+}
+
+/// The pattern-guided guessing evaluation protocol (paper §IV-C):
+/// category = number of pattern segments; targets = the most frequent
+/// patterns of each category in the test set.
+#[derive(Debug, Clone)]
+pub struct PatternGuidedEval {
+    test_set: Vec<String>,
+    test_dist: PatternDistribution,
+}
+
+impl PatternGuidedEval {
+    /// Prepares the evaluation against a test set.
+    #[must_use]
+    pub fn new(test_set: &[String]) -> PatternGuidedEval {
+        let test_dist = PatternDistribution::from_passwords(test_set.iter().map(String::as_str));
+        PatternGuidedEval { test_set: test_set.to_vec(), test_dist }
+    }
+
+    /// The test set's pattern distribution.
+    #[must_use]
+    pub fn test_distribution(&self) -> &PatternDistribution {
+        &self.test_dist
+    }
+
+    /// Selects the `per_category` most frequent patterns of every segment
+    /// category (the paper chooses 21, the size of its smallest category).
+    /// Categories are keyed by segment count, ascending.
+    #[must_use]
+    pub fn target_patterns(&self, per_category: usize) -> BTreeMap<usize, Vec<Pattern>> {
+        let mut out = BTreeMap::new();
+        for (segments, entries) in self.test_dist.by_segments() {
+            let picked: Vec<Pattern> =
+                entries.into_iter().take(per_category).map(|e| e.pattern).collect();
+            out.insert(segments, picked);
+        }
+        out
+    }
+
+    /// Scores one pattern's generated guesses: hits are counted against the
+    /// test passwords conforming to that pattern.
+    #[must_use]
+    pub fn score_pattern<S: AsRef<str>>(&self, pattern: &Pattern, guesses: &[S]) -> PatternHit {
+        let conforming: HashSet<&str> = self
+            .test_set
+            .iter()
+            .map(String::as_str)
+            .filter(|pw| pattern.matches(pw))
+            .collect();
+        let unique: HashSet<&str> = guesses.iter().map(AsRef::as_ref).collect();
+        let hits = unique.iter().filter(|g| conforming.contains(*g)).count();
+        PatternHit { pattern: pattern.clone(), hits, test_conforming: conforming.len() }
+    }
+
+    /// Aggregates per-pattern results into the category hit rate
+    /// `HR_s = NH_s / TC_s^test` (Eq. 4): total hits across the category's
+    /// target patterns over the number of test passwords in the whole
+    /// category.
+    #[must_use]
+    pub fn category_hit_rate(&self, segments: usize, results: &[PatternHit]) -> f64 {
+        let tc_s: usize = self
+            .test_set
+            .iter()
+            .filter(|pw| Pattern::of_password(pw).is_ok_and(|p| p.segment_count() == segments))
+            .count();
+        if tc_s == 0 {
+            return 0.0;
+        }
+        let nh_s: usize = results
+            .iter()
+            .filter(|r| r.pattern.segment_count() == segments)
+            .map(|r| r.hits)
+            .sum();
+        nh_s as f64 / tc_s as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn hit_rate_deduplicates_both_sides() {
+        let test = s(&["abc123", "qwerty", "abc123"]);
+        let guesses = s(&["abc123", "abc123", "nope", "qwerty"]);
+        let r = hit_rate(&guesses, &test);
+        assert_eq!(r.hits, 2);
+        assert_eq!(r.test_size, 2);
+        assert_eq!(r.unique_guesses, 3);
+        assert_eq!(r.total_guesses, 4);
+        assert!((r.rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_empty_inputs() {
+        let empty: Vec<String> = vec![];
+        assert_eq!(hit_rate(&empty, &empty).rate(), 0.0);
+        assert_eq!(hit_rate(&s(&["a1b2"]), &empty).rate(), 0.0);
+    }
+
+    #[test]
+    fn repeat_rate_counts_all_duplicates() {
+        assert_eq!(repeat_rate::<String>(&[]), 0.0);
+        assert_eq!(repeat_rate(&s(&["x1", "y2"])), 0.0);
+        assert!((repeat_rate(&s(&["x1", "x1", "x1", "y2"])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guess_curve_is_monotone_in_hits() {
+        let test = s(&["aa11", "bb22", "cc33"]);
+        let guesses = s(&["aa11", "zz", "bb22", "bb22", "cc33", "qq"]);
+        let curve = GuessCurve::compute(&guesses, &test, &[2, 4, 6]);
+        assert_eq!(curve.hit_rates.len(), 3);
+        assert!(curve.hit_rates.windows(2).all(|w| w[0] <= w[1]));
+        assert!((curve.hit_rates[2] - 1.0).abs() < 1e-12);
+        // Repeat rate at 4: one duplicate among four guesses.
+        assert!((curve.repeat_rates[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guess_curve_budgets_clamp_to_stream() {
+        let test = s(&["aa11"]);
+        let guesses = s(&["aa11", "bb"]);
+        let curve = GuessCurve::compute(&guesses, &test, &[1, 100]);
+        assert_eq!(curve.budgets, vec![1, 2]);
+        assert_eq!(curve.hit_rates.len(), 2);
+    }
+
+    #[test]
+    fn guess_curve_matches_pointwise_metrics() {
+        let test = s(&["aa11", "bb22", "cc33", "dd44"]);
+        let guesses = s(&["aa11", "aa11", "xx", "bb22", "yy", "cc33", "cc33", "zz"]);
+        let budgets = [2usize, 5, 8];
+        let curve = GuessCurve::compute(&guesses, &test, &budgets);
+        for (i, &b) in budgets.iter().enumerate() {
+            let prefix = &guesses[..b];
+            let r = hit_rate(prefix, &test);
+            assert!((curve.hit_rates[i] - r.rate()).abs() < 1e-12);
+            assert!((curve.repeat_rates[i] - repeat_rate(prefix)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn length_distance_zero_for_identical_distributions() {
+        let a = s(&["abcd", "abcde", "abcdef"]);
+        assert!(length_distance(&a, &a) < 1e-12);
+        let b = s(&["abcdefghijkl", "abcdefghijk", "abcdefghij"]);
+        assert!(length_distance(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn length_distance_ignores_out_of_range() {
+        let a = s(&["abcd", "ab"]); // "ab" ignored
+        let b = s(&["abcd"]);
+        assert!(length_distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pattern_distance_zero_for_identical() {
+        let a = s(&["abc123", "xyz789", "hello!"]);
+        assert!(pattern_distance(&a, &a, 150) < 1e-12);
+        let c = s(&["123abc", "789xyz", "!hello"]);
+        assert!(pattern_distance(&c, &a, 150) > 0.5);
+    }
+
+    #[test]
+    fn target_patterns_per_category() {
+        let test = s(&["abc123", "xyz789", "letmein", "pass", "12345", "a1b2"]);
+        let eval = PatternGuidedEval::new(&test);
+        let targets = eval.target_patterns(2);
+        assert!(targets[&1].len() <= 2);
+        assert!(targets.contains_key(&2));
+        assert!(targets.contains_key(&4)); // a1b2 has 4 segments
+    }
+
+    #[test]
+    fn hr_p_and_hr_s() {
+        let test = s(&["abc123", "dog456", "pass", "word"]);
+        let eval = PatternGuidedEval::new(&test);
+        let p: Pattern = "L3N3".parse().unwrap();
+        let guesses = s(&["abc123", "cat999", "abc123"]);
+        let hit = eval.score_pattern(&p, &guesses);
+        assert_eq!(hit.hits, 1);
+        assert_eq!(hit.test_conforming, 2);
+        assert!((hit.hr_p() - 0.5).abs() < 1e-12);
+        // Category s=2 only contains the two L3N3 passwords.
+        let hr_s = eval.category_hit_rate(2, &[hit]);
+        assert!((hr_s - 0.5).abs() < 1e-12);
+        // Category with no test passwords.
+        assert_eq!(eval.category_hit_rate(7, &[]), 0.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! An order-`k` Markov (n-gram) password guesser in the OMEN tradition —
+//! the second classic probability-based family the paper surveys (§II-B2).
+//!
+//! The model estimates `Pr(cᵢ | cᵢ₋ₖ … cᵢ₋₁)` over the 94-character
+//! alphabet plus an end-of-password symbol, with add-`δ` smoothing. It
+//! supports:
+//!
+//! * [`MarkovModel::sample`] — stochastic generation (how the deep
+//!   baselines generate),
+//! * [`MarkovModel::top_guesses`] — best-first enumeration of the most
+//!   probable passwords (how OMEN attacks), via a bounded priority search,
+//! * [`MarkovModel::log_probability`] — scoring.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_markov::MarkovModel;
+//!
+//! let corpus: Vec<String> = vec!["aaa1".into(), "aab1".into(), "aaa2".into()];
+//! let model = MarkovModel::train(corpus.iter().map(String::as_str), 2, 0.01);
+//! let top = model.top_guesses(5, 8);
+//! assert!(top.contains(&"aab1".to_owned()));
+//! assert!(model.log_probability("aaa1") > model.log_probability("zzz9"));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use pagpass_nn::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Alphabet: the 94 printable non-space ASCII characters.
+const ALPHABET: [char; 94] = {
+    let mut chars = ['\0'; 94];
+    let mut i = 0;
+    let mut c = b'!';
+    while c <= b'~' {
+        chars[i] = c as char;
+        i += 1;
+        c += 1;
+    }
+    chars
+};
+
+/// Index of the end-of-password symbol in the per-context count tables.
+const END: usize = 94;
+
+/// An order-`k` character Markov model with add-δ smoothing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovModel {
+    order: usize,
+    delta: f64,
+    /// `context string → counts[95]` (94 characters + end symbol).
+    counts: HashMap<String, Vec<u32>>,
+}
+
+impl MarkovModel {
+    /// Trains an order-`order` model with smoothing `delta`.
+    ///
+    /// Passwords containing characters outside the alphabet are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `delta < 0`.
+    pub fn train<'a, I>(passwords: I, order: usize, delta: f64) -> MarkovModel
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        assert!(order > 0, "order must be at least 1");
+        assert!(delta >= 0.0, "smoothing must be non-negative");
+        let mut counts: HashMap<String, Vec<u32>> = HashMap::new();
+        for pw in passwords {
+            if !pw.chars().all(|c| char_index(c).is_some()) || pw.is_empty() {
+                continue;
+            }
+            let chars: Vec<char> = pw.chars().collect();
+            for i in 0..=chars.len() {
+                let start = i.saturating_sub(order);
+                let context: String = chars[start..i].iter().collect();
+                let symbol = if i == chars.len() {
+                    END
+                } else {
+                    char_index(chars[i]).expect("validated above")
+                };
+                counts.entry(context).or_insert_with(|| vec![0; 95])[symbol] += 1;
+            }
+        }
+        MarkovModel { order, delta, counts }
+    }
+
+    /// The model order `k`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of contexts with observations.
+    #[must_use]
+    pub fn context_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Smoothed `Pr(symbol | context)`; `symbol == None` means
+    /// end-of-password.
+    fn symbol_prob(&self, context: &str, symbol: Option<char>) -> f64 {
+        let idx = match symbol {
+            Some(c) => match char_index(c) {
+                Some(i) => i,
+                None => return 0.0,
+            },
+            None => END,
+        };
+        match self.counts.get(context) {
+            Some(row) => {
+                let total: f64 = row.iter().map(|&c| f64::from(c)).sum();
+                (f64::from(row[idx]) + self.delta) / (total + self.delta * 95.0)
+            }
+            None => 1.0 / 95.0,
+        }
+    }
+
+    /// Natural-log probability of a whole password (including termination).
+    #[must_use]
+    pub fn log_probability(&self, password: &str) -> f64 {
+        let chars: Vec<char> = password.chars().collect();
+        let mut lp = 0.0;
+        for i in 0..=chars.len() {
+            let start = i.saturating_sub(self.order);
+            let context: String = chars[start..i].iter().collect();
+            let symbol = if i == chars.len() { None } else { Some(chars[i]) };
+            let p = self.symbol_prob(&context, symbol);
+            if p == 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            lp += p.ln();
+        }
+        lp
+    }
+
+    /// Samples one password (length capped at `max_len`).
+    #[must_use]
+    pub fn sample(&self, max_len: usize, rng: &mut Rng) -> String {
+        let mut out = String::new();
+        let mut chars: Vec<char> = Vec::new();
+        for _ in 0..max_len {
+            let start = chars.len().saturating_sub(self.order);
+            let context: String = chars[start..].iter().collect();
+            let mut acc = 0.0;
+            let u = f64::from(rng.uniform());
+            let mut chosen = None;
+            for (i, &c) in ALPHABET.iter().enumerate() {
+                let _ = i;
+                acc += self.symbol_prob(&context, Some(c));
+                if u < acc {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => {
+                    out.push(c);
+                    chars.push(c);
+                }
+                None => break, // remaining mass is the end symbol
+            }
+        }
+        out
+    }
+
+    /// Samples `n` passwords.
+    #[must_use]
+    pub fn sample_many(&self, n: usize, max_len: usize, seed: u64) -> Vec<String> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n).map(|_| self.sample(max_len, &mut rng)).collect()
+    }
+
+    /// Best-first enumeration of the `n` most probable passwords of length
+    /// at most `max_len` — the OMEN-style attack order.
+    ///
+    /// The search expands prefixes in descending probability; completed
+    /// passwords (prefix + end symbol) are emitted in globally descending
+    /// probability because extending a prefix can only lower it.
+    #[must_use]
+    pub fn top_guesses(&self, n: usize, max_len: usize) -> Vec<String> {
+        #[derive(PartialEq)]
+        struct Node {
+            lp: f64,
+            prefix: String,
+            complete: bool,
+        }
+        impl Eq for Node {}
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, other: &Node) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Node {
+            fn cmp(&self, other: &Node) -> Ordering {
+                self.lp
+                    .partial_cmp(&other.lp)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.prefix.cmp(&self.prefix))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Node { lp: 0.0, prefix: String::new(), complete: false });
+        let mut out = Vec::with_capacity(n);
+        // Bound the frontier so adversarial deltas cannot explode memory.
+        let max_frontier = (n * 200).max(10_000);
+        while let Some(node) = heap.pop() {
+            if node.complete {
+                out.push(node.prefix);
+                if out.len() == n {
+                    break;
+                }
+                continue;
+            }
+            let chars: Vec<char> = node.prefix.chars().collect();
+            let start = chars.len().saturating_sub(self.order);
+            let context: String = chars[start..].iter().collect();
+            // Termination child.
+            let p_end = self.symbol_prob(&context, None);
+            if p_end > 0.0 && !node.prefix.is_empty() {
+                heap.push(Node { lp: node.lp + p_end.ln(), prefix: node.prefix.clone(), complete: true });
+            }
+            if chars.len() < max_len && heap.len() < max_frontier {
+                for &c in &ALPHABET {
+                    let p = self.symbol_prob(&context, Some(c));
+                    if p > 1e-9 {
+                        let mut prefix = node.prefix.clone();
+                        prefix.push(c);
+                        heap.push(Node { lp: node.lp + p.ln(), prefix, complete: false });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl MarkovModel {
+    /// OMEN-style level-based enumeration (Dürmuth et al., ESSoS 2015).
+    ///
+    /// Per-transition log-probabilities are discretized into integer
+    /// *levels* (`level = ⌊−ln p / level_width⌋`); passwords are emitted in
+    /// ascending total level, which approximates descending probability
+    /// while enumerating each level with a cheap depth-first walk instead
+    /// of a global priority queue.
+    ///
+    /// Returns up to `n` passwords of length `1..=max_len`; `node_budget`
+    /// bounds the total DFS work (OMEN's practical cut-off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level_width` is not positive.
+    #[must_use]
+    pub fn omen_guesses(
+        &self,
+        n: usize,
+        max_len: usize,
+        level_width: f64,
+        node_budget: usize,
+    ) -> Vec<String> {
+        assert!(level_width > 0.0, "level width must be positive");
+        let mut out = Vec::with_capacity(n);
+        let mut visited = 0usize;
+        // Level of one transition, saturating to keep hopeless branches out.
+        let level_of = |p: f64| -> i64 {
+            if p <= 0.0 {
+                i64::MAX / 4
+            } else {
+                (-p.ln() / level_width).floor() as i64
+            }
+        };
+        for level in 0..64i64 {
+            if out.len() >= n || visited >= node_budget {
+                break;
+            }
+            let mut prefix = String::new();
+            self.omen_dfs(
+                level,
+                &mut prefix,
+                max_len,
+                &level_of,
+                &mut out,
+                n,
+                &mut visited,
+                node_budget,
+            );
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn omen_dfs(
+        &self,
+        budget: i64,
+        prefix: &mut String,
+        max_len: usize,
+        level_of: &dyn Fn(f64) -> i64,
+        out: &mut Vec<String>,
+        n: usize,
+        visited: &mut usize,
+        node_budget: usize,
+    ) {
+        if out.len() >= n || *visited >= node_budget {
+            return;
+        }
+        *visited += 1;
+        let chars: Vec<char> = prefix.chars().collect();
+        let start = chars.len().saturating_sub(self.order);
+        let context: String = chars[start..].iter().collect();
+        // Terminate here if the end-symbol level exactly consumes the budget.
+        if !prefix.is_empty() {
+            let end_level = level_of(self.symbol_prob(&context, None));
+            if end_level == budget {
+                out.push(prefix.clone());
+                if out.len() >= n {
+                    return;
+                }
+            }
+        }
+        if chars.len() >= max_len {
+            return;
+        }
+        for &c in &ALPHABET {
+            let lvl = level_of(self.symbol_prob(&context, Some(c)));
+            if lvl <= budget {
+                prefix.push(c);
+                self.omen_dfs(budget - lvl, prefix, max_len, level_of, out, n, visited, node_budget);
+                prefix.pop();
+                if out.len() >= n || *visited >= node_budget {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Index of a character in the alphabet (0..94), or `None` if outside.
+fn char_index(c: char) -> Option<usize> {
+    let b = c as u32;
+    if (33..=126).contains(&b) {
+        Some((b - 33) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        let mut v = Vec::new();
+        for _ in 0..20 {
+            v.push("pass12".to_owned());
+        }
+        for _ in 0..10 {
+            v.push("pots34".to_owned());
+        }
+        v.push("zq!".to_owned());
+        v
+    }
+
+    fn model() -> MarkovModel {
+        MarkovModel::train(corpus().iter().map(String::as_str), 2, 0.001)
+    }
+
+    #[test]
+    fn alphabet_is_94_printable_chars() {
+        assert_eq!(ALPHABET.len(), 94);
+        assert_eq!(ALPHABET[0], '!');
+        assert_eq!(ALPHABET[93], '~');
+        assert_eq!(char_index('!'), Some(0));
+        assert_eq!(char_index('~'), Some(93));
+        assert_eq!(char_index(' '), None);
+    }
+
+    #[test]
+    fn frequent_passwords_score_higher() {
+        let m = model();
+        assert!(m.log_probability("pass12") > m.log_probability("pots34"));
+        assert!(m.log_probability("pots34") > m.log_probability("zzzzzz"));
+    }
+
+    #[test]
+    fn log_probability_is_finite_under_smoothing() {
+        let m = model();
+        assert!(m.log_probability("never-seen").is_finite());
+        let unsmoothed = MarkovModel::train(corpus().iter().map(String::as_str), 2, 0.0);
+        assert_eq!(unsmoothed.log_probability("\u{7f}abc"), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sampling_reproduces_training_style() {
+        let m = model();
+        let samples = m.sample_many(200, 12, 5);
+        assert_eq!(samples.len(), 200);
+        let hits = samples.iter().filter(|s| corpus().contains(s)).count();
+        assert!(hits > 50, "a 2-gram model should often regenerate the head, got {hits}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = model();
+        assert_eq!(m.sample_many(20, 12, 9), m.sample_many(20, 12, 9));
+        assert_ne!(m.sample_many(20, 12, 9), m.sample_many(20, 12, 10));
+    }
+
+    #[test]
+    fn top_guesses_are_descending_and_unique() {
+        let m = model();
+        let top = m.top_guesses(20, 8);
+        assert!(!top.is_empty());
+        let lps: Vec<f64> = top.iter().map(|g| m.log_probability(g)).collect();
+        assert!(lps.windows(2).all(|w| w[0] >= w[1] - 1e-9), "{top:?}");
+        let unique: std::collections::HashSet<&String> = top.iter().collect();
+        assert_eq!(unique.len(), top.len());
+        assert_eq!(top[0], "pass12");
+    }
+
+    #[test]
+    fn order_and_context_accessors() {
+        let m = model();
+        assert_eq!(m.order(), 2);
+        assert!(m.context_count() > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn zero_order_panics() {
+        let _ = MarkovModel::train(std::iter::empty(), 0, 0.1);
+    }
+
+    #[test]
+    fn omen_enumeration_finds_the_head_first() {
+        let m = model();
+        let guesses = m.omen_guesses(50, 8, 1.0, 500_000);
+        assert!(!guesses.is_empty());
+        let pos = guesses.iter().position(|g| g == "pass12");
+        assert!(pos.is_some(), "the dominant password must be enumerated: {guesses:?}");
+        // Level order approximates probability order: the dominant password
+        // appears in the first level batch.
+        assert!(pos.unwrap() < 5, "pass12 appeared at rank {pos:?}");
+        // No duplicates within the enumeration.
+        let unique: std::collections::HashSet<&String> = guesses.iter().collect();
+        assert_eq!(unique.len(), guesses.len());
+    }
+
+    #[test]
+    fn omen_respects_budget_and_length() {
+        let m = model();
+        let short = m.omen_guesses(10, 4, 1.0, 100_000);
+        assert!(short.iter().all(|g| g.chars().count() <= 4));
+        assert!(short.len() <= 10);
+        // A tiny node budget still terminates cleanly.
+        let _ = m.omen_guesses(1_000_000, 8, 1.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "level width")]
+    fn omen_zero_width_panics() {
+        let _ = model().omen_guesses(5, 8, 0.0, 100);
+    }
+}

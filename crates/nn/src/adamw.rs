@@ -1,0 +1,245 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Mat;
+
+/// A trainable parameter: value matrix, gradient accumulator, and AdamW
+/// moment state.
+///
+/// Layers own their `Param`s; the optimizer visits them through
+/// [`AdamW::update`]. `decay` controls whether weight decay applies — GPT-2
+/// practice (followed here) decays only the matmul weights, not biases,
+/// LayerNorm gains, or embeddings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Mat,
+    /// Gradient accumulated by the most recent backward pass.
+    pub grad: Mat,
+    /// Whether weight decay applies to this parameter.
+    pub decay: bool,
+    m: Mat,
+    v: Mat,
+}
+
+impl Param {
+    /// Wraps an initial value into a parameter.
+    #[must_use]
+    pub fn new(value: Mat, decay: bool) -> Param {
+        let (r, c) = (value.rows(), value.cols());
+        Param { value, grad: Mat::zeros(r, c), decay, m: Mat::zeros(r, c), v: Mat::zeros(r, c) }
+    }
+
+    /// Number of scalar weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.value.as_slice().len()
+    }
+
+    /// Whether the parameter is empty (never true for real layers).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// The AdamW optimizer (decoupled weight decay), as used by the paper
+/// ("employing the AdamW optimizer with an initial learning rate of 5e-5").
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_nn::{AdamW, Mat, Param};
+///
+/// let mut p = Param::new(Mat::from_rows(1, 1, vec![1.0]), false);
+/// p.grad = Mat::from_rows(1, 1, vec![1.0]);
+/// let mut opt = AdamW::new(0.1);
+/// opt.begin_step();
+/// opt.update(&mut p);
+/// assert!(p.value.get(0, 0) < 1.0, "gradient descent moves against the gradient");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamW {
+    /// Current learning rate (mutated by schedules).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    t: u64,
+}
+
+impl AdamW {
+    /// Creates an optimizer with GPT-2-style defaults
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`, weight decay `0.01`).
+    #[must_use]
+    pub fn new(lr: f32) -> AdamW {
+        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, t: 0 }
+    }
+
+    /// Advances the shared step counter; call once per optimization step,
+    /// before updating the parameters of that step.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Number of completed `begin_step` calls.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one AdamW update to `param` using its accumulated gradient,
+    /// then leaves the gradient untouched (callers zero it when they start
+    /// the next backward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`begin_step`](Self::begin_step).
+    pub fn update(&mut self, param: &mut Param) {
+        assert!(self.t > 0, "call begin_step before update");
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let wd = if param.decay { self.weight_decay } else { 0.0 };
+        let g = param.grad.as_slice();
+        let m = param.m.as_mut_slice();
+        let v = param.v.as_mut_slice();
+        let x = param.value.as_mut_slice();
+        for i in 0..x.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            x[i] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + wd * x[i]);
+        }
+    }
+}
+
+/// Linear-warmup + cosine-decay learning-rate schedule.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_nn::LrSchedule;
+///
+/// let sched = LrSchedule::warmup_cosine(1e-3, 10, 100);
+/// assert!(sched.lr_at(0) < sched.lr_at(9));
+/// assert!((sched.lr_at(10) - 1e-3).abs() < 1e-9);
+/// assert!(sched.lr_at(99) < 1e-3 * 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Peak learning rate reached after warmup.
+    pub peak: f32,
+    /// Number of linear-warmup steps.
+    pub warmup: u64,
+    /// Total steps; cosine decays from `warmup` to here.
+    pub total: u64,
+    /// Floor as a fraction of `peak`.
+    pub floor_frac: f32,
+}
+
+impl LrSchedule {
+    /// The standard warmup-then-cosine schedule with a 10% floor.
+    #[must_use]
+    pub fn warmup_cosine(peak: f32, warmup: u64, total: u64) -> LrSchedule {
+        LrSchedule { peak, warmup, total: total.max(warmup + 1), floor_frac: 0.1 }
+    }
+
+    /// A constant learning rate (what the paper's brief description implies).
+    #[must_use]
+    pub fn constant(lr: f32) -> LrSchedule {
+        LrSchedule { peak: lr, warmup: 0, total: 1, floor_frac: 1.0 }
+    }
+
+    /// The learning rate at optimization step `t` (0-based).
+    #[must_use]
+    pub fn lr_at(self, t: u64) -> f32 {
+        if self.warmup > 0 && t < self.warmup {
+            return self.peak * (t + 1) as f32 / self.warmup as f32;
+        }
+        if self.floor_frac >= 1.0 {
+            return self.peak;
+        }
+        let progress = (t - self.warmup) as f32 / (self.total - self.warmup) as f32;
+        let progress = progress.clamp(0.0, 1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        let floor = self.peak * self.floor_frac;
+        floor + (self.peak - floor) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    #[test]
+    fn adamw_minimizes_a_quadratic() {
+        // minimize f(x) = (x-3)^2 starting at 0.
+        let mut p = Param::new(Mat::from_rows(1, 1, vec![0.0]), false);
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..500 {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * (x - 3.0));
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_only_when_enabled() {
+        let run = |decay: bool| {
+            let mut p = Param::new(Mat::from_rows(1, 1, vec![1.0]), decay);
+            let mut opt = AdamW::new(0.01);
+            opt.weight_decay = 0.5;
+            for _ in 0..100 {
+                p.grad.set(0, 0, 0.0); // no gradient; only decay acts
+                opt.begin_step();
+                opt.update(&mut p);
+            }
+            p.value.get(0, 0)
+        };
+        assert_eq!(run(false), 1.0);
+        assert!(run(true) < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn update_requires_begin_step() {
+        let mut p = Param::new(Mat::zeros(1, 1), false);
+        AdamW::new(0.1).update(&mut p);
+    }
+
+    #[test]
+    fn schedule_shapes() {
+        let s = LrSchedule::warmup_cosine(1.0, 5, 50);
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at(4) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(25) < 1.0);
+        assert!(s.lr_at(49) >= 0.1 - 1e-6);
+        assert!(s.lr_at(1000) >= 0.1 - 1e-6); // clamps past the end
+        let c = LrSchedule::constant(0.5);
+        assert_eq!(c.lr_at(0), 0.5);
+        assert_eq!(c.lr_at(999), 0.5);
+    }
+
+    #[test]
+    fn param_basics() {
+        let mut p = Param::new(Mat::zeros(2, 3), true);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+}

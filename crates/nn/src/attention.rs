@@ -1,0 +1,453 @@
+use serde::{Deserialize, Serialize};
+
+use crate::mat::{axpy, dot};
+use crate::sampling::softmax_in_place;
+use crate::{Linear, Mat, Param, Rng};
+
+/// Causal multi-head self-attention with manual backprop and KV-cached
+/// incremental decoding — the core of the GPT-2 block (paper §III-B).
+///
+/// Training uses [`forward`](Self::forward)/[`backward`](Self::backward)
+/// over whole sequences; generation uses [`step`](Self::step), which
+/// processes one token per sequence against a [`KvCache`] so sampling a
+/// token costs `O(T)` instead of `O(T²)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfAttention {
+    /// Fused query/key/value projection, `dim → 3·dim`.
+    pub qkv: Linear,
+    /// Output projection, `dim → dim`.
+    pub proj: Linear,
+    n_heads: usize,
+    #[serde(skip)]
+    cache: Option<TrainCache>,
+}
+
+#[derive(Debug, Clone)]
+struct TrainCache {
+    b: usize,
+    t: usize,
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    /// Softmax probabilities, one `t × t` matrix per `(batch, head)`.
+    probs: Vec<Mat>,
+}
+
+impl SelfAttention {
+    /// Creates an attention layer over `dim` features with `n_heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `n_heads`.
+    #[must_use]
+    pub fn new(dim: usize, n_heads: usize, rng: &mut Rng) -> SelfAttention {
+        assert!(dim.is_multiple_of(n_heads), "dim must be divisible by n_heads");
+        SelfAttention {
+            qkv: Linear::new(dim, 3 * dim, rng),
+            proj: Linear::new(dim, dim, rng),
+            n_heads,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    #[must_use]
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    fn dim(&self) -> usize {
+        self.proj.in_dim()
+    }
+
+    /// Training forward pass over `b` sequences of `t` tokens
+    /// (`x` is `(b·t) × dim`), caching activations for `backward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != b * t`.
+    #[must_use]
+    pub fn forward(&mut self, x: &Mat, b: usize, t: usize) -> Mat {
+        assert_eq!(x.rows(), b * t, "x must hold b*t rows");
+        let c = self.dim();
+        let h = self.n_heads;
+        let d = c / h;
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let qkv = self.qkv.forward(x);
+        let (mut q, mut k, mut v) = (Mat::zeros(b * t, c), Mat::zeros(b * t, c), Mat::zeros(b * t, c));
+        for r in 0..b * t {
+            let row = qkv.row(r);
+            q.row_mut(r).copy_from_slice(&row[0..c]);
+            k.row_mut(r).copy_from_slice(&row[c..2 * c]);
+            v.row_mut(r).copy_from_slice(&row[2 * c..3 * c]);
+        }
+
+        let mut out = Mat::zeros(b * t, c);
+        let mut probs = Vec::with_capacity(b * h);
+        for bi in 0..b {
+            for hi in 0..h {
+                let col = hi * d;
+                let mut p = Mat::zeros(t, t);
+                for i in 0..t {
+                    let qi = &q.row(bi * t + i)[col..col + d];
+                    let prow = p.row_mut(i);
+                    for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
+                        *pj = dot(qi, &k.row(bi * t + j)[col..col + d]) * scale;
+                    }
+                    // Causal mask: positions after i get -inf before softmax.
+                    for pj in prow.iter_mut().skip(i + 1) {
+                        *pj = f32::NEG_INFINITY;
+                    }
+                    softmax_in_place(prow);
+                }
+                for i in 0..t {
+                    let orow = out.row_mut(bi * t + i);
+                    let prow = p.row(i);
+                    for (j, &pij) in prow.iter().enumerate().take(i + 1) {
+                        axpy(&mut orow[col..col + d], pij, &v.row(bi * t + j)[col..col + d]);
+                    }
+                }
+                probs.push(p);
+            }
+        }
+        let y = self.proj.forward(&out);
+        self.cache = Some(TrainCache { b, t, q, k, v, probs });
+        y
+    }
+
+    /// Backward pass; returns `dX` and accumulates projection gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward`](Self::forward).
+    #[must_use]
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let cache = self.cache.take().expect("backward requires a cached forward");
+        let TrainCache { b, t, q, k, v, probs } = cache;
+        let c = self.dim();
+        let h = self.n_heads;
+        let d = c / h;
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let dout = self.proj.backward(dy);
+        let mut dq = Mat::zeros(b * t, c);
+        let mut dk = Mat::zeros(b * t, c);
+        let mut dv = Mat::zeros(b * t, c);
+
+        for bi in 0..b {
+            for hi in 0..h {
+                let col = hi * d;
+                let p = &probs[bi * h + hi];
+                // dp[i][j] = dot(dout_i, v_j); dv_j += p[i][j] * dout_i
+                let mut dp = Mat::zeros(t, t);
+                for i in 0..t {
+                    let doi = &dout.row(bi * t + i)[col..col + d];
+                    let dpi = dp.row_mut(i);
+                    let pi = p.row(i);
+                    for j in 0..=i {
+                        dpi[j] = dot(doi, &v.row(bi * t + j)[col..col + d]);
+                        axpy(&mut dv.row_mut(bi * t + j)[col..col + d], pi[j], doi);
+                    }
+                }
+                // Softmax backward per row: ds = p ∘ (dp - Σ dp∘p)
+                for i in 0..t {
+                    let pi = p.row(i);
+                    let dpi = dp.row_mut(i);
+                    let mut dot_dp_p = 0.0f32;
+                    for j in 0..=i {
+                        dot_dp_p += dpi[j] * pi[j];
+                    }
+                    for j in 0..=i {
+                        dpi[j] = pi[j] * (dpi[j] - dot_dp_p) * scale;
+                    }
+                }
+                // dq_i += Σ_j ds[i][j] k_j ; dk_j += Σ_i ds[i][j] q_i
+                for i in 0..t {
+                    let dsi = dp.row(i);
+                    for (j, &s) in dsi.iter().enumerate().take(i + 1) {
+                        if s == 0.0 {
+                            continue;
+                        }
+                        axpy(&mut dq.row_mut(bi * t + i)[col..col + d], s, &k.row(bi * t + j)[col..col + d]);
+                        axpy(&mut dk.row_mut(bi * t + j)[col..col + d], s, &q.row(bi * t + i)[col..col + d]);
+                    }
+                }
+            }
+        }
+
+        // Reassemble the fused qkv gradient and push through the projection.
+        let mut dqkv = Mat::zeros(b * t, 3 * c);
+        for r in 0..b * t {
+            let row = dqkv.row_mut(r);
+            row[0..c].copy_from_slice(dq.row(r));
+            row[c..2 * c].copy_from_slice(dk.row(r));
+            row[2 * c..3 * c].copy_from_slice(dv.row(r));
+        }
+        self.qkv.backward(&dqkv)
+    }
+
+    /// Incremental decode step: `x` holds one token activation per sequence
+    /// (`batch × dim` at position `cache.len()`); appends K/V to `cache` and
+    /// returns the attended output (`batch × dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache belongs to a different batch size or is full.
+    #[must_use]
+    pub fn step(&self, x: &Mat, cache: &mut KvCache) -> Mat {
+        let c = self.dim();
+        let h = self.n_heads;
+        let d = c / h;
+        let scale = 1.0 / (d as f32).sqrt();
+        let b = cache.batch;
+        assert_eq!(x.rows(), b, "batch size must match the cache");
+        assert!(cache.len < cache.ctx, "KV cache is full");
+
+        let qkv = self.qkv.apply(x);
+        let t_new = cache.len;
+        for bi in 0..b {
+            let row = qkv.row(bi);
+            cache.k_row_mut(bi, t_new).copy_from_slice(&row[c..2 * c]);
+            cache.v_row_mut(bi, t_new).copy_from_slice(&row[2 * c..3 * c]);
+        }
+
+        let mut out = Mat::zeros(b, c);
+        let mut scores = vec![0.0f32; t_new + 1];
+        for bi in 0..b {
+            let qrow = &qkv.row(bi)[0..c];
+            for hi in 0..h {
+                let col = hi * d;
+                let qh = &qrow[col..col + d];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    *s = dot(qh, &cache.k_row(bi, j)[col..col + d]) * scale;
+                }
+                softmax_in_place(&mut scores);
+                let orow = &mut out.row_mut(bi)[col..col + d];
+                for (j, &p) in scores.iter().enumerate() {
+                    axpy(orow, p, &cache.v_row(bi, j)[col..col + d]);
+                }
+            }
+        }
+        self.proj.apply(&out)
+    }
+
+    /// Visits all parameters (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.qkv.visit_params(f);
+        self.proj.visit_params(f);
+    }
+}
+
+/// Per-layer key/value cache for batched incremental decoding.
+///
+/// Stores keys and values for `batch` parallel sequences up to `ctx`
+/// positions. One cache belongs to one attention layer; [`crate::Gpt`]
+/// bundles one per layer.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    batch: usize,
+    ctx: usize,
+    dim: usize,
+    len: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for `batch` sequences of up to `ctx` tokens
+    /// with `dim` features.
+    #[must_use]
+    pub fn new(batch: usize, ctx: usize, dim: usize) -> KvCache {
+        KvCache { batch, ctx, dim, len: 0, k: vec![0.0; batch * ctx * dim], v: vec![0.0; batch * ctx * dim] }
+    }
+
+    /// Number of cached positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no positions are cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of parallel sequences.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Maximum number of positions.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ctx
+    }
+
+    /// Marks one more position as filled (call after every layer has
+    /// appended its K/V for the current position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is already full.
+    pub fn advance(&mut self) {
+        assert!(self.len < self.ctx, "KV cache is full");
+        self.len += 1;
+    }
+
+    /// Resets to empty without deallocating.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn k_row(&self, b: usize, t: usize) -> &[f32] {
+        let o = (b * self.ctx + t) * self.dim;
+        &self.k[o..o + self.dim]
+    }
+
+    fn k_row_mut(&mut self, b: usize, t: usize) -> &mut [f32] {
+        let o = (b * self.ctx + t) * self.dim;
+        &mut self.k[o..o + self.dim]
+    }
+
+    fn v_row(&self, b: usize, t: usize) -> &[f32] {
+        let o = (b * self.ctx + t) * self.dim;
+        &self.v[o..o + self.dim]
+    }
+
+    fn v_row_mut(&mut self, b: usize, t: usize) -> &mut [f32] {
+        let o = (b * self.ctx + t) * self.dim;
+        &mut self.v[o..o + self.dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = Rng::seed_from(1);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let x = Mat::randn(6, 8, 1.0, &mut rng);
+        let y1 = attn.forward(&x, 2, 3);
+        let y2 = attn.forward(&x, 2, 3);
+        assert_eq!((y1.rows(), y1.cols()), (6, 8));
+        assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn causality_later_tokens_do_not_affect_earlier_outputs() {
+        let mut rng = Rng::seed_from(2);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let x1 = Mat::randn(4, 8, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // Perturb only the last token.
+        for v in x2.row_mut(3) {
+            *v += 1.0;
+        }
+        let y1 = attn.forward(&x1, 1, 4);
+        let y2 = attn.forward(&x2, 1, 4);
+        for r in 0..3 {
+            for (a, b) in y1.row(r).iter().zip(y2.row(r)) {
+                assert!((a - b).abs() < 1e-6, "row {r} changed");
+            }
+        }
+        // The last row must change (sanity that attention is not constant).
+        let changed = y1.row(3).iter().zip(y2.row(3)).any(|(a, b)| (a - b).abs() > 1e-4);
+        assert!(changed);
+    }
+
+    #[test]
+    fn sequences_in_a_batch_are_independent() {
+        let mut rng = Rng::seed_from(3);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let a = Mat::randn(3, 8, 1.0, &mut rng);
+        let b = Mat::randn(3, 8, 1.0, &mut rng);
+        // Batch [a; b] vs [a; a]: first sequence's output must be identical.
+        let mut ab = Mat::zeros(6, 8);
+        let mut aa = Mat::zeros(6, 8);
+        for r in 0..3 {
+            ab.row_mut(r).copy_from_slice(a.row(r));
+            aa.row_mut(r).copy_from_slice(a.row(r));
+            ab.row_mut(3 + r).copy_from_slice(b.row(r));
+            aa.row_mut(3 + r).copy_from_slice(a.row(r));
+        }
+        let y_ab = attn.forward(&ab, 2, 3);
+        let y_aa = attn.forward(&aa, 2, 3);
+        for r in 0..3 {
+            for (x, y) in y_ab.row(r).iter().zip(y_aa.row(r)) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn step_matches_full_forward() {
+        let mut rng = Rng::seed_from(4);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let t = 5;
+        let x = Mat::randn(t, 8, 1.0, &mut rng);
+        let full = attn.forward(&x, 1, t);
+        let mut cache = KvCache::new(1, t, 8);
+        for i in 0..t {
+            let xi = Mat::from_rows(1, 8, x.row(i).to_vec());
+            let yi = attn.step(&xi, &mut cache);
+            cache.advance();
+            for (a, b) in yi.row(0).iter().zip(full.row(i)) {
+                assert!((a - b).abs() < 1e-4, "position {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_step_matches_single_steps() {
+        let mut rng = Rng::seed_from(5);
+        let attn = SelfAttention::new(8, 2, &mut Rng::seed_from(40));
+        let xs: Vec<Mat> = (0..3).map(|_| Mat::randn(1, 8, 1.0, &mut rng)).collect();
+        // Batched.
+        let mut batched = Mat::zeros(3, 8);
+        for (i, x) in xs.iter().enumerate() {
+            batched.row_mut(i).copy_from_slice(x.row(0));
+        }
+        let mut cache_b = KvCache::new(3, 4, 8);
+        let yb = attn.step(&batched, &mut cache_b);
+        // Individually.
+        for (i, x) in xs.iter().enumerate() {
+            let mut cache_1 = KvCache::new(1, 4, 8);
+            let y1 = attn.step(x, &mut cache_1);
+            for (a, b) in y1.row(0).iter().zip(yb.row(i)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn kv_cache_lifecycle() {
+        let mut c = KvCache::new(2, 3, 4);
+        assert!(c.is_empty());
+        assert_eq!(c.batch(), 2);
+        assert_eq!(c.capacity(), 3);
+        c.advance();
+        c.advance();
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn kv_cache_overflow_panics() {
+        let mut c = KvCache::new(1, 1, 4);
+        c.advance();
+        c.advance();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn dim_must_divide_heads() {
+        let _ = SelfAttention::new(7, 2, &mut Rng::seed_from(0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Finite-difference gradient verification.
+//!
+//! Every backward pass in this substrate is hand-written, so the test-suite
+//! proves them correct against central finite differences. The checker is
+//! generic over "a model" — anything that can visit its [`Param`]s and
+//! evaluate a scalar loss — so the same harness validates individual layers
+//! and the full GPT.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_nn::gradcheck::GradCheck;
+//! use pagpass_nn::{Linear, Mat, Rng};
+//!
+//! let mut layer = Linear::new(3, 2, &mut Rng::seed_from(0));
+//! let x = Mat::randn(4, 3, 1.0, &mut Rng::seed_from(1));
+//! let report = GradCheck::default().run(
+//!     &mut layer,
+//!     &|l, f| l.visit_params(f),
+//!     &mut |l| {
+//!         // loss = sum of outputs; gradient of loss wrt outputs is 1.
+//!         let y = l.forward(&x);
+//!         let dy = Mat::from_rows(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+//!         let _ = l.backward(&dy);
+//!         y.as_slice().iter().sum()
+//!     },
+//! );
+//! assert!(report.max_rel < 1e-2, "max relative error {}", report.max_rel);
+//! ```
+
+use crate::{Param, Rng};
+
+/// A visitor over a model's parameters, as accepted by [`GradCheck::run`].
+pub type ParamVisitor<'m, M> = dyn Fn(&mut M, &mut dyn FnMut(&mut Param)) + 'm;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Number of scalar weights verified.
+    pub checked: usize,
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs: f32,
+    /// Largest relative difference, `|a-n| / max(1e-3, |a|+|n|)`.
+    pub max_rel: f32,
+    /// Coordinates whose error exceeded **both** tolerances. A coordinate
+    /// with a large relative error but negligible absolute error is `f32`
+    /// noise on a near-zero gradient, not a bug; only joint violations
+    /// count.
+    pub failures: usize,
+}
+
+/// Configuration for a finite-difference check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Perturbation size for central differences.
+    pub eps: f32,
+    /// Weights sampled per parameter tensor.
+    pub samples_per_param: usize,
+    /// RNG seed for index sampling.
+    pub seed: u64,
+    /// Absolute-error tolerance for [`Report::failures`].
+    pub tol_abs: f32,
+    /// Relative-error tolerance for [`Report::failures`].
+    pub tol_rel: f32,
+}
+
+impl Default for GradCheck {
+    fn default() -> GradCheck {
+        GradCheck { eps: 1e-2, samples_per_param: 6, seed: 0x9e37, tol_abs: 2e-3, tol_rel: 2e-2 }
+    }
+}
+
+impl GradCheck {
+    /// Runs the check.
+    ///
+    /// `grad_loss` must zero any stale gradients, run forward *and*
+    /// backward, and return the loss (like [`crate::Gpt::compute_grads`]).
+    /// It is re-invoked after each perturbation, so it must be
+    /// deterministic. The analytic gradient is read from the parameters
+    /// after the first call.
+    pub fn run<M>(
+        &self,
+        model: &mut M,
+        visit: &ParamVisitor<'_, M>,
+        grad_loss: &mut dyn FnMut(&mut M) -> f32,
+    ) -> Report {
+        // 1. Analytic gradients.
+        let _ = grad_loss(model);
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        visit(model, &mut |p| analytic.push(p.grad.as_slice().to_vec()));
+
+        // 2. Sample weight coordinates.
+        let mut rng = Rng::seed_from(self.seed);
+        let mut coords: Vec<(usize, usize)> = Vec::new();
+        for (pi, g) in analytic.iter().enumerate() {
+            for _ in 0..self.samples_per_param.min(g.len()) {
+                coords.push((pi, rng.below(g.len())));
+            }
+        }
+
+        // 3. Central differences.
+        let mut report = Report { checked: 0, max_abs: 0.0, max_rel: 0.0, failures: 0 };
+        for (pi, ei) in coords {
+            let orig = self.peek(model, visit, pi, ei);
+            self.poke(model, visit, pi, ei, orig + self.eps);
+            let loss_plus = grad_loss(model);
+            self.poke(model, visit, pi, ei, orig - self.eps);
+            let loss_minus = grad_loss(model);
+            self.poke(model, visit, pi, ei, orig);
+            let numeric = (loss_plus - loss_minus) / (2.0 * self.eps);
+            let a = analytic[pi][ei];
+            let abs = (a - numeric).abs();
+            let rel = abs / (a.abs() + numeric.abs()).max(1e-3);
+            report.checked += 1;
+            report.max_abs = report.max_abs.max(abs);
+            report.max_rel = report.max_rel.max(rel);
+            if abs > self.tol_abs && rel > self.tol_rel {
+                report.failures += 1;
+            }
+        }
+        report
+    }
+
+    fn peek<M>(
+        &self,
+        model: &mut M,
+        visit: &ParamVisitor<'_, M>,
+        pi: usize,
+        ei: usize,
+    ) -> f32 {
+        let mut value = 0.0;
+        let mut idx = 0;
+        visit(model, &mut |p| {
+            if idx == pi {
+                value = p.value.as_slice()[ei];
+            }
+            idx += 1;
+        });
+        value
+    }
+
+    fn poke<M>(
+        &self,
+        model: &mut M,
+        visit: &ParamVisitor<'_, M>,
+        pi: usize,
+        ei: usize,
+        value: f32,
+    ) {
+        let mut idx = 0;
+        visit(model, &mut |p| {
+            if idx == pi {
+                p.value.as_mut_slice()[ei] = value;
+            }
+            idx += 1;
+        });
+    }
+}

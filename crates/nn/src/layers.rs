@@ -1,0 +1,484 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Mat, Param, Rng};
+
+/// A fully-connected layer `y = x·W + b` with manual backprop.
+///
+/// `W` is stored `in × out` so the forward pass is a plain row-major matmul.
+/// The layer caches its input on `forward`; `backward` consumes that cache.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_nn::{Linear, Mat, Rng};
+///
+/// let mut layer = Linear::new(4, 2, &mut Rng::seed_from(0));
+/// let x = Mat::zeros(3, 4);
+/// let y = layer.forward(&x);
+/// assert_eq!((y.rows(), y.cols()), (3, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, `in × out`, weight-decayed.
+    pub w: Param,
+    /// Bias row, `1 × out`, not decayed.
+    pub b: Param,
+    #[serde(skip)]
+    cached_x: Option<Mat>,
+}
+
+impl Linear {
+    /// Creates a layer with `N(0, 0.02²)` weights and zero bias (GPT-2
+    /// initialization).
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Linear {
+        Linear {
+            w: Param::new(Mat::randn(in_dim, out_dim, 0.02, rng), true),
+            b: Param::new(Mat::zeros(1, out_dim), false),
+            cached_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input for `backward`.
+    #[must_use]
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let y = self.apply(x);
+        self.cached_x = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward pass (no caching).
+    #[must_use]
+    pub fn apply(&self, x: &Mat) -> Mat {
+        let mut y = x.matmul(&self.w.value);
+        let b = self.b.value.row(0);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (o, &bias) in row.iter_mut().zip(b) {
+                *o += bias;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward`](Self::forward).
+    #[must_use]
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let x = self.cached_x.take().expect("backward requires a cached forward");
+        x.matmul_t_accum(dy, &mut self.w.grad);
+        let db = self.b.grad.row_mut(0);
+        for r in 0..dy.rows() {
+            for (g, &d) in db.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+        dy.matmul_bt(&self.w.value)
+    }
+
+    /// Visits both parameters (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+/// A token/position embedding table with manual backprop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// The table, `vocab × dim`; not weight-decayed.
+    pub table: Param,
+    #[serde(skip)]
+    cached_ids: Option<Vec<u32>>,
+}
+
+impl Embedding {
+    /// Creates a table with `N(0, 0.02²)` rows.
+    #[must_use]
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Embedding {
+        Embedding { table: Param::new(Mat::randn(vocab, dim, 0.02, rng), false), cached_ids: None }
+    }
+
+    /// Looks up each id, producing `ids.len() × dim`, and caches the ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    #[must_use]
+    pub fn forward(&mut self, ids: &[u32]) -> Mat {
+        let out = self.apply(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Inference-only lookup (no caching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    #[must_use]
+    pub fn apply(&self, ids: &[u32]) -> Mat {
+        let dim = self.table.value.cols();
+        let mut out = Mat::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.table.value.row(id as usize));
+        }
+        out
+    }
+
+    /// Scatters `dy` rows back into the table gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward`](Self::forward).
+    pub fn backward(&mut self, dy: &Mat) {
+        let ids = self.cached_ids.take().expect("backward requires a cached forward");
+        assert_eq!(ids.len(), dy.rows());
+        for (r, &id) in ids.iter().enumerate() {
+            crate::mat::axpy(self.table.grad.row_mut(id as usize), 1.0, dy.row(r));
+        }
+    }
+
+    /// Visits the table parameter (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+/// Layer normalization with learned gain and bias.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Per-feature gain, initialized to 1; not decayed.
+    pub gamma: Param,
+    /// Per-feature bias, initialized to 0; not decayed.
+    pub beta: Param,
+    eps: f32,
+    #[serde(skip)]
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LnCache {
+    xhat: Mat,
+    rstd: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over `dim` features.
+    #[must_use]
+    pub fn new(dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: Param::new(Mat::from_rows(1, dim, vec![1.0; dim]), false),
+            beta: Param::new(Mat::zeros(1, dim), false),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Forward pass, caching normalized activations for `backward`.
+    #[must_use]
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let (y, xhat, rstd) = self.compute(x);
+        self.cache = Some(LnCache { xhat, rstd });
+        y
+    }
+
+    /// Inference-only forward pass.
+    #[must_use]
+    pub fn apply(&self, x: &Mat) -> Mat {
+        self.compute(x).0
+    }
+
+    fn compute(&self, x: &Mat) -> (Mat, Mat, Vec<f32>) {
+        let dim = x.cols();
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        let mut y = Mat::zeros(x.rows(), dim);
+        let mut xhat = Mat::zeros(x.rows(), dim);
+        let mut rstds = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+            let rstd = 1.0 / (var + self.eps).sqrt();
+            rstds.push(rstd);
+            let xh = xhat.row_mut(r);
+            let yr = y.row_mut(r);
+            for i in 0..dim {
+                xh[i] = (row[i] - mean) * rstd;
+                yr[i] = xh[i] * gamma[i] + beta[i];
+            }
+        }
+        (y, xhat, rstds)
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ` and returns `dX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward`](Self::forward).
+    #[must_use]
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let cache = self.cache.take().expect("backward requires a cached forward");
+        let dim = dy.cols();
+        let gamma = self.gamma.value.row(0);
+        let mut dx = Mat::zeros(dy.rows(), dim);
+        for r in 0..dy.rows() {
+            let dyr = dy.row(r);
+            let xh = cache.xhat.row(r);
+            // Parameter gradients.
+            {
+                let dgamma = self.gamma.grad.row_mut(0);
+                let dbeta = self.beta.grad.row_mut(0);
+                for i in 0..dim {
+                    dgamma[i] += dyr[i] * xh[i];
+                    dbeta[i] += dyr[i];
+                }
+            }
+            // Input gradient:
+            // dx = rstd * (dxhat - mean(dxhat) - xhat * mean(dxhat ∘ xhat))
+            let mut mean_dxhat = 0.0f32;
+            let mut mean_dxhat_xhat = 0.0f32;
+            for i in 0..dim {
+                let dxhat = dyr[i] * gamma[i];
+                mean_dxhat += dxhat;
+                mean_dxhat_xhat += dxhat * xh[i];
+            }
+            mean_dxhat /= dim as f32;
+            mean_dxhat_xhat /= dim as f32;
+            let rstd = cache.rstd[r];
+            let dxr = dx.row_mut(r);
+            for i in 0..dim {
+                let dxhat = dyr[i] * gamma[i];
+                dxr[i] = rstd * (dxhat - mean_dxhat - xh[i] * mean_dxhat_xhat);
+            }
+        }
+        dx
+    }
+
+    /// Visits both parameters (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// GELU activation (tanh approximation), applied element-wise.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pagpass_nn::gelu(0.0), 0.0);
+/// assert!((pagpass_nn::gelu(100.0) - 100.0).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn gelu(x: f32) -> f32 {
+    const K: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (K * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+///
+/// # Examples
+///
+/// ```
+/// let x = 0.7f32;
+/// let numeric = (pagpass_nn::gelu(x + 1e-3) - pagpass_nn::gelu(x - 1e-3)) / 2e-3;
+/// assert!((pagpass_nn::gelu_grad(x) - numeric).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn gelu_grad(x: f32) -> f32 {
+    const K: f32 = 0.797_884_6;
+    let u = K * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * K * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// The transformer MLP sub-block: `fc2(gelu(fc1(x)))` with a 4× hidden
+/// expansion, as in GPT-2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Expansion projection `dim → 4·dim`.
+    pub fc1: Linear,
+    /// Contraction projection `4·dim → dim`.
+    pub fc2: Linear,
+    #[serde(skip)]
+    cached_h: Option<Mat>,
+}
+
+impl Mlp {
+    /// Creates the two projections.
+    #[must_use]
+    pub fn new(dim: usize, rng: &mut Rng) -> Mlp {
+        Mlp { fc1: Linear::new(dim, 4 * dim, rng), fc2: Linear::new(4 * dim, dim, rng), cached_h: None }
+    }
+
+    /// Forward pass with caching.
+    #[must_use]
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let h = self.fc1.forward(x);
+        let mut a = h.clone();
+        for v in a.as_mut_slice() {
+            *v = gelu(*v);
+        }
+        self.cached_h = Some(h);
+        self.fc2.forward(&a)
+    }
+
+    /// Inference-only forward pass.
+    #[must_use]
+    pub fn apply(&self, x: &Mat) -> Mat {
+        let mut a = self.fc1.apply(x);
+        for v in a.as_mut_slice() {
+            *v = gelu(*v);
+        }
+        self.fc2.apply(&a)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`forward`](Self::forward).
+    #[must_use]
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let h = self.cached_h.take().expect("backward requires a cached forward");
+        let mut da = self.fc2.backward(dy);
+        for (g, &pre) in da.as_mut_slice().iter_mut().zip(h.as_slice()) {
+            *g *= gelu_grad(pre);
+        }
+        self.fc1.backward(&da)
+    }
+
+    /// Visits all parameters (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = Rng::seed_from(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w.value = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        l.b.value = Mat::from_rows(1, 2, vec![0.5, -0.5]);
+        let x = Mat::from_rows(1, 2, vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+        assert_eq!(l.apply(&x).as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn linear_bias_gradient_is_column_sum() {
+        let mut rng = Rng::seed_from(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Mat::zeros(4, 3);
+        let _ = l.forward(&x);
+        let dy = Mat::from_rows(4, 2, vec![1.0; 8]);
+        let _ = l.backward(&dy);
+        assert_eq!(l.b.grad.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cached forward")]
+    fn linear_backward_without_forward_panics() {
+        let mut l = Linear::new(1, 1, &mut Rng::seed_from(0));
+        let _ = l.backward(&Mat::zeros(1, 1));
+    }
+
+    #[test]
+    fn embedding_lookup_and_scatter() {
+        let mut rng = Rng::seed_from(3);
+        let mut e = Embedding::new(5, 3, &mut rng);
+        let out = e.forward(&[1, 1, 4]);
+        assert_eq!(out.row(0), e.table.value.row(1));
+        assert_eq!(out.row(2), e.table.value.row(4));
+        let dy = Mat::from_rows(3, 3, vec![1.0; 9]);
+        e.backward(&dy);
+        // Row 1 was used twice, so its gradient is 2.0 everywhere.
+        assert_eq!(e.table.grad.row(1), &[2.0, 2.0, 2.0]);
+        assert_eq!(e.table.grad.row(4), &[1.0, 1.0, 1.0]);
+        assert_eq!(e.table.grad.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let mut ln = LayerNorm::new(8);
+        let x = Mat::from_rows(2, 8, (0..16).map(|i| i as f32).collect());
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+        assert_eq!(ln.apply(&x).as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(100.0) - 100.0).abs() < 1e-3);
+        assert!(gelu(-100.0).abs() < 1e-3);
+        // Numerical derivative check across a range.
+        for i in -20..=20 {
+            let x = i as f32 * 0.25;
+            let h = 1e-3;
+            let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((num - gelu_grad(x)).abs() < 1e-2, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = Rng::seed_from(4);
+        let mut mlp = Mlp::new(6, &mut rng);
+        let x = Mat::randn(5, 6, 1.0, &mut rng);
+        let y = mlp.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 6));
+        let dx = mlp.backward(&Mat::zeros(5, 6));
+        assert_eq!((dx.rows(), dx.cols()), (5, 6));
+        let y2 = mlp.apply(&x);
+        for (a, b) in y.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        let mut rng = Rng::seed_from(5);
+        let mut count = 0;
+        Linear::new(2, 2, &mut rng).visit_params(&mut |_| count += 1);
+        assert_eq!(count, 2);
+        count = 0;
+        Mlp::new(2, &mut rng).visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4);
+        count = 0;
+        LayerNorm::new(2).visit_params(&mut |_| count += 1);
+        assert_eq!(count, 2);
+        count = 0;
+        Embedding::new(2, 2, &mut rng).visit_params(&mut |_| count += 1);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! From-scratch CPU neural-network substrate for the PagPassGPT
+//! reproduction.
+//!
+//! The paper trains a GPT-2-style decoder-only transformer. No deep-learning
+//! framework is used in this reproduction: this crate implements everything
+//! the models need, in pure safe Rust —
+//!
+//! * [`Mat`] — a dense row-major `f32` matrix with the small set of BLAS-like
+//!   kernels a transformer needs,
+//! * layers with **manual forward/backward passes**: [`Linear`],
+//!   [`Embedding`], [`LayerNorm`], [`Mlp`] (GELU), and causal multi-head
+//!   [`SelfAttention`],
+//! * [`Gpt`] — the full decoder-only language model with a fused
+//!   softmax-cross-entropy loss, training step, full-sequence inference, and
+//!   **KV-cached incremental decoding** ([`KvCache`]) for fast batched
+//!   sampling,
+//! * [`AdamW`] — the optimizer the paper uses, with linear-warmup/cosine
+//!   learning-rate scheduling ([`LrSchedule`]),
+//! * [`gradcheck`] — finite-difference gradient verification used by the
+//!   test-suite to prove every backward pass correct,
+//! * binary weight (de)serialization for experiment caching.
+//!
+//! Everything is deterministic given a seed, single-threaded, and sized for
+//! CPU-scale experiments; see `DESIGN.md` at the workspace root for how the
+//! reduced model relates to the paper's 12-layer / 256-dim configuration
+//! (available here as [`GptConfig::paper`]).
+//!
+//! # Examples
+//!
+//! Train a tiny LM on a toy corpus and watch the loss fall:
+//!
+//! ```
+//! use pagpass_nn::{AdamW, Gpt, GptConfig, Rng};
+//!
+//! let config = GptConfig { vocab_size: 10, ctx_len: 8, dim: 16, n_layers: 1, n_heads: 2 };
+//! let mut model = Gpt::new(config, &mut Rng::seed_from(1));
+//! let mut opt = AdamW::new(1e-3);
+//! // One batch of two sequences (9 is used as padding/ignore here).
+//! let tokens = vec![1, 2, 3, 4, 1, 2, 3, 4];
+//! let loss0 = model.train_step(&tokens, 2, 4, Some(9), &mut opt);
+//! for _ in 0..20 { model.train_step(&tokens, 2, 4, Some(9), &mut opt); }
+//! let loss1 = model.train_step(&tokens, 2, 4, Some(9), &mut opt);
+//! assert!(loss1 < loss0, "loss should decrease on a repeated batch");
+//! ```
+
+mod adamw;
+mod attention;
+mod gpt;
+pub mod gradcheck;
+mod layers;
+mod mat;
+mod rng;
+mod sampling;
+mod serialize;
+
+pub use adamw::{AdamW, LrSchedule, Param};
+pub use attention::{KvCache, SelfAttention};
+pub use gpt::{Gpt, GptConfig};
+pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp};
+pub use mat::Mat;
+pub use rng::Rng;
+pub use sampling::{argmax, sample_categorical, sample_masked, sample_top_k, sample_top_p, softmax_in_place};
+pub use serialize::LoadError;

@@ -1,0 +1,366 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Rng;
+
+/// A dense row-major `f32` matrix.
+///
+/// All activations and weights in the substrate are rank-2: sequence batches
+/// are flattened to `(batch × time) × dim`. The kernels below are the only
+/// BLAS-like routines the transformer needs; they are written so the
+/// auto-vectorizer produces tight inner loops (contiguous row accesses, no
+/// bounds checks inside the hot loops thanks to slice windows).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_nn::Mat;
+///
+/// let a = Mat::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let b = Mat::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zeros matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Mat {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Gaussian-initialized matrix with standard deviation `std`.
+    #[must_use]
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Mat {
+        let data = (0..rows * cols).map(|_| rng.normal() * std).collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element at `(r, c)`.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self · other` — the classic matmul: `(m×k) · (k×n) → (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other`, writing into a pre-allocated output (overwrites).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert_eq!(out.rows, self.rows, "output rows");
+        assert_eq!(out.cols, other.cols, "output cols");
+        let (k, n) = (self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            out_row.fill(0.0);
+            for (kk, &aik) in a_row.iter().enumerate().take(k) {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..kk * n + n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+    }
+
+    /// `selfᵀ · other`: `(k×m)ᵀ · (k×n) → (m×n)`, accumulating into `out`.
+    ///
+    /// This is the weight-gradient kernel `dW += Xᵀ·dY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn matmul_t_accum(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.rows, other.rows, "leading dimensions must agree");
+        assert_eq!(out.rows, self.cols, "output rows");
+        assert_eq!(out.cols, other.cols, "output cols");
+        let n = other.cols;
+        for r in 0..self.rows {
+            let x_row = self.row(r);
+            let dy_row = other.row(r);
+            for (i, &xri) in x_row.iter().enumerate() {
+                if xri == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * n..i * n + n];
+                for (o, &dy) in o_row.iter_mut().zip(dy_row) {
+                    *o += xri * dy;
+                }
+            }
+        }
+    }
+
+    /// `self · otherᵀ`: `(m×k) · (n×k)ᵀ → (m×n)`.
+    ///
+    /// This is the input-gradient kernel `dX = dY·Wᵀ` (and the attention
+    /// score kernel `Q·Kᵀ`). Both operands are traversed row-contiguously,
+    /// so the inner loop is a dot product of two slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul_bt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales all elements by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets all elements to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    // Four accumulators let the vectorizer keep independent FMA chains.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// Adds `scale * b` into `a`.
+pub(crate) fn axpy(a: &mut [f32], scale: f32, b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += scale * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Rng::seed_from(5);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (7, 5, 3), (8, 8, 8)] {
+            let a = Mat::randn(m, k, 1.0, &mut rng);
+            let b = Mat::randn(k, n, 1.0, &mut rng);
+            let fast = a.matmul(&b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_accum_is_xt_dy() {
+        let mut rng = Rng::seed_from(6);
+        let x = Mat::randn(5, 3, 1.0, &mut rng);
+        let dy = Mat::randn(5, 4, 1.0, &mut rng);
+        let mut acc = Mat::zeros(3, 4);
+        x.matmul_t_accum(&dy, &mut acc);
+        // Reference: transpose x manually then matmul.
+        let mut xt = Mat::zeros(3, 5);
+        for i in 0..5 {
+            for j in 0..3 {
+                xt.set(j, i, x.get(i, j));
+            }
+        }
+        let expect = naive_matmul(&xt, &dy);
+        for (a, e) in acc.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+        // Accumulation: calling again doubles.
+        x.matmul_t_accum(&dy, &mut acc);
+        for (a, e) in acc.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - 2.0 * e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_is_a_bt() {
+        let mut rng = Rng::seed_from(7);
+        let a = Mat::randn(4, 6, 1.0, &mut rng);
+        let b = Mat::randn(3, 6, 1.0, &mut rng);
+        let got = a.matmul_bt(&b);
+        let mut bt = Mat::zeros(6, 3);
+        for i in 0..3 {
+            for j in 0..6 {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        let expect = naive_matmul(&a, &bt);
+        for (x, y) in got.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn elementwise_helpers() {
+        let mut a = Mat::from_rows(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_rows(1, 3, vec![0.5, 0.5, 0.5]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 2.5, 3.5]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Mat::zeros(2, 2);
+        m.set(1, 0, 9.0);
+        assert_eq!(m.get(1, 0), 9.0);
+        assert_eq!(m.row(1), &[9.0, 0.0]);
+        m.row_mut(0)[1] = 3.0;
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for len in 0..10 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i * 2) as f32).collect();
+            let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(dot(&a, &b), expect);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Gpt, GptConfig, Rng};
+
+/// File magic for serialized weights (`PAGNN` + format version 1).
+const MAGIC: &[u8; 8] = b"PAGNN\0\0\x01";
+
+/// Errors produced while loading serialized weights.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a PAGNN weight file or uses a different version.
+    BadMagic,
+    /// The stored tensor sizes do not match the stored configuration.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadMagic => write!(f, "not a PAGNN weight file (bad magic)"),
+            LoadError::Corrupt(what) => write!(f, "corrupt weight file: {what}"),
+        }
+    }
+}
+
+impl Error for LoadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+impl Gpt {
+    /// Serializes configuration and weights to a compact binary buffer.
+    #[must_use]
+    pub fn to_bytes(&mut self) -> Bytes {
+        let config = self.config();
+        let mut buf = BytesMut::with_capacity(64 + self.num_params() * 4);
+        buf.put_slice(MAGIC);
+        for v in [config.vocab_size, config.ctx_len, config.dim, config.n_layers, config.n_heads] {
+            buf.put_u32_le(v as u32);
+        }
+        self.visit_params(&mut |p| {
+            buf.put_u32_le(p.len() as u32);
+            for &x in p.value.as_slice() {
+                buf.put_f32_le(x);
+            }
+        });
+        buf.freeze()
+    }
+
+    /// Reconstructs a model from [`to_bytes`](Self::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::BadMagic`] for foreign data and
+    /// [`LoadError::Corrupt`] when tensor sizes disagree with the stored
+    /// configuration.
+    pub fn from_bytes(mut data: Bytes) -> Result<Gpt, LoadError> {
+        if data.remaining() < MAGIC.len() + 20 || &data.copy_to_bytes(8)[..] != MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        let mut dims = [0usize; 5];
+        for d in &mut dims {
+            *d = data.get_u32_le() as usize;
+        }
+        let config = GptConfig {
+            vocab_size: dims[0],
+            ctx_len: dims[1],
+            dim: dims[2],
+            n_layers: dims[3],
+            n_heads: dims[4],
+        };
+        if config.dim == 0 || config.n_heads == 0 || !config.dim.is_multiple_of(config.n_heads) {
+            return Err(LoadError::Corrupt("invalid configuration"));
+        }
+        let mut model = Gpt::new(config, &mut Rng::seed_from(0));
+        let mut failure: Option<&'static str> = None;
+        model.visit_params(&mut |p| {
+            if failure.is_some() {
+                return;
+            }
+            if data.remaining() < 4 {
+                failure = Some("truncated before a tensor header");
+                return;
+            }
+            let len = data.get_u32_le() as usize;
+            if len != p.len() {
+                failure = Some("tensor size mismatch");
+                return;
+            }
+            if data.remaining() < len * 4 {
+                failure = Some("truncated tensor data");
+                return;
+            }
+            for x in p.value.as_mut_slice() {
+                *x = data.get_f32_le();
+            }
+        });
+        if let Some(what) = failure {
+            return Err(LoadError::Corrupt(what));
+        }
+        if data.has_remaining() {
+            return Err(LoadError::Corrupt("trailing bytes"));
+        }
+        Ok(model)
+    }
+
+    /// Saves the model to a file (see [`to_bytes`](Self::to_bytes)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let bytes = self.to_bytes();
+        let mut file = fs::File::create(path)?;
+        file.write_all(&bytes)
+    }
+
+    /// Loads a model saved with [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] on I/O failure or malformed data.
+    pub fn load(path: impl AsRef<Path>) -> Result<Gpt, LoadError> {
+        let mut data = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut data)?;
+        Gpt::from_bytes(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_weights_and_behaviour() {
+        let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
+        let bytes = model.to_bytes();
+        let loaded = Gpt::from_bytes(bytes).unwrap();
+        let prefix = vec![1u32, 2, 3];
+        assert_eq!(model.next_token_logits(&prefix), loaded.next_token_logits(&prefix));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Gpt::from_bytes(Bytes::from_static(b"not a model file at all....."));
+        assert!(matches!(err, Err(LoadError::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_data_is_rejected() {
+        let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
+        let bytes = model.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(matches!(Gpt::from_bytes(truncated), Err(LoadError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
+        let mut data = model.to_bytes().to_vec();
+        data.push(0);
+        assert!(matches!(Gpt::from_bytes(Bytes::from(data)), Err(LoadError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pagpass_nn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.pagnn");
+        let mut model = Gpt::new(GptConfig::tiny(9), &mut Rng::seed_from(4));
+        model.save(&path).unwrap();
+        let loaded = Gpt::load(&path).unwrap();
+        assert_eq!(model.next_token_logits(&[1]), loaded.next_token_logits(&[1]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(matches!(
+            Gpt::load("/nonexistent/path/model.pagnn"),
+            Err(LoadError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the nn substrate's algebra and numerics.
+
+use pagpass_nn::{softmax_in_place, Gpt, GptConfig, Mat, Rng};
+use proptest::prelude::*;
+
+fn small_mat(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Mat::from_rows(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Mat::randn(m, k, 1.0, &mut rng);
+        let b = Mat::randn(m, k, 1.0, &mut rng);
+        let c = Mat::randn(k, n, 1.0, &mut rng);
+        let mut ab = a.clone();
+        ab.add_assign(&b);
+        let lhs = ab.matmul(&c);
+        let mut rhs = a.matmul(&c);
+        rhs.add_assign(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// `A·Bᵀ` equals transposing manually.
+    #[test]
+    fn matmul_bt_consistent(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Mat::randn(m, k, 1.0, &mut rng);
+        let b = Mat::randn(n, k, 1.0, &mut rng);
+        let mut bt = Mat::zeros(k, n);
+        for i in 0..n {
+            for j in 0..k {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        let fast = a.matmul_bt(&b);
+        let slow = a.matmul(&bt);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax output is a probability vector and order-preserving.
+    #[test]
+    fn softmax_properties(mut v in proptest::collection::vec(-20.0f32..20.0, 1..16)) {
+        let original = v.clone();
+        softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if original[i] > original[j] {
+                    prop_assert!(v[i] >= v[j]);
+                }
+            }
+        }
+    }
+
+    /// Scaling then adding matches fused arithmetic on raw data.
+    #[test]
+    fn mat_linear_ops(m in small_mat(5), s in -2.0f32..2.0) {
+        let mut scaled = m.clone();
+        scaled.scale(s);
+        for (a, b) in scaled.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b * s).abs() < 1e-5);
+        }
+        let mut summed = m.clone();
+        summed.add_assign(&m);
+        for (a, b) in summed.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+    }
+
+    /// Serialization roundtrips preserve next-token logits bit-for-bit.
+    #[test]
+    fn gpt_serialization_roundtrip(seed in 0u64..100) {
+        let mut model = Gpt::new(
+            GptConfig { vocab_size: 11, ctx_len: 8, dim: 8, n_layers: 1, n_heads: 2 },
+            &mut Rng::seed_from(seed),
+        );
+        let restored = Gpt::from_bytes(model.to_bytes()).unwrap();
+        prop_assert_eq!(model.next_token_logits(&[1, 2, 3]), restored.next_token_logits(&[1, 2, 3]));
+    }
+
+    /// Decode is prefix-consistent: feeding the same prefix twice yields
+    /// identical logits regardless of what other batches ran before.
+    #[test]
+    fn decode_is_stateless_across_sessions(seed in 0u64..100, toks in proptest::collection::vec(0u32..11, 1..6)) {
+        let model = Gpt::new(
+            GptConfig { vocab_size: 11, ctx_len: 8, dim: 8, n_layers: 1, n_heads: 2 },
+            &mut Rng::seed_from(seed),
+        );
+        let a = model.next_token_logits(&toks);
+        let _ = model.next_token_logits(&[5, 5, 5]);
+        let b = model.next_token_logits(&toks);
+        prop_assert_eq!(a, b);
+    }
+}

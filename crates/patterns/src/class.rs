@@ -1,0 +1,191 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PatternError;
+
+/// The 52 letter characters, in vocabulary order.
+pub const LETTER_CHARS: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// The 10 digit characters.
+pub const DIGIT_CHARS: &str = "0123456789";
+
+/// The 32 special characters: all printable ASCII punctuation.
+///
+/// Together with [`LETTER_CHARS`] and [`DIGIT_CHARS`] these are exactly the
+/// 94 printable ASCII characters excluding the space character, matching the
+/// paper's data-cleaning rule and tokenizer vocabulary.
+pub const SPECIAL_CHARS: &str = "!\"#$%&'()*+,-./:;<=>?@[\\]^_`{|}~";
+
+/// Total alphabet size: `52 + 10 + 32 = 94` printable ASCII characters.
+pub const ALPHABET_SIZE: usize = 94;
+
+/// One of the three PCFG character classes.
+///
+/// Every printable ASCII character except the space belongs to exactly one
+/// class. The class symbols follow the paper: `L` for letters, `N` for
+/// numbers (digits), `S` for special characters.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_patterns::CharClass;
+///
+/// assert_eq!(CharClass::of('a'), Some(CharClass::Letter));
+/// assert_eq!(CharClass::of('7'), Some(CharClass::Digit));
+/// assert_eq!(CharClass::of('$'), Some(CharClass::Special));
+/// assert_eq!(CharClass::of(' '), None);
+/// assert_eq!(CharClass::Letter.alphabet_size(), 52);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CharClass {
+    /// An uppercase or lowercase ASCII letter (`a-z`, `A-Z`), symbol `L`.
+    Letter,
+    /// An ASCII digit (`0-9`), symbol `N`.
+    Digit,
+    /// One of the 32 printable ASCII punctuation characters, symbol `S`.
+    Special,
+}
+
+impl CharClass {
+    /// All classes, in the order used throughout the crate.
+    pub const ALL: [CharClass; 3] = [CharClass::Letter, CharClass::Digit, CharClass::Special];
+
+    /// Classifies a character, returning `None` for anything outside the
+    /// 94-character alphabet (space, control characters, non-ASCII).
+    #[must_use]
+    pub fn of(c: char) -> Option<CharClass> {
+        match c {
+            'a'..='z' | 'A'..='Z' => Some(CharClass::Letter),
+            '0'..='9' => Some(CharClass::Digit),
+            c if c.is_ascii_graphic() => Some(CharClass::Special),
+            _ => None,
+        }
+    }
+
+    /// The symbol used in pattern notation: `L`, `N`, or `S`.
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            CharClass::Letter => 'L',
+            CharClass::Digit => 'N',
+            CharClass::Special => 'S',
+        }
+    }
+
+    /// Parses a pattern symbol back into a class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::UnknownClassSymbol`] if `symbol` is not one of
+    /// `L`, `N`, `S`.
+    pub fn from_symbol(symbol: char) -> Result<CharClass, PatternError> {
+        match symbol {
+            'L' => Ok(CharClass::Letter),
+            'N' => Ok(CharClass::Digit),
+            'S' => Ok(CharClass::Special),
+            other => Err(PatternError::UnknownClassSymbol(other)),
+        }
+    }
+
+    /// The characters belonging to this class, in vocabulary order.
+    #[must_use]
+    pub fn chars(self) -> &'static str {
+        match self {
+            CharClass::Letter => LETTER_CHARS,
+            CharClass::Digit => DIGIT_CHARS,
+            CharClass::Special => SPECIAL_CHARS,
+        }
+    }
+
+    /// Number of characters in this class: 52, 10, or 32.
+    ///
+    /// These are the candidate counts `c` that D&C-GEN uses when splitting a
+    /// task on the next token (paper §III-C1).
+    #[must_use]
+    pub fn alphabet_size(self) -> usize {
+        self.chars().len()
+    }
+
+    /// Whether `c` belongs to this class.
+    #[must_use]
+    pub fn contains(self, c: char) -> bool {
+        CharClass::of(c) == Some(self)
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_the_printable_ascii_alphabet() {
+        let mut total = 0usize;
+        for c in (0u8..=127).map(char::from) {
+            let class = CharClass::of(c);
+            if c == ' ' || !c.is_ascii_graphic() {
+                assert_eq!(class, None, "{c:?} should be outside the alphabet");
+            } else {
+                total += 1;
+                let class = class.expect("printable non-space char must classify");
+                assert!(class.chars().contains(c), "{c:?} missing from {class:?}");
+            }
+        }
+        assert_eq!(total, ALPHABET_SIZE);
+    }
+
+    #[test]
+    fn class_sizes_match_the_paper() {
+        assert_eq!(CharClass::Letter.alphabet_size(), 52);
+        assert_eq!(CharClass::Digit.alphabet_size(), 10);
+        assert_eq!(CharClass::Special.alphabet_size(), 32);
+        assert_eq!(
+            CharClass::ALL.iter().map(|c| c.alphabet_size()).sum::<usize>(),
+            ALPHABET_SIZE
+        );
+    }
+
+    #[test]
+    fn class_alphabets_are_disjoint() {
+        for a in CharClass::ALL {
+            for b in CharClass::ALL {
+                if a != b {
+                    assert!(!a.chars().chars().any(|c| b.chars().contains(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for class in CharClass::ALL {
+            assert_eq!(CharClass::from_symbol(class.symbol()), Ok(class));
+        }
+        assert!(matches!(
+            CharClass::from_symbol('X'),
+            Err(PatternError::UnknownClassSymbol('X'))
+        ));
+    }
+
+    #[test]
+    fn display_matches_symbol() {
+        assert_eq!(CharClass::Letter.to_string(), "L");
+        assert_eq!(CharClass::Digit.to_string(), "N");
+        assert_eq!(CharClass::Special.to_string(), "S");
+    }
+
+    #[test]
+    fn contains_agrees_with_of() {
+        for c in "aZ3$ ~\u{e9}".chars() {
+            for class in CharClass::ALL {
+                assert_eq!(class.contains(c), CharClass::of(c) == Some(class));
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Pattern;
+
+/// A pattern together with its empirical count and probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternCount {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Number of corpus passwords with this pattern.
+    pub count: u64,
+    /// `count / total`, the empirical prior `Pr(P)`.
+    pub probability: f64,
+}
+
+/// Empirical distribution of PCFG patterns over a password corpus.
+///
+/// This is the prior `Pr(P)` that PagPassGPT's D&C-GEN uses to split the
+/// total guessing budget across patterns (Algorithm 1, input `S_p`), that the
+/// PCFG baseline uses to order its grammar, and that the evaluation uses for
+/// the pattern-distance metric (Eq. 7).
+///
+/// Passwords whose pattern cannot be extracted (out-of-alphabet characters,
+/// oversized runs) are skipped and counted in [`skipped`](Self::skipped).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_patterns::PatternDistribution;
+///
+/// let dist = PatternDistribution::from_passwords(
+///     ["abc123", "xyz789", "hello!", "1234"].iter().copied(),
+/// );
+/// assert_eq!(dist.total(), 4);
+/// let top = dist.top(1);
+/// assert_eq!(top[0].pattern.to_string(), "L3N3");
+/// assert_eq!(top[0].count, 2);
+/// assert!((top[0].probability - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PatternDistribution {
+    counts: HashMap<Pattern, u64>,
+    total: u64,
+    skipped: u64,
+}
+
+impl PatternDistribution {
+    /// Creates an empty distribution.
+    #[must_use]
+    pub fn new() -> PatternDistribution {
+        PatternDistribution::default()
+    }
+
+    /// Builds a distribution by extracting the pattern of every password.
+    pub fn from_passwords<'a, I>(passwords: I) -> PatternDistribution
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut dist = PatternDistribution::new();
+        for pw in passwords {
+            dist.observe_password(pw);
+        }
+        dist
+    }
+
+    /// Records one password; unextractable passwords increment
+    /// [`skipped`](Self::skipped) instead.
+    pub fn observe_password(&mut self, password: &str) {
+        match Pattern::of_password(password) {
+            Ok(pattern) => self.observe(pattern),
+            Err(_) => self.skipped += 1,
+        }
+    }
+
+    /// Records one already-extracted pattern.
+    pub fn observe(&mut self, pattern: Pattern) {
+        *self.counts.entry(pattern).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observed (extractable) passwords.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of passwords skipped because pattern extraction failed.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Number of distinct patterns observed.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Empirical probability of `pattern` (0.0 if unseen or empty corpus).
+    #[must_use]
+    pub fn probability(&self, pattern: &Pattern) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(pattern).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Raw count of `pattern`.
+    #[must_use]
+    pub fn count(&self, pattern: &Pattern) -> u64 {
+        *self.counts.get(pattern).unwrap_or(&0)
+    }
+
+    /// All patterns with counts and probabilities, sorted by descending
+    /// count; ties break lexicographically on the pattern for determinism.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<PatternCount> {
+        let mut entries: Vec<PatternCount> = self
+            .counts
+            .iter()
+            .map(|(pattern, &count)| PatternCount {
+                pattern: pattern.clone(),
+                count,
+                probability: count as f64 / self.total.max(1) as f64,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.pattern.cmp(&b.pattern)));
+        entries
+    }
+
+    /// The `k` most frequent patterns.
+    #[must_use]
+    pub fn top(&self, k: usize) -> Vec<PatternCount> {
+        let mut ranked = self.ranked();
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Groups patterns by segment count: `by_segments()[&3]` holds the ranked
+    /// patterns with three segments. This is the paper's *category* notion
+    /// (Fig. 8/9).
+    #[must_use]
+    pub fn by_segments(&self) -> HashMap<usize, Vec<PatternCount>> {
+        let mut map: HashMap<usize, Vec<PatternCount>> = HashMap::new();
+        for entry in self.ranked() {
+            map.entry(entry.pattern.segment_count()).or_default().push(entry);
+        }
+        map
+    }
+
+    /// Iterator over `(pattern, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Pattern, u64)> {
+        self.counts.iter().map(|(p, &c)| (p, c))
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &PatternDistribution) {
+        for (pattern, count) in &other.counts {
+            *self.counts.entry(pattern.clone()).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.skipped += other.skipped;
+    }
+}
+
+impl Extend<Pattern> for PatternDistribution {
+    fn extend<T: IntoIterator<Item = Pattern>>(&mut self, iter: T) {
+        for p in iter {
+            self.observe(p);
+        }
+    }
+}
+
+impl FromIterator<Pattern> for PatternDistribution {
+    fn from_iter<T: IntoIterator<Item = Pattern>>(iter: T) -> PatternDistribution {
+        let mut dist = PatternDistribution::new();
+        dist.extend(iter);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> PatternDistribution {
+        PatternDistribution::from_passwords(
+            ["abc123", "dog456", "cat789", "hello!", "1234", "bad pw"]
+                .iter()
+                .copied(),
+        )
+    }
+
+    #[test]
+    fn counts_and_probabilities() {
+        let d = dist();
+        assert_eq!(d.total(), 5);
+        assert_eq!(d.skipped(), 1);
+        assert_eq!(d.distinct(), 3);
+        let l3n3: Pattern = "L3N3".parse().unwrap();
+        assert_eq!(d.count(&l3n3), 3);
+        assert!((d.probability(&l3n3) - 0.6).abs() < 1e-12);
+        let unseen: Pattern = "S4".parse().unwrap();
+        assert_eq!(d.count(&unseen), 0);
+        assert_eq!(d.probability(&unseen), 0.0);
+    }
+
+    #[test]
+    fn ranked_is_sorted_and_normalized() {
+        let d = dist();
+        let ranked = d.ranked();
+        assert!(ranked.windows(2).all(|w| w[0].count >= w[1].count));
+        let sum: f64 = ranked.iter().map(|e| e.probability).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_segments_buckets_categories() {
+        let d = dist();
+        let buckets = d.by_segments();
+        assert_eq!(buckets[&1].len(), 1); // N4
+        assert_eq!(buckets[&2].len(), 2); // L3N3, L5S1
+        assert!(!buckets.contains_key(&3));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = dist();
+        let b = dist();
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.skipped(), 2);
+        let l3n3: Pattern = "L3N3".parse().unwrap();
+        assert_eq!(a.count(&l3n3), 6);
+    }
+
+    #[test]
+    fn empty_distribution_is_harmless() {
+        let d = PatternDistribution::new();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.ranked().len(), 0);
+        assert_eq!(d.probability(&"L1".parse().unwrap()), 0.0);
+    }
+
+    #[test]
+    fn collect_from_patterns() {
+        let d: PatternDistribution = ["L3N3", "L3N3", "S1"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.count(&"L3N3".parse().unwrap()), 2);
+    }
+}

@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while extracting or parsing PCFG patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// A password contained a character outside the 94-character alphabet
+    /// (space, control, or non-ASCII characters).
+    UnsupportedChar(char),
+    /// The password (or pattern) was empty.
+    Empty,
+    /// A segment length exceeded [`MAX_SEGMENT_LEN`](crate::MAX_SEGMENT_LEN),
+    /// which has no token in the paper's 136-token vocabulary.
+    SegmentTooLong(usize),
+    /// A pattern string used a class symbol other than `L`, `N`, `S`.
+    UnknownClassSymbol(char),
+    /// A pattern string had a class symbol without a following length, or a
+    /// zero length.
+    MissingLength,
+    /// Two consecutive segments of the same class, e.g. `L2L3`; a valid PCFG
+    /// pattern uses *maximal* runs so adjacent segments differ in class.
+    AdjacentSameClass,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::UnsupportedChar(c) => {
+                write!(f, "character {c:?} is outside the 94-character alphabet")
+            }
+            PatternError::Empty => write!(f, "empty password or pattern"),
+            PatternError::SegmentTooLong(len) => {
+                write!(f, "segment length {len} exceeds the maximum of 12")
+            }
+            PatternError::UnknownClassSymbol(c) => {
+                write!(f, "unknown character-class symbol {c:?}, expected L, N, or S")
+            }
+            PatternError::MissingLength => write!(f, "class symbol without a positive length"),
+            PatternError::AdjacentSameClass => {
+                write!(f, "adjacent segments share a class; runs must be maximal")
+            }
+        }
+    }
+}
+
+impl Error for PatternError {}

@@ -1,0 +1,47 @@
+//! PCFG pattern algebra for the PagPassGPT reproduction.
+//!
+//! The PagPassGPT paper (DSN 2024) represents the *structure* of a password
+//! with the classic PCFG notation of Weir et al. (S&P 2009): a password is
+//! split into maximal runs of characters of the same class — letters (`L`),
+//! digits (`N`), or special characters (`S`) — and each run is written as the
+//! class symbol followed by the run length. `Pass123$` therefore has the
+//! pattern `L4N3S1`.
+//!
+//! This crate provides:
+//!
+//! * [`CharClass`] — the three character classes and the 94-character
+//!   printable-ASCII alphabet (space excluded) they partition,
+//! * [`Segment`] — one `class × length` run,
+//! * [`Pattern`] — a sequence of segments with extraction
+//!   ([`Pattern::of_password`]), parsing ([`str::parse`]), matching and
+//!   search-space accounting,
+//! * [`PatternDistribution`] — empirical pattern statistics over a corpus,
+//!   the prior `Pr(P)` used by both the PCFG baseline and D&C-GEN.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_patterns::Pattern;
+//!
+//! # fn main() -> Result<(), pagpass_patterns::PatternError> {
+//! let pattern = Pattern::of_password("Pass123$")?;
+//! assert_eq!(pattern.to_string(), "L4N3S1");
+//! assert_eq!(pattern.char_len(), 8);
+//! assert!(pattern.matches("word456!"));
+//! assert!(!pattern.matches("word45!6"));
+//!
+//! let parsed: Pattern = "L4N3S1".parse()?;
+//! assert_eq!(parsed, pattern);
+//! # Ok(())
+//! # }
+//! ```
+
+mod class;
+mod distribution;
+mod error;
+mod pattern;
+
+pub use class::{CharClass, ALPHABET_SIZE, DIGIT_CHARS, LETTER_CHARS, SPECIAL_CHARS};
+pub use distribution::{PatternCount, PatternDistribution};
+pub use error::PatternError;
+pub use pattern::{Pattern, Segment, MAX_SEGMENT_LEN};

@@ -1,0 +1,384 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CharClass, PatternError};
+
+/// Largest representable segment length.
+///
+/// The paper's vocabulary contains exactly 36 pattern tokens (`L1..L12`,
+/// `N1..N12`, `S1..S12`), so a single run may be at most 12 characters —
+/// consistent with the data cleaning step that keeps passwords of 4–12
+/// characters.
+pub const MAX_SEGMENT_LEN: usize = 12;
+
+/// One maximal run of same-class characters, e.g. `L4` or `S1`.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_patterns::{CharClass, Segment};
+///
+/// let seg = Segment::new(CharClass::Letter, 4).unwrap();
+/// assert_eq!(seg.to_string(), "L4");
+/// assert_eq!(seg.len().get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    class: CharClass,
+    len: u8,
+}
+
+impl Segment {
+    /// Creates a segment of `len` characters of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::MissingLength`] for `len == 0` and
+    /// [`PatternError::SegmentTooLong`] for `len > 12`.
+    pub fn new(class: CharClass, len: usize) -> Result<Segment, PatternError> {
+        if len == 0 {
+            return Err(PatternError::MissingLength);
+        }
+        if len > MAX_SEGMENT_LEN {
+            return Err(PatternError::SegmentTooLong(len));
+        }
+        Ok(Segment { class, len: len as u8 })
+    }
+
+    /// The character class of this run.
+    #[must_use]
+    pub fn class(self) -> CharClass {
+        self.class
+    }
+
+    /// The run length (between 1 and 12).
+    #[must_use]
+    pub fn len(self) -> std::num::NonZeroU8 {
+        // Invariant upheld by `new`.
+        std::num::NonZeroU8::new(self.len).expect("segment length is non-zero")
+    }
+
+    /// Number of distinct strings matching this segment,
+    /// `alphabet_size ^ len` as an `f64`.
+    #[must_use]
+    pub fn search_space(self) -> f64 {
+        (self.class.alphabet_size() as f64).powi(i32::from(self.len))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.symbol(), self.len)
+    }
+}
+
+/// A full PCFG pattern: the sequence of maximal same-class runs of a
+/// password, e.g. `L4N3S1` for `Pass123$`.
+///
+/// Patterns are ordered and hashable so they can serve as map keys in
+/// distribution statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_patterns::Pattern;
+///
+/// # fn main() -> Result<(), pagpass_patterns::PatternError> {
+/// let p = Pattern::of_password("abc123!")?;
+/// assert_eq!(p.to_string(), "L3N3S1");
+/// assert_eq!(p.segment_count(), 3);
+/// assert_eq!(p.char_len(), 7);
+/// // 52^3 letter choices, 10^3 digits, 32 specials:
+/// assert_eq!(p.search_space(), 52f64.powi(3) * 1000.0 * 32.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    segments: Vec<Segment>,
+}
+
+impl Pattern {
+    /// Extracts the pattern of a password by splitting it into maximal
+    /// same-class runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Empty`] for an empty password,
+    /// [`PatternError::UnsupportedChar`] if any character falls outside the
+    /// 94-character alphabet, and [`PatternError::SegmentTooLong`] if a run
+    /// exceeds 12 characters.
+    pub fn of_password(password: &str) -> Result<Pattern, PatternError> {
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut run_class: Option<CharClass> = None;
+        let mut run_len = 0usize;
+        for c in password.chars() {
+            let class = CharClass::of(c).ok_or(PatternError::UnsupportedChar(c))?;
+            match run_class {
+                Some(current) if current == class => run_len += 1,
+                Some(current) => {
+                    segments.push(Segment::new(current, run_len)?);
+                    run_class = Some(class);
+                    run_len = 1;
+                }
+                None => {
+                    run_class = Some(class);
+                    run_len = 1;
+                }
+            }
+        }
+        match run_class {
+            Some(class) => segments.push(Segment::new(class, run_len)?),
+            None => return Err(PatternError::Empty),
+        }
+        Ok(Pattern { segments })
+    }
+
+    /// Builds a pattern from explicit segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError::Empty`] for no segments and
+    /// [`PatternError::AdjacentSameClass`] if two consecutive segments share
+    /// a class (runs must be maximal for extraction and parsing to agree).
+    pub fn from_segments(segments: Vec<Segment>) -> Result<Pattern, PatternError> {
+        if segments.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        if segments.windows(2).any(|w| w[0].class() == w[1].class()) {
+            return Err(PatternError::AdjacentSameClass);
+        }
+        Ok(Pattern { segments })
+    }
+
+    /// The segments of this pattern in order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments; the paper buckets patterns into *categories* by
+    /// this count (Fig. 8/9 report hit rate per category).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total password length described by this pattern.
+    #[must_use]
+    pub fn char_len(&self) -> usize {
+        self.segments.iter().map(|s| usize::from(s.len().get())).sum()
+    }
+
+    /// Iterator over the character class at each password position.
+    ///
+    /// Useful for per-position constrained sampling: position `i` of a
+    /// conforming password must draw from `class_at(i).chars()`.
+    pub fn position_classes(&self) -> impl Iterator<Item = CharClass> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.class(), usize::from(s.len().get())))
+    }
+
+    /// The character class required at position `index`, or `None` past the
+    /// end of the pattern.
+    #[must_use]
+    pub fn class_at(&self, index: usize) -> Option<CharClass> {
+        let mut pos = index;
+        for seg in &self.segments {
+            let len = usize::from(seg.len().get());
+            if pos < len {
+                return Some(seg.class());
+            }
+            pos -= len;
+        }
+        None
+    }
+
+    /// Whether `password` conforms to this pattern.
+    ///
+    /// Equivalent to `Pattern::of_password(password) == Ok(self)` but without
+    /// allocation.
+    #[must_use]
+    pub fn matches(&self, password: &str) -> bool {
+        let mut classes = self.position_classes();
+        for c in password.chars() {
+            match (classes.next(), CharClass::of(c)) {
+                (Some(expected), Some(actual)) if expected == actual => {}
+                _ => return false,
+            }
+        }
+        // Also require maximality implicitly: conforming position classes of
+        // a maximal-run pattern guarantee the password's own pattern equals
+        // `self`, as long as all positions were consumed.
+        classes.next().is_none()
+    }
+
+    /// Number of distinct passwords conforming to this pattern (as `f64`,
+    /// since it overflows `u64` for long letter runs).
+    ///
+    /// D&C-GEN caps a pattern's quota at this value (paper §III-C3,
+    /// optimization 2).
+    #[must_use]
+    pub fn search_space(&self) -> f64 {
+        self.segments.iter().map(|s| s.search_space()).product()
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for seg in &self.segments {
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Pattern {
+    type Err = PatternError;
+
+    /// Parses notation like `L4N3S1`.
+    fn from_str(s: &str) -> Result<Pattern, PatternError> {
+        if s.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let mut segments = Vec::new();
+        let mut chars = s.chars().peekable();
+        while let Some(symbol) = chars.next() {
+            let class = CharClass::from_symbol(symbol)?;
+            let mut len = 0usize;
+            let mut saw_digit = false;
+            while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                chars.next();
+                saw_digit = true;
+                len = len * 10 + len_digit(d, len)?;
+            }
+            if !saw_digit {
+                return Err(PatternError::MissingLength);
+            }
+            segments.push(Segment::new(class, len)?);
+        }
+        Pattern::from_segments(segments)
+    }
+}
+
+/// Guards against absurd lengths overflowing during parse.
+fn len_digit(d: u32, acc: usize) -> Result<usize, PatternError> {
+    if acc > MAX_SEGMENT_LEN {
+        return Err(PatternError::SegmentTooLong(acc * 10));
+    }
+    Ok(d as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_the_paper_examples() {
+        assert_eq!(Pattern::of_password("Pass123$").unwrap().to_string(), "L4N3S1");
+        assert_eq!(Pattern::of_password("abc123!").unwrap().to_string(), "L3N3S1");
+        assert_eq!(Pattern::of_password("password123").unwrap().to_string(), "L8N3");
+    }
+
+    #[test]
+    fn single_class_passwords() {
+        assert_eq!(Pattern::of_password("letmein").unwrap().to_string(), "L7");
+        assert_eq!(Pattern::of_password("1234").unwrap().to_string(), "N4");
+        assert_eq!(Pattern::of_password("!!!").unwrap().to_string(), "S3");
+    }
+
+    #[test]
+    fn case_does_not_split_letter_runs() {
+        assert_eq!(Pattern::of_password("PaSsWoRd").unwrap().to_string(), "L8");
+    }
+
+    #[test]
+    fn rejects_unsupported_characters() {
+        assert_eq!(
+            Pattern::of_password("has space"),
+            Err(PatternError::UnsupportedChar(' '))
+        );
+        assert_eq!(
+            Pattern::of_password("caf\u{e9}"),
+            Err(PatternError::UnsupportedChar('\u{e9}'))
+        );
+        assert_eq!(Pattern::of_password(""), Err(PatternError::Empty));
+    }
+
+    #[test]
+    fn rejects_oversized_runs() {
+        let long = "a".repeat(13);
+        assert_eq!(Pattern::of_password(&long), Err(PatternError::SegmentTooLong(13)));
+        // 12 is fine.
+        assert_eq!(Pattern::of_password(&"a".repeat(12)).unwrap().to_string(), "L12");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["L4N3S1", "L12", "N1S1N1S1N1S1", "S12", "L8N3"] {
+            let p: Pattern = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(matches!("".parse::<Pattern>(), Err(PatternError::Empty)));
+        assert!(matches!("L".parse::<Pattern>(), Err(PatternError::MissingLength)));
+        assert!(matches!("L0".parse::<Pattern>(), Err(PatternError::MissingLength)));
+        assert!(matches!("X4".parse::<Pattern>(), Err(PatternError::UnknownClassSymbol('X'))));
+        assert!(matches!("L13".parse::<Pattern>(), Err(PatternError::SegmentTooLong(13))));
+        assert!(matches!("L2L3".parse::<Pattern>(), Err(PatternError::AdjacentSameClass)));
+    }
+
+    #[test]
+    fn matches_requires_exact_structure() {
+        let p: Pattern = "L5N2".parse().unwrap();
+        assert!(p.matches("hello42"));
+        assert!(!p.matches("hello4"));
+        assert!(!p.matches("hello421"));
+        assert!(!p.matches("hell642"));
+        assert!(!p.matches("hello4!"));
+        // The digit run in "hellx99" is at the right place but "hell99x" is not.
+        assert!(!p.matches("hell99x"));
+    }
+
+    #[test]
+    fn class_at_walks_segments() {
+        let p: Pattern = "L2N1S3".parse().unwrap();
+        let classes: Vec<_> = (0..7).map(|i| p.class_at(i)).collect();
+        assert_eq!(
+            classes,
+            vec![
+                Some(CharClass::Letter),
+                Some(CharClass::Letter),
+                Some(CharClass::Digit),
+                Some(CharClass::Special),
+                Some(CharClass::Special),
+                Some(CharClass::Special),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn search_space_accounts_every_position() {
+        let p: Pattern = "N3".parse().unwrap();
+        assert_eq!(p.search_space(), 1000.0);
+        let p: Pattern = "L1N1S1".parse().unwrap();
+        assert_eq!(p.search_space(), 52.0 * 10.0 * 32.0);
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let seg = Segment::new(CharClass::Special, 7).unwrap();
+        assert_eq!(seg.class(), CharClass::Special);
+        assert_eq!(seg.len().get(), 7);
+        assert_eq!(seg.search_space(), 32f64.powi(7));
+        assert!(Segment::new(CharClass::Letter, 0).is_err());
+        assert!(Segment::new(CharClass::Letter, 13).is_err());
+    }
+}

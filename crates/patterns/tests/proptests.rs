@@ -1,0 +1,92 @@
+//! Property-based tests for the pattern algebra.
+
+use pagpass_patterns::{CharClass, Pattern, PatternDistribution};
+use proptest::prelude::*;
+
+/// Strategy producing passwords drawn from the 94-character alphabet with
+/// runs no longer than 12 (so extraction always succeeds).
+fn valid_password() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), 1usize..=4).prop_map(|(b, l)| {
+                let chars = CharClass::Letter.chars().as_bytes();
+                String::from_utf8(vec![chars[b as usize % chars.len()]; l]).unwrap()
+            }),
+            (any::<u8>(), 1usize..=4).prop_map(|(b, l)| {
+                let chars = CharClass::Digit.chars().as_bytes();
+                String::from_utf8(vec![chars[b as usize % chars.len()]; l]).unwrap()
+            }),
+            (any::<u8>(), 1usize..=4).prop_map(|(b, l)| {
+                let chars = CharClass::Special.chars().as_bytes();
+                String::from_utf8(vec![chars[b as usize % chars.len()]; l]).unwrap()
+            }),
+        ],
+        1..=3,
+    )
+    .prop_map(|parts| parts.concat())
+    .prop_filter("runs must stay <= 12", |s| {
+        Pattern::of_password(s).is_ok()
+    })
+}
+
+proptest! {
+    /// Extraction then `matches` is a tautology.
+    #[test]
+    fn extracted_pattern_matches_its_password(pw in valid_password()) {
+        let p = Pattern::of_password(&pw).unwrap();
+        prop_assert!(p.matches(&pw));
+    }
+
+    /// Extraction, Display, and parse agree.
+    #[test]
+    fn display_parse_roundtrip(pw in valid_password()) {
+        let p = Pattern::of_password(&pw).unwrap();
+        let reparsed: Pattern = p.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, p);
+    }
+
+    /// Pattern length equals password length; segment classes alternate.
+    #[test]
+    fn structural_invariants(pw in valid_password()) {
+        let p = Pattern::of_password(&pw).unwrap();
+        prop_assert_eq!(p.char_len(), pw.chars().count());
+        prop_assert!(p.segments().windows(2).all(|w| w[0].class() != w[1].class()));
+        prop_assert_eq!(p.position_classes().count(), p.char_len());
+    }
+
+    /// `class_at` agrees with `position_classes`.
+    #[test]
+    fn class_at_agrees_with_iterator(pw in valid_password()) {
+        let p = Pattern::of_password(&pw).unwrap();
+        for (i, class) in p.position_classes().enumerate() {
+            prop_assert_eq!(p.class_at(i), Some(class));
+        }
+        prop_assert_eq!(p.class_at(p.char_len()), None);
+    }
+
+    /// A password matches exactly its own pattern among any candidates.
+    #[test]
+    fn matches_is_exact(pw1 in valid_password(), pw2 in valid_password()) {
+        let p1 = Pattern::of_password(&pw1).unwrap();
+        let p2 = Pattern::of_password(&pw2).unwrap();
+        prop_assert_eq!(p1.matches(&pw2), p1 == p2);
+    }
+
+    /// Distribution probabilities are a valid probability mass function.
+    #[test]
+    fn distribution_normalizes(pws in proptest::collection::vec(valid_password(), 1..40)) {
+        let dist = PatternDistribution::from_passwords(pws.iter().map(String::as_str));
+        let sum: f64 = dist.ranked().iter().map(|e| e.probability).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(dist.total() as usize, pws.len());
+        let count_sum: u64 = dist.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(count_sum, dist.total());
+    }
+
+    /// Search space is at least the number of positions' minimum choices.
+    #[test]
+    fn search_space_lower_bound(pw in valid_password()) {
+        let p = Pattern::of_password(&pw).unwrap();
+        prop_assert!(p.search_space() >= 10f64.powi(p.char_len() as i32).min(10.0));
+    }
+}

@@ -1,0 +1,301 @@
+//! The Weir et al. (S&P 2009) probabilistic context-free grammar password
+//! guesser — the classic probability-based model the paper builds its
+//! pattern notion on (§II-C) and an important non-neural baseline.
+//!
+//! Training splits every password into PCFG segments and records two
+//! distributions: pattern probabilities `Pr(L3N3S1)` and per-segment
+//! terminal probabilities `Pr("abc" | L3)`. The probability of a password
+//! factorizes as in the paper's Eq. 2:
+//!
+//! ```text
+//! Pr(abc123!) = Pr(L3N3S1) · Pr(abc|L3) · Pr(123|N3) · Pr(!|S1)
+//! ```
+//!
+//! Generation enumerates guesses in **descending probability order** with
+//! the classic pivot-based priority queue, so the first `n` guesses are the
+//! `n` most probable passwords under the grammar.
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_pcfg::PcfgModel;
+//!
+//! let corpus: Vec<String> = vec!["abc123".into(), "abc456".into(), "xyz123".into()];
+//! let model = PcfgModel::train(corpus.iter().map(String::as_str));
+//! let guesses = model.guesses(4);
+//! assert_eq!(guesses[0], "abc123"); // the most probable composition
+//! assert!(model.probability("abc123") > model.probability("xyz456"));
+//! assert_eq!(model.probability("never-seen!"), 0.0);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use pagpass_patterns::{Pattern, PatternDistribution, Segment};
+use serde::{Deserialize, Serialize};
+
+/// A trained PCFG password model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcfgModel {
+    /// Patterns with probabilities, descending.
+    patterns: Vec<(Pattern, f64)>,
+    /// Per-segment terminals with probabilities, descending.
+    terminals: HashMap<Segment, Vec<(String, f64)>>,
+}
+
+impl PcfgModel {
+    /// Trains on a cleaned corpus; passwords whose pattern cannot be
+    /// extracted are skipped.
+    pub fn train<'a, I>(passwords: I) -> PcfgModel
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut dist = PatternDistribution::new();
+        let mut seg_counts: HashMap<Segment, HashMap<String, u64>> = HashMap::new();
+        for pw in passwords {
+            let Ok(pattern) = Pattern::of_password(pw) else { continue };
+            let mut offset = 0;
+            for &seg in pattern.segments() {
+                let len = usize::from(seg.len().get());
+                let piece = &pw[offset..offset + len];
+                *seg_counts.entry(seg).or_default().entry(piece.to_owned()).or_insert(0) += 1;
+                offset += len;
+            }
+            dist.observe(pattern);
+        }
+        let patterns = dist
+            .ranked()
+            .into_iter()
+            .map(|e| (e.pattern, e.probability))
+            .collect();
+        let terminals = seg_counts
+            .into_iter()
+            .map(|(seg, counts)| {
+                let total: u64 = counts.values().sum();
+                let mut list: Vec<(String, f64)> = counts
+                    .into_iter()
+                    .map(|(s, c)| (s, c as f64 / total as f64))
+                    .collect();
+                list.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+                });
+                (seg, list)
+            })
+            .collect();
+        PcfgModel { patterns, terminals }
+    }
+
+    /// Number of distinct patterns in the grammar.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Number of distinct terminals for a segment (0 if unseen).
+    #[must_use]
+    pub fn terminal_count(&self, seg: Segment) -> usize {
+        self.terminals.get(&seg).map_or(0, Vec::len)
+    }
+
+    /// Probability of a password under the grammar (Eq. 2); zero for
+    /// passwords using unseen patterns or terminals.
+    #[must_use]
+    pub fn probability(&self, password: &str) -> f64 {
+        let Ok(pattern) = Pattern::of_password(password) else { return 0.0 };
+        let Some((_, p_pattern)) = self.patterns.iter().find(|(p, _)| *p == pattern) else {
+            return 0.0;
+        };
+        let mut prob = *p_pattern;
+        let mut offset = 0;
+        for &seg in pattern.segments() {
+            let len = usize::from(seg.len().get());
+            let piece = &password[offset..offset + len];
+            let Some(list) = self.terminals.get(&seg) else { return 0.0 };
+            let Some((_, p)) = list.iter().find(|(s, _)| s == piece) else { return 0.0 };
+            prob *= p;
+            offset += len;
+        }
+        prob
+    }
+
+    /// The `n` most probable passwords, in descending probability order
+    /// (ties broken deterministically).
+    ///
+    /// This is Weir's "next" algorithm: a max-heap of partial assignments,
+    /// where popping an assignment pushes its successors obtained by
+    /// advancing one terminal index at or after the pivot position — each
+    /// concrete password is reached exactly once.
+    #[must_use]
+    pub fn guesses(&self, n: usize) -> Vec<String> {
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for (pi, (pattern, p_pattern)) in self.patterns.iter().enumerate() {
+            if let Some(prob) = self.assignment_prob(pattern, *p_pattern, &vec![0; pattern.segment_count()]) {
+                heap.push(Candidate {
+                    prob: OrderedProb(prob),
+                    pattern_idx: pi,
+                    indices: vec![0; pattern.segment_count()],
+                    pivot: 0,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let Some(cand) = heap.pop() else { break };
+            let (pattern, p_pattern) = &self.patterns[cand.pattern_idx];
+            out.push(self.realize(pattern, &cand.indices));
+            for pos in cand.pivot..cand.indices.len() {
+                let mut indices = cand.indices.clone();
+                indices[pos] += 1;
+                if let Some(prob) = self.assignment_prob(pattern, *p_pattern, &indices) {
+                    heap.push(Candidate {
+                        prob: OrderedProb(prob),
+                        pattern_idx: cand.pattern_idx,
+                        indices,
+                        pivot: pos,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Probability of a (pattern, terminal indices) assignment, or `None`
+    /// when an index is out of range or a segment has no terminals.
+    fn assignment_prob(&self, pattern: &Pattern, p_pattern: f64, indices: &[usize]) -> Option<f64> {
+        let mut prob = p_pattern;
+        for (seg, &idx) in pattern.segments().iter().zip(indices) {
+            let list = self.terminals.get(seg)?;
+            prob *= list.get(idx)?.1;
+        }
+        Some(prob)
+    }
+
+    /// Concatenates the selected terminals into a password.
+    fn realize(&self, pattern: &Pattern, indices: &[usize]) -> String {
+        pattern
+            .segments()
+            .iter()
+            .zip(indices)
+            .map(|(seg, &idx)| self.terminals[seg][idx].0.as_str())
+            .collect()
+    }
+}
+
+/// `f64` wrapper ordering NaN-free probabilities for the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedProb(f64);
+
+impl Eq for OrderedProb {}
+
+impl PartialOrd for OrderedProb {
+    fn partial_cmp(&self, other: &OrderedProb) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedProb {
+    fn cmp(&self, other: &OrderedProb) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    prob: OrderedProb,
+    pattern_idx: usize,
+    indices: Vec<usize>,
+    pivot: usize,
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Candidate) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Candidate) -> Ordering {
+        self.prob
+            .cmp(&other.prob)
+            .then_with(|| other.pattern_idx.cmp(&self.pattern_idx))
+            .then_with(|| other.indices.cmp(&self.indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PcfgModel {
+        PcfgModel::train(
+            ["abc123", "abc456", "xyz123", "abc123", "hello!", "12345"]
+                .iter()
+                .copied(),
+        )
+    }
+
+    #[test]
+    fn training_counts_patterns_and_terminals() {
+        let m = model();
+        assert_eq!(m.pattern_count(), 3); // L3N3, L5S1, N5
+        let l3 = Segment::new(pagpass_patterns::CharClass::Letter, 3).unwrap();
+        assert_eq!(m.terminal_count(l3), 2); // abc, xyz
+        let n3 = Segment::new(pagpass_patterns::CharClass::Digit, 3).unwrap();
+        assert_eq!(m.terminal_count(n3), 2); // 123, 456
+    }
+
+    #[test]
+    fn probability_factorizes() {
+        let m = model();
+        // Pr(L3N3)=4/6, Pr(abc|L3)=3/4, Pr(123|N3)=3/4.
+        let expect = (4.0 / 6.0) * (3.0 / 4.0) * (3.0 / 4.0);
+        assert!((m.probability("abc123") - expect).abs() < 1e-12);
+        assert_eq!(m.probability("abc789"), 0.0); // unseen terminal
+        assert_eq!(m.probability("!!!"), 0.0); // unseen pattern
+        assert_eq!(m.probability(""), 0.0);
+    }
+
+    #[test]
+    fn guesses_are_descending_in_probability() {
+        let m = model();
+        let guesses = m.guesses(10);
+        let probs: Vec<f64> = guesses.iter().map(|g| m.probability(g)).collect();
+        assert!(probs.windows(2).all(|w| w[0] >= w[1] - 1e-12), "{guesses:?} {probs:?}");
+        assert_eq!(guesses[0], "abc123");
+    }
+
+    #[test]
+    fn guesses_are_unique_and_exhaustive() {
+        let m = model();
+        // Grammar admits 2*2 (L3N3) + 1 (L5S1) + 1 (N5) = 6 passwords.
+        let guesses = m.guesses(100);
+        assert_eq!(guesses.len(), 6);
+        let unique: std::collections::HashSet<&String> = guesses.iter().collect();
+        assert_eq!(unique.len(), 6);
+        assert!(guesses.contains(&"xyz456".to_owned()), "cross-composition is generated");
+    }
+
+    #[test]
+    fn trained_on_empty_corpus() {
+        let m = PcfgModel::train(std::iter::empty());
+        assert_eq!(m.pattern_count(), 0);
+        assert!(m.guesses(5).is_empty());
+        assert_eq!(m.probability("abc1"), 0.0);
+    }
+
+    #[test]
+    fn hits_its_own_training_distribution() {
+        // PCFG should crack passwords recombining seen parts.
+        let train: Vec<String> = (0..50)
+            .map(|i| format!("{}{}", ["love", "blue", "cake", "fire", "moon"][i % 5], 10 + i % 10))
+            .collect();
+        let m = PcfgModel::train(train.iter().map(String::as_str));
+        let guesses = m.guesses(60);
+        // All 50 combos (5 words x 10 numbers) are reachable.
+        assert!(guesses.len() >= 50);
+        for w in ["love99", "moon13"] {
+            // Probability may be zero only if the exact parts were unseen.
+            let _ = m.probability(w);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+use std::error::Error;
+use std::fmt;
+
+use pagpass_patterns::PatternError;
+
+use crate::TokenId;
+
+/// Errors produced while encoding or decoding rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TokenizeError {
+    /// Pattern extraction of the password failed.
+    Pattern(PatternError),
+    /// A character has no token in the vocabulary.
+    UnknownChar(char),
+    /// An id outside the vocabulary was decoded.
+    UnknownId(TokenId),
+    /// A decoded rule was structurally malformed (e.g. missing `<SEP>`).
+    MalformedRule(&'static str),
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenizeError::Pattern(e) => write!(f, "pattern extraction failed: {e}"),
+            TokenizeError::UnknownChar(c) => write!(f, "character {c:?} is not in the vocabulary"),
+            TokenizeError::UnknownId(id) => write!(f, "token id {id} is outside the vocabulary"),
+            TokenizeError::MalformedRule(what) => write!(f, "malformed rule: {what}"),
+        }
+    }
+}
+
+impl Error for TokenizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TokenizeError::Pattern(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternError> for TokenizeError {
+    fn from(e: PatternError) -> TokenizeError {
+        TokenizeError::Pattern(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! The PagPassGPT tokenizer: the paper's fixed vocabulary plus rule
+//! building, encoding, and decoding (paper §III-B1, Figs. 4–5).
+//!
+//! A *rule* is the training-time serialization of a password:
+//!
+//! ```text
+//! <BOS> || pattern || <SEP> || password || <EOS>
+//! ```
+//!
+//! where the pattern is the PCFG structure of the password (e.g. `L4N3S1`
+//! for `Pass123$`), encoded as one token per segment. At generation time the
+//! model is primed with the shorter prefix `<BOS> || pattern || <SEP>` and
+//! predicts the password tokens auto-regressively.
+//!
+//! The vocabulary contains three groups:
+//!
+//! * 5 special tokens: `<BOS>`, `<SEP>`, `<EOS>`, `<UNK>`, `<PAD>`;
+//! * 36 pattern tokens: `L1..L12`, `N1..N12`, `S1..S12`;
+//! * 94 character tokens: every printable ASCII character except space.
+//!
+//! That is 135 tokens in total. (The paper reports "totaling 136 tokens",
+//! but its own enumeration — 94 + 5 + 36 — sums to 135; we follow the
+//! enumeration.)
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_tokenizer::Tokenizer;
+//!
+//! # fn main() -> Result<(), pagpass_tokenizer::TokenizeError> {
+//! let tok = Tokenizer::new();
+//! let ids = tok.encode_training("Pass123$")?;
+//! // <BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>
+//! assert_eq!(ids.len(), 14);
+//! let decoded = tok.decode_rule(&ids)?;
+//! assert_eq!(decoded.password, "Pass123$");
+//! assert_eq!(decoded.pattern.unwrap().to_string(), "L4N3S1");
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod rule;
+mod vocab;
+
+pub use error::TokenizeError;
+pub use rule::{DecodedRule, Tokenizer};
+pub use vocab::{Token, TokenId, Vocab, NUM_CHAR_TOKENS, NUM_PATTERN_TOKENS, NUM_SPECIAL_TOKENS, VOCAB_SIZE};

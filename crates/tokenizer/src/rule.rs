@@ -1,0 +1,352 @@
+use pagpass_patterns::{Pattern, Segment};
+
+use crate::{Token, TokenId, TokenizeError, Vocab};
+
+/// Result of decoding a token sequence back into a rule.
+///
+/// Sequences produced by a model may be imperfect, so decoding is tolerant:
+/// the pattern is `None` when the pattern section is empty or malformed, and
+/// the password is whatever character tokens appeared between `<SEP>` and
+/// `<EOS>` (or the end of the sequence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRule {
+    /// The pattern section, if it parsed into a valid pattern.
+    pub pattern: Option<Pattern>,
+    /// The password section.
+    pub password: String,
+    /// Whether the sequence was terminated by an `<EOS>` token.
+    pub terminated: bool,
+}
+
+/// Encoder/decoder between passwords/rules and token-id sequences.
+///
+/// Construction is cheap; the tokenizer owns the fixed [`Vocab`].
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_tokenizer::{Tokenizer, Vocab};
+///
+/// # fn main() -> Result<(), pagpass_tokenizer::TokenizeError> {
+/// let tok = Tokenizer::new();
+/// let prefix = tok.encode_generation_prefix(&"L4N2".parse().unwrap());
+/// assert_eq!(prefix[0], Vocab::BOS);
+/// assert_eq!(*prefix.last().unwrap(), Vocab::SEP);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    vocab: Vocab,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer over the fixed vocabulary.
+    #[must_use]
+    pub fn new() -> Tokenizer {
+        Tokenizer { vocab: Vocab::new() }
+    }
+
+    /// The underlying vocabulary.
+    #[must_use]
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encodes the full training rule of a password:
+    /// `<BOS> pattern <SEP> password <EOS>` (paper Fig. 4, left).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::Pattern`] when the password's pattern cannot
+    /// be extracted (out-of-alphabet characters or runs longer than 12).
+    pub fn encode_training(&self, password: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        let pattern = Pattern::of_password(password)?;
+        self.encode_rule(&pattern, password)
+    }
+
+    /// Encodes `<BOS> pattern <SEP> password <EOS>` with an explicit
+    /// pattern. The password is *not* checked against the pattern; callers
+    /// wanting strict rules should verify with [`Pattern::matches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownChar`] if the password contains a
+    /// character outside the vocabulary.
+    pub fn encode_rule(
+        &self,
+        pattern: &Pattern,
+        password: &str,
+    ) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut ids = Vec::with_capacity(3 + pattern.segment_count() + password.len());
+        ids.push(Vocab::BOS);
+        self.push_pattern(&mut ids, pattern);
+        ids.push(Vocab::SEP);
+        for c in password.chars() {
+            ids.push(self.vocab.char_id(c).ok_or(TokenizeError::UnknownChar(c))?);
+        }
+        ids.push(Vocab::EOS);
+        Ok(ids)
+    }
+
+    /// Encodes the generation-time prefix `<BOS> pattern <SEP>`
+    /// (paper Fig. 4, right).
+    #[must_use]
+    pub fn encode_generation_prefix(&self, pattern: &Pattern) -> Vec<TokenId> {
+        let mut ids = Vec::with_capacity(2 + pattern.segment_count());
+        ids.push(Vocab::BOS);
+        self.push_pattern(&mut ids, pattern);
+        ids.push(Vocab::SEP);
+        ids
+    }
+
+    /// Encodes a bare password (no pattern section), used by the PassGPT
+    /// baseline whose rules are `<BOS> password <EOS>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownChar`] for out-of-vocabulary
+    /// characters.
+    pub fn encode_password(&self, password: &str) -> Result<Vec<TokenId>, TokenizeError> {
+        let mut ids = Vec::with_capacity(password.len() + 2);
+        ids.push(Vocab::BOS);
+        for c in password.chars() {
+            ids.push(self.vocab.char_id(c).ok_or(TokenizeError::UnknownChar(c))?);
+        }
+        ids.push(Vocab::EOS);
+        Ok(ids)
+    }
+
+    /// Decodes a rule produced by [`encode_training`](Self::encode_training)
+    /// or by model sampling.
+    ///
+    /// Tolerates model imperfections: pattern tokens after `<SEP>` are
+    /// skipped, `<UNK>`/`<PAD>` are ignored, and a missing `<EOS>` only
+    /// clears [`DecodedRule::terminated`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownId`] if any id is outside the
+    /// vocabulary, and [`TokenizeError::MalformedRule`] when the sequence
+    /// has no `<SEP>` at all (so there is no password section).
+    pub fn decode_rule(&self, ids: &[TokenId]) -> Result<DecodedRule, TokenizeError> {
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut password = String::new();
+        let mut seen_sep = false;
+        let mut terminated = false;
+        for &id in ids {
+            let token = self.vocab.token_of(id).ok_or(TokenizeError::UnknownId(id))?;
+            match token {
+                Token::Bos | Token::Unk | Token::Pad => {}
+                Token::Sep => seen_sep = true,
+                Token::Eos => {
+                    terminated = true;
+                    break;
+                }
+                Token::Pattern(seg) if !seen_sep => segments.push(seg),
+                Token::Pattern(_) => {} // stray pattern token in the password section
+                Token::Char(c) if seen_sep => password.push(c),
+                Token::Char(_) => {} // stray character in the pattern section
+            }
+        }
+        if !seen_sep {
+            return Err(TokenizeError::MalformedRule("no <SEP> separator"));
+        }
+        Ok(DecodedRule {
+            pattern: Pattern::from_segments(segments).ok(),
+            password,
+            terminated,
+        })
+    }
+
+    /// Decodes a bare password sequence (PassGPT style,
+    /// `<BOS> password <EOS>`): character tokens up to the first `<EOS>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenizeError::UnknownId`] for out-of-vocabulary ids.
+    pub fn decode_password(&self, ids: &[TokenId]) -> Result<String, TokenizeError> {
+        let mut password = String::new();
+        for &id in ids {
+            match self.vocab.token_of(id).ok_or(TokenizeError::UnknownId(id))? {
+                Token::Eos => break,
+                Token::Char(c) => password.push(c),
+                _ => {}
+            }
+        }
+        Ok(password)
+    }
+
+    /// Renders ids as a human-readable rule string, e.g.
+    /// `<BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>`.
+    #[must_use]
+    pub fn render(&self, ids: &[TokenId]) -> String {
+        ids.iter()
+            .map(|&id| match self.vocab.token_of(id) {
+                Some(t) => t.to_string(),
+                None => format!("<?{id}>"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Longest rule length for passwords of at most `max_password_len`
+    /// characters: `<BOS>` + at most `max_password_len` pattern segments +
+    /// `<SEP>` + password + `<EOS>`.
+    ///
+    /// For the paper's 12-character cap this is 27, comfortably inside the
+    /// 32-token context window.
+    #[must_use]
+    pub fn max_rule_len(max_password_len: usize) -> usize {
+        3 + 2 * max_password_len
+    }
+
+    fn push_pattern(&self, ids: &mut Vec<TokenId>, pattern: &Pattern) {
+        for &seg in pattern.segments() {
+            ids.push(
+                self.vocab
+                    .segment_id(seg)
+                    .expect("all valid segments are in the vocabulary"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_rule_layout_matches_the_paper() {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_training("Pass123$").unwrap();
+        assert_eq!(
+            tok.render(&ids),
+            "<BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS>"
+        );
+        assert_eq!(ids[0], Vocab::BOS);
+        assert_eq!(ids[4], Vocab::SEP);
+        assert_eq!(*ids.last().unwrap(), Vocab::EOS);
+    }
+
+    #[test]
+    fn rule_roundtrip() {
+        let tok = Tokenizer::new();
+        for pw in ["Pass123$", "letmein", "1234", "!!!a9", "A1b2C3d4E5f6"] {
+            let ids = tok.encode_training(pw).unwrap();
+            let decoded = tok.decode_rule(&ids).unwrap();
+            assert_eq!(decoded.password, pw);
+            assert_eq!(decoded.pattern, Some(Pattern::of_password(pw).unwrap()));
+            assert!(decoded.terminated);
+        }
+    }
+
+    #[test]
+    fn generation_prefix_has_no_password_section() {
+        let tok = Tokenizer::new();
+        let p: Pattern = "L4N3S1".parse().unwrap();
+        let ids = tok.encode_generation_prefix(&p);
+        assert_eq!(tok.render(&ids), "<BOS> L4 N3 S1 <SEP>");
+    }
+
+    #[test]
+    fn bare_password_roundtrip() {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_password("abc!9").unwrap();
+        assert_eq!(tok.render(&ids), "<BOS> a b c ! 9 <EOS>");
+        assert_eq!(tok.decode_password(&ids).unwrap(), "abc!9");
+    }
+
+    #[test]
+    fn encoding_rejects_out_of_vocab_chars() {
+        let tok = Tokenizer::new();
+        assert!(matches!(
+            tok.encode_password("has space"),
+            Err(TokenizeError::UnknownChar(' '))
+        ));
+        assert!(matches!(
+            tok.encode_training("caf\u{e9}"),
+            Err(TokenizeError::Pattern(_))
+        ));
+    }
+
+    #[test]
+    fn decode_is_tolerant_to_model_noise() {
+        let tok = Tokenizer::new();
+        let v = tok.vocab();
+        // <BOS> L1 <SEP> a <PAD> b   (no <EOS>)
+        let seg = Segment::new(pagpass_patterns::CharClass::Letter, 1).unwrap();
+        let ids = vec![
+            Vocab::BOS,
+            v.segment_id(seg).unwrap(),
+            Vocab::SEP,
+            v.char_id('a').unwrap(),
+            Vocab::PAD,
+            v.char_id('b').unwrap(),
+        ];
+        let decoded = tok.decode_rule(&ids).unwrap();
+        assert_eq!(decoded.password, "ab");
+        assert!(!decoded.terminated);
+        assert_eq!(decoded.pattern.unwrap().to_string(), "L1");
+    }
+
+    #[test]
+    fn decode_requires_a_separator() {
+        let tok = Tokenizer::new();
+        let ids = vec![Vocab::BOS, Vocab::EOS];
+        assert!(matches!(
+            tok.decode_rule(&ids),
+            Err(TokenizeError::MalformedRule(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_ids() {
+        let tok = Tokenizer::new();
+        assert!(matches!(
+            tok.decode_rule(&[Vocab::BOS, 999, Vocab::SEP]),
+            Err(TokenizeError::UnknownId(999))
+        ));
+        assert!(matches!(
+            tok.decode_password(&[999]),
+            Err(TokenizeError::UnknownId(999))
+        ));
+    }
+
+    #[test]
+    fn stray_tokens_in_wrong_sections_are_skipped() {
+        let tok = Tokenizer::new();
+        let v = tok.vocab();
+        let seg = Segment::new(pagpass_patterns::CharClass::Digit, 2).unwrap();
+        // char token before <SEP>, pattern token after <SEP>
+        let ids = vec![
+            Vocab::BOS,
+            v.char_id('x').unwrap(),
+            v.segment_id(seg).unwrap(),
+            Vocab::SEP,
+            v.segment_id(seg).unwrap(),
+            v.char_id('7').unwrap(),
+            Vocab::EOS,
+        ];
+        let decoded = tok.decode_rule(&ids).unwrap();
+        assert_eq!(decoded.password, "7");
+        assert_eq!(decoded.pattern.unwrap().to_string(), "N2");
+    }
+
+    #[test]
+    fn max_rule_len_fits_the_32_token_window() {
+        assert_eq!(Tokenizer::max_rule_len(12), 27);
+        assert!(Tokenizer::max_rule_len(12) <= 32);
+    }
+
+    #[test]
+    fn paper_fig5_example_shape() {
+        // Fig. 5 encodes <BOS> L4 N3 S1 <SEP> P a s s 1 2 3 $ <EOS> as a
+        // 14-element id list; exact indexes differ because the paper never
+        // fixes its vocabulary order, but the length and boundaries must
+        // agree.
+        let tok = Tokenizer::new();
+        let ids = tok.encode_training("Pass123$").unwrap();
+        assert_eq!(ids.len(), 14);
+    }
+}

@@ -1,0 +1,271 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use pagpass_patterns::{CharClass, Segment, MAX_SEGMENT_LEN};
+use serde::{Deserialize, Serialize};
+
+/// Index of a token in the vocabulary.
+///
+/// Kept at `u32` so id buffers interoperate directly with the embedding
+/// lookups of the `pagpass-nn` substrate.
+pub type TokenId = u32;
+
+/// Number of special tokens (`<BOS>`, `<SEP>`, `<EOS>`, `<UNK>`, `<PAD>`).
+pub const NUM_SPECIAL_TOKENS: usize = 5;
+
+/// Number of pattern tokens (`L1..L12`, `N1..N12`, `S1..S12`).
+pub const NUM_PATTERN_TOKENS: usize = 3 * MAX_SEGMENT_LEN;
+
+/// Number of character tokens (printable ASCII minus space).
+pub const NUM_CHAR_TOKENS: usize = pagpass_patterns::ALPHABET_SIZE;
+
+/// Total vocabulary size: `5 + 36 + 94 = 135`.
+pub const VOCAB_SIZE: usize = NUM_SPECIAL_TOKENS + NUM_PATTERN_TOKENS + NUM_CHAR_TOKENS;
+
+/// A single vocabulary entry.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_tokenizer::{Token, Vocab};
+///
+/// let vocab = Vocab::new();
+/// let id = vocab.id_of(Token::Char('a')).unwrap();
+/// assert_eq!(vocab.token_of(id), Some(Token::Char('a')));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Token {
+    /// `<BOS>` — beginning of a rule.
+    Bos,
+    /// `<SEP>` — separator between pattern and password.
+    Sep,
+    /// `<EOS>` — end of a rule.
+    Eos,
+    /// `<UNK>` — out-of-vocabulary placeholder.
+    Unk,
+    /// `<PAD>` — batch padding.
+    Pad,
+    /// A pattern segment token such as `L4`.
+    Pattern(Segment),
+    /// A password character token.
+    Char(char),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Bos => write!(f, "<BOS>"),
+            Token::Sep => write!(f, "<SEP>"),
+            Token::Eos => write!(f, "<EOS>"),
+            Token::Unk => write!(f, "<UNK>"),
+            Token::Pad => write!(f, "<PAD>"),
+            Token::Pattern(seg) => write!(f, "{seg}"),
+            Token::Char(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The fixed PagPassGPT vocabulary with bidirectional token ↔ id maps.
+///
+/// Id layout is deterministic:
+///
+/// | ids        | tokens                                        |
+/// |------------|-----------------------------------------------|
+/// | 0–4        | `<BOS>`, `<SEP>`, `<EOS>`, `<UNK>`, `<PAD>`   |
+/// | 5–16       | `L1..L12`                                     |
+/// | 17–28      | `N1..N12`                                     |
+/// | 29–40      | `S1..S12`                                     |
+/// | 41–134     | characters: `a..z`, `A..Z`, `0..9`, specials  |
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    tokens: Vec<Token>,
+    ids: HashMap<Token, TokenId>,
+}
+
+impl Vocab {
+    /// Id of `<BOS>`.
+    pub const BOS: TokenId = 0;
+    /// Id of `<SEP>`.
+    pub const SEP: TokenId = 1;
+    /// Id of `<EOS>`.
+    pub const EOS: TokenId = 2;
+    /// Id of `<UNK>`.
+    pub const UNK: TokenId = 3;
+    /// Id of `<PAD>`.
+    pub const PAD: TokenId = 4;
+
+    /// Builds the fixed vocabulary.
+    #[must_use]
+    pub fn new() -> Vocab {
+        let mut tokens = Vec::with_capacity(VOCAB_SIZE);
+        tokens.extend([Token::Bos, Token::Sep, Token::Eos, Token::Unk, Token::Pad]);
+        for class in CharClass::ALL {
+            for len in 1..=MAX_SEGMENT_LEN {
+                let seg = Segment::new(class, len).expect("1..=12 is a valid segment length");
+                tokens.push(Token::Pattern(seg));
+            }
+        }
+        for class in CharClass::ALL {
+            tokens.extend(class.chars().chars().map(Token::Char));
+        }
+        debug_assert_eq!(tokens.len(), VOCAB_SIZE);
+        let ids = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as TokenId))
+            .collect();
+        Vocab { tokens, ids }
+    }
+
+    /// Number of tokens (always [`VOCAB_SIZE`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always `false`; provided for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Looks up the id of a token.
+    #[must_use]
+    pub fn id_of(&self, token: Token) -> Option<TokenId> {
+        self.ids.get(&token).copied()
+    }
+
+    /// Looks up the token with a given id.
+    #[must_use]
+    pub fn token_of(&self, id: TokenId) -> Option<Token> {
+        self.tokens.get(id as usize).copied()
+    }
+
+    /// Id of a character token, or `None` if outside the alphabet.
+    #[must_use]
+    pub fn char_id(&self, c: char) -> Option<TokenId> {
+        self.id_of(Token::Char(c))
+    }
+
+    /// Id of a pattern-segment token.
+    #[must_use]
+    pub fn segment_id(&self, seg: Segment) -> Option<TokenId> {
+        self.id_of(Token::Pattern(seg))
+    }
+
+    /// Ids of every character token belonging to `class`, in vocabulary
+    /// order. These are the candidate sets D&C-GEN restricts to when the
+    /// pattern demands a letter / digit / special next.
+    #[must_use]
+    pub fn class_char_ids(&self, class: CharClass) -> Vec<TokenId> {
+        class
+            .chars()
+            .chars()
+            .map(|c| self.char_id(c).expect("class characters are in the vocabulary"))
+            .collect()
+    }
+
+    /// Whether `id` denotes a password character.
+    #[must_use]
+    pub fn is_char(&self, id: TokenId) -> bool {
+        matches!(self.token_of(id), Some(Token::Char(_)))
+    }
+
+    /// Whether `id` denotes a pattern segment.
+    #[must_use]
+    pub fn is_pattern(&self, id: TokenId) -> bool {
+        matches!(self.token_of(id), Some(Token::Pattern(_)))
+    }
+
+    /// Iterates over all tokens in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, Token)> + '_ {
+        self.tokens.iter().enumerate().map(|(i, &t)| (i as TokenId, t))
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Vocab {
+        Vocab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_has_exactly_135_tokens() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 135);
+        assert_eq!(v.len(), VOCAB_SIZE);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn special_token_ids_are_fixed() {
+        let v = Vocab::new();
+        assert_eq!(v.id_of(Token::Bos), Some(Vocab::BOS));
+        assert_eq!(v.id_of(Token::Sep), Some(Vocab::SEP));
+        assert_eq!(v.id_of(Token::Eos), Some(Vocab::EOS));
+        assert_eq!(v.id_of(Token::Unk), Some(Vocab::UNK));
+        assert_eq!(v.id_of(Token::Pad), Some(Vocab::PAD));
+    }
+
+    #[test]
+    fn every_id_roundtrips() {
+        let v = Vocab::new();
+        for (id, token) in v.iter() {
+            assert_eq!(v.id_of(token), Some(id));
+            assert_eq!(v.token_of(id), Some(token));
+        }
+        assert_eq!(v.token_of(VOCAB_SIZE as TokenId), None);
+    }
+
+    #[test]
+    fn pattern_tokens_cover_all_classes_and_lengths() {
+        let v = Vocab::new();
+        let mut count = 0;
+        for class in CharClass::ALL {
+            for len in 1..=MAX_SEGMENT_LEN {
+                let seg = Segment::new(class, len).unwrap();
+                let id = v.segment_id(seg).unwrap();
+                assert!(v.is_pattern(id));
+                count += 1;
+            }
+        }
+        assert_eq!(count, NUM_PATTERN_TOKENS);
+    }
+
+    #[test]
+    fn class_char_ids_sizes() {
+        let v = Vocab::new();
+        assert_eq!(v.class_char_ids(CharClass::Letter).len(), 52);
+        assert_eq!(v.class_char_ids(CharClass::Digit).len(), 10);
+        assert_eq!(v.class_char_ids(CharClass::Special).len(), 32);
+        for class in CharClass::ALL {
+            for id in v.class_char_ids(class) {
+                assert!(v.is_char(id));
+            }
+        }
+    }
+
+    #[test]
+    fn char_coverage_is_the_94_char_alphabet() {
+        let v = Vocab::new();
+        assert!(v.char_id('a').is_some());
+        assert_eq!(v.char_id(' '), None);
+        assert_eq!(v.char_id('\u{e9}'), None);
+        let char_count = v.iter().filter(|(_, t)| matches!(t, Token::Char(_))).count();
+        assert_eq!(char_count, NUM_CHAR_TOKENS);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Vocab::new();
+        assert_eq!(Token::Bos.to_string(), "<BOS>");
+        let seg = Segment::new(CharClass::Letter, 4).unwrap();
+        assert_eq!(Token::Pattern(seg).to_string(), "L4");
+        assert_eq!(Token::Char('!').to_string(), "!");
+        let _ = v; // vocab construction exercised above
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the tokenizer.
+
+use pagpass_patterns::Pattern;
+use pagpass_tokenizer::{Tokenizer, Vocab, VOCAB_SIZE};
+use proptest::prelude::*;
+
+/// Passwords over the 94-char alphabet, 1..=12 chars, runs <= 12 by length.
+fn password() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> =
+        ('!'..='~').collect();
+    proptest::collection::vec(proptest::sample::select(alphabet), 1..=12)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    /// encode_training -> decode_rule is the identity on password & pattern.
+    #[test]
+    fn training_roundtrip(pw in password()) {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_training(&pw).unwrap();
+        let decoded = tok.decode_rule(&ids).unwrap();
+        prop_assert_eq!(&decoded.password, &pw);
+        prop_assert_eq!(decoded.pattern, Some(Pattern::of_password(&pw).unwrap()));
+        prop_assert!(decoded.terminated);
+        // All ids are in range.
+        prop_assert!(ids.iter().all(|&id| (id as usize) < VOCAB_SIZE));
+    }
+
+    /// Bare-password encoding roundtrips too.
+    #[test]
+    fn password_roundtrip(pw in password()) {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_password(&pw).unwrap();
+        prop_assert_eq!(tok.decode_password(&ids).unwrap(), pw);
+    }
+
+    /// Rule length is 3 + #segments + #chars and fits the context window.
+    #[test]
+    fn rule_length_formula(pw in password()) {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_training(&pw).unwrap();
+        let pat = Pattern::of_password(&pw).unwrap();
+        prop_assert_eq!(ids.len(), 3 + pat.segment_count() + pw.chars().count());
+        prop_assert!(ids.len() <= Tokenizer::max_rule_len(12));
+    }
+
+    /// The generation prefix is a strict prefix of the training rule.
+    #[test]
+    fn prefix_is_prefix_of_rule(pw in password()) {
+        let tok = Tokenizer::new();
+        let pat = Pattern::of_password(&pw).unwrap();
+        let rule = tok.encode_rule(&pat, &pw).unwrap();
+        let prefix = tok.encode_generation_prefix(&pat);
+        prop_assert_eq!(&rule[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(*prefix.last().unwrap(), Vocab::SEP);
+    }
+
+    /// Decoding arbitrary in-range id soup never panics.
+    #[test]
+    fn decode_never_panics(ids in proptest::collection::vec(0u32..(VOCAB_SIZE as u32), 0..40)) {
+        let tok = Tokenizer::new();
+        let _ = tok.decode_rule(&ids);
+        let _ = tok.decode_password(&ids);
+        let _ = tok.render(&ids);
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Reproduces every table and figure at the given scale (default: default).
+set -x
+SCALE=${1:-default}
+for bin in table2 table4 fig10 fig8 fig9 table3 table5 fig11 table6 ablation_threshold; do
+  cargo run --release -p pagpass-bench --bin $bin -- --scale $SCALE || exit 1
+done

@@ -1,0 +1,44 @@
+//! # pagpass — a reproduction of PagPassGPT (DSN 2024)
+//!
+//! *PagPassGPT: Pattern Guided Password Guessing via Generative Pretrained
+//! Transformer* (Su, Zhu, Li, Li, Chen, Esteves-Veríssimo), rebuilt from
+//! scratch in pure Rust — including the GPT substrate, every baseline, and
+//! the full evaluation harness. See the workspace `README.md` for the
+//! architecture and `DESIGN.md` for the system inventory.
+//!
+//! This facade crate re-exports the workspace's public APIs:
+//!
+//! * [`core`] — PagPassGPT / PassGPT models and the D&C-GEN generator,
+//! * [`nn`] — the from-scratch transformer substrate,
+//! * [`patterns`] / [`tokenizer`] — the PCFG pattern algebra and the
+//!   135-token vocabulary,
+//! * [`datasets`] — synthetic leak corpora, cleaning, and splits,
+//! * [`pcfg`] / [`markov`] / [`baselines`] — the comparison models,
+//! * [`eval`] — hit rate, repeat rate, and distribution distances.
+//!
+//! # Examples
+//!
+//! Train a small PagPassGPT and guess under a pattern (see also
+//! `examples/quickstart.rs`):
+//!
+//! ```
+//! use pagpass::core::{ModelKind, PasswordModel, TrainConfig};
+//! use pagpass::nn::GptConfig;
+//! use pagpass::tokenizer::VOCAB_SIZE;
+//!
+//! let corpus: Vec<String> = (0..50).map(|i| format!("pass{i:02}")).collect();
+//! let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::tiny(VOCAB_SIZE), 1);
+//! model.train(&corpus, &[], &TrainConfig::quick());
+//! let guesses = model.generate_guided(&"L4N2".parse().unwrap(), 20, 1.0, 7);
+//! assert_eq!(guesses.len(), 20);
+//! ```
+
+pub use pagpass_baselines as baselines;
+pub use pagpass_datasets as datasets;
+pub use pagpass_eval as eval;
+pub use pagpass_markov as markov;
+pub use pagpass_nn as nn;
+pub use pagpass_patterns as patterns;
+pub use pagpass_pcfg as pcfg;
+pub use pagpass_tokenizer as tokenizer;
+pub use pagpassgpt as core;

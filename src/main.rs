@@ -1,0 +1,350 @@
+//! `pagpass` — command-line interface to the PagPassGPT reproduction.
+//!
+//! ```text
+//! pagpass synth    --site rockyou --n 20000 --seed 1 --out leak.txt
+//! pagpass train    --kind pagpassgpt --corpus leak.txt --epochs 4 --out model.bin
+//! pagpass generate --kind pagpassgpt --model model.bin --n 1000 [--pattern L6N2]
+//! pagpass dcgen    --model model.bin --corpus leak.txt --n 10000 --threshold 256
+//! pagpass eval     --guesses guesses.txt --test test.txt
+//! pagpass strength --kind pagpassgpt --model model.bin 'hunter2!'
+//! ```
+//!
+//! All subcommands read/write plain newline-separated password files.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use pagpass::core::{DcGen, DcGenConfig, ModelKind, PasswordModel, TrainConfig};
+use pagpass::datasets::{clean, Site};
+use pagpass::eval::{hit_rate, repeat_rate};
+use pagpass::nn::GptConfig;
+use pagpass::patterns::{Pattern, PatternDistribution};
+use pagpass::tokenizer::VOCAB_SIZE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pagpass synth    --site <rockyou|linkedin|phpbb|myspace|yahoo> --n N [--seed S] [--clean] --out FILE
+  pagpass train    --kind <passgpt|pagpassgpt> --corpus FILE [--epochs N] [--seed S] --out FILE
+  pagpass generate --kind <passgpt|pagpassgpt> --model FILE --n N [--pattern P] [--temp T] [--seed S] [--out FILE]
+  pagpass dcgen    --model FILE --corpus FILE --n N [--threshold T] [--seed S] [--out FILE]
+  pagpass eval     --guesses FILE --test FILE
+  pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let parsed = Parsed::parse(rest)?;
+    match command.as_str() {
+        "synth" => cmd_synth(&parsed),
+        "train" => cmd_train(&parsed),
+        "generate" => cmd_generate(&parsed),
+        "dcgen" => cmd_dcgen(&parsed),
+        "eval" => cmd_eval(&parsed),
+        "strength" => cmd_strength(&parsed),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Parsed `--flag value` pairs plus positional arguments.
+#[derive(Debug, Default, PartialEq)]
+struct Parsed {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Parsed {
+    fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut parsed = Parsed::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name == "clean" {
+                    parsed.flags.insert(name.to_owned(), "true".to_owned());
+                    continue;
+                }
+                let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                parsed.flags.insert(name.to_owned(), value.clone());
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} got a non-numeric value {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn parse_site(name: &str) -> Result<Site, String> {
+    match name.to_lowercase().as_str() {
+        "rockyou" => Ok(Site::RockYou),
+        "linkedin" => Ok(Site::LinkedIn),
+        "phpbb" => Ok(Site::PhpBb),
+        "myspace" => Ok(Site::MySpace),
+        "yahoo" => Ok(Site::Yahoo),
+        other => Err(format!("unknown site {other:?}")),
+    }
+}
+
+fn parse_kind(name: &str) -> Result<ModelKind, String> {
+    match name.to_lowercase().as_str() {
+        "passgpt" => Ok(ModelKind::PassGpt),
+        "pagpassgpt" => Ok(ModelKind::PagPassGpt),
+        other => Err(format!("unknown model kind {other:?}")),
+    }
+}
+
+fn read_lines(path: &str) -> Result<Vec<String>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    std::io::BufReader::new(file)
+        .lines()
+        .collect::<Result<Vec<String>, _>>()
+        .map_err(|e| format!("read {path}: {e}"))
+}
+
+fn write_lines(path: Option<&str>, lines: &[String]) -> Result<(), String> {
+    match path {
+        Some(path) => {
+            let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            for line in lines {
+                writeln!(file, "{line}").map_err(|e| format!("write {path}: {e}"))?;
+            }
+            eprintln!("wrote {} lines to {path}", lines.len());
+            Ok(())
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for line in lines {
+                writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn cmd_synth(p: &Parsed) -> Result<(), String> {
+    let site = parse_site(p.required("site")?)?;
+    let n: usize = p.num("n", 10_000)?;
+    let seed: u64 = p.num("seed", 42)?;
+    let mut leak = site.profile().generate(n, seed);
+    if p.flags.contains_key("clean") {
+        let report = clean(leak);
+        eprintln!(
+            "cleaned: {} unique -> {} retained ({:.1}%)",
+            report.unique_total,
+            report.retained.len(),
+            100.0 * report.retention_rate()
+        );
+        leak = report.retained;
+    }
+    write_lines(p.flags.get("out").map(String::as_str), &leak)
+}
+
+fn cmd_train(p: &Parsed) -> Result<(), String> {
+    let kind = parse_kind(p.required("kind")?)?;
+    let corpus = read_lines(p.required("corpus")?)?;
+    let out = p.required("out")?.to_owned();
+    let epochs: usize = p.num("epochs", 4)?;
+    let seed: u64 = p.num("seed", 1)?;
+    let mut model = PasswordModel::new(kind, GptConfig::small(VOCAB_SIZE), seed);
+    let config = TrainConfig { epochs, seed, log_every: 100, ..TrainConfig::default() };
+    let report = model.train(&corpus, &[], &config);
+    eprintln!(
+        "trained {kind} on {} passwords: loss {:?} -> {:?}",
+        corpus.len(),
+        report.epoch_losses.first(),
+        report.epoch_losses.last()
+    );
+    model.save(&out).map_err(|e| e.to_string())?;
+    eprintln!("saved model to {out}");
+    Ok(())
+}
+
+fn cmd_generate(p: &Parsed) -> Result<(), String> {
+    let kind = parse_kind(p.required("kind")?)?;
+    let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
+    let n: usize = p.num("n", 1_000)?;
+    let temp: f32 = p.num("temp", 1.0)?;
+    let seed: u64 = p.num("seed", 7)?;
+    let guesses = match p.flags.get("pattern") {
+        Some(pat) => {
+            let pattern: Pattern = pat.parse().map_err(|e| format!("bad pattern {pat:?}: {e}"))?;
+            model.generate_guided(&pattern, n, temp, seed)
+        }
+        None => model.generate_free(n, temp, seed),
+    };
+    write_lines(p.flags.get("out").map(String::as_str), &guesses)
+}
+
+fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
+    let model =
+        PasswordModel::load(ModelKind::PagPassGpt, p.required("model")?).map_err(|e| e.to_string())?;
+    let corpus = read_lines(p.required("corpus")?)?;
+    let n: u64 = p.num("n", 10_000)?;
+    let threshold: u64 = p.num("threshold", 256)?;
+    let seed: u64 = p.num("seed", 7)?;
+    let patterns = PatternDistribution::from_passwords(corpus.iter().map(String::as_str));
+    let report = DcGen::new(
+        &model,
+        DcGenConfig { threshold, seed, ..DcGenConfig::new(n) },
+    )
+    .run(&patterns)
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "D&C-GEN: {} passwords from {} leaves / {} expansions; repeat rate {:.2}%",
+        report.passwords.len(),
+        report.leaf_tasks,
+        report.expansions,
+        100.0 * repeat_rate(&report.passwords)
+    );
+    write_lines(p.flags.get("out").map(String::as_str), &report.passwords)
+}
+
+fn cmd_eval(p: &Parsed) -> Result<(), String> {
+    let guesses = read_lines(p.required("guesses")?)?;
+    let test = read_lines(p.required("test")?)?;
+    let hits = hit_rate(&guesses, &test);
+    println!(
+        "guesses: {} ({} unique, repeat rate {:.2}%)",
+        hits.total_guesses,
+        hits.unique_guesses,
+        100.0 * repeat_rate(&guesses)
+    );
+    println!("test set: {} passwords", hits.test_size);
+    println!("hits: {} (hit rate {:.2}%)", hits.hits, 100.0 * hits.rate());
+    Ok(())
+}
+
+fn cmd_strength(p: &Parsed) -> Result<(), String> {
+    let kind = parse_kind(p.required("kind")?)?;
+    let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
+    if p.positional.is_empty() {
+        return Err("strength needs at least one password argument".into());
+    }
+    for pw in &p.positional {
+        match model.log_probability(pw) {
+            Ok(lp) => {
+                let pattern = Pattern::of_password(pw)
+                    .map_or_else(|_| "?".to_owned(), |pt| pt.to_string());
+                println!("{pw}\tln Pr = {lp:.2}\tpattern {pattern}");
+            }
+            Err(e) => println!("{pw}\tunscorable ({e})"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let p = Parsed::parse(&s(&["--site", "rockyou", "pw1", "--n", "50", "pw2"])).unwrap();
+        assert_eq!(p.required("site").unwrap(), "rockyou");
+        assert_eq!(p.num::<usize>("n", 0).unwrap(), 50);
+        assert_eq!(p.positional, s(&["pw1", "pw2"]));
+    }
+
+    #[test]
+    fn boolean_clean_flag_takes_no_value() {
+        let p = Parsed::parse(&s(&["--clean", "--n", "5"])).unwrap();
+        assert!(p.flags.contains_key("clean"));
+        assert_eq!(p.num::<usize>("n", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Parsed::parse(&s(&["--site"])).is_err());
+        let p = Parsed::parse(&s(&[])).unwrap();
+        assert!(p.required("site").is_err());
+        assert!(p.num::<usize>("n", 3).unwrap() == 3);
+    }
+
+    #[test]
+    fn bad_numbers_are_errors() {
+        let p = Parsed::parse(&s(&["--n", "lots"])).unwrap();
+        assert!(p.num::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn site_and_kind_parsing() {
+        assert_eq!(parse_site("RockYou").unwrap(), Site::RockYou);
+        assert_eq!(parse_site("linkedin").unwrap(), Site::LinkedIn);
+        assert!(parse_site("github").is_err());
+        assert_eq!(parse_kind("PagPassGPT").unwrap(), ModelKind::PagPassGpt);
+        assert!(parse_kind("bert").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn synth_subcommand_writes_a_cleaned_corpus() {
+        let dir = std::env::temp_dir().join("pagpass_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("leak.txt");
+        let out_str = out.to_str().unwrap().to_owned();
+        run(&s(&["synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str]))
+            .unwrap();
+        let lines = read_lines(&out_str).unwrap();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|pw| (4..=12).contains(&pw.chars().count())));
+        // Deterministic: same seed reproduces the file.
+        run(&s(&["synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str]))
+            .unwrap();
+        assert_eq!(read_lines(&out_str).unwrap(), lines);
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn eval_subcommand_reads_password_files() {
+        let dir = std::env::temp_dir().join("pagpass_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let guesses = dir.join("guesses.txt");
+        let test = dir.join("test.txt");
+        std::fs::write(&guesses, "abc123\nabc123\nzzz\n").unwrap();
+        std::fs::write(&test, "abc123\nqwerty\n").unwrap();
+        run(&s(&[
+            "eval",
+            "--guesses",
+            guesses.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Missing files surface as errors, not panics.
+        assert!(run(&s(&["eval", "--guesses", "/nonexistent", "--test", "/nonexistent"])).is_err());
+        std::fs::remove_file(guesses).ok();
+        std::fs::remove_file(test).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property-based tests on the invariants the paper's
+//! algorithms rely on.
+
+use pagpass::eval::{hit_rate, repeat_rate, GuessCurve};
+use pagpass::patterns::{Pattern, PatternDistribution};
+use pagpass::pcfg::PcfgModel;
+use pagpass::tokenizer::Tokenizer;
+use proptest::prelude::*;
+
+/// Alphabet-conforming passwords of length 1..=12.
+fn password() -> impl Strategy<Value = String> {
+    let alphabet: Vec<char> = ('!'..='~').collect();
+    proptest::collection::vec(proptest::sample::select(alphabet), 1..=12)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn corpus() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(password(), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tokenizer and the pattern extractor always agree: the pattern
+    /// section of an encoded rule is the password's extracted pattern.
+    #[test]
+    fn tokenizer_and_patterns_agree(pw in password()) {
+        let tok = Tokenizer::new();
+        let ids = tok.encode_training(&pw).unwrap();
+        let rule = tok.decode_rule(&ids).unwrap();
+        let pattern = rule.pattern.expect("training rules always carry a pattern");
+        prop_assert_eq!(&pattern, &Pattern::of_password(&pw).unwrap());
+        prop_assert!(pattern.matches(&pw));
+    }
+
+    /// PCFG assigns every training password positive probability, and its
+    /// enumeration is strictly descending and duplicate-free.
+    #[test]
+    fn pcfg_training_set_has_mass(pwds in corpus()) {
+        let model = PcfgModel::train(pwds.iter().map(String::as_str));
+        for pw in &pwds {
+            prop_assert!(model.probability(pw) > 0.0, "{pw} lost its mass");
+        }
+        let guesses = model.guesses(50);
+        let probs: Vec<f64> = guesses.iter().map(|g| model.probability(g)).collect();
+        prop_assert!(probs.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        let unique: std::collections::HashSet<&String> = guesses.iter().collect();
+        prop_assert_eq!(unique.len(), guesses.len());
+    }
+
+    /// Metric sanity: hit rate and repeat rate stay in [0, 1]; guessing the
+    /// test set itself yields hit rate 1.
+    #[test]
+    fn metric_bounds(guesses in corpus(), test in corpus()) {
+        let hr = hit_rate(&guesses, &test).rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        let rr = repeat_rate(&guesses);
+        prop_assert!((0.0..=1.0).contains(&rr));
+        let perfect = hit_rate(&test, &test);
+        prop_assert!((perfect.rate() - 1.0).abs() < 1e-12);
+    }
+
+    /// GuessCurve prefix evaluation agrees with pointwise metrics at every
+    /// budget, and hit rates are monotone in the budget.
+    #[test]
+    fn guess_curve_consistency(guesses in corpus(), test in corpus()) {
+        let budgets: Vec<usize> = vec![1, guesses.len() / 2 + 1, guesses.len()];
+        let curve = GuessCurve::compute(&guesses, &test, &budgets);
+        prop_assert!(curve.hit_rates.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for (i, &b) in curve.budgets.iter().enumerate() {
+            let prefix = &guesses[..b];
+            prop_assert!((curve.hit_rates[i] - hit_rate(prefix, &test).rate()).abs() < 1e-12);
+            prop_assert!((curve.repeat_rates[i] - repeat_rate(prefix)).abs() < 1e-12);
+        }
+    }
+
+    /// Pattern distribution: probabilities sum to 1 and the top-k covers at
+    /// least as much mass as any other k patterns.
+    #[test]
+    fn distribution_top_is_maximal(pwds in corpus()) {
+        let dist = PatternDistribution::from_passwords(pwds.iter().map(String::as_str));
+        let ranked = dist.ranked();
+        let sum: f64 = ranked.iter().map(|e| e.probability).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let k = ranked.len() / 2;
+        let top_mass: f64 = ranked[..k].iter().map(|e| e.probability).sum();
+        let bottom_mass: f64 = ranked[ranked.len() - k..].iter().map(|e| e.probability).sum();
+        prop_assert!(top_mass >= bottom_mass - 1e-12);
+    }
+
+    /// Distances are symmetric-ish sanity: zero against self, bounded by
+    /// the sum of both distributions' norms.
+    #[test]
+    fn distances_are_sane(pwds in corpus()) {
+        let d_len = pagpass::eval::length_distance(&pwds, &pwds);
+        let d_pat = pagpass::eval::pattern_distance(&pwds, &pwds, 150);
+        prop_assert!(d_len < 1e-9);
+        prop_assert!(d_pat < 1e-9);
+    }
+}
