@@ -21,7 +21,13 @@ pub struct FlowConfig {
 
 impl Default for FlowConfig {
     fn default() -> FlowConfig {
-        FlowConfig { couplings: 4, hidden: 192, batch: 32, lr: 3e-4, dequant: 0.05 }
+        FlowConfig {
+            couplings: 4,
+            hidden: 192,
+            batch: 32,
+            lr: 3e-4,
+            dequant: 0.05,
+        }
     }
 }
 
@@ -29,7 +35,13 @@ impl FlowConfig {
     /// A minimal configuration for unit tests.
     #[must_use]
     pub fn tiny() -> FlowConfig {
-        FlowConfig { couplings: 2, hidden: 16, batch: 8, lr: 1e-3, dequant: 0.05 }
+        FlowConfig {
+            couplings: 2,
+            hidden: 16,
+            batch: 8,
+            lr: 1e-3,
+            dequant: 0.05,
+        }
     }
 }
 
@@ -69,7 +81,10 @@ impl PassFlow {
 
     /// Trains for `epochs` passes over the encodable subset of `corpus`.
     pub fn train(&mut self, corpus: &[String], epochs: usize) {
-        let real: Vec<Vec<f32>> = corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        let real: Vec<Vec<f32>> = corpus
+            .iter()
+            .filter_map(|pw| encoding::encode(pw))
+            .collect();
         if real.is_empty() {
             return;
         }
@@ -228,7 +243,11 @@ fn split(x: &Mat, swap: bool) -> (Mat, Mat) {
 }
 
 fn join(passive: &Mat, active: &Mat, swap: bool) -> Mat {
-    let (lo, hi) = if swap { (active, passive) } else { (passive, active) };
+    let (lo, hi) = if swap {
+        (active, passive)
+    } else {
+        (passive, active)
+    };
     let mut out = Mat::zeros(lo.rows(), WIDTH);
     let half = WIDTH / 2;
     for r in 0..lo.rows() {
@@ -287,7 +306,10 @@ mod tests {
         flow.train(&corpus(), 10);
         let h = &flow.nll_history;
         assert_eq!(h.len(), 10);
-        assert!(h.last().unwrap() < h.first().unwrap(), "NLL should fall: {h:?}");
+        assert!(
+            h.last().unwrap() < h.first().unwrap(),
+            "NLL should fall: {h:?}"
+        );
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub struct GanConfig {
 
 impl Default for GanConfig {
     fn default() -> GanConfig {
-        GanConfig { latent: 48, hidden: 192, batch: 32, critic_steps: 3, clip: 0.05, lr: 1e-4 }
+        GanConfig {
+            latent: 48,
+            hidden: 192,
+            batch: 32,
+            critic_steps: 3,
+            clip: 0.05,
+            lr: 1e-4,
+        }
     }
 }
 
@@ -31,7 +38,14 @@ impl GanConfig {
     /// A minimal configuration for unit tests.
     #[must_use]
     pub fn tiny() -> GanConfig {
-        GanConfig { latent: 8, hidden: 24, batch: 8, critic_steps: 2, clip: 0.05, lr: 1e-3 }
+        GanConfig {
+            latent: 8,
+            hidden: 24,
+            batch: 8,
+            critic_steps: 2,
+            clip: 0.05,
+            lr: 1e-3,
+        }
     }
 }
 
@@ -60,7 +74,10 @@ impl PassGan {
     pub fn new(config: GanConfig, seed: u64) -> PassGan {
         let mut rng = Rng::seed_from(seed);
         PassGan {
-            generator: MlpNet::new(&[config.latent, config.hidden, config.hidden, WIDTH], &mut rng),
+            generator: MlpNet::new(
+                &[config.latent, config.hidden, config.hidden, WIDTH],
+                &mut rng,
+            ),
             critic: MlpNet::new(&[WIDTH, config.hidden, config.hidden, 1], &mut rng),
             config,
             rng,
@@ -70,8 +87,10 @@ impl PassGan {
 
     /// Trains for `epochs` passes over the encodable subset of `corpus`.
     pub fn train(&mut self, corpus: &[String], epochs: usize) {
-        let real: Vec<Vec<f32>> =
-            corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        let real: Vec<Vec<f32>> = corpus
+            .iter()
+            .filter_map(|pw| encoding::encode(pw))
+            .collect();
         if real.is_empty() {
             return;
         }
@@ -93,7 +112,8 @@ impl PassGan {
                 // Generator phase.
                 self.generator_step(b, &mut opt_g);
             }
-            self.critic_gap_history.push(gap_sum / steps_per_epoch as f32);
+            self.critic_gap_history
+                .push(gap_sum / steps_per_epoch as f32);
         }
     }
 
@@ -126,7 +146,8 @@ impl PassGan {
 
     /// One generator update: maximize the critic's score of fresh fakes.
     fn generator_step(&mut self, b: usize, opt: &mut AdamW) {
-        self.generator.visit_params(&mut pagpass_nn::Param::zero_grad);
+        self.generator
+            .visit_params(&mut pagpass_nn::Param::zero_grad);
         let z = self.sample_noise(b);
         let logits = self.generator.forward(&z);
         let (probs, softmax_cache) = per_slot_softmax(&logits);
@@ -204,7 +225,11 @@ fn per_slot_softmax_backward(probs: &Mat, dy: &Mat) -> Mat {
         for s in 0..prow.len() / SYMBOLS {
             let lo = s * SYMBOLS;
             let hi = lo + SYMBOLS;
-            let dot: f32 = prow[lo..hi].iter().zip(&dyrow[lo..hi]).map(|(p, g)| p * g).sum();
+            let dot: f32 = prow[lo..hi]
+                .iter()
+                .zip(&dyrow[lo..hi])
+                .map(|(p, g)| p * g)
+                .sum();
             for i in lo..hi {
                 drow[i] = prow[i] * (dyrow[i] - dot);
             }
@@ -278,7 +303,11 @@ mod tests {
             minus.as_mut_slice()[k] -= eps;
             let f = |m: &Mat| -> f32 {
                 let (p, _) = per_slot_softmax(m);
-                p.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum()
+                p.as_slice()
+                    .iter()
+                    .zip(dy.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum()
             };
             let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
             assert!(

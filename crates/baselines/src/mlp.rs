@@ -33,7 +33,10 @@ impl MlpNet {
     /// Panics if fewer than two dims are given.
     #[must_use]
     pub fn new(dims: &[usize], rng: &mut Rng) -> MlpNet {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| {
@@ -42,7 +45,10 @@ impl MlpNet {
                 layer
             })
             .collect();
-        MlpNet { layers, cached_pre: Vec::new() }
+        MlpNet {
+            layers,
+            cached_pre: Vec::new(),
+        }
     }
 
     /// Input dimensionality.
@@ -151,24 +157,18 @@ mod tests {
         let mut rng = Rng::seed_from(2);
         let mut net = MlpNet::new(&[4, 6, 6, 2], &mut rng);
         let x = Mat::randn(5, 4, 1.0, &mut rng);
-        let report = GradCheck::default().run(
-            &mut net,
-            &|n, f| n.visit_params(f),
-            &mut |n| {
-                let y = n.forward(&x);
-                let mut loss = 0.0;
-                let mut d = Mat::zeros(y.rows(), y.cols());
-                for (i, (dv, &yv)) in
-                    d.as_mut_slice().iter_mut().zip(y.as_slice()).enumerate()
-                {
-                    let w = (i as f32 * 0.7).cos();
-                    *dv = w;
-                    loss += yv * w;
-                }
-                let _ = n.backward(&d);
-                loss
-            },
-        );
+        let report = GradCheck::default().run(&mut net, &|n, f| n.visit_params(f), &mut |n| {
+            let y = n.forward(&x);
+            let mut loss = 0.0;
+            let mut d = Mat::zeros(y.rows(), y.cols());
+            for (i, (dv, &yv)) in d.as_mut_slice().iter_mut().zip(y.as_slice()).enumerate() {
+                let w = (i as f32 * 0.7).cos();
+                *dv = w;
+                loss += yv * w;
+            }
+            let _ = n.backward(&d);
+            loss
+        });
         assert_eq!(report.failures, 0, "{report:?}");
     }
 

@@ -21,7 +21,13 @@ pub struct VaeConfig {
 
 impl Default for VaeConfig {
     fn default() -> VaeConfig {
-        VaeConfig { latent: 48, hidden: 192, batch: 32, lr: 3e-4, beta: 0.5 }
+        VaeConfig {
+            latent: 48,
+            hidden: 192,
+            batch: 32,
+            lr: 3e-4,
+            beta: 0.5,
+        }
     }
 }
 
@@ -29,7 +35,13 @@ impl VaeConfig {
     /// A minimal configuration for unit tests.
     #[must_use]
     pub fn tiny() -> VaeConfig {
-        VaeConfig { latent: 8, hidden: 24, batch: 8, lr: 1e-3, beta: 0.5 }
+        VaeConfig {
+            latent: 8,
+            hidden: 24,
+            batch: 8,
+            lr: 1e-3,
+            beta: 0.5,
+        }
     }
 }
 
@@ -72,7 +84,10 @@ impl VaePass {
 
     /// Trains for `epochs` passes over the encodable subset of `corpus`.
     pub fn train(&mut self, corpus: &[String], epochs: usize) {
-        let real: Vec<Vec<f32>> = corpus.iter().filter_map(|pw| encoding::encode(pw)).collect();
+        let real: Vec<Vec<f32>> = corpus
+            .iter()
+            .filter_map(|pw| encoding::encode(pw))
+            .collect();
         if real.is_empty() {
             return;
         }
@@ -92,8 +107,12 @@ impl VaePass {
     /// One ELBO gradient step; returns the batch loss.
     fn step(&mut self, real: &[Vec<f32>], b: usize, opt: &mut AdamW) -> f32 {
         let latent = self.config.latent;
-        self.nets.encoder.visit_params(&mut pagpass_nn::Param::zero_grad);
-        self.nets.decoder.visit_params(&mut pagpass_nn::Param::zero_grad);
+        self.nets
+            .encoder
+            .visit_params(&mut pagpass_nn::Param::zero_grad);
+        self.nets
+            .decoder
+            .visit_params(&mut pagpass_nn::Param::zero_grad);
 
         let mut x = Mat::zeros(b, WIDTH);
         for r in 0..b {

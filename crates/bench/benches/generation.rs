@@ -13,7 +13,13 @@ use pagpassgpt::{DcGen, DcGenConfig, ModelKind, PasswordModel};
 fn tiny_model() -> PasswordModel {
     PasswordModel::new(
         ModelKind::PagPassGpt,
-        GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+        GptConfig {
+            vocab_size: VOCAB_SIZE,
+            ctx_len: 32,
+            dim: 16,
+            n_layers: 1,
+            n_heads: 2,
+        },
         1,
     )
 }
@@ -44,7 +50,11 @@ fn bench_dcgen(c: &mut Criterion) {
         b.iter(|| {
             let dc = DcGen::new(
                 &model,
-                DcGenConfig { threshold: 64, seed: 5, ..DcGenConfig::new(1_000) },
+                DcGenConfig {
+                    threshold: 64,
+                    seed: 5,
+                    ..DcGenConfig::new(1_000)
+                },
             );
             std::hint::black_box(dc.run(&patterns).unwrap())
         });
@@ -79,5 +89,11 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_dcgen, bench_pcfg_enumeration, bench_metrics);
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_dcgen,
+    bench_pcfg_enumeration,
+    bench_metrics
+);
 criterion_main!(benches);

@@ -26,7 +26,16 @@ fn bench_gpt_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("gpt_train_step");
     group.sample_size(10);
     for (name, config) in [
-        ("tiny", GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 }),
+        (
+            "tiny",
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
+        ),
         ("small", GptConfig::small(VOCAB_SIZE)),
     ] {
         let mut model = Gpt::new(config, &mut Rng::seed_from(2));
@@ -46,21 +55,30 @@ fn bench_decode_step(c: &mut Criterion) {
     group.sample_size(20);
     let model = Gpt::new(GptConfig::small(VOCAB_SIZE), &mut Rng::seed_from(3));
     for batch in [1usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("kv_cached", batch), &batch, |bench, &batch| {
-            bench.iter_batched(
-                || model.begin_decode(batch),
-                |mut state| {
-                    let tokens = vec![1u32; batch];
-                    for _ in 0..8 {
-                        std::hint::black_box(model.decode_step(&tokens, &mut state));
-                    }
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kv_cached", batch),
+            &batch,
+            |bench, &batch| {
+                bench.iter_batched(
+                    || model.begin_decode(batch),
+                    |mut state| {
+                        let tokens = vec![1u32; batch];
+                        for _ in 0..8 {
+                            std::hint::black_box(model.decode_step(&tokens, &mut state));
+                        }
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_gpt_train_step, bench_decode_step);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gpt_train_step,
+    bench_decode_step
+);
 criterion_main!(benches);

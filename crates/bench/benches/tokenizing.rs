@@ -30,8 +30,10 @@ fn bench_pattern_extraction(c: &mut Criterion) {
 fn bench_tokenizer(c: &mut Criterion) {
     let tok = Tokenizer::new();
     let pwds = SiteProfile::rockyou().generate(2_000, 10);
-    let encoded: Vec<Vec<u32>> =
-        pwds.iter().filter_map(|p| tok.encode_training(p).ok()).collect();
+    let encoded: Vec<Vec<u32>> = pwds
+        .iter()
+        .filter_map(|p| tok.encode_training(p).ok())
+        .collect();
     let mut group = c.benchmark_group("tokenizer");
     group.throughput(Throughput::Elements(pwds.len() as u64));
     group.bench_function("encode_2000", |b| {

@@ -60,7 +60,13 @@ fn main() {
         ]);
         json.push((t, uniform, hr, rr, report.leaf_tasks, report.expansions));
     }
-    println!("Ablation — D&C-GEN threshold sweep at N={n} ({} scale)", ctx.scale.name);
+    println!(
+        "Ablation — D&C-GEN threshold sweep at N={n} ({} scale)",
+        ctx.scale.name
+    );
     table.print();
-    save_json(&format!("ablation-threshold-{}-s{}", ctx.scale.name, ctx.seed), &json);
+    save_json(
+        &format!("ablation-threshold-{}-s{}", ctx.scale.name, ctx.seed),
+        &json,
+    );
 }

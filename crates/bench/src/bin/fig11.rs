@@ -19,6 +19,9 @@ fn main() {
     for (n, dlen, dpat) in &r.pagpass_curve {
         table.row(vec![n.to_string(), pct(*dlen), pct(*dpat)]);
     }
-    println!("Fig. 11 — PagPassGPT distances vs generation count ({} scale)", ctx.scale.name);
+    println!(
+        "Fig. 11 — PagPassGPT distances vs generation count ({} scale)",
+        ctx.scale.name
+    );
     table.print();
 }

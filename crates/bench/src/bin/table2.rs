@@ -34,7 +34,10 @@ fn main() {
             report.retention_rate(),
         ));
     }
-    println!("Table II — key characteristics of applied datasets ({} scale)", ctx.scale.name);
+    println!(
+        "Table II — key characteristics of applied datasets ({} scale)",
+        ctx.scale.name
+    );
     table.print();
     save_json(&format!("table2-{}-s{}", ctx.scale.name, ctx.seed), &json);
 }

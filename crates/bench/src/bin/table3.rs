@@ -14,7 +14,10 @@ fn main() {
     let site = pagpass_datasets::Site::RockYou;
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
-    let patterns: Vec<Pattern> = ["L5N2", "L5S1N2"].iter().map(|s| s.parse().unwrap()).collect();
+    let patterns: Vec<Pattern> = ["L5N2", "L5S1N2"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
     let k = 10;
 
     let mut columns: Vec<Vec<String>> = Vec::new();
@@ -32,7 +35,13 @@ fn main() {
     for i in 0..k {
         table.row(columns.iter().map(|c| c[i].clone()).collect());
     }
-    println!("Table III — sample pattern-guided passwords ({} scale)", ctx.scale.name);
+    println!(
+        "Table III — sample pattern-guided passwords ({} scale)",
+        ctx.scale.name
+    );
     table.print();
-    save_json(&format!("table3-{}-s{}", ctx.scale.name, ctx.seed), &columns);
+    save_json(
+        &format!("table3-{}-s{}", ctx.scale.name, ctx.seed),
+        &columns,
+    );
 }

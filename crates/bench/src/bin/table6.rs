@@ -47,18 +47,30 @@ fn main() {
             "MySpace".into(),
             "Yahoo!".into(),
         ]);
-        for (name, guesses) in [("PassGPT", &g_pass), ("PagPassGPT", &g_pag), ("PagPassGPT-D&C", &g_dc)] {
+        for (name, guesses) in [
+            ("PassGPT", &g_pass),
+            ("PagPassGPT", &g_pag),
+            ("PagPassGPT-D&C", &g_dc),
+        ] {
             let mut row = vec![name.to_owned()];
             for site in eval_sites {
                 // The paper evaluates on the *entire* cross-site dataset.
                 let target = ctx.cleaned(site).retained;
                 let rate = hit_rate(guesses, &target).rate();
                 row.push(pct(rate));
-                json.push((train_site.name().to_owned(), name.to_owned(), site.name().to_owned(), rate));
+                json.push((
+                    train_site.name().to_owned(),
+                    name.to_owned(),
+                    site.name().to_owned(),
+                    rate,
+                ));
             }
             table.row(row);
         }
-        println!("Table VI — cross-site attack, trained on {train_site} ({} scale)", ctx.scale.name);
+        println!(
+            "Table VI — cross-site attack, trained on {train_site} ({} scale)",
+            ctx.scale.name
+        );
         table.print();
         println!();
     }

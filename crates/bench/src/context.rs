@@ -76,7 +76,13 @@ impl Scale {
             ScalePreset::Smoke => Scale {
                 name: preset.name().to_owned(),
                 raw_entries: 3_000,
-                gpt: GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+                gpt: GptConfig {
+                    vocab_size: VOCAB_SIZE,
+                    ctx_len: 32,
+                    dim: 16,
+                    n_layers: 1,
+                    n_heads: 2,
+                },
                 epochs: 2,
                 budgets: vec![50, 200],
                 guided_per_pattern: 40,
@@ -98,7 +104,13 @@ impl Scale {
             ScalePreset::Full => Scale {
                 name: preset.name().to_owned(),
                 raw_entries: 400_000,
-                gpt: GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 64, n_layers: 4, n_heads: 4 },
+                gpt: GptConfig {
+                    vocab_size: VOCAB_SIZE,
+                    ctx_len: 32,
+                    dim: 64,
+                    n_layers: 4,
+                    n_heads: 4,
+                },
                 epochs: 10,
                 budgets: vec![1_000, 10_000, 100_000, 300_000],
                 guided_per_pattern: 10_000,
@@ -144,7 +156,9 @@ impl Context {
                     });
                 }
                 other => {
-                    eprintln!("unknown flag {other:?}; supported: --scale smoke|default|full, --seed N");
+                    eprintln!(
+                        "unknown flag {other:?}; supported: --scale smoke|default|full, --seed N"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -173,7 +187,11 @@ impl Context {
     /// The paper's 7:1:2 split of a site's cleaned leak.
     #[must_use]
     pub fn split(&self, site: Site) -> Split {
-        split_passwords(self.cleaned(site).retained, SplitRatios::PAPER, self.seed ^ 0x5eed)
+        split_passwords(
+            self.cleaned(site).retained,
+            SplitRatios::PAPER,
+            self.seed ^ 0x5eed,
+        )
     }
 
     /// Directory for cached trained models.
@@ -258,7 +276,11 @@ impl Context {
     }
 
     fn baseline_epochs(&self) -> usize {
-        if self.scale.name == "smoke" { 2 } else { 3 }
+        if self.scale.name == "smoke" {
+            2
+        } else {
+            3
+        }
     }
 
     /// Trains the PCFG baseline.
@@ -279,7 +301,10 @@ impl Context {
         if self.scale.name == "smoke" {
             GanConfig::tiny()
         } else {
-            GanConfig { hidden: 128, ..GanConfig::default() }
+            GanConfig {
+                hidden: 128,
+                ..GanConfig::default()
+            }
         }
     }
 
@@ -287,7 +312,10 @@ impl Context {
         if self.scale.name == "smoke" {
             VaeConfig::tiny()
         } else {
-            VaeConfig { hidden: 128, ..VaeConfig::default() }
+            VaeConfig {
+                hidden: 128,
+                ..VaeConfig::default()
+            }
         }
     }
 
@@ -295,7 +323,10 @@ impl Context {
         if self.scale.name == "smoke" {
             FlowConfig::tiny()
         } else {
-            FlowConfig { hidden: 128, ..FlowConfig::default() }
+            FlowConfig {
+                hidden: 128,
+                ..FlowConfig::default()
+            }
         }
     }
 }

@@ -56,7 +56,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: Vec<String>) -> Table {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -67,7 +70,10 @@ impl Table {
     /// Renders with aligned columns.
     #[must_use]
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for row in std::iter::once(&self.header).chain(&self.rows) {
             for (i, cell) in row.iter().enumerate() {

@@ -53,30 +53,59 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
 
     let gan = ctx.gan_model(site);
     eprintln!("[gen] PassGAN x{n}");
-    models.push(curve("PassGAN", &gan.generate(n, ctx.seed ^ 1), &split.test, &budgets));
+    models.push(curve(
+        "PassGAN",
+        &gan.generate(n, ctx.seed ^ 1),
+        &split.test,
+        &budgets,
+    ));
 
     let vae = ctx.vae_model(site);
     eprintln!("[gen] VAEPass x{n}");
-    models.push(curve("VAEPass", &vae.generate(n, ctx.seed ^ 2), &split.test, &budgets));
+    models.push(curve(
+        "VAEPass",
+        &vae.generate(n, ctx.seed ^ 2),
+        &split.test,
+        &budgets,
+    ));
 
     let flow = ctx.flow_model(site);
     eprintln!("[gen] PassFlow x{n}");
-    models.push(curve("PassFlow", &flow.generate(n, ctx.seed ^ 3), &split.test, &budgets));
+    models.push(curve(
+        "PassFlow",
+        &flow.generate(n, ctx.seed ^ 3),
+        &split.test,
+        &budgets,
+    ));
 
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
     eprintln!("[gen] PassGPT x{n}");
-    models.push(curve("PassGPT", &passgpt.generate_free(n, 1.0, ctx.seed ^ 4), &split.test, &budgets));
+    models.push(curve(
+        "PassGPT",
+        &passgpt.generate_free(n, 1.0, ctx.seed ^ 4),
+        &split.test,
+        &budgets,
+    ));
 
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
     eprintln!("[gen] PagPassGPT x{n}");
-    models.push(curve("PagPassGPT", &pagpass.generate_free(n, 1.0, ctx.seed ^ 5), &split.test, &budgets));
+    models.push(curve(
+        "PagPassGPT",
+        &pagpass.generate_free(n, 1.0, ctx.seed ^ 5),
+        &split.test,
+        &budgets,
+    ));
 
     // D&C-GEN takes the budget N as an *input* (Algorithm 1), so each
     // budget is its own run — checkpointing one stream would evaluate
     // pattern-ordered prefixes instead of the algorithm's actual output.
     let train_patterns =
         PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
-    let mut dc_curve = GuessCurve { budgets: budgets.clone(), hit_rates: Vec::new(), repeat_rates: Vec::new() };
+    let mut dc_curve = GuessCurve {
+        budgets: budgets.clone(),
+        hit_rates: Vec::new(),
+        repeat_rates: Vec::new(),
+    };
     for &budget in &budgets {
         eprintln!("[gen] PagPassGPT-D&C x{budget}");
         let dc = DcGen::new(
@@ -92,9 +121,14 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
         dc_curve
             .hit_rates
             .push(pagpass_eval::hit_rate(&dc.passwords, &split.test).rate());
-        dc_curve.repeat_rates.push(pagpass_eval::repeat_rate(&dc.passwords));
+        dc_curve
+            .repeat_rates
+            .push(pagpass_eval::repeat_rate(&dc.passwords));
     }
-    models.push(ModelCurve { model: "PagPassGPT-D&C".to_owned(), curve: dc_curve });
+    models.push(ModelCurve {
+        model: "PagPassGPT-D&C".to_owned(),
+        curve: dc_curve,
+    });
 
     // Extension baselines beyond the paper's table: the classic
     // probability-based families it surveys in §II-B2.
@@ -103,15 +137,28 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
     models.push(curve("PCFG (ext)", &pcfg.guesses(n), &split.test, &budgets));
     let markov = ctx.markov_model(site);
     eprintln!("[gen] Markov x{n}");
-    models.push(curve("Markov-3 (ext)", &markov.sample_many(n, 12, ctx.seed ^ 7), &split.test, &budgets));
+    models.push(curve(
+        "Markov-3 (ext)",
+        &markov.sample_many(n, 12, ctx.seed ^ 7),
+        &split.test,
+        &budgets,
+    ));
 
-    let runs = TrawlingRuns { scale: ctx.scale.name.clone(), budgets, test_size: split.test.len(), models };
+    let runs = TrawlingRuns {
+        scale: ctx.scale.name.clone(),
+        budgets,
+        test_size: split.test.len(),
+        models,
+    };
     save_json(&key, &runs);
     runs
 }
 
 fn curve(model: &str, guesses: &[String], test: &[String], budgets: &[usize]) -> ModelCurve {
-    ModelCurve { model: model.to_owned(), curve: GuessCurve::compute(guesses, test, budgets) }
+    ModelCurve {
+        model: model.to_owned(),
+        curve: GuessCurve::compute(guesses, test, budgets),
+    }
 }
 
 /// One pattern's result in the pattern-guided test.
@@ -133,13 +180,21 @@ impl GuidedPatternResult {
     /// `HR_P` of PassGPT.
     #[must_use]
     pub fn hr_passgpt(&self) -> f64 {
-        if self.test_conforming == 0 { 0.0 } else { self.passgpt_hits as f64 / self.test_conforming as f64 }
+        if self.test_conforming == 0 {
+            0.0
+        } else {
+            self.passgpt_hits as f64 / self.test_conforming as f64
+        }
     }
 
     /// `HR_P` of PagPassGPT.
     #[must_use]
     pub fn hr_pagpassgpt(&self) -> f64 {
-        if self.test_conforming == 0 { 0.0 } else { self.pagpassgpt_hits as f64 / self.test_conforming as f64 }
+        if self.test_conforming == 0 {
+            0.0
+        } else {
+            self.pagpassgpt_hits as f64 / self.test_conforming as f64
+        }
     }
 }
 
@@ -201,7 +256,12 @@ pub fn guided_runs(ctx: &Context) -> GuidedRuns {
             eval.category_hit_rate(segments, &cat_results_pag),
         ));
     }
-    let runs = GuidedRuns { scale: ctx.scale.name.clone(), per_pattern: n, patterns, categories };
+    let runs = GuidedRuns {
+        scale: ctx.scale.name.clone(),
+        per_pattern: n,
+        patterns,
+        categories,
+    };
     save_json(&key, &runs);
     runs
 }
@@ -245,14 +305,30 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
     };
 
     eprintln!("[dist] PassGAN x{n}");
-    measure("PassGAN", &ctx.gan_model(site).generate(n, ctx.seed ^ 21), &mut models);
+    measure(
+        "PassGAN",
+        &ctx.gan_model(site).generate(n, ctx.seed ^ 21),
+        &mut models,
+    );
     eprintln!("[dist] VAEPass x{n}");
-    measure("VAEPass", &ctx.vae_model(site).generate(n, ctx.seed ^ 22), &mut models);
+    measure(
+        "VAEPass",
+        &ctx.vae_model(site).generate(n, ctx.seed ^ 22),
+        &mut models,
+    );
     eprintln!("[dist] PassFlow x{n}");
-    measure("PassFlow", &ctx.flow_model(site).generate(n, ctx.seed ^ 23), &mut models);
+    measure(
+        "PassFlow",
+        &ctx.flow_model(site).generate(n, ctx.seed ^ 23),
+        &mut models,
+    );
     eprintln!("[dist] PassGPT x{n}");
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
-    measure("PassGPT", &passgpt.generate_free(n, 1.0, ctx.seed ^ 24), &mut models);
+    measure(
+        "PassGPT",
+        &passgpt.generate_free(n, 1.0, ctx.seed ^ 24),
+        &mut models,
+    );
     eprintln!("[dist] PagPassGPT x{n}");
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
     let pag_guesses = pagpass.generate_free(n, 1.0, ctx.seed ^ 25);
@@ -271,7 +347,12 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
         checkpoint *= 10;
     }
 
-    let runs = DistributionRuns { scale: ctx.scale.name.clone(), generated: n, models, pagpass_curve };
+    let runs = DistributionRuns {
+        scale: ctx.scale.name.clone(),
+        generated: n,
+        models,
+        pagpass_curve,
+    };
     save_json(&key, &runs);
     runs
 }

@@ -1,0 +1,382 @@
+//! Training checkpoints: model weights, optimizer state, and loop progress
+//! in one atomically-written, CRC-protected binary file.
+//!
+//! A checkpoint captures everything `run_training` needs to continue as if
+//! it had never stopped: the serialized transformer (the checksummed PAGNN
+//! format), the AdamW step counter and per-parameter moment estimates, and
+//! the position inside the epoch/batch loop including partial epoch-loss
+//! accumulators. Restoring is bit-exact, so a resumed run reproduces the
+//! uninterrupted run's weights and loss history step for step.
+
+use std::io::Read;
+use std::path::Path;
+
+use pagpass_nn::{atomic_write, crc32, AdamW, Gpt};
+
+use crate::CoreError;
+
+/// File magic (`PAGCKPT` + format version 1).
+const MAGIC: &[u8; 8] = b"PAGCKPT\x01";
+
+/// Position and history of a training loop at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainProgress {
+    /// Optimization steps completed.
+    pub step: u64,
+    /// Epoch currently in progress (0-based).
+    pub epoch: usize,
+    /// Batches already consumed inside the current epoch.
+    pub batch_in_epoch: usize,
+    /// Non-padding target tokens consumed.
+    pub tokens_seen: u64,
+    /// Mean training loss of each *completed* epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation loss of each completed epoch.
+    pub val_losses: Vec<f32>,
+    /// Steps skipped because loss or gradients were non-finite.
+    pub skipped_steps: Vec<u64>,
+    /// Times the run rolled weights back to a checkpoint.
+    pub rollbacks: u64,
+    /// Current learning-rate backoff factor (1.0 = no backoff).
+    pub lr_scale: f32,
+    /// Loss accumulated over the current partial epoch.
+    pub epoch_loss_accum: f64,
+    /// Batches accumulated over the current partial epoch.
+    pub epoch_batches: usize,
+}
+
+/// A complete training snapshot: weights, optimizer, and [`TrainProgress`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Serialized transformer (PAGNN format, already checksummed).
+    pub weights: Vec<u8>,
+    /// AdamW step counter (drives bias correction).
+    pub opt_steps: u64,
+    /// Per-parameter `(m, v)` moment vectors in `visit_params` order.
+    pub moments: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Loop position and history.
+    pub progress: TrainProgress,
+}
+
+/// Sequential reader over the checkpoint byte stream.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.data.len() < n {
+            return Err(CoreError::Checkpoint("truncated checkpoint".into()));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f32(&mut self) -> Result<f32, CoreError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, CoreError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f32_vec(&mut self) -> Result<Vec<f32>, CoreError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f32()).collect()
+    }
+    fn u64_vec(&mut self) -> Result<Vec<u64>, CoreError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+}
+
+fn put_f32_vec(out: &mut Vec<u8>, v: &[f32]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl TrainCheckpoint {
+    /// Snapshots the model, optimizer, and loop state.
+    #[must_use]
+    pub fn capture(gpt: &mut Gpt, opt: &AdamW, progress: TrainProgress) -> TrainCheckpoint {
+        let weights = gpt.to_bytes().to_vec();
+        let mut moments = Vec::new();
+        gpt.visit_params(&mut |p| {
+            let (m, v) = p.moments();
+            moments.push((m.as_slice().to_vec(), v.as_slice().to_vec()));
+        });
+        TrainCheckpoint {
+            weights,
+            opt_steps: opt.steps(),
+            moments,
+            progress,
+        }
+    }
+
+    /// Writes the snapshot back into `gpt` and `opt` and returns the saved
+    /// loop position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Load`] when the embedded weights are corrupt
+    /// and [`CoreError::Checkpoint`] when the optimizer state does not
+    /// match the model's parameter shapes.
+    pub fn restore(&self, gpt: &mut Gpt, opt: &mut AdamW) -> Result<TrainProgress, CoreError> {
+        *gpt = Gpt::from_bytes(bytes::Bytes::from(self.weights.clone()))?;
+        opt.set_steps(self.opt_steps);
+        let mut idx = 0usize;
+        let mut failure = false;
+        gpt.visit_params(&mut |p| {
+            let Some((m, v)) = self.moments.get(idx) else {
+                failure = true;
+                return;
+            };
+            idx += 1;
+            if m.len() != p.len() || v.len() != p.len() {
+                failure = true;
+                return;
+            }
+            let (pm, pv) = p.moments_mut();
+            pm.as_mut_slice().copy_from_slice(m);
+            pv.as_mut_slice().copy_from_slice(v);
+        });
+        if failure || idx != self.moments.len() {
+            return Err(CoreError::Checkpoint(
+                "optimizer state does not match the model's parameters".into(),
+            ));
+        }
+        Ok(self.progress.clone())
+    }
+
+    /// Serializes the checkpoint (binary, trailing CRC32).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.weights.len() * 3 + 256);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.weights);
+        out.extend_from_slice(&self.opt_steps.to_le_bytes());
+        out.extend_from_slice(&(self.moments.len() as u32).to_le_bytes());
+        for (m, v) in &self.moments {
+            put_f32_vec(&mut out, m);
+            put_f32_vec(&mut out, v);
+        }
+        let p = &self.progress;
+        out.extend_from_slice(&p.step.to_le_bytes());
+        out.extend_from_slice(&(p.epoch as u64).to_le_bytes());
+        out.extend_from_slice(&(p.batch_in_epoch as u64).to_le_bytes());
+        out.extend_from_slice(&p.tokens_seen.to_le_bytes());
+        out.extend_from_slice(&p.rollbacks.to_le_bytes());
+        out.extend_from_slice(&p.lr_scale.to_le_bytes());
+        out.extend_from_slice(&p.epoch_loss_accum.to_le_bytes());
+        out.extend_from_slice(&(p.epoch_batches as u64).to_le_bytes());
+        put_f32_vec(&mut out, &p.epoch_losses);
+        put_f32_vec(&mut out, &p.val_losses);
+        out.extend_from_slice(&(p.skipped_steps.len() as u32).to_le_bytes());
+        for &s in &p.skipped_steps {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses bytes written by [`to_bytes`](Self::to_bytes), verifying the
+    /// trailing CRC first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Checkpoint`] for malformed or corrupt data.
+    pub fn from_bytes(data: &[u8]) -> Result<TrainCheckpoint, CoreError> {
+        if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+            return Err(CoreError::Checkpoint("not a PAGCKPT file".into()));
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CoreError::Checkpoint(format!(
+                "checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+            )));
+        }
+        let mut r = Reader {
+            data: &body[MAGIC.len()..],
+        };
+        let weights_len = r.u64()? as usize;
+        let weights = r.take(weights_len)?.to_vec();
+        let opt_steps = r.u64()?;
+        let n_moments = r.u32()? as usize;
+        let mut moments = Vec::with_capacity(n_moments);
+        for _ in 0..n_moments {
+            let m = r.f32_vec()?;
+            let v = r.f32_vec()?;
+            moments.push((m, v));
+        }
+        let progress = TrainProgress {
+            step: r.u64()?,
+            epoch: r.u64()? as usize,
+            batch_in_epoch: r.u64()? as usize,
+            tokens_seen: r.u64()?,
+            rollbacks: r.u64()?,
+            lr_scale: r.f32()?,
+            epoch_loss_accum: r.f64()?,
+            epoch_batches: r.u64()? as usize,
+            epoch_losses: r.f32_vec()?,
+            val_losses: r.f32_vec()?,
+            skipped_steps: r.u64_vec()?,
+        };
+        if !r.data.is_empty() {
+            return Err(CoreError::Checkpoint("trailing bytes".into()));
+        }
+        Ok(TrainCheckpoint {
+            weights,
+            opt_steps,
+            moments,
+            progress,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        atomic_write(path, &self.to_bytes())
+    }
+
+    /// Loads and verifies a checkpoint written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] when the file cannot be read and
+    /// [`CoreError::Checkpoint`] when it is malformed or corrupt.
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainCheckpoint, CoreError> {
+        let mut data = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut data)?;
+        TrainCheckpoint::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagpass_nn::{GptConfig, Rng};
+
+    fn tiny() -> Gpt {
+        Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(2))
+    }
+
+    fn progress() -> TrainProgress {
+        TrainProgress {
+            step: 17,
+            epoch: 2,
+            batch_in_epoch: 3,
+            tokens_seen: 512,
+            epoch_losses: vec![3.5, 2.5],
+            val_losses: vec![3.6],
+            skipped_steps: vec![4, 9],
+            rollbacks: 1,
+            lr_scale: 0.25,
+            epoch_loss_accum: 7.75,
+            epoch_batches: 3,
+        }
+    }
+
+    /// Trains a few steps so moments and weights are non-trivial.
+    fn trained_pair() -> (Gpt, AdamW) {
+        let mut gpt = tiny();
+        let mut opt = AdamW::new(1e-3);
+        let tokens = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        for _ in 0..3 {
+            gpt.compute_grads(&tokens, 2, 4, None);
+            opt.begin_step();
+            gpt.visit_params(&mut |p| opt.update(p));
+        }
+        (gpt, opt)
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let (mut gpt, opt) = trained_pair();
+        let ckpt = TrainCheckpoint::capture(&mut gpt, &opt, progress());
+        let parsed = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn restore_reproduces_training_exactly() {
+        let (mut gpt, opt) = trained_pair();
+        let ckpt = TrainCheckpoint::capture(&mut gpt, &opt, progress());
+
+        // Continue the original for two more steps.
+        let tokens = vec![1u32, 2, 3, 4, 5, 6, 7, 8];
+        let step = |g: &mut Gpt, o: &mut AdamW| {
+            g.compute_grads(&tokens, 2, 4, None);
+            o.begin_step();
+            g.visit_params(&mut |p| o.update(p));
+        };
+        let mut opt_a = opt.clone();
+        step(&mut gpt, &mut opt_a);
+        step(&mut gpt, &mut opt_a);
+
+        // Restore into fresh objects and take the same two steps.
+        let mut gpt_b = tiny();
+        let mut opt_b = AdamW::new(1e-3);
+        let restored = ckpt.restore(&mut gpt_b, &mut opt_b).unwrap();
+        assert_eq!(restored, progress());
+        assert_eq!(opt_b.steps(), opt.steps());
+        step(&mut gpt_b, &mut opt_b);
+        step(&mut gpt_b, &mut opt_b);
+
+        assert_eq!(
+            gpt.next_token_logits(&[1, 2, 3]),
+            gpt_b.next_token_logits(&[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (mut gpt, opt) = trained_pair();
+        let mut data = TrainCheckpoint::capture(&mut gpt, &opt, progress()).to_bytes();
+        let idx = data.len() / 3;
+        data[idx] ^= 0x40;
+        assert!(matches!(
+            TrainCheckpoint::from_bytes(&data),
+            Err(CoreError::Checkpoint(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (mut gpt, opt) = trained_pair();
+        let data = TrainCheckpoint::capture(&mut gpt, &opt, progress()).to_bytes();
+        assert!(TrainCheckpoint::from_bytes(&data[..data.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pagpass_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        let (mut gpt, opt) = trained_pair();
+        let ckpt = TrainCheckpoint::capture(&mut gpt, &opt, progress());
+        ckpt.save(&path).unwrap();
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,18 +1,24 @@
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use pagpass_nn::Rng;
 use pagpass_patterns::{Pattern, PatternDistribution};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
+use crate::control::{CancelToken, FaultPlan, INJECTED_PANIC};
+use crate::journal::{DcGenJournal, JournalTask};
 use crate::{CoreError, ModelKind, PasswordModel};
 
 /// Configuration of a D&C-GEN run (paper Algorithm 1 plus the §III-C3
 /// optimizations).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcGenConfig {
-    /// Total guess budget `N`.
+    /// Total guess budget `N`. The run emits **at most** this many
+    /// passwords; leaf quotas that would overshoot through rounding are
+    /// truncated against the global budget.
     pub total: u64,
     /// Division threshold `T`: a subtask with a quota at or below this is
     /// executed instead of split. The paper sets 4 000 for its GPU; pick
@@ -20,7 +26,9 @@ pub struct DcGenConfig {
     pub threshold: u64,
     /// Sampling temperature inside leaf tasks.
     pub temperature: f32,
-    /// RNG seed (exact reproducibility requires `workers == 1`).
+    /// RNG seed. Each task derives its own stream from `(seed, task id)`,
+    /// so single-worker runs are byte-reproducible — including across an
+    /// interrupt/resume cycle.
     pub seed: u64,
     /// Optional cap on how many top patterns receive budget; probabilities
     /// are renormalized over the kept set.
@@ -31,11 +39,18 @@ pub struct DcGenConfig {
     /// Concurrent task workers (paper optimization 3). With `1` the run is
     /// fully deterministic.
     pub workers: usize,
+    /// How many times a panicking task is retried before it is abandoned
+    /// and recorded in [`DcGenReport::failed_tasks`].
+    pub max_task_retries: u32,
+    /// Completed tasks between journal snapshots when a journal path is
+    /// given ([`DcGenOptions::journal`]); `0` journals only at the end of
+    /// the run.
+    pub journal_every: u64,
 }
 
 impl DcGenConfig {
     /// A sensible CPU-scale default: `N` guesses with threshold 256,
-    /// single-worker for determinism.
+    /// single-worker for determinism, two retries per faulty task.
     #[must_use]
     pub fn new(total: u64) -> DcGenConfig {
         DcGenConfig {
@@ -46,14 +61,76 @@ impl DcGenConfig {
             max_patterns: None,
             uniform_patterns: false,
             workers: 1,
+            max_task_retries: 2,
+            journal_every: 64,
         }
     }
+}
+
+/// A task abandoned after exhausting its retry budget. The run continues
+/// without it; its quota is the upper bound on the guesses lost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedTask {
+    /// Pattern of the abandoned subtask (display form, e.g. `L6N2`).
+    pub pattern: String,
+    /// Password prefix the subtask was constrained to.
+    pub prefix: String,
+    /// Guess quota the subtask carried.
+    pub quota: f64,
+    /// Panic message of the final attempt.
+    pub error: String,
+}
+
+/// Runtime options for a D&C-GEN run: everything that controls *how* the
+/// run executes rather than *what* it computes.
+#[derive(Default, Clone, Copy)]
+pub struct DcGenOptions<'a> {
+    /// Cooperative cancellation; workers drain at the next task boundary.
+    pub cancel: Option<&'a CancelToken>,
+    /// Wall-clock budget; the pool drains once it elapses.
+    pub deadline: Option<Duration>,
+    /// Sidecar journal path enabling [`DcGen::resume`] after interruption.
+    pub journal: Option<&'a Path>,
+    /// Deterministic fault injection (tests only).
+    pub fault: Option<&'a FaultPlan>,
+    /// Streaming output; when set, passwords go to the sink batch by batch
+    /// and [`DcGenReport::passwords`] stays empty (bounded memory).
+    pub sink: Option<&'a dyn PasswordSink>,
+}
+
+impl std::fmt::Debug for DcGenOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DcGenOptions")
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("journal", &self.journal)
+            .field("fault", &self.fault)
+            .field("sink", &self.sink.map(|_| "dyn PasswordSink"))
+            .finish()
+    }
+}
+
+/// Streaming receiver for generated passwords.
+///
+/// Implementations must be `Sync`: worker threads emit concurrently
+/// (serialized by the pool's internal lock, so calls never overlap, but
+/// they do come from different threads).
+pub trait PasswordSink: Sync {
+    /// Accepts one leaf's worth of passwords.
+    ///
+    /// # Errors
+    ///
+    /// An error stops the run; the final journal still reflects every
+    /// batch that was accepted.
+    fn emit(&self, batch: &[String]) -> std::io::Result<()>;
 }
 
 /// Outcome of a D&C-GEN run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcGenReport {
-    /// Every generated password, leaf by leaf.
+    /// Every generated password, leaf by leaf. Empty when a
+    /// [`PasswordSink`] streamed them out instead; on resume, contains
+    /// only passwords generated *after* the journal snapshot.
     pub passwords: Vec<String>,
     /// Number of leaf tasks executed.
     pub leaf_tasks: usize,
@@ -63,6 +140,38 @@ pub struct DcGenReport {
     pub deleted_tasks: usize,
     /// Patterns that received budget.
     pub patterns_used: usize,
+    /// Total passwords emitted, including any counted by a resumed
+    /// journal. Never exceeds [`DcGenConfig::total`].
+    pub emitted: u64,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub failed_tasks: Vec<FailedTask>,
+    /// Task executions that panicked and were retried.
+    pub retries: u64,
+    /// Whether the run stopped early (cancellation or deadline) with tasks
+    /// still pending. A journaled interrupted run can be continued with
+    /// [`DcGen::resume`].
+    pub interrupted: bool,
+    /// Journal writes that failed; the run continues through these (the
+    /// journal is an aid, not a dependency), but resume granularity
+    /// degrades to the last successful snapshot.
+    pub journal_errors: u64,
+}
+
+impl DcGenReport {
+    fn empty() -> DcGenReport {
+        DcGenReport {
+            passwords: Vec::new(),
+            leaf_tasks: 0,
+            expansions: 0,
+            deleted_tasks: 0,
+            patterns_used: 0,
+            emitted: 0,
+            failed_tasks: Vec::new(),
+            retries: 0,
+            interrupted: false,
+            journal_errors: 0,
+        }
+    }
 }
 
 /// The D&C-GEN divide-and-conquer generator.
@@ -74,6 +183,17 @@ pub struct DcGenReport {
 /// sample their quota under the (pattern, prefix) constraint. Distinct
 /// subtasks are disjoint by construction — they differ in pattern or in
 /// prefix — so repeats can only arise *within* one leaf.
+///
+/// # Fault tolerance
+///
+/// Tasks run under a supervisor: workers park on a condition variable when
+/// idle, every task executes inside a panic boundary, and a panicking task
+/// is retried up to [`DcGenConfig::max_task_retries`] times before being
+/// recorded in [`DcGenReport::failed_tasks`] — one bad subtask never kills
+/// the run. Cooperative cancellation ([`CancelToken`]) and an optional
+/// deadline drain the pool cleanly with partial results, and an optional
+/// journal ([`DcGenOptions::journal`]) makes interrupted runs resumable via
+/// [`DcGen::resume`].
 ///
 /// # Examples
 ///
@@ -92,12 +212,73 @@ pub struct DcGen<'a> {
     config: DcGenConfig,
 }
 
-/// One pending subtask: a pattern index, a password prefix, and a quota.
+/// One pending subtask: a pattern index, a password prefix, a quota, and
+/// its remaining retry budget. The id doubles as the task's RNG key, which
+/// is what makes resumed runs byte-identical: a task samples the same
+/// passwords no matter which worker picks it up or when.
 #[derive(Debug, Clone)]
 struct Task {
+    id: u64,
     pattern_idx: usize,
     prefix: String,
     quota: f64,
+    retries_left: u32,
+}
+
+/// Shared state of the worker pool, guarded by one mutex. Workers park on
+/// the companion condvar when the queue is empty but siblings are still
+/// executing (their splits may enqueue more work).
+struct PoolState {
+    queue: VecDeque<Task>,
+    /// Tasks currently executing; journals persist them alongside the
+    /// queue so an interrupted task is simply re-run on resume.
+    in_flight: Vec<Task>,
+    /// Budget reserved by leaves that have started (never exceeds
+    /// `total`); reservations roll back if the leaf panics.
+    reserved: u64,
+    /// Passwords actually appended or sunk (including a resumed base).
+    emitted: u64,
+    completed: u64,
+    next_id: u64,
+    leaves: usize,
+    expansions: usize,
+    deleted: usize,
+    patterns_used: usize,
+    retries: u64,
+    failed: Vec<FailedTask>,
+    passwords: Vec<String>,
+    stopping: bool,
+    journal_errors: u64,
+    sink_error: Option<std::io::Error>,
+}
+
+/// What one task execution produced (computed outside the lock).
+enum TaskOutput {
+    Leaf(Vec<String>),
+    Split {
+        children: Vec<(String, f64)>,
+        deleted: usize,
+    },
+}
+
+/// Derives a task's RNG seed from the run seed and the task id
+/// (SplitMix64-style finalizer so nearby ids decorrelate).
+fn task_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
 }
 
 impl<'a> DcGen<'a> {
@@ -115,8 +296,27 @@ impl<'a> DcGen<'a> {
     /// Returns [`CoreError::WrongKind`] for PassGPT models — D&C-GEN relies
     /// on pattern-conditioned prefixes, which only PagPassGPT offers.
     pub fn run(&self, patterns: &PatternDistribution) -> Result<DcGenReport, CoreError> {
+        self.run_with(patterns, &DcGenOptions::default())
+    }
+
+    /// [`run`](Self::run) with runtime options: cancellation, a deadline,
+    /// journaling, fault injection, and streaming output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WrongKind`] for PassGPT models and
+    /// [`CoreError::Io`] when a [`PasswordSink`] write fails (the final
+    /// journal, if configured, is still written first so the run can be
+    /// resumed).
+    pub fn run_with(
+        &self,
+        patterns: &PatternDistribution,
+        opts: &DcGenOptions<'_>,
+    ) -> Result<DcGenReport, CoreError> {
         if self.model.kind() != ModelKind::PagPassGpt {
-            return Err(CoreError::WrongKind { expected: "PagPassGPT" });
+            return Err(CoreError::WrongKind {
+                expected: "PagPassGPT",
+            });
         }
         let ranked = {
             let mut ranked = patterns.ranked();
@@ -130,73 +330,214 @@ impl<'a> DcGen<'a> {
         } else {
             ranked.iter().map(|e| e.probability).sum()
         };
-        let mut report = DcGenReport {
-            passwords: Vec::new(),
-            leaf_tasks: 0,
-            expansions: 0,
-            deleted_tasks: 0,
-            patterns_used: 0,
-        };
         if ranked.is_empty() || mass <= 0.0 || self.config.total == 0 {
-            return Ok(report);
+            return Ok(DcGenReport::empty());
         }
 
         // Line 3: N_{P_i} = N · Pr(P_i), renormalized over the kept set and
         // capped at the pattern's search space (optimization 2).
-        let mut initial: Vec<Task> = Vec::new();
         let pattern_list: Vec<Pattern> = ranked.iter().map(|e| e.pattern.clone()).collect();
+        let mut initial: VecDeque<Task> = VecDeque::new();
+        let mut deleted_up_front = 0usize;
+        let mut patterns_used = 0usize;
+        let mut next_id = 0u64;
         for (idx, entry) in ranked.iter().enumerate() {
-            let pr = if self.config.uniform_patterns { 1.0 } else { entry.probability };
+            let pr = if self.config.uniform_patterns {
+                1.0
+            } else {
+                entry.probability
+            };
             let mut quota = self.config.total as f64 * pr / mass;
             quota = quota.min(entry.pattern.search_space());
             if quota < 1.0 {
-                report.deleted_tasks += 1;
+                deleted_up_front += 1;
                 continue;
             }
-            report.patterns_used += 1;
-            initial.push(Task { pattern_idx: idx, prefix: String::new(), quota });
+            patterns_used += 1;
+            initial.push_back(Task {
+                id: next_id,
+                pattern_idx: idx,
+                prefix: String::new(),
+                quota,
+                retries_left: self.config.max_task_retries,
+            });
+            next_id += 1;
         }
 
-        let threshold = self.config.threshold as f64;
-        let queue: Mutex<VecDeque<Task>> = Mutex::new(initial.into());
-        let pending = AtomicUsize::new(queue.lock().len());
-        let results: Mutex<Vec<String>> = Mutex::new(Vec::new());
-        let stats: Mutex<(usize, usize, usize)> = Mutex::new((0, 0, 0)); // leaves, expansions, deleted
+        let state = PoolState {
+            queue: initial,
+            in_flight: Vec::new(),
+            reserved: 0,
+            emitted: 0,
+            completed: 0,
+            next_id,
+            leaves: 0,
+            expansions: 0,
+            deleted: deleted_up_front,
+            patterns_used,
+            retries: 0,
+            failed: Vec::new(),
+            passwords: Vec::new(),
+            stopping: false,
+            journal_errors: 0,
+            sink_error: None,
+        };
+        self.run_pool(state, &pattern_list, opts)
+    }
 
+    /// Continues an interrupted run from its journal.
+    ///
+    /// The journal carries the original configuration, the pattern table,
+    /// and every task not yet completed; generation picks up from there.
+    /// Passwords counted by the journal are *not* regenerated — truncate a
+    /// partially-written output file to [`DcGenJournal::emitted`] lines and
+    /// append this run's output. With `workers == 1` the combined output is
+    /// byte-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WrongKind`] for PassGPT models and
+    /// [`CoreError::Io`] for sink failures, as [`run_with`](Self::run_with).
+    pub fn resume(
+        model: &'a PasswordModel,
+        journal: &DcGenJournal,
+        opts: &DcGenOptions<'_>,
+    ) -> Result<DcGenReport, CoreError> {
+        if model.kind() != ModelKind::PagPassGpt {
+            return Err(CoreError::WrongKind {
+                expected: "PagPassGPT",
+            });
+        }
+        let config = DcGenConfig {
+            total: journal.total,
+            threshold: journal.threshold,
+            temperature: journal.temperature,
+            seed: journal.seed,
+            max_patterns: None,
+            uniform_patterns: false,
+            workers: journal.workers,
+            max_task_retries: journal.max_task_retries,
+            journal_every: journal.journal_every,
+        };
+        let gen = DcGen { model, config };
+        let queue: VecDeque<Task> = journal
+            .tasks
+            .iter()
+            .map(|t| Task {
+                id: t.id,
+                pattern_idx: t.pattern_idx,
+                prefix: t.prefix.clone(),
+                quota: t.quota,
+                retries_left: journal.max_task_retries,
+            })
+            .collect();
+        let state = PoolState {
+            queue,
+            in_flight: Vec::new(),
+            reserved: journal.emitted,
+            emitted: journal.emitted,
+            completed: journal.completed,
+            next_id: journal.next_id,
+            leaves: journal.leaves,
+            expansions: journal.expansions,
+            deleted: journal.deleted,
+            patterns_used: journal.patterns_used,
+            retries: journal.retries,
+            failed: journal.failed.clone(),
+            passwords: Vec::new(),
+            stopping: false,
+            journal_errors: 0,
+            sink_error: None,
+        };
+        gen.run_pool(state, &journal.patterns, opts)
+    }
+
+    /// Supervised worker pool: executes every task in `state`, growing the
+    /// tree as splits enqueue children, until the queue drains or a stop is
+    /// requested.
+    fn run_pool(
+        &self,
+        state: PoolState,
+        pattern_list: &[Pattern],
+        opts: &DcGenOptions<'_>,
+    ) -> Result<DcGenReport, CoreError> {
+        let threshold = self.config.threshold as f64;
+        let total = self.config.total;
+        let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+        let state = Mutex::new(state);
+        let work_ready = Condvar::new();
         let workers = self.config.workers.max(1);
-        crossbeam::thread::scope(|scope| {
-            for w in 0..workers {
-                let queue = &queue;
-                let pending = &pending;
-                let results = &results;
-                let stats = &stats;
-                let patterns = &pattern_list;
-                scope.spawn(move |_| {
-                    let mut rng = Rng::seed_from(self.config.seed.wrapping_add(w as u64 * 0x9e3779b9));
-                    loop {
-                        let task = queue.lock().pop_front();
-                        let Some(task) = task else {
-                            if pending.load(Ordering::SeqCst) == 0 {
-                                break;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let state = &state;
+                let work_ready = &work_ready;
+                scope.spawn(move || loop {
+                    // ---- acquire: take a task or park until one appears.
+                    let (task, leaf_n) = {
+                        let mut s = state.lock();
+                        loop {
+                            if s.stopping {
+                                return;
                             }
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        let pattern = &patterns[task.pattern_idx];
-                        if task.quota <= threshold
-                            || task.prefix.chars().count() == pattern.char_len()
-                        {
+                            let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
+                                || deadline_at.is_some_and(|at| Instant::now() >= at);
+                            if cancelled {
+                                s.stopping = true;
+                                work_ready.notify_all();
+                                return;
+                            }
+                            if let Some(task) = s.queue.pop_front() {
+                                let pattern = &pattern_list[task.pattern_idx];
+                                let is_leaf = task.quota <= threshold
+                                    || task.prefix.chars().count() == pattern.char_len();
+                                // Leaves reserve against the global budget
+                                // up front, so the run stops at exactly
+                                // `total` no matter how quotas rounded.
+                                let leaf_n = is_leaf.then(|| {
+                                    let want = task.quota.round().max(1.0) as u64;
+                                    let n = want.min(total - s.reserved);
+                                    s.reserved += n;
+                                    n as usize
+                                });
+                                s.in_flight.push(task.clone());
+                                break (task, leaf_n);
+                            }
+                            if s.in_flight.is_empty() {
+                                // Nothing queued and nobody executing:
+                                // the tree is exhausted.
+                                s.stopping = true;
+                                work_ready.notify_all();
+                                return;
+                            }
+                            // Parked: a sibling's split may publish work,
+                            // or a stop may arrive. The timeout bounds how
+                            // long a parked worker can miss a deadline.
+                            work_ready.wait_for(&mut s, Duration::from_millis(20));
+                        }
+                    };
+
+                    // ---- execute outside the lock, inside a panic boundary.
+                    let pattern = &pattern_list[task.pattern_idx];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
+                            panic!("{INJECTED_PANIC}");
+                        }
+                        if let Some(n) = leaf_n {
                             // Leaf: execute (Algorithm 1, lines 5 & 13).
-                            let n = task.quota.round().max(1.0) as usize;
-                            let pwds = self.model.generate_leaf(
-                                pattern,
-                                &task.prefix,
-                                n,
-                                self.config.temperature,
-                                &mut rng,
-                            );
-                            results.lock().extend(pwds);
-                            stats.lock().0 += 1;
+                            let pwds = if n == 0 {
+                                Vec::new()
+                            } else {
+                                let mut rng = Rng::seed_from(task_seed(self.config.seed, task.id));
+                                self.model.generate_leaf(
+                                    pattern,
+                                    &task.prefix,
+                                    n,
+                                    self.config.temperature,
+                                    &mut rng,
+                                )
+                            };
+                            TaskOutput::Leaf(pwds)
                         } else {
                             // Split on the next character (lines 15–20).
                             let (ids, probs) =
@@ -216,33 +557,160 @@ impl<'a> DcGen<'a> {
                                 };
                                 let mut prefix = task.prefix.clone();
                                 prefix.push(ch);
-                                children.push(Task {
+                                children.push((prefix, child_quota));
+                            }
+                            TaskOutput::Split { children, deleted }
+                        }
+                    }));
+
+                    // ---- commit under the lock.
+                    let mut s = state.lock();
+                    if let Some(pos) = s.in_flight.iter().position(|t| t.id == task.id) {
+                        s.in_flight.remove(pos);
+                    }
+                    match outcome {
+                        Ok(TaskOutput::Leaf(pwds)) => {
+                            s.leaves += 1;
+                            s.emitted += pwds.len() as u64;
+                            if let Some(sink) = opts.sink {
+                                if let Err(e) = sink.emit(&pwds) {
+                                    s.emitted -= pwds.len() as u64;
+                                    s.reserved -= leaf_n.unwrap_or(0) as u64;
+                                    s.sink_error = Some(e);
+                                    s.stopping = true;
+                                    work_ready.notify_all();
+                                    return;
+                                }
+                            } else {
+                                s.passwords.extend(pwds);
+                            }
+                            self.finish_task(&mut s, pattern_list, opts);
+                        }
+                        Ok(TaskOutput::Split { children, deleted }) => {
+                            s.expansions += 1;
+                            s.deleted += deleted;
+                            for (prefix, quota) in children {
+                                let id = s.next_id;
+                                s.next_id += 1;
+                                s.queue.push_back(Task {
+                                    id,
                                     pattern_idx: task.pattern_idx,
                                     prefix,
-                                    quota: child_quota,
+                                    quota,
+                                    retries_left: self.config.max_task_retries,
                                 });
                             }
-                            {
-                                let mut s = stats.lock();
-                                s.1 += 1;
-                                s.2 += deleted;
-                            }
-                            pending.fetch_add(children.len(), Ordering::SeqCst);
-                            queue.lock().extend(children);
+                            self.finish_task(&mut s, pattern_list, opts);
+                            work_ready.notify_all();
                         }
-                        pending.fetch_sub(1, Ordering::SeqCst);
+                        Err(payload) => {
+                            // Supervision: retry with the same id (same RNG
+                            // stream), or abandon into `failed`.
+                            if let Some(n) = leaf_n {
+                                s.reserved -= n as u64;
+                            }
+                            if task.retries_left > 0 {
+                                s.retries += 1;
+                                s.queue.push_back(Task {
+                                    retries_left: task.retries_left - 1,
+                                    ..task
+                                });
+                                work_ready.notify_all();
+                            } else {
+                                s.failed.push(FailedTask {
+                                    pattern: pattern.to_string(),
+                                    prefix: task.prefix.clone(),
+                                    quota: task.quota,
+                                    error: panic_message(payload.as_ref()),
+                                });
+                            }
+                        }
                     }
                 });
             }
-        })
-        .expect("worker threads must not panic");
+        });
 
-        let (leaves, expansions, deleted) = *stats.lock();
-        report.leaf_tasks = leaves;
-        report.expansions = expansions;
-        report.deleted_tasks += deleted;
-        report.passwords = results.into_inner();
-        Ok(report)
+        let mut s = state.into_inner();
+        let interrupted = !s.queue.is_empty();
+        if let Some(path) = opts.journal {
+            self.write_journal(&mut s, pattern_list, path, opts.fault);
+        }
+        if let Some(e) = s.sink_error {
+            return Err(CoreError::Io(e));
+        }
+        Ok(DcGenReport {
+            passwords: s.passwords,
+            leaf_tasks: s.leaves,
+            expansions: s.expansions,
+            deleted_tasks: s.deleted,
+            patterns_used: s.patterns_used,
+            emitted: s.emitted,
+            failed_tasks: s.failed,
+            retries: s.retries,
+            interrupted,
+            journal_errors: s.journal_errors,
+        })
+    }
+
+    /// Post-completion bookkeeping: success counter, periodic journal,
+    /// injected kill point.
+    fn finish_task(&self, s: &mut PoolState, pattern_list: &[Pattern], opts: &DcGenOptions<'_>) {
+        s.completed += 1;
+        if let Some(path) = opts.journal {
+            let every = self.config.journal_every;
+            if every > 0 && s.completed.is_multiple_of(every) {
+                self.write_journal(s, pattern_list, path, opts.fault);
+            }
+        }
+        if opts.fault.is_some_and(|f| f.should_cancel(s.completed)) {
+            s.stopping = true;
+        }
+    }
+
+    /// Snapshots `s` to the journal file. Failures are counted, not fatal:
+    /// the journal improves crash recovery but must never take down a run
+    /// that is otherwise producing passwords.
+    fn write_journal(
+        &self,
+        s: &mut PoolState,
+        pattern_list: &[Pattern],
+        path: &Path,
+        fault: Option<&FaultPlan>,
+    ) {
+        let journal = DcGenJournal {
+            total: self.config.total,
+            threshold: self.config.threshold,
+            temperature: self.config.temperature,
+            seed: self.config.seed,
+            workers: self.config.workers,
+            max_task_retries: self.config.max_task_retries,
+            journal_every: self.config.journal_every,
+            patterns: pattern_list.to_vec(),
+            emitted: s.emitted,
+            completed: s.completed,
+            leaves: s.leaves,
+            expansions: s.expansions,
+            deleted: s.deleted,
+            patterns_used: s.patterns_used,
+            retries: s.retries,
+            next_id: s.next_id,
+            tasks: s
+                .queue
+                .iter()
+                .chain(s.in_flight.iter())
+                .map(|t| JournalTask {
+                    id: t.id,
+                    pattern_idx: t.pattern_idx,
+                    prefix: t.prefix.clone(),
+                    quota: t.quota,
+                })
+                .collect(),
+            failed: s.failed.clone(),
+        };
+        let injected = fault.is_some_and(FaultPlan::take_write_failure);
+        if injected || journal.save(path).is_err() {
+            s.journal_errors += 1;
+        }
     }
 }
 
@@ -255,15 +723,19 @@ mod tests {
     fn tiny_model(kind: ModelKind) -> PasswordModel {
         PasswordModel::new(
             kind,
-            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
             5,
         )
     }
 
     fn simple_patterns() -> PatternDistribution {
-        PatternDistribution::from_passwords(
-            ["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied(),
-        )
+        PatternDistribution::from_passwords(["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied())
     }
 
     #[test]
@@ -276,7 +748,10 @@ mod tests {
     #[test]
     fn small_budget_executes_leaves_directly() {
         let model = tiny_model(ModelKind::PagPassGpt);
-        let config = DcGenConfig { threshold: 1_000, ..DcGenConfig::new(100) };
+        let config = DcGenConfig {
+            threshold: 1_000,
+            ..DcGenConfig::new(100)
+        };
         let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
         assert_eq!(report.expansions, 0, "all quotas are below the threshold");
         assert!(report.leaf_tasks > 0);
@@ -289,7 +764,10 @@ mod tests {
     #[test]
     fn large_budget_forces_divisions() {
         let model = tiny_model(ModelKind::PagPassGpt);
-        let config = DcGenConfig { threshold: 50, ..DcGenConfig::new(2_000) };
+        let config = DcGenConfig {
+            threshold: 50,
+            ..DcGenConfig::new(2_000)
+        };
         let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
         assert!(report.expansions > 0, "quotas above T must split");
     }
@@ -298,7 +776,10 @@ mod tests {
     fn all_outputs_conform_to_some_requested_pattern() {
         let model = tiny_model(ModelKind::PagPassGpt);
         let patterns = simple_patterns();
-        let config = DcGenConfig { threshold: 64, ..DcGenConfig::new(500) };
+        let config = DcGenConfig {
+            threshold: 64,
+            ..DcGenConfig::new(500)
+        };
         let report = DcGen::new(&model, config).run(&patterns).unwrap();
         let known: Vec<Pattern> = patterns.ranked().into_iter().map(|e| e.pattern).collect();
         for pw in &report.passwords {
@@ -310,8 +791,14 @@ mod tests {
     #[test]
     fn single_worker_is_deterministic() {
         let model = tiny_model(ModelKind::PagPassGpt);
-        let config = DcGenConfig { threshold: 64, seed: 9, ..DcGenConfig::new(300) };
-        let a = DcGen::new(&model, config.clone()).run(&simple_patterns()).unwrap();
+        let config = DcGenConfig {
+            threshold: 64,
+            seed: 9,
+            ..DcGenConfig::new(300)
+        };
+        let a = DcGen::new(&model, config.clone())
+            .run(&simple_patterns())
+            .unwrap();
         let b = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
         assert_eq!(a.passwords, b.passwords);
     }
@@ -319,11 +806,22 @@ mod tests {
     #[test]
     fn multi_worker_run_completes_with_same_volume() {
         let model = tiny_model(ModelKind::PagPassGpt);
-        let single = DcGenConfig { threshold: 64, workers: 1, ..DcGenConfig::new(400) };
-        let multi = DcGenConfig { threshold: 64, workers: 4, ..DcGenConfig::new(400) };
+        let single = DcGenConfig {
+            threshold: 64,
+            workers: 1,
+            ..DcGenConfig::new(400)
+        };
+        let multi = DcGenConfig {
+            threshold: 64,
+            workers: 4,
+            ..DcGenConfig::new(400)
+        };
         let a = DcGen::new(&model, single).run(&simple_patterns()).unwrap();
         let b = DcGen::new(&model, multi).run(&simple_patterns()).unwrap();
-        assert_eq!(a.leaf_tasks, b.leaf_tasks, "task tree is schedule-independent");
+        assert_eq!(
+            a.leaf_tasks, b.leaf_tasks,
+            "task tree is schedule-independent"
+        );
         assert_eq!(a.passwords.len(), b.passwords.len());
     }
 
@@ -332,17 +830,28 @@ mod tests {
         // Pattern N1 admits only 10 passwords; a huge budget must be capped.
         let model = tiny_model(ModelKind::PagPassGpt);
         let patterns = PatternDistribution::from_passwords(["7"].iter().copied());
-        let config = DcGenConfig { threshold: 1_000_000, ..DcGenConfig::new(100_000) };
+        let config = DcGenConfig {
+            threshold: 1_000_000,
+            ..DcGenConfig::new(100_000)
+        };
         let report = DcGen::new(&model, config).run(&patterns).unwrap();
-        assert!(report.passwords.len() <= 10 * 2, "cap at search space, got {}", report.passwords.len());
+        assert!(
+            report.passwords.len() <= 10 * 2,
+            "cap at search space, got {}",
+            report.passwords.len()
+        );
     }
 
     #[test]
     fn zero_budget_and_empty_priors_are_harmless() {
         let model = tiny_model(ModelKind::PagPassGpt);
         let empty = PatternDistribution::new();
-        let r1 = DcGen::new(&model, DcGenConfig::new(0)).run(&simple_patterns()).unwrap();
-        let r2 = DcGen::new(&model, DcGenConfig::new(100)).run(&empty).unwrap();
+        let r1 = DcGen::new(&model, DcGenConfig::new(0))
+            .run(&simple_patterns())
+            .unwrap();
+        let r2 = DcGen::new(&model, DcGenConfig::new(100))
+            .run(&empty)
+            .unwrap();
         assert!(r1.passwords.is_empty());
         assert!(r2.passwords.is_empty());
     }
@@ -350,10 +859,48 @@ mod tests {
     #[test]
     fn max_patterns_caps_and_renormalizes() {
         let model = tiny_model(ModelKind::PagPassGpt);
-        let config = DcGenConfig { max_patterns: Some(1), threshold: 1_000, ..DcGenConfig::new(100) };
+        let config = DcGenConfig {
+            max_patterns: Some(1),
+            threshold: 1_000,
+            ..DcGenConfig::new(100)
+        };
         let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
         assert_eq!(report.patterns_used, 1);
         // All budget flows to the one pattern.
         assert!(report.passwords.len() >= 80);
+    }
+
+    #[test]
+    fn never_exceeds_global_budget() {
+        // Leaf quotas round up (`.max(1.0)`), so without the reservation
+        // cap many small leaves overshoot N. Exercise several shapes.
+        let model = tiny_model(ModelKind::PagPassGpt);
+        for (total, threshold) in [(10u64, 2u64), (37, 5), (100, 1), (250, 64)] {
+            let config = DcGenConfig {
+                threshold,
+                ..DcGenConfig::new(total)
+            };
+            let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+            assert!(
+                report.passwords.len() as u64 <= total,
+                "generated {} for budget {total} (threshold {threshold})",
+                report.passwords.len()
+            );
+            assert_eq!(report.emitted, report.passwords.len() as u64);
+        }
+    }
+
+    #[test]
+    fn emitted_matches_passwords_without_sink() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig {
+            threshold: 64,
+            ..DcGenConfig::new(300)
+        };
+        let report = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert_eq!(report.emitted, report.passwords.len() as u64);
+        assert!(!report.interrupted);
+        assert!(report.failed_tasks.is_empty());
+        assert_eq!(report.retries, 0);
     }
 }

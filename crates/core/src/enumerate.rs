@@ -46,9 +46,15 @@ impl PasswordModel {
         let vocab = self.tokenizer().vocab();
         let total = pattern.char_len();
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-        heap.push(Node { lp: 0.0, prefix: String::new() });
-        let mut report =
-            EnumerationReport { passwords: Vec::new(), log_probs: Vec::new(), expanded: 0 };
+        heap.push(Node {
+            lp: 0.0,
+            prefix: String::new(),
+        });
+        let mut report = EnumerationReport {
+            passwords: Vec::new(),
+            log_probs: Vec::new(),
+            expanded: 0,
+        };
 
         while let Some(node) = heap.pop() {
             if report.passwords.len() >= n {
@@ -69,10 +75,15 @@ impl PasswordModel {
                 if p <= 0.0 {
                     continue;
                 }
-                let Some(c) = char_of(vocab, id) else { continue };
+                let Some(c) = char_of(vocab, id) else {
+                    continue;
+                };
                 let mut prefix = node.prefix.clone();
                 prefix.push(c);
-                heap.push(Node { lp: node.lp + p.ln(), prefix });
+                heap.push(Node {
+                    lp: node.lp + p.ln(),
+                    prefix,
+                });
             }
         }
         report
@@ -99,13 +110,22 @@ impl PasswordModel {
     ) -> Result<EnumerationReport, crate::CoreError> {
         assert!(max_expansions > 0, "the expansion budget must be positive");
         if self.kind() != ModelKind::PassGpt {
-            return Err(crate::CoreError::WrongKind { expected: "PassGPT" });
+            return Err(crate::CoreError::WrongKind {
+                expected: "PassGPT",
+            });
         }
         let vocab = self.tokenizer().vocab();
         let mut heap: BinaryHeap<FreeNode> = BinaryHeap::new();
-        heap.push(FreeNode { lp: 0.0, prefix: String::new(), complete: false });
-        let mut report =
-            EnumerationReport { passwords: Vec::new(), log_probs: Vec::new(), expanded: 0 };
+        heap.push(FreeNode {
+            lp: 0.0,
+            prefix: String::new(),
+            complete: false,
+        });
+        let mut report = EnumerationReport {
+            passwords: Vec::new(),
+            log_probs: Vec::new(),
+            expanded: 0,
+        };
         while let Some(node) = heap.pop() {
             if report.passwords.len() >= n {
                 break;
@@ -121,7 +141,11 @@ impl PasswordModel {
             report.expanded += 1;
             let mut rule = vec![Vocab::BOS];
             for c in node.prefix.chars() {
-                rule.push(vocab.char_id(c).expect("enumerated chars are in the vocabulary"));
+                rule.push(
+                    vocab
+                        .char_id(c)
+                        .expect("enumerated chars are in the vocabulary"),
+                );
             }
             let logits = self.gpt().next_token_logits(&rule);
             let mut probs = logits;
@@ -139,12 +163,18 @@ impl PasswordModel {
             }
             if node.prefix.chars().count() < max_len {
                 for (id, &p) in probs.iter().enumerate() {
-                    let Some(c) = char_of(vocab, id as TokenId) else { continue };
+                    let Some(c) = char_of(vocab, id as TokenId) else {
+                        continue;
+                    };
                     let p = f64::from(p);
                     if p > 1e-9 {
                         let mut prefix = node.prefix.clone();
                         prefix.push(c);
-                        heap.push(FreeNode { lp: node.lp + p.ln(), prefix, complete: false });
+                        heap.push(FreeNode {
+                            lp: node.lp + p.ln(),
+                            prefix,
+                            complete: false,
+                        });
                     }
                 }
             }
@@ -214,7 +244,13 @@ mod tests {
     fn tiny(kind: ModelKind) -> PasswordModel {
         PasswordModel::new(
             kind,
-            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
             7,
         )
     }
@@ -247,10 +283,20 @@ mod tests {
     fn guided_enumeration_tracks_training() {
         let corpus: Vec<String> = std::iter::repeat_n("77".to_owned(), 60).collect();
         let mut model = tiny(ModelKind::PagPassGpt);
-        model.train(&corpus, &[], &TrainConfig { epochs: 8, ..TrainConfig::quick() });
+        model.train(
+            &corpus,
+            &[],
+            &TrainConfig {
+                epochs: 8,
+                ..TrainConfig::quick()
+            },
+        );
         let pattern: Pattern = "N2".parse().unwrap();
         let report = model.enumerate_guided(&pattern, 3, 10_000);
-        assert_eq!(report.passwords[0], "77", "the memorized password enumerates first");
+        assert_eq!(
+            report.passwords[0], "77",
+            "the memorized password enumerates first"
+        );
     }
 
     #[test]

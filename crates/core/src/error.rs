@@ -21,6 +21,10 @@ pub enum CoreError {
         /// The kind the operation requires.
         expected: &'static str,
     },
+    /// A D&C-GEN journal was malformed or failed its checksum.
+    Journal(String),
+    /// A training checkpoint was malformed or failed its checksum.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -33,6 +37,8 @@ impl fmt::Display for CoreError {
             CoreError::WrongKind { expected } => {
                 write!(f, "operation requires a {expected} model")
             }
+            CoreError::Journal(what) => write!(f, "bad generation journal: {what}"),
+            CoreError::Checkpoint(what) => write!(f, "bad training checkpoint: {what}"),
         }
     }
 }

@@ -110,7 +110,13 @@ mod tests {
 
     fn tiny_gpt() -> Gpt {
         Gpt::new(
-            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 16, dim: 16, n_layers: 1, n_heads: 2 },
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 16,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
             &mut Rng::seed_from(1),
         )
     }
@@ -156,7 +162,9 @@ mod tests {
     fn constrained_steps_respect_the_mask() {
         let gpt = tiny_gpt();
         let tok = Tokenizer::new();
-        let digits = tok.vocab().class_char_ids(pagpass_patterns::CharClass::Digit);
+        let digits = tok
+            .vocab()
+            .class_char_ids(pagpass_patterns::CharClass::Digit);
         let digits_for_closure = digits.clone();
         let plan = SamplePlan {
             prefix: vec![Vocab::BOS],
@@ -183,7 +191,13 @@ mod tests {
             max_new: 5,
             temperature: 1.0,
             banned: vec![],
-            allowed_at: Box::new(|step| if step == 1 { Some(vec![Vocab::EOS]) } else { None }),
+            allowed_at: Box::new(|step| {
+                if step == 1 {
+                    Some(vec![Vocab::EOS])
+                } else {
+                    None
+                }
+            }),
         };
         let mut rng = Rng::seed_from(5);
         for seq in sample_batched(&gpt, tok.vocab(), &plan, 10, 4, &mut rng) {

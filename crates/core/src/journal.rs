@@ -1,0 +1,414 @@
+//! Crash-safe journaling of D&C-GEN runs.
+//!
+//! A journal is a consistent snapshot of an in-progress run: the
+//! configuration needed to reproduce sampling, the pattern table (so task
+//! pattern indices stay meaningful), cumulative statistics, and every task
+//! not yet completed (queued *and* in-flight — an interrupted task is simply
+//! re-run, which is safe because a task's output is only counted when it
+//! completes). [`DcGen::resume`](crate::DcGen::resume) rebuilds the worker
+//! pool from a journal and continues where the snapshot left off.
+//!
+//! The format is a line-oriented text file with a trailing CRC32, written
+//! atomically (temp file + rename). Text keeps it inspectable in an
+//! emergency; the CRC and the atomic rename mean a crash can never leave a
+//! half-written journal that parses.
+//!
+//! Floating-point fields (temperature, quotas) are stored as hex-encoded
+//! IEEE-754 bits so that save/load roundtrips bit-exactly — quota arithmetic
+//! drives task splitting, and resumed runs must replay it identically.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pagpass_nn::{atomic_write, crc32};
+use pagpass_patterns::Pattern;
+
+use crate::dcgen::FailedTask;
+use crate::CoreError;
+
+/// First line of every journal file.
+const HEADER: &str = "PAGPASS-DCGEN-JOURNAL v1";
+
+/// A pending subtask as persisted in a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalTask {
+    /// Stable task id (also the per-task RNG key).
+    pub id: u64,
+    /// Index into [`DcGenJournal::patterns`].
+    pub pattern_idx: usize,
+    /// Password prefix fixed so far.
+    pub prefix: String,
+    /// Remaining guess quota for this subtask.
+    pub quota: f64,
+}
+
+/// A consistent snapshot of a D&C-GEN run, sufficient to resume it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcGenJournal {
+    /// Total guess budget `N` of the original run.
+    pub total: u64,
+    /// Division threshold `T`.
+    pub threshold: u64,
+    /// Leaf sampling temperature.
+    pub temperature: f32,
+    /// Base RNG seed (combined with task ids for per-task streams).
+    pub seed: u64,
+    /// Worker count of the original run.
+    pub workers: usize,
+    /// Retry budget per task.
+    pub max_task_retries: u32,
+    /// Journal cadence (completed tasks between snapshots).
+    pub journal_every: u64,
+    /// Pattern table; task `pattern_idx` fields index into this.
+    pub patterns: Vec<Pattern>,
+    /// Passwords emitted so far. An output file being resumed should be
+    /// truncated to exactly this many lines first: passwords produced after
+    /// the snapshot will be regenerated.
+    pub emitted: u64,
+    /// Tasks completed so far.
+    pub completed: u64,
+    /// Leaf tasks executed so far.
+    pub leaves: usize,
+    /// Model-guided divisions so far.
+    pub expansions: usize,
+    /// Subtasks deleted (quota under one password) so far.
+    pub deleted: usize,
+    /// Patterns that received budget in the initial allocation.
+    pub patterns_used: usize,
+    /// Task retries performed so far.
+    pub retries: u64,
+    /// Next unassigned task id.
+    pub next_id: u64,
+    /// Every task not yet completed at snapshot time.
+    pub tasks: Vec<JournalTask>,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub failed: Vec<FailedTask>,
+}
+
+/// Strips tab/newline characters so free-text fields stay single-field,
+/// single-line.
+fn sanitize(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+impl DcGenJournal {
+    /// Serializes the journal to its text form (including the CRC line).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(
+            out,
+            "config {} {} {:08x} {} {} {} {}",
+            self.total,
+            self.threshold,
+            self.temperature.to_bits(),
+            self.seed,
+            self.workers,
+            self.max_task_retries,
+            self.journal_every,
+        );
+        let _ = writeln!(out, "patterns {}", self.patterns.len());
+        for p in &self.patterns {
+            let _ = writeln!(out, "{p}");
+        }
+        let _ = writeln!(
+            out,
+            "stats {} {} {} {} {} {} {} {}",
+            self.emitted,
+            self.completed,
+            self.leaves,
+            self.expansions,
+            self.deleted,
+            self.patterns_used,
+            self.retries,
+            self.next_id,
+        );
+        let _ = writeln!(out, "tasks {}", self.tasks.len());
+        for t in &self.tasks {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{:016x}",
+                t.id,
+                t.pattern_idx,
+                t.prefix,
+                t.quota.to_bits()
+            );
+        }
+        let _ = writeln!(out, "failed {}", self.failed.len());
+        for f in &self.failed {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{:016x}\t{}",
+                sanitize(&f.pattern),
+                f.prefix,
+                f.quota.to_bits(),
+                sanitize(&f.error)
+            );
+        }
+        let crc = crc32(out.as_bytes());
+        let _ = writeln!(out, "crc {crc:08x}");
+        out
+    }
+
+    /// Parses a journal from its text form, verifying the trailing CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] for malformed or corrupt input.
+    pub fn from_text(text: &str) -> Result<DcGenJournal, CoreError> {
+        let bad = |what: &str| CoreError::Journal(what.to_string());
+        // Split off the final "crc XXXXXXXX" line and verify it first.
+        let body_end = text
+            .trim_end_matches('\n')
+            .rfind('\n')
+            .ok_or_else(|| bad("too short"))?
+            + 1;
+        let (body, crc_line) = text.split_at(body_end);
+        let stored = crc_line
+            .trim_end()
+            .strip_prefix("crc ")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad("missing crc line"))?;
+        let computed = crc32(body.as_bytes());
+        if stored != computed {
+            return Err(CoreError::Journal(format!(
+                "checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+            )));
+        }
+
+        let mut lines = body.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(bad("bad header"));
+        }
+        let config: Vec<&str> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("config "))
+            .ok_or_else(|| bad("missing config line"))?
+            .split(' ')
+            .collect();
+        if config.len() != 7 {
+            return Err(bad("config field count"));
+        }
+        let uint = |s: &str| s.parse::<u64>().map_err(|_| bad("bad integer"));
+        let total = uint(config[0])?;
+        let threshold = uint(config[1])?;
+        let temperature = f32::from_bits(
+            u32::from_str_radix(config[2], 16).map_err(|_| bad("bad temperature bits"))?,
+        );
+        let seed = uint(config[3])?;
+        let workers = uint(config[4])? as usize;
+        let max_task_retries = uint(config[5])? as u32;
+        let journal_every = uint(config[6])?;
+
+        let n_patterns = lines
+            .next()
+            .and_then(|l| l.strip_prefix("patterns "))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing patterns line"))?;
+        let mut patterns = Vec::with_capacity(n_patterns);
+        for _ in 0..n_patterns {
+            let line = lines.next().ok_or_else(|| bad("truncated pattern list"))?;
+            patterns.push(line.parse::<Pattern>().map_err(|_| bad("bad pattern"))?);
+        }
+
+        let stats: Vec<&str> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("stats "))
+            .ok_or_else(|| bad("missing stats line"))?
+            .split(' ')
+            .collect();
+        if stats.len() != 8 {
+            return Err(bad("stats field count"));
+        }
+        let emitted = uint(stats[0])?;
+        let completed = uint(stats[1])?;
+        let leaves = uint(stats[2])? as usize;
+        let expansions = uint(stats[3])? as usize;
+        let deleted = uint(stats[4])? as usize;
+        let patterns_used = uint(stats[5])? as usize;
+        let retries = uint(stats[6])?;
+        let next_id = uint(stats[7])?;
+
+        let n_tasks = lines
+            .next()
+            .and_then(|l| l.strip_prefix("tasks "))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing tasks line"))?;
+        let mut tasks = Vec::with_capacity(n_tasks);
+        for _ in 0..n_tasks {
+            let line = lines.next().ok_or_else(|| bad("truncated task list"))?;
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 4 {
+                return Err(bad("task field count"));
+            }
+            let pattern_idx = fields[1]
+                .parse::<usize>()
+                .map_err(|_| bad("bad task index"))?;
+            if pattern_idx >= patterns.len() {
+                return Err(bad("task pattern index out of range"));
+            }
+            tasks.push(JournalTask {
+                id: uint(fields[0])?,
+                pattern_idx,
+                prefix: fields[2].to_string(),
+                quota: f64::from_bits(
+                    u64::from_str_radix(fields[3], 16).map_err(|_| bad("bad quota bits"))?,
+                ),
+            });
+        }
+
+        let n_failed = lines
+            .next()
+            .and_then(|l| l.strip_prefix("failed "))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing failed line"))?;
+        let mut failed = Vec::with_capacity(n_failed);
+        for _ in 0..n_failed {
+            let line = lines.next().ok_or_else(|| bad("truncated failed list"))?;
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 4 {
+                return Err(bad("failed field count"));
+            }
+            failed.push(FailedTask {
+                pattern: fields[0].to_string(),
+                prefix: fields[1].to_string(),
+                quota: f64::from_bits(
+                    u64::from_str_radix(fields[2], 16).map_err(|_| bad("bad quota bits"))?,
+                ),
+                error: fields[3].to_string(),
+            });
+        }
+
+        Ok(DcGenJournal {
+            total,
+            threshold,
+            temperature,
+            seed,
+            workers,
+            max_task_retries,
+            journal_every,
+            patterns,
+            emitted,
+            completed,
+            leaves,
+            expansions,
+            deleted,
+            patterns_used,
+            retries,
+            next_id,
+            tasks,
+            failed,
+        })
+    }
+
+    /// Writes the journal to `path` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        atomic_write(path, self.to_text().as_bytes())
+    }
+
+    /// Loads and verifies a journal written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] when the file cannot be read and
+    /// [`CoreError::Journal`] when it is malformed or corrupt.
+    pub fn load(path: impl AsRef<Path>) -> Result<DcGenJournal, CoreError> {
+        let text = std::fs::read_to_string(path)?;
+        DcGenJournal::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DcGenJournal {
+        DcGenJournal {
+            total: 1000,
+            threshold: 64,
+            temperature: 0.95,
+            seed: 42,
+            workers: 2,
+            max_task_retries: 2,
+            journal_every: 16,
+            patterns: vec!["L4N2".parse().unwrap(), "L8".parse().unwrap()],
+            emitted: 300,
+            completed: 7,
+            leaves: 5,
+            expansions: 2,
+            deleted: 1,
+            patterns_used: 2,
+            retries: 1,
+            next_id: 11,
+            tasks: vec![
+                JournalTask {
+                    id: 9,
+                    pattern_idx: 0,
+                    prefix: "ab".into(),
+                    quota: 123.456,
+                },
+                JournalTask {
+                    id: 10,
+                    pattern_idx: 1,
+                    prefix: String::new(),
+                    quota: 7.0,
+                },
+            ],
+            failed: vec![FailedTask {
+                pattern: "L8".into(),
+                prefix: "x".into(),
+                quota: 3.5,
+                error: "injected fault".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let j = sample();
+        let parsed = DcGenJournal::from_text(&j.to_text()).unwrap();
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let text = sample().to_text();
+        let tampered = text.replacen("300", "301", 1);
+        assert!(matches!(
+            DcGenJournal::from_text(&tampered),
+            Err(CoreError::Journal(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = sample().to_text();
+        let half = &text[..text.len() / 2];
+        assert!(DcGenJournal::from_text(half).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pagpass_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        let j = sample();
+        j.save(&path).unwrap();
+        assert_eq!(DcGenJournal::load(&path).unwrap(), j);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_prefix_and_empty_lists_roundtrip() {
+        let mut j = sample();
+        j.tasks.clear();
+        j.failed.clear();
+        let parsed = DcGenJournal::from_text(&j.to_text()).unwrap();
+        assert_eq!(parsed, j);
+    }
+}

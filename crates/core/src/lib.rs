@@ -43,15 +43,21 @@
 //! assert_eq!(guesses.len(), 100);
 //! ```
 
+mod checkpoint;
+mod control;
 mod dcgen;
 mod enumerate;
 mod error;
 mod generate;
+mod journal;
 mod model;
 mod trainer;
 
-pub use dcgen::{DcGen, DcGenConfig, DcGenReport};
+pub use checkpoint::{TrainCheckpoint, TrainProgress};
+pub use control::{CancelToken, FaultPlan};
+pub use dcgen::{DcGen, DcGenConfig, DcGenOptions, DcGenReport, FailedTask, PasswordSink};
 pub use enumerate::EnumerationReport;
 pub use error::CoreError;
+pub use journal::{DcGenJournal, JournalTask};
 pub use model::{ModelKind, PasswordModel};
-pub use trainer::{TrainConfig, TrainingReport};
+pub use trainer::{CheckpointPolicy, TrainConfig, TrainOptions, TrainingReport};

@@ -5,7 +5,7 @@ use pagpass_patterns::Pattern;
 use pagpass_tokenizer::{TokenId, Tokenizer, Vocab};
 
 use crate::generate::{sample_batched, SamplePlan};
-use crate::trainer::{run_training, TrainConfig, TrainingReport};
+use crate::trainer::{run_training, run_training_with, TrainConfig, TrainOptions, TrainingReport};
 use crate::CoreError;
 
 /// Which rule encoding a [`PasswordModel`] is trained on.
@@ -133,6 +133,31 @@ impl PasswordModel {
         run_training(&mut self.gpt, &train_rules, &val_rules, config)
     }
 
+    /// [`PasswordModel::train`] with runtime options: periodic
+    /// checkpointing, `--resume`, cooperative cancellation, and fault
+    /// injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when `opts.resume` is set and an existing
+    /// checkpoint file cannot be restored; failed checkpoint *writes* are
+    /// counted on the report instead.
+    pub fn train_with(
+        &mut self,
+        train: &[String],
+        validation: &[String],
+        config: &TrainConfig,
+        opts: &TrainOptions<'_>,
+    ) -> Result<TrainingReport, CoreError> {
+        let encode = |pw: &String| match self.kind {
+            ModelKind::PassGpt => self.tokenizer.encode_password(pw).ok(),
+            ModelKind::PagPassGpt => self.tokenizer.encode_training(pw).ok(),
+        };
+        let train_rules: Vec<Vec<TokenId>> = train.iter().filter_map(encode).collect();
+        let val_rules: Vec<Vec<TokenId>> = validation.iter().filter_map(encode).collect();
+        run_training_with(&mut self.gpt, &train_rules, &val_rules, config, opts)
+    }
+
     /// Trawling-attack generation: sample `n` passwords from `<BOS>` alone.
     ///
     /// For PagPassGPT this is the paper's first trawling mode — the model
@@ -152,7 +177,10 @@ impl PasswordModel {
         };
         let mut rng = Rng::seed_from(seed);
         let sequences = sample_batched(&self.gpt, vocab, &plan, n, Self::GEN_BATCH, &mut rng);
-        sequences.into_iter().map(|ids| self.decode_generated(&ids)).collect()
+        sequences
+            .into_iter()
+            .map(|ids| self.decode_generated(&ids))
+            .collect()
     }
 
     /// Pattern-guided generation of `n` passwords (paper §IV-C).
@@ -203,7 +231,10 @@ impl PasswordModel {
             }
         };
         let sequences = sample_batched(&self.gpt, vocab, &plan, n, Self::GEN_BATCH, &mut rng);
-        sequences.into_iter().map(|ids| self.decode_generated(&ids)).collect()
+        sequences
+            .into_iter()
+            .map(|ids| self.decode_generated(&ids))
+            .collect()
     }
 
     /// Guided generation that *additionally* rejects non-conforming outputs
@@ -239,7 +270,11 @@ impl PasswordModel {
             ModelKind::PassGpt => vec![Vocab::BOS],
         };
         for c in prefix_chars.chars() {
-            prefix.push(vocab.char_id(c).expect("prefix characters must be in the vocabulary"));
+            prefix.push(
+                vocab
+                    .char_id(c)
+                    .expect("prefix characters must be in the vocabulary"),
+            );
         }
         let masks: Vec<Vec<TokenId>> = (done..total)
             .map(|i| vocab.class_char_ids(pattern.class_at(i).expect("position inside pattern")))
@@ -281,14 +316,20 @@ impl PasswordModel {
     ) -> (Vec<TokenId>, Vec<f64>) {
         let vocab = self.tokenizer.vocab();
         let pos = prefix_chars.chars().count();
-        let class = pattern.class_at(pos).expect("prefix must be shorter than the pattern");
+        let class = pattern
+            .class_at(pos)
+            .expect("prefix must be shorter than the pattern");
         let allowed = vocab.class_char_ids(class);
         let mut prefix = match self.kind {
             ModelKind::PagPassGpt => self.tokenizer.encode_generation_prefix(pattern),
             ModelKind::PassGpt => vec![Vocab::BOS],
         };
         for c in prefix_chars.chars() {
-            prefix.push(vocab.char_id(c).expect("prefix characters must be in the vocabulary"));
+            prefix.push(
+                vocab
+                    .char_id(c)
+                    .expect("prefix characters must be in the vocabulary"),
+            );
         }
         let logits = self.gpt.next_token_logits(&prefix);
         let mut weights: Vec<f64> = allowed
@@ -352,7 +393,11 @@ impl PasswordModel {
     /// Returns [`CoreError::Load`] on malformed files.
     pub fn load(kind: ModelKind, path: impl AsRef<Path>) -> Result<PasswordModel, CoreError> {
         let gpt = Gpt::load(path)?;
-        Ok(PasswordModel { kind, gpt, tokenizer: Tokenizer::new() })
+        Ok(PasswordModel {
+            kind,
+            gpt,
+            tokenizer: Tokenizer::new(),
+        })
     }
 
     /// Tokens never sampled: control tokens that only structure rules, and
@@ -363,7 +408,12 @@ impl PasswordModel {
         let mut banned = vec![Vocab::BOS, Vocab::UNK, Vocab::PAD];
         if self.kind == ModelKind::PassGpt {
             banned.push(Vocab::SEP);
-            banned.extend(vocab.iter().filter(|(id, _)| vocab.is_pattern(*id)).map(|(id, _)| id));
+            banned.extend(
+                vocab
+                    .iter()
+                    .filter(|(id, _)| vocab.is_pattern(*id))
+                    .map(|(id, _)| id),
+            );
         }
         banned
     }
@@ -397,7 +447,17 @@ mod tests {
     use pagpass_tokenizer::VOCAB_SIZE;
 
     fn tiny(kind: ModelKind) -> PasswordModel {
-        PasswordModel::new(kind, GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 }, 3)
+        PasswordModel::new(
+            kind,
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
+            3,
+        )
     }
 
     #[test]
@@ -412,7 +472,10 @@ mod tests {
         let pass = tiny(ModelKind::PassGpt);
         let rule_pag = pag.encode("abc12").unwrap();
         let rule_pass = pass.encode("abc12").unwrap();
-        assert!(rule_pag.len() > rule_pass.len(), "PagPassGPT rules carry the pattern");
+        assert!(
+            rule_pag.len() > rule_pass.len(),
+            "PagPassGPT rules carry the pattern"
+        );
         assert!(rule_pag.contains(&Vocab::SEP));
         assert!(!rule_pass.contains(&Vocab::SEP));
     }
@@ -429,8 +492,14 @@ mod tests {
     #[test]
     fn free_generation_is_deterministic_in_seed() {
         let model = tiny(ModelKind::PagPassGpt);
-        assert_eq!(model.generate_free(6, 1.0, 8), model.generate_free(6, 1.0, 8));
-        assert_ne!(model.generate_free(64, 1.0, 8), model.generate_free(64, 1.0, 9));
+        assert_eq!(
+            model.generate_free(6, 1.0, 8),
+            model.generate_free(6, 1.0, 8)
+        );
+        assert_ne!(
+            model.generate_free(64, 1.0, 8),
+            model.generate_free(64, 1.0, 9)
+        );
     }
 
     #[test]
@@ -438,7 +507,10 @@ mod tests {
         let model = tiny(ModelKind::PassGpt);
         let pattern: Pattern = "L3N2S1".parse().unwrap();
         for pw in model.generate_guided(&pattern, 20, 1.0, 1) {
-            assert!(pattern.matches(&pw), "PassGPT filtering must force conformity: {pw:?}");
+            assert!(
+                pattern.matches(&pw),
+                "PassGPT filtering must force conformity: {pw:?}"
+            );
         }
     }
 
@@ -490,7 +562,14 @@ mod tests {
     fn log_probability_orders_trained_passwords_above_noise() {
         let corpus: Vec<String> = (0..40).map(|i| format!("abcd{i:02}")).collect();
         let mut model = tiny(ModelKind::PagPassGpt);
-        model.train(&corpus, &[], &TrainConfig { epochs: 6, ..TrainConfig::quick() });
+        model.train(
+            &corpus,
+            &[],
+            &TrainConfig {
+                epochs: 6,
+                ..TrainConfig::quick()
+            },
+        );
         let trained = model.log_probability("abcd07").unwrap();
         let noise = model.log_probability("Zq~9!x").unwrap();
         assert!(trained > noise, "trained {trained} vs noise {noise}");
@@ -506,7 +585,10 @@ mod tests {
         let mut model = tiny(ModelKind::PagPassGpt);
         model.save(&path).unwrap();
         let loaded = PasswordModel::load(ModelKind::PagPassGpt, &path).unwrap();
-        assert_eq!(model.generate_free(5, 1.0, 3), loaded.generate_free(5, 1.0, 3));
+        assert_eq!(
+            model.generate_free(5, 1.0, 3),
+            loaded.generate_free(5, 1.0, 3)
+        );
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,6 +1,20 @@
+use std::path::Path;
+
 use pagpass_nn::{AdamW, Gpt, LrSchedule, Rng};
 use pagpass_tokenizer::{TokenId, Vocab};
 use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{TrainCheckpoint, TrainProgress};
+use crate::control::{CancelToken, FaultPlan};
+use crate::CoreError;
+
+/// Consecutive non-finite steps tolerated before rolling weights back to
+/// the last checkpoint (when one is available).
+const MAX_CONSECUTIVE_FAILURES: u32 = 3;
+
+/// Smallest learning-rate backoff factor; prevents underflow to zero under
+/// sustained instability.
+const MIN_LR_SCALE: f32 = 1.0 / 1024.0;
 
 /// Training hyper-parameters.
 ///
@@ -77,6 +91,32 @@ impl TrainConfig {
     }
 }
 
+/// Checkpoint cadence for a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy<'a> {
+    /// Checkpoint file, written atomically (temp + rename).
+    pub path: &'a Path,
+    /// Save every this many optimization steps; `0` saves only on
+    /// cancellation.
+    pub every_steps: u64,
+}
+
+/// Runtime options for a training run: checkpointing, resumption,
+/// cancellation, and fault injection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrainOptions<'a> {
+    /// Periodic weight + optimizer checkpointing.
+    pub checkpoint: Option<CheckpointPolicy<'a>>,
+    /// Continue from the checkpoint file if it exists (requires
+    /// `checkpoint`); a missing file starts fresh.
+    pub resume: bool,
+    /// Cooperative cancellation, honored at batch boundaries. A final
+    /// checkpoint is saved before returning so the run can be resumed.
+    pub cancel: Option<&'a CancelToken>,
+    /// Deterministic fault injection (tests only).
+    pub fault: Option<&'a FaultPlan>,
+}
+
 /// Loss history of a training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingReport {
@@ -84,13 +124,39 @@ pub struct TrainingReport {
     pub epoch_losses: Vec<f32>,
     /// Validation loss per epoch (empty when no validation set given).
     pub val_losses: Vec<f32>,
-    /// Total optimization steps.
+    /// Total optimization steps (including batches consumed by skipped
+    /// steps, and — when resuming — steps done before the checkpoint).
     pub steps: u64,
     /// Total non-padding target tokens consumed.
     pub tokens_seen: u64,
+    /// Steps whose loss or gradients were non-finite; their updates were
+    /// skipped and the learning rate backed off.
+    pub skipped_steps: Vec<u64>,
+    /// Times the run rolled weights back to the last checkpoint after
+    /// repeated non-finite steps.
+    pub rollbacks: u64,
+    /// Checkpoint writes that failed; the run continues through these.
+    pub checkpoint_errors: u64,
+    /// Whether the run was cancelled before completing all epochs.
+    pub interrupted: bool,
 }
 
-/// Trains `gpt` on pre-encoded rules.
+impl TrainingReport {
+    fn empty() -> TrainingReport {
+        TrainingReport {
+            epoch_losses: Vec::new(),
+            val_losses: Vec::new(),
+            steps: 0,
+            tokens_seen: 0,
+            skipped_steps: Vec::new(),
+            rollbacks: 0,
+            checkpoint_errors: 0,
+            interrupted: false,
+        }
+    }
+}
+
+/// Trains `gpt` on pre-encoded rules (no checkpointing or cancellation).
 ///
 /// Rules are shuffled each epoch, grouped into batches, and padded to the
 /// longest rule in the batch with `<PAD>` (which the loss ignores).
@@ -100,49 +166,217 @@ pub(crate) fn run_training(
     val_rules: &[Vec<TokenId>],
     config: &TrainConfig,
 ) -> TrainingReport {
-    let mut report =
-        TrainingReport { epoch_losses: Vec::new(), val_losses: Vec::new(), steps: 0, tokens_seen: 0 };
+    run_training_with(
+        gpt,
+        train_rules,
+        val_rules,
+        config,
+        &TrainOptions::default(),
+    )
+    .expect("training without checkpoint I/O cannot fail")
+}
+
+/// [`run_training`] with runtime options: checkpoint/resume, cooperative
+/// cancellation, and fault injection.
+///
+/// # Robustness
+///
+/// * A non-finite loss or gradient norm skips the optimizer step (the
+///   gradients are discarded), records the step in
+///   [`TrainingReport::skipped_steps`], and halves a learning-rate backoff
+///   factor that recovers (doubling per healthy step) once training
+///   stabilizes.
+/// * After [`MAX_CONSECUTIVE_FAILURES`] consecutive skipped steps, weights
+///   and optimizer state roll back to the last checkpoint (if one exists)
+///   while the data position keeps advancing past the offending batches.
+/// * Checkpoints capture weights, AdamW moments, and the exact loop
+///   position; a resumed run reproduces the uninterrupted run bit for bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] / [`CoreError::Load`] when `resume`
+/// is set and the checkpoint file exists but cannot be restored. Failed
+/// checkpoint *writes* are counted, not fatal.
+pub(crate) fn run_training_with(
+    gpt: &mut Gpt,
+    train_rules: &[Vec<TokenId>],
+    val_rules: &[Vec<TokenId>],
+    config: &TrainConfig,
+    opts: &TrainOptions<'_>,
+) -> Result<TrainingReport, CoreError> {
+    let mut report = TrainingReport::empty();
     if train_rules.is_empty() {
-        return report;
+        return Ok(report);
     }
     let ctx = gpt.config().ctx_len;
-    let mut rng = Rng::seed_from(config.seed);
     let mut opt = AdamW::new(config.lr);
     let batches_per_epoch = {
         let full = train_rules.len().div_ceil(config.batch_size);
-        config.max_batches_per_epoch.map_or(full, |cap| cap.min(full))
+        config
+            .max_batches_per_epoch
+            .map_or(full, |cap| cap.min(full))
     };
     let total_steps = (batches_per_epoch * config.epochs) as u64;
     let schedule = LrSchedule::warmup_cosine(config.lr, config.warmup_steps, total_steps.max(1));
 
-    let mut order: Vec<usize> = (0..train_rules.len()).collect();
-    for _ in 0..config.epochs {
-        rng.shuffle(&mut order);
-        let mut epoch_loss = 0.0f64;
-        let mut epoch_batches = 0usize;
-        for chunk in order.chunks(config.batch_size).take(batches_per_epoch) {
-            let (tokens, b, t, targets) = pad_batch(train_rules, chunk, ctx);
-            opt.lr = schedule.lr_at(report.steps);
-            let loss = gpt.compute_grads(&tokens, b, t, Some(Vocab::PAD));
-            if let Some(max_norm) = config.grad_clip {
-                let _ = gpt.clip_grad_norm(max_norm);
+    let mut progress = TrainProgress {
+        lr_scale: 1.0,
+        ..TrainProgress::default()
+    };
+    if opts.resume {
+        if let Some(policy) = &opts.checkpoint {
+            if policy.path.exists() {
+                let ckpt = TrainCheckpoint::load(policy.path)?;
+                progress = ckpt.restore(gpt, &mut opt)?;
             }
-            opt.begin_step();
-            gpt.visit_params(&mut |p| opt.update(p));
-            report.steps += 1;
-            report.tokens_seen += targets;
-            epoch_loss += f64::from(loss);
-            epoch_batches += 1;
-            if config.log_every > 0 && report.steps.is_multiple_of(config.log_every as u64) {
-                eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", report.steps, opt.lr);
-            }
-        }
-        report.epoch_losses.push((epoch_loss / epoch_batches.max(1) as f64) as f32);
-        if !val_rules.is_empty() {
-            report.val_losses.push(validation_loss(gpt, val_rules, config.batch_size));
         }
     }
-    report
+
+    let mut consecutive_failures = 0u32;
+    let start_epoch = progress.epoch;
+    'epochs: for epoch in start_epoch..config.epochs {
+        // The shuffle is re-seeded per epoch (rather than one RNG threaded
+        // through all epochs) so a resumed run can reproduce the batch
+        // order of the epoch it restarts inside.
+        let mut rng = Rng::seed_from(epoch_seed(config.seed, epoch));
+        let mut order: Vec<usize> = (0..train_rules.len()).collect();
+        rng.shuffle(&mut order);
+        let start_batch = if epoch == start_epoch {
+            progress.batch_in_epoch
+        } else {
+            0
+        };
+
+        for (batch_idx, chunk) in order
+            .chunks(config.batch_size)
+            .take(batches_per_epoch)
+            .enumerate()
+            .skip(start_batch)
+        {
+            let (tokens, b, t, targets) = pad_batch(train_rules, chunk, ctx);
+            let step = progress.step;
+            opt.lr = schedule.lr_at(step) * progress.lr_scale;
+            let mut loss = gpt.compute_grads(&tokens, b, t, Some(Vocab::PAD));
+            if let Some(injected) = opts.fault.and_then(|f| f.loss_override(step)) {
+                loss = injected;
+            }
+            let grads_finite = if !loss.is_finite() {
+                false
+            } else if let Some(max_norm) = config.grad_clip {
+                gpt.clip_grad_norm(max_norm).is_finite()
+            } else {
+                gpt.grad_norm().is_finite()
+            };
+
+            if loss.is_finite() && grads_finite {
+                opt.begin_step();
+                gpt.visit_params(&mut |p| opt.update(p));
+                consecutive_failures = 0;
+                progress.lr_scale = (progress.lr_scale * 2.0).min(1.0);
+                progress.epoch_loss_accum += f64::from(loss);
+                progress.epoch_batches += 1;
+                progress.tokens_seen += targets;
+                if config.log_every > 0 && (step + 1).is_multiple_of(config.log_every as u64) {
+                    eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", step + 1, opt.lr);
+                }
+            } else {
+                // Divergence containment: discard the poisoned gradients,
+                // back the learning rate off, and keep going — the batch
+                // is consumed either way so the loop always terminates.
+                gpt.visit_params(&mut pagpass_nn::Param::zero_grad);
+                progress.skipped_steps.push(step);
+                consecutive_failures += 1;
+                progress.lr_scale = (progress.lr_scale * 0.5).max(MIN_LR_SCALE);
+                if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
+                    if let Some(policy) = &opts.checkpoint {
+                        if rollback(gpt, &mut opt, policy.path, progress.lr_scale) {
+                            progress.rollbacks += 1;
+                            consecutive_failures = 0;
+                        }
+                    }
+                }
+            }
+
+            progress.step += 1;
+            progress.batch_in_epoch = batch_idx + 1;
+
+            if let Some(policy) = &opts.checkpoint {
+                if policy.every_steps > 0 && progress.step.is_multiple_of(policy.every_steps) {
+                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report);
+                }
+            }
+            if opts.cancel.is_some_and(CancelToken::is_cancelled) {
+                if let Some(policy) = &opts.checkpoint {
+                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report);
+                }
+                report.interrupted = true;
+                break 'epochs;
+            }
+        }
+
+        let mean = (progress.epoch_loss_accum / progress.epoch_batches.max(1) as f64) as f32;
+        progress.epoch_losses.push(mean);
+        if !val_rules.is_empty() {
+            progress
+                .val_losses
+                .push(validation_loss(gpt, val_rules, config.batch_size));
+        }
+        progress.epoch = epoch + 1;
+        progress.batch_in_epoch = 0;
+        progress.epoch_loss_accum = 0.0;
+        progress.epoch_batches = 0;
+    }
+
+    report.epoch_losses = progress.epoch_losses;
+    report.val_losses = progress.val_losses;
+    report.steps = progress.step;
+    report.tokens_seen = progress.tokens_seen;
+    report.skipped_steps = progress.skipped_steps;
+    report.rollbacks = progress.rollbacks;
+    Ok(report)
+}
+
+/// Seed for the epoch's shuffle; the SplitMix64 finalizer keeps adjacent
+/// epochs decorrelated.
+fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+    let mut z = seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Restores weights and optimizer from `path`, keeping `lr_scale`.
+/// Returns whether the rollback succeeded.
+fn rollback(gpt: &mut Gpt, opt: &mut AdamW, path: &Path, lr_scale: f32) -> bool {
+    let Ok(ckpt) = TrainCheckpoint::load(path) else {
+        return false;
+    };
+    let Ok(_saved) = ckpt.restore(gpt, opt) else {
+        return false;
+    };
+    // The restored progress is deliberately discarded: only weights and
+    // optimizer rewind; the data position keeps moving past the batches
+    // that destabilized training. The caller keeps its backed-off
+    // `lr_scale` so the retried region trains more gently.
+    let _ = lr_scale;
+    true
+}
+
+/// Saves a checkpoint, honoring injected write failures. Failures are
+/// counted on the report, never fatal: a broken disk should degrade
+/// recovery granularity, not kill a multi-hour run.
+fn save_checkpoint(
+    gpt: &mut Gpt,
+    opt: &AdamW,
+    progress: &TrainProgress,
+    policy: &CheckpointPolicy<'_>,
+    fault: Option<&FaultPlan>,
+    report: &mut TrainingReport,
+) {
+    let injected = fault.is_some_and(FaultPlan::take_write_failure);
+    let ckpt = TrainCheckpoint::capture(gpt, opt, progress.clone());
+    if injected || ckpt.save(policy.path).is_err() {
+        report.checkpoint_errors += 1;
+    }
 }
 
 /// Mean loss over a held-out set (no parameter updates).
@@ -166,7 +400,12 @@ fn pad_batch(
     chunk: &[usize],
     ctx: usize,
 ) -> (Vec<TokenId>, usize, usize, u64) {
-    let t = chunk.iter().map(|&i| rules[i].len()).max().unwrap_or(1).min(ctx);
+    let t = chunk
+        .iter()
+        .map(|&i| rules[i].len())
+        .max()
+        .unwrap_or(1)
+        .min(ctx);
     let b = chunk.len();
     let mut tokens = vec![Vocab::PAD; b * t];
     let mut targets = 0u64;
@@ -187,27 +426,42 @@ mod tests {
 
     fn tiny_gpt() -> Gpt {
         Gpt::new(
-            GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 },
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
             &mut Rng::seed_from(11),
         )
     }
 
     fn encode_all(pwds: &[&str]) -> Vec<Vec<TokenId>> {
         let tok = Tokenizer::new();
-        pwds.iter().map(|p| tok.encode_training(p).unwrap()).collect()
+        pwds.iter()
+            .map(|p| tok.encode_training(p).unwrap())
+            .collect()
     }
 
     #[test]
     fn loss_decreases_on_a_small_corpus() {
         let rules = encode_all(&["abc123", "dog456", "cat789", "sun111", "ice222", "fox333"]);
         let mut gpt = tiny_gpt();
-        let config = TrainConfig { epochs: 6, batch_size: 6, lr: 3e-3, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 6,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
         let report = run_training(&mut gpt, &rules, &rules, &config);
         assert_eq!(report.epoch_losses.len(), 6);
         assert_eq!(report.val_losses.len(), 6);
         assert!(report.epoch_losses[5] < report.epoch_losses[0]);
         assert!(report.steps == 6);
         assert!(report.tokens_seen > 0);
+        assert!(report.skipped_steps.is_empty());
+        assert!(!report.interrupted);
     }
 
     #[test]
@@ -227,7 +481,10 @@ mod tests {
         assert_eq!(tokens.len(), b * t);
         assert_eq!(targets, (rules[0].len() - 1 + rules[1].len() - 1) as u64);
         // Row 0 is padded after its rule.
-        assert_eq!(tokens[rules[0].len()..t], vec![Vocab::PAD; t - rules[0].len()]);
+        assert_eq!(
+            tokens[rules[0].len()..t],
+            vec![Vocab::PAD; t - rules[0].len()]
+        );
     }
 
     #[test]
@@ -250,5 +507,134 @@ mod tests {
         assert_eq!(paper.epochs, 30);
         assert_eq!(paper.batch_size, 512);
         assert!((paper.lr - 5e-5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_nan_loss_is_skipped_and_training_recovers() {
+        let rules = encode_all(&["abc123", "dog456", "cat789", "sun111", "ice222", "fox333"]);
+        let mut gpt = tiny_gpt();
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 6,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
+        let fault = FaultPlan::new().nan_loss_at_step(1).nan_loss_at_step(3);
+        let opts = TrainOptions {
+            fault: Some(&fault),
+            ..TrainOptions::default()
+        };
+        let report = run_training_with(&mut gpt, &rules, &rules, &config, &opts).unwrap();
+        assert_eq!(report.skipped_steps, vec![1, 3]);
+        assert_eq!(report.steps, 6, "skipped steps still consume their batch");
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(
+            report.epoch_losses[5] < report.epoch_losses[0],
+            "training recovers"
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_at_a_batch_boundary() {
+        let rules = encode_all(&["abc123"; 64]);
+        let mut gpt = tiny_gpt();
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel(); // pre-cancelled: exactly one batch runs
+        let opts = TrainOptions {
+            cancel: Some(&cancel),
+            ..TrainOptions::default()
+        };
+        let report = run_training_with(&mut gpt, &rules, &[], &config, &opts).unwrap();
+        assert!(report.interrupted);
+        assert_eq!(report.steps, 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("pagpass_trainer_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        std::fs::remove_file(&path).ok();
+        let rules = encode_all(&["abc123", "dog456", "cat789", "sun111", "ice222", "fox333"]);
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 2,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
+
+        // Reference: one uninterrupted run.
+        let mut gpt_a = tiny_gpt();
+        let full = run_training(&mut gpt_a, &rules, &rules, &config);
+
+        // Interrupted run: a first leg stopping after 2 of the 4 epochs
+        // (checkpointing every step), then a resume to the full run.
+        let mut gpt_b = tiny_gpt();
+        let policy = CheckpointPolicy {
+            path: &path,
+            every_steps: 1,
+        };
+        let leg1 = TrainConfig {
+            epochs: 2,
+            ..config.clone()
+        };
+        let opts1 = TrainOptions {
+            checkpoint: Some(policy),
+            ..TrainOptions::default()
+        };
+        run_training_with(&mut gpt_b, &rules, &rules, &leg1, &opts1).unwrap();
+
+        let mut gpt_c = tiny_gpt();
+        let opts2 = TrainOptions {
+            checkpoint: Some(policy),
+            resume: true,
+            ..TrainOptions::default()
+        };
+        let resumed = run_training_with(&mut gpt_c, &rules, &rules, &config, &opts2).unwrap();
+
+        assert_eq!(resumed.steps, full.steps);
+        assert_eq!(resumed.epoch_losses, full.epoch_losses);
+        assert_eq!(resumed.val_losses, full.val_losses);
+        assert_eq!(resumed.tokens_seen, full.tokens_seen);
+        assert_eq!(
+            gpt_a.next_token_logits(&[1, 2, 3]),
+            gpt_c.next_token_logits(&[1, 2, 3]),
+            "resumed weights must be bit-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_write_failures_are_counted_not_fatal() {
+        let dir = std::env::temp_dir().join("pagpass_trainer_ckpt_fail_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        std::fs::remove_file(&path).ok();
+        let rules = encode_all(&["abc123", "dog456", "cat789", "sun111"]);
+        let mut gpt = tiny_gpt();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 2,
+            ..TrainConfig::default()
+        };
+        let fault = FaultPlan::new().fail_write(0).fail_write(1);
+        let opts = TrainOptions {
+            checkpoint: Some(CheckpointPolicy {
+                path: &path,
+                every_steps: 1,
+            }),
+            fault: Some(&fault),
+            ..TrainOptions::default()
+        };
+        let report = run_training_with(&mut gpt, &rules, &rules, &config, &opts).unwrap();
+        assert_eq!(report.checkpoint_errors, 2);
+        assert!(!report.interrupted);
+        assert!(path.exists(), "later checkpoints still land");
+        std::fs::remove_dir_all(dir).ok();
     }
 }

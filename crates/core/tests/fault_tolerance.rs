@@ -1,0 +1,289 @@
+//! Fault-injection tests for the supervised D&C-GEN pool and the robust
+//! training loop: worker panics, simulated kills with journal resume,
+//! sidecar write failures, deadlines, and corrupted weight files.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use pagpass_nn::GptConfig;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{
+    CancelToken, CoreError, DcGen, DcGenConfig, DcGenJournal, DcGenOptions, FaultPlan, ModelKind,
+    PasswordModel, PasswordSink,
+};
+
+fn tiny_model() -> PasswordModel {
+    PasswordModel::new(
+        ModelKind::PagPassGpt,
+        GptConfig {
+            vocab_size: VOCAB_SIZE,
+            ctx_len: 32,
+            dim: 16,
+            n_layers: 1,
+            n_heads: 2,
+        },
+        5,
+    )
+}
+
+fn patterns() -> pagpass_patterns::PatternDistribution {
+    pagpass_patterns::PatternDistribution::from_passwords(
+        ["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied(),
+    )
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pagpass_fault_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Single-worker config: deterministic ordering, so interrupted + resumed
+/// output can be compared byte for byte against an uninterrupted run.
+fn config(total: u64, threshold: u64) -> DcGenConfig {
+    DcGenConfig {
+        threshold,
+        workers: 1,
+        ..DcGenConfig::new(total)
+    }
+}
+
+#[test]
+fn panicking_task_is_retried_and_output_is_unchanged() {
+    let model = tiny_model();
+    let clean = DcGen::new(&model, config(200, 16))
+        .run(&patterns())
+        .unwrap();
+    assert!(!clean.passwords.is_empty());
+
+    let fault = FaultPlan::new().panic_task_once(0).panic_task_once(2);
+    let opts = DcGenOptions {
+        fault: Some(&fault),
+        ..DcGenOptions::default()
+    };
+    let faulty = DcGen::new(&model, config(200, 16))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+
+    assert_eq!(faulty.retries, 2, "both injected panics must be retried");
+    assert!(faulty.failed_tasks.is_empty());
+    assert_eq!(
+        faulty.passwords, clean.passwords,
+        "a retried task reuses its id and RNG stream, so output is identical"
+    );
+}
+
+#[test]
+fn task_that_always_panics_lands_in_failed_tasks_not_a_crash() {
+    let model = tiny_model();
+    // Task 1 is a minority pattern's root; its subtree is lost, while the
+    // dominant pattern (task 0) keeps generating.
+    let fault = FaultPlan::new().panic_task_always(1);
+    let opts = DcGenOptions {
+        fault: Some(&fault),
+        ..DcGenOptions::default()
+    };
+    let report = DcGen::new(&model, config(200, 16))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+
+    assert_eq!(report.failed_tasks.len(), 1);
+    assert!(report.failed_tasks[0].error.contains("injected fault"));
+    assert!(
+        report.retries >= 1,
+        "the retry budget is spent before giving up"
+    );
+    assert!(
+        !report.passwords.is_empty(),
+        "the other patterns' tasks still run to completion"
+    );
+    assert!(
+        !report.interrupted,
+        "an abandoned task is not an interruption"
+    );
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run_exactly() {
+    let model = tiny_model();
+    let journal_path = tmp("resume.journal");
+    let full = DcGen::new(&model, config(400, 8)).run(&patterns()).unwrap();
+
+    // Simulated kill: cancel after 3 completed tasks, journal everything.
+    let fault = FaultPlan::new().cancel_after_tasks(3);
+    let opts = DcGenOptions {
+        journal: Some(&journal_path),
+        fault: Some(&fault),
+        ..DcGenOptions::default()
+    };
+    let partial = DcGen::new(&model, config(400, 8))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert!(
+        partial.interrupted,
+        "tasks must remain pending after the kill"
+    );
+    assert!(partial.emitted < full.emitted);
+
+    let journal = DcGenJournal::load(&journal_path).unwrap();
+    assert_eq!(journal.emitted, partial.emitted);
+    assert!(!journal.tasks.is_empty());
+
+    let resumed = DcGen::resume(&model, &journal, &DcGenOptions::default()).unwrap();
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.emitted, full.emitted);
+
+    let mut stitched = partial.passwords.clone();
+    stitched.extend(resumed.passwords.iter().cloned());
+    assert_eq!(
+        stitched, full.passwords,
+        "interrupted + resumed output must be byte-identical to one uninterrupted run"
+    );
+    std::fs::remove_file(journal_path).ok();
+}
+
+#[test]
+fn journal_write_failures_are_counted_but_never_fatal() {
+    let model = tiny_model();
+    let journal_path = tmp("flaky.journal");
+    let fault = FaultPlan::new().fail_write(0).fail_write(1);
+    let cfg = DcGenConfig {
+        journal_every: 1,
+        ..config(200, 16)
+    };
+    let opts = DcGenOptions {
+        journal: Some(&journal_path),
+        fault: Some(&fault),
+        ..DcGenOptions::default()
+    };
+    let report = DcGen::new(&model, cfg)
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert_eq!(report.journal_errors, 2);
+    assert!(!report.passwords.is_empty());
+    assert!(journal_path.exists(), "later journal writes still land");
+    std::fs::remove_file(journal_path).ok();
+}
+
+#[test]
+fn zero_deadline_drains_immediately_with_partial_results() {
+    let model = tiny_model();
+    let opts = DcGenOptions {
+        deadline: Some(Duration::ZERO),
+        ..DcGenOptions::default()
+    };
+    let report = DcGen::new(&model, config(400, 8))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert!(report.interrupted);
+    assert_eq!(report.passwords.len() as u64, report.emitted);
+}
+
+#[test]
+fn pre_cancelled_token_stops_before_any_work() {
+    let model = tiny_model();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let opts = DcGenOptions {
+        cancel: Some(&cancel),
+        ..DcGenOptions::default()
+    };
+    let report = DcGen::new(&model, config(400, 8))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert!(report.interrupted);
+    assert_eq!(report.emitted, 0);
+}
+
+#[test]
+fn sink_streams_everything_and_report_stays_empty() {
+    struct Collect(std::sync::Mutex<Vec<String>>);
+    impl PasswordSink for Collect {
+        fn emit(&self, batch: &[String]) -> std::io::Result<()> {
+            self.0.lock().unwrap().extend(batch.iter().cloned());
+            Ok(())
+        }
+    }
+    let model = tiny_model();
+    let clean = DcGen::new(&model, config(200, 16))
+        .run(&patterns())
+        .unwrap();
+
+    let sink = Collect(std::sync::Mutex::new(Vec::new()));
+    let opts = DcGenOptions {
+        sink: Some(&sink),
+        ..DcGenOptions::default()
+    };
+    let report = DcGen::new(&model, config(200, 16))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert!(
+        report.passwords.is_empty(),
+        "streamed passwords are not buffered"
+    );
+    assert_eq!(report.emitted as usize, sink.0.lock().unwrap().len());
+    assert_eq!(*sink.0.lock().unwrap(), clean.passwords);
+}
+
+#[test]
+fn failing_sink_aborts_with_an_io_error_after_journaling() {
+    struct Broken;
+    impl PasswordSink for Broken {
+        fn emit(&self, _batch: &[String]) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+    let model = tiny_model();
+    let journal_path = tmp("sinkfail.journal");
+    let opts = DcGenOptions {
+        sink: Some(&Broken),
+        journal: Some(&journal_path),
+        ..DcGenOptions::default()
+    };
+    let err = DcGen::new(&model, config(200, 16)).run_with(&patterns(), &opts);
+    assert!(matches!(err, Err(CoreError::Io(_))));
+    assert!(
+        journal_path.exists(),
+        "the final journal is written even when the sink fails, so the run is resumable"
+    );
+    std::fs::remove_file(journal_path).ok();
+}
+
+#[test]
+fn bit_flipped_weight_file_is_rejected_on_load() {
+    let mut model = tiny_model();
+    let path = tmp("weights.bin");
+    model.save(&path).unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = PasswordModel::load(ModelKind::PagPassGpt, &path);
+    assert!(
+        matches!(
+            err,
+            Err(CoreError::Load(
+                pagpass_nn::LoadError::ChecksumMismatch { .. }
+            ))
+        ),
+        "got {err:?}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn truncated_weight_file_is_rejected_on_load() {
+    let mut model = tiny_model();
+    let path = tmp("weights_trunc.bin");
+    model.save(&path).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+
+    assert!(PasswordModel::load(ModelKind::PagPassGpt, &path).is_err());
+    std::fs::remove_file(path).ok();
+}

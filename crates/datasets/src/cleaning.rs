@@ -91,17 +91,21 @@ mod tests {
     fn keeps_only_4_to_12_printable_ascii() {
         let report = clean(vec![
             "good1234".into(),
-            "abc".into(),                 // 3 chars
-            "abcd".into(),                // boundary ok
-            "abcdefghijkl".into(),        // 12 ok
-            "abcdefghijklm".into(),       // 13 no
-            "with space1".into(),         // space
-            "tab\there".into(),           // control
+            "abc".into(),                                      // 3 chars
+            "abcd".into(),                                     // boundary ok
+            "abcdefghijkl".into(),                             // 12 ok
+            "abcdefghijklm".into(),                            // 13 no
+            "with space1".into(),                              // space
+            "tab\there".into(),                                // control
             "\u{30d1}\u{30b9}\u{30ef}\u{30fc}\u{30c9}".into(), // non-ASCII
         ]);
         assert_eq!(
             report.retained,
-            vec!["good1234".to_owned(), "abcd".to_owned(), "abcdefghijkl".to_owned()]
+            vec![
+                "good1234".to_owned(),
+                "abcd".to_owned(),
+                "abcdefghijkl".to_owned()
+            ]
         );
         assert_eq!(report.dropped_length, 2);
         assert_eq!(report.dropped_charset, 3);
@@ -118,7 +122,12 @@ mod tests {
 
     #[test]
     fn preserves_first_seen_order() {
-        let report = clean(vec!["bbbb".into(), "aaaa".into(), "bbbb".into(), "cccc".into()]);
+        let report = clean(vec![
+            "bbbb".into(),
+            "aaaa".into(),
+            "bbbb".into(),
+            "cccc".into(),
+        ]);
         assert_eq!(report.retained, vec!["bbbb", "aaaa", "cccc"]);
     }
 
@@ -139,8 +148,14 @@ mod tests {
         let rocky = ret(SiteProfile::rockyou());
         let linked = ret(SiteProfile::linkedin());
         let phpbb = ret(SiteProfile::phpbb());
-        assert!(linked < rocky, "LinkedIn {linked} should retain less than RockYou {rocky}");
-        assert!(rocky < phpbb, "RockYou {rocky} should retain less than phpBB {phpbb}");
+        assert!(
+            linked < rocky,
+            "LinkedIn {linked} should retain less than RockYou {rocky}"
+        );
+        assert!(
+            rocky < phpbb,
+            "RockYou {rocky} should retain less than phpBB {phpbb}"
+        );
         assert!(phpbb > 0.9);
     }
 }

@@ -16,7 +16,11 @@ pub struct SplitRatios {
 
 impl SplitRatios {
     /// The paper's 7:1:2 split (§IV-A2).
-    pub const PAPER: SplitRatios = SplitRatios { train: 0.7, validation: 0.1, test: 0.2 };
+    pub const PAPER: SplitRatios = SplitRatios {
+        train: 0.7,
+        validation: 0.1,
+        test: 0.2,
+    };
 
     /// Validates that the ratios are positive and sum to 1 (±1e-9).
     #[must_use]
@@ -77,7 +81,10 @@ impl Split {
 /// ```
 #[must_use]
 pub fn split_passwords(mut passwords: Vec<String>, ratios: SplitRatios, seed: u64) -> Split {
-    assert!(ratios.is_valid(), "split ratios must be positive and sum to 1");
+    assert!(
+        ratios.is_valid(),
+        "split ratios must be positive and sum to 1"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     passwords.shuffle(&mut rng);
     let n = passwords.len();
@@ -87,7 +94,11 @@ pub fn split_passwords(mut passwords: Vec<String>, ratios: SplitRatios, seed: u6
     let n_val = n_val.min(n - n_train);
     let test = passwords.split_off(n_train + n_val);
     let validation = passwords.split_off(n_train);
-    Split { train: passwords, validation, test }
+    Split {
+        train: passwords,
+        validation,
+        test,
+    }
 }
 
 #[cfg(test)]
@@ -146,13 +157,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "split ratios")]
     fn invalid_ratios_panic() {
-        let bad = SplitRatios { train: 0.5, validation: 0.1, test: 0.1 };
+        let bad = SplitRatios {
+            train: 0.5,
+            validation: 0.1,
+            test: 0.1,
+        };
         let _ = split_passwords(corpus(10), bad, 0);
     }
 
     #[test]
     fn ratio_validity() {
         assert!(SplitRatios::PAPER.is_valid());
-        assert!(!SplitRatios { train: 0.0, validation: 0.5, test: 0.5 }.is_valid());
+        assert!(!SplitRatios {
+            train: 0.0,
+            validation: 0.5,
+            test: 0.5
+        }
+        .is_valid());
     }
 }

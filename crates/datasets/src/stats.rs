@@ -41,7 +41,11 @@ impl CorpusStats {
             name: name.to_owned(),
             unique,
             cleaned: cleaned.len(),
-            retention_rate: if unique == 0 { 0.0 } else { cleaned.len() as f64 / unique as f64 },
+            retention_rate: if unique == 0 {
+                0.0
+            } else {
+                cleaned.len() as f64 / unique as f64
+            },
             length_histogram,
             patterns,
         }
@@ -72,7 +76,11 @@ mod tests {
 
     #[test]
     fn stats_of_a_small_corpus() {
-        let corpus = vec!["abc123".to_owned(), "defg5678".to_owned(), "hij!".to_owned()];
+        let corpus = vec![
+            "abc123".to_owned(),
+            "defg5678".to_owned(),
+            "hij!".to_owned(),
+        ];
         let stats = CorpusStats::compute("test", 4, &corpus);
         assert_eq!(stats.cleaned, 3);
         assert_eq!(stats.unique, 4);
@@ -115,6 +123,9 @@ mod tests {
         let a = top(SiteProfile::rockyou());
         let b = top(SiteProfile::linkedin());
         let shared = a.iter().filter(|p| b.contains(p)).count();
-        assert!(shared >= 6, "top-10 patterns should largely agree, shared {shared}: {a:?} vs {b:?}");
+        assert!(
+            shared >= 6,
+            "top-10 patterns should largely agree, shared {shared}: {a:?} vs {b:?}"
+        );
     }
 }

@@ -23,7 +23,13 @@ pub enum Site {
 
 impl Site {
     /// All sites in the paper's Table II order.
-    pub const ALL: [Site; 5] = [Site::RockYou, Site::LinkedIn, Site::PhpBb, Site::MySpace, Site::Yahoo];
+    pub const ALL: [Site; 5] = [
+        Site::RockYou,
+        Site::LinkedIn,
+        Site::PhpBb,
+        Site::MySpace,
+        Site::Yahoo,
+    ];
 
     /// Human-readable name matching the paper's tables.
     #[must_use]
@@ -232,7 +238,11 @@ impl SiteProfile {
             } else {
                 self.mint(&mut rng)
             };
-            out.push(if rng.gen_bool(self.noise_rate) { self.noisify(pw, &mut rng) } else { pw });
+            out.push(if rng.gen_bool(self.noise_rate) {
+                self.noisify(pw, &mut rng)
+            } else {
+                pw
+            });
         }
         out
     }
@@ -360,7 +370,9 @@ fn digits(rng: &mut StdRng, len: std::ops::RangeInclusive<usize>) -> String {
             let d = rng.gen_range(b'0'..=b'9');
             (0..n).map(|_| char::from(d)).collect()
         }
-        _ => (0..n).map(|_| char::from(rng.gen_range(b'0'..=b'9'))).collect(),
+        _ => (0..n)
+            .map(|_| char::from(rng.gen_range(b'0'..=b'9')))
+            .collect(),
     }
 }
 
@@ -414,10 +426,19 @@ mod tests {
 
     #[test]
     fn different_sites_differ_but_overlap() {
-        let a: HashSet<String> = SiteProfile::rockyou().generate(3000, 7).into_iter().collect();
-        let b: HashSet<String> = SiteProfile::linkedin().generate(3000, 7).into_iter().collect();
+        let a: HashSet<String> = SiteProfile::rockyou()
+            .generate(3000, 7)
+            .into_iter()
+            .collect();
+        let b: HashSet<String> = SiteProfile::linkedin()
+            .generate(3000, 7)
+            .into_iter()
+            .collect();
         let inter = a.intersection(&b).count();
-        assert!(inter > 0, "cross-site attack needs overlapping distributions");
+        assert!(
+            inter > 0,
+            "cross-site attack needs overlapping distributions"
+        );
         assert!(inter < a.len().min(b.len()), "sites must not be identical");
     }
 
@@ -426,7 +447,10 @@ mod tests {
         let raw = SiteProfile::rockyou().generate(5000, 3);
         let unique: HashSet<&String> = raw.iter().collect();
         let dup_rate = 1.0 - unique.len() as f64 / raw.len() as f64;
-        assert!(dup_rate > 0.15, "leaks are heavy-tailed, got dup rate {dup_rate}");
+        assert!(
+            dup_rate > 0.15,
+            "leaks are heavy-tailed, got dup rate {dup_rate}"
+        );
     }
 
     #[test]
@@ -435,8 +459,7 @@ mod tests {
         let ok = raw
             .iter()
             .filter(|p| {
-                (4..=12).contains(&p.chars().count())
-                    && p.chars().all(|c| c.is_ascii_graphic())
+                (4..=12).contains(&p.chars().count()) && p.chars().all(|c| c.is_ascii_graphic())
             })
             .count();
         assert!(ok as f64 / raw.len() as f64 > 0.70);
@@ -464,7 +487,9 @@ mod tests {
         let linkedin = SiteProfile::linkedin().generate(4000, 5);
         let keep = |v: &Vec<String>| {
             v.iter()
-                .filter(|p| (4..=12).contains(&p.chars().count()) && p.chars().all(|c| c.is_ascii_graphic()))
+                .filter(|p| {
+                    (4..=12).contains(&p.chars().count()) && p.chars().all(|c| c.is_ascii_graphic())
+                })
                 .count() as f64
                 / v.len() as f64
         };

@@ -53,7 +53,10 @@ impl GuessNumberEstimator {
     #[must_use]
     pub fn from_sample_log_probs(samples: Vec<f64>) -> GuessNumberEstimator {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|lp| lp.is_finite()).collect();
-        assert!(!sorted.is_empty(), "estimator needs at least one finite sample");
+        assert!(
+            !sorted.is_empty(),
+            "estimator needs at least one finite sample"
+        );
         sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let n = sorted.len() as f64;
         let mut prefix_mass = Vec::with_capacity(sorted.len());
@@ -62,7 +65,10 @@ impl GuessNumberEstimator {
             acc += (-lp).exp() / n; // 1 / (n * p_i)
             prefix_mass.push(acc);
         }
-        GuessNumberEstimator { sorted_log_probs: sorted, prefix_mass }
+        GuessNumberEstimator {
+            sorted_log_probs: sorted,
+            prefix_mass,
+        }
     }
 
     /// Number of samples backing the estimate.
@@ -76,7 +82,9 @@ impl GuessNumberEstimator {
     #[must_use]
     pub fn guess_number(&self, target_log_prob: f64) -> f64 {
         // Count samples with strictly higher probability than the target.
-        let k = self.sorted_log_probs.partition_point(|&lp| lp > target_log_prob);
+        let k = self
+            .sorted_log_probs
+            .partition_point(|&lp| lp > target_log_prob);
         if k == 0 {
             0.0
         } else {
@@ -104,7 +112,11 @@ mod tests {
         for m in [10usize, 1000] {
             let lp = (1.0 / m as f64).ln();
             let est = GuessNumberEstimator::from_sample_log_probs(vec![lp; 500]);
-            assert_eq!(est.guess_number(lp), 0.0, "equal probability is not outranked");
+            assert_eq!(
+                est.guess_number(lp),
+                0.0,
+                "equal probability is not outranked"
+            );
             let weaker = est.guess_number(lp - 0.1);
             let m = m as f64;
             assert!((weaker - m).abs() / m < 0.05, "m={m}: estimated {weaker}");
@@ -125,10 +137,15 @@ mod tests {
             samples.extend(std::iter::repeat_n((p / z).ln(), copies));
         }
         let est = GuessNumberEstimator::from_sample_log_probs(samples);
-        let g: Vec<f64> =
-            probs.iter().map(|&p| est.guess_number((p / z).ln())).collect();
+        let g: Vec<f64> = probs
+            .iter()
+            .map(|&p| est.guess_number((p / z).ln()))
+            .collect();
         assert!(g.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{g:?}");
-        assert!(g[0] < 1.0, "the most probable password is guessed almost immediately");
+        assert!(
+            g[0] < 1.0,
+            "the most probable password is guessed almost immediately"
+        );
         assert!(est.guess_bits((probs[9] / z).ln()) > 2.0);
     }
 

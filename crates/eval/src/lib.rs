@@ -138,8 +138,16 @@ impl GuessCurve {
     }
 
     fn push_point(&mut self, hits: usize, unique: usize, total: usize, test_size: usize) {
-        self.hit_rates.push(if test_size == 0 { 0.0 } else { hits as f64 / test_size as f64 });
-        self.repeat_rates.push(if total == 0 { 0.0 } else { 1.0 - unique as f64 / total as f64 });
+        self.hit_rates.push(if test_size == 0 {
+            0.0
+        } else {
+            hits as f64 / test_size as f64
+        });
+        self.repeat_rates.push(if total == 0 {
+            0.0
+        } else {
+            1.0 - unique as f64 / total as f64
+        });
     }
 }
 
@@ -149,7 +157,11 @@ impl GuessCurve {
 pub fn length_distance<S: AsRef<str>>(generated: &[S], test_set: &[S]) -> f64 {
     let gp = length_probs(generated);
     let tp = length_probs(test_set);
-    gp.iter().zip(&tp).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+    gp.iter()
+        .zip(&tp)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn length_probs<S: AsRef<str>>(pwds: &[S]) -> [f64; 9] {
@@ -225,7 +237,10 @@ impl PatternGuidedEval {
     #[must_use]
     pub fn new(test_set: &[String]) -> PatternGuidedEval {
         let test_dist = PatternDistribution::from_passwords(test_set.iter().map(String::as_str));
-        PatternGuidedEval { test_set: test_set.to_vec(), test_dist }
+        PatternGuidedEval {
+            test_set: test_set.to_vec(),
+            test_dist,
+        }
     }
 
     /// The test set's pattern distribution.
@@ -241,8 +256,11 @@ impl PatternGuidedEval {
     pub fn target_patterns(&self, per_category: usize) -> BTreeMap<usize, Vec<Pattern>> {
         let mut out = BTreeMap::new();
         for (segments, entries) in self.test_dist.by_segments() {
-            let picked: Vec<Pattern> =
-                entries.into_iter().take(per_category).map(|e| e.pattern).collect();
+            let picked: Vec<Pattern> = entries
+                .into_iter()
+                .take(per_category)
+                .map(|e| e.pattern)
+                .collect();
             out.insert(segments, picked);
         }
         out
@@ -260,7 +278,11 @@ impl PatternGuidedEval {
             .collect();
         let unique: HashSet<&str> = guesses.iter().map(AsRef::as_ref).collect();
         let hits = unique.iter().filter(|g| conforming.contains(*g)).count();
-        PatternHit { pattern: pattern.clone(), hits, test_conforming: conforming.len() }
+        PatternHit {
+            pattern: pattern.clone(),
+            hits,
+            test_conforming: conforming.len(),
+        }
     }
 
     /// Aggregates per-pattern results into the category hit rate

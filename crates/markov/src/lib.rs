@@ -85,7 +85,11 @@ impl MarkovModel {
                 counts.entry(context).or_insert_with(|| vec![0; 95])[symbol] += 1;
             }
         }
-        MarkovModel { order, delta, counts }
+        MarkovModel {
+            order,
+            delta,
+            counts,
+        }
     }
 
     /// The model order `k`.
@@ -127,7 +131,11 @@ impl MarkovModel {
         for i in 0..=chars.len() {
             let start = i.saturating_sub(self.order);
             let context: String = chars[start..i].iter().collect();
-            let symbol = if i == chars.len() { None } else { Some(chars[i]) };
+            let symbol = if i == chars.len() {
+                None
+            } else {
+                Some(chars[i])
+            };
             let p = self.symbol_prob(&context, symbol);
             if p == 0.0 {
                 return f64::NEG_INFINITY;
@@ -204,7 +212,11 @@ impl MarkovModel {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Node { lp: 0.0, prefix: String::new(), complete: false });
+        heap.push(Node {
+            lp: 0.0,
+            prefix: String::new(),
+            complete: false,
+        });
         let mut out = Vec::with_capacity(n);
         // Bound the frontier so adversarial deltas cannot explode memory.
         let max_frontier = (n * 200).max(10_000);
@@ -222,7 +234,11 @@ impl MarkovModel {
             // Termination child.
             let p_end = self.symbol_prob(&context, None);
             if p_end > 0.0 && !node.prefix.is_empty() {
-                heap.push(Node { lp: node.lp + p_end.ln(), prefix: node.prefix.clone(), complete: true });
+                heap.push(Node {
+                    lp: node.lp + p_end.ln(),
+                    prefix: node.prefix.clone(),
+                    complete: true,
+                });
             }
             if chars.len() < max_len && heap.len() < max_frontier {
                 for &c in &ALPHABET {
@@ -230,7 +246,11 @@ impl MarkovModel {
                     if p > 1e-9 {
                         let mut prefix = node.prefix.clone();
                         prefix.push(c);
-                        heap.push(Node { lp: node.lp + p.ln(), prefix, complete: false });
+                        heap.push(Node {
+                            lp: node.lp + p.ln(),
+                            prefix,
+                            complete: false,
+                        });
                     }
                 }
             }
@@ -328,7 +348,16 @@ impl MarkovModel {
             let lvl = level_of(self.symbol_prob(&context, Some(c)));
             if lvl <= budget {
                 prefix.push(c);
-                self.omen_dfs(budget - lvl, prefix, max_len, level_of, out, n, visited, node_budget);
+                self.omen_dfs(
+                    budget - lvl,
+                    prefix,
+                    max_len,
+                    level_of,
+                    out,
+                    n,
+                    visited,
+                    node_budget,
+                );
                 prefix.pop();
                 if out.len() >= n || *visited >= node_budget {
                     return;
@@ -399,7 +428,10 @@ mod tests {
         let samples = m.sample_many(200, 12, 5);
         assert_eq!(samples.len(), 200);
         let hits = samples.iter().filter(|s| corpus().contains(s)).count();
-        assert!(hits > 50, "a 2-gram model should often regenerate the head, got {hits}");
+        assert!(
+            hits > 50,
+            "a 2-gram model should often regenerate the head, got {hits}"
+        );
     }
 
     #[test]
@@ -440,7 +472,10 @@ mod tests {
         let guesses = m.omen_guesses(50, 8, 1.0, 500_000);
         assert!(!guesses.is_empty());
         let pos = guesses.iter().position(|g| g == "pass12");
-        assert!(pos.is_some(), "the dominant password must be enumerated: {guesses:?}");
+        assert!(
+            pos.is_some(),
+            "the dominant password must be enumerated: {guesses:?}"
+        );
         // Level order approximates probability order: the dominant password
         // appears in the first level batch.
         assert!(pos.unwrap() < 5, "pass12 appeared at rank {pos:?}");

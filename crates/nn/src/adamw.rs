@@ -26,7 +26,13 @@ impl Param {
     #[must_use]
     pub fn new(value: Mat, decay: bool) -> Param {
         let (r, c) = (value.rows(), value.cols());
-        Param { value, grad: Mat::zeros(r, c), decay, m: Mat::zeros(r, c), v: Mat::zeros(r, c) }
+        Param {
+            value,
+            grad: Mat::zeros(r, c),
+            decay,
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+        }
     }
 
     /// Number of scalar weights.
@@ -44,6 +50,22 @@ impl Param {
     /// Clears the accumulated gradient.
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();
+    }
+
+    /// Read access to the AdamW moment estimates `(m, v)`.
+    ///
+    /// Used by checkpointing to persist optimizer state alongside weights.
+    #[must_use]
+    pub fn moments(&self) -> (&Mat, &Mat) {
+        (&self.m, &self.v)
+    }
+
+    /// Mutable access to the AdamW moment estimates `(m, v)`.
+    ///
+    /// Used when restoring optimizer state from a checkpoint; both matrices
+    /// keep the parameter's shape.
+    pub fn moments_mut(&mut self) -> (&mut Mat, &mut Mat) {
+        (&mut self.m, &mut self.v)
     }
 }
 
@@ -82,7 +104,14 @@ impl AdamW {
     /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`, weight decay `0.01`).
     #[must_use]
     pub fn new(lr: f32) -> AdamW {
-        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, t: 0 }
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            t: 0,
+        }
     }
 
     /// Advances the shared step counter; call once per optimization step,
@@ -95,6 +124,12 @@ impl AdamW {
     #[must_use]
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Restores the step counter, e.g. when resuming from a checkpoint so
+    /// bias correction continues from where the interrupted run left off.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
     }
 
     /// Applies one AdamW update to `param` using its accumulated gradient,
@@ -151,13 +186,23 @@ impl LrSchedule {
     /// The standard warmup-then-cosine schedule with a 10% floor.
     #[must_use]
     pub fn warmup_cosine(peak: f32, warmup: u64, total: u64) -> LrSchedule {
-        LrSchedule { peak, warmup, total: total.max(warmup + 1), floor_frac: 0.1 }
+        LrSchedule {
+            peak,
+            warmup,
+            total: total.max(warmup + 1),
+            floor_frac: 0.1,
+        }
     }
 
     /// A constant learning rate (what the paper's brief description implies).
     #[must_use]
     pub fn constant(lr: f32) -> LrSchedule {
-        LrSchedule { peak: lr, warmup: 0, total: 1, floor_frac: 1.0 }
+        LrSchedule {
+            peak: lr,
+            warmup: 0,
+            total: 1,
+            floor_frac: 1.0,
+        }
     }
 
     /// The learning rate at optimization step `t` (0-based).

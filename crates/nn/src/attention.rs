@@ -41,7 +41,10 @@ impl SelfAttention {
     /// Panics if `dim` is not divisible by `n_heads`.
     #[must_use]
     pub fn new(dim: usize, n_heads: usize, rng: &mut Rng) -> SelfAttention {
-        assert!(dim.is_multiple_of(n_heads), "dim must be divisible by n_heads");
+        assert!(
+            dim.is_multiple_of(n_heads),
+            "dim must be divisible by n_heads"
+        );
         SelfAttention {
             qkv: Linear::new(dim, 3 * dim, rng),
             proj: Linear::new(dim, dim, rng),
@@ -75,7 +78,11 @@ impl SelfAttention {
         let scale = 1.0 / (d as f32).sqrt();
 
         let qkv = self.qkv.forward(x);
-        let (mut q, mut k, mut v) = (Mat::zeros(b * t, c), Mat::zeros(b * t, c), Mat::zeros(b * t, c));
+        let (mut q, mut k, mut v) = (
+            Mat::zeros(b * t, c),
+            Mat::zeros(b * t, c),
+            Mat::zeros(b * t, c),
+        );
         for r in 0..b * t {
             let row = qkv.row(r);
             q.row_mut(r).copy_from_slice(&row[0..c]);
@@ -105,14 +112,25 @@ impl SelfAttention {
                     let orow = out.row_mut(bi * t + i);
                     let prow = p.row(i);
                     for (j, &pij) in prow.iter().enumerate().take(i + 1) {
-                        axpy(&mut orow[col..col + d], pij, &v.row(bi * t + j)[col..col + d]);
+                        axpy(
+                            &mut orow[col..col + d],
+                            pij,
+                            &v.row(bi * t + j)[col..col + d],
+                        );
                     }
                 }
                 probs.push(p);
             }
         }
         let y = self.proj.forward(&out);
-        self.cache = Some(TrainCache { b, t, q, k, v, probs });
+        self.cache = Some(TrainCache {
+            b,
+            t,
+            q,
+            k,
+            v,
+            probs,
+        });
         y
     }
 
@@ -123,8 +141,18 @@ impl SelfAttention {
     /// Panics if called without a preceding [`forward`](Self::forward).
     #[must_use]
     pub fn backward(&mut self, dy: &Mat) -> Mat {
-        let cache = self.cache.take().expect("backward requires a cached forward");
-        let TrainCache { b, t, q, k, v, probs } = cache;
+        let cache = self
+            .cache
+            .take()
+            .expect("backward requires a cached forward");
+        let TrainCache {
+            b,
+            t,
+            q,
+            k,
+            v,
+            probs,
+        } = cache;
         let c = self.dim();
         let h = self.n_heads;
         let d = c / h;
@@ -169,8 +197,16 @@ impl SelfAttention {
                         if s == 0.0 {
                             continue;
                         }
-                        axpy(&mut dq.row_mut(bi * t + i)[col..col + d], s, &k.row(bi * t + j)[col..col + d]);
-                        axpy(&mut dk.row_mut(bi * t + j)[col..col + d], s, &q.row(bi * t + i)[col..col + d]);
+                        axpy(
+                            &mut dq.row_mut(bi * t + i)[col..col + d],
+                            s,
+                            &k.row(bi * t + j)[col..col + d],
+                        );
+                        axpy(
+                            &mut dk.row_mut(bi * t + j)[col..col + d],
+                            s,
+                            &q.row(bi * t + i)[col..col + d],
+                        );
                     }
                 }
             }
@@ -209,7 +245,9 @@ impl SelfAttention {
         for bi in 0..b {
             let row = qkv.row(bi);
             cache.k_row_mut(bi, t_new).copy_from_slice(&row[c..2 * c]);
-            cache.v_row_mut(bi, t_new).copy_from_slice(&row[2 * c..3 * c]);
+            cache
+                .v_row_mut(bi, t_new)
+                .copy_from_slice(&row[2 * c..3 * c]);
         }
 
         let mut out = Mat::zeros(b, c);
@@ -259,7 +297,14 @@ impl KvCache {
     /// with `dim` features.
     #[must_use]
     pub fn new(batch: usize, ctx: usize, dim: usize) -> KvCache {
-        KvCache { batch, ctx, dim, len: 0, k: vec![0.0; batch * ctx * dim], v: vec![0.0; batch * ctx * dim] }
+        KvCache {
+            batch,
+            ctx,
+            dim,
+            len: 0,
+            k: vec![0.0; batch * ctx * dim],
+            v: vec![0.0; batch * ctx * dim],
+        }
     }
 
     /// Number of cached positions.
@@ -356,7 +401,11 @@ mod tests {
             }
         }
         // The last row must change (sanity that attention is not constant).
-        let changed = y1.row(3).iter().zip(y2.row(3)).any(|(a, b)| (a - b).abs() > 1e-4);
+        let changed = y1
+            .row(3)
+            .iter()
+            .zip(y2.row(3))
+            .any(|(a, b)| (a - b).abs() > 1e-4);
         assert!(changed);
     }
 

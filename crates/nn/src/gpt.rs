@@ -23,20 +23,38 @@ impl GptConfig {
     /// but constructible and fully supported.
     #[must_use]
     pub fn paper(vocab_size: usize) -> GptConfig {
-        GptConfig { vocab_size, ctx_len: 32, dim: 256, n_layers: 12, n_heads: 8 }
+        GptConfig {
+            vocab_size,
+            ctx_len: 32,
+            dim: 256,
+            n_layers: 12,
+            n_heads: 8,
+        }
     }
 
     /// The default experiment configuration for this CPU reproduction:
     /// same 32-token window, scaled-down width/depth (see DESIGN.md §2).
     #[must_use]
     pub fn small(vocab_size: usize) -> GptConfig {
-        GptConfig { vocab_size, ctx_len: 32, dim: 48, n_layers: 3, n_heads: 4 }
+        GptConfig {
+            vocab_size,
+            ctx_len: 32,
+            dim: 48,
+            n_layers: 3,
+            n_heads: 4,
+        }
     }
 
     /// A tiny configuration for unit tests.
     #[must_use]
     pub fn tiny(vocab_size: usize) -> GptConfig {
-        GptConfig { vocab_size, ctx_len: 16, dim: 16, n_layers: 2, n_heads: 2 }
+        GptConfig {
+            vocab_size,
+            ctx_len: 16,
+            dim: 16,
+            n_layers: 2,
+            n_heads: 2,
+        }
     }
 }
 
@@ -162,7 +180,9 @@ impl Gpt {
             config,
             tok_emb: Embedding::new(config.vocab_size, config.dim, rng),
             pos_emb: Embedding::new(config.ctx_len, config.dim, rng),
-            blocks: (0..config.n_layers).map(|_| Block::new(config.dim, config.n_heads, rng)).collect(),
+            blocks: (0..config.n_layers)
+                .map(|_| Block::new(config.dim, config.n_heads, rng))
+                .collect(),
             ln_f: LayerNorm::new(config.dim),
             lm_head: Linear::new(config.dim, config.vocab_size, rng),
         }
@@ -203,7 +223,10 @@ impl Gpt {
     /// vocabulary range.
     fn forward_train(&mut self, tokens: &[u32], b: usize, t: usize) -> Mat {
         assert_eq!(tokens.len(), b * t, "tokens must hold b*t ids");
-        assert!(t <= self.config.ctx_len, "sequence exceeds the context window");
+        assert!(
+            t <= self.config.ctx_len,
+            "sequence exceeds the context window"
+        );
         let tok = self.tok_emb.forward(tokens);
         let pos_ids: Vec<u32> = (0..b).flat_map(|_| 0..t as u32).collect();
         let pos = self.pos_emb.forward(&pos_ids);
@@ -226,7 +249,13 @@ impl Gpt {
     /// # Panics
     ///
     /// Panics on shape violations (see [`Gpt::train_step`]).
-    pub fn compute_grads(&mut self, tokens: &[u32], b: usize, t: usize, ignore: Option<u32>) -> f32 {
+    pub fn compute_grads(
+        &mut self,
+        tokens: &[u32],
+        b: usize,
+        t: usize,
+        ignore: Option<u32>,
+    ) -> f32 {
         self.visit_params(&mut Param::zero_grad);
         let logits = self.forward_train(tokens, b, t);
         let (loss, dlogits) = cross_entropy_next_token(&logits, tokens, b, t, ignore);
@@ -261,6 +290,22 @@ impl Gpt {
         loss
     }
 
+    /// Global L2 norm of the currently accumulated gradients, without
+    /// modifying them. Non-finite results signal a diverged backward pass.
+    #[must_use]
+    pub fn grad_norm(&mut self) -> f32 {
+        let mut sq = 0.0f64;
+        self.visit_params(&mut |p| {
+            sq += p
+                .grad
+                .as_slice()
+                .iter()
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum::<f64>();
+        });
+        (sq as f32).sqrt()
+    }
+
     /// Scales all gradients so their global L2 norm is at most `max_norm`;
     /// returns the pre-clip norm. Standard stabilization for transformer
     /// training.
@@ -272,7 +317,12 @@ impl Gpt {
         assert!(max_norm > 0.0, "max_norm must be positive");
         let mut sq = 0.0f64;
         self.visit_params(&mut |p| {
-            sq += p.grad.as_slice().iter().map(|&g| f64::from(g) * f64::from(g)).sum::<f64>();
+            sq += p
+                .grad
+                .as_slice()
+                .iter()
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum::<f64>();
         });
         let norm = (sq as f32).sqrt();
         if norm > max_norm {
@@ -415,7 +465,10 @@ mod tests {
         let tokens: Vec<u32> = (0..32).map(|i| (i % 12) as u32).collect();
         let loss = model.eval_loss(&tokens, 2, 16, None);
         let uniform = (12f32).ln();
-        assert!((loss - uniform).abs() < 0.3, "loss {loss} vs ln(12)={uniform}");
+        assert!(
+            (loss - uniform).abs() < 0.3,
+            "loss {loss} vs ln(12)={uniform}"
+        );
     }
 
     #[test]
@@ -427,7 +480,10 @@ mod tests {
         for _ in 0..120 {
             last = model.train_step(&tokens, 1, 8, None, &mut opt);
         }
-        assert!(last < 0.2, "model should memorize one sequence, loss {last}");
+        assert!(
+            last < 0.2,
+            "model should memorize one sequence, loss {last}"
+        );
     }
 
     #[test]
@@ -454,7 +510,12 @@ mod tests {
         // After clipping, the norm is at the bound.
         let mut sq = 0.0f64;
         model.visit_params(&mut |p| {
-            sq += p.grad.as_slice().iter().map(|&g| f64::from(g) * f64::from(g)).sum::<f64>();
+            sq += p
+                .grad
+                .as_slice()
+                .iter()
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum::<f64>();
         });
         assert!(((sq as f32).sqrt() - 1e-3).abs() < 1e-5);
         // Clipping with a huge bound is a no-op.
@@ -522,7 +583,10 @@ mod tests {
     #[test]
     fn configs() {
         let paper = GptConfig::paper(135);
-        assert_eq!((paper.dim, paper.n_layers, paper.n_heads, paper.ctx_len), (256, 12, 8, 32));
+        assert_eq!(
+            (paper.dim, paper.n_layers, paper.n_heads, paper.ctx_len),
+            (256, 12, 8, 32)
+        );
         let small = GptConfig::small(135);
         assert_eq!(small.ctx_len, 32);
         assert_eq!(small.dim % small.n_heads, 0);

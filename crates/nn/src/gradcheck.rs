@@ -66,7 +66,13 @@ pub struct GradCheck {
 
 impl Default for GradCheck {
     fn default() -> GradCheck {
-        GradCheck { eps: 1e-2, samples_per_param: 6, seed: 0x9e37, tol_abs: 2e-3, tol_rel: 2e-2 }
+        GradCheck {
+            eps: 1e-2,
+            samples_per_param: 6,
+            seed: 0x9e37,
+            tol_abs: 2e-3,
+            tol_rel: 2e-2,
+        }
     }
 }
 
@@ -99,7 +105,12 @@ impl GradCheck {
         }
 
         // 3. Central differences.
-        let mut report = Report { checked: 0, max_abs: 0.0, max_rel: 0.0, failures: 0 };
+        let mut report = Report {
+            checked: 0,
+            max_abs: 0.0,
+            max_rel: 0.0,
+            failures: 0,
+        };
         for (pi, ei) in coords {
             let orig = self.peek(model, visit, pi, ei);
             self.poke(model, visit, pi, ei, orig + self.eps);
@@ -121,13 +132,7 @@ impl GradCheck {
         report
     }
 
-    fn peek<M>(
-        &self,
-        model: &mut M,
-        visit: &ParamVisitor<'_, M>,
-        pi: usize,
-        ei: usize,
-    ) -> f32 {
+    fn peek<M>(&self, model: &mut M, visit: &ParamVisitor<'_, M>, pi: usize, ei: usize) -> f32 {
         let mut value = 0.0;
         let mut idx = 0;
         visit(model, &mut |p| {

@@ -80,7 +80,10 @@ impl Linear {
     /// Panics if called without a preceding [`forward`](Self::forward).
     #[must_use]
     pub fn backward(&mut self, dy: &Mat) -> Mat {
-        let x = self.cached_x.take().expect("backward requires a cached forward");
+        let x = self
+            .cached_x
+            .take()
+            .expect("backward requires a cached forward");
         x.matmul_t_accum(dy, &mut self.w.grad);
         let db = self.b.grad.row_mut(0);
         for r in 0..dy.rows() {
@@ -111,7 +114,10 @@ impl Embedding {
     /// Creates a table with `N(0, 0.02²)` rows.
     #[must_use]
     pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Embedding {
-        Embedding { table: Param::new(Mat::randn(vocab, dim, 0.02, rng), false), cached_ids: None }
+        Embedding {
+            table: Param::new(Mat::randn(vocab, dim, 0.02, rng), false),
+            cached_ids: None,
+        }
     }
 
     /// Looks up each id, producing `ids.len() × dim`, and caches the ids.
@@ -136,7 +142,8 @@ impl Embedding {
         let dim = self.table.value.cols();
         let mut out = Mat::zeros(ids.len(), dim);
         for (r, &id) in ids.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(self.table.value.row(id as usize));
+            out.row_mut(r)
+                .copy_from_slice(self.table.value.row(id as usize));
         }
         out
     }
@@ -147,7 +154,10 @@ impl Embedding {
     ///
     /// Panics if called without a preceding [`forward`](Self::forward).
     pub fn backward(&mut self, dy: &Mat) {
-        let ids = self.cached_ids.take().expect("backward requires a cached forward");
+        let ids = self
+            .cached_ids
+            .take()
+            .expect("backward requires a cached forward");
         assert_eq!(ids.len(), dy.rows());
         for (r, &id) in ids.iter().enumerate() {
             crate::mat::axpy(self.table.grad.row_mut(id as usize), 1.0, dy.row(r));
@@ -234,7 +244,10 @@ impl LayerNorm {
     /// Panics if called without a preceding [`forward`](Self::forward).
     #[must_use]
     pub fn backward(&mut self, dy: &Mat) -> Mat {
-        let cache = self.cache.take().expect("backward requires a cached forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("backward requires a cached forward");
         let dim = dy.cols();
         let gamma = self.gamma.value.row(0);
         let mut dx = Mat::zeros(dy.rows(), dim);
@@ -325,7 +338,11 @@ impl Mlp {
     /// Creates the two projections.
     #[must_use]
     pub fn new(dim: usize, rng: &mut Rng) -> Mlp {
-        Mlp { fc1: Linear::new(dim, 4 * dim, rng), fc2: Linear::new(4 * dim, dim, rng), cached_h: None }
+        Mlp {
+            fc1: Linear::new(dim, 4 * dim, rng),
+            fc2: Linear::new(4 * dim, dim, rng),
+            cached_h: None,
+        }
     }
 
     /// Forward pass with caching.
@@ -357,7 +374,10 @@ impl Mlp {
     /// Panics if called without a preceding [`forward`](Self::forward).
     #[must_use]
     pub fn backward(&mut self, dy: &Mat) -> Mat {
-        let h = self.cached_h.take().expect("backward requires a cached forward");
+        let h = self
+            .cached_h
+            .take()
+            .expect("backward requires a cached forward");
         let mut da = self.fc2.backward(dy);
         for (g, &pre) in da.as_mut_slice().iter_mut().zip(h.as_slice()) {
             *g *= gelu_grad(pre);

@@ -59,5 +59,7 @@ pub use gpt::{Gpt, GptConfig};
 pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp};
 pub use mat::Mat;
 pub use rng::Rng;
-pub use sampling::{argmax, sample_categorical, sample_masked, sample_top_k, sample_top_p, softmax_in_place};
-pub use serialize::LoadError;
+pub use sampling::{
+    argmax, sample_categorical, sample_masked, sample_top_k, sample_top_p, softmax_in_place,
+};
+pub use serialize::{atomic_write, crc32, LoadError};

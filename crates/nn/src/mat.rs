@@ -31,7 +31,11 @@ impl Mat {
     /// An all-zeros matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Mat {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.
@@ -195,7 +199,11 @@ impl Mat {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }

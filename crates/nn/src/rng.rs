@@ -28,7 +28,10 @@ impl Rng {
     /// Creates an RNG from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Rng {
-        Rng { inner: StdRng::seed_from_u64(seed), spare: None }
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// A uniform draw in `[0, 1)`.

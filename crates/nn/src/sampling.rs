@@ -147,7 +147,9 @@ pub fn sample_top_p(logits: &mut [f32], p: f32, temperature: f32, rng: &mut Rng)
         softmax_in_place(&mut probs);
         let mut order: Vec<usize> = (0..probs.len()).collect();
         order.sort_by(|&a, &b| {
-            probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal)
+            probs[b]
+                .partial_cmp(&probs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut cum = 0.0f32;
         let mut keep = vec![false; probs.len()];
@@ -246,7 +248,10 @@ mod tests {
         let mut logits = vec![f32::NEG_INFINITY; 4];
         logits[1] = f32::NEG_INFINITY; // allowed but masked-out by the model
         let got = sample_masked(&mut logits, &[1], 1.0, &mut rng);
-        assert_eq!(got, 1, "fully-masked rows fall back to uniform over the slice");
+        assert_eq!(
+            got, 1,
+            "fully-masked rows fall back to uniform over the slice"
+        );
     }
 
     #[test]
@@ -259,7 +264,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 990, "low temperature should be near-deterministic, got {hits}");
+        assert!(
+            hits > 990,
+            "low temperature should be near-deterministic, got {hits}"
+        );
     }
 
     #[test]

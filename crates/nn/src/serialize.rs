@@ -8,8 +8,58 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::{Gpt, GptConfig, Rng};
 
-/// File magic for serialized weights (`PAGNN` + format version 1).
-const MAGIC: &[u8; 8] = b"PAGNN\0\0\x01";
+/// File magic for serialized weights, format version 1 (no checksum).
+/// Still accepted by [`Gpt::from_bytes`] for backwards compatibility.
+const MAGIC_V1: &[u8; 8] = b"PAGNN\0\0\x01";
+
+/// File magic for format version 2: identical layout to version 1 plus a
+/// trailing little-endian CRC32 over every preceding byte.
+const MAGIC_V2: &[u8; 8] = b"PAGNN\0\0\x02";
+
+/// IEEE CRC32 (the `zlib`/`gzip` polynomial, reflected) of `data`.
+///
+/// Used to detect torn or bit-flipped weight files and checkpoint journals.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_nn::crc32;
+///
+/// assert_eq!(crc32(b""), 0);
+/// assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes `data` to `path` atomically: the bytes land in `path.tmp` first
+/// and are renamed into place, so readers never observe a truncated file
+/// even if the process dies mid-write.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write or the rename.
+pub fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(data)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
 
 /// Errors produced while loading serialized weights.
 #[derive(Debug)]
@@ -21,6 +71,14 @@ pub enum LoadError {
     BadMagic,
     /// The stored tensor sizes do not match the stored configuration.
     Corrupt(&'static str),
+    /// The trailing CRC32 does not match the file contents (version 2
+    /// files only): the file was truncated or bit-flipped on disk.
+    ChecksumMismatch {
+        /// CRC32 recorded in the file.
+        stored: u32,
+        /// CRC32 recomputed over the file contents.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -29,6 +87,10 @@ impl fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
             LoadError::BadMagic => write!(f, "not a PAGNN weight file (bad magic)"),
             LoadError::Corrupt(what) => write!(f, "corrupt weight file: {what}"),
+            LoadError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "weight file checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+            ),
         }
     }
 }
@@ -49,13 +111,20 @@ impl From<io::Error> for LoadError {
 }
 
 impl Gpt {
-    /// Serializes configuration and weights to a compact binary buffer.
+    /// Serializes configuration and weights to a compact binary buffer in
+    /// format version 2: the version-1 layout plus a trailing CRC32.
     #[must_use]
     pub fn to_bytes(&mut self) -> Bytes {
         let config = self.config();
         let mut buf = BytesMut::with_capacity(64 + self.num_params() * 4);
-        buf.put_slice(MAGIC);
-        for v in [config.vocab_size, config.ctx_len, config.dim, config.n_layers, config.n_heads] {
+        buf.put_slice(MAGIC_V2);
+        for v in [
+            config.vocab_size,
+            config.ctx_len,
+            config.dim,
+            config.n_layers,
+            config.n_heads,
+        ] {
             buf.put_u32_le(v as u32);
         }
         self.visit_params(&mut |p| {
@@ -64,19 +133,51 @@ impl Gpt {
                 buf.put_f32_le(x);
             }
         });
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
     /// Reconstructs a model from [`to_bytes`](Self::to_bytes) output.
+    /// Accepts both version-2 (checksummed) and legacy version-1 files.
     ///
     /// # Errors
     ///
-    /// Returns [`LoadError::BadMagic`] for foreign data and
-    /// [`LoadError::Corrupt`] when tensor sizes disagree with the stored
+    /// Returns [`LoadError::BadMagic`] for foreign data,
+    /// [`LoadError::ChecksumMismatch`] when a version-2 file fails its CRC,
+    /// and [`LoadError::Corrupt`] when tensor sizes disagree with the stored
     /// configuration.
     pub fn from_bytes(mut data: Bytes) -> Result<Gpt, LoadError> {
-        if data.remaining() < MAGIC.len() + 20 || &data.copy_to_bytes(8)[..] != MAGIC {
+        if data.remaining() < MAGIC_V1.len() + 20 {
             return Err(LoadError::BadMagic);
+        }
+        let magic = data.copy_to_bytes(8);
+        let version = if &magic[..] == MAGIC_V1 {
+            1
+        } else if &magic[..] == MAGIC_V2 {
+            2
+        } else {
+            return Err(LoadError::BadMagic);
+        };
+        if version == 2 {
+            // Verify the trailing CRC over everything before it, then strip
+            // it so the body parses identically to version 1.
+            if data.remaining() < 4 {
+                return Err(LoadError::Corrupt("truncated before the checksum"));
+            }
+            let body_len = 8 + data.remaining() - 4;
+            let mut prefix = Vec::with_capacity(body_len);
+            prefix.extend_from_slice(&magic);
+            prefix.extend_from_slice(&data[..data.remaining() - 4]);
+            let stored = {
+                let tail = data.slice(data.remaining() - 4..);
+                u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]])
+            };
+            let computed = crc32(&prefix);
+            if stored != computed {
+                return Err(LoadError::ChecksumMismatch { stored, computed });
+            }
+            data = data.slice(0..data.remaining() - 4);
         }
         let mut dims = [0usize; 5];
         for d in &mut dims {
@@ -124,15 +225,16 @@ impl Gpt {
         Ok(model)
     }
 
-    /// Saves the model to a file (see [`to_bytes`](Self::to_bytes)).
+    /// Saves the model to a file (see [`to_bytes`](Self::to_bytes)). The
+    /// write is atomic: a crash mid-save leaves any previous file intact
+    /// rather than a truncated one.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
         let bytes = self.to_bytes();
-        let mut file = fs::File::create(path)?;
-        file.write_all(&bytes)
+        atomic_write(path, &bytes)
     }
 
     /// Loads a model saved with [`save`](Self::save).
@@ -151,13 +253,35 @@ impl Gpt {
 mod tests {
     use super::*;
 
+    /// Downgrades a v2 buffer to the legacy v1 layout (strip CRC, patch the
+    /// version byte) to exercise the back-compat path.
+    fn downgrade_to_v1(v2: &Bytes) -> Bytes {
+        let mut data = v2.to_vec();
+        data.truncate(data.len() - 4);
+        data[..8].copy_from_slice(MAGIC_V1);
+        Bytes::from(data)
+    }
+
     #[test]
     fn roundtrip_preserves_weights_and_behaviour() {
         let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
         let bytes = model.to_bytes();
         let loaded = Gpt::from_bytes(bytes).unwrap();
         let prefix = vec![1u32, 2, 3];
-        assert_eq!(model.next_token_logits(&prefix), loaded.next_token_logits(&prefix));
+        assert_eq!(
+            model.next_token_logits(&prefix),
+            loaded.next_token_logits(&prefix)
+        );
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
     }
 
     #[test]
@@ -171,7 +295,23 @@ mod tests {
         let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
         let bytes = model.to_bytes();
         let truncated = bytes.slice(0..bytes.len() / 2);
-        assert!(matches!(Gpt::from_bytes(truncated), Err(LoadError::Corrupt(_))));
+        assert!(matches!(
+            Gpt::from_bytes(truncated),
+            Err(LoadError::ChecksumMismatch { .. }) | Err(LoadError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_checksum() {
+        let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
+        let mut data = model.to_bytes().to_vec();
+        // Flip one bit in the middle of the tensor data.
+        let idx = data.len() / 2;
+        data[idx] ^= 0x10;
+        assert!(matches!(
+            Gpt::from_bytes(Bytes::from(data)),
+            Err(LoadError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -179,7 +319,32 @@ mod tests {
         let mut model = Gpt::new(GptConfig::tiny(11), &mut Rng::seed_from(3));
         let mut data = model.to_bytes().to_vec();
         data.push(0);
-        assert!(matches!(Gpt::from_bytes(Bytes::from(data)), Err(LoadError::Corrupt(_))));
+        assert!(matches!(
+            Gpt::from_bytes(Bytes::from(data)),
+            Err(LoadError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let mut model = Gpt::new(GptConfig::tiny(7), &mut Rng::seed_from(5));
+        let v1 = downgrade_to_v1(&model.to_bytes());
+        let loaded = Gpt::from_bytes(v1).unwrap();
+        assert_eq!(
+            model.next_token_logits(&[1, 2]),
+            loaded.next_token_logits(&[1, 2])
+        );
+    }
+
+    #[test]
+    fn corrupt_v1_is_rejected_without_checksum() {
+        let mut model = Gpt::new(GptConfig::tiny(7), &mut Rng::seed_from(5));
+        let v1 = downgrade_to_v1(&model.to_bytes());
+        let truncated = v1.slice(0..v1.len() - 3);
+        assert!(matches!(
+            Gpt::from_bytes(truncated),
+            Err(LoadError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -190,8 +355,24 @@ mod tests {
         let mut model = Gpt::new(GptConfig::tiny(9), &mut Rng::seed_from(4));
         model.save(&path).unwrap();
         let loaded = Gpt::load(&path).unwrap();
-        assert_eq!(model.next_token_logits(&[1]), loaded.next_token_logits(&[1]));
+        assert_eq!(
+            model.next_token_logits(&[1]),
+            loaded.next_token_logits(&[1])
+        );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_never_truncates() {
+        let dir = std::env::temp_dir().join("pagpass_nn_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.bin");
+        atomic_write(&path, b"first contents").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No stray temp file remains.
+        assert!(!dir.join("file.bin.tmp").exists());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

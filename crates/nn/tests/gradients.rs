@@ -23,16 +23,12 @@ fn weighted_loss(y: &Mat) -> (f32, Mat) {
 fn linear_gradients() {
     let mut layer = Linear::new(5, 4, &mut Rng::seed_from(1));
     let x = Mat::randn(6, 5, 1.0, &mut Rng::seed_from(2));
-    let report = GradCheck::default().run(
-        &mut layer,
-        &|l, f| l.visit_params(f),
-        &mut |l| {
-            let y = l.forward(&x);
-            let (loss, d) = weighted_loss(&y);
-            let _ = l.backward(&d);
-            loss
-        },
-    );
+    let report = GradCheck::default().run(&mut layer, &|l, f| l.visit_params(f), &mut |l| {
+        let y = l.forward(&x);
+        let (loss, d) = weighted_loss(&y);
+        let _ = l.backward(&d);
+        loss
+    });
     assert!(report.checked >= 8);
     assert_eq!(report.failures, 0, "{report:?}");
 }
@@ -43,16 +39,17 @@ fn layernorm_gradients() {
     // Non-trivial gamma/beta so their gradients are exercised.
     let mut rng = Rng::seed_from(3);
     let x = Mat::randn(5, 8, 2.0, &mut rng);
-    let report = GradCheck { samples_per_param: 8, seed: 1, ..GradCheck::default() }.run(
-        &mut ln,
-        &|l, f| l.visit_params(f),
-        &mut |l| {
-            let y = l.forward(&x);
-            let (loss, d) = weighted_loss(&y);
-            let _ = l.backward(&d);
-            loss
-        },
-    );
+    let report = GradCheck {
+        samples_per_param: 8,
+        seed: 1,
+        ..GradCheck::default()
+    }
+    .run(&mut ln, &|l, f| l.visit_params(f), &mut |l| {
+        let y = l.forward(&x);
+        let (loss, d) = weighted_loss(&y);
+        let _ = l.backward(&d);
+        loss
+    });
     assert!(report.max_rel < 5e-3, "{report:?}");
 }
 
@@ -67,18 +64,14 @@ fn layernorm_input_gradient() {
         ln: LayerNorm::new(6),
         x: pagpass_nn::Param::new(Mat::randn(4, 6, 1.5, &mut Rng::seed_from(4)), false),
     };
-    let report = GradCheck::default().run(
-        &mut model,
-        &|m, f| f(&mut m.x),
-        &mut |m| {
-            m.x.zero_grad();
-            let y = m.ln.forward(&m.x.value);
-            let (loss, d) = weighted_loss(&y);
-            let dx = m.ln.backward(&d);
-            m.x.grad.add_assign(&dx);
-            loss
-        },
-    );
+    let report = GradCheck::default().run(&mut model, &|m, f| f(&mut m.x), &mut |m| {
+        m.x.zero_grad();
+        let y = m.ln.forward(&m.x.value);
+        let (loss, d) = weighted_loss(&y);
+        let dx = m.ln.backward(&d);
+        m.x.grad.add_assign(&dx);
+        loss
+    });
     assert!(report.max_rel < 5e-3, "{report:?}");
 }
 
@@ -86,16 +79,12 @@ fn layernorm_input_gradient() {
 fn mlp_gradients() {
     let mut mlp = Mlp::new(6, &mut Rng::seed_from(5));
     let x = Mat::randn(4, 6, 1.0, &mut Rng::seed_from(6));
-    let report = GradCheck::default().run(
-        &mut mlp,
-        &|m, f| m.visit_params(f),
-        &mut |m| {
-            let y = m.forward(&x);
-            let (loss, d) = weighted_loss(&y);
-            let _ = m.backward(&d);
-            loss
-        },
-    );
+    let report = GradCheck::default().run(&mut mlp, &|m, f| m.visit_params(f), &mut |m| {
+        let y = m.forward(&x);
+        let (loss, d) = weighted_loss(&y);
+        let _ = m.backward(&d);
+        loss
+    });
     assert!(report.max_rel < 1e-2, "{report:?}");
 }
 
@@ -103,16 +92,17 @@ fn mlp_gradients() {
 fn attention_gradients() {
     let mut attn = SelfAttention::new(8, 2, &mut Rng::seed_from(7));
     let x = Mat::randn(6, 8, 1.0, &mut Rng::seed_from(8));
-    let report = GradCheck { samples_per_param: 10, seed: 2, ..GradCheck::default() }.run(
-        &mut attn,
-        &|a, f| a.visit_params(f),
-        &mut |a| {
-            let y = a.forward(&x, 2, 3);
-            let (loss, d) = weighted_loss(&y);
-            let _ = a.backward(&d);
-            loss
-        },
-    );
+    let report = GradCheck {
+        samples_per_param: 10,
+        seed: 2,
+        ..GradCheck::default()
+    }
+    .run(&mut attn, &|a, f| a.visit_params(f), &mut |a| {
+        let y = a.forward(&x, 2, 3);
+        let (loss, d) = weighted_loss(&y);
+        let _ = a.backward(&d);
+        loss
+    });
     assert!(report.max_rel < 1e-2, "{report:?}");
 }
 
@@ -126,18 +116,14 @@ fn attention_input_gradient() {
         attn: SelfAttention::new(8, 2, &mut Rng::seed_from(9)),
         x: pagpass_nn::Param::new(Mat::randn(8, 8, 1.0, &mut Rng::seed_from(10)), false),
     };
-    let report = GradCheck::default().run(
-        &mut model,
-        &|m, f| f(&mut m.x),
-        &mut |m| {
-            m.x.zero_grad();
-            let y = m.attn.forward(&m.x.value, 2, 4);
-            let (loss, d) = weighted_loss(&y);
-            let dx = m.attn.backward(&d);
-            m.x.grad.add_assign(&dx);
-            loss
-        },
-    );
+    let report = GradCheck::default().run(&mut model, &|m, f| f(&mut m.x), &mut |m| {
+        m.x.zero_grad();
+        let y = m.attn.forward(&m.x.value, 2, 4);
+        let (loss, d) = weighted_loss(&y);
+        let dx = m.attn.backward(&d);
+        m.x.grad.add_assign(&dx);
+        loss
+    });
     assert!(report.max_rel < 1e-2, "{report:?}");
 }
 
@@ -145,16 +131,12 @@ fn attention_input_gradient() {
 fn embedding_gradients() {
     let mut emb = Embedding::new(7, 5, &mut Rng::seed_from(11));
     let ids = [0u32, 3, 3, 6, 1];
-    let report = GradCheck::default().run(
-        &mut emb,
-        &|e, f| e.visit_params(f),
-        &mut |e| {
-            let y = e.forward(&ids);
-            let (loss, d) = weighted_loss(&y);
-            e.backward(&d);
-            loss
-        },
-    );
+    let report = GradCheck::default().run(&mut emb, &|e, f| e.visit_params(f), &mut |e| {
+        let y = e.forward(&ids);
+        let (loss, d) = weighted_loss(&y);
+        e.backward(&d);
+        loss
+    });
     assert!(report.max_rel < 5e-3, "{report:?}");
 }
 
@@ -163,7 +145,13 @@ fn full_gpt_cross_entropy_gradients() {
     // The decisive test: the whole model, through the fused softmax
     // cross-entropy, matches finite differences.
     let mut model = Gpt::new(
-        GptConfig { vocab_size: 9, ctx_len: 6, dim: 8, n_layers: 2, n_heads: 2 },
+        GptConfig {
+            vocab_size: 9,
+            ctx_len: 6,
+            dim: 8,
+            n_layers: 2,
+            n_heads: 2,
+        },
         &mut Rng::seed_from(12),
     );
     // GPT-2 init keeps embeddings at std 0.02, which puts LayerNorm in a
@@ -171,11 +159,15 @@ fn full_gpt_cross_entropy_gradients() {
     // scale to O(0.1) activations for a well-conditioned check.
     model.visit_params(&mut |p| p.value.scale(5.0));
     let tokens: Vec<u32> = vec![1, 4, 2, 8, 0, 3, 5, 1, 7, 2, 4, 6]; // b=2, t=6
-    let report = GradCheck { eps: 5e-3, samples_per_param: 6, seed: 3, ..GradCheck::default() }.run(
-        &mut model,
-        &|m, f| m.visit_params(f),
-        &mut |m| m.compute_grads(&tokens, 2, 6, None),
-    );
+    let report = GradCheck {
+        eps: 5e-3,
+        samples_per_param: 6,
+        seed: 3,
+        ..GradCheck::default()
+    }
+    .run(&mut model, &|m, f| m.visit_params(f), &mut |m| {
+        m.compute_grads(&tokens, 2, 6, None)
+    });
     assert!(report.checked > 50);
     assert_eq!(report.failures, 0, "{report:?}");
 }
@@ -183,15 +175,25 @@ fn full_gpt_cross_entropy_gradients() {
 #[test]
 fn full_gpt_gradients_with_ignore_index() {
     let mut model = Gpt::new(
-        GptConfig { vocab_size: 9, ctx_len: 5, dim: 8, n_layers: 1, n_heads: 2 },
+        GptConfig {
+            vocab_size: 9,
+            ctx_len: 5,
+            dim: 8,
+            n_layers: 1,
+            n_heads: 2,
+        },
         &mut Rng::seed_from(13),
     );
     model.visit_params(&mut |p| p.value.scale(5.0));
     let tokens: Vec<u32> = vec![1, 4, 2, 8, 8, 3, 5, 1, 8, 8]; // 8 = PAD
-    let report = GradCheck { eps: 5e-3, samples_per_param: 6, seed: 4, ..GradCheck::default() }.run(
-        &mut model,
-        &|m, f| m.visit_params(f),
-        &mut |m| m.compute_grads(&tokens, 2, 5, Some(8)),
-    );
+    let report = GradCheck {
+        eps: 5e-3,
+        samples_per_param: 6,
+        seed: 4,
+        ..GradCheck::default()
+    }
+    .run(&mut model, &|m, f| m.visit_params(f), &mut |m| {
+        m.compute_grads(&tokens, 2, 5, Some(8))
+    });
     assert_eq!(report.failures, 0, "{report:?}");
 }

@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(CharClass::Digit.alphabet_size(), 10);
         assert_eq!(CharClass::Special.alphabet_size(), 32);
         assert_eq!(
-            CharClass::ALL.iter().map(|c| c.alphabet_size()).sum::<usize>(),
+            CharClass::ALL
+                .iter()
+                .map(|c| c.alphabet_size())
+                .sum::<usize>(),
             ALPHABET_SIZE
         );
     }

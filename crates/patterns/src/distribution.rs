@@ -126,7 +126,11 @@ impl PatternDistribution {
                 probability: count as f64 / self.total.max(1) as f64,
             })
             .collect();
-        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.pattern.cmp(&b.pattern)));
+        entries.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
         entries
     }
 
@@ -145,7 +149,9 @@ impl PatternDistribution {
     pub fn by_segments(&self) -> HashMap<usize, Vec<PatternCount>> {
         let mut map: HashMap<usize, Vec<PatternCount>> = HashMap::new();
         for entry in self.ranked() {
-            map.entry(entry.pattern.segment_count()).or_default().push(entry);
+            map.entry(entry.pattern.segment_count())
+                .or_default()
+                .push(entry);
         }
         map
     }

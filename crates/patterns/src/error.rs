@@ -34,7 +34,10 @@ impl fmt::Display for PatternError {
                 write!(f, "segment length {len} exceeds the maximum of 12")
             }
             PatternError::UnknownClassSymbol(c) => {
-                write!(f, "unknown character-class symbol {c:?}, expected L, N, or S")
+                write!(
+                    f,
+                    "unknown character-class symbol {c:?}, expected L, N, or S"
+                )
             }
             PatternError::MissingLength => write!(f, "class symbol without a positive length"),
             PatternError::AdjacentSameClass => {

@@ -44,7 +44,10 @@ impl Segment {
         if len > MAX_SEGMENT_LEN {
             return Err(PatternError::SegmentTooLong(len));
         }
-        Ok(Segment { class, len: len as u8 })
+        Ok(Segment {
+            class,
+            len: len as u8,
+        })
     }
 
     /// The character class of this run.
@@ -169,7 +172,10 @@ impl Pattern {
     /// Total password length described by this pattern.
     #[must_use]
     pub fn char_len(&self) -> usize {
-        self.segments.iter().map(|s| usize::from(s.len().get())).sum()
+        self.segments
+            .iter()
+            .map(|s| usize::from(s.len().get()))
+            .sum()
     }
 
     /// Iterator over the character class at each password position.
@@ -278,9 +284,18 @@ mod tests {
 
     #[test]
     fn extracts_the_paper_examples() {
-        assert_eq!(Pattern::of_password("Pass123$").unwrap().to_string(), "L4N3S1");
-        assert_eq!(Pattern::of_password("abc123!").unwrap().to_string(), "L3N3S1");
-        assert_eq!(Pattern::of_password("password123").unwrap().to_string(), "L8N3");
+        assert_eq!(
+            Pattern::of_password("Pass123$").unwrap().to_string(),
+            "L4N3S1"
+        );
+        assert_eq!(
+            Pattern::of_password("abc123!").unwrap().to_string(),
+            "L3N3S1"
+        );
+        assert_eq!(
+            Pattern::of_password("password123").unwrap().to_string(),
+            "L8N3"
+        );
     }
 
     #[test]
@@ -311,9 +326,15 @@ mod tests {
     #[test]
     fn rejects_oversized_runs() {
         let long = "a".repeat(13);
-        assert_eq!(Pattern::of_password(&long), Err(PatternError::SegmentTooLong(13)));
+        assert_eq!(
+            Pattern::of_password(&long),
+            Err(PatternError::SegmentTooLong(13))
+        );
         // 12 is fine.
-        assert_eq!(Pattern::of_password(&"a".repeat(12)).unwrap().to_string(), "L12");
+        assert_eq!(
+            Pattern::of_password(&"a".repeat(12)).unwrap().to_string(),
+            "L12"
+        );
     }
 
     #[test]
@@ -327,11 +348,26 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         assert!(matches!("".parse::<Pattern>(), Err(PatternError::Empty)));
-        assert!(matches!("L".parse::<Pattern>(), Err(PatternError::MissingLength)));
-        assert!(matches!("L0".parse::<Pattern>(), Err(PatternError::MissingLength)));
-        assert!(matches!("X4".parse::<Pattern>(), Err(PatternError::UnknownClassSymbol('X'))));
-        assert!(matches!("L13".parse::<Pattern>(), Err(PatternError::SegmentTooLong(13))));
-        assert!(matches!("L2L3".parse::<Pattern>(), Err(PatternError::AdjacentSameClass)));
+        assert!(matches!(
+            "L".parse::<Pattern>(),
+            Err(PatternError::MissingLength)
+        ));
+        assert!(matches!(
+            "L0".parse::<Pattern>(),
+            Err(PatternError::MissingLength)
+        ));
+        assert!(matches!(
+            "X4".parse::<Pattern>(),
+            Err(PatternError::UnknownClassSymbol('X'))
+        ));
+        assert!(matches!(
+            "L13".parse::<Pattern>(),
+            Err(PatternError::SegmentTooLong(13))
+        ));
+        assert!(matches!(
+            "L2L3".parse::<Pattern>(),
+            Err(PatternError::AdjacentSameClass)
+        ));
     }
 
     #[test]

@@ -24,9 +24,7 @@ fn valid_password() -> impl Strategy<Value = String> {
         1..=3,
     )
     .prop_map(|parts| parts.concat())
-    .prop_filter("runs must stay <= 12", |s| {
-        Pattern::of_password(s).is_ok()
-    })
+    .prop_filter("runs must stay <= 12", |s| Pattern::of_password(s).is_ok())
 }
 
 proptest! {

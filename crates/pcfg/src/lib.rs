@@ -53,12 +53,18 @@ impl PcfgModel {
         let mut dist = PatternDistribution::new();
         let mut seg_counts: HashMap<Segment, HashMap<String, u64>> = HashMap::new();
         for pw in passwords {
-            let Ok(pattern) = Pattern::of_password(pw) else { continue };
+            let Ok(pattern) = Pattern::of_password(pw) else {
+                continue;
+            };
             let mut offset = 0;
             for &seg in pattern.segments() {
                 let len = usize::from(seg.len().get());
                 let piece = &pw[offset..offset + len];
-                *seg_counts.entry(seg).or_default().entry(piece.to_owned()).or_insert(0) += 1;
+                *seg_counts
+                    .entry(seg)
+                    .or_default()
+                    .entry(piece.to_owned())
+                    .or_insert(0) += 1;
                 offset += len;
             }
             dist.observe(pattern);
@@ -77,12 +83,17 @@ impl PcfgModel {
                     .map(|(s, c)| (s, c as f64 / total as f64))
                     .collect();
                 list.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
                 });
                 (seg, list)
             })
             .collect();
-        PcfgModel { patterns, terminals }
+        PcfgModel {
+            patterns,
+            terminals,
+        }
     }
 
     /// Number of distinct patterns in the grammar.
@@ -101,7 +112,9 @@ impl PcfgModel {
     /// passwords using unseen patterns or terminals.
     #[must_use]
     pub fn probability(&self, password: &str) -> f64 {
-        let Ok(pattern) = Pattern::of_password(password) else { return 0.0 };
+        let Ok(pattern) = Pattern::of_password(password) else {
+            return 0.0;
+        };
         let Some((_, p_pattern)) = self.patterns.iter().find(|(p, _)| *p == pattern) else {
             return 0.0;
         };
@@ -110,8 +123,12 @@ impl PcfgModel {
         for &seg in pattern.segments() {
             let len = usize::from(seg.len().get());
             let piece = &password[offset..offset + len];
-            let Some(list) = self.terminals.get(&seg) else { return 0.0 };
-            let Some((_, p)) = list.iter().find(|(s, _)| s == piece) else { return 0.0 };
+            let Some(list) = self.terminals.get(&seg) else {
+                return 0.0;
+            };
+            let Some((_, p)) = list.iter().find(|(s, _)| s == piece) else {
+                return 0.0;
+            };
             prob *= p;
             offset += len;
         }
@@ -129,7 +146,9 @@ impl PcfgModel {
     pub fn guesses(&self, n: usize) -> Vec<String> {
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         for (pi, (pattern, p_pattern)) in self.patterns.iter().enumerate() {
-            if let Some(prob) = self.assignment_prob(pattern, *p_pattern, &vec![0; pattern.segment_count()]) {
+            if let Some(prob) =
+                self.assignment_prob(pattern, *p_pattern, &vec![0; pattern.segment_count()])
+            {
                 heap.push(Candidate {
                     prob: OrderedProb(prob),
                     pattern_idx: pi,
@@ -260,7 +279,10 @@ mod tests {
         let m = model();
         let guesses = m.guesses(10);
         let probs: Vec<f64> = guesses.iter().map(|g| m.probability(g)).collect();
-        assert!(probs.windows(2).all(|w| w[0] >= w[1] - 1e-12), "{guesses:?} {probs:?}");
+        assert!(
+            probs.windows(2).all(|w| w[0] >= w[1] - 1e-12),
+            "{guesses:?} {probs:?}"
+        );
         assert_eq!(guesses[0], "abc123");
     }
 
@@ -272,7 +294,10 @@ mod tests {
         assert_eq!(guesses.len(), 6);
         let unique: std::collections::HashSet<&String> = guesses.iter().collect();
         assert_eq!(unique.len(), 6);
-        assert!(guesses.contains(&"xyz456".to_owned()), "cross-composition is generated");
+        assert!(
+            guesses.contains(&"xyz456".to_owned()),
+            "cross-composition is generated"
+        );
     }
 
     #[test]
@@ -287,7 +312,13 @@ mod tests {
     fn hits_its_own_training_distribution() {
         // PCFG should crack passwords recombining seen parts.
         let train: Vec<String> = (0..50)
-            .map(|i| format!("{}{}", ["love", "blue", "cake", "fire", "moon"][i % 5], 10 + i % 10))
+            .map(|i| {
+                format!(
+                    "{}{}",
+                    ["love", "blue", "cake", "fire", "moon"][i % 5],
+                    10 + i % 10
+                )
+            })
             .collect();
         let m = PcfgModel::train(train.iter().map(String::as_str));
         let guesses = m.guesses(60);

@@ -45,4 +45,6 @@ mod vocab;
 
 pub use error::TokenizeError;
 pub use rule::{DecodedRule, Tokenizer};
-pub use vocab::{Token, TokenId, Vocab, NUM_CHAR_TOKENS, NUM_PATTERN_TOKENS, NUM_SPECIAL_TOKENS, VOCAB_SIZE};
+pub use vocab::{
+    Token, TokenId, Vocab, NUM_CHAR_TOKENS, NUM_PATTERN_TOKENS, NUM_SPECIAL_TOKENS, VOCAB_SIZE,
+};

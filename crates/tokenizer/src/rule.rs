@@ -44,7 +44,9 @@ impl Tokenizer {
     /// Creates a tokenizer over the fixed vocabulary.
     #[must_use]
     pub fn new() -> Tokenizer {
-        Tokenizer { vocab: Vocab::new() }
+        Tokenizer {
+            vocab: Vocab::new(),
+        }
     }
 
     /// The underlying vocabulary.
@@ -135,7 +137,10 @@ impl Tokenizer {
         let mut seen_sep = false;
         let mut terminated = false;
         for &id in ids {
-            let token = self.vocab.token_of(id).ok_or(TokenizeError::UnknownId(id))?;
+            let token = self
+                .vocab
+                .token_of(id)
+                .ok_or(TokenizeError::UnknownId(id))?;
             match token {
                 Token::Bos | Token::Unk | Token::Pad => {}
                 Token::Sep => seen_sep = true,
@@ -168,7 +173,11 @@ impl Tokenizer {
     pub fn decode_password(&self, ids: &[TokenId]) -> Result<String, TokenizeError> {
         let mut password = String::new();
         for &id in ids {
-            match self.vocab.token_of(id).ok_or(TokenizeError::UnknownId(id))? {
+            match self
+                .vocab
+                .token_of(id)
+                .ok_or(TokenizeError::UnknownId(id))?
+            {
                 Token::Eos => break,
                 Token::Char(c) => password.push(c),
                 _ => {}

@@ -161,7 +161,10 @@ impl Vocab {
         class
             .chars()
             .chars()
-            .map(|c| self.char_id(c).expect("class characters are in the vocabulary"))
+            .map(|c| {
+                self.char_id(c)
+                    .expect("class characters are in the vocabulary")
+            })
             .collect()
     }
 
@@ -179,7 +182,10 @@ impl Vocab {
 
     /// Iterates over all tokens in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TokenId, Token)> + '_ {
-        self.tokens.iter().enumerate().map(|(i, &t)| (i as TokenId, t))
+        self.tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as TokenId, t))
     }
 }
 
@@ -255,7 +261,10 @@ mod tests {
         assert!(v.char_id('a').is_some());
         assert_eq!(v.char_id(' '), None);
         assert_eq!(v.char_id('\u{e9}'), None);
-        let char_count = v.iter().filter(|(_, t)| matches!(t, Token::Char(_))).count();
+        let char_count = v
+            .iter()
+            .filter(|(_, t)| matches!(t, Token::Char(_)))
+            .count();
         assert_eq!(char_count, NUM_CHAR_TOKENS);
     }
 

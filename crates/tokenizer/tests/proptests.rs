@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 /// Passwords over the 94-char alphabet, 1..=12 chars, runs <= 12 by length.
 fn password() -> impl Strategy<Value = String> {
-    let alphabet: Vec<char> =
-        ('!'..='~').collect();
+    let alphabet: Vec<char> = ('!'..='~').collect();
     proptest::collection::vec(proptest::sample::select(alphabet), 1..=12)
         .prop_map(|cs| cs.into_iter().collect())
 }

@@ -17,9 +17,16 @@ fn main() {
     let raw = train_site.profile().generate(20_000, 9);
     let split = split_passwords(clean(raw).retained, SplitRatios::PAPER, 9);
 
-    println!("training PagPassGPT on {train_site} ({} passwords) ...", split.train.len());
+    println!(
+        "training PagPassGPT on {train_site} ({} passwords) ...",
+        split.train.len()
+    );
     let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::small(VOCAB_SIZE), 4);
-    let config = TrainConfig { epochs: 3, log_every: 0, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        log_every: 0,
+        ..TrainConfig::default()
+    };
     model.train(&split.train, &split.validation, &config);
 
     let guesses = model.generate_free(5_000, 1.0, 77);

@@ -19,21 +19,39 @@ fn main() {
     let split = split_passwords(clean(raw).retained, SplitRatios::PAPER, 21);
     let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::small(VOCAB_SIZE), 6);
     println!("training PagPassGPT ...");
-    model.train(&split.train, &[], &TrainConfig { epochs: 2, ..TrainConfig::default() });
+    model.train(
+        &split.train,
+        &[],
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
+    );
 
     let patterns = PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
     println!(
         "pattern prior: {} distinct patterns; top-3: {:?}",
         patterns.distinct(),
-        patterns.top(3).iter().map(|e| format!("{} ({:.1}%)", e.pattern, 100.0 * e.probability)).collect::<Vec<_>>()
+        patterns
+            .top(3)
+            .iter()
+            .map(|e| format!("{} ({:.1}%)", e.pattern, 100.0 * e.probability))
+            .collect::<Vec<_>>()
     );
 
     let n = 4_000u64;
-    println!("\n{:>6} {:>8} {:>12} {:>8} {:>12}", "T", "leaves", "expansions", "deleted", "repeat rate");
+    println!(
+        "\n{:>6} {:>8} {:>12} {:>8} {:>12}",
+        "T", "leaves", "expansions", "deleted", "repeat rate"
+    );
     for t in [32u64, 128, 512, 2048] {
         let report = DcGen::new(
             &model,
-            DcGenConfig { threshold: t, seed: 13, ..DcGenConfig::new(n) },
+            DcGenConfig {
+                threshold: t,
+                seed: 13,
+                ..DcGenConfig::new(n)
+            },
         )
         .run(&patterns)
         .expect("model is PagPassGPT");
@@ -47,5 +65,8 @@ fn main() {
     }
     println!("\nbaseline: free generation of the same budget");
     let free = model.generate_free(n as usize, 1.0, 55);
-    println!("free generation repeat rate: {:.2}%", 100.0 * repeat_rate(&free));
+    println!(
+        "free generation repeat rate: {:.2}%",
+        100.0 * repeat_rate(&free)
+    );
 }

@@ -20,7 +20,11 @@ use pagpass::tokenizer::VOCAB_SIZE;
 fn main() {
     let raw = SiteProfile::rockyou().generate(20_000, 5);
     let split = split_passwords(clean(raw).retained, SplitRatios::PAPER, 5);
-    let config = TrainConfig { epochs: 3, log_every: 0, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        log_every: 0,
+        ..TrainConfig::default()
+    };
 
     println!("training PassGPT ...");
     let mut passgpt = PasswordModel::new(ModelKind::PassGpt, GptConfig::small(VOCAB_SIZE), 8);

@@ -26,7 +26,11 @@ fn main() {
 
     // 2. Train PagPassGPT (pattern-conditioned rules, paper Eq. 1).
     let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::small(VOCAB_SIZE), 1);
-    let config = TrainConfig { epochs: 3, log_every: 100, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        log_every: 100,
+        ..TrainConfig::default()
+    };
     let report = model.train(&split.train, &split.validation, &config);
     println!(
         "training loss: {:.3} -> {:.3} over {} steps",
@@ -38,8 +42,12 @@ fn main() {
     // 3. Guess 2 000 passwords under the most common test pattern.
     let pattern: Pattern = "L6N2".parse().unwrap();
     let guesses = model.generate_guided(&pattern, 2_000, 1.0, 99);
-    let conforming: Vec<String> =
-        split.test.iter().filter(|p| pattern.matches(p)).cloned().collect();
+    let conforming: Vec<String> = split
+        .test
+        .iter()
+        .filter(|p| pattern.matches(p))
+        .cloned()
+        .collect();
     let hits = hit_rate(&guesses, &conforming);
     println!(
         "pattern {pattern}: {} guesses hit {}/{} conforming test passwords (HR_P = {:.1}%)",

@@ -26,7 +26,14 @@ fn main() {
 
     println!("training the scoring models ...");
     let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::small(VOCAB_SIZE), 14);
-    model.train(&split.train, &[], &TrainConfig { epochs: 3, ..TrainConfig::default() });
+    model.train(
+        &split.train,
+        &[],
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+    );
     let pcfg = PcfgModel::train(split.train.iter().map(String::as_str));
     let patterns = PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
 

@@ -19,7 +19,11 @@ fn main() {
     println!("train {} / test {}", split.train.len(), split.test.len());
 
     let mut model = PasswordModel::new(ModelKind::PagPassGpt, GptConfig::small(VOCAB_SIZE), 2);
-    let config = TrainConfig { epochs: 3, log_every: 100, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        log_every: 100,
+        ..TrainConfig::default()
+    };
     model.train(&split.train, &split.validation, &config);
 
     let budget = 5_000;
@@ -38,7 +42,11 @@ fn main() {
         PatternDistribution::from_passwords(split.train.iter().map(String::as_str));
     let dc = DcGen::new(
         &model,
-        DcGenConfig { threshold: 256, seed: 23, ..DcGenConfig::new(budget as u64) },
+        DcGenConfig {
+            threshold: 256,
+            seed: 23,
+            ..DcGenConfig::new(budget as u64)
+        },
     )
     .run(&train_patterns)
     .expect("model is PagPassGPT");

@@ -13,12 +13,17 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use pagpass::core::{DcGen, DcGenConfig, ModelKind, PasswordModel, TrainConfig};
+use pagpass::core::{
+    CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal, DcGenOptions, ModelKind,
+    PasswordModel, PasswordSink, TrainConfig, TrainOptions,
+};
 use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
-use pagpass::nn::GptConfig;
+use pagpass::nn::{atomic_write, GptConfig};
 use pagpass::patterns::{Pattern, PatternDistribution};
 use pagpass::tokenizer::VOCAB_SIZE;
 
@@ -37,10 +42,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pagpass synth    --site <rockyou|linkedin|phpbb|myspace|yahoo> --n N [--seed S] [--clean] --out FILE
   pagpass train    --kind <passgpt|pagpassgpt> --corpus FILE [--epochs N] [--seed S] --out FILE
+                   [--checkpoint FILE] [--checkpoint-every N] [--resume]
   pagpass generate --kind <passgpt|pagpassgpt> --model FILE --n N [--pattern P] [--temp T] [--seed S] [--out FILE]
   pagpass dcgen    --model FILE --corpus FILE --n N [--threshold T] [--seed S] [--out FILE]
+                   [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
   pagpass eval     --guesses FILE --test FILE
-  pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...";
+  pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...
+
+Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
+and continue with --resume.";
 
 fn run(args: &[String]) -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
@@ -71,11 +81,13 @@ impl Parsed {
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if name == "clean" {
+                if name == "clean" || name == "resume" {
                     parsed.flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
-                let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
                 parsed.flags.insert(name.to_owned(), value.clone());
             } else {
                 parsed.positional.push(arg.clone());
@@ -85,12 +97,17 @@ impl Parsed {
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
-            Some(v) => v.parse().map_err(|_| format!("--{name} got a non-numeric value {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} got a non-numeric value {v:?}")),
             None => Ok(default),
         }
     }
@@ -123,13 +140,18 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
         .map_err(|e| format!("read {path}: {e}"))
 }
 
+/// Writes `lines` to `path` atomically (temp file + rename), or to stdout.
+/// A crash mid-write leaves any previous file contents intact.
 fn write_lines(path: Option<&str>, lines: &[String]) -> Result<(), String> {
     match path {
         Some(path) => {
-            let mut file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
             for line in lines {
-                writeln!(file, "{line}").map_err(|e| format!("write {path}: {e}"))?;
+                buf.push_str(line);
+                buf.push('\n');
             }
+            atomic_write(Path::new(path), buf.as_bytes())
+                .map_err(|e| format!("write {path}: {e}"))?;
             eprintln!("wrote {} lines to {path}", lines.len());
             Ok(())
         }
@@ -143,6 +165,92 @@ fn write_lines(path: Option<&str>, lines: &[String]) -> Result<(), String> {
         }
     }
 }
+
+/// Atomically rewrites `path` keeping only its first `keep` lines. Used on
+/// `dcgen --resume` to roll the output file back to the journal snapshot;
+/// passwords past the snapshot are regenerated deterministically.
+fn truncate_lines(path: &str, keep: u64) -> Result<(), String> {
+    if !Path::new(path).exists() {
+        return Ok(());
+    }
+    let lines = read_lines(path)?;
+    let keep = usize::try_from(keep).unwrap_or(usize::MAX).min(lines.len());
+    let mut buf = String::new();
+    for line in &lines[..keep] {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    atomic_write(Path::new(path), buf.as_bytes()).map_err(|e| format!("truncate {path}: {e}"))
+}
+
+/// Streams generated passwords to a file as leaves complete, so an
+/// interrupted run keeps everything emitted so far.
+struct LineSink {
+    out: std::sync::Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl LineSink {
+    fn open(path: &str, append: bool) -> Result<LineSink, String> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(append)
+            .truncate(!append)
+            .open(path)
+            .map_err(|e| format!("open {path}: {e}"))?;
+        Ok(LineSink {
+            out: std::sync::Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl PasswordSink for LineSink {
+    fn emit(&self, batch: &[String]) -> std::io::Result<()> {
+        let mut out = self.out.lock().expect("sink lock poisoned");
+        for line in batch {
+            writeln!(out, "{line}")?;
+        }
+        // Flush per leaf: the journal records these passwords as emitted,
+        // so they must actually be on disk before the next snapshot.
+        out.flush()
+    }
+}
+
+/// Installs a Ctrl-C handler that trips `cancel` so long runs drain
+/// cleanly (finishing in-flight work and writing a final journal or
+/// checkpoint). A second Ctrl-C falls back to the default handler and
+/// kills the process.
+#[cfg(unix)]
+fn install_sigint(cancel: &CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    extern "C" fn on_sigint(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    let cancel = cancel.clone();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("\ninterrupted: draining (Ctrl-C again to kill)");
+            cancel.cancel();
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_sigint(_cancel: &CancelToken) {}
 
 fn cmd_synth(p: &Parsed) -> Result<(), String> {
     let site = parse_site(p.required("site")?)?;
@@ -168,15 +276,62 @@ fn cmd_train(p: &Parsed) -> Result<(), String> {
     let out = p.required("out")?.to_owned();
     let epochs: usize = p.num("epochs", 4)?;
     let seed: u64 = p.num("seed", 1)?;
+    let ckpt_path = p.flags.get("checkpoint").map(PathBuf::from);
+    let every: u64 = p.num("checkpoint-every", 100)?;
+    let resume = p.flags.contains_key("resume");
+    if resume && ckpt_path.is_none() {
+        return Err("--resume needs --checkpoint FILE".into());
+    }
+    let cancel = CancelToken::new();
+    install_sigint(&cancel);
     let mut model = PasswordModel::new(kind, GptConfig::small(VOCAB_SIZE), seed);
-    let config = TrainConfig { epochs, seed, log_every: 100, ..TrainConfig::default() };
-    let report = model.train(&corpus, &[], &config);
+    let config = TrainConfig {
+        epochs,
+        seed,
+        log_every: 100,
+        ..TrainConfig::default()
+    };
+    let opts = TrainOptions {
+        checkpoint: ckpt_path.as_deref().map(|path| CheckpointPolicy {
+            path,
+            every_steps: every,
+        }),
+        resume,
+        cancel: Some(&cancel),
+        fault: None,
+    };
+    let report = model
+        .train_with(&corpus, &[], &config, &opts)
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "trained {kind} on {} passwords: loss {:?} -> {:?}",
         corpus.len(),
         report.epoch_losses.first(),
         report.epoch_losses.last()
     );
+    if !report.skipped_steps.is_empty() {
+        eprintln!(
+            "skipped {} non-finite steps: {:?}",
+            report.skipped_steps.len(),
+            report.skipped_steps
+        );
+    }
+    if report.checkpoint_errors > 0 {
+        eprintln!(
+            "warning: {} checkpoint writes failed",
+            report.checkpoint_errors
+        );
+    }
+    if report.interrupted {
+        let ckpt = ckpt_path
+            .as_deref()
+            .map_or_else(String::new, |p| p.display().to_string());
+        eprintln!(
+            "interrupted at step {}; continue with `pagpass train ... --checkpoint {ckpt} --resume`",
+            report.steps
+        );
+        return Ok(());
+    }
     model.save(&out).map_err(|e| e.to_string())?;
     eprintln!("saved model to {out}");
     Ok(())
@@ -190,7 +345,9 @@ fn cmd_generate(p: &Parsed) -> Result<(), String> {
     let seed: u64 = p.num("seed", 7)?;
     let guesses = match p.flags.get("pattern") {
         Some(pat) => {
-            let pattern: Pattern = pat.parse().map_err(|e| format!("bad pattern {pat:?}: {e}"))?;
+            let pattern: Pattern = pat
+                .parse()
+                .map_err(|e| format!("bad pattern {pat:?}: {e}"))?;
             model.generate_guided(&pattern, n, temp, seed)
         }
         None => model.generate_free(n, temp, seed),
@@ -199,27 +356,101 @@ fn cmd_generate(p: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
-    let model =
-        PasswordModel::load(ModelKind::PagPassGpt, p.required("model")?).map_err(|e| e.to_string())?;
-    let corpus = read_lines(p.required("corpus")?)?;
+    let model = PasswordModel::load(ModelKind::PagPassGpt, p.required("model")?)
+        .map_err(|e| e.to_string())?;
     let n: u64 = p.num("n", 10_000)?;
     let threshold: u64 = p.num("threshold", 256)?;
     let seed: u64 = p.num("seed", 7)?;
-    let patterns = PatternDistribution::from_passwords(corpus.iter().map(String::as_str));
-    let report = DcGen::new(
-        &model,
-        DcGenConfig { threshold, seed, ..DcGenConfig::new(n) },
-    )
-    .run(&patterns)
-    .map_err(|e| e.to_string())?;
+    let defaults = DcGenConfig::new(n);
+    let workers: usize = p.num("workers", defaults.workers)?;
+    let retries: u32 = p.num("retries", defaults.max_task_retries)?;
+    let deadline = match p.flags.get("deadline-secs") {
+        Some(_) => Some(Duration::from_secs(p.num("deadline-secs", 0u64)?)),
+        None => None,
+    };
+    let journal_path = p.flags.get("checkpoint").map(PathBuf::from);
+    let resume = p.flags.contains_key("resume");
+    if resume && journal_path.is_none() {
+        return Err("--resume needs --checkpoint FILE".into());
+    }
+    let out = p.flags.get("out").map(String::as_str);
+
+    let cancel = CancelToken::new();
+    install_sigint(&cancel);
+
+    // With a journal + output file the run streams passwords to disk leaf
+    // by leaf, so an interruption loses nothing; on resume the output file
+    // is first rolled back to the journal snapshot and appended to.
+    let journal = match (&journal_path, resume) {
+        (Some(path), true) => {
+            let j = DcGenJournal::load(path).map_err(|e| e.to_string())?;
+            if let Some(out_path) = out {
+                truncate_lines(out_path, j.emitted)?;
+            }
+            Some(j)
+        }
+        _ => None,
+    };
+    let streaming = journal_path.is_some() && out.is_some();
+    let sink = match out {
+        Some(path) if streaming => Some(LineSink::open(path, resume)?),
+        _ => None,
+    };
+    let opts = DcGenOptions {
+        cancel: Some(&cancel),
+        deadline,
+        journal: journal_path.as_deref(),
+        fault: None,
+        sink: sink.as_ref().map(|s| s as &dyn PasswordSink),
+    };
+
+    let report = match &journal {
+        Some(j) => DcGen::resume(&model, j, &opts).map_err(|e| e.to_string())?,
+        None => {
+            let corpus = read_lines(p.required("corpus")?)?;
+            let patterns = PatternDistribution::from_passwords(corpus.iter().map(String::as_str));
+            let config = DcGenConfig {
+                threshold,
+                seed,
+                workers,
+                max_task_retries: retries,
+                ..DcGenConfig::new(n)
+            };
+            DcGen::new(&model, config)
+                .run_with(&patterns, &opts)
+                .map_err(|e| e.to_string())?
+        }
+    };
+
     eprintln!(
-        "D&C-GEN: {} passwords from {} leaves / {} expansions; repeat rate {:.2}%",
-        report.passwords.len(),
-        report.leaf_tasks,
-        report.expansions,
-        100.0 * repeat_rate(&report.passwords)
+        "D&C-GEN: {} passwords emitted from {} leaves / {} expansions",
+        report.emitted, report.leaf_tasks, report.expansions,
     );
-    write_lines(p.flags.get("out").map(String::as_str), &report.passwords)
+    if !report.passwords.is_empty() {
+        eprintln!("repeat rate {:.2}%", 100.0 * repeat_rate(&report.passwords));
+    }
+    if report.retries > 0 || !report.failed_tasks.is_empty() {
+        eprintln!(
+            "retried {} task panics; {} tasks abandoned after exhausting retries",
+            report.retries,
+            report.failed_tasks.len()
+        );
+    }
+    if report.journal_errors > 0 {
+        eprintln!("warning: {} journal writes failed", report.journal_errors);
+    }
+    if report.interrupted {
+        let ckpt = journal_path
+            .as_deref()
+            .map_or_else(String::new, |p| p.display().to_string());
+        eprintln!("interrupted; continue with `pagpass dcgen ... --checkpoint {ckpt} --resume`");
+    }
+    if streaming {
+        eprintln!("streamed output to {}", out.unwrap_or_default());
+        Ok(())
+    } else {
+        write_lines(out, &report.passwords)
+    }
 }
 
 fn cmd_eval(p: &Parsed) -> Result<(), String> {
@@ -246,8 +477,8 @@ fn cmd_strength(p: &Parsed) -> Result<(), String> {
     for pw in &p.positional {
         match model.log_probability(pw) {
             Ok(lp) => {
-                let pattern = Pattern::of_password(pw)
-                    .map_or_else(|_| "?".to_owned(), |pt| pt.to_string());
+                let pattern =
+                    Pattern::of_password(pw).map_or_else(|_| "?".to_owned(), |pt| pt.to_string());
                 println!("{pw}\tln Pr = {lp:.2}\tpattern {pattern}");
             }
             Err(e) => println!("{pw}\tunscorable ({e})"),
@@ -314,14 +545,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("leak.txt");
         let out_str = out.to_str().unwrap().to_owned();
-        run(&s(&["synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str]))
-            .unwrap();
+        run(&s(&[
+            "synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str,
+        ]))
+        .unwrap();
         let lines = read_lines(&out_str).unwrap();
         assert!(!lines.is_empty());
-        assert!(lines.iter().all(|pw| (4..=12).contains(&pw.chars().count())));
+        assert!(lines
+            .iter()
+            .all(|pw| (4..=12).contains(&pw.chars().count())));
         // Deterministic: same seed reproduces the file.
-        run(&s(&["synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str]))
-            .unwrap();
+        run(&s(&[
+            "synth", "--site", "rockyou", "--n", "500", "--seed", "3", "--clean", "--out", &out_str,
+        ]))
+        .unwrap();
         assert_eq!(read_lines(&out_str).unwrap(), lines);
         std::fs::remove_file(out).ok();
     }
@@ -343,7 +580,14 @@ mod tests {
         ]))
         .unwrap();
         // Missing files surface as errors, not panics.
-        assert!(run(&s(&["eval", "--guesses", "/nonexistent", "--test", "/nonexistent"])).is_err());
+        assert!(run(&s(&[
+            "eval",
+            "--guesses",
+            "/nonexistent",
+            "--test",
+            "/nonexistent"
+        ]))
+        .is_err());
         std::fs::remove_file(guesses).ok();
         std::fs::remove_file(test).ok();
     }

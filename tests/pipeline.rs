@@ -15,12 +15,22 @@ fn smoke_split() -> pagpass::datasets::Split {
 }
 
 fn smoke_config() -> GptConfig {
-    GptConfig { vocab_size: VOCAB_SIZE, ctx_len: 32, dim: 16, n_layers: 1, n_heads: 2 }
+    GptConfig {
+        vocab_size: VOCAB_SIZE,
+        ctx_len: 32,
+        dim: 16,
+        n_layers: 1,
+        n_heads: 2,
+    }
 }
 
 fn quick_train(kind: ModelKind, split: &pagpass::datasets::Split) -> PasswordModel {
     let mut model = PasswordModel::new(kind, smoke_config(), 3);
-    let config = TrainConfig { epochs: 2, max_batches_per_epoch: Some(40), ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 2,
+        max_batches_per_epoch: Some(40),
+        ..TrainConfig::default()
+    };
     let report = model.train(&split.train, &split.validation, &config);
     assert!(!report.epoch_losses.is_empty());
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
@@ -72,7 +82,10 @@ fn passgpt_guided_generation_conforms_by_construction() {
         for pattern in patterns {
             let guesses = model.generate_guided(pattern, 20, 1.0, 9);
             for pw in &guesses {
-                assert!(pattern.matches(pw), "filtered generation must conform: {pw}");
+                assert!(
+                    pattern.matches(pw),
+                    "filtered generation must conform: {pw}"
+                );
             }
             let hit = eval.score_pattern(pattern, &guesses);
             assert!(hit.test_conforming > 0, "targets come from the test set");
@@ -90,7 +103,11 @@ fn dcgen_reduces_repeats_relative_to_free_generation() {
     let free = model.generate_free(n, 1.0, 8);
     let dc = DcGen::new(
         &model,
-        DcGenConfig { threshold: 64, seed: 8, ..DcGenConfig::new(n as u64) },
+        DcGenConfig {
+            threshold: 64,
+            seed: 8,
+            ..DcGenConfig::new(n as u64)
+        },
     )
     .run(&patterns)
     .expect("PagPassGPT kind");
@@ -106,7 +123,10 @@ fn dcgen_reduces_repeats_relative_to_free_generation() {
     );
     // Budget roughly conserved.
     let produced = dc.passwords.len();
-    assert!(produced as f64 > n as f64 * 0.4, "produced {produced} of {n}");
+    assert!(
+        produced as f64 > n as f64 * 0.4,
+        "produced {produced} of {n}"
+    );
 }
 
 #[test]
@@ -151,7 +171,11 @@ fn deep_baselines_produce_scorable_guesses() {
     let mut flow = PassFlow::new(FlowConfig::tiny(), 3);
     flow.train(&split.train, 2);
 
-    for guesses in [gan.generate(200, 9), vae.generate(200, 9), flow.generate(200, 9)] {
+    for guesses in [
+        gan.generate(200, 9),
+        vae.generate(200, 9),
+        flow.generate(200, 9),
+    ] {
         assert_eq!(guesses.len(), 200);
         let r = hit_rate(&guesses, &split.test);
         assert!(r.rate() <= 1.0);
@@ -169,7 +193,10 @@ fn model_save_load_preserves_guessing_behaviour() {
     let path = dir.join("e2e.pagnn");
     model.save(&path).unwrap();
     let loaded = PasswordModel::load(ModelKind::PagPassGpt, &path).unwrap();
-    assert_eq!(model.generate_free(30, 1.0, 12), loaded.generate_free(30, 1.0, 12));
+    assert_eq!(
+        model.generate_free(30, 1.0, 12),
+        loaded.generate_free(30, 1.0, 12)
+    );
     let pattern: Pattern = "L5N2".parse().unwrap();
     assert_eq!(
         model.generate_guided(&pattern, 10, 1.0, 13),
