@@ -7,8 +7,9 @@ use pagpass_eval::GuessCurve;
 use pagpass_nn::GptConfig;
 use pagpass_patterns::PatternDistribution;
 use pagpass_pcfg::PcfgModel;
+use pagpass_telemetry::{LogFormat, Telemetry};
 use pagpass_tokenizer::VOCAB_SIZE;
-use pagpassgpt::{DcGen, DcGenConfig, ModelKind, PasswordModel};
+use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, ModelKind, PasswordModel};
 
 fn tiny_model() -> PasswordModel {
     PasswordModel::new(
@@ -57,6 +58,27 @@ fn bench_dcgen(c: &mut Criterion) {
                 },
             );
             std::hint::black_box(dc.run(&patterns).unwrap())
+        });
+    });
+    // Same run with live telemetry attached; comparing against the run
+    // above measures the instrumentation overhead (budgeted at <2%: the
+    // hot path only touches relaxed atomics and a quiet sink).
+    let tel = Telemetry::new(LogFormat::Text, true);
+    group.bench_function("budget_1000_threshold_64_telemetry", |b| {
+        b.iter(|| {
+            let dc = DcGen::new(
+                &model,
+                DcGenConfig {
+                    threshold: 64,
+                    seed: 5,
+                    ..DcGenConfig::new(1_000)
+                },
+            );
+            let opts = DcGenOptions {
+                telemetry: Some(&tel),
+                ..DcGenOptions::default()
+            };
+            std::hint::black_box(dc.run_with(&patterns, &opts).unwrap())
         });
     });
     group.finish();

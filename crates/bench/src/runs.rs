@@ -5,11 +5,26 @@
 use pagpass_datasets::Site;
 use pagpass_eval::{GuessCurve, PatternGuidedEval};
 use pagpass_patterns::PatternDistribution;
-use pagpassgpt::{DcGen, DcGenConfig, ModelKind};
+use pagpass_telemetry::{LogFormat, Telemetry};
+use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, ModelKind};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{load_json, save_json};
 use crate::Context;
+
+/// A quiet [`Telemetry`] for one expensive run: phase timers record into
+/// it, and the final snapshot rides along on the saved JSON report so a
+/// cached result still says where its wall-clock went.
+fn run_telemetry() -> Telemetry {
+    Telemetry::new(LogFormat::Text, true)
+}
+
+/// The registry frozen as a JSON document, for embedding in a report.
+/// Stored as a string so the report types stay independent of any JSON
+/// value representation; parse it with `pagpass_telemetry::parse_json`.
+fn snapshot_value(tel: &Telemetry) -> String {
+    tel.snapshot().to_json()
+}
 
 /// One model's guess-stream evaluation in the trawling test.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +48,11 @@ pub struct TrawlingRuns {
     pub test_size: usize,
     /// Per-model curves.
     pub models: Vec<ModelCurve>,
+    /// Metrics snapshot of the run that produced this result, as a JSON
+    /// document (per-phase wall-clock, D&C-GEN counters). Empty on reports
+    /// cached before the field existed.
+    #[serde(default)]
+    pub telemetry: String,
 }
 
 /// Computes (or loads) the trawling runs.
@@ -49,52 +69,48 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
     let split = ctx.split(site);
     let budgets = ctx.scale.budgets.clone();
     let n = *budgets.last().expect("budgets are non-empty");
+    let tel = run_telemetry();
     let mut models = Vec::new();
 
     let gan = ctx.gan_model(site);
     eprintln!("[gen] PassGAN x{n}");
-    models.push(curve(
-        "PassGAN",
-        &gan.generate(n, ctx.seed ^ 1),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.passgan");
+        gan.generate(n, ctx.seed ^ 1)
+    };
+    models.push(curve("PassGAN", &guesses, &split.test, &budgets));
 
     let vae = ctx.vae_model(site);
     eprintln!("[gen] VAEPass x{n}");
-    models.push(curve(
-        "VAEPass",
-        &vae.generate(n, ctx.seed ^ 2),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.vaepass");
+        vae.generate(n, ctx.seed ^ 2)
+    };
+    models.push(curve("VAEPass", &guesses, &split.test, &budgets));
 
     let flow = ctx.flow_model(site);
     eprintln!("[gen] PassFlow x{n}");
-    models.push(curve(
-        "PassFlow",
-        &flow.generate(n, ctx.seed ^ 3),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.passflow");
+        flow.generate(n, ctx.seed ^ 3)
+    };
+    models.push(curve("PassFlow", &guesses, &split.test, &budgets));
 
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
     eprintln!("[gen] PassGPT x{n}");
-    models.push(curve(
-        "PassGPT",
-        &passgpt.generate_free(n, 1.0, ctx.seed ^ 4),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.passgpt");
+        passgpt.generate_free(n, 1.0, ctx.seed ^ 4)
+    };
+    models.push(curve("PassGPT", &guesses, &split.test, &budgets));
 
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
     eprintln!("[gen] PagPassGPT x{n}");
-    models.push(curve(
-        "PagPassGPT",
-        &pagpass.generate_free(n, 1.0, ctx.seed ^ 5),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.pagpassgpt");
+        pagpass.generate_free(n, 1.0, ctx.seed ^ 5)
+    };
+    models.push(curve("PagPassGPT", &guesses, &split.test, &budgets));
 
     // D&C-GEN takes the budget N as an *input* (Algorithm 1), so each
     // budget is its own run — checkpointing one stream would evaluate
@@ -108,6 +124,7 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
     };
     for &budget in &budgets {
         eprintln!("[gen] PagPassGPT-D&C x{budget}");
+        let _t = tel.timer("bench.gen.dcgen");
         let dc = DcGen::new(
             &pagpass,
             DcGenConfig {
@@ -116,7 +133,13 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
                 ..DcGenConfig::new(budget as u64)
             },
         )
-        .run(&train_patterns)
+        .run_with(
+            &train_patterns,
+            &DcGenOptions {
+                telemetry: Some(&tel),
+                ..DcGenOptions::default()
+            },
+        )
         .expect("PagPassGPT model kind");
         dc_curve
             .hit_rates
@@ -134,21 +157,25 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
     // probability-based families it surveys in §II-B2.
     let pcfg = ctx.pcfg_model(site);
     eprintln!("[gen] PCFG x{n}");
-    models.push(curve("PCFG (ext)", &pcfg.guesses(n), &split.test, &budgets));
+    let guesses = {
+        let _t = tel.timer("bench.gen.pcfg");
+        pcfg.guesses(n)
+    };
+    models.push(curve("PCFG (ext)", &guesses, &split.test, &budgets));
     let markov = ctx.markov_model(site);
     eprintln!("[gen] Markov x{n}");
-    models.push(curve(
-        "Markov-3 (ext)",
-        &markov.sample_many(n, 12, ctx.seed ^ 7),
-        &split.test,
-        &budgets,
-    ));
+    let guesses = {
+        let _t = tel.timer("bench.gen.markov");
+        markov.sample_many(n, 12, ctx.seed ^ 7)
+    };
+    models.push(curve("Markov-3 (ext)", &guesses, &split.test, &budgets));
 
     let runs = TrawlingRuns {
         scale: ctx.scale.name.clone(),
         budgets,
         test_size: split.test.len(),
         models,
+        telemetry: snapshot_value(&tel),
     };
     save_json(&key, &runs);
     runs
@@ -209,6 +236,10 @@ pub struct GuidedRuns {
     pub patterns: Vec<GuidedPatternResult>,
     /// `(segments, HR_s PassGPT, HR_s PagPassGPT)` per category.
     pub categories: Vec<(usize, f64, f64)>,
+    /// Metrics snapshot of the producing run as a JSON document (empty on
+    /// older caches).
+    #[serde(default)]
+    pub telemetry: String,
 }
 
 /// Computes (or loads) the pattern-guided runs.
@@ -228,6 +259,7 @@ pub fn guided_runs(ctx: &Context) -> GuidedRuns {
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
     let n = ctx.scale.guided_per_pattern;
+    let tel = run_telemetry();
 
     let mut patterns = Vec::new();
     let mut categories = Vec::new();
@@ -236,8 +268,14 @@ pub fn guided_runs(ctx: &Context) -> GuidedRuns {
         let mut cat_results_pag = Vec::new();
         for pattern in pats {
             eprintln!("[guided] {pattern} x{n} (category {segments})");
-            let g_pass = passgpt.generate_guided(pattern, n, 1.0, ctx.seed ^ 11);
-            let g_pag = pagpass.generate_guided(pattern, n, 1.0, ctx.seed ^ 12);
+            let g_pass = {
+                let _t = tel.timer("bench.guided.passgpt");
+                passgpt.generate_guided(pattern, n, 1.0, ctx.seed ^ 11)
+            };
+            let g_pag = {
+                let _t = tel.timer("bench.guided.pagpassgpt");
+                pagpass.generate_guided(pattern, n, 1.0, ctx.seed ^ 12)
+            };
             let hit_pass = eval.score_pattern(pattern, &g_pass);
             let hit_pag = eval.score_pattern(pattern, &g_pag);
             patterns.push(GuidedPatternResult {
@@ -261,6 +299,7 @@ pub fn guided_runs(ctx: &Context) -> GuidedRuns {
         per_pattern: n,
         patterns,
         categories,
+        telemetry: snapshot_value(&tel),
     };
     save_json(&key, &runs);
     runs
@@ -278,6 +317,10 @@ pub struct DistributionRuns {
     /// PagPassGPT distances at growing generation counts
     /// `(n, length distance, pattern distance)` (Fig. 11).
     pub pagpass_curve: Vec<(usize, f64, f64)>,
+    /// Metrics snapshot of the producing run as a JSON document (empty on
+    /// older caches).
+    #[serde(default)]
+    pub telemetry: String,
 }
 
 /// Computes (or loads) the distribution runs.
@@ -294,6 +337,7 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
     let split = ctx.split(site);
     let n = ctx.scale.distribution_n;
     let test = &split.test;
+    let tel = run_telemetry();
     let mut models = Vec::new();
 
     let measure = |name: &str, guesses: &[String], models: &mut Vec<(String, f64, f64)>| {
@@ -305,33 +349,36 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
     };
 
     eprintln!("[dist] PassGAN x{n}");
-    measure(
-        "PassGAN",
-        &ctx.gan_model(site).generate(n, ctx.seed ^ 21),
-        &mut models,
-    );
+    let guesses = {
+        let _t = tel.timer("bench.dist.passgan");
+        ctx.gan_model(site).generate(n, ctx.seed ^ 21)
+    };
+    measure("PassGAN", &guesses, &mut models);
     eprintln!("[dist] VAEPass x{n}");
-    measure(
-        "VAEPass",
-        &ctx.vae_model(site).generate(n, ctx.seed ^ 22),
-        &mut models,
-    );
+    let guesses = {
+        let _t = tel.timer("bench.dist.vaepass");
+        ctx.vae_model(site).generate(n, ctx.seed ^ 22)
+    };
+    measure("VAEPass", &guesses, &mut models);
     eprintln!("[dist] PassFlow x{n}");
-    measure(
-        "PassFlow",
-        &ctx.flow_model(site).generate(n, ctx.seed ^ 23),
-        &mut models,
-    );
+    let guesses = {
+        let _t = tel.timer("bench.dist.passflow");
+        ctx.flow_model(site).generate(n, ctx.seed ^ 23)
+    };
+    measure("PassFlow", &guesses, &mut models);
     eprintln!("[dist] PassGPT x{n}");
     let passgpt = ctx.gpt_model(ModelKind::PassGpt, site);
-    measure(
-        "PassGPT",
-        &passgpt.generate_free(n, 1.0, ctx.seed ^ 24),
-        &mut models,
-    );
+    let guesses = {
+        let _t = tel.timer("bench.dist.passgpt");
+        passgpt.generate_free(n, 1.0, ctx.seed ^ 24)
+    };
+    measure("PassGPT", &guesses, &mut models);
     eprintln!("[dist] PagPassGPT x{n}");
     let pagpass = ctx.gpt_model(ModelKind::PagPassGpt, site);
-    let pag_guesses = pagpass.generate_free(n, 1.0, ctx.seed ^ 25);
+    let pag_guesses = {
+        let _t = tel.timer("bench.dist.pagpassgpt");
+        pagpass.generate_free(n, 1.0, ctx.seed ^ 25)
+    };
     measure("PagPassGPT", &pag_guesses, &mut models);
 
     // Fig. 11: distances over growing prefixes of the PagPassGPT stream.
@@ -352,6 +399,7 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
         generated: n,
         models,
         pagpass_curve,
+        telemetry: snapshot_value(&tel),
     };
     save_json(&key, &runs);
     runs

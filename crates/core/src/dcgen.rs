@@ -1,10 +1,11 @@
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 use pagpass_nn::Rng;
 use pagpass_patterns::{Pattern, PatternDistribution};
+use pagpass_telemetry::{Counter, Field, Gauge, Histogram, Telemetry, DEPTH_BOUNDS};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +97,10 @@ pub struct DcGenOptions<'a> {
     /// Streaming output; when set, passwords go to the sink batch by batch
     /// and [`DcGenReport::passwords`] stays empty (bounded memory).
     pub sink: Option<&'a dyn PasswordSink>,
+    /// Telemetry: metric registration plus structured events. `None` falls
+    /// back to [`Telemetry::disabled`] — the run still counts into a silent
+    /// registry, at the cost of a few relaxed atomics per task.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 impl std::fmt::Debug for DcGenOptions<'_> {
@@ -106,6 +111,7 @@ impl std::fmt::Debug for DcGenOptions<'_> {
             .field("journal", &self.journal)
             .field("fault", &self.fault)
             .field("sink", &self.sink.map(|_| "dyn PasswordSink"))
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -147,6 +153,12 @@ pub struct DcGenReport {
     pub failed_tasks: Vec<FailedTask>,
     /// Task executions that panicked and were retried.
     pub retries: u64,
+    /// Duplicate passwords observed within leaves (including any counted
+    /// by a resumed journal). Subtasks are disjoint, so repeats can *only*
+    /// occur inside one leaf: `leaf_duplicates / emitted` is the run's
+    /// exact observed repeat rate, even when passwords streamed to a sink.
+    #[serde(default)]
+    pub leaf_duplicates: u64,
     /// Whether the run stopped early (cancellation or deadline) with tasks
     /// still pending. A journaled interrupted run can be continued with
     /// [`DcGen::resume`].
@@ -168,6 +180,7 @@ impl DcGenReport {
             emitted: 0,
             failed_tasks: Vec::new(),
             retries: 0,
+            leaf_duplicates: 0,
             interrupted: false,
             journal_errors: 0,
         }
@@ -245,11 +258,68 @@ struct PoolState {
     deleted: usize,
     patterns_used: usize,
     retries: u64,
+    /// Within-leaf duplicate passwords observed so far.
+    leaf_duplicates: u64,
     failed: Vec<FailedTask>,
     passwords: Vec<String>,
     stopping: bool,
     journal_errors: u64,
     sink_error: Option<std::io::Error>,
+}
+
+/// Pre-created telemetry handles for the pool's hot path. Handles are
+/// cheap `Arc`s over atomics; creating them once up front keeps the
+/// registry's name map out of the per-task path entirely.
+struct PoolMetrics {
+    passwords: Counter,
+    duplicates: Counter,
+    tasks_completed: Counter,
+    tasks_failed: Counter,
+    retries: Counter,
+    leaves: Counter,
+    expansions: Counter,
+    deleted: Counter,
+    journal_writes: Counter,
+    journal_errors: Counter,
+    queue_depth: Gauge,
+    workers_busy: Gauge,
+    queue_depth_hist: Histogram,
+    task_ms: Histogram,
+    journal_ms: Histogram,
+}
+
+impl PoolMetrics {
+    fn new(tel: &Telemetry) -> PoolMetrics {
+        PoolMetrics {
+            passwords: tel.counter("dcgen.passwords"),
+            duplicates: tel.counter("dcgen.leaf_duplicates"),
+            tasks_completed: tel.counter("dcgen.tasks_completed"),
+            tasks_failed: tel.counter("dcgen.tasks_failed"),
+            retries: tel.counter("dcgen.task_retries"),
+            leaves: tel.counter("dcgen.leaf_tasks"),
+            expansions: tel.counter("dcgen.expansions"),
+            deleted: tel.counter("dcgen.deleted_tasks"),
+            journal_writes: tel.counter("dcgen.journal_writes"),
+            journal_errors: tel.counter("dcgen.journal_errors"),
+            queue_depth: tel.gauge("dcgen.queue_depth"),
+            workers_busy: tel.gauge("dcgen.workers_busy"),
+            queue_depth_hist: tel.registry().histogram("dcgen.queue_depth.hist", DEPTH_BOUNDS),
+            task_ms: tel.histogram_ms("dcgen.task.ms"),
+            journal_ms: tel.histogram_ms("dcgen.journal.ms"),
+        }
+    }
+
+    /// Refreshes the pool-shape gauges from the shared state.
+    fn observe_pool(&self, s: &PoolState) {
+        self.queue_depth.set(s.queue.len() as f64);
+        self.workers_busy.set(s.in_flight.len() as f64);
+    }
+}
+
+/// Duplicates inside one leaf's batch (the only place repeats can occur).
+fn count_batch_duplicates(pwds: &[String]) -> u64 {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(pwds.len());
+    pwds.iter().filter(|p| !seen.insert(p.as_str())).count() as u64
 }
 
 /// What one task execution produced (computed outside the lock).
@@ -376,6 +446,7 @@ impl<'a> DcGen<'a> {
             deleted: deleted_up_front,
             patterns_used,
             retries: 0,
+            leaf_duplicates: 0,
             failed: Vec::new(),
             passwords: Vec::new(),
             stopping: false,
@@ -443,6 +514,7 @@ impl<'a> DcGen<'a> {
             deleted: journal.deleted,
             patterns_used: journal.patterns_used,
             retries: journal.retries,
+            leaf_duplicates: journal.leaf_duplicates,
             failed: journal.failed.clone(),
             passwords: Vec::new(),
             stopping: false,
@@ -464,6 +536,23 @@ impl<'a> DcGen<'a> {
         let threshold = self.config.threshold as f64;
         let total = self.config.total;
         let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+        let tel: &Telemetry = match opts.telemetry {
+            Some(tel) => tel,
+            None => Telemetry::disabled(),
+        };
+        let metrics = PoolMetrics::new(tel);
+        let run_timer = tel.timer("dcgen.run");
+        tel.event(
+            "progress",
+            "dcgen.start",
+            &[
+                ("total", Field::U64(total)),
+                ("threshold", Field::U64(self.config.threshold)),
+                ("workers", Field::U64(self.config.workers.max(1) as u64)),
+                ("queued", Field::U64(state.queue.len() as u64)),
+                ("resumed_emitted", Field::U64(state.emitted)),
+            ],
+        );
         let state = Mutex::new(state);
         let work_ready = Condvar::new();
         let workers = self.config.workers.max(1);
@@ -472,6 +561,7 @@ impl<'a> DcGen<'a> {
             for _ in 0..workers {
                 let state = &state;
                 let work_ready = &work_ready;
+                let metrics = &metrics;
                 scope.spawn(move || loop {
                     // ---- acquire: take a task or park until one appears.
                     let (task, leaf_n) = {
@@ -501,6 +591,8 @@ impl<'a> DcGen<'a> {
                                     n as usize
                                 });
                                 s.in_flight.push(task.clone());
+                                metrics.observe_pool(&s);
+                                metrics.queue_depth_hist.record(s.queue.len() as f64);
                                 break (task, leaf_n);
                             }
                             if s.in_flight.is_empty() {
@@ -519,6 +611,7 @@ impl<'a> DcGen<'a> {
 
                     // ---- execute outside the lock, inside a panic boundary.
                     let pattern = &pattern_list[task.pattern_idx];
+                    let task_started = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
                             panic!("{INJECTED_PANIC}");
@@ -563,6 +656,16 @@ impl<'a> DcGen<'a> {
                         }
                     }));
 
+                    metrics
+                        .task_ms
+                        .record(task_started.elapsed().as_secs_f64() * 1e3);
+                    // Duplicate counting hashes the whole batch — do it
+                    // before taking the lock.
+                    let batch_dups = match &outcome {
+                        Ok(TaskOutput::Leaf(pwds)) => count_batch_duplicates(pwds),
+                        _ => 0,
+                    };
+
                     // ---- commit under the lock.
                     let mut s = state.lock();
                     if let Some(pos) = s.in_flight.iter().position(|t| t.id == task.id) {
@@ -581,14 +684,21 @@ impl<'a> DcGen<'a> {
                                     work_ready.notify_all();
                                     return;
                                 }
-                            } else {
+                            }
+                            s.leaf_duplicates += batch_dups;
+                            metrics.leaves.inc();
+                            metrics.passwords.add(pwds.len() as u64);
+                            metrics.duplicates.add(batch_dups);
+                            if opts.sink.is_none() {
                                 s.passwords.extend(pwds);
                             }
-                            self.finish_task(&mut s, pattern_list, opts);
+                            self.finish_task(&mut s, pattern_list, opts, metrics);
                         }
                         Ok(TaskOutput::Split { children, deleted }) => {
                             s.expansions += 1;
                             s.deleted += deleted;
+                            metrics.expansions.inc();
+                            metrics.deleted.add(deleted as u64);
                             for (prefix, quota) in children {
                                 let id = s.next_id;
                                 s.next_id += 1;
@@ -600,7 +710,7 @@ impl<'a> DcGen<'a> {
                                     retries_left: self.config.max_task_retries,
                                 });
                             }
-                            self.finish_task(&mut s, pattern_list, opts);
+                            self.finish_task(&mut s, pattern_list, opts, metrics);
                             work_ready.notify_all();
                         }
                         Err(payload) => {
@@ -611,12 +721,14 @@ impl<'a> DcGen<'a> {
                             }
                             if task.retries_left > 0 {
                                 s.retries += 1;
+                                metrics.retries.inc();
                                 s.queue.push_back(Task {
                                     retries_left: task.retries_left - 1,
                                     ..task
                                 });
                                 work_ready.notify_all();
                             } else {
+                                metrics.tasks_failed.inc();
                                 s.failed.push(FailedTask {
                                     pattern: pattern.to_string(),
                                     prefix: task.prefix.clone(),
@@ -626,6 +738,7 @@ impl<'a> DcGen<'a> {
                             }
                         }
                     }
+                    metrics.observe_pool(&s);
                 });
             }
         });
@@ -633,8 +746,21 @@ impl<'a> DcGen<'a> {
         let mut s = state.into_inner();
         let interrupted = !s.queue.is_empty();
         if let Some(path) = opts.journal {
-            self.write_journal(&mut s, pattern_list, path, opts.fault);
+            self.write_journal(&mut s, pattern_list, path, opts.fault, &metrics);
         }
+        metrics.observe_pool(&s);
+        drop(run_timer); // records dcgen.run.ms before the final event
+        tel.event(
+            "progress",
+            "dcgen.done",
+            &[
+                ("emitted", Field::U64(s.emitted)),
+                ("leaves", Field::U64(s.leaves as u64)),
+                ("expansions", Field::U64(s.expansions as u64)),
+                ("failed_tasks", Field::U64(s.failed.len() as u64)),
+                ("interrupted", Field::Bool(interrupted)),
+            ],
+        );
         if let Some(e) = s.sink_error {
             return Err(CoreError::Io(e));
         }
@@ -647,6 +773,7 @@ impl<'a> DcGen<'a> {
             emitted: s.emitted,
             failed_tasks: s.failed,
             retries: s.retries,
+            leaf_duplicates: s.leaf_duplicates,
             interrupted,
             journal_errors: s.journal_errors,
         })
@@ -654,12 +781,19 @@ impl<'a> DcGen<'a> {
 
     /// Post-completion bookkeeping: success counter, periodic journal,
     /// injected kill point.
-    fn finish_task(&self, s: &mut PoolState, pattern_list: &[Pattern], opts: &DcGenOptions<'_>) {
+    fn finish_task(
+        &self,
+        s: &mut PoolState,
+        pattern_list: &[Pattern],
+        opts: &DcGenOptions<'_>,
+        metrics: &PoolMetrics,
+    ) {
         s.completed += 1;
+        metrics.tasks_completed.inc();
         if let Some(path) = opts.journal {
             let every = self.config.journal_every;
             if every > 0 && s.completed.is_multiple_of(every) {
-                self.write_journal(s, pattern_list, path, opts.fault);
+                self.write_journal(s, pattern_list, path, opts.fault, metrics);
             }
         }
         if opts.fault.is_some_and(|f| f.should_cancel(s.completed)) {
@@ -676,6 +810,7 @@ impl<'a> DcGen<'a> {
         pattern_list: &[Pattern],
         path: &Path,
         fault: Option<&FaultPlan>,
+        metrics: &PoolMetrics,
     ) {
         let journal = DcGenJournal {
             total: self.config.total,
@@ -693,6 +828,7 @@ impl<'a> DcGen<'a> {
             deleted: s.deleted,
             patterns_used: s.patterns_used,
             retries: s.retries,
+            leaf_duplicates: s.leaf_duplicates,
             next_id: s.next_id,
             tasks: s
                 .queue
@@ -708,9 +844,14 @@ impl<'a> DcGen<'a> {
             failed: s.failed.clone(),
         };
         let injected = fault.is_some_and(FaultPlan::take_write_failure);
+        let started = Instant::now();
         if injected || journal.save(path).is_err() {
             s.journal_errors += 1;
+            metrics.journal_errors.inc();
+        } else {
+            metrics.journal_writes.inc();
         }
+        metrics.journal_ms.record(started.elapsed().as_secs_f64() * 1e3);
     }
 }
 

@@ -77,6 +77,9 @@ pub struct DcGenJournal {
     pub patterns_used: usize,
     /// Task retries performed so far.
     pub retries: u64,
+    /// Within-leaf duplicate passwords observed so far (repeats can only
+    /// arise inside one leaf, so this is the run's total duplicate count).
+    pub leaf_duplicates: u64,
     /// Next unassigned task id.
     pub next_id: u64,
     /// Every task not yet completed at snapshot time.
@@ -114,7 +117,7 @@ impl DcGenJournal {
         }
         let _ = writeln!(
             out,
-            "stats {} {} {} {} {} {} {} {}",
+            "stats {} {} {} {} {} {} {} {} {}",
             self.emitted,
             self.completed,
             self.leaves,
@@ -123,6 +126,7 @@ impl DcGenJournal {
             self.patterns_used,
             self.retries,
             self.next_id,
+            self.leaf_duplicates,
         );
         let _ = writeln!(out, "tasks {}", self.tasks.len());
         for t in &self.tasks {
@@ -218,7 +222,9 @@ impl DcGenJournal {
             .ok_or_else(|| bad("missing stats line"))?
             .split(' ')
             .collect();
-        if stats.len() != 8 {
+        // 8 fields is the original layout; a 9th (leaf duplicates) was
+        // appended later and defaults to 0 when reading old journals.
+        if stats.len() != 8 && stats.len() != 9 {
             return Err(bad("stats field count"));
         }
         let emitted = uint(stats[0])?;
@@ -229,6 +235,7 @@ impl DcGenJournal {
         let patterns_used = uint(stats[5])? as usize;
         let retries = uint(stats[6])?;
         let next_id = uint(stats[7])?;
+        let leaf_duplicates = stats.get(8).map_or(Ok(0), |s| uint(s))?;
 
         let n_tasks = lines
             .next()
@@ -296,6 +303,7 @@ impl DcGenJournal {
             deleted,
             patterns_used,
             retries,
+            leaf_duplicates,
             next_id,
             tasks,
             failed,
@@ -344,6 +352,7 @@ mod tests {
             deleted: 1,
             patterns_used: 2,
             retries: 1,
+            leaf_duplicates: 4,
             next_id: 11,
             tasks: vec![
                 JournalTask {
@@ -401,6 +410,32 @@ mod tests {
         j.save(&path).unwrap();
         assert_eq!(DcGenJournal::load(&path).unwrap(), j);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn legacy_eight_field_stats_line_still_loads() {
+        // Journals written before the leaf-duplicates field had an 8-field
+        // stats line; they must keep loading (duplicates default to 0).
+        let j = sample();
+        let text = j.to_text();
+        let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+        let legacy_body = text[..body_end]
+            .lines()
+            .map(|l| {
+                if l.starts_with("stats ") {
+                    l.rsplit_once(' ').unwrap().0.to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let legacy = format!("{legacy_body}crc {:08x}\n", crc32(legacy_body.as_bytes()));
+        let parsed = DcGenJournal::from_text(&legacy).unwrap();
+        assert_eq!(parsed.leaf_duplicates, 0);
+        assert_eq!(parsed.emitted, j.emitted);
+        assert_eq!(parsed.tasks, j.tasks);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::path::Path;
+use std::time::Instant;
 
 use pagpass_nn::{AdamW, Gpt, LrSchedule, Rng};
+use pagpass_telemetry::{Counter, Field, Gauge, Histogram, Telemetry};
 use pagpass_tokenizer::{TokenId, Vocab};
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +117,10 @@ pub struct TrainOptions<'a> {
     pub cancel: Option<&'a CancelToken>,
     /// Deterministic fault injection (tests only).
     pub fault: Option<&'a FaultPlan>,
+    /// Metrics + structured progress events. `None` counts into the shared
+    /// [`Telemetry::disabled`] instance and falls back to plain `eprintln!`
+    /// progress lines (governed by [`TrainConfig::log_every`]).
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 /// Loss history of a training run.
@@ -139,6 +145,44 @@ pub struct TrainingReport {
     pub checkpoint_errors: u64,
     /// Whether the run was cancelled before completing all epochs.
     pub interrupted: bool,
+}
+
+/// Metric handles for one training run, resolved once up front so the
+/// batch loop never touches the registry's name map.
+struct TrainMetrics {
+    steps: Counter,
+    tokens: Counter,
+    skipped: Counter,
+    rollbacks: Counter,
+    checkpoint_writes: Counter,
+    checkpoint_errors: Counter,
+    loss: Gauge,
+    lr: Gauge,
+    grad_norm: Gauge,
+    lr_scale: Gauge,
+    epoch: Gauge,
+    step_ms: Histogram,
+    checkpoint_ms: Histogram,
+}
+
+impl TrainMetrics {
+    fn new(tel: &Telemetry) -> TrainMetrics {
+        TrainMetrics {
+            steps: tel.counter("train.steps"),
+            tokens: tel.counter("train.tokens"),
+            skipped: tel.counter("train.skipped_steps"),
+            rollbacks: tel.counter("train.rollbacks"),
+            checkpoint_writes: tel.counter("train.checkpoint_writes"),
+            checkpoint_errors: tel.counter("train.checkpoint_errors"),
+            loss: tel.gauge("train.loss"),
+            lr: tel.gauge("train.lr"),
+            grad_norm: tel.gauge("train.grad_norm"),
+            lr_scale: tel.gauge("train.lr_scale"),
+            epoch: tel.gauge("train.epoch"),
+            step_ms: tel.histogram_ms("train.step.ms"),
+            checkpoint_ms: tel.histogram_ms("train.checkpoint.ms"),
+        }
+    }
 }
 
 impl TrainingReport {
@@ -208,6 +252,12 @@ pub(crate) fn run_training_with(
     if train_rules.is_empty() {
         return Ok(report);
     }
+    let tel: &Telemetry = match opts.telemetry {
+        Some(tel) => tel,
+        None => Telemetry::disabled(),
+    };
+    let metrics = TrainMetrics::new(tel);
+    let run_timer = tel.timer("train.run");
     let ctx = gpt.config().ctx_len;
     let mut opt = AdamW::new(config.lr);
     let batches_per_epoch = {
@@ -232,6 +282,18 @@ pub(crate) fn run_training_with(
         }
     }
 
+    tel.event(
+        "progress",
+        "train.start",
+        &[
+            ("epochs", Field::U64(config.epochs as u64)),
+            ("batch_size", Field::U64(config.batch_size as u64)),
+            ("batches_per_epoch", Field::U64(batches_per_epoch as u64)),
+            ("total_steps", Field::U64(total_steps)),
+            ("resume_step", Field::U64(progress.step)),
+        ],
+    );
+
     let mut consecutive_failures = 0u32;
     let start_epoch = progress.epoch;
     'epochs: for epoch in start_epoch..config.epochs {
@@ -255,18 +317,20 @@ pub(crate) fn run_training_with(
         {
             let (tokens, b, t, targets) = pad_batch(train_rules, chunk, ctx);
             let step = progress.step;
+            let step_started = Instant::now();
             opt.lr = schedule.lr_at(step) * progress.lr_scale;
             let mut loss = gpt.compute_grads(&tokens, b, t, Some(Vocab::PAD));
             if let Some(injected) = opts.fault.and_then(|f| f.loss_override(step)) {
                 loss = injected;
             }
-            let grads_finite = if !loss.is_finite() {
-                false
+            let grad_norm = if !loss.is_finite() {
+                f32::NAN
             } else if let Some(max_norm) = config.grad_clip {
-                gpt.clip_grad_norm(max_norm).is_finite()
+                gpt.clip_grad_norm(max_norm)
             } else {
-                gpt.grad_norm().is_finite()
+                gpt.grad_norm()
             };
+            let grads_finite = grad_norm.is_finite();
 
             if loss.is_finite() && grads_finite {
                 opt.begin_step();
@@ -276,8 +340,25 @@ pub(crate) fn run_training_with(
                 progress.epoch_loss_accum += f64::from(loss);
                 progress.epoch_batches += 1;
                 progress.tokens_seen += targets;
+                metrics.loss.set(f64::from(loss));
+                metrics.grad_norm.set(f64::from(grad_norm));
+                metrics.tokens.add(targets);
                 if config.log_every > 0 && (step + 1).is_multiple_of(config.log_every as u64) {
-                    eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", step + 1, opt.lr);
+                    if opts.telemetry.is_some() {
+                        tel.event(
+                            "progress",
+                            "train.step",
+                            &[
+                                ("step", Field::U64(step + 1)),
+                                ("lr", Field::F64(f64::from(opt.lr))),
+                                ("loss", Field::F64(f64::from(loss))),
+                                ("grad_norm", Field::F64(f64::from(grad_norm))),
+                                ("tokens_seen", Field::U64(progress.tokens_seen)),
+                            ],
+                        );
+                    } else {
+                        eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", step + 1, opt.lr);
+                    }
                 }
             } else {
                 // Divergence containment: discard the poisoned gradients,
@@ -287,11 +368,27 @@ pub(crate) fn run_training_with(
                 progress.skipped_steps.push(step);
                 consecutive_failures += 1;
                 progress.lr_scale = (progress.lr_scale * 0.5).max(MIN_LR_SCALE);
+                metrics.skipped.inc();
+                tel.event(
+                    "warn",
+                    "train.step_skipped",
+                    &[
+                        ("step", Field::U64(step)),
+                        ("loss", Field::F64(f64::from(loss))),
+                        ("lr_scale", Field::F64(f64::from(progress.lr_scale))),
+                    ],
+                );
                 if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
                     if let Some(policy) = &opts.checkpoint {
                         if rollback(gpt, &mut opt, policy.path, progress.lr_scale) {
                             progress.rollbacks += 1;
                             consecutive_failures = 0;
+                            metrics.rollbacks.inc();
+                            tel.event(
+                                "warn",
+                                "train.rollback",
+                                &[("step", Field::U64(step))],
+                            );
                         }
                     }
                 }
@@ -299,15 +396,19 @@ pub(crate) fn run_training_with(
 
             progress.step += 1;
             progress.batch_in_epoch = batch_idx + 1;
+            metrics.steps.inc();
+            metrics.lr.set(f64::from(opt.lr));
+            metrics.lr_scale.set(f64::from(progress.lr_scale));
+            metrics.step_ms.record(step_started.elapsed().as_secs_f64() * 1e3);
 
             if let Some(policy) = &opts.checkpoint {
                 if policy.every_steps > 0 && progress.step.is_multiple_of(policy.every_steps) {
-                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report);
+                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report, &metrics);
                 }
             }
             if opts.cancel.is_some_and(CancelToken::is_cancelled) {
                 if let Some(policy) = &opts.checkpoint {
-                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report);
+                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report, &metrics);
                 }
                 report.interrupted = true;
                 break 'epochs;
@@ -316,11 +417,17 @@ pub(crate) fn run_training_with(
 
         let mean = (progress.epoch_loss_accum / progress.epoch_batches.max(1) as f64) as f32;
         progress.epoch_losses.push(mean);
+        let mut epoch_fields = vec![
+            ("epoch", Field::U64(epoch as u64 + 1)),
+            ("mean_loss", Field::F64(f64::from(mean))),
+        ];
         if !val_rules.is_empty() {
-            progress
-                .val_losses
-                .push(validation_loss(gpt, val_rules, config.batch_size));
+            let val = validation_loss(gpt, val_rules, config.batch_size);
+            progress.val_losses.push(val);
+            epoch_fields.push(("val_loss", Field::F64(f64::from(val))));
         }
+        metrics.epoch.set(epoch as f64 + 1.0);
+        tel.event("progress", "train.epoch", &epoch_fields);
         progress.epoch = epoch + 1;
         progress.batch_in_epoch = 0;
         progress.epoch_loss_accum = 0.0;
@@ -333,6 +440,19 @@ pub(crate) fn run_training_with(
     report.tokens_seen = progress.tokens_seen;
     report.skipped_steps = progress.skipped_steps;
     report.rollbacks = progress.rollbacks;
+    drop(run_timer); // records train.run.ms before the final event
+    tel.event(
+        "progress",
+        "train.done",
+        &[
+            ("steps", Field::U64(report.steps)),
+            ("tokens_seen", Field::U64(report.tokens_seen)),
+            ("skipped_steps", Field::U64(report.skipped_steps.len() as u64)),
+            ("rollbacks", Field::U64(report.rollbacks)),
+            ("checkpoint_errors", Field::U64(report.checkpoint_errors)),
+            ("interrupted", Field::Bool(report.interrupted)),
+        ],
+    );
     Ok(report)
 }
 
@@ -364,6 +484,7 @@ fn rollback(gpt: &mut Gpt, opt: &mut AdamW, path: &Path, lr_scale: f32) -> bool 
 /// Saves a checkpoint, honoring injected write failures. Failures are
 /// counted on the report, never fatal: a broken disk should degrade
 /// recovery granularity, not kill a multi-hour run.
+#[allow(clippy::too_many_arguments)]
 fn save_checkpoint(
     gpt: &mut Gpt,
     opt: &AdamW,
@@ -371,12 +492,18 @@ fn save_checkpoint(
     policy: &CheckpointPolicy<'_>,
     fault: Option<&FaultPlan>,
     report: &mut TrainingReport,
+    metrics: &TrainMetrics,
 ) {
     let injected = fault.is_some_and(FaultPlan::take_write_failure);
+    let started = Instant::now();
     let ckpt = TrainCheckpoint::capture(gpt, opt, progress.clone());
     if injected || ckpt.save(policy.path).is_err() {
         report.checkpoint_errors += 1;
+        metrics.checkpoint_errors.inc();
+    } else {
+        metrics.checkpoint_writes.inc();
     }
+    metrics.checkpoint_ms.record(started.elapsed().as_secs_f64() * 1e3);
 }
 
 /// Mean loss over a held-out set (no parameter updates).

@@ -1,0 +1,175 @@
+//! Zero-dependency telemetry for long password-guessing runs: a metrics
+//! registry, span-based structured tracing, and a periodic progress
+//! reporter.
+//!
+//! The paper's headline numbers (hit rate vs. repeat rate at large budgets,
+//! the division-threshold trade-off of Algorithm 1) are properties of runs
+//! that take hours; this crate makes those runs observable while they are
+//! in flight instead of only at the end:
+//!
+//! * [`MetricsRegistry`] — lock-sharded named [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s. Handles are cheap `Arc`s over atomics;
+//!   hot paths never take a lock. [`MetricsRegistry::snapshot`] freezes
+//!   everything into a [`MetricsSnapshot`] serializable to JSON.
+//! * [`EventSink`] + [`Span`] — structured records in either human-readable
+//!   text or JSONL (`{"ts_ms", "kind", "name", "fields"}`), selected by
+//!   [`LogFormat`]; RAII spans time a scope into a histogram.
+//! * [`Reporter`] — a background thread sampling the registry every N
+//!   seconds and emitting derived rates (passwords/sec, tasks/sec, …).
+//!
+//! [`Telemetry`] bundles one registry with one sink; the rest of the
+//! workspace threads `Option<&Telemetry>` through its options structs and
+//! falls back to [`Telemetry::disabled`] (counts, but never prints).
+//!
+//! # Examples
+//!
+//! ```
+//! use pagpass_telemetry::{LogFormat, Telemetry};
+//!
+//! let tel = Telemetry::new(LogFormat::Text, /* quiet = */ true);
+//! let emitted = tel.counter("gen.passwords");
+//! {
+//!     let _span = tel.timer("gen.batch"); // records gen.batch.ms on drop
+//!     emitted.add(256);
+//! }
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.counters["gen.passwords"], 256);
+//! assert_eq!(snap.histograms["gen.batch.ms"].count, 1);
+//! ```
+
+mod json;
+mod registry;
+mod reporter;
+mod trace;
+
+use std::io::Write;
+use std::sync::OnceLock;
+
+pub use json::{parse_json, JsonValue};
+pub use registry::{
+    wall_clock_ms, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DEPTH_BOUNDS, LATENCY_MS_BOUNDS,
+};
+pub use reporter::Reporter;
+pub use trace::{EventSink, Field, LogFormat, Span};
+
+/// One registry plus one sink: everything a run needs to be observable.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    sink: EventSink,
+}
+
+impl Telemetry {
+    /// Telemetry writing events to stderr.
+    #[must_use]
+    pub fn new(format: LogFormat, quiet: bool) -> Telemetry {
+        Telemetry {
+            registry: MetricsRegistry::new(),
+            sink: EventSink::stderr(format, quiet),
+        }
+    }
+
+    /// Telemetry writing events to an arbitrary writer (tests).
+    #[must_use]
+    pub fn to_writer(format: LogFormat, out: Box<dyn Write + Send>) -> Telemetry {
+        Telemetry {
+            registry: MetricsRegistry::new(),
+            sink: EventSink::to_writer(format, false, out),
+        }
+    }
+
+    /// A shared silent instance. Instrumented code paths that were handed
+    /// no telemetry use this: metric updates still happen (they are a few
+    /// relaxed atomics) but nothing is ever printed and the registry is
+    /// never read.
+    #[must_use]
+    pub fn disabled() -> &'static Telemetry {
+        static DISABLED: OnceLock<Telemetry> = OnceLock::new();
+        DISABLED.get_or_init(|| Telemetry::new(LogFormat::Text, true))
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event sink.
+    #[must_use]
+    pub fn sink(&self) -> &EventSink {
+        &self.sink
+    }
+
+    /// Whether the sink drops all records.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.sink.is_quiet()
+    }
+
+    /// Counter handle (see [`MetricsRegistry::counter`]).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gauge handle (see [`MetricsRegistry::gauge`]).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Latency histogram handle with the default millisecond buckets.
+    #[must_use]
+    pub fn histogram_ms(&self, name: &str) -> Histogram {
+        self.registry.histogram(name, LATENCY_MS_BOUNDS)
+    }
+
+    /// Freezes every metric into a snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Emits one structured record through the sink.
+    pub fn event(&self, kind: &str, name: &str, fields: &[(&str, Field)]) {
+        self.sink.emit(kind, name, fields);
+    }
+
+    /// An RAII span: on drop, records `<name>.ms` into a histogram *and*
+    /// emits a `span` record.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span::new(self, name, true)
+    }
+
+    /// An RAII timer: like [`span`](Self::span) but silent — it only
+    /// records the `<name>.ms` histogram. Use for per-task timings that
+    /// would flood the event stream.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Span<'_> {
+        Span::new(self, name, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_quiet_and_counts() {
+        let tel = Telemetry::disabled();
+        assert!(tel.is_quiet());
+        tel.counter("lib.test.disabled").inc();
+        assert!(tel.snapshot().counters["lib.test.disabled"] >= 1);
+    }
+
+    #[test]
+    fn span_records_histogram() {
+        let tel = Telemetry::new(LogFormat::Text, true);
+        drop(tel.timer("phase.a"));
+        drop(tel.span("phase.a"));
+        let snap = tel.snapshot();
+        assert_eq!(snap.histograms["phase.a.ms"].count, 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! Lock-sharded metrics registry: named atomic counters, gauges, and
+//! fixed-bucket histograms, snapshotable at any time.
+//!
+//! Hot paths hold a cheap [`Counter`] / [`Gauge`] / [`Histogram`] handle
+//! (an `Arc` over atomics) obtained once by name; updating a handle never
+//! touches a lock. The registry's name → metric map is only consulted on
+//! handle creation and on [`MetricsRegistry::snapshot`], and is sharded so
+//! concurrent handle creation from many workers does not serialize.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::{write_json_f64, write_json_str};
+
+/// Number of independently locked name → metric shards.
+const SHARD_COUNT: usize = 16;
+
+/// Milliseconds since the UNIX epoch (0 if the clock is before 1970).
+#[must_use]
+pub fn wall_clock_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// A monotonically increasing event count (passwords emitted, retries, …).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (queue depth, learning rate, last loss, …),
+/// stored as `f64` bits in one atomic word.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram over `f64` samples, with lock-free recording.
+///
+/// Bucket `i` counts samples `<= bounds[i]`; one overflow bucket counts the
+/// rest. `sum`/`min`/`max` are maintained with CAS loops so means and
+/// extremes survive into snapshots exactly.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[f64]) -> HistogramCore {
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Latency bucket bounds in milliseconds (sub-millisecond through minutes).
+pub const LATENCY_MS_BOUNDS: &[f64] = &[
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10000.0, 30000.0, 60000.0,
+];
+
+/// Size bucket bounds (queue depths, batch sizes): powers of two to 64 Ki.
+pub const DEPTH_BOUNDS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0, 65536.0,
+];
+
+impl Histogram {
+    /// Records one sample. Non-finite samples are ignored (they carry no
+    /// information a bucket can hold and would poison `sum`).
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let c = &*self.0;
+        let idx = c.bounds.partition_point(|b| v > *b);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        let _ = c
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = c
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then(|| v.to_bits())
+            });
+        let _ = c
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// One named metric as stored in a shard.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The registry: a sharded map from metric name to metric.
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_telemetry::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let emitted = reg.counter("gen.passwords");
+/// emitted.add(42);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counters["gen.passwords"], 42);
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<RwLock<HashMap<String, Metric>>>,
+    hasher: RandomState,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Metric>> {
+        let mut h = self.hasher.build_hasher();
+        h.write(name.as_bytes());
+        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let shard = self.shard(name);
+        if let Some(m) = shard.read().expect("registry shard poisoned").get(name) {
+            return m.clone();
+        }
+        let mut map = shard.write().expect("registry shard poisoned");
+        map.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// a programming error, caught loudly.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use (initially 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision, as [`counter`](Self::counter).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || {
+            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use with the given
+    /// bucket bounds (ignored if the histogram already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision, as [`counter`](Self::counter).
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, || {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore::new(bounds))))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of every metric. Counters and
+    /// histograms may be mid-update; each individual value is atomic.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            ts_ms: wall_clock_ms(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for shard in &self.shards {
+            for (name, metric) in shard.read().expect("registry shard poisoned").iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let core = &*h.0;
+                        let count = core.count.load(Ordering::Relaxed);
+                        let min = f64::from_bits(core.min_bits.load(Ordering::Relaxed));
+                        let max = f64::from_bits(core.max_bits.load(Ordering::Relaxed));
+                        snap.histograms.insert(
+                            name.clone(),
+                            HistogramSnapshot {
+                                bounds: core.bounds.clone(),
+                                buckets: core
+                                    .buckets
+                                    .iter()
+                                    .map(|b| b.load(Ordering::Relaxed))
+                                    .collect(),
+                                count,
+                                sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                                min: (count > 0).then_some(min),
+                                max: (count > 0).then_some(max),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; the final entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample, when any were recorded.
+    pub min: Option<f64>,
+    /// Largest sample, when any were recorded.
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 with no samples).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Frozen state of a whole registry, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall-clock capture time, milliseconds since the UNIX epoch.
+    pub ts_ms: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a pretty-stable JSON document
+    /// (`{"ts_ms", "counters", "gauges", "histograms"}`, names sorted).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\n  \"ts_ms\": {},\n  \"counters\": {{", self.ts_ms);
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_str(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_str(&mut out, name);
+            out.push_str(": ");
+            write_json_f64(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_json_str(&mut out, name);
+            let _ = write!(out, ": {{\"count\": {}, \"sum\": ", h.count);
+            write_json_f64(&mut out, h.sum);
+            out.push_str(", \"mean\": ");
+            write_json_f64(&mut out, h.mean());
+            out.push_str(", \"min\": ");
+            write_json_f64(&mut out, h.min.unwrap_or(f64::NAN));
+            out.push_str(", \"max\": ");
+            write_json_f64(&mut out, h.max.unwrap_or(f64::NAN));
+            out.push_str(", \"bounds\": [");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_json_f64(&mut out, *b);
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collisions_panic() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("x");
+        let _g = reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 100.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.min, Some(0.5));
+        assert_eq!(hs.max, Some(100.0));
+        assert!((hs.sum - 106.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(7);
+        reg.gauge("b.depth").set(3.5);
+        reg.histogram("c.ms", LATENCY_MS_BOUNDS).record(12.0);
+        let json = reg.snapshot().to_json();
+        let v = parse_json(&json).expect("snapshot is valid JSON");
+        assert_eq!(
+            v.get("counters").unwrap().get("a.count").unwrap().as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("b.depth").unwrap().as_f64(),
+            Some(3.5)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("c.ms")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+}

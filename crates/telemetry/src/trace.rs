@@ -1,0 +1,356 @@
+//! Structured event tracing: a thread-safe sink emitting human-readable
+//! progress lines or JSONL records, and RAII timer spans.
+//!
+//! Every record carries the same schema regardless of format:
+//! `{"ts_ms", "kind", "name", "fields"}` — wall-clock timestamp, a coarse
+//! record kind (`progress`, `span`, `report`, `summary`, `warn`), a
+//! dotted event name, and a flat map of typed fields.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::{write_json_f64, write_json_str};
+use crate::registry::wall_clock_ms;
+
+/// Output format of an [`EventSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Aligned human-readable lines: `[  12.3s] kind name k=v …`.
+    #[default]
+    Text,
+    /// One JSON object per line (JSONL), machine-parseable.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s.to_lowercase().as_str() {
+            "text" => Ok(LogFormat::Text),
+            "json" | "jsonl" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (text|json)")),
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer (counts, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, rates, milliseconds).
+    F64(f64),
+    /// Free text.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+impl From<u32> for Field {
+    fn from(v: u32) -> Field {
+        Field::U64(u64::from(v))
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Field {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+impl From<f32> for Field {
+    fn from(v: f32) -> Field {
+        Field::F64(f64::from(v))
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_owned())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Field::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::F64(v) => write_json_f64(out, *v),
+            Field::Str(s) => write_json_str(out, s),
+            Field::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+
+    fn write_text(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Field::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Field::F64(v) => {
+                // Compact but informative: 4 significant decimals covers
+                // losses and rates without drowning the line.
+                let _ = write!(out, "{v:.4}");
+            }
+            Field::Str(s) => {
+                let _ = write!(out, "{s:?}");
+            }
+            Field::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+/// Thread-safe event sink.
+///
+/// Writes are serialized by an internal mutex; I/O errors are deliberately
+/// swallowed — telemetry must never take down the run it observes. A
+/// `quiet` sink drops every record (metrics keep counting regardless,
+/// since they live in the registry, not the sink).
+pub struct EventSink {
+    format: LogFormat,
+    quiet: bool,
+    start: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("format", &self.format)
+            .field("quiet", &self.quiet)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventSink {
+    /// A sink writing to stderr.
+    #[must_use]
+    pub fn stderr(format: LogFormat, quiet: bool) -> EventSink {
+        EventSink::to_writer(format, quiet, Box::new(std::io::stderr()))
+    }
+
+    /// A sink writing to an arbitrary writer (tests capture output this
+    /// way).
+    #[must_use]
+    pub fn to_writer(format: LogFormat, quiet: bool, out: Box<dyn Write + Send>) -> EventSink {
+        EventSink {
+            format,
+            quiet,
+            start: Instant::now(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Whether this sink drops all records.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// The sink's output format.
+    #[must_use]
+    pub fn format(&self) -> LogFormat {
+        self.format
+    }
+
+    /// Emits one record.
+    pub fn emit(&self, kind: &str, name: &str, fields: &[(&str, Field)]) {
+        if self.quiet {
+            return;
+        }
+        let line = match self.format {
+            LogFormat::Text => self.render_text(kind, name, fields),
+            LogFormat::Json => render_json(kind, name, fields),
+        };
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+
+    fn render_text(&self, kind: &str, name: &str, fields: &[(&str, Field)]) -> String {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(96);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let _ = write!(line, "[{elapsed:9.1}s] {kind:<8} {name}");
+        for (key, value) in fields {
+            let _ = write!(line, "  {key}=");
+            value.write_text(&mut line);
+        }
+        line.push('\n');
+        line
+    }
+}
+
+/// Renders the canonical JSONL record.
+fn render_json(kind: &str, name: &str, fields: &[(&str, Field)]) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(128);
+    let _ = write!(line, "{{\"ts_ms\":{},\"kind\":", wall_clock_ms());
+    write_json_str(&mut line, kind);
+    line.push_str(",\"name\":");
+    write_json_str(&mut line, name);
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        write_json_str(&mut line, key);
+        line.push(':');
+        value.write_json(&mut line);
+    }
+    line.push_str("}}\n");
+    line
+}
+
+/// An RAII timer. On drop it records its elapsed milliseconds into the
+/// histogram `<name>.ms` and — unless created with
+/// [`Telemetry::timer`](crate::Telemetry::timer) — emits a `span` record.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tel: &'a crate::Telemetry,
+    name: String,
+    start: Instant,
+    emit: bool,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn new(tel: &'a crate::Telemetry, name: &str, emit: bool) -> Span<'a> {
+        Span {
+            tel,
+            name: name.to_owned(),
+            start: Instant::now(),
+            emit,
+        }
+    }
+
+    /// Milliseconds since the span started.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let ms = self.elapsed_ms();
+        self.tel
+            .registry()
+            .histogram(
+                &format!("{}.ms", self.name),
+                crate::registry::LATENCY_MS_BOUNDS,
+            )
+            .record(ms);
+        if self.emit {
+            self.tel
+                .sink()
+                .emit("span", &self.name, &[("ms", Field::F64(ms))]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+    use std::sync::Arc;
+
+    /// A writer that appends into a shared buffer.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn log_format_parses() {
+        assert_eq!("text".parse::<LogFormat>().unwrap(), LogFormat::Text);
+        assert_eq!("JSON".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("yaml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn json_records_have_the_schema() {
+        let buf = SharedBuf::default();
+        let sink = EventSink::to_writer(LogFormat::Json, false, Box::new(buf.clone()));
+        sink.emit(
+            "progress",
+            "train.step",
+            &[("step", 7u64.into()), ("loss", 1.25f64.into())],
+        );
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        let v = parse_json(line.trim()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("progress"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("train.step"));
+        assert!(v.get("ts_ms").unwrap().as_f64().unwrap() > 0.0);
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("step").unwrap().as_f64(), Some(7.0));
+        assert_eq!(fields.get("loss").unwrap().as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn quiet_sink_emits_nothing() {
+        let buf = SharedBuf::default();
+        let sink = EventSink::to_writer(LogFormat::Text, true, Box::new(buf.clone()));
+        sink.emit("progress", "x", &[("a", 1u64.into())]);
+        assert!(buf.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn text_lines_are_readable() {
+        let buf = SharedBuf::default();
+        let sink = EventSink::to_writer(LogFormat::Text, false, Box::new(buf.clone()));
+        sink.emit("summary", "dcgen.done", &[("emitted", 100u64.into())]);
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.contains("summary"));
+        assert!(line.contains("dcgen.done"));
+        assert!(line.contains("emitted=100"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration tests: concurrent metric updates are lossless, JSONL
+//! records round-trip through the bundled parser, and the reporter thread
+//! shuts down cleanly (and promptly) on drop.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pagpass_telemetry::{parse_json, JsonValue, LogFormat, Reporter, Telemetry, DEPTH_BOUNDS};
+
+/// A writer appending into a shared buffer, for capturing sink output.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn take_string(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+#[test]
+fn concurrent_updates_are_lossless() {
+    const WORKERS: usize = 8;
+    const PER_WORKER: u64 = 10_000;
+    let tel = Telemetry::new(LogFormat::Text, true);
+    let counter = tel.counter("t.count");
+    let hist = tel.registry().histogram("t.depth", DEPTH_BOUNDS);
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_WORKER {
+                    counter.inc();
+                    // Mix of buckets, deterministic per worker.
+                    hist.record(((w as u64 * 7 + i) % 100) as f64);
+                }
+            });
+        }
+    });
+    let snap = tel.snapshot();
+    let total = WORKERS as u64 * PER_WORKER;
+    assert_eq!(snap.counters["t.count"], total);
+    let h = &snap.histograms["t.depth"];
+    assert_eq!(h.count, total, "no histogram sample may be dropped");
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        total,
+        "bucket totals must equal the sample count"
+    );
+    assert_eq!(h.min, Some(0.0));
+    assert_eq!(h.max, Some(99.0));
+    // Sum is exact: every recorded value is a small integer.
+    let expect_sum: f64 = (0..WORKERS as u64)
+        .flat_map(|w| (0..PER_WORKER).map(move |i| ((w * 7 + i) % 100) as f64))
+        .sum();
+    assert!((h.sum - expect_sum).abs() < 1e-6);
+}
+
+#[test]
+fn concurrent_handle_creation_is_safe() {
+    let tel = Telemetry::new(LogFormat::Text, true);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let tel = &tel;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    tel.counter(&format!("create.{i}")).inc();
+                }
+            });
+        }
+    });
+    let snap = tel.snapshot();
+    for i in 0..100 {
+        assert_eq!(snap.counters[&format!("create.{i}")], 8);
+    }
+}
+
+#[test]
+fn jsonl_records_roundtrip_through_the_parser() {
+    let buf = SharedBuf::default();
+    let tel = Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone()));
+    tel.event(
+        "progress",
+        "train.step",
+        &[
+            ("step", 41u64.into()),
+            ("loss", 2.375f64.into()),
+            ("note", "quoted \"text\"\nwith newline".into()),
+            ("healthy", true.into()),
+        ],
+    );
+    drop(tel.span("phase.load"));
+    let output = buf.take_string();
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let v = parse_json(line).expect("every record is one valid JSON line");
+        for key in ["ts_ms", "kind", "name", "fields"] {
+            assert!(v.get(key).is_some(), "schema key {key} missing in {line}");
+        }
+    }
+    let first = parse_json(lines[0]).unwrap();
+    let fields = first.get("fields").unwrap();
+    assert_eq!(fields.get("step").unwrap().as_f64(), Some(41.0));
+    assert_eq!(fields.get("loss").unwrap().as_f64(), Some(2.375));
+    assert_eq!(
+        fields.get("note").unwrap().as_str(),
+        Some("quoted \"text\"\nwith newline")
+    );
+    assert_eq!(fields.get("healthy").unwrap(), &JsonValue::Bool(true));
+    let span = parse_json(lines[1]).unwrap();
+    assert_eq!(span.get("kind").unwrap().as_str(), Some("span"));
+    assert!(span.get("fields").unwrap().get("ms").unwrap().as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn reporter_shuts_down_cleanly_on_drop() {
+    let buf = SharedBuf::default();
+    let tel = Arc::new(Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone())));
+    tel.counter("work.done").add(5);
+    // A one-hour interval: the only way this test finishes quickly is if
+    // drop actually wakes and joins the thread instead of sleeping it out.
+    let reporter = Reporter::start(Arc::clone(&tel), Duration::from_secs(3600));
+    tel.counter("work.done").add(5);
+    let started = Instant::now();
+    drop(reporter);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drop must interrupt the interval wait"
+    );
+    // The final report fired and carries the counter total.
+    let output = buf.take_string();
+    let report = output
+        .lines()
+        .find(|l| l.contains("telemetry.report"))
+        .expect("a final report is emitted on shutdown");
+    let v = parse_json(report).unwrap();
+    assert_eq!(v.get("kind").unwrap().as_str(), Some("report"));
+    assert_eq!(
+        v.get("fields").unwrap().get("work.done").unwrap().as_f64(),
+        Some(10.0)
+    );
+}
+
+#[test]
+fn reporter_emits_periodic_reports_with_rates() {
+    let buf = SharedBuf::default();
+    let tel = Arc::new(Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone())));
+    let counter = tel.counter("fast.events");
+    let reporter = Reporter::start(Arc::clone(&tel), Duration::from_millis(30));
+    let until = Instant::now() + Duration::from_millis(150);
+    while Instant::now() < until {
+        counter.add(10);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(reporter);
+    let output = buf.take_string();
+    let reports: Vec<&str> = output
+        .lines()
+        .filter(|l| l.contains("telemetry.report"))
+        .collect();
+    assert!(reports.len() >= 2, "expected multiple ticks, got {output}");
+    // At least one report saw the counter moving and derived a rate.
+    assert!(
+        reports.iter().any(|l| {
+            parse_json(l)
+                .ok()
+                .and_then(|v| v.get("fields")?.get("fast.events/s")?.as_f64())
+                .is_some_and(|rate| rate > 0.0)
+        }),
+        "no report derived a positive rate: {output}"
+    );
+}
+
+#[test]
+fn snapshot_json_is_parseable_and_complete() {
+    let tel = Telemetry::new(LogFormat::Text, true);
+    tel.counter("s.count").add(3);
+    tel.gauge("s.gauge").set(-1.5);
+    tel.histogram_ms("s.lat").record(2.0);
+    let json = tel.snapshot().to_json();
+    let v = parse_json(&json).unwrap();
+    assert_eq!(
+        v.get("counters").unwrap().get("s.count").unwrap().as_f64(),
+        Some(3.0)
+    );
+    assert_eq!(
+        v.get("gauges").unwrap().get("s.gauge").unwrap().as_f64(),
+        Some(-1.5)
+    );
+    let hist = v.get("histograms").unwrap().get("s.lat").unwrap();
+    assert_eq!(hist.get("count").unwrap().as_f64(), Some(1.0));
+    assert_eq!(hist.get("sum").unwrap().as_f64(), Some(2.0));
+}

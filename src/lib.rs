@@ -14,7 +14,8 @@
 //!   135-token vocabulary,
 //! * [`datasets`] — synthetic leak corpora, cleaning, and splits,
 //! * [`pcfg`] / [`markov`] / [`baselines`] — the comparison models,
-//! * [`eval`] — hit rate, repeat rate, and distribution distances.
+//! * [`eval`] — hit rate, repeat rate, and distribution distances,
+//! * [`telemetry`] — zero-dependency metrics, tracing, and live progress.
 //!
 //! # Examples
 //!
@@ -40,5 +41,6 @@ pub use pagpass_markov as markov;
 pub use pagpass_nn as nn;
 pub use pagpass_patterns as patterns;
 pub use pagpass_pcfg as pcfg;
+pub use pagpass_telemetry as telemetry;
 pub use pagpass_tokenizer as tokenizer;
 pub use pagpassgpt as core;

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use pagpass::core::{
@@ -25,12 +26,17 @@ use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
 use pagpass::nn::{atomic_write, GptConfig};
 use pagpass::patterns::{Pattern, PatternDistribution};
+use pagpass::telemetry::{Field, LogFormat, Reporter, Telemetry};
 use pagpass::tokenizer::VOCAB_SIZE;
+
+/// Exit code for a run that completed but abandoned subtasks after
+/// exhausting their retry budget (distinct from usage errors, code 2).
+const EXIT_TASKS_FAILED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -49,22 +55,82 @@ const USAGE: &str = "usage:
   pagpass eval     --guesses FILE --test FILE
   pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...
 
-Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
-and continue with --resume.";
+Telemetry (any subcommand):
+  --log-format <text|json>   structured stderr records (default text)
+  --log-every SECS           periodic progress reports (0 = off)
+  --metrics-out FILE         write a final metrics snapshot as JSON
+  --quiet                    suppress all stderr records
 
-fn run(args: &[String]) -> Result<(), String> {
+Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
+and continue with --resume. dcgen exits with code 3 when tasks were
+abandoned after exhausting retries.";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing subcommand".into());
     };
     let parsed = Parsed::parse(rest)?;
-    match command.as_str() {
-        "synth" => cmd_synth(&parsed),
-        "train" => cmd_train(&parsed),
-        "generate" => cmd_generate(&parsed),
-        "dcgen" => cmd_dcgen(&parsed),
+    let tel = TelemetrySetup::from_flags(&parsed)?;
+    let code = match command.as_str() {
+        "synth" => cmd_synth(&parsed, &tel),
+        "train" => cmd_train(&parsed, &tel),
+        "generate" => cmd_generate(&parsed, &tel),
+        "dcgen" => cmd_dcgen(&parsed, &tel),
         "eval" => cmd_eval(&parsed),
         "strength" => cmd_strength(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
+    }?;
+    tel.finish()?;
+    Ok(code)
+}
+
+/// Telemetry wiring shared by every subcommand: one [`Telemetry`] built
+/// from the global flags, an optional periodic [`Reporter`], and an
+/// optional final snapshot file.
+struct TelemetrySetup {
+    tel: Arc<Telemetry>,
+    reporter: Option<Reporter>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl TelemetrySetup {
+    fn from_flags(p: &Parsed) -> Result<TelemetrySetup, String> {
+        let format: LogFormat = match p.flags.get("log-format") {
+            Some(v) => v.parse()?,
+            None => LogFormat::Text,
+        };
+        let quiet = p.flags.contains_key("quiet");
+        let every: u64 = p.num("log-every", 0)?;
+        let tel = Arc::new(Telemetry::new(format, quiet));
+        let reporter =
+            (every > 0).then(|| Reporter::start(Arc::clone(&tel), Duration::from_secs(every)));
+        Ok(TelemetrySetup {
+            tel,
+            reporter,
+            metrics_out: p.flags.get("metrics-out").map(PathBuf::from),
+        })
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Emits a `summary` record (the structured replacement for the old
+    /// end-of-run `eprintln!` lines).
+    fn summary(&self, name: &str, fields: &[(&str, Field)]) {
+        self.tel.event("summary", name, fields);
+    }
+
+    /// Stops the reporter (flushing a final report) and writes the metrics
+    /// snapshot, if requested.
+    fn finish(self) -> Result<(), String> {
+        drop(self.reporter);
+        if let Some(path) = &self.metrics_out {
+            let json = self.tel.snapshot().to_json();
+            atomic_write(path, json.as_bytes())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        Ok(())
     }
 }
 
@@ -81,7 +147,7 @@ impl Parsed {
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if name == "clean" || name == "resume" {
+                if name == "clean" || name == "resume" || name == "quiet" {
                     parsed.flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -142,7 +208,7 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
 
 /// Writes `lines` to `path` atomically (temp file + rename), or to stdout.
 /// A crash mid-write leaves any previous file contents intact.
-fn write_lines(path: Option<&str>, lines: &[String]) -> Result<(), String> {
+fn write_lines(path: Option<&str>, lines: &[String], tel: &TelemetrySetup) -> Result<(), String> {
     match path {
         Some(path) => {
             let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
@@ -152,7 +218,13 @@ fn write_lines(path: Option<&str>, lines: &[String]) -> Result<(), String> {
             }
             atomic_write(Path::new(path), buf.as_bytes())
                 .map_err(|e| format!("write {path}: {e}"))?;
-            eprintln!("wrote {} lines to {path}", lines.len());
+            tel.summary(
+                "cli.wrote",
+                &[
+                    ("lines", Field::U64(lines.len() as u64)),
+                    ("path", Field::Str(path.to_owned())),
+                ],
+            );
             Ok(())
         }
         None => {
@@ -221,7 +293,7 @@ impl PasswordSink for LineSink {
 /// checkpoint). A second Ctrl-C falls back to the default handler and
 /// kills the process.
 #[cfg(unix)]
-fn install_sigint(cancel: &CancelToken) {
+fn install_sigint(cancel: &CancelToken, tel: &Arc<Telemetry>) {
     use std::sync::atomic::{AtomicBool, Ordering};
     static SIGNALLED: AtomicBool = AtomicBool::new(false);
     const SIGINT: i32 = 2;
@@ -236,9 +308,14 @@ fn install_sigint(cancel: &CancelToken) {
         signal(SIGINT, on_sigint as *const () as usize);
     }
     let cancel = cancel.clone();
+    let tel = Arc::clone(tel);
     std::thread::spawn(move || loop {
         if SIGNALLED.load(Ordering::SeqCst) {
-            eprintln!("\ninterrupted: draining (Ctrl-C again to kill)");
+            tel.event(
+                "warn",
+                "cli.interrupted",
+                &[("action", Field::Str("draining; Ctrl-C again to kill".into()))],
+            );
             cancel.cancel();
             unsafe {
                 signal(SIGINT, SIG_DFL);
@@ -250,27 +327,30 @@ fn install_sigint(cancel: &CancelToken) {
 }
 
 #[cfg(not(unix))]
-fn install_sigint(_cancel: &CancelToken) {}
+fn install_sigint(_cancel: &CancelToken, _tel: &Arc<Telemetry>) {}
 
-fn cmd_synth(p: &Parsed) -> Result<(), String> {
+fn cmd_synth(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let site = parse_site(p.required("site")?)?;
     let n: usize = p.num("n", 10_000)?;
     let seed: u64 = p.num("seed", 42)?;
     let mut leak = site.profile().generate(n, seed);
     if p.flags.contains_key("clean") {
         let report = clean(leak);
-        eprintln!(
-            "cleaned: {} unique -> {} retained ({:.1}%)",
-            report.unique_total,
-            report.retained.len(),
-            100.0 * report.retention_rate()
+        tel.summary(
+            "synth.cleaned",
+            &[
+                ("unique", Field::U64(report.unique_total as u64)),
+                ("retained", Field::U64(report.retained.len() as u64)),
+                ("retention_pct", Field::F64(100.0 * f64::from(report.retention_rate()))),
+            ],
         );
         leak = report.retained;
     }
-    write_lines(p.flags.get("out").map(String::as_str), &leak)
+    write_lines(p.flags.get("out").map(String::as_str), &leak, tel)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_train(p: &Parsed) -> Result<(), String> {
+fn cmd_train(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
     let corpus = read_lines(p.required("corpus")?)?;
     let out = p.required("out")?.to_owned();
@@ -283,7 +363,7 @@ fn cmd_train(p: &Parsed) -> Result<(), String> {
         return Err("--resume needs --checkpoint FILE".into());
     }
     let cancel = CancelToken::new();
-    install_sigint(&cancel);
+    install_sigint(&cancel, &tel.tel);
     let mut model = PasswordModel::new(kind, GptConfig::small(VOCAB_SIZE), seed);
     let config = TrainConfig {
         epochs,
@@ -299,45 +379,58 @@ fn cmd_train(p: &Parsed) -> Result<(), String> {
         resume,
         cancel: Some(&cancel),
         fault: None,
+        telemetry: Some(tel.telemetry()),
     };
     let report = model
         .train_with(&corpus, &[], &config, &opts)
         .map_err(|e| e.to_string())?;
-    eprintln!(
-        "trained {kind} on {} passwords: loss {:?} -> {:?}",
-        corpus.len(),
-        report.epoch_losses.first(),
-        report.epoch_losses.last()
+    tel.summary(
+        "train.summary",
+        &[
+            ("kind", Field::Str(kind.to_string())),
+            ("corpus", Field::U64(corpus.len() as u64)),
+            (
+                "first_loss",
+                Field::F64(report.epoch_losses.first().map_or(f64::NAN, |l| f64::from(*l))),
+            ),
+            (
+                "last_loss",
+                Field::F64(report.epoch_losses.last().map_or(f64::NAN, |l| f64::from(*l))),
+            ),
+            ("skipped_steps", Field::U64(report.skipped_steps.len() as u64)),
+        ],
     );
-    if !report.skipped_steps.is_empty() {
-        eprintln!(
-            "skipped {} non-finite steps: {:?}",
-            report.skipped_steps.len(),
-            report.skipped_steps
-        );
-    }
     if report.checkpoint_errors > 0 {
-        eprintln!(
-            "warning: {} checkpoint writes failed",
-            report.checkpoint_errors
+        tel.telemetry().event(
+            "warn",
+            "train.checkpoint_errors",
+            &[("failed_writes", Field::U64(report.checkpoint_errors))],
         );
     }
     if report.interrupted {
         let ckpt = ckpt_path
             .as_deref()
             .map_or_else(String::new, |p| p.display().to_string());
-        eprintln!(
-            "interrupted at step {}; continue with `pagpass train ... --checkpoint {ckpt} --resume`",
-            report.steps
+        tel.summary(
+            "train.interrupted",
+            &[
+                ("step", Field::U64(report.steps)),
+                (
+                    "resume_with",
+                    Field::Str(format!(
+                        "pagpass train ... --checkpoint {ckpt} --resume"
+                    )),
+                ),
+            ],
         );
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     model.save(&out).map_err(|e| e.to_string())?;
-    eprintln!("saved model to {out}");
-    Ok(())
+    tel.summary("train.saved", &[("path", Field::Str(out))]);
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_generate(p: &Parsed) -> Result<(), String> {
+fn cmd_generate(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
     let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
     let n: usize = p.num("n", 1_000)?;
@@ -352,10 +445,11 @@ fn cmd_generate(p: &Parsed) -> Result<(), String> {
         }
         None => model.generate_free(n, temp, seed),
     };
-    write_lines(p.flags.get("out").map(String::as_str), &guesses)
+    write_lines(p.flags.get("out").map(String::as_str), &guesses, tel)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
+fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let model = PasswordModel::load(ModelKind::PagPassGpt, p.required("model")?)
         .map_err(|e| e.to_string())?;
     let n: u64 = p.num("n", 10_000)?;
@@ -376,7 +470,7 @@ fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
     let out = p.flags.get("out").map(String::as_str);
 
     let cancel = CancelToken::new();
-    install_sigint(&cancel);
+    install_sigint(&cancel, &tel.tel);
 
     // With a journal + output file the run streams passwords to disk leaf
     // by leaf, so an interruption loses nothing; on resume the output file
@@ -402,6 +496,7 @@ fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
         journal: journal_path.as_deref(),
         fault: None,
         sink: sink.as_ref().map(|s| s as &dyn PasswordSink),
+        telemetry: Some(tel.telemetry()),
     };
 
     let report = match &journal {
@@ -422,38 +517,85 @@ fn cmd_dcgen(p: &Parsed) -> Result<(), String> {
         }
     };
 
-    eprintln!(
-        "D&C-GEN: {} passwords emitted from {} leaves / {} expansions",
-        report.emitted, report.leaf_tasks, report.expansions,
+    // The within-leaf duplicate count is exact even when passwords
+    // streamed straight to disk (subtasks are disjoint); prefer the full
+    // in-memory recount when it is available.
+    let repeat_pct = if report.passwords.is_empty() {
+        if report.emitted > 0 {
+            100.0 * report.leaf_duplicates as f64 / report.emitted as f64
+        } else {
+            0.0
+        }
+    } else {
+        100.0 * f64::from(repeat_rate(&report.passwords))
+    };
+    tel.summary(
+        "dcgen.summary",
+        &[
+            ("emitted", Field::U64(report.emitted)),
+            ("leaves", Field::U64(report.leaf_tasks as u64)),
+            ("expansions", Field::U64(report.expansions as u64)),
+            ("patterns_used", Field::U64(report.patterns_used as u64)),
+            ("leaf_duplicates", Field::U64(report.leaf_duplicates)),
+            ("repeat_rate_pct", Field::F64(repeat_pct)),
+        ],
     );
-    if !report.passwords.is_empty() {
-        eprintln!("repeat rate {:.2}%", 100.0 * repeat_rate(&report.passwords));
-    }
-    if report.retries > 0 || !report.failed_tasks.is_empty() {
-        eprintln!(
-            "retried {} task panics; {} tasks abandoned after exhausting retries",
-            report.retries,
-            report.failed_tasks.len()
-        );
-    }
     if report.journal_errors > 0 {
-        eprintln!("warning: {} journal writes failed", report.journal_errors);
+        tel.telemetry().event(
+            "warn",
+            "dcgen.journal_errors",
+            &[("failed_writes", Field::U64(report.journal_errors))],
+        );
     }
     if report.interrupted {
         let ckpt = journal_path
             .as_deref()
             .map_or_else(String::new, |p| p.display().to_string());
-        eprintln!("interrupted; continue with `pagpass dcgen ... --checkpoint {ckpt} --resume`");
+        tel.summary(
+            "dcgen.interrupted",
+            &[(
+                "resume_with",
+                Field::Str(format!("pagpass dcgen ... --checkpoint {ckpt} --resume")),
+            )],
+        );
     }
     if streaming {
-        eprintln!("streamed output to {}", out.unwrap_or_default());
-        Ok(())
+        tel.summary(
+            "dcgen.streamed",
+            &[("path", Field::Str(out.unwrap_or_default().to_owned()))],
+        );
     } else {
-        write_lines(out, &report.passwords)
+        write_lines(out, &report.passwords, tel)?;
+    }
+
+    // Abandoned subtasks mean the emitted set silently under-covers the
+    // requested budget; surface them and exit non-zero so scripted runs
+    // notice.
+    if report.failed_tasks.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        let mut patterns: Vec<&str> = report
+            .failed_tasks
+            .iter()
+            .map(|t| t.pattern.as_str())
+            .collect();
+        patterns.sort_unstable();
+        patterns.dedup();
+        let lost: f64 = report.failed_tasks.iter().map(|t| t.quota).sum();
+        tel.summary(
+            "dcgen.failed_tasks",
+            &[
+                ("failed", Field::U64(report.failed_tasks.len() as u64)),
+                ("retries", Field::U64(report.retries)),
+                ("quota_lost", Field::F64(lost)),
+                ("patterns", Field::Str(patterns.join(","))),
+            ],
+        );
+        Ok(ExitCode::from(EXIT_TASKS_FAILED))
     }
 }
 
-fn cmd_eval(p: &Parsed) -> Result<(), String> {
+fn cmd_eval(p: &Parsed) -> Result<ExitCode, String> {
     let guesses = read_lines(p.required("guesses")?)?;
     let test = read_lines(p.required("test")?)?;
     let hits = hit_rate(&guesses, &test);
@@ -465,10 +607,10 @@ fn cmd_eval(p: &Parsed) -> Result<(), String> {
     );
     println!("test set: {} passwords", hits.test_size);
     println!("hits: {} (hit rate {:.2}%)", hits.hits, 100.0 * hits.rate());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_strength(p: &Parsed) -> Result<(), String> {
+fn cmd_strength(p: &Parsed) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
     let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
     if p.positional.is_empty() {
@@ -484,7 +626,7 @@ fn cmd_strength(p: &Parsed) -> Result<(), String> {
             Err(e) => println!("{pw}\tunscorable ({e})"),
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -561,6 +703,75 @@ mod tests {
         .unwrap();
         assert_eq!(read_lines(&out_str).unwrap(), lines);
         std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn dcgen_smoke_run_writes_expected_metrics() {
+        use pagpass::telemetry::parse_json;
+
+        let dir = std::env::temp_dir().join("pagpass_cli_dcgen_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("corpus.txt");
+        let model_path = dir.join("model.bin");
+        let out_path = dir.join("guesses.txt");
+        let metrics_path = dir.join("metrics.json");
+
+        let corpus: Vec<String> = (0..60).map(|i| format!("pass{i:02}")).collect();
+        std::fs::write(&corpus_path, corpus.join("\n")).unwrap();
+        let mut model =
+            PasswordModel::new(ModelKind::PagPassGpt, pagpass::nn::GptConfig::tiny(VOCAB_SIZE), 1);
+        model.save(model_path.to_str().unwrap()).unwrap();
+
+        let code = run(&s(&[
+            "dcgen",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--n",
+            "200",
+            "--threshold",
+            "64",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--quiet",
+            "--log-format",
+            "json",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // ExitCode has no PartialEq; compare through Debug.
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        assert_eq!(read_lines(out_path.to_str().unwrap()).unwrap().len(), 200);
+
+        // The snapshot is one valid JSON document carrying the D&C-GEN
+        // counters, gauges, and phase timings.
+        let snapshot = std::fs::read_to_string(&metrics_path).unwrap();
+        let v = parse_json(&snapshot).expect("metrics snapshot is valid JSON");
+        let counters = v.get("counters").expect("counters section");
+        for name in [
+            "dcgen.passwords",
+            "dcgen.tasks_completed",
+            "dcgen.tasks_failed",
+            "dcgen.task_retries",
+            "dcgen.leaf_tasks",
+            "dcgen.leaf_duplicates",
+        ] {
+            assert!(counters.get(name).is_some(), "missing counter {name}");
+        }
+        assert_eq!(
+            counters.get("dcgen.passwords").unwrap().as_f64(),
+            Some(200.0)
+        );
+        let gauges = v.get("gauges").expect("gauges section");
+        assert!(gauges.get("dcgen.queue_depth").is_some());
+        assert!(gauges.get("dcgen.workers_busy").is_some());
+        let hists = v.get("histograms").expect("histograms section");
+        for name in ["dcgen.run.ms", "dcgen.task.ms"] {
+            assert!(hists.get(name).is_some(), "missing histogram {name}");
+        }
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]
