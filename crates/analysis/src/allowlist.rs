@@ -1,0 +1,201 @@
+//! The per-lint allowlist: grandfathered findings that predate a lint.
+//!
+//! Format (`analysis/allowlist.txt`, one entry per line):
+//!
+//! ```text
+//! # comment
+//! <lint-name>\t<path>\t<trimmed source line>
+//! ```
+//!
+//! Entries match on the *content* of the offending line, not its number,
+//! so unrelated edits above a site don't invalidate the allowlist. Two
+//! identical offending lines in the same file share one entry.
+//!
+//! Discipline: entries that no longer match anything are *stale* and fail
+//! the run — the allowlist only ever shrinks (or is regenerated wholesale
+//! with `pagpass analyze --update-allowlist` when a new lint lands).
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::lints::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Lint this entry silences.
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Trimmed text of the allowed line.
+    pub text: String,
+}
+
+/// A parsed allowlist plus per-entry hit tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+    hits: Vec<Cell<u64>>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Malformed lines are reported as errors so a
+    /// typo cannot silently allow nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the 1-based line number and content of the first malformed
+    /// line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(lint), Some(path), Some(text)) if !lint.is_empty() && !path.is_empty() => {
+                    entries.push(Entry {
+                        lint: lint.to_string(),
+                        path: path.to_string(),
+                        text: text.trim().to_string(),
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `<lint>\\t<path>\\t<line text>`, got {line:?}",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        let hits = entries.iter().map(|_| Cell::new(0)).collect();
+        Ok(Allowlist { entries, hits })
+    }
+
+    /// Loads the allowlist at `path`; a missing file is an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures (other than not-found) and parse errors.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Is `f` covered? Records the hit for staleness accounting.
+    #[must_use]
+    pub fn covers(&self, f: &Finding) -> bool {
+        let mut covered = false;
+        for (entry, hit) in self.entries.iter().zip(&self.hits) {
+            if entry.lint == f.lint && entry.path == f.path && entry.text == f.snippet {
+                hit.set(hit.get() + 1);
+                covered = true;
+            }
+        }
+        covered
+    }
+
+    /// Entries that matched nothing during this run.
+    #[must_use]
+    pub fn stale(&self) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .zip(&self.hits)
+            .filter(|(_, hit)| hit.get() == 0)
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders findings as a fresh allowlist (for `--update-allowlist`).
+    #[must_use]
+    pub fn render(findings: &[Finding]) -> String {
+        let mut entries: Vec<Entry> = findings
+            .iter()
+            .map(|f| Entry {
+                lint: f.lint.to_string(),
+                path: f.path.clone(),
+                text: f.snippet.clone(),
+            })
+            .collect();
+        entries.sort();
+        entries.dedup();
+        let mut out = String::from(
+            "# pagpass static-analysis allowlist.\n\
+             # One grandfathered finding per line: <lint>\\t<path>\\t<trimmed line text>.\n\
+             # Matches by line content, so edits elsewhere in the file don't break it.\n\
+             # Entries that stop matching are STALE and fail `pagpass analyze`:\n\
+             # delete them (or regenerate with `pagpass analyze --update-allowlist`).\n\
+             # Prefer fixing the site or annotating it (see README \"Static analysis\")\n\
+             # over adding entries here.\n",
+        );
+        for e in entries {
+            let _ = writeln!(out, "{}\t{}\t{}", e.lint, e.path, e.text);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Severity;
+
+    fn f(lint: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.into(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+            severity: Severity::Deny,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_matching() {
+        let finding = f("no-unwrap-in-lib", "crates/x/src/lib.rs", "let y = x.unwrap();");
+        let text = Allowlist::render(std::slice::from_ref(&finding));
+        let list = Allowlist::parse(&text).unwrap();
+        assert_eq!(list.len(), 1);
+        assert!(list.covers(&finding));
+        assert!(list.stale().is_empty());
+        // Different snippet: not covered, entry goes stale.
+        let list = Allowlist::parse(&text).unwrap();
+        assert!(!list.covers(&f("no-unwrap-in-lib", "crates/x/src/lib.rs", "other();")));
+        assert_eq!(list.stale().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Allowlist::parse("no-tabs-here at all\n").is_err());
+        assert!(Allowlist::parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_entry_covers_duplicate_lines() {
+        let finding = f("no-unwrap-in-lib", "a.rs", "x.unwrap();");
+        let text = Allowlist::render(&[finding.clone(), finding.clone()]);
+        let list = Allowlist::parse(&text).unwrap();
+        assert_eq!(list.len(), 1);
+        assert!(list.covers(&finding));
+        assert!(list.covers(&finding));
+    }
+}

@@ -1,0 +1,295 @@
+//! Cross-file *domain* invariant checks.
+//!
+//! Unlike the per-line lints, these inspect relationships the compiler
+//! cannot see:
+//!
+//! 1. **`format-versions`** — every on-disk format family (PAGNN weights,
+//!    PAGCKPT training checkpoints, the D&C-GEN journal header) declares
+//!    its version in a magic constant. CHANGES.md promises that old files
+//!    keep loading (v1 still loads after v2 shipped), so (a) declared
+//!    versions must be contiguous from 1 — bumping a constant to v3 while
+//!    deleting the v2 arm silently breaks resume — and (b) each version
+//!    constant must actually be consulted somewhere beyond its own
+//!    declaration (a declared-but-never-matched version means the parser
+//!    cannot accept it).
+//!
+//! 2. **`cli-flags-documented`** — every `--flag` the CLI parses out of
+//!    `src/main.rs` must appear in README.md. Flags have shipped in PRs 1
+//!    and 2 faster than the docs kept up; this makes the drift a build
+//!    failure.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{FileKind, SourceFile};
+use crate::lints::{Finding, Severity};
+
+/// Names of the invariant checks (reported like lints).
+pub const INVARIANT_NAMES: &[&str] = &["format-versions", "cli-flags-documented"];
+
+/// Runs both invariant checks. `readme` is the text of README.md when
+/// available; without it the flag check is skipped.
+#[must_use]
+pub fn run_invariants(files: &[SourceFile], readme: Option<&str>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    format_versions(files, &mut out);
+    if let Some(readme) = readme {
+        cli_flags_documented(files, readme, &mut out);
+    }
+    out
+}
+
+/// A version-carrying format constant.
+#[derive(Debug)]
+struct VersionConst {
+    ident: String,
+    version: u32,
+    line: usize,
+}
+
+fn format_versions(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if file.kind != FileKind::Library {
+            continue;
+        }
+        // family name -> constants declaring a version of that format.
+        let mut families: BTreeMap<String, Vec<VersionConst>> = BTreeMap::new();
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.is_test || !line.code.contains("const ") {
+                continue;
+            }
+            let Some(ident) = const_ident(&line.code) else {
+                continue;
+            };
+            // Literals live in the *raw* line (the code channel blanks
+            // string contents).
+            if let Some((family, version)) = version_literal(&line.raw) {
+                families.entry(family).or_default().push(VersionConst {
+                    ident,
+                    version,
+                    line: idx,
+                });
+            }
+        }
+        for (family, consts) in &families {
+            let Some(newest) = consts.iter().max_by_key(|c| c.version) else {
+                continue;
+            };
+            let max = newest.version;
+            for v in 1..=max {
+                if !consts.iter().any(|c| c.version == v) {
+                    out.push(Finding {
+                        lint: "format-versions",
+                        path: file.path.clone(),
+                        line: newest.line + 1,
+                        message: format!(
+                            "format `{family}` declares v{max} but no v{v} constant — the back-compat parser arm promised in CHANGES.md is gone"
+                        ),
+                        snippet: file.lines[newest.line].raw.trim().to_string(),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+            for c in consts {
+                let referenced = file.lines.iter().enumerate().any(|(i, l)| {
+                    i != c.line && !l.is_test && token_occurs(&l.code, &c.ident)
+                });
+                if !referenced {
+                    out.push(Finding {
+                        lint: "format-versions",
+                        path: file.path.clone(),
+                        line: c.line + 1,
+                        message: format!(
+                            "format `{family}` v{}: constant `{}` is declared but never consulted by a writer or parser",
+                            c.version, c.ident
+                        ),
+                        snippet: file.lines[c.line].raw.trim().to_string(),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the identifier from `const NAME: ...` in code text.
+fn const_ident(code: &str) -> Option<String> {
+    let pos = code.find("const ")?;
+    let rest = code[pos + 6..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Parses a version-carrying literal out of a raw const-declaration line.
+///
+/// Two shapes count:
+/// * byte magics — `b"PAGNN\0\0\x02"` / `b"PAGCKPT\x01"`: the family is
+///   the leading ASCII-alpha run, the version the final `\xNN` escape
+///   (which must be a small control byte, i.e. an intentional version tag);
+/// * text headers — `"PAGPASS-DCGEN-JOURNAL v1"`: family before ` v`,
+///   version digits after.
+fn version_literal(raw: &str) -> Option<(String, u32)> {
+    if let Some(start) = raw.find("b\"") {
+        let body = &raw[start + 2..raw[start + 2..].find('"')? + start + 2];
+        let family: String = body
+            .chars()
+            .take_while(|c| c.is_ascii_alphabetic() || *c == '-')
+            .collect();
+        if family.len() >= 3 {
+            if let Some(hex) = body.rfind("\\x") {
+                let version = u32::from_str_radix(body.get(hex + 2..hex + 4)?, 16).ok()?;
+                if (1..=15).contains(&version) && body.len() == hex + 4 {
+                    return Some((family, version));
+                }
+            }
+        }
+        return None;
+    }
+    let start = raw.find('"')?;
+    let body = &raw[start + 1..raw[start + 1..].find('"')? + start + 1];
+    let (family, tail) = body.rsplit_once(" v")?;
+    let version: u32 = tail.parse().ok()?;
+    let family_ok = family.len() >= 3
+        && family
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '-');
+    (family_ok && version >= 1).then(|| (family.to_string(), version))
+}
+
+/// True when `ident` occurs in `code` at identifier boundaries.
+fn token_occurs(code: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find(ident) {
+        let pos = from + p;
+        let pre_ok = pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let post = code[pos + ident.len()..].chars().next();
+        let post_ok = !post.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = pos + 1;
+    }
+    false
+}
+
+fn cli_flags_documented(files: &[SourceFile], readme: &str, out: &mut Vec<Finding>) {
+    let Some(main) = files.iter().find(|f| f.path == "src/main.rs") else {
+        return;
+    };
+    // flag name -> first line it is parsed on.
+    let mut flags: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, line) in main.lines.iter().enumerate() {
+        if line.is_test {
+            continue;
+        }
+        for accessor in ["required(", ".num(", ".get(", "contains_key(", "name == "] {
+            let mut from = 0;
+            while let Some(p) = line.code[from..].find(accessor) {
+                let at = from + p + accessor.len();
+                // The literal itself is blanked in code; read it from raw
+                // at the matching position's quote.
+                if let Some(name) = quoted_at(&line.raw, &line.code, at) {
+                    let plausible = !name.is_empty()
+                        && name
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+                    if plausible {
+                        flags.entry(name).or_insert(idx);
+                    }
+                }
+                from = at;
+            }
+        }
+    }
+    for (flag, idx) in flags {
+        if !readme.contains(&format!("--{flag}")) {
+            out.push(Finding {
+                lint: "cli-flags-documented",
+                path: main.path.clone(),
+                line: idx + 1,
+                message: format!("CLI flag `--{flag}` is parsed here but never mentioned in README.md"),
+                snippet: main.lines[idx].raw.trim().to_string(),
+                severity: Severity::Deny,
+            });
+        }
+    }
+}
+
+/// If a string literal opens at/after byte `at` (per the code channel, so
+/// the quote is real), returns its contents read from `raw`.
+fn quoted_at(raw: &str, code: &str, at: usize) -> Option<String> {
+    let open_rel = code.get(at..)?.find('"')?;
+    let open = at + open_rel;
+    // Only accept a literal that starts right at the accessor (allowing
+    // an optional `&` or whitespace), not somewhere later on the line.
+    if code[at..open].trim() != "" && code[at..open].trim() != "&" {
+        return None;
+    }
+    let close_rel = raw.get(open + 1..)?.find('"')?;
+    Some(raw[open + 1..open + 1 + close_rel].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn check(files: &[(&str, &str)], readme: Option<&str>) -> Vec<Finding> {
+        let lexed: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::lex(p, s))
+            .collect();
+        run_invariants(&lexed, readme)
+    }
+
+    #[test]
+    fn contiguous_referenced_versions_pass() {
+        let src = "const MAGIC_V1: &[u8; 8] = b\"PAGNN\\0\\0\\x01\";\nconst MAGIC_V2: &[u8; 8] = b\"PAGNN\\0\\0\\x02\";\nfn parse(m: &[u8]) { if m == MAGIC_V1 || m == MAGIC_V2 {} }";
+        assert!(check(&[("crates/nn/src/serialize.rs", src)], None).is_empty());
+    }
+
+    #[test]
+    fn missing_back_compat_version_is_flagged() {
+        let src = "const MAGIC_V2: &[u8; 8] = b\"PAGNN\\0\\0\\x02\";\nfn parse(m: &[u8]) { if m == MAGIC_V2 {} }";
+        let f = check(&[("crates/nn/src/serialize.rs", src)], None);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no v1 constant"));
+    }
+
+    #[test]
+    fn unreferenced_version_constant_is_flagged() {
+        let src = "const HEADER: &str = \"PAGPASS-DCGEN-JOURNAL v1\";\nconst OLD: &str = \"PAGPASS-DCGEN-JOURNAL v2\";\nfn write(out: &mut String) { out.push_str(HEADER); }\nfn parse(l: &str) -> bool { l == HEADER }";
+        let f = check(&[("crates/core/src/journal.rs", src)], None);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never consulted"));
+    }
+
+    #[test]
+    fn text_headers_require_header_shape() {
+        // An ordinary string containing " v1" in prose must not register.
+        let src = "const MSG: &str = \"see release notes v1\";\nfn f() { g(MSG); }";
+        assert!(check(&[("crates/x/src/lib.rs", src)], None).is_empty());
+    }
+
+    #[test]
+    fn undocumented_cli_flag_is_flagged() {
+        let main = "fn f(p: &Parsed) { let x = p.required(\"site\")?; let n: usize = p.num(\"n\", 10)?; }";
+        let readme = "Usage: pass --site NAME to pick a site.";
+        let f = check(&[("src/main.rs", main)], Some(readme));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("--n"));
+    }
+
+    #[test]
+    fn documented_flags_pass() {
+        let main = "fn f(p: &Parsed) { let x = p.flags.get(\"out\"); let b = p.flags.contains_key(\"resume\"); }";
+        let readme = "Write with --out FILE and continue with --resume.";
+        assert!(check(&[("src/main.rs", main)], Some(readme)).is_empty());
+    }
+}

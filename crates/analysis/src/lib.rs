@@ -1,0 +1,281 @@
+//! # pagpass-analysis — static analysis for the pagpass workspace
+//!
+//! PRs 1 and 2 bought hard guarantees — byte-identical resume,
+//! non-overlapping D&C-GEN subtasks, CRC'd journals, telemetry-routed
+//! output — but nothing *enforced* them: one stray `Instant::now()` in a
+//! generation path silently breaks determinism. This crate is the
+//! machine-checked discipline: a comment- and string-aware lexer
+//! ([`lexer`]), five repo-specific lints ([`lints`]), two cross-file
+//! domain invariant checks ([`invariants`]), and a content-keyed
+//! allowlist ([`allowlist`]), wired into `pagpass analyze` and CI.
+//!
+//! Std-only by design, like `pagpass-telemetry`: the analysis gate must
+//! not depend on anything it polices.
+//!
+//! ```
+//! use pagpass_analysis::{analyze_sources, Allowlist};
+//!
+//! let files = vec![(
+//!     "crates/demo/src/lib.rs".to_string(),
+//!     "fn f(x: Option<u32>) -> u32 { x.unwrap() }".to_string(),
+//! )];
+//! let report = analyze_sources(files, None, &Allowlist::default());
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].finding.lint, "no-unwrap-in-lib");
+//! ```
+
+pub mod allowlist;
+pub mod invariants;
+pub mod lexer;
+pub mod lints;
+
+use std::path::{Path, PathBuf};
+
+pub use allowlist::{Allowlist, Entry};
+pub use lexer::{FileKind, SourceFile};
+pub use lints::{Finding, Severity};
+
+/// A finding plus its allowlist disposition.
+#[derive(Debug, Clone)]
+pub struct Disposition {
+    /// The underlying finding.
+    pub finding: Finding,
+    /// True when an allowlist entry covers it (inline-annotated sites
+    /// never reach this point — the lints drop them at the source).
+    pub allowed: bool,
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, allowlisted or not, ordered by path then line.
+    pub findings: Vec<Disposition>,
+    /// Allowlist entries that matched nothing (these fail the run).
+    pub stale: Vec<Entry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by the allowlist, at the given strictness.
+    #[must_use]
+    pub fn active(&self, deny_all: bool) -> Vec<&Disposition> {
+        self.findings
+            .iter()
+            .filter(|d| !d.allowed && (deny_all || d.finding.severity == Severity::Deny))
+            .collect()
+    }
+
+    /// Count of allowlisted findings.
+    #[must_use]
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|d| d.allowed).count()
+    }
+
+    /// True when the run should exit non-zero.
+    #[must_use]
+    pub fn failed(&self, deny_all: bool) -> bool {
+        !self.active(deny_all).is_empty() || !self.stale.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render(&self, deny_all: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.findings {
+            if d.allowed {
+                continue;
+            }
+            let f = &d.finding;
+            let tag = match f.severity {
+                Severity::Deny => "deny",
+                Severity::Warn if deny_all => "deny",
+                Severity::Warn => "warn",
+            };
+            let _ = writeln!(out, "{}:{}: [{}] {} ({})", f.path, f.line, f.lint, f.message, tag);
+            let _ = writeln!(out, "    {}", f.snippet);
+        }
+        for e in &self.stale {
+            let _ = writeln!(
+                out,
+                "{}: [stale-allowlist] entry for `{}` no longer matches anything — delete it: {}",
+                e.path, e.lint, e.text
+            );
+        }
+        let warns = self
+            .findings
+            .iter()
+            .filter(|d| !d.allowed && d.finding.severity == Severity::Warn)
+            .count();
+        let denied = self.active(deny_all).len();
+        let _ = writeln!(
+            out,
+            "analyze: {} files scanned, {} finding(s) denied, {} warning(s), {} allowlisted site(s), {} stale allowlist entr(ies)",
+            self.files_scanned,
+            denied,
+            if deny_all { 0 } else { warns },
+            self.allowed_count(),
+            self.stale.len()
+        );
+        out
+    }
+}
+
+/// Analyzes in-memory sources: `(workspace-relative path, contents)`.
+/// `readme` enables the CLI-flag documentation invariant.
+#[must_use]
+pub fn analyze_sources(
+    files: Vec<(String, String)>,
+    readme: Option<&str>,
+    allowlist: &Allowlist,
+) -> Report {
+    let lexed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, text)| SourceFile::lex(path, text))
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &lexed {
+        findings.extend(lints::run_lints(file));
+    }
+    findings.extend(invariants::run_invariants(&lexed, readme));
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    let findings = findings
+        .into_iter()
+        .map(|f| Disposition {
+            allowed: allowlist.covers(&f),
+            finding: f,
+        })
+        .collect();
+    Report {
+        findings,
+        stale: allowlist.stale().into_iter().cloned().collect(),
+        files_scanned: lexed.len(),
+    }
+}
+
+/// Analyzes the workspace rooted at `root`: every `.rs` file under `src/`
+/// and `crates/*/src/`, plus README.md for the flag-documentation check.
+///
+/// Test fixtures (any path containing a `fixtures` component) are skipped
+/// — they exist to *contain* violations.
+///
+/// # Errors
+///
+/// Returns a message for unreadable files or a missing workspace layout.
+pub fn analyze_repo(root: &Path, allowlist: &Allowlist) -> Result<Report, String> {
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut paths)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+            collect_rs(&entry.path().join("src"), &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, text));
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+    Ok(analyze_sources(files, readme.as_deref(), allowlist))
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `fixtures` and
+/// `target` components.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "fixtures" && name != "target" {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_with_allowlist() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "fn f() { x.unwrap(); }\nfn g() { println!(\"no\"); }".to_string(),
+            ),
+            (
+                "crates/a/tests/t.rs".to_string(),
+                "fn t() { x.unwrap(); }".to_string(),
+            ),
+        ];
+        let report = analyze_sources(files.clone(), None, &Allowlist::default());
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.failed(false));
+
+        // Allowlist the unwrap: only the println remains active.
+        let text = "no-unwrap-in-lib\tcrates/a/src/lib.rs\tfn f() { x.unwrap(); }\n";
+        let allow = Allowlist::parse(text).unwrap();
+        let report = analyze_sources(files, None, &allow);
+        assert_eq!(report.allowed_count(), 1);
+        assert_eq!(report.active(false).len(), 1);
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_fail_the_run() {
+        let allow =
+            Allowlist::parse("no-unwrap-in-lib\tcrates/a/src/lib.rs\tgone();\n").unwrap();
+        let report = analyze_sources(
+            vec![("crates/a/src/lib.rs".to_string(), "fn ok() {}".to_string())],
+            None,
+            &allow,
+        );
+        assert!(report.findings.is_empty());
+        assert_eq!(report.stale.len(), 1);
+        assert!(report.failed(false));
+        assert!(report.render(false).contains("stale-allowlist"));
+    }
+
+    #[test]
+    fn warn_only_fails_under_deny_all() {
+        let src = "fn f() {\n    let mut s = state.lock();\n    cv.wait(&mut s);\n}";
+        let report = analyze_sources(
+            vec![("crates/a/src/lib.rs".to_string(), src.to_string())],
+            None,
+            &Allowlist::default(),
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert!(!report.failed(false));
+        assert!(report.failed(true));
+    }
+}

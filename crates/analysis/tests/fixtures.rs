@@ -1,0 +1,98 @@
+//! Golden-file tests for the analysis engine.
+//!
+//! Every `<name>.rs` under `tests/fixtures/` is analyzed in isolation and
+//! its findings are compared against the sibling `<name>.expected` file
+//! (one `<line>:<lint>` per line; empty file = must be clean).
+//!
+//! Fixtures opt into a virtual workspace path with a leading
+//! `//@ path: <path>` comment (e.g. to borrow a deterministic module's
+//! path or pose as `src/main.rs`), and supply README text for the
+//! CLI-flag invariant with `//@ readme: <text>`.
+
+use std::fs;
+use std::path::Path;
+
+use pagpass_analysis::{analyze_sources, Allowlist};
+
+fn directive<'a>(text: &'a str, tag: &str) -> Option<&'a str> {
+    text.lines()
+        .take_while(|l| l.starts_with("//@"))
+        .find_map(|l| l.strip_prefix(tag).map(str::trim))
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 8,
+        "fixture suite shrank: only {names:?} present"
+    );
+
+    let mut failures = Vec::new();
+    for name in &names {
+        let text = fs::read_to_string(dir.join(name)).expect("read fixture");
+        let vpath = directive(&text, "//@ path:")
+            .unwrap_or("crates/fixture/src/lib.rs")
+            .to_string();
+        let readme = directive(&text, "//@ readme:");
+        let report = analyze_sources(vec![(vpath, text.clone())], readme, &Allowlist::default());
+        let actual: Vec<String> = report
+            .findings
+            .iter()
+            .map(|d| format!("{}:{}", d.finding.line, d.finding.lint))
+            .collect();
+        let golden_path = dir.join(name.replace(".rs", ".expected"));
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        let expected: Vec<String> = golden
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+        if actual != expected {
+            failures.push(format!(
+                "{name}: expected {expected:?}, got {actual:?}\n  messages:\n{}",
+                report
+                    .findings
+                    .iter()
+                    .map(|d| format!(
+                        "    {}:{} [{}] {}",
+                        d.finding.path, d.finding.line, d.finding.lint, d.finding.message
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn seeded_violations_are_each_detected() {
+    // Every golden with content must stay non-empty — a fixture whose
+    // seeded violation stops firing means a lint regressed silently.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for seeded in [
+        "unwrap_tricky",
+        "stdout",
+        "ordering",
+        "determinism",
+        "lock_scope",
+        "format_versions",
+        "cli_flags",
+    ] {
+        let golden = fs::read_to_string(dir.join(format!("{seeded}.expected")))
+            .expect("read golden");
+        assert!(
+            golden.lines().any(|l| !l.trim().is_empty()),
+            "{seeded}.expected lost its seeded violations"
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: src/main.rs
+//@ readme: Run with --site NAME to pick a leak profile.
+//! `cli-flags-documented`: `--site` is documented in the fixture README
+//! above; `--budget` is not.
+
+fn dispatch(p: &Parsed) -> Result<(), String> {
+    let site = p.required("site")?;
+    let budget: u64 = p.num("budget", 1000)?;
+    run(site, budget)
+}

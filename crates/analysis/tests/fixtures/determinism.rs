@@ -1,0 +1,28 @@
+//@ path: crates/core/src/dcgen.rs
+//! `determinism`: wall clocks and hash-order iteration in a deterministic
+//! module (the fixture borrows dcgen.rs's path to opt in).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn bare_clock() -> Instant {
+    Instant::now()
+}
+
+fn justified_clock() -> Instant {
+    // DET: telemetry timing only; never feeds generation.
+    Instant::now()
+}
+
+fn hash_iteration() -> f64 {
+    let quotas: HashMap<u32, f64> = HashMap::new();
+    let mut total = 0.0;
+    for (_, q) in quotas.iter() {
+        total += q;
+    }
+    total
+}
+
+fn sorted_is_fine(totals: std::collections::BTreeMap<u32, f64>) -> f64 {
+    totals.values().sum()
+}

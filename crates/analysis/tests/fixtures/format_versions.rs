@@ -1,0 +1,10 @@
+//@ path: crates/fixture/src/serialize.rs
+//! `format-versions`: a v2 magic with the v1 parser arm deleted, and a
+//! version constant nothing ever consults.
+
+const MAGIC_V2: &[u8; 8] = b"PAGNN\0\0\x02";
+const HEADER_V1: &str = "FIXTURE-JOURNAL v1";
+
+fn parse(m: &[u8]) -> bool {
+    m == MAGIC_V2
+}

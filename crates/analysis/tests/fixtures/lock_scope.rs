@@ -1,0 +1,18 @@
+//@ path: crates/fixture/src/lib.rs
+//! `lock-scope`: guards held across blocking calls (warn severity).
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+fn guard_across_recv(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let guard = m.lock();
+    let v = rx.recv();
+    drop(guard);
+    v.unwrap_or(0)
+}
+
+fn guard_dropped_first(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let guard = m.lock();
+    drop(guard);
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,26 @@
+//@ path: crates/fixture/src/lib.rs
+//! `ordering-discipline`: relaxed atomics need an `// ORD:` comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bare_relaxed(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn justified_same_line(c: &AtomicU64) {
+    c.store(1, Ordering::Release); // ORD: publishes the init flag
+}
+
+fn justified_block_above(c: &AtomicU64) -> u64 {
+    // ORD: pairs with the Release store above; later reads see the
+    // initialized value.
+    c.load(Ordering::Acquire)
+}
+
+fn seqcst_needs_nothing(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Equal
+}

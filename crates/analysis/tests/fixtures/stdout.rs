@@ -1,0 +1,23 @@
+//@ path: crates/fixture/src/lib.rs
+//! `no-stdout-in-lib`: direct printing from library code.
+
+fn chatty() {
+    println!("library code must not print");
+    eprintln!("not to stderr either");
+}
+
+fn string_lookalike() -> &'static str {
+    "println!(\"inside a string\")"
+}
+
+fn suppressed() {
+    // LINT-ALLOW: no-stdout-in-lib fixture demonstrates suppression
+    eprintln!("sanctioned fallback");
+}
+
+#[cfg(test)]
+mod tests {
+    fn debug_print() {
+        println!("tests may print freely");
+    }
+}

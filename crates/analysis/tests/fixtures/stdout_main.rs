@@ -1,0 +1,6 @@
+//@ path: src/main.rs
+//! The CLI binary is exempt from `no-stdout-in-lib`.
+
+fn main() {
+    println!("binaries print; that is their job");
+}

@@ -1,0 +1,39 @@
+//@ path: crates/fixture/src/lib.rs
+//! Tricky `no-unwrap-in-lib` cases: real violations mixed with lookalikes
+//! inside strings, block comments, and nested `#[cfg(test)]` regions.
+
+fn real_violation(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn lookalike_in_string() -> &'static str {
+    "calling .unwrap() here would panic, says this string"
+}
+
+/* A block comment mentioning x.unwrap() and even
+   .expect("nothing") must never fire,
+   /* not even nested */ across lines. */
+fn after_block_comment() {}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // LINT-ALLOW: no-unwrap-in-lib fixture demonstrates suppression
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(test)]
+    mod nested {
+        fn deep(x: Option<u32>) -> u32 {
+            x.unwrap()
+        }
+    }
+
+    fn shallow(y: Option<u32>) -> u32 {
+        y.expect("fine in tests")
+    }
+}
+
+fn after_test_mod(z: Option<u8>) -> u8 {
+    z.expect("the test region ended above")
+}

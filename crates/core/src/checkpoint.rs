@@ -63,6 +63,14 @@ struct Reader<'a> {
     data: &'a [u8],
 }
 
+/// Converts a slice into a fixed-width array without panicking; `take`
+/// guarantees the width, so a mismatch is an internal bug, not bad input.
+fn fixed<const N: usize>(bytes: &[u8]) -> Result<[u8; N], CoreError> {
+    bytes
+        .try_into()
+        .map_err(|_| CoreError::Internal("checkpoint reader sliced a wrong-width field"))
+}
+
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
         if self.data.len() < n {
@@ -73,24 +81,16 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
     fn u32(&mut self) -> Result<u32, CoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(fixed(self.take(4)?)?))
     }
     fn u64(&mut self) -> Result<u64, CoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(fixed(self.take(8)?)?))
     }
     fn f32(&mut self) -> Result<f32, CoreError> {
-        Ok(f32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(f32::from_le_bytes(fixed(self.take(4)?)?))
     }
     fn f64(&mut self) -> Result<f64, CoreError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(fixed(self.take(8)?)?))
     }
     fn f32_vec(&mut self) -> Result<Vec<f32>, CoreError> {
         let n = self.u32()? as usize;
@@ -206,7 +206,7 @@ impl TrainCheckpoint {
             return Err(CoreError::Checkpoint("not a PAGCKPT file".into()));
         }
         let (body, crc_bytes) = data.split_at(data.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let stored = u32::from_le_bytes(fixed(crc_bytes)?);
         let computed = crc32(body);
         if stored != computed {
             return Err(CoreError::Checkpoint(format!(

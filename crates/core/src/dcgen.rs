@@ -535,6 +535,8 @@ impl<'a> DcGen<'a> {
     ) -> Result<DcGenReport, CoreError> {
         let threshold = self.config.threshold as f64;
         let total = self.config.total;
+        // DET: the deadline is wall-clock by design — it bounds real run
+        // time, not generated work, and never influences emitted passwords.
         let deadline_at = opts.deadline.map(|d| Instant::now() + d);
         let tel: &Telemetry = match opts.telemetry {
             Some(tel) => tel,
@@ -565,12 +567,16 @@ impl<'a> DcGen<'a> {
                 scope.spawn(move || loop {
                     // ---- acquire: take a task or park until one appears.
                     let (task, leaf_n) = {
+                        // LINT-ALLOW: lock-scope the guard must be held
+                        // across `wait_for` — that is how condvars work; the
+                        // wait atomically releases and reacquires the lock.
                         let mut s = state.lock();
                         loop {
                             if s.stopping {
                                 return;
                             }
                             let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
+                                // DET: deadline check only; see deadline_at.
                                 || deadline_at.is_some_and(|at| Instant::now() >= at);
                             if cancelled {
                                 s.stopping = true;
@@ -611,6 +617,8 @@ impl<'a> DcGen<'a> {
 
                     // ---- execute outside the lock, inside a panic boundary.
                     let pattern = &pattern_list[task.pattern_idx];
+                    // DET: telemetry timing only; feeds a histogram, never
+                    // the generation path.
                     let task_started = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
@@ -844,6 +852,7 @@ impl<'a> DcGen<'a> {
             failed: s.failed.clone(),
         };
         let injected = fault.is_some_and(FaultPlan::take_write_failure);
+        // DET: telemetry timing only; journal contents stay deterministic.
         let started = Instant::now();
         if injected || journal.save(path).is_err() {
             s.journal_errors += 1;

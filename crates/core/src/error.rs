@@ -25,6 +25,10 @@ pub enum CoreError {
     Journal(String),
     /// A training checkpoint was malformed or failed its checksum.
     Checkpoint(String),
+    /// An internal invariant was violated. Surfacing this as an error
+    /// instead of panicking keeps library code `.unwrap()`-free (enforced
+    /// by `pagpass analyze`); seeing one is always a bug.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +43,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Journal(what) => write!(f, "bad generation journal: {what}"),
             CoreError::Checkpoint(what) => write!(f, "bad training checkpoint: {what}"),
+            CoreError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -217,6 +217,8 @@ pub(crate) fn run_training(
         config,
         &TrainOptions::default(),
     )
+    // LINT-ALLOW: no-unwrap-in-lib with default options no checkpoint I/O
+    // runs, so the only error source is unreachable; documented above.
     .expect("training without checkpoint I/O cannot fail")
 }
 
@@ -317,6 +319,7 @@ pub(crate) fn run_training_with(
         {
             let (tokens, b, t, targets) = pad_batch(train_rules, chunk, ctx);
             let step = progress.step;
+            // DET: telemetry timing only; never feeds the training math.
             let step_started = Instant::now();
             opt.lr = schedule.lr_at(step) * progress.lr_scale;
             let mut loss = gpt.compute_grads(&tokens, b, t, Some(Vocab::PAD));
@@ -357,6 +360,8 @@ pub(crate) fn run_training_with(
                             ],
                         );
                     } else {
+                        // LINT-ALLOW: no-stdout-in-lib legacy stderr progress
+                        // line, kept for runs with telemetry disabled.
                         eprintln!("step {:>6}  lr {:.2e}  loss {loss:.4}", step + 1, opt.lr);
                     }
                 }
@@ -495,6 +500,7 @@ fn save_checkpoint(
     metrics: &TrainMetrics,
 ) {
     let injected = fault.is_some_and(FaultPlan::take_write_failure);
+    // DET: telemetry timing only; checkpoint bytes stay deterministic.
     let started = Instant::now();
     let ckpt = TrainCheckpoint::capture(gpt, opt, progress.clone());
     if injected || ckpt.save(policy.path).is_err() {

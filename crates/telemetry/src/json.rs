@@ -120,7 +120,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -159,6 +159,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
+        // LINT-ALLOW: no-unwrap-in-lib the loop above only accepted ASCII
+        // bytes, so the slice is valid UTF-8 by construction.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
         text.parse::<f64>()
             .map(JsonValue::Num)
@@ -166,7 +168,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -208,6 +210,8 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (multi-byte safe).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| "invalid utf-8 in string")?;
+                    // LINT-ALLOW: no-unwrap-in-lib peek() returned Some, so
+                    // at least one byte (hence one char) remains.
                     let c = rest.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -217,7 +221,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -240,7 +244,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -251,7 +255,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));

@@ -33,6 +33,8 @@ pub struct Counter(Arc<AtomicU64>);
 impl Counter {
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
+        // ORD: a pure event count orders nothing else; readers only need
+        // eventual visibility, so Relaxed is sufficient.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -44,6 +46,8 @@ impl Counter {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ORD: snapshot readers tolerate slightly stale counts; Relaxed
+        // still guarantees a value some thread actually wrote.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -56,12 +60,16 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: f64) {
+        // ORD: the gauge is a single word overwritten whole; last-writer-wins
+        // with no cross-variable ordering, so Relaxed suffices.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> f64 {
+        // ORD: reads pair with the Relaxed store above; staleness is
+        // acceptable for a point-in-time display value.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -117,20 +125,26 @@ impl Histogram {
         }
         let c = &*self.0;
         let idx = c.bounds.partition_point(|b| v > *b);
+        // ORD: each histogram field is updated independently; snapshots
+        // tolerate fields that are mutually out of sync by a few samples,
+        // so none of these RMWs needs to order the others.
         c.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        c.count.fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed); // ORD: as above
         let _ = c
             .sum_bits
+            // ORD: CAS loop re-reads on failure, so Relaxed loses nothing.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 Some((f64::from_bits(bits) + v).to_bits())
             });
         let _ = c
             .min_bits
+            // ORD: same CAS-loop argument as sum_bits.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (v < f64::from_bits(bits)).then(|| v.to_bits())
             });
         let _ = c
             .max_bits
+            // ORD: same CAS-loop argument as sum_bits.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (v > f64::from_bits(bits)).then(|| v.to_bits())
             });
@@ -139,6 +153,7 @@ impl Histogram {
     /// Number of recorded samples.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // ORD: monitoring read; a slightly stale count is fine.
         self.0.count.load(Ordering::Relaxed)
     }
 }
@@ -194,9 +209,13 @@ impl MetricsRegistry {
 
     fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
         let shard = self.shard(name);
+        // LINT-ALLOW: no-unwrap-in-lib a poisoned shard means a metric
+        // constructor panicked; propagating that panic is the only sane
+        // recovery, so `.expect` is the intended behaviour here.
         if let Some(m) = shard.read().expect("registry shard poisoned").get(name) {
             return m.clone();
         }
+        // LINT-ALLOW: no-unwrap-in-lib same poisoning argument as above.
         let mut map = shard.write().expect("registry shard poisoned");
         map.entry(name.to_owned()).or_insert_with(make).clone()
     }
@@ -259,6 +278,8 @@ impl MetricsRegistry {
             histograms: BTreeMap::new(),
         };
         for shard in &self.shards {
+            // LINT-ALLOW: no-unwrap-in-lib poisoning is propagated on purpose
+            // (see get_or_insert).
             for (name, metric) in shard.read().expect("registry shard poisoned").iter() {
                 match metric {
                     Metric::Counter(c) => {
@@ -269,9 +290,12 @@ impl MetricsRegistry {
                     }
                     Metric::Histogram(h) => {
                         let core = &*h.0;
+                        // ORD: snapshots are explicitly "consistent enough";
+                        // per-field Relaxed loads match the Relaxed writers
+                        // in Histogram::record.
                         let count = core.count.load(Ordering::Relaxed);
-                        let min = f64::from_bits(core.min_bits.load(Ordering::Relaxed));
-                        let max = f64::from_bits(core.max_bits.load(Ordering::Relaxed));
+                        let min = f64::from_bits(core.min_bits.load(Ordering::Relaxed)); // ORD: as above
+                        let max = f64::from_bits(core.max_bits.load(Ordering::Relaxed)); // ORD: as above
                         snap.histograms.insert(
                             name.clone(),
                             HistogramSnapshot {
@@ -279,9 +303,11 @@ impl MetricsRegistry {
                                 buckets: core
                                     .buckets
                                     .iter()
+                                    // ORD: same snapshot-consistency argument.
                                     .map(|b| b.load(Ordering::Relaxed))
                                     .collect(),
                                 count,
+                                // ORD: same snapshot-consistency argument.
                                 sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
                                 min: (count > 0).then_some(min),
                                 max: (count > 0).then_some(max),

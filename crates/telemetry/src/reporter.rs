@@ -43,6 +43,8 @@ impl Reporter {
         let handle = std::thread::Builder::new()
             .name("telemetry-reporter".into())
             .spawn(move || run(&tel, &thread_shared, interval))
+            // LINT-ALLOW: no-unwrap-in-lib spawn fails only on resource
+            // exhaustion; there is no useful degraded mode for a reporter.
             .expect("spawn reporter thread");
         Reporter {
             shared,
@@ -53,6 +55,8 @@ impl Reporter {
 
 impl Drop for Reporter {
     fn drop(&mut self) {
+        // LINT-ALLOW: no-unwrap-in-lib the stop flag's critical sections
+        // cannot panic, so poisoning here is unreachable.
         *self.shared.stop.lock().expect("reporter lock poisoned") = true;
         self.shared.wake.notify_all();
         if let Some(handle) = self.handle.take() {
@@ -66,10 +70,14 @@ fn run(tel: &Telemetry, shared: &Shared, interval: Duration) {
     let mut prev_at = Instant::now();
     loop {
         let stopping = {
+            // LINT-ALLOW: lock-scope the guard rides through the condvar
+            // wait on purpose — that is the condvar protocol.
+            // LINT-ALLOW: no-unwrap-in-lib poisoning unreachable, as in Drop.
             let guard = shared.stop.lock().expect("reporter lock poisoned");
             let (guard, _timeout) = shared
                 .wake
                 .wait_timeout_while(guard, interval, |stop| !*stop)
+                // LINT-ALLOW: no-unwrap-in-lib same poisoning argument.
                 .expect("reporter lock poisoned");
             *guard
         };

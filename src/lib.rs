@@ -15,7 +15,8 @@
 //! * [`datasets`] — synthetic leak corpora, cleaning, and splits,
 //! * [`pcfg`] / [`markov`] / [`baselines`] — the comparison models,
 //! * [`eval`] — hit rate, repeat rate, and distribution distances,
-//! * [`telemetry`] — zero-dependency metrics, tracing, and live progress.
+//! * [`telemetry`] — zero-dependency metrics, tracing, and live progress,
+//! * [`analysis`] — the static-analysis engine behind `pagpass analyze`.
 //!
 //! # Examples
 //!
@@ -34,6 +35,7 @@
 //! assert_eq!(guesses.len(), 20);
 //! ```
 
+pub use pagpass_analysis as analysis;
 pub use pagpass_baselines as baselines;
 pub use pagpass_datasets as datasets;
 pub use pagpass_eval as eval;

@@ -7,6 +7,7 @@
 //! pagpass dcgen    --model model.bin --corpus leak.txt --n 10000 --threshold 256
 //! pagpass eval     --guesses guesses.txt --test test.txt
 //! pagpass strength --kind pagpassgpt --model model.bin 'hunter2!'
+//! pagpass analyze  --deny-all
 //! ```
 //!
 //! All subcommands read/write plain newline-separated password files.
@@ -54,6 +55,7 @@ const USAGE: &str = "usage:
                    [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
   pagpass eval     --guesses FILE --test FILE
   pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...
+  pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
 
 Telemetry (any subcommand):
   --log-format <text|json>   structured stderr records (default text)
@@ -78,6 +80,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "dcgen" => cmd_dcgen(&parsed, &tel),
         "eval" => cmd_eval(&parsed),
         "strength" => cmd_strength(&parsed),
+        "analyze" => cmd_analyze(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
     }?;
     tel.finish()?;
@@ -147,7 +150,12 @@ impl Parsed {
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if name == "clean" || name == "resume" || name == "quiet" {
+                if name == "clean"
+                    || name == "resume"
+                    || name == "quiet"
+                    || name == "deny-all"
+                    || name == "update-allowlist"
+                {
                     parsed.flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -592,6 +600,50 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             ],
         );
         Ok(ExitCode::from(EXIT_TASKS_FAILED))
+    }
+}
+
+/// `pagpass analyze`: run the static-analysis engine over the workspace.
+///
+/// Exit codes: 0 clean, 1 findings (or stale allowlist entries), 2 usage.
+/// `--deny-all` (the CI entry point) also fails on warn-level lints.
+fn cmd_analyze(p: &Parsed) -> Result<ExitCode, String> {
+    use pagpass::analysis::{analyze_repo, Allowlist};
+
+    let root = PathBuf::from(p.flags.get("root").map_or(".", String::as_str));
+    let allowlist_path = p
+        .flags
+        .get("allowlist")
+        .map_or_else(|| root.join("analysis/allowlist.txt"), PathBuf::from);
+    let deny_all = p.flags.contains_key("deny-all");
+
+    if p.flags.contains_key("update-allowlist") {
+        // Regenerate the allowlist from current findings: run with an
+        // empty allowlist and grandfather everything still firing.
+        let report = analyze_repo(&root, &Allowlist::default())?;
+        let keep: Vec<_> = report.findings.into_iter().map(|d| d.finding).collect();
+        let text = Allowlist::render(&keep);
+        if let Some(parent) = allowlist_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+        atomic_write(&allowlist_path, text.as_bytes())
+            .map_err(|e| format!("write {}: {e}", allowlist_path.display()))?;
+        println!(
+            "wrote {} entr(ies) to {}",
+            keep.len(),
+            allowlist_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let allowlist = Allowlist::load(&allowlist_path)?;
+    let report = analyze_repo(&root, &allowlist)?;
+    print!("{}", report.render(deny_all));
+    if report.failed(deny_all) {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
     }
 }
 
