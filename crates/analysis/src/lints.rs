@@ -56,6 +56,7 @@ pub const LINT_NAMES: &[&str] = &[
 /// resume), and both persistence formats.
 const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/core/src/dcgen.rs",
+    "crates/core/src/inference.rs",
     "crates/core/src/trainer.rs",
     "crates/core/src/journal.rs",
     "crates/core/src/checkpoint.rs",

@@ -1,0 +1,264 @@
+//! Paired benchmark — D&C-GEN split-phase and end-to-end throughput with
+//! and without cross-task KV-cache prefix reuse.
+//!
+//! The "before" arm recomputes every task's full prompt from scratch (the
+//! behaviour prior to `pagpassgpt::InferenceSession`); the "after" arm
+//! threads one session through the same task sequence so each query pays
+//! only the tokens past the longest cached prefix. Reuse is bit-exact, so
+//! both arms must produce identical distributions and identical passwords —
+//! the benchmark asserts this rather than trusting it.
+//!
+//! Run `cargo run --release -p pagpass-bench --bin dcgen_inference` for the
+//! full configuration (depth-4 split tree over an N8 pattern) or with
+//! `-- --smoke` for a seconds-scale configuration suitable for CI.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use pagpass_bench::save_json;
+use pagpass_nn::GptConfig;
+use pagpass_patterns::{Pattern, PatternDistribution};
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, InferenceSession, ModelKind, PasswordModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SplitPhase {
+    tasks: usize,
+    max_prefix_depth: usize,
+    stateless_ms: f64,
+    session_ms: f64,
+    speedup: f64,
+    session_reused_tokens: u64,
+    session_computed_tokens: u64,
+    distributions_identical: bool,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    total: u64,
+    threshold: u64,
+    emitted: u64,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    prefix_cache_hits: u64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    model_dim: usize,
+    model_layers: usize,
+    pattern: String,
+    split_phase: SplitPhase,
+    end_to_end: EndToEnd,
+}
+
+struct Setup {
+    mode: &'static str,
+    config: GptConfig,
+    pattern: &'static str,
+    /// Budget/threshold for the split-phase tree expansion.
+    split_total: f64,
+    split_threshold: f64,
+    /// Budget/threshold for the end-to-end paired dcgen run.
+    e2e_total: u64,
+    e2e_threshold: u64,
+}
+
+fn setup(smoke: bool) -> Setup {
+    if smoke {
+        Setup {
+            mode: "smoke",
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
+            pattern: "N5",
+            split_total: 20_000.0,
+            split_threshold: 30.0,
+            e2e_total: 800,
+            e2e_threshold: 4,
+        }
+    } else {
+        Setup {
+            mode: "full",
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 96,
+                n_layers: 3,
+                n_heads: 4,
+            },
+            pattern: "N8",
+            split_total: 400_000.0,
+            split_threshold: 50.0,
+            e2e_total: 4_000,
+            e2e_threshold: 5,
+        }
+    }
+}
+
+/// Expands the D&C-GEN split tree for `pattern` in the same FIFO order the
+/// worker pool uses, returning every prefix that gets split (quota above
+/// threshold). Expansion itself runs untimed through the stateless API so
+/// both timed arms below replay an identical task sequence.
+fn split_tasks(
+    model: &PasswordModel,
+    pattern: &Pattern,
+    total: f64,
+    threshold: f64,
+) -> Vec<String> {
+    let mut order = Vec::new();
+    let mut queue: VecDeque<(String, f64)> = VecDeque::from([(String::new(), total)]);
+    while let Some((prefix, quota)) = queue.pop_front() {
+        if quota <= threshold || prefix.chars().count() >= pattern.char_len() {
+            continue;
+        }
+        let (ids, probs) = model
+            .next_char_distribution(pattern, &prefix)
+            .expect("prefix fits the pattern");
+        order.push(prefix.clone());
+        let vocab = model.tokenizer().vocab();
+        for (&id, &p) in ids.iter().zip(&probs) {
+            let child_quota = quota * p;
+            if child_quota < 1.0 {
+                continue;
+            }
+            if let Some(pagpass_tokenizer::Token::Char(c)) = vocab.token_of(id) {
+                let mut child = prefix.clone();
+                child.push(c);
+                queue.push_back((child, child_quota));
+            }
+        }
+    }
+    order
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = setup(smoke);
+    let model = PasswordModel::new(ModelKind::PagPassGpt, s.config, 5);
+    let pattern: Pattern = s.pattern.parse().expect("valid pattern literal");
+
+    // ---- split phase: the same task sequence, stateless vs. session.
+    let tasks = split_tasks(&model, &pattern, s.split_total, s.split_threshold);
+    let depth = tasks.iter().map(|p| p.chars().count()).max().unwrap_or(0);
+    eprintln!(
+        "[split] {} tasks, max prefix depth {depth} ({} mode)",
+        tasks.len(),
+        s.mode
+    );
+
+    let started = Instant::now();
+    let mut stateless = Vec::with_capacity(tasks.len());
+    for prefix in &tasks {
+        stateless.push(
+            model
+                .next_char_distribution(&pattern, prefix)
+                .expect("prefix fits the pattern"),
+        );
+    }
+    let stateless_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut session = InferenceSession::new(&model);
+    let started = Instant::now();
+    let mut cached = Vec::with_capacity(tasks.len());
+    for prefix in &tasks {
+        cached.push(
+            session
+                .next_char_distribution(&pattern, prefix)
+                .expect("prefix fits the pattern"),
+        );
+    }
+    let session_ms = started.elapsed().as_secs_f64() * 1e3;
+    let distributions_identical = stateless == cached;
+    assert!(
+        distributions_identical,
+        "cached split distributions diverged from stateless ones"
+    );
+
+    let split_phase = SplitPhase {
+        tasks: tasks.len(),
+        max_prefix_depth: depth,
+        stateless_ms,
+        session_ms,
+        speedup: stateless_ms / session_ms,
+        session_reused_tokens: session.reused_tokens(),
+        session_computed_tokens: session.computed_tokens(),
+        distributions_identical,
+    };
+    eprintln!(
+        "[split] stateless {stateless_ms:.1} ms, session {:.1} ms ({:.2}x), reused {} / computed {} tokens",
+        session_ms, split_phase.speedup, split_phase.session_reused_tokens,
+        split_phase.session_computed_tokens
+    );
+
+    // ---- end to end: a full dcgen run with the session disabled vs. on.
+    let mut patterns = PatternDistribution::new();
+    patterns.observe(pattern.clone());
+    let dc_config = DcGenConfig {
+        threshold: s.e2e_threshold,
+        seed: 9,
+        workers: 1,
+        ..DcGenConfig::new(s.e2e_total)
+    };
+    let started = Instant::now();
+    let uncached_run = DcGen::new(&model, dc_config.clone())
+        .run_with(
+            &patterns,
+            &DcGenOptions {
+                no_prefix_reuse: true,
+                ..DcGenOptions::default()
+            },
+        )
+        .expect("PagPassGPT kind");
+    let uncached_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let cached_run = DcGen::new(&model, dc_config)
+        .run(&patterns)
+        .expect("PagPassGPT kind");
+    let cached_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let outputs_identical = uncached_run.passwords == cached_run.passwords;
+    assert!(
+        outputs_identical,
+        "prefix reuse changed the generated passwords"
+    );
+    let end_to_end = EndToEnd {
+        total: s.e2e_total,
+        threshold: s.e2e_threshold,
+        emitted: cached_run.emitted,
+        uncached_ms,
+        cached_ms,
+        speedup: uncached_ms / cached_ms,
+        prefix_cache_hits: cached_run.prefix_cache_hits,
+        outputs_identical,
+    };
+    eprintln!(
+        "[e2e] uncached {uncached_ms:.1} ms, cached {cached_ms:.1} ms ({:.2}x), {} emitted, {} cache hits",
+        end_to_end.speedup, end_to_end.emitted, end_to_end.prefix_cache_hits
+    );
+
+    let report = Report {
+        bench: "dcgen_inference",
+        mode: s.mode,
+        model_dim: s.config.dim,
+        model_layers: s.config.n_layers,
+        pattern: s.pattern.to_string(),
+        split_phase,
+        end_to_end,
+    };
+    save_json(&format!("dcgen-inference-{}", s.mode), &report);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serialize report")
+    );
+}

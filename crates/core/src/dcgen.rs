@@ -10,6 +10,7 @@ use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
 use crate::control::{CancelToken, FaultPlan, INJECTED_PANIC};
+use crate::inference::InferenceSession;
 use crate::journal::{DcGenJournal, JournalTask};
 use crate::{CoreError, ModelKind, PasswordModel};
 
@@ -101,6 +102,11 @@ pub struct DcGenOptions<'a> {
     /// back to [`Telemetry::disabled`] — the run still counts into a silent
     /// registry, at the cost of a few relaxed atomics per task.
     pub telemetry: Option<&'a Telemetry>,
+    /// Disables cross-task KV-cache prefix reuse: workers reset their
+    /// inference session before every task and leaves prime per batch.
+    /// Output is byte-identical either way (reuse is bit-exact); this
+    /// exists so the paired bench can measure the uncached baseline.
+    pub no_prefix_reuse: bool,
 }
 
 impl std::fmt::Debug for DcGenOptions<'_> {
@@ -112,6 +118,7 @@ impl std::fmt::Debug for DcGenOptions<'_> {
             .field("fault", &self.fault)
             .field("sink", &self.sink.map(|_| "dyn PasswordSink"))
             .field("telemetry", &self.telemetry.is_some())
+            .field("no_prefix_reuse", &self.no_prefix_reuse)
             .finish()
     }
 }
@@ -159,6 +166,12 @@ pub struct DcGenReport {
     /// exact observed repeat rate, even when passwords streamed to a sink.
     #[serde(default)]
     pub leaf_duplicates: u64,
+    /// KV-cache positions served from a worker's inference session instead
+    /// of recomputed (splits reusing a parent's prompt, leaves broadcasting
+    /// a primed prompt across batch rows). Purely an efficiency statistic:
+    /// reuse is bit-exact and never changes which passwords are emitted.
+    #[serde(default)]
+    pub prefix_cache_hits: u64,
     /// Whether the run stopped early (cancellation or deadline) with tasks
     /// still pending. A journaled interrupted run can be continued with
     /// [`DcGen::resume`].
@@ -181,6 +194,7 @@ impl DcGenReport {
             failed_tasks: Vec::new(),
             retries: 0,
             leaf_duplicates: 0,
+            prefix_cache_hits: 0,
             interrupted: false,
             journal_errors: 0,
         }
@@ -260,6 +274,8 @@ struct PoolState {
     retries: u64,
     /// Within-leaf duplicate passwords observed so far.
     leaf_duplicates: u64,
+    /// KV positions served from worker session caches so far.
+    prefix_cache_hits: u64,
     failed: Vec<FailedTask>,
     passwords: Vec<String>,
     stopping: bool,
@@ -303,7 +319,9 @@ impl PoolMetrics {
             journal_errors: tel.counter("dcgen.journal_errors"),
             queue_depth: tel.gauge("dcgen.queue_depth"),
             workers_busy: tel.gauge("dcgen.workers_busy"),
-            queue_depth_hist: tel.registry().histogram("dcgen.queue_depth.hist", DEPTH_BOUNDS),
+            queue_depth_hist: tel
+                .registry()
+                .histogram("dcgen.queue_depth.hist", DEPTH_BOUNDS),
             task_ms: tel.histogram_ms("dcgen.task.ms"),
             journal_ms: tel.histogram_ms("dcgen.journal.ms"),
         }
@@ -447,6 +465,7 @@ impl<'a> DcGen<'a> {
             patterns_used,
             retries: 0,
             leaf_duplicates: 0,
+            prefix_cache_hits: 0,
             failed: Vec::new(),
             passwords: Vec::new(),
             stopping: false,
@@ -515,6 +534,7 @@ impl<'a> DcGen<'a> {
             patterns_used: journal.patterns_used,
             retries: journal.retries,
             leaf_duplicates: journal.leaf_duplicates,
+            prefix_cache_hits: journal.prefix_cache_hits,
             failed: journal.failed.clone(),
             passwords: Vec::new(),
             stopping: false,
@@ -564,189 +584,226 @@ impl<'a> DcGen<'a> {
                 let state = &state;
                 let work_ready = &work_ready;
                 let metrics = &metrics;
-                scope.spawn(move || loop {
-                    // ---- acquire: take a task or park until one appears.
-                    let (task, leaf_n) = {
-                        // LINT-ALLOW: lock-scope the guard must be held
-                        // across `wait_for` — that is how condvars work; the
-                        // wait atomically releases and reacquires the lock.
-                        let mut s = state.lock();
-                        loop {
-                            if s.stopping {
-                                return;
-                            }
-                            let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
+                scope.spawn(move || {
+                    // One KV-cached session per worker, threaded through
+                    // every split and leaf this worker executes. FIFO order
+                    // means consecutive tasks are usually siblings, so the
+                    // session's seek pays ~one token per split instead of
+                    // the whole prompt.
+                    let mut session = InferenceSession::with_telemetry(self.model, tel);
+                    loop {
+                        // ---- acquire: take a task or park until one appears.
+                        let (task, leaf_n) = {
+                            // LINT-ALLOW: lock-scope the guard must be held
+                            // across `wait_for` — that is how condvars work; the
+                            // wait atomically releases and reacquires the lock.
+                            let mut s = state.lock();
+                            loop {
+                                if s.stopping {
+                                    return;
+                                }
+                                let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
                                 // DET: deadline check only; see deadline_at.
                                 || deadline_at.is_some_and(|at| Instant::now() >= at);
-                            if cancelled {
-                                s.stopping = true;
-                                work_ready.notify_all();
-                                return;
-                            }
-                            if let Some(task) = s.queue.pop_front() {
-                                let pattern = &pattern_list[task.pattern_idx];
-                                let is_leaf = task.quota <= threshold
-                                    || task.prefix.chars().count() == pattern.char_len();
-                                // Leaves reserve against the global budget
-                                // up front, so the run stops at exactly
-                                // `total` no matter how quotas rounded.
-                                let leaf_n = is_leaf.then(|| {
-                                    let want = task.quota.round().max(1.0) as u64;
-                                    let n = want.min(total - s.reserved);
-                                    s.reserved += n;
-                                    n as usize
-                                });
-                                s.in_flight.push(task.clone());
-                                metrics.observe_pool(&s);
-                                metrics.queue_depth_hist.record(s.queue.len() as f64);
-                                break (task, leaf_n);
-                            }
-                            if s.in_flight.is_empty() {
-                                // Nothing queued and nobody executing:
-                                // the tree is exhausted.
-                                s.stopping = true;
-                                work_ready.notify_all();
-                                return;
-                            }
-                            // Parked: a sibling's split may publish work,
-                            // or a stop may arrive. The timeout bounds how
-                            // long a parked worker can miss a deadline.
-                            work_ready.wait_for(&mut s, Duration::from_millis(20));
-                        }
-                    };
-
-                    // ---- execute outside the lock, inside a panic boundary.
-                    let pattern = &pattern_list[task.pattern_idx];
-                    // DET: telemetry timing only; feeds a histogram, never
-                    // the generation path.
-                    let task_started = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
-                            panic!("{INJECTED_PANIC}");
-                        }
-                        if let Some(n) = leaf_n {
-                            // Leaf: execute (Algorithm 1, lines 5 & 13).
-                            let pwds = if n == 0 {
-                                Vec::new()
-                            } else {
-                                let mut rng = Rng::seed_from(task_seed(self.config.seed, task.id));
-                                self.model.generate_leaf(
-                                    pattern,
-                                    &task.prefix,
-                                    n,
-                                    self.config.temperature,
-                                    &mut rng,
-                                )
-                            };
-                            TaskOutput::Leaf(pwds)
-                        } else {
-                            // Split on the next character (lines 15–20).
-                            let (ids, probs) =
-                                self.model.next_char_distribution(pattern, &task.prefix);
-                            let vocab = self.model.tokenizer().vocab();
-                            let mut children = Vec::new();
-                            let mut deleted = 0usize;
-                            for (&id, &p) in ids.iter().zip(&probs) {
-                                let child_quota = task.quota * p;
-                                if child_quota < 1.0 {
-                                    deleted += 1;
-                                    continue;
-                                }
-                                let ch = match vocab.token_of(id) {
-                                    Some(pagpass_tokenizer::Token::Char(c)) => c,
-                                    _ => continue,
-                                };
-                                let mut prefix = task.prefix.clone();
-                                prefix.push(ch);
-                                children.push((prefix, child_quota));
-                            }
-                            TaskOutput::Split { children, deleted }
-                        }
-                    }));
-
-                    metrics
-                        .task_ms
-                        .record(task_started.elapsed().as_secs_f64() * 1e3);
-                    // Duplicate counting hashes the whole batch — do it
-                    // before taking the lock.
-                    let batch_dups = match &outcome {
-                        Ok(TaskOutput::Leaf(pwds)) => count_batch_duplicates(pwds),
-                        _ => 0,
-                    };
-
-                    // ---- commit under the lock.
-                    let mut s = state.lock();
-                    if let Some(pos) = s.in_flight.iter().position(|t| t.id == task.id) {
-                        s.in_flight.remove(pos);
-                    }
-                    match outcome {
-                        Ok(TaskOutput::Leaf(pwds)) => {
-                            s.leaves += 1;
-                            s.emitted += pwds.len() as u64;
-                            if let Some(sink) = opts.sink {
-                                if let Err(e) = sink.emit(&pwds) {
-                                    s.emitted -= pwds.len() as u64;
-                                    s.reserved -= leaf_n.unwrap_or(0) as u64;
-                                    s.sink_error = Some(e);
+                                if cancelled {
                                     s.stopping = true;
                                     work_ready.notify_all();
                                     return;
                                 }
+                                if let Some(task) = s.queue.pop_front() {
+                                    let pattern = &pattern_list[task.pattern_idx];
+                                    let is_leaf = task.quota <= threshold
+                                        || task.prefix.chars().count() == pattern.char_len();
+                                    // Leaves reserve against the global budget
+                                    // up front, so the run stops at exactly
+                                    // `total` no matter how quotas rounded.
+                                    let leaf_n = is_leaf.then(|| {
+                                        let want = task.quota.round().max(1.0) as u64;
+                                        let n = want.min(total - s.reserved);
+                                        s.reserved += n;
+                                        n as usize
+                                    });
+                                    s.in_flight.push(task.clone());
+                                    metrics.observe_pool(&s);
+                                    metrics.queue_depth_hist.record(s.queue.len() as f64);
+                                    break (task, leaf_n);
+                                }
+                                if s.in_flight.is_empty() {
+                                    // Nothing queued and nobody executing:
+                                    // the tree is exhausted.
+                                    s.stopping = true;
+                                    work_ready.notify_all();
+                                    return;
+                                }
+                                // Parked: a sibling's split may publish work,
+                                // or a stop may arrive. The timeout bounds how
+                                // long a parked worker can miss a deadline.
+                                work_ready.wait_for(&mut s, Duration::from_millis(20));
                             }
-                            s.leaf_duplicates += batch_dups;
-                            metrics.leaves.inc();
-                            metrics.passwords.add(pwds.len() as u64);
-                            metrics.duplicates.add(batch_dups);
-                            if opts.sink.is_none() {
-                                s.passwords.extend(pwds);
-                            }
-                            self.finish_task(&mut s, pattern_list, opts, metrics);
+                        };
+
+                        // ---- execute outside the lock, inside a panic boundary.
+                        let pattern = &pattern_list[task.pattern_idx];
+                        if opts.no_prefix_reuse {
+                            // Bench baseline: forget everything between tasks.
+                            session.reset();
                         }
-                        Ok(TaskOutput::Split { children, deleted }) => {
-                            s.expansions += 1;
-                            s.deleted += deleted;
-                            metrics.expansions.inc();
-                            metrics.deleted.add(deleted as u64);
-                            for (prefix, quota) in children {
-                                let id = s.next_id;
-                                s.next_id += 1;
-                                s.queue.push_back(Task {
-                                    id,
-                                    pattern_idx: task.pattern_idx,
-                                    prefix,
-                                    quota,
-                                    retries_left: self.config.max_task_retries,
-                                });
-                            }
-                            self.finish_task(&mut s, pattern_list, opts, metrics);
-                            work_ready.notify_all();
+                        let reused_before = session.reused_tokens();
+                        // DET: telemetry timing only; feeds a histogram, never
+                        // the generation path.
+                        let task_started = Instant::now();
+                        let caught =
+                            catch_unwind(AssertUnwindSafe(|| -> Result<TaskOutput, CoreError> {
+                                if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
+                                    panic!("{INJECTED_PANIC}");
+                                }
+                                if let Some(n) = leaf_n {
+                                    // Leaf: execute (Algorithm 1, lines 5 & 13).
+                                    let pwds = if n == 0 {
+                                        Vec::new()
+                                    } else {
+                                        let mut rng =
+                                            Rng::seed_from(task_seed(self.config.seed, task.id));
+                                        if opts.no_prefix_reuse {
+                                            // Per-row prompt priming, as before
+                                            // the inference session existed.
+                                            self.model.generate_leaf(
+                                                pattern,
+                                                &task.prefix,
+                                                n,
+                                                self.config.temperature,
+                                                &mut rng,
+                                            )?
+                                        } else {
+                                            session.generate_leaf(
+                                                pattern,
+                                                &task.prefix,
+                                                n,
+                                                self.config.temperature,
+                                                &mut rng,
+                                            )?
+                                        }
+                                    };
+                                    Ok(TaskOutput::Leaf(pwds))
+                                } else {
+                                    // Split on the next character (lines 15–20).
+                                    let (ids, probs) =
+                                        session.next_char_distribution(pattern, &task.prefix)?;
+                                    let vocab = self.model.tokenizer().vocab();
+                                    let mut children = Vec::new();
+                                    let mut deleted = 0usize;
+                                    for (&id, &p) in ids.iter().zip(&probs) {
+                                        let child_quota = task.quota * p;
+                                        if child_quota < 1.0 {
+                                            deleted += 1;
+                                            continue;
+                                        }
+                                        let ch = match vocab.token_of(id) {
+                                            Some(pagpass_tokenizer::Token::Char(c)) => c,
+                                            _ => continue,
+                                        };
+                                        let mut prefix = task.prefix.clone();
+                                        prefix.push(ch);
+                                        children.push((prefix, child_quota));
+                                    }
+                                    Ok(TaskOutput::Split { children, deleted })
+                                }
+                            }));
+                        // A task failing with a CoreError (bad prefix, unknown
+                        // character) takes the same retry/abandon path as a
+                        // panic: supervision does not care how a task died.
+                        let outcome: Result<TaskOutput, String> = match caught {
+                            Ok(Ok(out)) => Ok(out),
+                            Ok(Err(e)) => Err(e.to_string()),
+                            Err(payload) => Err(panic_message(payload.as_ref())),
+                        };
+                        let task_reuse = session.reused_tokens() - reused_before;
+
+                        metrics
+                            .task_ms
+                            .record(task_started.elapsed().as_secs_f64() * 1e3);
+                        // Duplicate counting hashes the whole batch — do it
+                        // before taking the lock.
+                        let batch_dups = match &outcome {
+                            Ok(TaskOutput::Leaf(pwds)) => count_batch_duplicates(pwds),
+                            _ => 0,
+                        };
+
+                        // ---- commit under the lock.
+                        let mut s = state.lock();
+                        s.prefix_cache_hits += task_reuse;
+                        if let Some(pos) = s.in_flight.iter().position(|t| t.id == task.id) {
+                            s.in_flight.remove(pos);
                         }
-                        Err(payload) => {
-                            // Supervision: retry with the same id (same RNG
-                            // stream), or abandon into `failed`.
-                            if let Some(n) = leaf_n {
-                                s.reserved -= n as u64;
+                        match outcome {
+                            Ok(TaskOutput::Leaf(pwds)) => {
+                                s.leaves += 1;
+                                s.emitted += pwds.len() as u64;
+                                if let Some(sink) = opts.sink {
+                                    if let Err(e) = sink.emit(&pwds) {
+                                        s.emitted -= pwds.len() as u64;
+                                        s.reserved -= leaf_n.unwrap_or(0) as u64;
+                                        s.sink_error = Some(e);
+                                        s.stopping = true;
+                                        work_ready.notify_all();
+                                        return;
+                                    }
+                                }
+                                s.leaf_duplicates += batch_dups;
+                                metrics.leaves.inc();
+                                metrics.passwords.add(pwds.len() as u64);
+                                metrics.duplicates.add(batch_dups);
+                                if opts.sink.is_none() {
+                                    s.passwords.extend(pwds);
+                                }
+                                self.finish_task(&mut s, pattern_list, opts, metrics);
                             }
-                            if task.retries_left > 0 {
-                                s.retries += 1;
-                                metrics.retries.inc();
-                                s.queue.push_back(Task {
-                                    retries_left: task.retries_left - 1,
-                                    ..task
-                                });
+                            Ok(TaskOutput::Split { children, deleted }) => {
+                                s.expansions += 1;
+                                s.deleted += deleted;
+                                metrics.expansions.inc();
+                                metrics.deleted.add(deleted as u64);
+                                for (prefix, quota) in children {
+                                    let id = s.next_id;
+                                    s.next_id += 1;
+                                    s.queue.push_back(Task {
+                                        id,
+                                        pattern_idx: task.pattern_idx,
+                                        prefix,
+                                        quota,
+                                        retries_left: self.config.max_task_retries,
+                                    });
+                                }
+                                self.finish_task(&mut s, pattern_list, opts, metrics);
                                 work_ready.notify_all();
-                            } else {
-                                metrics.tasks_failed.inc();
-                                s.failed.push(FailedTask {
-                                    pattern: pattern.to_string(),
-                                    prefix: task.prefix.clone(),
-                                    quota: task.quota,
-                                    error: panic_message(payload.as_ref()),
-                                });
+                            }
+                            Err(message) => {
+                                // Supervision: retry with the same id (same RNG
+                                // stream), or abandon into `failed`.
+                                if let Some(n) = leaf_n {
+                                    s.reserved -= n as u64;
+                                }
+                                if task.retries_left > 0 {
+                                    s.retries += 1;
+                                    metrics.retries.inc();
+                                    s.queue.push_back(Task {
+                                        retries_left: task.retries_left - 1,
+                                        ..task
+                                    });
+                                    work_ready.notify_all();
+                                } else {
+                                    metrics.tasks_failed.inc();
+                                    s.failed.push(FailedTask {
+                                        pattern: pattern.to_string(),
+                                        prefix: task.prefix.clone(),
+                                        quota: task.quota,
+                                        error: message,
+                                    });
+                                }
                             }
                         }
+                        metrics.observe_pool(&s);
                     }
-                    metrics.observe_pool(&s);
                 });
             }
         });
@@ -766,6 +823,7 @@ impl<'a> DcGen<'a> {
                 ("leaves", Field::U64(s.leaves as u64)),
                 ("expansions", Field::U64(s.expansions as u64)),
                 ("failed_tasks", Field::U64(s.failed.len() as u64)),
+                ("prefix_cache_hits", Field::U64(s.prefix_cache_hits)),
                 ("interrupted", Field::Bool(interrupted)),
             ],
         );
@@ -782,6 +840,7 @@ impl<'a> DcGen<'a> {
             failed_tasks: s.failed,
             retries: s.retries,
             leaf_duplicates: s.leaf_duplicates,
+            prefix_cache_hits: s.prefix_cache_hits,
             interrupted,
             journal_errors: s.journal_errors,
         })
@@ -837,6 +896,7 @@ impl<'a> DcGen<'a> {
             patterns_used: s.patterns_used,
             retries: s.retries,
             leaf_duplicates: s.leaf_duplicates,
+            prefix_cache_hits: s.prefix_cache_hits,
             next_id: s.next_id,
             tasks: s
                 .queue
@@ -860,7 +920,9 @@ impl<'a> DcGen<'a> {
         } else {
             metrics.journal_writes.inc();
         }
-        metrics.journal_ms.record(started.elapsed().as_secs_f64() * 1e3);
+        metrics
+            .journal_ms
+            .record(started.elapsed().as_secs_f64() * 1e3);
     }
 }
 

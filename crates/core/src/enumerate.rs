@@ -2,9 +2,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use pagpass_patterns::Pattern;
-use pagpass_tokenizer::{TokenId, Vocab};
+use pagpass_tokenizer::{TokenId, TokenizeError, Vocab};
 
-use crate::{ModelKind, PasswordModel};
+use crate::inference::InferenceSession;
+use crate::{CoreError, ModelKind, PasswordModel};
 
 /// Result of a guided enumeration.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,18 +33,27 @@ impl PasswordModel {
     /// descending order. `max_expansions` bounds the model-evaluation
     /// budget (the search returns what it found when exhausted).
     ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tokenize`] if an enumerated prefix fails to
+    /// encode (an internal invariant — frontier characters come from the
+    /// vocabulary).
+    ///
     /// # Panics
     ///
     /// Panics if `max_expansions == 0`.
-    #[must_use]
     pub fn enumerate_guided(
         &self,
         pattern: &Pattern,
         n: usize,
         max_expansions: usize,
-    ) -> EnumerationReport {
+    ) -> Result<EnumerationReport, CoreError> {
         assert!(max_expansions > 0, "the expansion budget must be positive");
         let vocab = self.tokenizer().vocab();
+        // Best-first search expands prefixes in probability order, which
+        // still shares long prompts between consecutive pops — one session
+        // reuses whatever common prefix remains.
+        let mut session = InferenceSession::new(self);
         let total = pattern.char_len();
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
         heap.push(Node {
@@ -70,7 +80,7 @@ impl PasswordModel {
                 continue;
             }
             report.expanded += 1;
-            let (ids, probs) = self.next_char_distribution(pattern, &node.prefix);
+            let (ids, probs) = session.next_char_distribution(pattern, &node.prefix)?;
             for (&id, &p) in ids.iter().zip(&probs) {
                 if p <= 0.0 {
                     continue;
@@ -86,7 +96,7 @@ impl PasswordModel {
                 });
             }
         }
-        report
+        Ok(report)
     }
 
     /// Enumerates the `n` most probable passwords under a PassGPT-style
@@ -115,6 +125,7 @@ impl PasswordModel {
             });
         }
         let vocab = self.tokenizer().vocab();
+        let mut session = InferenceSession::new(self);
         let mut heap: BinaryHeap<FreeNode> = BinaryHeap::new();
         heap.push(FreeNode {
             lp: 0.0,
@@ -144,11 +155,10 @@ impl PasswordModel {
                 rule.push(
                     vocab
                         .char_id(c)
-                        .expect("enumerated chars are in the vocabulary"),
+                        .ok_or(CoreError::Tokenize(TokenizeError::UnknownChar(c)))?,
                 );
             }
-            let logits = self.gpt().next_token_logits(&rule);
-            let mut probs = logits;
+            let mut probs = session.logits_for(&rule).to_vec();
             pagpass_nn::softmax_in_place(&mut probs);
             // <EOS> completes the password.
             if !node.prefix.is_empty() {
@@ -259,7 +269,7 @@ mod tests {
     fn guided_enumeration_is_descending_unique_and_conforming() {
         let model = tiny(ModelKind::PagPassGpt);
         let pattern: Pattern = "N2".parse().unwrap();
-        let report = model.enumerate_guided(&pattern, 100, 10_000);
+        let report = model.enumerate_guided(&pattern, 100, 10_000).unwrap();
         // N2 admits exactly 100 passwords.
         assert_eq!(report.passwords.len(), 100);
         assert!(report.log_probs.windows(2).all(|w| w[0] >= w[1] - 1e-9));
@@ -274,7 +284,7 @@ mod tests {
     fn guided_enumeration_respects_the_expansion_budget() {
         let model = tiny(ModelKind::PagPassGpt);
         let pattern: Pattern = "L4".parse().unwrap();
-        let report = model.enumerate_guided(&pattern, 1_000, 20);
+        let report = model.enumerate_guided(&pattern, 1_000, 20).unwrap();
         assert!(report.expanded <= 20);
         assert!(report.passwords.len() < 1_000);
     }
@@ -292,7 +302,7 @@ mod tests {
             },
         );
         let pattern: Pattern = "N2".parse().unwrap();
-        let report = model.enumerate_guided(&pattern, 3, 10_000);
+        let report = model.enumerate_guided(&pattern, 3, 10_000).unwrap();
         assert_eq!(
             report.passwords[0], "77",
             "the memorized password enumerates first"

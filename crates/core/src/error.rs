@@ -21,6 +21,15 @@ pub enum CoreError {
         /// The kind the operation requires.
         expected: &'static str,
     },
+    /// A password prefix handed to pattern-constrained generation does not
+    /// fit inside the pattern (the prefix must leave at least the requested
+    /// positions open).
+    PrefixTooLong {
+        /// Characters already fixed by the caller.
+        prefix_len: usize,
+        /// Total pattern length in characters.
+        pattern_len: usize,
+    },
     /// A D&C-GEN journal was malformed or failed its checksum.
     Journal(String),
     /// A training checkpoint was malformed or failed its checksum.
@@ -41,6 +50,13 @@ impl fmt::Display for CoreError {
             CoreError::WrongKind { expected } => {
                 write!(f, "operation requires a {expected} model")
             }
+            CoreError::PrefixTooLong {
+                prefix_len,
+                pattern_len,
+            } => write!(
+                f,
+                "prefix of {prefix_len} characters does not fit a {pattern_len}-character pattern"
+            ),
             CoreError::Journal(what) => write!(f, "bad generation journal: {what}"),
             CoreError::Checkpoint(what) => write!(f, "bad training checkpoint: {what}"),
             CoreError::Internal(what) => write!(f, "internal invariant violated: {what}"),

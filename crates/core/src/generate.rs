@@ -1,4 +1,4 @@
-use pagpass_nn::{sample_categorical, sample_masked, Gpt, Rng};
+use pagpass_nn::{sample_categorical, sample_masked, DecodeState, Gpt, Mat, Rng};
 use pagpass_tokenizer::{TokenId, Vocab};
 
 /// A batched sampling request against a shared prompt.
@@ -13,10 +13,13 @@ pub(crate) struct SamplePlan<'a> {
     pub banned: Vec<TokenId>,
     /// Per-step constraint: `allowed_at(step)` returns the permitted ids
     /// for the `step`-th new token, or `None` for an unconstrained step.
-    pub allowed_at: Box<dyn Fn(usize) -> Option<Vec<TokenId>> + Send + Sync + 'a>,
+    /// The callback hands out borrows of masks computed once up front —
+    /// sampling steps must not allocate per step per batch.
+    pub allowed_at: Box<dyn Fn(usize) -> Option<&'a [TokenId]> + Send + Sync + 'a>,
 }
 
-/// Samples `n` sequences under `plan`, in batches of at most `batch`.
+/// Samples `n` sequences under `plan`, in batches of at most `batch`,
+/// priming each batch by feeding the prompt token by token.
 ///
 /// Returns the newly generated ids per sequence, ending at (and including)
 /// the first `<EOS>` if one is produced within the budget. Sequences are
@@ -35,6 +38,34 @@ pub(crate) fn sample_batched(
     batch: usize,
     rng: &mut Rng,
 ) -> Vec<Vec<TokenId>> {
+    sample_batched_primed(gpt, vocab, plan, n, batch, rng, &mut |b| {
+        let mut state = gpt.begin_decode(b);
+        let mut logits = Mat::zeros(0, 0);
+        for &tok in &plan.prefix {
+            logits = gpt.decode_step(&vec![tok; b], &mut state);
+        }
+        (state, logits)
+    })
+}
+
+/// [`sample_batched`] with an explicit primer: `prime(b)` must return a
+/// decode state advanced past the prompt for `b` rows plus the logits of
+/// its final prompt token. The KV-cached inference session uses this to
+/// broadcast an already-computed batch-1 prompt instead of re-feeding it
+/// per row (bit-identical — see `crate::inference`).
+///
+/// # Panics
+///
+/// Panics if the prompt plus budget exceed the model's context window.
+pub(crate) fn sample_batched_primed(
+    gpt: &Gpt,
+    vocab: &Vocab,
+    plan: &SamplePlan<'_>,
+    n: usize,
+    batch: usize,
+    rng: &mut Rng,
+    prime: &mut dyn FnMut(usize) -> (DecodeState, Mat),
+) -> Vec<Vec<TokenId>> {
     let ctx = gpt.config().ctx_len;
     assert!(
         plan.prefix.len() + plan.max_new <= ctx,
@@ -47,7 +78,8 @@ pub(crate) fn sample_batched(
     let mut remaining = n;
     while remaining > 0 {
         let b = remaining.min(batch);
-        out.extend(sample_one_batch(gpt, vocab, plan, b, rng));
+        let (state, logits) = prime(b);
+        out.extend(sample_one_batch(gpt, vocab, plan, b, rng, state, logits));
         remaining -= b;
     }
     out
@@ -59,14 +91,10 @@ fn sample_one_batch(
     plan: &SamplePlan<'_>,
     b: usize,
     rng: &mut Rng,
+    mut state: DecodeState,
+    mut logits: Mat,
 ) -> Vec<Vec<TokenId>> {
-    let mut state = gpt.begin_decode(b);
-    // Prime the shared prompt; only the final step's logits matter.
-    let mut logits = pagpass_nn::Mat::zeros(0, 0);
-    for &tok in &plan.prefix {
-        logits = gpt.decode_step(&vec![tok; b], &mut state);
-    }
-
+    debug_assert_eq!(state.pos(), plan.prefix.len(), "state must be primed");
     let mut sequences: Vec<Vec<TokenId>> = vec![Vec::new(); b];
     let mut finished = vec![false; b];
     let mut next_tokens = vec![Vocab::PAD; b];
@@ -83,7 +111,7 @@ fn sample_one_batch(
             for &banned in &plan.banned {
                 row_logits[banned as usize] = f32::NEG_INFINITY;
             }
-            let id = match &allowed {
+            let id = match allowed {
                 Some(set) => sample_masked(&mut row_logits, set, plan.temperature, rng) as TokenId,
                 None => sample_categorical(&mut row_logits, plan.temperature, rng) as TokenId,
             };
@@ -165,13 +193,12 @@ mod tests {
         let digits = tok
             .vocab()
             .class_char_ids(pagpass_patterns::CharClass::Digit);
-        let digits_for_closure = digits.clone();
         let plan = SamplePlan {
             prefix: vec![Vocab::BOS],
             max_new: 3,
             temperature: 1.0,
             banned: vec![],
-            allowed_at: Box::new(move |_| Some(digits_for_closure.clone())),
+            allowed_at: Box::new(|_| Some(&digits)),
         };
         let mut rng = Rng::seed_from(4);
         for seq in sample_batched(&gpt, tok.vocab(), &plan, 20, 8, &mut rng) {
@@ -186,18 +213,13 @@ mod tests {
         let gpt = tiny_gpt();
         let tok = Tokenizer::new();
         // Force EOS at step 1 for every row.
+        let eos_mask = [Vocab::EOS];
         let plan = SamplePlan {
             prefix: vec![Vocab::BOS],
             max_new: 5,
             temperature: 1.0,
             banned: vec![],
-            allowed_at: Box::new(|step| {
-                if step == 1 {
-                    Some(vec![Vocab::EOS])
-                } else {
-                    None
-                }
-            }),
+            allowed_at: Box::new(|step| if step == 1 { Some(&eos_mask[..]) } else { None }),
         };
         let mut rng = Rng::seed_from(5);
         for seq in sample_batched(&gpt, tok.vocab(), &plan, 10, 4, &mut rng) {

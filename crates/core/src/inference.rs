@@ -1,0 +1,609 @@
+//! Unified inference layer: rule-prefix construction and KV-cached
+//! incremental decoding shared by every generation path.
+//!
+//! Two pieces live here:
+//!
+//! * [`RulePrefix`] — the single builder for the `<BOS> [pattern <SEP>]
+//!   [password chars]` prompt that free, guided, leaf, and distribution
+//!   queries all start from. Before this module each call site re-derived
+//!   the prompt by hand (and panicked on out-of-vocabulary characters);
+//!   now there is one implementation and it returns [`CoreError`]s.
+//! * [`InferenceSession`] — a stateful wrapper around one
+//!   [`DecodeState`](pagpass_nn::Gpt::begin_decode) that answers
+//!   consecutive queries by *seeking*: it truncates the KV cache back to
+//!   the longest common prefix with the previous query and feeds only the
+//!   suffix. D&C-GEN's task tree visits prefixes in breadth-first order,
+//!   so consecutive tasks usually share all but one character — a worker
+//!   threading one session through its tasks pays O(depth) forwards per
+//!   lineage instead of the O(depth²) that per-task full forwards cost.
+//!
+//! # Exactness
+//!
+//! Seeking is *bit-exact*, not approximate: a cached K/V row at position
+//! `p` is a pure function of the token and position embeddings at `p` and
+//! the rows before it, so truncating to a shared prefix and re-feeding a
+//! different suffix produces exactly the floats a fresh decode of the new
+//! sequence would. The same argument covers
+//! [`DecodeState::broadcast`](pagpass_nn::KvCache::broadcast): attention
+//! rows never interact across a batch, so replicating a batch-1 prefix
+//! cache equals feeding the prefix to every row. The cached-vs-uncached
+//! tests in this module assert `==` on logits, not an epsilon.
+
+use pagpass_nn::{softmax_in_place, DecodeState, Mat, Rng};
+use pagpass_patterns::Pattern;
+use pagpass_telemetry::{Counter, Telemetry};
+use pagpass_tokenizer::{TokenId, TokenizeError, Tokenizer, Vocab};
+
+use crate::generate::{sample_batched_primed, SamplePlan};
+use crate::model::{ModelKind, PasswordModel};
+use crate::CoreError;
+
+/// Telemetry counter fed by every session: KV positions served from the
+/// cache instead of recomputed. The journal's `prefix_cache_hits` stat and
+/// the paired bench both read this.
+pub const PREFIX_REUSE_COUNTER: &str = "dcgen.prefix_reuse_tokens";
+
+/// The token prompt a generation query starts from, according to the model
+/// kind: `<BOS>` alone, `<BOS> pattern <SEP>` for pattern-conditioned
+/// PagPassGPT queries, optionally extended with already-fixed password
+/// characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulePrefix {
+    ids: Vec<TokenId>,
+}
+
+impl RulePrefix {
+    /// Unconditioned prompt: `<BOS>` alone (trawling generation, and the
+    /// base for PassGPT's filter-style guided generation).
+    #[must_use]
+    pub fn free() -> RulePrefix {
+        RulePrefix {
+            ids: vec![Vocab::BOS],
+        }
+    }
+
+    /// Pattern-conditioned prompt. PagPassGPT primes with
+    /// `<BOS> pattern <SEP>` (the pattern is context, paper Eq. 1);
+    /// PassGPT has no pattern section in its rules, so its guided prompt
+    /// is `<BOS>` and the pattern is enforced by per-step masks instead.
+    #[must_use]
+    pub fn guided(tokenizer: &Tokenizer, kind: ModelKind, pattern: &Pattern) -> RulePrefix {
+        match kind {
+            ModelKind::PagPassGpt => RulePrefix {
+                ids: tokenizer.encode_generation_prefix(pattern),
+            },
+            ModelKind::PassGpt => RulePrefix::free(),
+        }
+    }
+
+    /// [`guided`](Self::guided) extended with password characters already
+    /// fixed by the caller (a D&C-GEN task prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tokenize`] if a prefix character is outside
+    /// the vocabulary.
+    pub fn constrained(
+        tokenizer: &Tokenizer,
+        kind: ModelKind,
+        pattern: &Pattern,
+        prefix_chars: &str,
+    ) -> Result<RulePrefix, CoreError> {
+        let mut base = RulePrefix::guided(tokenizer, kind, pattern);
+        let vocab = tokenizer.vocab();
+        for c in prefix_chars.chars() {
+            base.ids
+                .push(vocab.char_id(c).ok_or(TokenizeError::UnknownChar(c))?);
+        }
+        Ok(base)
+    }
+
+    /// The prompt token ids.
+    #[must_use]
+    pub fn ids(&self) -> &[TokenId] {
+        &self.ids
+    }
+
+    /// Number of prompt tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// A rule prefix always contains at least `<BOS>`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Consumes the builder, yielding the prompt ids.
+    #[must_use]
+    pub fn into_ids(self) -> Vec<TokenId> {
+        self.ids
+    }
+}
+
+/// A KV-cached decoding session over one model.
+///
+/// The session owns a batch-1 [`DecodeState`] plus the token sequence it
+/// currently holds. Every query seeks to its target prompt — truncating
+/// back to the longest common prefix and feeding only the divergent
+/// suffix — then answers from the resulting logits. Queries through a
+/// session return bit-identical results to stateless full forwards (see
+/// the module docs), they just skip recomputing shared prefixes.
+///
+/// Sessions are cheap relative to the model but hold `n_layers` KV caches
+/// of `ctx_len` positions; D&C-GEN creates one per worker thread and
+/// threads it through every split and leaf that worker executes.
+pub struct InferenceSession<'m> {
+    model: &'m PasswordModel,
+    state: DecodeState,
+    /// Tokens currently in the cache; `state.pos() == tokens.len()`.
+    tokens: Vec<TokenId>,
+    /// Logits after the last fed token (empty until the first feed).
+    last_logits: Vec<f32>,
+    reuse_counter: Counter,
+    reused: u64,
+    computed: u64,
+}
+
+impl std::fmt::Debug for InferenceSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceSession")
+            .field("cached", &self.tokens.len())
+            .field("reused", &self.reused)
+            .field("computed", &self.computed)
+            .finish()
+    }
+}
+
+impl<'m> InferenceSession<'m> {
+    /// Opens a session with no telemetry (counts into the silent disabled
+    /// registry).
+    #[must_use]
+    pub fn new(model: &'m PasswordModel) -> InferenceSession<'m> {
+        InferenceSession::with_telemetry(model, Telemetry::disabled())
+    }
+
+    /// Opens a session whose cache hits feed `tel`'s
+    /// [`PREFIX_REUSE_COUNTER`].
+    #[must_use]
+    pub fn with_telemetry(model: &'m PasswordModel, tel: &Telemetry) -> InferenceSession<'m> {
+        InferenceSession {
+            model,
+            state: model.gpt().begin_decode(1),
+            tokens: Vec::new(),
+            last_logits: Vec::new(),
+            reuse_counter: tel.counter(PREFIX_REUSE_COUNTER),
+            reused: 0,
+            computed: 0,
+        }
+    }
+
+    /// Number of tokens currently cached.
+    #[must_use]
+    pub fn cached_len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// KV positions this session served from cache instead of recomputing.
+    #[must_use]
+    pub fn reused_tokens(&self) -> u64 {
+        self.reused
+    }
+
+    /// Token forwards this session actually computed.
+    #[must_use]
+    pub fn computed_tokens(&self) -> u64 {
+        self.computed
+    }
+
+    /// An independent copy of this session (shared KV prefix, divergent
+    /// futures); the fork starts with fresh reuse statistics but feeds the
+    /// same telemetry counter.
+    #[must_use]
+    pub fn fork(&self) -> InferenceSession<'m> {
+        InferenceSession {
+            model: self.model,
+            state: self.state.fork(),
+            tokens: self.tokens.clone(),
+            last_logits: self.last_logits.clone(),
+            reuse_counter: self.reuse_counter.clone(),
+            reused: 0,
+            computed: 0,
+        }
+    }
+
+    /// Drops all cached state; the next query recomputes its prompt from
+    /// scratch. (Used to measure the uncached baseline.)
+    pub fn reset(&mut self) {
+        self.state.clear();
+        self.tokens.clear();
+        self.last_logits.clear();
+    }
+
+    /// Feeds one token and records its logits.
+    fn feed(&mut self, tok: TokenId) {
+        let logits = self.model.gpt().decode_step(&[tok], &mut self.state);
+        self.last_logits.clear();
+        self.last_logits.extend_from_slice(logits.row(0));
+        self.tokens.push(tok);
+        self.computed += 1;
+    }
+
+    /// Moves the session to exactly `target`: truncates back to the
+    /// longest common prefix with the cached tokens and feeds the rest.
+    /// Afterwards `last_logits` holds the next-token logits for `target`.
+    fn seek(&mut self, target: &[TokenId]) {
+        debug_assert!(!target.is_empty(), "rule prefixes always carry <BOS>");
+        let lcp = self
+            .tokens
+            .iter()
+            .zip(target)
+            .take_while(|(a, b)| a == b)
+            .count();
+        let keep = if lcp == target.len() && self.tokens.len() == target.len() {
+            // Exact hit: the cached logits already answer this query.
+            lcp
+        } else {
+            // Re-feed at least the final token so `last_logits` matches
+            // the target; everything before the divergence is kept.
+            lcp.min(target.len() - 1)
+        };
+        if keep < self.tokens.len() {
+            self.state.truncate_to(keep);
+            self.tokens.truncate(keep);
+        }
+        self.reused += keep as u64;
+        self.reuse_counter.add(keep as u64);
+        for &tok in &target[keep..] {
+            self.feed(tok);
+        }
+    }
+
+    /// Next-token logits for `target`, reusing the cached prefix.
+    pub(crate) fn logits_for(&mut self, target: &[TokenId]) -> &[f32] {
+        self.seek(target);
+        &self.last_logits
+    }
+
+    /// Next-token distribution over character ids given a pattern and a
+    /// password prefix — the quantity D&C-GEN splits tasks with
+    /// (Algorithm 1, line 15), restricted to the class the pattern
+    /// requires at the next position and renormalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PrefixTooLong`] when the prefix already covers
+    /// the whole pattern and [`CoreError::Tokenize`] for prefix characters
+    /// outside the vocabulary.
+    pub fn next_char_distribution(
+        &mut self,
+        pattern: &Pattern,
+        prefix_chars: &str,
+    ) -> Result<(Vec<TokenId>, Vec<f64>), CoreError> {
+        let model = self.model;
+        let vocab = model.tokenizer().vocab();
+        let pos = prefix_chars.chars().count();
+        let class = pattern.class_at(pos).ok_or(CoreError::PrefixTooLong {
+            prefix_len: pos,
+            pattern_len: pattern.char_len(),
+        })?;
+        let allowed = vocab.class_char_ids(class);
+        let prompt =
+            RulePrefix::constrained(model.tokenizer(), model.kind(), pattern, prefix_chars)?;
+        self.seek(prompt.ids());
+        let logits = &self.last_logits;
+        let mut weights: Vec<f64> = allowed
+            .iter()
+            .map(|&id| f64::from(logits[id as usize]))
+            .collect();
+        let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for w in &mut weights {
+            *w = (*w - max).exp();
+            sum += *w;
+        }
+        for w in &mut weights {
+            *w /= sum;
+        }
+        Ok((allowed, weights))
+    }
+
+    /// Continuation sampling for a D&C-GEN leaf: `n` passwords conforming
+    /// to `pattern` that start with `prefix_chars`. The session advances
+    /// its batch-1 cache to the leaf's prompt once, then every sampling
+    /// batch is primed by broadcasting that cache — the prompt is never
+    /// recomputed per batch row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PrefixTooLong`] when the prefix is longer than
+    /// the pattern and [`CoreError::Tokenize`] for prefix characters
+    /// outside the vocabulary.
+    pub fn generate_leaf(
+        &mut self,
+        pattern: &Pattern,
+        prefix_chars: &str,
+        n: usize,
+        temperature: f32,
+        rng: &mut Rng,
+    ) -> Result<Vec<String>, CoreError> {
+        let model = self.model;
+        let vocab = model.tokenizer().vocab();
+        let done = prefix_chars.chars().count();
+        let total = pattern.char_len();
+        if done > total {
+            return Err(CoreError::PrefixTooLong {
+                prefix_len: done,
+                pattern_len: total,
+            });
+        }
+        // Masks are computed once per leaf; the plan callback hands out
+        // borrows, so sampling steps allocate nothing for them.
+        let masks: Vec<Vec<TokenId>> = pattern
+            .position_classes()
+            .skip(done)
+            .map(|class| vocab.class_char_ids(class))
+            .collect();
+        let prompt =
+            RulePrefix::constrained(model.tokenizer(), model.kind(), pattern, prefix_chars)?;
+        self.seek(prompt.ids());
+        let plan = SamplePlan {
+            prefix: prompt.ids().to_vec(),
+            max_new: total - done,
+            temperature,
+            banned: model.banned_ids(),
+            allowed_at: Box::new(|step| masks.get(step).map(Vec::as_slice)),
+        };
+        let sequences = sample_batched_primed(
+            model.gpt(),
+            vocab,
+            &plan,
+            n,
+            PasswordModel::GEN_BATCH,
+            rng,
+            &mut |b| {
+                // Every batch row starts from the cached prompt: count the
+                // row-steps the broadcast saved.
+                let hits = (self.state.pos() * b) as u64;
+                self.reused += hits;
+                self.reuse_counter.add(hits);
+                (self.state.broadcast(b), replicate_row(&self.last_logits, b))
+            },
+        );
+        Ok(sequences
+            .into_iter()
+            .map(|ids| {
+                let mut pw = prefix_chars.to_owned();
+                pw.push_str(&model.decode_chars(&ids));
+                pw
+            })
+            .collect())
+    }
+
+    /// Natural-log probability the model assigns to `password` (the
+    /// product of conditional token probabilities over its full rule).
+    /// Scoring needs logits at *every* position, so it always recomputes;
+    /// the session is reset first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Tokenize`] for passwords outside the alphabet.
+    pub fn log_probability(&mut self, password: &str) -> Result<f64, CoreError> {
+        let rule = self.model.encode(password)?;
+        self.reset();
+        let mut lp = 0.0f64;
+        for (i, &tok) in rule.iter().enumerate() {
+            if i > 0 {
+                let mut probs = self.last_logits.clone();
+                softmax_in_place(&mut probs);
+                lp += f64::from(probs[tok as usize].max(1e-20)).ln();
+            }
+            self.feed(tok);
+        }
+        Ok(lp)
+    }
+}
+
+/// Replicates one logits row across `b` batch rows.
+fn replicate_row(row: &[f32], b: usize) -> Mat {
+    let mut data = Vec::with_capacity(row.len() * b);
+    for _ in 0..b {
+        data.extend_from_slice(row);
+    }
+    Mat::from_rows(b, row.len(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagpass_nn::GptConfig;
+    use pagpass_tokenizer::VOCAB_SIZE;
+
+    fn tiny(kind: ModelKind) -> PasswordModel {
+        PasswordModel::new(
+            kind,
+            GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn rule_prefix_shapes_per_kind() {
+        let tok = Tokenizer::new();
+        let pattern: Pattern = "L3N2".parse().unwrap();
+        assert_eq!(RulePrefix::free().ids(), &[Vocab::BOS]);
+        let pag = RulePrefix::guided(&tok, ModelKind::PagPassGpt, &pattern);
+        assert_eq!(pag.ids(), &tok.encode_generation_prefix(&pattern)[..]);
+        let pass = RulePrefix::guided(&tok, ModelKind::PassGpt, &pattern);
+        assert_eq!(pass.ids(), &[Vocab::BOS]);
+        let ext = RulePrefix::constrained(&tok, ModelKind::PagPassGpt, &pattern, "ab").unwrap();
+        assert_eq!(ext.len(), pag.len() + 2);
+        assert!(!ext.is_empty());
+    }
+
+    #[test]
+    fn rule_prefix_rejects_unknown_chars() {
+        let tok = Tokenizer::new();
+        let pattern: Pattern = "L3".parse().unwrap();
+        let err = RulePrefix::constrained(&tok, ModelKind::PagPassGpt, &pattern, "a\u{1f600}");
+        assert!(matches!(err, Err(CoreError::Tokenize(_))));
+    }
+
+    #[test]
+    fn session_distribution_matches_full_forward_on_random_prefixes() {
+        // The tentpole equivalence guarantee: a session answering queries
+        // for many different prefixes — hitting truncate/reuse paths in
+        // every order — returns *bit-identical* distributions to fresh
+        // full forwards.
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L3N2S1".parse().unwrap();
+        let mut session = InferenceSession::new(&model);
+        let mut rng = Rng::seed_from(11);
+        let letters = "abcdefghijklmnopqrstuvwxyz";
+        let digits = "0123456789";
+        for trial in 0..40 {
+            // Random prefix of random length (0..=5) conforming to the
+            // pattern's classes.
+            let len = rng.below(6);
+            let mut prefix = String::new();
+            for i in 0..len {
+                let pool = if i < 3 { letters } else { digits };
+                let k = rng.below(pool.len());
+                prefix.push(pool.as_bytes()[k] as char);
+            }
+            let (ids, probs) = session.next_char_distribution(&pattern, &prefix).unwrap();
+            let (ref_ids, ref_probs) = reference_distribution(&model, &pattern, &prefix);
+            assert_eq!(ids, ref_ids, "trial {trial} prefix {prefix:?}");
+            assert_eq!(probs, ref_probs, "trial {trial} prefix {prefix:?}");
+        }
+        assert!(
+            session.reused_tokens() > 0,
+            "40 related queries must hit the cache"
+        );
+    }
+
+    /// The pre-refactor implementation: full forward from token zero.
+    fn reference_distribution(
+        model: &PasswordModel,
+        pattern: &Pattern,
+        prefix_chars: &str,
+    ) -> (Vec<TokenId>, Vec<f64>) {
+        let vocab = model.tokenizer().vocab();
+        let pos = prefix_chars.chars().count();
+        let class = pattern.class_at(pos).unwrap();
+        let allowed = vocab.class_char_ids(class);
+        let prompt =
+            RulePrefix::constrained(model.tokenizer(), model.kind(), pattern, prefix_chars)
+                .unwrap();
+        let logits = model.gpt().next_token_logits(prompt.ids());
+        let mut weights: Vec<f64> = allowed
+            .iter()
+            .map(|&id| f64::from(logits[id as usize]))
+            .collect();
+        let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for w in &mut weights {
+            *w = (*w - max).exp();
+            sum += *w;
+        }
+        for w in &mut weights {
+            *w /= sum;
+        }
+        (allowed, weights)
+    }
+
+    #[test]
+    fn sibling_queries_reuse_the_parent_prefix() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L4N2".parse().unwrap();
+        let mut session = InferenceSession::new(&model);
+        let _ = session.next_char_distribution(&pattern, "ab").unwrap();
+        let after_first = session.computed_tokens();
+        // Sibling prefixes share all but the last character.
+        let _ = session.next_char_distribution(&pattern, "ac").unwrap();
+        assert_eq!(
+            session.computed_tokens(),
+            after_first + 1,
+            "a sibling query must feed exactly one new token"
+        );
+        // Exact repeat: nothing recomputed at all.
+        let _ = session.next_char_distribution(&pattern, "ac").unwrap();
+        assert_eq!(session.computed_tokens(), after_first + 1);
+    }
+
+    #[test]
+    fn fork_answers_like_the_original() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L2N2".parse().unwrap();
+        let mut a = InferenceSession::new(&model);
+        let _ = a.next_char_distribution(&pattern, "q").unwrap();
+        let mut b = a.fork();
+        let da = a.next_char_distribution(&pattern, "qa").unwrap();
+        let db = b.next_char_distribution(&pattern, "qa").unwrap();
+        assert_eq!(da, db);
+        // Diverge: each fork follows its own lineage without interference.
+        let da2 = a.next_char_distribution(&pattern, "qb").unwrap();
+        let db2 = b.next_char_distribution(&pattern, "qc").unwrap();
+        assert_eq!(da2.0, db2.0);
+        assert_eq!(da2.1, reference_distribution(&model, &pattern, "qb").1);
+        assert_eq!(db2.1, reference_distribution(&model, &pattern, "qc").1);
+    }
+
+    #[test]
+    fn session_leaf_matches_model_leaf() {
+        // generate_leaf through a warm session must equal the stateless
+        // call: same RNG stream, bit-identical logits, same passwords.
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L4N2".parse().unwrap();
+        let mut session = InferenceSession::new(&model);
+        // Warm the cache on an unrelated prefix first.
+        let _ = session.next_char_distribution(&pattern, "zz").unwrap();
+        let mut rng_a = Rng::seed_from(7);
+        let a = session
+            .generate_leaf(&pattern, "ab", 150, 1.0, &mut rng_a)
+            .unwrap();
+        let mut rng_b = Rng::seed_from(7);
+        let b = model
+            .generate_leaf(&pattern, "ab", 150, 1.0, &mut rng_b)
+            .unwrap();
+        assert_eq!(a, b);
+        for pw in &a {
+            assert!(pw.starts_with("ab"), "{pw}");
+            assert!(pattern.matches(pw), "{pw}");
+        }
+    }
+
+    #[test]
+    fn prefix_longer_than_pattern_is_an_error() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L2".parse().unwrap();
+        let mut session = InferenceSession::new(&model);
+        assert!(matches!(
+            session.next_char_distribution(&pattern, "abc"),
+            Err(CoreError::PrefixTooLong { .. })
+        ));
+        let mut rng = Rng::seed_from(1);
+        assert!(matches!(
+            session.generate_leaf(&pattern, "abc", 5, 1.0, &mut rng),
+            Err(CoreError::PrefixTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn log_probability_matches_model_api() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let mut session = InferenceSession::new(&model);
+        let via_session = session.log_probability("abc12").unwrap();
+        let via_model = model.log_probability("abc12").unwrap();
+        assert_eq!(via_session, via_model);
+        assert!(session.log_probability("has space").is_err());
+    }
+}

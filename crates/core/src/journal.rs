@@ -80,6 +80,10 @@ pub struct DcGenJournal {
     /// Within-leaf duplicate passwords observed so far (repeats can only
     /// arise inside one leaf, so this is the run's total duplicate count).
     pub leaf_duplicates: u64,
+    /// KV-cache positions served from worker inference sessions instead of
+    /// recomputed. Efficiency statistic only; resuming restores it so the
+    /// final report covers the whole run.
+    pub prefix_cache_hits: u64,
     /// Next unassigned task id.
     pub next_id: u64,
     /// Every task not yet completed at snapshot time.
@@ -117,7 +121,7 @@ impl DcGenJournal {
         }
         let _ = writeln!(
             out,
-            "stats {} {} {} {} {} {} {} {} {}",
+            "stats {} {} {} {} {} {} {} {} {} {}",
             self.emitted,
             self.completed,
             self.leaves,
@@ -127,6 +131,7 @@ impl DcGenJournal {
             self.retries,
             self.next_id,
             self.leaf_duplicates,
+            self.prefix_cache_hits,
         );
         let _ = writeln!(out, "tasks {}", self.tasks.len());
         for t in &self.tasks {
@@ -224,7 +229,7 @@ impl DcGenJournal {
             .collect();
         // 8 fields is the original layout; a 9th (leaf duplicates) was
         // appended later and defaults to 0 when reading old journals.
-        if stats.len() != 8 && stats.len() != 9 {
+        if !(8..=10).contains(&stats.len()) {
             return Err(bad("stats field count"));
         }
         let emitted = uint(stats[0])?;
@@ -235,7 +240,10 @@ impl DcGenJournal {
         let patterns_used = uint(stats[5])? as usize;
         let retries = uint(stats[6])?;
         let next_id = uint(stats[7])?;
+        // Fields 9 and 10 were appended in later revisions; journals from
+        // older builds omit them and default to zero.
         let leaf_duplicates = stats.get(8).map_or(Ok(0), |s| uint(s))?;
+        let prefix_cache_hits = stats.get(9).map_or(Ok(0), |s| uint(s))?;
 
         let n_tasks = lines
             .next()
@@ -304,6 +312,7 @@ impl DcGenJournal {
             patterns_used,
             retries,
             leaf_duplicates,
+            prefix_cache_hits,
             next_id,
             tasks,
             failed,
@@ -353,6 +362,7 @@ mod tests {
             patterns_used: 2,
             retries: 1,
             leaf_duplicates: 4,
+            prefix_cache_hits: 57,
             next_id: 11,
             tasks: vec![
                 JournalTask {
@@ -412,18 +422,20 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
-    #[test]
-    fn legacy_eight_field_stats_line_still_loads() {
-        // Journals written before the leaf-duplicates field had an 8-field
-        // stats line; they must keep loading (duplicates default to 0).
-        let j = sample();
+    /// Re-serializes `j` with `strip` trailing stats fields removed and the
+    /// CRC recomputed, imitating a journal from an older build.
+    fn legacy_text(j: &DcGenJournal, strip: usize) -> String {
         let text = j.to_text();
         let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
         let legacy_body = text[..body_end]
             .lines()
             .map(|l| {
                 if l.starts_with("stats ") {
-                    l.rsplit_once(' ').unwrap().0.to_string()
+                    let mut l = l.to_string();
+                    for _ in 0..strip {
+                        l = l.rsplit_once(' ').unwrap().0.to_string();
+                    }
+                    l
                 } else {
                     l.to_string()
                 }
@@ -431,10 +443,30 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n")
             + "\n";
-        let legacy = format!("{legacy_body}crc {:08x}\n", crc32(legacy_body.as_bytes()));
-        let parsed = DcGenJournal::from_text(&legacy).unwrap();
+        format!("{legacy_body}crc {:08x}\n", crc32(legacy_body.as_bytes()))
+    }
+
+    #[test]
+    fn legacy_eight_field_stats_line_still_loads() {
+        // Journals written before the leaf-duplicates and prefix-cache-hit
+        // fields had an 8-field stats line; they must keep loading (both
+        // appended fields default to 0).
+        let j = sample();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 2)).unwrap();
         assert_eq!(parsed.leaf_duplicates, 0);
+        assert_eq!(parsed.prefix_cache_hits, 0);
         assert_eq!(parsed.emitted, j.emitted);
+        assert_eq!(parsed.tasks, j.tasks);
+    }
+
+    #[test]
+    fn legacy_nine_field_stats_line_still_loads() {
+        // Journals from builds with leaf duplicates but no prefix-cache
+        // statistic had a 9-field stats line.
+        let j = sample();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 1)).unwrap();
+        assert_eq!(parsed.leaf_duplicates, j.leaf_duplicates);
+        assert_eq!(parsed.prefix_cache_hits, 0);
         assert_eq!(parsed.tasks, j.tasks);
     }
 

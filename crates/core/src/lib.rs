@@ -49,6 +49,7 @@ mod dcgen;
 mod enumerate;
 mod error;
 mod generate;
+mod inference;
 mod journal;
 mod model;
 mod trainer;
@@ -58,6 +59,7 @@ pub use control::{CancelToken, FaultPlan};
 pub use dcgen::{DcGen, DcGenConfig, DcGenOptions, DcGenReport, FailedTask, PasswordSink};
 pub use enumerate::EnumerationReport;
 pub use error::CoreError;
+pub use inference::{InferenceSession, RulePrefix, PREFIX_REUSE_COUNTER};
 pub use journal::{DcGenJournal, JournalTask};
 pub use model::{ModelKind, PasswordModel};
 pub use trainer::{CheckpointPolicy, TrainConfig, TrainOptions, TrainingReport};

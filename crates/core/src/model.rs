@@ -5,6 +5,7 @@ use pagpass_patterns::Pattern;
 use pagpass_tokenizer::{TokenId, Tokenizer, Vocab};
 
 use crate::generate::{sample_batched, SamplePlan};
+use crate::inference::{InferenceSession, RulePrefix};
 use crate::trainer::{run_training, run_training_with, TrainConfig, TrainOptions, TrainingReport};
 use crate::CoreError;
 
@@ -169,7 +170,7 @@ impl PasswordModel {
         let max_new = self.gpt.config().ctx_len - 1;
         let banned = self.banned_ids();
         let plan = SamplePlan {
-            prefix: vec![Vocab::BOS],
+            prefix: RulePrefix::free().into_ids(),
             max_new,
             temperature,
             banned,
@@ -200,35 +201,31 @@ impl PasswordModel {
     ) -> Vec<String> {
         let vocab = self.tokenizer.vocab();
         let mut rng = Rng::seed_from(seed);
-        let plan = match self.kind {
-            ModelKind::PagPassGpt => SamplePlan {
-                prefix: self.tokenizer.encode_generation_prefix(pattern),
-                // chars + <EOS>
-                max_new: pattern.char_len() + 1,
-                temperature,
-                banned: self.banned_ids(),
-                allowed_at: Box::new(|_| None),
-            },
+        // PassGPT filters: one mask per position plus a final <EOS> mask,
+        // computed once up front. PagPassGPT samples unmasked (the pattern
+        // is context, not a filter), flagged by an empty mask table.
+        let masks: Vec<Vec<TokenId>> = match self.kind {
+            ModelKind::PagPassGpt => Vec::new(),
             ModelKind::PassGpt => {
-                let masks: Vec<Vec<TokenId>> = pattern
+                let mut masks: Vec<Vec<TokenId>> = pattern
                     .position_classes()
                     .map(|class| vocab.class_char_ids(class))
                     .collect();
-                let len = pattern.char_len();
-                SamplePlan {
-                    prefix: vec![Vocab::BOS],
-                    max_new: len + 1,
-                    temperature,
-                    banned: self.banned_ids(),
-                    allowed_at: Box::new(move |step| {
-                        if step < len {
-                            Some(masks[step].clone())
-                        } else {
-                            Some(vec![Vocab::EOS])
-                        }
-                    }),
-                }
+                masks.push(vec![Vocab::EOS]);
+                masks
             }
+        };
+        let plan = SamplePlan {
+            prefix: RulePrefix::guided(&self.tokenizer, self.kind, pattern).into_ids(),
+            // chars + <EOS>
+            max_new: pattern.char_len() + 1,
+            temperature,
+            banned: self.banned_ids(),
+            allowed_at: if masks.is_empty() {
+                Box::new(|_| None)
+            } else {
+                Box::new(|step| masks.get(step).map(Vec::as_slice))
+            },
         };
         let sequences = sample_batched(&self.gpt, vocab, &plan, n, Self::GEN_BATCH, &mut rng);
         sequences
@@ -248,11 +245,11 @@ impl PasswordModel {
     /// conform (D&C-GEN filters every division by the pattern requirement,
     /// paper Fig. 7).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `prefix_chars` is longer than the pattern or contains
+    /// Returns [`CoreError::PrefixTooLong`] if `prefix_chars` is longer
+    /// than the pattern and [`CoreError::Tokenize`] if it contains
     /// characters outside the vocabulary.
-    #[must_use]
     pub fn generate_leaf(
         &self,
         pattern: &Pattern,
@@ -260,42 +257,11 @@ impl PasswordModel {
         n: usize,
         temperature: f32,
         rng: &mut Rng,
-    ) -> Vec<String> {
-        let vocab = self.tokenizer.vocab();
-        let done = prefix_chars.chars().count();
-        let total = pattern.char_len();
-        assert!(done <= total, "prefix longer than the pattern");
-        let mut prefix = match self.kind {
-            ModelKind::PagPassGpt => self.tokenizer.encode_generation_prefix(pattern),
-            ModelKind::PassGpt => vec![Vocab::BOS],
-        };
-        for c in prefix_chars.chars() {
-            prefix.push(
-                vocab
-                    .char_id(c)
-                    .expect("prefix characters must be in the vocabulary"),
-            );
-        }
-        let masks: Vec<Vec<TokenId>> = (done..total)
-            .map(|i| vocab.class_char_ids(pattern.class_at(i).expect("position inside pattern")))
-            .collect();
-        let remaining = total - done;
-        let plan = SamplePlan {
-            prefix,
-            max_new: remaining,
-            temperature,
-            banned: self.banned_ids(),
-            allowed_at: Box::new(move |step| Some(masks[step].clone())),
-        };
-        let sequences = sample_batched(&self.gpt, vocab, &plan, n, Self::GEN_BATCH, rng);
-        sequences
-            .into_iter()
-            .map(|ids| {
-                let mut pw = prefix_chars.to_owned();
-                pw.push_str(&self.decode_chars(&ids));
-                pw
-            })
-            .collect()
+    ) -> Result<Vec<String>, CoreError> {
+        // A transient session: still KV-primes the prompt once per leaf
+        // (instead of once per batch row); D&C-GEN workers hold a
+        // long-lived session instead to also reuse across tasks.
+        InferenceSession::new(self).generate_leaf(pattern, prefix_chars, n, temperature, rng)
     }
 
     /// Next-token distribution over character ids given a pattern and a
@@ -305,47 +271,17 @@ impl PasswordModel {
     /// Returns `(char_ids, probabilities)` restricted to the class the
     /// pattern requires at the next position, renormalized.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the prefix already covers the whole pattern.
-    #[must_use]
+    /// Returns [`CoreError::PrefixTooLong`] if the prefix already covers
+    /// the whole pattern and [`CoreError::Tokenize`] for prefix characters
+    /// outside the vocabulary.
     pub fn next_char_distribution(
         &self,
         pattern: &Pattern,
         prefix_chars: &str,
-    ) -> (Vec<TokenId>, Vec<f64>) {
-        let vocab = self.tokenizer.vocab();
-        let pos = prefix_chars.chars().count();
-        let class = pattern
-            .class_at(pos)
-            .expect("prefix must be shorter than the pattern");
-        let allowed = vocab.class_char_ids(class);
-        let mut prefix = match self.kind {
-            ModelKind::PagPassGpt => self.tokenizer.encode_generation_prefix(pattern),
-            ModelKind::PassGpt => vec![Vocab::BOS],
-        };
-        for c in prefix_chars.chars() {
-            prefix.push(
-                vocab
-                    .char_id(c)
-                    .expect("prefix characters must be in the vocabulary"),
-            );
-        }
-        let logits = self.gpt.next_token_logits(&prefix);
-        let mut weights: Vec<f64> = allowed
-            .iter()
-            .map(|&id| f64::from(logits[id as usize]))
-            .collect();
-        let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for w in &mut weights {
-            *w = (*w - max).exp();
-            sum += *w;
-        }
-        for w in &mut weights {
-            *w /= sum;
-        }
-        (allowed, weights)
+    ) -> Result<(Vec<TokenId>, Vec<f64>), CoreError> {
+        InferenceSession::new(self).next_char_distribution(pattern, prefix_chars)
     }
 
     /// Natural-log probability the model assigns to `password` — the
@@ -360,19 +296,7 @@ impl PasswordModel {
     ///
     /// Returns [`CoreError::Tokenize`] for passwords outside the alphabet.
     pub fn log_probability(&self, password: &str) -> Result<f64, CoreError> {
-        let rule = self.encode(password)?;
-        let mut state = self.gpt.begin_decode(1);
-        let mut lp = 0.0f64;
-        let mut logits: Option<Vec<f32>> = None;
-        for &tok in &rule {
-            if let Some(prev) = logits {
-                let mut probs = prev;
-                pagpass_nn::softmax_in_place(&mut probs);
-                lp += f64::from(probs[tok as usize].max(1e-20)).ln();
-            }
-            logits = Some(self.gpt.decode_step(&[tok], &mut state).row(0).to_vec());
-        }
-        Ok(lp)
+        InferenceSession::new(self).log_probability(password)
     }
 
     /// Saves backbone weights to `path` (kind is the caller's to track; the
@@ -403,7 +327,7 @@ impl PasswordModel {
     /// Tokens never sampled: control tokens that only structure rules, and
     /// — for PassGPT, whose training rules contain no pattern section —
     /// the pattern tokens and `<SEP>`.
-    fn banned_ids(&self) -> Vec<TokenId> {
+    pub(crate) fn banned_ids(&self) -> Vec<TokenId> {
         let vocab = self.tokenizer.vocab();
         let mut banned = vec![Vocab::BOS, Vocab::UNK, Vocab::PAD];
         if self.kind == ModelKind::PassGpt {
@@ -436,7 +360,7 @@ impl PasswordModel {
     }
 
     /// Plain character decoding up to `<EOS>`.
-    fn decode_chars(&self, ids: &[TokenId]) -> String {
+    pub(crate) fn decode_chars(&self, ids: &[TokenId]) -> String {
         self.tokenizer.decode_password(ids).unwrap_or_default()
     }
 }
@@ -529,7 +453,10 @@ mod tests {
         let model = tiny(ModelKind::PagPassGpt);
         let pattern: Pattern = "L4N2".parse().unwrap();
         let mut rng = Rng::seed_from(2);
-        for pw in model.generate_leaf(&pattern, "ab", 15, 1.0, &mut rng) {
+        for pw in model
+            .generate_leaf(&pattern, "ab", 15, 1.0, &mut rng)
+            .unwrap()
+        {
             assert!(pw.starts_with("ab"), "{pw}");
             assert!(pattern.matches(&pw), "{pw}");
         }
@@ -539,7 +466,7 @@ mod tests {
     fn next_char_distribution_normalizes_and_respects_class() {
         let model = tiny(ModelKind::PagPassGpt);
         let pattern: Pattern = "L1N1".parse().unwrap();
-        let (ids, probs) = model.next_char_distribution(&pattern, "a");
+        let (ids, probs) = model.next_char_distribution(&pattern, "a").unwrap();
         assert_eq!(ids.len(), 10, "next position is a digit");
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(probs.iter().all(|&p| p >= 0.0));

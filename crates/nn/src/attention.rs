@@ -347,6 +347,52 @@ impl KvCache {
         self.len = 0;
     }
 
+    /// Rewinds the cache to its first `len` positions.
+    ///
+    /// K/V rows past `len` are left in place but become unreachable:
+    /// [`step`](SelfAttention::step) writes position `t` at row `t`, so a
+    /// later re-fill overwrites them before they are read again. Because a
+    /// cached K/V row is a pure function of the token/position embeddings
+    /// and the rows before it, rewinding and re-feeding different tokens
+    /// yields bit-identical state to a fresh decode of the new sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current length (truncation only moves
+    /// backwards; use [`advance`](Self::advance) to grow).
+    pub fn truncate_to(&mut self, len: usize) {
+        assert!(
+            len <= self.len,
+            "cannot truncate a KV cache forward ({} -> {len})",
+            self.len
+        );
+        self.len = len;
+    }
+
+    /// Replicates a single-sequence cache across `batch` parallel rows.
+    ///
+    /// Every output row holds the same K/V values, which is exactly what
+    /// feeding the same prefix to each row of a batch-`batch` decode
+    /// produces — the attention step is row-independent — so broadcasting
+    /// is bit-identical to priming each row separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this cache holds more than one sequence.
+    #[must_use]
+    pub fn broadcast(&self, batch: usize) -> KvCache {
+        assert_eq!(self.batch, 1, "broadcast requires a single-sequence cache");
+        let mut out = KvCache::new(batch, self.ctx, self.dim);
+        out.len = self.len;
+        let filled = self.len * self.dim;
+        for b in 0..batch {
+            let o = b * self.ctx * self.dim;
+            out.k[o..o + filled].copy_from_slice(&self.k[..filled]);
+            out.v[o..o + filled].copy_from_slice(&self.v[..filled]);
+        }
+        out
+    }
+
     fn k_row(&self, b: usize, t: usize) -> &[f32] {
         let o = (b * self.ctx + t) * self.dim;
         &self.k[o..o + self.dim]

@@ -147,6 +147,50 @@ impl DecodeState {
         }
         self.pos = 0;
     }
+
+    /// Rewinds the state to its first `len` positions, keeping the cached
+    /// K/V for the retained prefix. Subsequent [`Gpt::decode_step`] calls
+    /// continue from position `len` exactly as if only those tokens had
+    /// ever been fed (see [`KvCache::truncate_to`] for why this is
+    /// bit-exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current position.
+    pub fn truncate_to(&mut self, len: usize) {
+        assert!(
+            len <= self.pos,
+            "cannot truncate a decode state forward ({} -> {len})",
+            self.pos
+        );
+        for c in &mut self.caches {
+            c.truncate_to(len);
+        }
+        self.pos = len;
+    }
+
+    /// Returns an independent copy of this state. The fork and the
+    /// original can diverge freely; neither observes the other's
+    /// subsequent steps.
+    #[must_use]
+    pub fn fork(&self) -> DecodeState {
+        self.clone()
+    }
+
+    /// Replicates a single-sequence state across `batch` parallel rows,
+    /// bit-identically to feeding the same prefix to every row of a
+    /// fresh batch-`batch` decode (see [`KvCache::broadcast`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this state holds more than one sequence.
+    #[must_use]
+    pub fn broadcast(&self, batch: usize) -> DecodeState {
+        DecodeState {
+            caches: self.caches.iter().map(|c| c.broadcast(batch)).collect(),
+            pos: self.pos,
+        }
+    }
 }
 
 /// The GPT-2-style decoder-only language model (paper §III-B): token +
@@ -559,6 +603,72 @@ mod tests {
         assert_eq!(state.pos(), 1);
         state.clear();
         assert_eq!(state.pos(), 0);
+    }
+
+    #[test]
+    fn truncate_then_refeed_is_bit_exact() {
+        let model = tiny();
+        // Decode one sequence, rewind to a shared prefix, and branch.
+        let mut state = model.begin_decode(1);
+        for &tok in &[4u32, 2, 9, 7, 1] {
+            let _ = model.decode_step(&[tok], &mut state);
+        }
+        state.truncate_to(2);
+        assert_eq!(state.pos(), 2);
+        let mut last = Mat::zeros(1, 12);
+        for &tok in &[5u32, 3] {
+            last = model.decode_step(&[tok], &mut state);
+        }
+        // Fresh decode of the branched sequence must match exactly.
+        let fresh = model.next_token_logits(&[4, 2, 5, 3]);
+        assert_eq!(last.row(0), &fresh[..], "truncate+refeed must be exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate a decode state forward")]
+    fn truncate_forward_panics() {
+        let model = tiny();
+        let mut state = model.begin_decode(1);
+        let _ = model.decode_step(&[1], &mut state);
+        state.truncate_to(2);
+    }
+
+    #[test]
+    fn fork_diverges_independently() {
+        let model = tiny();
+        let mut a = model.begin_decode(1);
+        for &tok in &[4u32, 2] {
+            let _ = model.decode_step(&[tok], &mut a);
+        }
+        let mut b = a.fork();
+        let la = model.decode_step(&[9], &mut a);
+        let lb = model.decode_step(&[7], &mut b);
+        assert_eq!(a.pos(), 3);
+        assert_eq!(b.pos(), 3);
+        assert_eq!(la.row(0), &model.next_token_logits(&[4, 2, 9])[..]);
+        assert_eq!(lb.row(0), &model.next_token_logits(&[4, 2, 7])[..]);
+    }
+
+    #[test]
+    fn broadcast_matches_per_row_priming() {
+        let model = tiny();
+        let prefix = [4u32, 2, 9];
+        let mut one = model.begin_decode(1);
+        for &tok in &prefix {
+            let _ = model.decode_step(&[tok], &mut one);
+        }
+        let mut wide = one.broadcast(3);
+        assert_eq!(wide.batch(), 3);
+        assert_eq!(wide.pos(), prefix.len());
+        // A reference state primed the slow way: every row fed the prefix.
+        let mut refstate = model.begin_decode(3);
+        for &tok in &prefix {
+            let _ = model.decode_step(&[tok, tok, tok], &mut refstate);
+        }
+        // Step both with distinct per-row tokens; logits must agree bitwise.
+        let a = model.decode_step(&[1, 5, 8], &mut wide);
+        let b = model.decode_step(&[1, 5, 8], &mut refstate);
+        assert_eq!(a.as_slice(), b.as_slice(), "broadcast must be exact");
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod serialize;
 
 pub use adamw::{AdamW, LrSchedule, Param};
 pub use attention::{KvCache, SelfAttention};
-pub use gpt::{Gpt, GptConfig};
+pub use gpt::{DecodeState, Gpt, GptConfig};
 pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp};
 pub use mat::Mat;
 pub use rng::Rng;

@@ -53,6 +53,7 @@ const USAGE: &str = "usage:
   pagpass generate --kind <passgpt|pagpassgpt> --model FILE --n N [--pattern P] [--temp T] [--seed S] [--out FILE]
   pagpass dcgen    --model FILE --corpus FILE --n N [--threshold T] [--seed S] [--out FILE]
                    [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
+                   [--no-prefix-reuse]
   pagpass eval     --guesses FILE --test FILE
   pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...
   pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
@@ -155,6 +156,7 @@ impl Parsed {
                     || name == "quiet"
                     || name == "deny-all"
                     || name == "update-allowlist"
+                    || name == "no-prefix-reuse"
                 {
                     parsed.flags.insert(name.to_owned(), "true".to_owned());
                     continue;
@@ -505,6 +507,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         fault: None,
         sink: sink.as_ref().map(|s| s as &dyn PasswordSink),
         telemetry: Some(tel.telemetry()),
+        no_prefix_reuse: p.flags.contains_key("no-prefix-reuse"),
     };
 
     let report = match &journal {
@@ -545,6 +548,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             ("expansions", Field::U64(report.expansions as u64)),
             ("patterns_used", Field::U64(report.patterns_used as u64)),
             ("leaf_duplicates", Field::U64(report.leaf_duplicates)),
+            ("prefix_cache_hits", Field::U64(report.prefix_cache_hits)),
             ("repeat_rate_pct", Field::F64(repeat_pct)),
         ],
     );
