@@ -171,7 +171,11 @@ mod tests {
 
     #[test]
     fn roundtrip_and_matching() {
-        let finding = f("no-unwrap-in-lib", "crates/x/src/lib.rs", "let y = x.unwrap();");
+        let finding = f(
+            "no-unwrap-in-lib",
+            "crates/x/src/lib.rs",
+            "let y = x.unwrap();",
+        );
         let text = Allowlist::render(std::slice::from_ref(&finding));
         let list = Allowlist::parse(&text).unwrap();
         assert_eq!(list.len(), 1);

@@ -90,9 +90,11 @@ fn format_versions(files: &[SourceFile], out: &mut Vec<Finding>) {
                 }
             }
             for c in consts {
-                let referenced = file.lines.iter().enumerate().any(|(i, l)| {
-                    i != c.line && !l.is_test && token_occurs(&l.code, &c.ident)
-                });
+                let referenced = file
+                    .lines
+                    .iter()
+                    .enumerate()
+                    .any(|(i, l)| i != c.line && !l.is_test && token_occurs(&l.code, &c.ident));
                 if !referenced {
                     out.push(Finding {
                         lint: "format-versions",
@@ -213,7 +215,9 @@ fn cli_flags_documented(files: &[SourceFile], readme: &str, out: &mut Vec<Findin
                 lint: "cli-flags-documented",
                 path: main.path.clone(),
                 line: idx + 1,
-                message: format!("CLI flag `--{flag}` is parsed here but never mentioned in README.md"),
+                message: format!(
+                    "CLI flag `--{flag}` is parsed here but never mentioned in README.md"
+                ),
                 snippet: main.lines[idx].raw.trim().to_string(),
                 severity: Severity::Deny,
             });
@@ -241,10 +245,7 @@ mod tests {
     use crate::lexer::SourceFile;
 
     fn check(files: &[(&str, &str)], readme: Option<&str>) -> Vec<Finding> {
-        let lexed: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, s)| SourceFile::lex(p, s))
-            .collect();
+        let lexed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::lex(p, s)).collect();
         run_invariants(&lexed, readme)
     }
 
@@ -279,7 +280,8 @@ mod tests {
 
     #[test]
     fn undocumented_cli_flag_is_flagged() {
-        let main = "fn f(p: &Parsed) { let x = p.required(\"site\")?; let n: usize = p.num(\"n\", 10)?; }";
+        let main =
+            "fn f(p: &Parsed) { let x = p.required(\"site\")?; let n: usize = p.num(\"n\", 10)?; }";
         let readme = "Usage: pass --site NAME to pick a site.";
         let f = check(&[("src/main.rs", main)], Some(readme));
         assert_eq!(f.len(), 1);

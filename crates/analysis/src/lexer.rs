@@ -55,7 +55,8 @@ pub struct SourceFile {
 /// Classifies `rel_path` (workspace-relative, `/`-separated).
 #[must_use]
 pub fn classify(rel_path: &str) -> FileKind {
-    let in_dir = |d: &str| rel_path.starts_with(&format!("{d}/")) || rel_path.contains(&format!("/{d}/"));
+    let in_dir =
+        |d: &str| rel_path.starts_with(&format!("{d}/")) || rel_path.contains(&format!("/{d}/"));
     if in_dir("tests") || in_dir("benches") || in_dir("examples") {
         return FileKind::TestOnly;
     }
@@ -117,7 +118,11 @@ fn lex_line(raw: &str, mut mode: Mode) -> (Line, Mode) {
                     mode = Mode::Block(depth + 1);
                     i += 2;
                 } else if c == '*' && at(i + 1) == Some('/') {
-                    mode = if depth > 1 { Mode::Block(depth - 1) } else { Mode::Code };
+                    mode = if depth > 1 {
+                        Mode::Block(depth - 1)
+                    } else {
+                        Mode::Code
+                    };
                     if matches!(mode, Mode::Code) {
                         // Keep a token separator where the comment was.
                         code.push(' ');
@@ -374,7 +379,10 @@ mod tests {
 
     #[test]
     fn line_comments_move_to_comment_channel() {
-        let f = SourceFile::lex("src/lib.rs", "let x = 1; // ORD: because\nx.unwrap(); /* tail */");
+        let f = SourceFile::lex(
+            "src/lib.rs",
+            "let x = 1; // ORD: because\nx.unwrap(); /* tail */",
+        );
         assert!(!f.lines[0].code.contains("ORD"));
         assert!(f.lines[0].comment.contains("ORD: because"));
         assert!(f.lines[1].code.contains(".unwrap()"));
@@ -409,7 +417,8 @@ mod tests {
 
     #[test]
     fn cfg_test_regions_are_marked() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
         let f = SourceFile::lex("crates/x/src/lib.rs", src);
         assert!(!f.lines[0].is_test);
         assert!(f.lines[1].is_test); // the attribute line itself
@@ -441,9 +450,15 @@ mod tests {
         assert_eq!(classify("src/lib.rs"), FileKind::Library);
         assert_eq!(classify("src/main.rs"), FileKind::Binary);
         assert_eq!(classify("crates/bench/src/bin/fig8.rs"), FileKind::Binary);
-        assert_eq!(classify("crates/core/tests/fault_tolerance.rs"), FileKind::TestOnly);
+        assert_eq!(
+            classify("crates/core/tests/fault_tolerance.rs"),
+            FileKind::TestOnly
+        );
         assert_eq!(classify("examples/quickstart.rs"), FileKind::TestOnly);
-        assert_eq!(classify("crates/bench/benches/kernels.rs"), FileKind::TestOnly);
+        assert_eq!(
+            classify("crates/bench/benches/kernels.rs"),
+            FileKind::TestOnly
+        );
     }
 
     #[test]

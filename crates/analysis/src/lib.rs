@@ -93,7 +93,11 @@ impl Report {
                 Severity::Warn if deny_all => "deny",
                 Severity::Warn => "warn",
             };
-            let _ = writeln!(out, "{}:{}: [{}] {} ({})", f.path, f.line, f.lint, f.message, tag);
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {} ({})",
+                f.path, f.line, f.lint, f.message, tag
+            );
             let _ = writeln!(out, "    {}", f.snippet);
         }
         for e in &self.stale {
@@ -174,8 +178,8 @@ pub fn analyze_repo(root: &Path, allowlist: &Allowlist) -> Result<Report, String
     collect_rs(&root.join("src"), &mut paths)?;
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
-        let entries =
-            std::fs::read_dir(&crates_dir).map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
         for entry in entries {
             let entry = entry.map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
             collect_rs(&entry.path().join("src"), &mut paths)?;
@@ -253,8 +257,7 @@ mod tests {
 
     #[test]
     fn stale_entries_fail_the_run() {
-        let allow =
-            Allowlist::parse("no-unwrap-in-lib\tcrates/a/src/lib.rs\tgone();\n").unwrap();
+        let allow = Allowlist::parse("no-unwrap-in-lib\tcrates/a/src/lib.rs\tgone();\n").unwrap();
         let report = analyze_sources(
             vec![("crates/a/src/lib.rs".to_string(), "fn ok() {}".to_string())],
             None,

@@ -53,13 +53,16 @@ pub const LINT_NAMES: &[&str] = &[
 
 /// Modules whose output must be a pure function of their inputs: the
 /// D&C-GEN task tree (non-overlap guarantee), the trainer (bit-exact
-/// resume), and both persistence formats.
+/// resume), both persistence formats, and the GEMM worker pool plus its
+/// kernels (thread-count-invariant results).
 const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/core/src/dcgen.rs",
     "crates/core/src/inference.rs",
     "crates/core/src/trainer.rs",
     "crates/core/src/journal.rs",
     "crates/core/src/checkpoint.rs",
+    "crates/nn/src/pool.rs",
+    "crates/nn/src/fast.rs",
 ];
 
 /// Files allowed to write to stdout/stderr directly: the CLI binary, the
@@ -200,7 +203,8 @@ fn no_stdout_in_lib(file: &SourceFile, out: &mut Vec<Finding>) {
                 LINT,
                 file,
                 idx,
-                "direct stdout/stderr write in library code; route through the telemetry sink".into(),
+                "direct stdout/stderr write in library code; route through the telemetry sink"
+                    .into(),
                 Severity::Deny,
             ));
         }
@@ -220,13 +224,15 @@ fn ordering_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
         if line.is_test {
             continue;
         }
-        let hit = ["Ordering::Relaxed", "Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel"]
-            .iter()
-            .any(|m| contains_token(&line.code, m));
-        if hit
-            && !has_annotation(&file.lines, idx, "ORD:")
-            && !inline_allowed(file, idx, LINT)
-        {
+        let hit = [
+            "Ordering::Relaxed",
+            "Ordering::Acquire",
+            "Ordering::Release",
+            "Ordering::AcqRel",
+        ]
+        .iter()
+        .any(|m| contains_token(&line.code, m));
+        if hit && !has_annotation(&file.lines, idx, "ORD:") && !inline_allowed(file, idx, LINT) {
             out.push(finding(
                 LINT,
                 file,
@@ -265,9 +271,14 @@ fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
             continue;
         }
         let code = &line.code;
-        let clock = ["Instant::now", "SystemTime::now", "thread_rng", "rand::random"]
-            .iter()
-            .find(|m| contains_token(code, m));
+        let clock = [
+            "Instant::now",
+            "SystemTime::now",
+            "thread_rng",
+            "rand::random",
+        ]
+        .iter()
+        .find(|m| contains_token(code, m));
         if let Some(m) = clock {
             if !has_annotation(&file.lines, idx, "DET:") && !inline_allowed(file, idx, LINT) {
                 out.push(finding(
@@ -288,7 +299,10 @@ fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
                 || contains_token(code, &format!("in &mut {var}"))
                 || (code.contains(" for ") || code.trim_start().starts_with("for "))
                     && contains_token(code, &format!("in {var}"));
-            if iterated && !has_annotation(&file.lines, idx, "DET:") && !inline_allowed(file, idx, LINT) {
+            if iterated
+                && !has_annotation(&file.lines, idx, "DET:")
+                && !inline_allowed(file, idx, LINT)
+            {
                 out.push(finding(
                     LINT,
                     file,
@@ -329,8 +343,9 @@ fn lock_scope(file: &SourceFile, out: &mut Vec<Finding>) {
             continue;
         }
         let code = &lines[idx].code;
-        let is_guard_binding = (code.contains(".lock()") || code.contains(".read()") || code.contains(".write()"))
-            && let_binding_name(code).is_some();
+        let is_guard_binding =
+            (code.contains(".lock()") || code.contains(".read()") || code.contains(".write()"))
+                && let_binding_name(code).is_some();
         if !is_guard_binding {
             continue;
         }
@@ -365,9 +380,19 @@ fn lock_scope(file: &SourceFile, out: &mut Vec<Finding>) {
             if c.contains(&format!("drop({guard})")) {
                 break;
             }
-            let blocking = [".wait(", ".wait_for(", ".wait_while(", ".wait_timeout", ".join()", ".recv()", ".recv_timeout(", "thread::sleep(", ".lock()"]
-                .iter()
-                .find(|m| c.contains(*m));
+            let blocking = [
+                ".wait(",
+                ".wait_for(",
+                ".wait_while(",
+                ".wait_timeout",
+                ".join()",
+                ".recv()",
+                ".recv_timeout(",
+                "thread::sleep(",
+                ".lock()",
+            ]
+            .iter()
+            .find(|m| c.contains(*m));
             if let Some(m) = blocking {
                 if !inline_allowed(file, idx, LINT) && !inline_allowed(file, j, LINT) {
                     out.push(finding(
@@ -416,7 +441,8 @@ mod tests {
 
     #[test]
     fn lint_allow_suppresses() {
-        let src = "// LINT-ALLOW: no-unwrap-in-lib invariant: len checked above\nfn f() { x.unwrap(); }";
+        let src =
+            "// LINT-ALLOW: no-unwrap-in-lib invariant: len checked above\nfn f() { x.unwrap(); }";
         assert!(lints_on("crates/x/src/lib.rs", src)
             .iter()
             .all(|f| f.lint != "no-unwrap-in-lib"));
@@ -457,7 +483,8 @@ mod tests {
         let iter = "fn f() { let mut seen = HashSet::new(); for x in &seen { use_(x); } }";
         let hits = lints_on("crates/core/src/journal.rs", iter);
         assert_eq!(hits.len(), 1, "{hits:?}");
-        let member = "fn f() { let mut seen = HashSet::new(); seen.insert(1); if seen.contains(&1) {} }";
+        let member =
+            "fn f() { let mut seen = HashSet::new(); seen.insert(1); if seen.contains(&1) {} }";
         assert!(lints_on("crates/core/src/journal.rs", member).is_empty());
     }
 

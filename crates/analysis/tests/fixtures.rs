@@ -25,7 +25,12 @@ fn fixtures_match_goldens() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let mut names: Vec<String> = fs::read_dir(&dir)
         .expect("fixtures dir")
-        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
         .filter(|n| n.ends_with(".rs"))
         .collect();
     names.sort();
@@ -88,8 +93,8 @@ fn seeded_violations_are_each_detected() {
         "format_versions",
         "cli_flags",
     ] {
-        let golden = fs::read_to_string(dir.join(format!("{seeded}.expected")))
-            .expect("read golden");
+        let golden =
+            fs::read_to_string(dir.join(format!("{seeded}.expected"))).expect("read golden");
         assert!(
             golden.lines().any(|l| !l.trim().is_empty()),
             "{seeded}.expected lost its seeded violations"

@@ -1,0 +1,79 @@
+//! CI benchmark-regression gate.
+//!
+//! Reads the speedup ratios from a fresh bench report and the committed
+//! baseline, and exits nonzero when any ratio regressed past the
+//! tolerance — see [`pagpass_bench::gate`] for the comparison rules.
+//!
+//! ```text
+//! cargo run --release -p pagpass-bench --bin gemm -- --smoke
+//! cargo run --release -p pagpass-bench --bin bench_gate -- \
+//!     --current crates/bench/results/gemm-smoke.json \
+//!     --baseline crates/bench/bench_baseline.json
+//! ```
+
+use std::process::ExitCode;
+
+use pagpass_bench::gate::{check, extract_speedups, DEFAULT_TOLERANCE};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --current <report.json> --baseline <baseline.json> \
+         [--tolerance <fraction>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut current_path = None;
+    let mut baseline_path = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--current" => current_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(current_path), Some(baseline_path)) = (current_path, baseline_path) else {
+        usage()
+    };
+
+    let load = |path: &str| -> std::collections::BTreeMap<String, f64> {
+        let data = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+        extract_speedups(&data).unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"))
+    };
+    let current = load(&current_path);
+    let baseline = load(&baseline_path);
+
+    let violations = check(&current, &baseline, tolerance);
+    if violations.is_empty() {
+        for (key, value) in &current {
+            let base = baseline.get(key).copied().unwrap_or(f64::NAN);
+            eprintln!("[bench-gate] ok  {key}: {value:.3}x (baseline {base:.3}x)");
+        }
+        eprintln!(
+            "[bench-gate] PASS: {} speedups within {:.0}% of baseline",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("[bench-gate] REGRESSION {v}");
+        }
+        eprintln!(
+            "[bench-gate] FAIL: {} of {} gated speedups regressed",
+            violations.len(),
+            baseline.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,453 @@
+//! Paired GEMM benchmark — naive vs cache-blocked vs blocked+parallel.
+//!
+//! Times the matrix kernels (the order-preserving `matmul_into`,
+//! `matmul_bt`, `matmul_t_accum` and the reassociating training kernels
+//! `matmul_fast`, `matmul_bt_packed`, `matmul_t_accum_fast`) and a full GPT
+//! train step under `KernelMode::Naive` (the pre-kernel-layer reference
+//! loops) and `KernelMode::Blocked` on explicit pools of 1, 2 and 4
+//! threads.
+//!
+//! Equality is asserted, not trusted: every blocked arm must be
+//! bit-identical across thread counts, and the three order-preserving
+//! kernels must be bit-identical to naive. The training kernels
+//! reassociate their sums by design (that is where their speed comes
+//! from), so they are checked against naive to a relative tolerance
+//! instead; likewise the train-step arms assert the blocked run is bitwise
+//! deterministic and within tolerance of the naive trajectory.
+//!
+//! The JSON report carries a flat `speedups` map of dimensionless
+//! blocked-over-naive ratios — machine-relative numbers the `bench_gate`
+//! binary compares against `crates/bench/bench_baseline.json` in CI.
+//!
+//! Run `cargo run --release -p pagpass-bench --bin gemm` for the full
+//! configuration or with `-- --smoke` for the seconds-scale CI artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pagpass_bench::save_json_str;
+use pagpass_nn::{pool, set_kernel_mode, AdamW, Gpt, GptConfig, KernelMode, Mat, Rng, ThreadPool};
+use pagpass_tokenizer::VOCAB_SIZE;
+
+struct KernelTiming {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    naive_ms: f64,
+    blocked_1t_ms: f64,
+    blocked_2t_ms: f64,
+    blocked_4t_ms: f64,
+    /// naive / blocked on a 1-thread pool: the single-core kernel win.
+    speedup_blocked: f64,
+    /// naive / blocked on a 4-thread pool.
+    speedup_4t: f64,
+    /// All blocked arms bit-identical across thread counts.
+    deterministic: bool,
+    /// Blocked output bit-identical to the naive reference (false only for
+    /// the reassociating packed kernel, which is tolerance-checked instead).
+    bit_compat_with_naive: bool,
+}
+
+struct TrainStep {
+    dim: usize,
+    n_layers: usize,
+    n_heads: usize,
+    batch: usize,
+    seq: usize,
+    steps: usize,
+    naive_ms: f64,
+    blocked_4t_ms: f64,
+    speedup: f64,
+    /// Two independent blocked runs produced bit-identical loss curves.
+    blocked_deterministic: bool,
+    /// Max relative divergence between naive and blocked loss curves (the
+    /// packed gradient kernel reassociates sums, so this is small but
+    /// nonzero).
+    losses_max_rel_diff: f64,
+}
+
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    pool_threads: usize,
+    kernels: Vec<KernelTiming>,
+    train_step: TrainStep,
+    /// Dimensionless blocked-over-naive ratios, keyed for `bench_gate`.
+    speedups: BTreeMap<String, f64>,
+}
+
+// The report is rendered by hand rather than through a serializer so the
+// artifact is a pure function of the measurements and the binary works in
+// dependency-stripped environments; `bench_gate` parses the flat
+// `speedups` object back with an equally dependency-free scanner.
+impl KernelTiming {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"reps\": {},\n      \
+             \"naive_ms\": {:.3}, \"blocked_1t_ms\": {:.3}, \"blocked_2t_ms\": {:.3}, \
+             \"blocked_4t_ms\": {:.3},\n      \
+             \"speedup_blocked\": {:.3}, \"speedup_4t\": {:.3}, \
+             \"deterministic\": {}, \"bit_compat_with_naive\": {} }}",
+            self.kernel,
+            self.m,
+            self.k,
+            self.n,
+            self.reps,
+            self.naive_ms,
+            self.blocked_1t_ms,
+            self.blocked_2t_ms,
+            self.blocked_4t_ms,
+            self.speedup_blocked,
+            self.speedup_4t,
+            self.deterministic,
+            self.bit_compat_with_naive
+        )
+    }
+}
+
+impl TrainStep {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"dim\": {}, \"n_layers\": {}, \"n_heads\": {}, \"batch\": {}, \
+             \"seq\": {}, \"steps\": {},\n    \
+             \"naive_ms\": {:.3}, \"blocked_4t_ms\": {:.3}, \"speedup\": {:.3},\n    \
+             \"blocked_deterministic\": {}, \"losses_max_rel_diff\": {:.3e}\n  }}",
+            self.dim,
+            self.n_layers,
+            self.n_heads,
+            self.batch,
+            self.seq,
+            self.steps,
+            self.naive_ms,
+            self.blocked_4t_ms,
+            self.speedup,
+            self.blocked_deterministic,
+            self.losses_max_rel_diff
+        )
+    }
+}
+
+impl Report {
+    fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(out, "  \"pool_threads\": {},", self.pool_threads);
+        out.push_str("  \"kernels\": [\n");
+        for (i, kt) in self.kernels.iter().enumerate() {
+            let sep = if i + 1 < self.kernels.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{sep}", kt.json());
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"train_step\": {},", self.train_step.json());
+        out.push_str("  \"speedups\": {\n");
+        for (i, (key, value)) in self.speedups.iter().enumerate() {
+            let sep = if i + 1 < self.speedups.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{key}\": {value:.3}{sep}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+struct Setup {
+    mode: &'static str,
+    /// (m, k, n) per kernel micro-benchmark.
+    shape: (usize, usize, usize),
+    kernel_reps: usize,
+    config: GptConfig,
+    batch: usize,
+    seq: usize,
+    train_steps: usize,
+}
+
+fn setup(smoke: bool) -> Setup {
+    if smoke {
+        Setup {
+            mode: "smoke",
+            shape: (64, 128, 128),
+            kernel_reps: 40,
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 32,
+                n_layers: 1,
+                n_heads: 2,
+            },
+            batch: 8,
+            seq: 16,
+            train_steps: 3,
+        }
+    } else {
+        Setup {
+            mode: "full",
+            shape: (256, 384, 384),
+            kernel_reps: 60,
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 96,
+                n_layers: 3,
+                n_heads: 4,
+            },
+            batch: 32,
+            seq: 24,
+            train_steps: 6,
+        }
+    }
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn max_rel_diff(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1e-12);
+            f64::from((x - y).abs() / scale)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Times `reps` runs of one kernel arm; returns (total ms, last output).
+fn time_kernel(reps: usize, mut run: impl FnMut() -> Mat) -> (f64, Mat) {
+    let mut out = run(); // warmup, untimed
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = run();
+    }
+    (ms(start), out)
+}
+
+fn bench_kernel(
+    kernel: &'static str,
+    shape: (usize, usize, usize),
+    reps: usize,
+    rng: &mut Rng,
+    pools: &[ThreadPool],
+) -> KernelTiming {
+    let (m, k, n) = shape;
+    // matmul_bt takes an n×k rhs; the other kernels consume k-leading
+    // operands.
+    let a = Mat::randn(m, k, 1.0, rng);
+    let b_kn = Mat::randn(k, n, 1.0, rng);
+    let b_nk = Mat::randn(n, k, 1.0, rng);
+    let x_mk = Mat::randn(m, k, 1.0, rng);
+    let dy_mn = Mat::randn(m, n, 1.0, rng);
+
+    let run_arm = |pool: Option<&ThreadPool>| -> (f64, Mat) {
+        match kernel {
+            "matmul_into" => time_kernel(reps, || {
+                let mut out = Mat::zeros(m, n);
+                match pool {
+                    None => a.matmul_into(&b_kn, &mut out),
+                    Some(p) => a.matmul_into_on(&b_kn, &mut out, p),
+                }
+                out
+            }),
+            "matmul_bt" => time_kernel(reps, || match pool {
+                None => a.matmul_bt(&b_nk),
+                Some(p) => a.matmul_bt_on(&b_nk, p),
+            }),
+            "matmul_bt_packed" => time_kernel(reps, || match pool {
+                None => a.matmul_bt_packed(&b_nk),
+                Some(p) => a.matmul_bt_packed_on(&b_nk, p),
+            }),
+            "matmul_fast" => time_kernel(reps, || match pool {
+                None => a.matmul_fast(&b_kn),
+                Some(p) => a.matmul_fast_on(&b_kn, p),
+            }),
+            "matmul_t_accum_fast" => time_kernel(reps, || {
+                let mut out = Mat::zeros(k, n);
+                match pool {
+                    None => x_mk.matmul_t_accum_fast(&dy_mn, &mut out),
+                    Some(p) => x_mk.matmul_t_accum_fast_on(&dy_mn, &mut out, p),
+                }
+                out
+            }),
+            "matmul_t_accum" => time_kernel(reps, || {
+                let mut out = Mat::zeros(k, n);
+                match pool {
+                    None => x_mk.matmul_t_accum(&dy_mn, &mut out),
+                    Some(p) => x_mk.matmul_t_accum_on(&dy_mn, &mut out, p),
+                }
+                out
+            }),
+            other => unreachable!("unknown kernel {other}"),
+        }
+    };
+
+    set_kernel_mode(KernelMode::Naive);
+    let (naive_ms, naive_out) = run_arm(None);
+    set_kernel_mode(KernelMode::Blocked);
+
+    let mut arm_ms = [0.0f64; 3];
+    let mut arm_outs = Vec::with_capacity(3);
+    for (slot, pool) in arm_ms.iter_mut().zip(pools) {
+        let (t, out) = run_arm(Some(pool));
+        *slot = t;
+        arm_outs.push(out);
+    }
+    let deterministic = arm_outs.iter().all(|o| *o == arm_outs[0]);
+    assert!(
+        deterministic,
+        "{kernel}: blocked arms diverged across thread counts"
+    );
+    let bit_compat_with_naive = arm_outs[0] == naive_out;
+    let reassociating = matches!(
+        kernel,
+        "matmul_bt_packed" | "matmul_fast" | "matmul_t_accum_fast"
+    );
+    if reassociating {
+        // Normalize by the output's magnitude: elementwise relative error is
+        // meaningless where random sums cancel to near zero.
+        let scale = naive_out
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        let drift = naive_out
+            .as_slice()
+            .iter()
+            .zip(arm_outs[0].as_slice())
+            .map(|(&x, &y)| f64::from((x - y).abs() / scale))
+            .fold(0.0, f64::max);
+        assert!(
+            drift < 1e-5,
+            "{kernel}: reassociation drift {drift} too large"
+        );
+    } else {
+        assert!(
+            bit_compat_with_naive,
+            "{kernel}: blocked output diverged from naive"
+        );
+    }
+
+    eprintln!(
+        "[gemm] {kernel:<16} {m}x{k}x{n}: naive {naive_ms:>8.1}ms  blocked(1t) {:>8.1}ms  \
+         (2t) {:>8.1}ms  (4t) {:>8.1}ms",
+        arm_ms[0], arm_ms[1], arm_ms[2]
+    );
+    KernelTiming {
+        kernel,
+        m,
+        k,
+        n,
+        reps,
+        naive_ms,
+        blocked_1t_ms: arm_ms[0],
+        blocked_2t_ms: arm_ms[1],
+        blocked_4t_ms: arm_ms[2],
+        speedup_blocked: naive_ms / arm_ms[0],
+        speedup_4t: naive_ms / arm_ms[2],
+        deterministic,
+        bit_compat_with_naive,
+    }
+}
+
+/// Runs `steps` optimizer steps from a fresh deterministic model; returns
+/// (wall ms, per-step losses).
+fn run_training(s: &Setup, mode: KernelMode) -> (f64, Vec<f32>) {
+    set_kernel_mode(mode);
+    let mut model = Gpt::new(s.config, &mut Rng::seed_from(5));
+    let mut opt = AdamW::new(3e-4);
+    let mut data_rng = Rng::seed_from(17);
+    let batches: Vec<Vec<u32>> = (0..s.train_steps)
+        .map(|_| {
+            (0..s.batch * s.seq)
+                .map(|_| data_rng.below(s.config.vocab_size) as u32)
+                .collect()
+        })
+        .collect();
+    // Warmup one untimed step so page faults and allocator growth are paid
+    // before the clock starts.
+    let mut warm = Gpt::new(s.config, &mut Rng::seed_from(5));
+    let _ = warm.train_step(&batches[0], s.batch, s.seq, None, &mut AdamW::new(3e-4));
+
+    let start = Instant::now();
+    let losses = batches
+        .iter()
+        .map(|tokens| model.train_step(tokens, s.batch, s.seq, None, &mut opt))
+        .collect();
+    let wall = ms(start);
+    set_kernel_mode(KernelMode::Blocked);
+    (wall, losses)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = setup(smoke);
+    let pool_threads = pool::configure(4);
+    eprintln!("[gemm] mode={} global pool={pool_threads} threads", s.mode);
+
+    let pools = [ThreadPool::new(1), ThreadPool::new(2), ThreadPool::new(4)];
+    let mut rng = Rng::seed_from(9);
+    let kernels: Vec<KernelTiming> = [
+        "matmul_into",
+        "matmul_bt",
+        "matmul_bt_packed",
+        "matmul_fast",
+        "matmul_t_accum",
+        "matmul_t_accum_fast",
+    ]
+    .into_iter()
+    .map(|k| bench_kernel(k, s.shape, s.kernel_reps, &mut rng, &pools))
+    .collect();
+
+    eprintln!(
+        "[gemm] train step: dim={} layers={} batch={}x{} steps={}",
+        s.config.dim, s.config.n_layers, s.batch, s.seq, s.train_steps
+    );
+    let (naive_ms, naive_losses) = run_training(&s, KernelMode::Naive);
+    let (blocked_ms, blocked_losses) = run_training(&s, KernelMode::Blocked);
+    let (_, blocked_again) = run_training(&s, KernelMode::Blocked);
+    let blocked_deterministic = blocked_losses == blocked_again;
+    assert!(
+        blocked_deterministic,
+        "blocked training is non-deterministic: {blocked_losses:?} vs {blocked_again:?}"
+    );
+    let losses_max_rel_diff = max_rel_diff(&naive_losses, &blocked_losses);
+    assert!(
+        losses_max_rel_diff < 5e-3,
+        "train-step losses drifted: naive {naive_losses:?} vs blocked {blocked_losses:?}"
+    );
+    let train = TrainStep {
+        dim: s.config.dim,
+        n_layers: s.config.n_layers,
+        n_heads: s.config.n_heads,
+        batch: s.batch,
+        seq: s.seq,
+        steps: s.train_steps,
+        naive_ms,
+        blocked_4t_ms: blocked_ms,
+        speedup: naive_ms / blocked_ms,
+        blocked_deterministic,
+        losses_max_rel_diff,
+    };
+    eprintln!(
+        "[gemm] train step: naive {naive_ms:.1}ms  blocked(4t pool) {blocked_ms:.1}ms  \
+         speedup {:.2}x  loss drift {losses_max_rel_diff:.2e}",
+        train.speedup
+    );
+
+    let mut speedups = BTreeMap::new();
+    for kt in &kernels {
+        speedups.insert(kt.kernel.to_string(), kt.speedup_blocked);
+    }
+    speedups.insert("train_step".to_string(), train.speedup);
+
+    let report = Report {
+        bench: "gemm",
+        mode: s.mode,
+        pool_threads,
+        kernels,
+        train_step: train,
+        speedups,
+    };
+    save_json_str(&format!("gemm-{}", s.mode), &report.json());
+}

@@ -19,8 +19,9 @@
 //! ```
 
 pub mod context;
+pub mod gate;
 pub mod report;
 pub mod runs;
 
 pub use context::{Context, Scale, ScalePreset};
-pub use report::{results_dir, save_json, Table};
+pub use report::{results_dir, save_json, save_json_str, Table};

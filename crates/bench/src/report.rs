@@ -26,6 +26,22 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     eprintln!("[result] wrote {}", path.display());
 }
 
+/// Writes a pre-rendered JSON string to `crates/bench/results/<name>.json`.
+///
+/// For benchmarks that format their own reports — keeping the artifact a
+/// pure function of the measurements rather than of a serializer.
+///
+/// # Panics
+///
+/// Panics when the results directory cannot be created or written.
+pub fn save_json_str(name: &str, json: &str) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write result file");
+    eprintln!("[result] wrote {}", path.display());
+}
+
 /// Loads a previously saved JSON result, if present.
 #[must_use]
 pub fn load_json<T: serde::de::DeserializeOwned>(name: &str) -> Option<T> {

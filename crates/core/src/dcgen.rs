@@ -302,6 +302,8 @@ struct PoolMetrics {
     queue_depth_hist: Histogram,
     task_ms: Histogram,
     journal_ms: Histogram,
+    gemm_calls: Counter,
+    pool_threads: Gauge,
 }
 
 impl PoolMetrics {
@@ -324,6 +326,8 @@ impl PoolMetrics {
                 .histogram("dcgen.queue_depth.hist", DEPTH_BOUNDS),
             task_ms: tel.histogram_ms("dcgen.task.ms"),
             journal_ms: tel.histogram_ms("dcgen.journal.ms"),
+            gemm_calls: tel.counter("nn.gemm_calls"),
+            pool_threads: tel.gauge("nn.pool_threads"),
         }
     }
 
@@ -563,6 +567,12 @@ impl<'a> DcGen<'a> {
             None => Telemetry::disabled(),
         };
         let metrics = PoolMetrics::new(tel);
+        metrics
+            .pool_threads
+            .set(pagpass_nn::pool::global().threads() as f64);
+        // The GEMM counter is process-global; record this run's delta so
+        // the metric covers exactly this run.
+        let gemm_at_start = pagpass_nn::gemm_calls();
         let run_timer = tel.timer("dcgen.run");
         tel.event(
             "progress",
@@ -814,6 +824,9 @@ impl<'a> DcGen<'a> {
             self.write_journal(&mut s, pattern_list, path, opts.fault, &metrics);
         }
         metrics.observe_pool(&s);
+        metrics
+            .gemm_calls
+            .add(pagpass_nn::gemm_calls().saturating_sub(gemm_at_start));
         drop(run_timer); // records dcgen.run.ms before the final event
         tel.event(
             "progress",

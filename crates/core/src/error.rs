@@ -15,6 +15,17 @@ pub enum CoreError {
     Io(std::io::Error),
     /// A stored model could not be loaded.
     Load(pagpass_nn::LoadError),
+    /// A weight file is internally valid but shaped for a different
+    /// tokenizer, so its embedding/output matrices cannot multiply against
+    /// this build's vocabulary. Caught at load so the mismatch surfaces as
+    /// an error on the user-supplied file instead of a shape panic deep in
+    /// a GEMM kernel mid-generation.
+    VocabMismatch {
+        /// Vocabulary rows in the loaded weight file.
+        file_vocab: usize,
+        /// Vocabulary size of this build's tokenizer.
+        expected_vocab: usize,
+    },
     /// An operation requiring a specific model kind was invoked on the
     /// other (e.g. D&C-GEN on a PassGPT model).
     WrongKind {
@@ -47,6 +58,14 @@ impl fmt::Display for CoreError {
             CoreError::EmptyCorpus => write!(f, "training corpus is empty after encoding"),
             CoreError::Io(e) => write!(f, "i/o error: {e}"),
             CoreError::Load(e) => write!(f, "model load failed: {e}"),
+            CoreError::VocabMismatch {
+                file_vocab,
+                expected_vocab,
+            } => write!(
+                f,
+                "weight file was built for a {file_vocab}-token vocabulary, \
+                 but this build tokenizes into {expected_vocab} tokens"
+            ),
             CoreError::WrongKind { expected } => {
                 write!(f, "operation requires a {expected} model")
             }

@@ -314,13 +314,26 @@ impl PasswordModel {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Load`] on malformed files.
+    /// Returns [`CoreError::Load`] on malformed files and
+    /// [`CoreError::VocabMismatch`] when the file is valid but was trained
+    /// against a different vocabulary — without this check the mismatch
+    /// would only surface as a matrix-shape panic once generation feeds
+    /// tokenizer ids into the model.
     pub fn load(kind: ModelKind, path: impl AsRef<Path>) -> Result<PasswordModel, CoreError> {
         let gpt = Gpt::load(path)?;
+        let tokenizer = Tokenizer::new();
+        let file_vocab = gpt.config().vocab_size;
+        let expected_vocab = tokenizer.vocab().len();
+        if file_vocab != expected_vocab {
+            return Err(CoreError::VocabMismatch {
+                file_vocab,
+                expected_vocab,
+            });
+        }
         Ok(PasswordModel {
             kind,
             gpt,
-            tokenizer: Tokenizer::new(),
+            tokenizer,
         })
     }
 

@@ -1,7 +1,7 @@
 use std::path::Path;
 use std::time::Instant;
 
-use pagpass_nn::{AdamW, Gpt, LrSchedule, Rng};
+use pagpass_nn::{gemm_calls, pool, AdamW, Gpt, LrSchedule, Rng};
 use pagpass_telemetry::{Counter, Field, Gauge, Histogram, Telemetry};
 use pagpass_tokenizer::{TokenId, Vocab};
 use serde::{Deserialize, Serialize};
@@ -163,6 +163,8 @@ struct TrainMetrics {
     epoch: Gauge,
     step_ms: Histogram,
     checkpoint_ms: Histogram,
+    gemm_calls: Counter,
+    pool_threads: Gauge,
 }
 
 impl TrainMetrics {
@@ -181,6 +183,8 @@ impl TrainMetrics {
             epoch: tel.gauge("train.epoch"),
             step_ms: tel.histogram_ms("train.step.ms"),
             checkpoint_ms: tel.histogram_ms("train.checkpoint.ms"),
+            gemm_calls: tel.counter("nn.gemm_calls"),
+            pool_threads: tel.gauge("nn.pool_threads"),
         }
     }
 }
@@ -259,6 +263,10 @@ pub(crate) fn run_training_with(
         None => Telemetry::disabled(),
     };
     let metrics = TrainMetrics::new(tel);
+    metrics.pool_threads.set(pool::global().threads() as f64);
+    // The GEMM counter is process-global; report per-step deltas so the
+    // run's metric covers exactly this run.
+    let mut gemm_seen = gemm_calls();
     let run_timer = tel.timer("train.run");
     let ctx = gpt.config().ctx_len;
     let mut opt = AdamW::new(config.lr);
@@ -389,11 +397,7 @@ pub(crate) fn run_training_with(
                             progress.rollbacks += 1;
                             consecutive_failures = 0;
                             metrics.rollbacks.inc();
-                            tel.event(
-                                "warn",
-                                "train.rollback",
-                                &[("step", Field::U64(step))],
-                            );
+                            tel.event("warn", "train.rollback", &[("step", Field::U64(step))]);
                         }
                     }
                 }
@@ -404,16 +408,37 @@ pub(crate) fn run_training_with(
             metrics.steps.inc();
             metrics.lr.set(f64::from(opt.lr));
             metrics.lr_scale.set(f64::from(progress.lr_scale));
-            metrics.step_ms.record(step_started.elapsed().as_secs_f64() * 1e3);
+            metrics
+                .step_ms
+                .record(step_started.elapsed().as_secs_f64() * 1e3);
+            let gemm_now = gemm_calls();
+            metrics.gemm_calls.add(gemm_now.saturating_sub(gemm_seen));
+            gemm_seen = gemm_now;
 
             if let Some(policy) = &opts.checkpoint {
                 if policy.every_steps > 0 && progress.step.is_multiple_of(policy.every_steps) {
-                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report, &metrics);
+                    save_checkpoint(
+                        gpt,
+                        &opt,
+                        &progress,
+                        policy,
+                        opts.fault,
+                        &mut report,
+                        &metrics,
+                    );
                 }
             }
             if opts.cancel.is_some_and(CancelToken::is_cancelled) {
                 if let Some(policy) = &opts.checkpoint {
-                    save_checkpoint(gpt, &opt, &progress, policy, opts.fault, &mut report, &metrics);
+                    save_checkpoint(
+                        gpt,
+                        &opt,
+                        &progress,
+                        policy,
+                        opts.fault,
+                        &mut report,
+                        &metrics,
+                    );
                 }
                 report.interrupted = true;
                 break 'epochs;
@@ -452,7 +477,10 @@ pub(crate) fn run_training_with(
         &[
             ("steps", Field::U64(report.steps)),
             ("tokens_seen", Field::U64(report.tokens_seen)),
-            ("skipped_steps", Field::U64(report.skipped_steps.len() as u64)),
+            (
+                "skipped_steps",
+                Field::U64(report.skipped_steps.len() as u64),
+            ),
             ("rollbacks", Field::U64(report.rollbacks)),
             ("checkpoint_errors", Field::U64(report.checkpoint_errors)),
             ("interrupted", Field::Bool(report.interrupted)),
@@ -509,7 +537,9 @@ fn save_checkpoint(
     } else {
         metrics.checkpoint_writes.inc();
     }
-    metrics.checkpoint_ms.record(started.elapsed().as_secs_f64() * 1e3);
+    metrics
+        .checkpoint_ms
+        .record(started.elapsed().as_secs_f64() * 1e3);
 }
 
 /// Mean loss over a held-out set (no parameter updates).

@@ -90,35 +90,32 @@ impl SelfAttention {
             v.row_mut(r).copy_from_slice(&row[2 * c..3 * c]);
         }
 
+        // Each head is a pair of small GEMMs over contiguous t×d packs
+        // instead of per-element dot loops: packing costs O(t·d) copies and
+        // buys the cache-blocked kernels' throughput on the O(t²·d) math.
+        // Masked score entries are set to -inf before softmax exactly like
+        // the loop form did, and the resulting zeros above the diagonal make
+        // the P·V product skip them via the kernels' zero-skip rule.
         let mut out = Mat::zeros(b * t, c);
         let mut probs = Vec::with_capacity(b * h);
         for bi in 0..b {
             for hi in 0..h {
                 let col = hi * d;
-                let mut p = Mat::zeros(t, t);
+                let q_h = pack_head(&q, bi * t, t, col, d);
+                let k_h = pack_head(&k, bi * t, t, col, d);
+                let v_h = pack_head(&v, bi * t, t, col, d);
+                let mut p = q_h.matmul_bt_packed(&k_h);
+                p.scale(scale);
                 for i in 0..t {
-                    let qi = &q.row(bi * t + i)[col..col + d];
                     let prow = p.row_mut(i);
-                    for (j, pj) in prow.iter_mut().enumerate().take(i + 1) {
-                        *pj = dot(qi, &k.row(bi * t + j)[col..col + d]) * scale;
-                    }
                     // Causal mask: positions after i get -inf before softmax.
                     for pj in prow.iter_mut().skip(i + 1) {
                         *pj = f32::NEG_INFINITY;
                     }
                     softmax_in_place(prow);
                 }
-                for i in 0..t {
-                    let orow = out.row_mut(bi * t + i);
-                    let prow = p.row(i);
-                    for (j, &pij) in prow.iter().enumerate().take(i + 1) {
-                        axpy(
-                            &mut orow[col..col + d],
-                            pij,
-                            &v.row(bi * t + j)[col..col + d],
-                        );
-                    }
-                }
+                let out_h = p.matmul_fast(&v_h);
+                unpack_head(&mut out, &out_h, bi * t, col);
                 probs.push(p);
             }
         }
@@ -163,21 +160,24 @@ impl SelfAttention {
         let mut dk = Mat::zeros(b * t, c);
         let mut dv = Mat::zeros(b * t, c);
 
+        // Mirror of the packed-GEMM forward: every per-head product is a
+        // small GEMM over contiguous t×d packs. `dp`'s above-diagonal
+        // entries come out of the GEMM as garbage (the forward never
+        // computed those scores); the softmax-backward loop overwrites them
+        // with the zeros the math requires, and the zero-skip rule then
+        // drops them from the dQ/dK products.
         for bi in 0..b {
             for hi in 0..h {
                 let col = hi * d;
                 let p = &probs[bi * h + hi];
-                // dp[i][j] = dot(dout_i, v_j); dv_j += p[i][j] * dout_i
-                let mut dp = Mat::zeros(t, t);
-                for i in 0..t {
-                    let doi = &dout.row(bi * t + i)[col..col + d];
-                    let dpi = dp.row_mut(i);
-                    let pi = p.row(i);
-                    for j in 0..=i {
-                        dpi[j] = dot(doi, &v.row(bi * t + j)[col..col + d]);
-                        axpy(&mut dv.row_mut(bi * t + j)[col..col + d], pi[j], doi);
-                    }
-                }
+                let q_h = pack_head(&q, bi * t, t, col, d);
+                let k_h = pack_head(&k, bi * t, t, col, d);
+                let v_h = pack_head(&v, bi * t, t, col, d);
+                let do_h = pack_head(&dout, bi * t, t, col, d);
+                // dp[i][j] = dout_i · v_j; dv_j = Σ_i p[i][j] dout_i
+                let mut dp = do_h.matmul_bt_packed(&v_h);
+                let mut dv_h = Mat::zeros(t, d);
+                p.matmul_t_accum_fast(&do_h, &mut dv_h);
                 // Softmax backward per row: ds = p ∘ (dp - Σ dp∘p)
                 for i in 0..t {
                     let pi = p.row(i);
@@ -189,26 +189,17 @@ impl SelfAttention {
                     for j in 0..=i {
                         dpi[j] = pi[j] * (dpi[j] - dot_dp_p) * scale;
                     }
-                }
-                // dq_i += Σ_j ds[i][j] k_j ; dk_j += Σ_i ds[i][j] q_i
-                for i in 0..t {
-                    let dsi = dp.row(i);
-                    for (j, &s) in dsi.iter().enumerate().take(i + 1) {
-                        if s == 0.0 {
-                            continue;
-                        }
-                        axpy(
-                            &mut dq.row_mut(bi * t + i)[col..col + d],
-                            s,
-                            &k.row(bi * t + j)[col..col + d],
-                        );
-                        axpy(
-                            &mut dk.row_mut(bi * t + j)[col..col + d],
-                            s,
-                            &q.row(bi * t + i)[col..col + d],
-                        );
+                    for dpj in dpi.iter_mut().skip(i + 1) {
+                        *dpj = 0.0;
                     }
                 }
+                // dq_i = Σ_j ds[i][j] k_j ; dk_j = Σ_i ds[i][j] q_i
+                let dq_h = dp.matmul_fast(&k_h);
+                let mut dk_h = Mat::zeros(t, d);
+                dp.matmul_t_accum_fast(&q_h, &mut dk_h);
+                unpack_head(&mut dq, &dq_h, bi * t, col);
+                unpack_head(&mut dk, &dk_h, bi * t, col);
+                unpack_head(&mut dv, &dv_h, bi * t, col);
             }
         }
 
@@ -274,6 +265,26 @@ impl SelfAttention {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.qkv.visit_params(f);
         self.proj.visit_params(f);
+    }
+}
+
+/// Copies the `d` head columns starting at `col` of rows `[row0, row0+t)`
+/// into a contiguous `t×d` matrix so the per-head attention products can
+/// run through the cache-blocked GEMM kernels.
+fn pack_head(src: &Mat, row0: usize, t: usize, col: usize, d: usize) -> Mat {
+    let mut out = Mat::zeros(t, d);
+    for i in 0..t {
+        out.row_mut(i)
+            .copy_from_slice(&src.row(row0 + i)[col..col + d]);
+    }
+    out
+}
+
+/// Writes a packed `t×d` head matrix back into `dst`'s head columns.
+fn unpack_head(dst: &mut Mat, src: &Mat, row0: usize, col: usize) {
+    let d = src.cols();
+    for i in 0..src.rows() {
+        dst.row_mut(row0 + i)[col..col + d].copy_from_slice(src.row(i));
     }
 }
 

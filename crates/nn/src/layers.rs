@@ -52,9 +52,14 @@ impl Linear {
     }
 
     /// Forward pass, caching the input for `backward`.
+    ///
+    /// Runs the reassociating training GEMM ([`Mat::matmul_fast`]) — the
+    /// training loss tolerates last-bit differences from [`Linear::apply`], whose
+    /// association order the golden sampling tests pin.
     #[must_use]
     pub fn forward(&mut self, x: &Mat) -> Mat {
-        let y = self.apply(x);
+        let mut y = x.matmul_fast(&self.w.value);
+        self.add_bias(&mut y);
         self.cached_x = Some(x.clone());
         y
     }
@@ -63,6 +68,11 @@ impl Linear {
     #[must_use]
     pub fn apply(&self, x: &Mat) -> Mat {
         let mut y = x.matmul(&self.w.value);
+        self.add_bias(&mut y);
+        y
+    }
+
+    fn add_bias(&self, y: &mut Mat) {
         let b = self.b.value.row(0);
         for r in 0..y.rows() {
             let row = y.row_mut(r);
@@ -70,7 +80,6 @@ impl Linear {
                 *o += bias;
             }
         }
-        y
     }
 
     /// Backward pass: accumulates `dW`, `db` and returns `dX`.
@@ -84,14 +93,16 @@ impl Linear {
             .cached_x
             .take()
             .expect("backward requires a cached forward");
-        x.matmul_t_accum(dy, &mut self.w.grad);
+        x.matmul_t_accum_fast(dy, &mut self.w.grad);
         let db = self.b.grad.row_mut(0);
         for r in 0..dy.rows() {
             for (g, &d) in db.iter_mut().zip(dy.row(r)) {
                 *g += d;
             }
         }
-        dy.matmul_bt(&self.w.value)
+        // The packed kernel reassociates the dX sum for ~2× throughput;
+        // gradients tolerate that, the forward path would not.
+        dy.matmul_bt_packed(&self.w.value)
     }
 
     /// Visits both parameters (optimizer hook).
@@ -301,8 +312,24 @@ impl LayerNorm {
 /// ```
 #[must_use]
 pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + gelu_inner_tanh(x))
+}
+
+/// `tanh(sqrt(2/π)·(x + 0.044715·x³))` — the expensive inner factor shared
+/// by [`gelu`] and [`gelu_grad`]. Split out so the MLP can compute it once
+/// on the forward pass and reuse the cached value in backward; the
+/// expression is byte-for-byte the one the fused forms evaluated, so
+/// caching never changes a bit.
+fn gelu_inner_tanh(x: f32) -> f32 {
     const K: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (K * (x + 0.044_715 * x * x * x)).tanh())
+    (K * (x + 0.044_715 * x * x * x)).tanh()
+}
+
+/// Derivative of [`gelu`] given `x` and the precomputed
+/// [`gelu_inner_tanh`] value `t`.
+fn gelu_grad_with(x: f32, t: f32) -> f32 {
+    const K: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * K * (1.0 + 3.0 * 0.044_715 * x * x)
 }
 
 /// Derivative of [`gelu`].
@@ -316,10 +343,7 @@ pub fn gelu(x: f32) -> f32 {
 /// ```
 #[must_use]
 pub fn gelu_grad(x: f32) -> f32 {
-    const K: f32 = 0.797_884_6;
-    let u = K * (x + 0.044_715 * x * x * x);
-    let t = u.tanh();
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * K * (1.0 + 3.0 * 0.044_715 * x * x)
+    gelu_grad_with(x, gelu_inner_tanh(x))
 }
 
 /// The transformer MLP sub-block: `fc2(gelu(fc1(x)))` with a 4× hidden
@@ -331,7 +355,18 @@ pub struct Mlp {
     /// Contraction projection `4·dim → dim`.
     pub fc2: Linear,
     #[serde(skip)]
-    cached_h: Option<Mat>,
+    cached: Option<MlpCache>,
+}
+
+/// Forward activations the MLP keeps for backward: the fc1 pre-activation
+/// and the gelu inner tanh of each of its elements. Caching the tanh halves
+/// the activation cost of a train step — `tanh` dominates the elementwise
+/// work, and recomputing it in backward would double it for bits that are
+/// guaranteed identical.
+#[derive(Debug, Clone)]
+struct MlpCache {
+    h: Mat,
+    tanh: Vec<f32>,
 }
 
 impl Mlp {
@@ -341,7 +376,7 @@ impl Mlp {
         Mlp {
             fc1: Linear::new(dim, 4 * dim, rng),
             fc2: Linear::new(4 * dim, dim, rng),
-            cached_h: None,
+            cached: None,
         }
     }
 
@@ -350,10 +385,16 @@ impl Mlp {
     pub fn forward(&mut self, x: &Mat) -> Mat {
         let h = self.fc1.forward(x);
         let mut a = h.clone();
+        let mut tanh = Vec::with_capacity(a.as_slice().len());
         for v in a.as_mut_slice() {
-            *v = gelu(*v);
+            let x = *v;
+            let t = gelu_inner_tanh(x);
+            tanh.push(t);
+            // Same expression as `gelu` with the tanh factored out, so the
+            // activation bits match `apply` exactly.
+            *v = 0.5 * x * (1.0 + t);
         }
-        self.cached_h = Some(h);
+        self.cached = Some(MlpCache { h, tanh });
         self.fc2.forward(&a)
     }
 
@@ -374,13 +415,13 @@ impl Mlp {
     /// Panics if called without a preceding [`forward`](Self::forward).
     #[must_use]
     pub fn backward(&mut self, dy: &Mat) -> Mat {
-        let h = self
-            .cached_h
+        let MlpCache { h, tanh } = self
+            .cached
             .take()
             .expect("backward requires a cached forward");
         let mut da = self.fc2.backward(dy);
-        for (g, &pre) in da.as_mut_slice().iter_mut().zip(h.as_slice()) {
-            *g *= gelu_grad(pre);
+        for ((g, &pre), &t) in da.as_mut_slice().iter_mut().zip(h.as_slice()).zip(&tanh) {
+            *g *= gelu_grad_with(pre, t);
         }
         self.fc1.backward(&da)
     }

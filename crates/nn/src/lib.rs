@@ -3,10 +3,12 @@
 //!
 //! The paper trains a GPT-2-style decoder-only transformer. No deep-learning
 //! framework is used in this reproduction: this crate implements everything
-//! the models need, in pure safe Rust —
+//! the models need, from the matrix kernels up —
 //!
 //! * [`Mat`] — a dense row-major `f32` matrix with the small set of BLAS-like
-//!   kernels a transformer needs,
+//!   kernels a transformer needs; the GEMMs are cache-blocked and run on a
+//!   persistent worker pool ([`pool`]), with the reference loops retained
+//!   behind [`KernelMode::Naive`] for paired benchmarking,
 //! * layers with **manual forward/backward passes**: [`Linear`],
 //!   [`Embedding`], [`LayerNorm`], [`Mlp`] (GELU), and causal multi-head
 //!   [`SelfAttention`],
@@ -20,10 +22,12 @@
 //!   test-suite to prove every backward pass correct,
 //! * binary weight (de)serialization for experiment caching.
 //!
-//! Everything is deterministic given a seed, single-threaded, and sized for
-//! CPU-scale experiments; see `DESIGN.md` at the workspace root for how the
-//! reduced model relates to the paper's 12-layer / 256-dim configuration
-//! (available here as [`GptConfig::paper`]).
+//! Everything is deterministic given a seed — including parallel GEMM,
+//! which partitions work over disjoint output row-blocks so results are
+//! bit-identical at any thread count — and sized for CPU-scale experiments;
+//! see `DESIGN.md` at the workspace root for how the reduced model relates
+//! to the paper's 12-layer / 256-dim configuration (available here as
+//! [`GptConfig::paper`]).
 //!
 //! # Examples
 //!
@@ -45,10 +49,12 @@
 
 mod adamw;
 mod attention;
+mod fast;
 mod gpt;
 pub mod gradcheck;
 mod layers;
 mod mat;
+pub mod pool;
 mod rng;
 mod sampling;
 mod serialize;
@@ -57,7 +63,8 @@ pub use adamw::{AdamW, LrSchedule, Param};
 pub use attention::{KvCache, SelfAttention};
 pub use gpt::{DecodeState, Gpt, GptConfig};
 pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp};
-pub use mat::Mat;
+pub use mat::{gemm_calls, kernel_mode, set_kernel_mode, KernelMode, Mat};
+pub use pool::ThreadPool;
 pub use rng::Rng;
 pub use sampling::{
     argmax, sample_categorical, sample_masked, sample_top_k, sample_top_p, softmax_in_place,

@@ -1,6 +1,102 @@
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
 use serde::{Deserialize, Serialize};
 
+use crate::pool::{self, ThreadPool};
 use crate::Rng;
+
+/// Which GEMM implementation the [`Mat`] kernels dispatch to.
+///
+/// `Blocked` (the default) is the cache-blocked, optionally parallel path;
+/// `Naive` is the original reference triple loop, kept selectable so
+/// benchmarks can pair the two and tests can assert they are bit-identical.
+/// Both paths perform the same per-element floating-point operations in the
+/// same order, so switching modes never changes results — only speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Reference single-threaded triple loops.
+    Naive,
+    /// Cache-blocked kernels running on the global [`pool`].
+    Blocked,
+}
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(KernelMode::Blocked as u8);
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Selects the implementation behind the `Mat` GEMM entry points,
+/// process-wide. Benchmarks flip this to pair naive against blocked runs.
+pub fn set_kernel_mode(mode: KernelMode) {
+    // ORD: a mode flip is a whole-phase switch, not a synchronization
+    // point; readers may observe it one call late without harm.
+    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The currently selected GEMM implementation.
+#[must_use]
+pub fn kernel_mode() -> KernelMode {
+    // ORD: see `set_kernel_mode` — stale reads are benign.
+    if KERNEL_MODE.load(Ordering::Relaxed) == KernelMode::Naive as u8 {
+        KernelMode::Naive
+    } else {
+        KernelMode::Blocked
+    }
+}
+
+/// Total GEMM kernel invocations (`matmul`/`matmul_into`, `matmul_bt`,
+/// `matmul_t_accum`) since process start. The trainer and D&C-GEN report
+/// deltas of this as the `nn.gemm_calls` telemetry counter.
+#[must_use]
+pub fn gemm_calls() -> u64 {
+    // ORD: monotonic telemetry counter; no cross-thread ordering needed.
+    GEMM_CALLS.load(Ordering::Relaxed)
+}
+
+fn count_gemm_call() {
+    // ORD: monotonic telemetry counter; no cross-thread ordering needed.
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Rows of the shared operand kept hot per cache tile. 128 rows × 512 f32
+/// columns is 256 KiB — sized for L2 so a tile of `B` (or `dY`) is reused
+/// across a whole row-block of `A` instead of being re-streamed per row.
+/// A multiple of 4 so the unrolled micro-kernel only sees a remainder loop
+/// in the final tile.
+const K_TILE: usize = 128;
+
+/// Below this many element-ops a kernel runs single-chunk: waking parked
+/// workers costs more than the loop itself.
+const PAR_MIN_WORK: usize = 1 << 16;
+
+/// How many row-block chunks to split a kernel into.
+fn row_chunks(threads: usize, rows: usize, work_per_row: usize) -> usize {
+    if threads <= 1 || rows < 2 || rows.saturating_mul(work_per_row) < PAR_MIN_WORK {
+        1
+    } else {
+        threads.min(rows)
+    }
+}
+
+/// Mutable base pointer smuggled into pool chunks. Each chunk derives a
+/// disjoint row range from it, so aliasing never occurs.
+#[derive(Clone, Copy)]
+struct RowsPtr(*mut f32);
+
+impl RowsPtr {
+    /// The pointer offset by `off` elements. A method (rather than field
+    /// access) so closures capture the whole `Sync` wrapper, not the raw
+    /// pointer inside it.
+    fn at(self, off: usize) -> *mut f32 {
+        // SAFETY: callers only offset within the allocation they wrapped.
+        unsafe { self.0.add(off) }
+    }
+}
+
+// SAFETY: chunks index disjoint row blocks (enforced by the chunk → row
+// mapping in each kernel) and the pool's latch confines all dereferences to
+// the submitting call's stack frame.
+unsafe impl Send for RowsPtr {}
+// SAFETY: as above — shared access only ever touches disjoint rows.
+unsafe impl Sync for RowsPtr {}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -8,7 +104,10 @@ use crate::Rng;
 /// are flattened to `(batch × time) × dim`. The kernels below are the only
 /// BLAS-like routines the transformer needs; they are written so the
 /// auto-vectorizer produces tight inner loops (contiguous row accesses, no
-/// bounds checks inside the hot loops thanks to slice windows).
+/// bounds checks inside the hot loops thanks to slice windows). The GEMM
+/// entry points dispatch on [`KernelMode`]: cache-blocked kernels running on
+/// the persistent [`pool`] by default, with the reference loops retained
+/// behind [`KernelMode::Naive`]. Both produce bit-identical output.
 ///
 /// # Examples
 ///
@@ -119,13 +218,56 @@ impl Mat {
 
     /// `self · other`, writing into a pre-allocated output (overwrites).
     ///
+    /// Dispatches on [`kernel_mode`]; the blocked path runs on the global
+    /// [`pool`]. Use [`Mat::matmul_into_on`] to pin a specific pool.
+    ///
     /// # Panics
     ///
-    /// Panics on any dimension mismatch.
+    /// Panics on any dimension mismatch, naming both shapes.
     pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
-        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        assert_eq!(out.rows, self.rows, "output rows");
-        assert_eq!(out.cols, other.cols, "output cols");
+        self.assert_matmul_shapes(other, out);
+        count_gemm_call();
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_into_naive(other, out),
+            KernelMode::Blocked => self.matmul_into_pool(other, out, pool::global()),
+        }
+    }
+
+    /// The blocked `self · other` kernel on an explicit pool — bit-identical
+    /// to [`Mat::matmul_into`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch, naming both shapes.
+    pub fn matmul_into_on(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        self.assert_matmul_shapes(other, out);
+        count_gemm_call();
+        self.matmul_into_pool(other, out, pool);
+    }
+
+    fn assert_matmul_shapes(&self, other: &Mat, out: &Mat) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions must agree (lhs {}x{} · rhs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul: output is {}x{} but lhs {}x{} · rhs {}x{} produces {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols,
+            self.rows,
+            other.cols
+        );
+    }
+
+    /// The original reference loop, retained for `KernelMode::Naive`.
+    fn matmul_into_naive(&self, other: &Mat, out: &mut Mat) {
         let (k, n) = (self.cols, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -143,17 +285,79 @@ impl Mat {
         }
     }
 
+    fn matmul_into_pool(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let chunks = row_chunks(pool.threads(), m, k.saturating_mul(n));
+        let block = m.div_ceil(chunks.max(1));
+        let out_ptr = RowsPtr(out.data.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let i0 = c * block;
+            let i1 = ((c + 1) * block).min(m);
+            if i0 >= i1 {
+                return;
+            }
+            // SAFETY: chunk `c` owns exactly rows `[i0, i1)` of `out`
+            // (chunks tile `0..m` disjointly) and `pool.run` returns only
+            // after every chunk finished, confining this reborrow to the
+            // current frame.
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.at(i0 * n), (i1 - i0) * n) };
+            matmul_rows_blocked(self, other, i0, i1, out_rows);
+        });
+    }
+
     /// `selfᵀ · other`: `(k×m)ᵀ · (k×n) → (m×n)`, accumulating into `out`.
     ///
-    /// This is the weight-gradient kernel `dW += Xᵀ·dY`.
+    /// This is the weight-gradient kernel `dW += Xᵀ·dY`. Dispatches on
+    /// [`kernel_mode`] like [`Mat::matmul_into`].
     ///
     /// # Panics
     ///
-    /// Panics on any dimension mismatch.
+    /// Panics on any dimension mismatch, naming both shapes.
     pub fn matmul_t_accum(&self, other: &Mat, out: &mut Mat) {
-        assert_eq!(self.rows, other.rows, "leading dimensions must agree");
-        assert_eq!(out.rows, self.cols, "output rows");
-        assert_eq!(out.cols, other.cols, "output cols");
+        self.assert_t_accum_shapes(other, out);
+        count_gemm_call();
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_t_accum_naive(other, out),
+            KernelMode::Blocked => self.matmul_t_accum_pool(other, out, pool::global()),
+        }
+    }
+
+    /// The blocked `selfᵀ · other` accumulation on an explicit pool —
+    /// bit-identical to [`Mat::matmul_t_accum`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch, naming both shapes.
+    pub fn matmul_t_accum_on(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        self.assert_t_accum_shapes(other, out);
+        count_gemm_call();
+        self.matmul_t_accum_pool(other, out, pool);
+    }
+
+    fn assert_t_accum_shapes(&self, other: &Mat, out: &Mat) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_t_accum: leading dimensions must agree (lhsᵀ of {}x{} · rhs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "matmul_t_accum: output is {}x{} but {}x{}ᵀ · {}x{} produces {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols,
+            self.cols,
+            other.cols
+        );
+    }
+
+    /// The original reference loop, retained for `KernelMode::Naive`.
+    fn matmul_t_accum_naive(&self, other: &Mat, out: &mut Mat) {
         let n = other.cols;
         for r in 0..self.rows {
             let x_row = self.row(r);
@@ -170,27 +374,264 @@ impl Mat {
         }
     }
 
+    fn matmul_t_accum_pool(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        let (m, n) = (self.cols, other.cols);
+        let chunks = row_chunks(pool.threads(), m, self.rows.saturating_mul(n));
+        let block = m.div_ceil(chunks.max(1));
+        let out_ptr = RowsPtr(out.data.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let i0 = c * block;
+            let i1 = ((c + 1) * block).min(m);
+            if i0 >= i1 {
+                return;
+            }
+            // SAFETY: disjoint row blocks of `out`, confined by the pool's
+            // latch to this call — see `matmul_into_pool`.
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.at(i0 * n), (i1 - i0) * n) };
+            t_accum_rows_blocked(self, other, i0, i1, out_rows);
+        });
+    }
+
     /// `self · otherᵀ`: `(m×k) · (n×k)ᵀ → (m×n)`.
     ///
     /// This is the input-gradient kernel `dX = dY·Wᵀ` (and the attention
     /// score kernel `Q·Kᵀ`). Both operands are traversed row-contiguously,
-    /// so the inner loop is a dot product of two slices.
+    /// so the inner loop is a dot product of two slices. Dispatches on
+    /// [`kernel_mode`]; both modes share the same per-row dot kernel, the
+    /// blocked path merely spreads rows across the pool.
     ///
     /// # Panics
     ///
-    /// Panics on inner-dimension mismatch.
+    /// Panics on inner-dimension mismatch, naming both shapes.
     #[must_use]
     pub fn matmul_bt(&self, other: &Mat) -> Mat {
-        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        self.assert_bt_shapes(other);
+        count_gemm_call();
         let mut out = Mat::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_bt_rows(other, 0, self.rows, &mut out.data),
+            KernelMode::Blocked => self.matmul_bt_pool(other, &mut out, pool::global()),
+        }
+        out
+    }
+
+    /// The blocked `self · otherᵀ` kernel on an explicit pool —
+    /// bit-identical to [`Mat::matmul_bt`] at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    #[must_use]
+    pub fn matmul_bt_on(&self, other: &Mat, pool: &ThreadPool) -> Mat {
+        self.assert_bt_shapes(other);
+        count_gemm_call();
+        let mut out = Mat::zeros(self.rows, other.rows);
+        self.matmul_bt_pool(other, &mut out, pool);
+        out
+    }
+
+    fn assert_bt_shapes(&self, other: &Mat) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt: inner dimensions must agree (lhs {}x{} · rhsᵀ of {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+    }
+
+    fn matmul_bt_pool(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        let (m, n) = (self.rows, other.rows);
+        let chunks = row_chunks(pool.threads(), m, self.cols.saturating_mul(n));
+        let block = m.div_ceil(chunks.max(1));
+        let out_ptr = RowsPtr(out.data.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let i0 = c * block;
+            let i1 = ((c + 1) * block).min(m);
+            if i0 >= i1 {
+                return;
+            }
+            // SAFETY: disjoint row blocks of `out`, confined by the pool's
+            // latch to this call — see `matmul_into_pool`.
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.at(i0 * n), (i1 - i0) * n) };
+            self.matmul_bt_rows(other, i0, i1, out_rows);
+        });
+    }
+
+    /// Rows `[i0, i1)` of `self · otherᵀ` into `out_rows` — the one shared
+    /// inner kernel for both modes, so they agree bit-for-bit by
+    /// construction.
+    fn matmul_bt_rows(&self, other: &Mat, i0: usize, i1: usize, out_rows: &mut [f32]) {
+        let n = other.rows;
+        for i in i0..i1 {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
+            let base = (i - i0) * n;
+            let out_row = &mut out_rows[base..base + n];
             for (j, o) in out_row.iter_mut().enumerate() {
                 *o = dot(a_row, other.row(j));
             }
         }
+    }
+
+    /// Returns the transpose as a new matrix.
+    #[must_use]
+    pub fn transposed(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
         out
+    }
+
+    /// `self · otherᵀ` for training/gradient paths — the packed-transpose
+    /// kernel.
+    ///
+    /// Under [`KernelMode::Blocked`] this packs `otherᵀ` into a contiguous
+    /// buffer once and runs the register-tiled `fast` kernel,
+    /// which sustains several times the throughput of [`Mat::matmul_bt`]'s
+    /// latency-bound four-accumulator dot. The price is a different
+    /// per-element summation order (and FMA rounding on CPUs that have it),
+    /// so results differ from `matmul_bt` in the last bits. That makes this
+    /// kernel safe exactly where downstream consumers tolerate FP
+    /// reassociation — training — and unsafe in the forward sampling path,
+    /// whose association order is pinned by the golden-output tests.
+    ///
+    /// Under [`KernelMode::Naive`] this routes to the dot-form reference
+    /// loop, bit-identical to the pre-kernel-layer trainer. In either mode
+    /// the result is bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    #[must_use]
+    pub fn matmul_bt_packed(&self, other: &Mat) -> Mat {
+        self.assert_bt_shapes(other);
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_bt(other),
+            KernelMode::Blocked => {
+                count_gemm_call();
+                let packed = other.transposed();
+                let mut out = Mat::zeros(self.rows, other.rows);
+                self.fast_gemm_pool(&packed, &mut out, pool::global(), false);
+                out
+            }
+        }
+    }
+
+    /// [`Mat::matmul_bt_packed`]'s blocked arm on an explicit pool —
+    /// bit-identical to the global-pool blocked arm at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    #[must_use]
+    pub fn matmul_bt_packed_on(&self, other: &Mat, pool: &ThreadPool) -> Mat {
+        self.assert_bt_shapes(other);
+        count_gemm_call();
+        let packed = other.transposed();
+        let mut out = Mat::zeros(self.rows, other.rows);
+        self.fast_gemm_pool(&packed, &mut out, pool, false);
+        out
+    }
+
+    /// `self · other` through the reassociating training kernel.
+    ///
+    /// Same contract as [`Mat::matmul_bt_packed`]: bit-identical at any
+    /// thread count, but a different per-element association order (and FMA
+    /// rounding where available) than [`Mat::matmul`] — so it may only be
+    /// used on the training path, never in forward sampling. Under
+    /// [`KernelMode::Naive`] it routes to the reference loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    #[must_use]
+    pub fn matmul_fast(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.assert_matmul_shapes(other, &out);
+        count_gemm_call();
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_into_naive(other, &mut out),
+            KernelMode::Blocked => self.fast_gemm_pool(other, &mut out, pool::global(), false),
+        }
+        out
+    }
+
+    /// [`Mat::matmul_fast`]'s blocked arm on an explicit pool —
+    /// bit-identical to the global-pool blocked arm at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    #[must_use]
+    pub fn matmul_fast_on(&self, other: &Mat, pool: &ThreadPool) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.assert_matmul_shapes(other, &out);
+        count_gemm_call();
+        self.fast_gemm_pool(other, &mut out, pool, false);
+        out
+    }
+
+    /// `selfᵀ · other` accumulated into `out` through the reassociating
+    /// training kernel — the weight-gradient (`dW += Xᵀ·dY`) fast path.
+    ///
+    /// Packs `selfᵀ` once (an O(r·m) copy against the O(r·m·n) product) so
+    /// the reduction runs down contiguous rows. Same contract as
+    /// [`Mat::matmul_fast`]: thread-count invariant, association order
+    /// differs from [`Mat::matmul_t_accum`], training-path only. Under
+    /// [`KernelMode::Naive`] it routes to the reference loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch, naming both shapes.
+    pub fn matmul_t_accum_fast(&self, other: &Mat, out: &mut Mat) {
+        self.assert_t_accum_shapes(other, out);
+        count_gemm_call();
+        match kernel_mode() {
+            KernelMode::Naive => self.matmul_t_accum_naive(other, out),
+            KernelMode::Blocked => {
+                let xt = self.transposed();
+                xt.fast_gemm_pool(other, out, pool::global(), true);
+            }
+        }
+    }
+
+    /// [`Mat::matmul_t_accum_fast`]'s blocked arm on an explicit pool —
+    /// bit-identical to the global-pool blocked arm at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch, naming both shapes.
+    pub fn matmul_t_accum_fast_on(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool) {
+        self.assert_t_accum_shapes(other, out);
+        count_gemm_call();
+        let xt = self.transposed();
+        xt.fast_gemm_pool(other, out, pool, true);
+    }
+
+    /// Chunks output rows across the pool and hands each disjoint block to
+    /// the [`crate::fast`] kernel. Each output row is produced entirely by
+    /// one chunk, so the chunk count (and thus thread count) can never
+    /// change the bits.
+    fn fast_gemm_pool(&self, other: &Mat, out: &mut Mat, pool: &ThreadPool, accumulate: bool) {
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let chunks = row_chunks(pool.threads(), m, k.saturating_mul(n));
+        let block = m.div_ceil(chunks.max(1));
+        let out_ptr = RowsPtr(out.data.as_mut_ptr());
+        pool.run(chunks, &|c| {
+            let i0 = c * block;
+            let i1 = ((c + 1) * block).min(m);
+            if i0 >= i1 {
+                return;
+            }
+            // SAFETY: disjoint row blocks of `out`, confined by the pool's
+            // latch to this call — see `matmul_into_pool`.
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.at(i0 * n), (i1 - i0) * n) };
+            crate::fast::gemm_rows(&self.data, k, &other.data, n, i0..i1, out_rows, accumulate);
+        });
     }
 
     /// Adds `other` element-wise.
@@ -252,6 +693,159 @@ pub(crate) fn axpy(a: &mut [f32], scale: f32, b: &[f32]) {
     debug_assert_eq!(a.len(), b.len());
     for (x, &y) in a.iter_mut().zip(b) {
         *x += scale * y;
+    }
+}
+
+/// Rows `[i0, i1)` of `a · b` into `out_rows`, cache-blocked over k.
+///
+/// Bit-exactness contract: for every output element this performs the same
+/// f32 additions in the same order as `matmul_into_naive` — ascending `kk`,
+/// one accumulation per nonzero `a[i][kk]`, zeros skipped rather than added
+/// (adding `0.0 * b` is *not* an identity for `-0.0`/inf/NaN operands). The
+/// k-tiling only regroups iterations; the 4-wide micro-kernel fuses four
+/// consecutive accumulation passes into one sweep of `out_row` but keeps
+/// each element's add chain sequential, falling back to per-k skips when a
+/// zero appears. The rejected alternative — packing `bᵀ` and reducing each
+/// element as a dot product — would be faster still but sums in a different
+/// association order, which would break the golden-output tests.
+fn matmul_rows_blocked(a: &Mat, b: &Mat, i0: usize, i1: usize, out_rows: &mut [f32]) {
+    let (k, n) = (a.cols, b.cols);
+    out_rows.fill(0.0);
+    let mut kt = 0;
+    while kt < k {
+        let kt_end = (kt + K_TILE).min(k);
+        for i in i0..i1 {
+            let a_row = &a.data[i * k..(i + 1) * k];
+            let base = (i - i0) * n;
+            let out_row = &mut out_rows[base..base + n];
+            let mut kk = kt;
+            while kk + 8 <= kt_end {
+                let av = &a_row[kk..kk + 8];
+                if av.iter().all(|&a| a != 0.0) {
+                    let b0 = &b.data[kk * n..][..n];
+                    let b1 = &b.data[(kk + 1) * n..][..n];
+                    let b2 = &b.data[(kk + 2) * n..][..n];
+                    let b3 = &b.data[(kk + 3) * n..][..n];
+                    let b4 = &b.data[(kk + 4) * n..][..n];
+                    let b5 = &b.data[(kk + 5) * n..][..n];
+                    let b6 = &b.data[(kk + 6) * n..][..n];
+                    let b7 = &b.data[(kk + 7) * n..][..n];
+                    let (a0, a1, a2, a3) = (av[0], av[1], av[2], av[3]);
+                    let (a4, a5, a6, a7) = (av[4], av[5], av[6], av[7]);
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let s = (((*o + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+                        *o = (((s + a4 * b4[j]) + a5 * b5[j]) + a6 * b6[j]) + a7 * b7[j];
+                    }
+                } else {
+                    for (d, &aik) in av.iter().enumerate() {
+                        if aik != 0.0 {
+                            axpy(out_row, aik, &b.data[(kk + d) * n..][..n]);
+                        }
+                    }
+                }
+                kk += 8;
+            }
+            while kk + 4 <= kt_end {
+                let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    let b0 = &b.data[kk * n..][..n];
+                    let b1 = &b.data[(kk + 1) * n..][..n];
+                    let b2 = &b.data[(kk + 2) * n..][..n];
+                    let b3 = &b.data[(kk + 3) * n..][..n];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = (((*o + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+                    }
+                } else {
+                    for (d, aik) in [a0, a1, a2, a3].into_iter().enumerate() {
+                        if aik != 0.0 {
+                            axpy(out_row, aik, &b.data[(kk + d) * n..][..n]);
+                        }
+                    }
+                }
+                kk += 4;
+            }
+            for (d, &aik) in a_row[kk..kt_end].iter().enumerate() {
+                if aik != 0.0 {
+                    axpy(out_row, aik, &b.data[(kk + d) * n..][..n]);
+                }
+            }
+        }
+        kt = kt_end;
+    }
+}
+
+/// Rows `[i0, i1)` of `xᵀ · dy` accumulated into `out_rows`, cache-blocked
+/// over the reduction dimension `r` (the shared leading dimension).
+///
+/// Same bit-exactness contract as [`matmul_rows_blocked`]: the naive kernel
+/// accumulates each `out[i][j]` over ascending `r`, skipping `x[r][i] == 0`;
+/// swapping the loop nest to `i`-outer and tiling `r` preserves that
+/// per-element order exactly.
+fn t_accum_rows_blocked(x: &Mat, dy: &Mat, i0: usize, i1: usize, out_rows: &mut [f32]) {
+    let (rows, cols, n) = (x.rows, x.cols, dy.cols);
+    let mut rt = 0;
+    while rt < rows {
+        let rt_end = (rt + K_TILE).min(rows);
+        for i in i0..i1 {
+            let base = (i - i0) * n;
+            let out_row = &mut out_rows[base..base + n];
+            let mut r = rt;
+            while r + 8 <= rt_end {
+                let xv: [f32; 8] = std::array::from_fn(|d| x.data[(r + d) * cols + i]);
+                if xv.iter().all(|&v| v != 0.0) {
+                    let d0 = &dy.data[r * n..][..n];
+                    let d1 = &dy.data[(r + 1) * n..][..n];
+                    let d2 = &dy.data[(r + 2) * n..][..n];
+                    let d3 = &dy.data[(r + 3) * n..][..n];
+                    let d4 = &dy.data[(r + 4) * n..][..n];
+                    let d5 = &dy.data[(r + 5) * n..][..n];
+                    let d6 = &dy.data[(r + 6) * n..][..n];
+                    let d7 = &dy.data[(r + 7) * n..][..n];
+                    let (x0, x1, x2, x3) = (xv[0], xv[1], xv[2], xv[3]);
+                    let (x4, x5, x6, x7) = (xv[4], xv[5], xv[6], xv[7]);
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let s = (((*o + x0 * d0[j]) + x1 * d1[j]) + x2 * d2[j]) + x3 * d3[j];
+                        *o = (((s + x4 * d4[j]) + x5 * d5[j]) + x6 * d6[j]) + x7 * d7[j];
+                    }
+                } else {
+                    for (d, &v) in xv.iter().enumerate() {
+                        if v != 0.0 {
+                            axpy(out_row, v, &dy.data[(r + d) * n..][..n]);
+                        }
+                    }
+                }
+                r += 8;
+            }
+            while r + 4 <= rt_end {
+                let x0 = x.data[r * cols + i];
+                let x1 = x.data[(r + 1) * cols + i];
+                let x2 = x.data[(r + 2) * cols + i];
+                let x3 = x.data[(r + 3) * cols + i];
+                if x0 != 0.0 && x1 != 0.0 && x2 != 0.0 && x3 != 0.0 {
+                    let d0 = &dy.data[r * n..][..n];
+                    let d1 = &dy.data[(r + 1) * n..][..n];
+                    let d2 = &dy.data[(r + 2) * n..][..n];
+                    let d3 = &dy.data[(r + 3) * n..][..n];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        *o = (((*o + x0 * d0[j]) + x1 * d1[j]) + x2 * d2[j]) + x3 * d3[j];
+                    }
+                } else {
+                    for (d, xv) in [x0, x1, x2, x3].into_iter().enumerate() {
+                        if xv != 0.0 {
+                            axpy(out_row, xv, &dy.data[(r + d) * n..][..n]);
+                        }
+                    }
+                }
+                r += 4;
+            }
+            for r in r..rt_end {
+                let xv = x.data[r * cols + i];
+                if xv != 0.0 {
+                    axpy(out_row, xv, &dy.data[r * n..][..n]);
+                }
+            }
+        }
+        rt = rt_end;
     }
 }
 

@@ -1,0 +1,406 @@
+//! Persistent worker pool for the GEMM kernels in [`crate::Mat`].
+//!
+//! The transformer's hot path bottoms out in three matrix kernels, and the
+//! repo's fault-tolerant generation pool already parks its workers on a
+//! condvar rather than respawning threads per task. This module applies the
+//! same discipline to compute: a fixed set of workers is spawned once,
+//! parked on a condvar while idle, and woken to claim chunks of a parallel
+//! loop. Spawning threads per matmul would cost more than the matmuls.
+//!
+//! # Determinism
+//!
+//! The pool never changes *what* is computed, only *who* computes it. A job
+//! is a set of `chunks` independent chunk indices; the kernels map each
+//! chunk to a disjoint block of output rows and compute every row exactly
+//! as the sequential code would (same per-element floating-point operation
+//! order). Workers claim chunks from a shared counter, so which thread runs
+//! a chunk — and in what order chunks finish — varies between runs, but the
+//! bits written for each row do not. Results are therefore identical at any
+//! thread count, which the golden-output and equivalence tests assert.
+//!
+//! # Concurrency model
+//!
+//! * One job runs at a time per pool (`submit` guard). A caller that finds
+//!   the pool busy — e.g. nested parallelism, or two D&C-GEN workers hitting
+//!   the global pool at once — executes its loop inline instead of queueing,
+//!   so the pool can never deadlock on itself.
+//! * The submitting thread participates in its own job and then blocks on a
+//!   latch until every chunk has been executed. The borrow behind the job's
+//!   task pointer is pinned by that wait: workers can only dereference the
+//!   pointer between submission and the latch release (the one `unsafe`
+//!   block below).
+//! * Workers park on a [`Condvar`] keyed by a job epoch, so missed wakeups
+//!   and spurious wakeups are both benign: a worker that wakes late finds
+//!   the chunk counter exhausted and goes back to sleep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Environment variable consulted for the global pool size when the CLI's
+/// `--threads` flag has not configured it first.
+pub const THREADS_ENV: &str = "PAGPASS_THREADS";
+
+/// Locks `m`, taking the data even if a panicking thread poisoned it: the
+/// pool's shared state (an epoch, a shutdown flag, a chunk count) is valid
+/// under any interleaving of its writers.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lifetime-erased pointer to a job's chunk body.
+///
+/// Sending `&dyn Fn` across threads with a borrowed lifetime is exactly what
+/// `std::thread::scope` does; here the scope is enforced by `Latch::wait`
+/// instead of a join, so the pointer must be erased. See the `SAFETY`
+/// comment at the dereference site.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the pointer is only dereferenced while the submitting caller blocks on
+// the job's latch, which keeps the borrow alive.
+unsafe impl Send for TaskPtr {}
+// SAFETY: as above — `&TaskPtr` only ever exposes a `Sync` pointee.
+unsafe impl Sync for TaskPtr {}
+
+/// Completion latch: counts executed chunks up to the job's total.
+struct Latch {
+    finished: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            finished: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Records `n` executed chunks, waking the submitter when `total` is
+    /// reached. The mutex publishes the chunk bodies' writes to the waiter.
+    fn add(&self, n: usize, total: usize) {
+        let mut done = lock(&self.finished);
+        *done += n;
+        if *done >= total {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until `total` chunks have been recorded.
+    fn wait(&self, total: usize) {
+        // LINT-ALLOW: lock-scope the guard rides through the condvar wait;
+        // that is the condvar protocol, not a held-lock bug.
+        let mut done = lock(&self.finished);
+        while *done < total {
+            done = self
+                .all_done
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One parallel loop: `chunks` indices executed by whoever claims them.
+#[derive(Clone)]
+struct Job {
+    task: TaskPtr,
+    chunks: usize,
+    /// Next unclaimed chunk index; may overshoot `chunks`.
+    claimed: Arc<AtomicUsize>,
+    latch: Arc<Latch>,
+}
+
+impl Job {
+    /// Claims and executes chunks until the counter is exhausted, then
+    /// reports the executed count to the latch.
+    fn execute(&self) {
+        let mut ran = 0;
+        loop {
+            // ORD: the counter only hands out disjoint indices; the latch's
+            // mutex provides the happens-before edge for the chunk writes.
+            let c = self.claimed.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                break;
+            }
+            // SAFETY: `ThreadPool::run` blocks on `latch.wait` until every
+            // chunk has executed, so the closure this pointer was erased
+            // from is still borrowed for the duration of this call.
+            let task = unsafe { &*self.task.0 };
+            task(c);
+            ran += 1;
+        }
+        if ran > 0 {
+            self.latch.add(ran, self.chunks);
+        }
+    }
+}
+
+/// State shared between the submitter and the parked workers.
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+struct State {
+    /// Bumped once per submitted job so workers can tell a new job from the
+    /// one they already ran.
+    epoch: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            // LINT-ALLOW: lock-scope the guard rides through the condvar
+            // wait; workers are parked here whenever no job is in flight.
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job.clone() {
+                        break job;
+                    }
+                    // The job was already retired; wait for the next epoch.
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job.execute();
+    }
+}
+
+/// A persistent, condvar-parked worker pool executing chunked parallel
+/// loops with deterministic results (see the module docs).
+///
+/// `ThreadPool::new(1)` spawns no workers and runs everything inline, so a
+/// single-threaded configuration has zero synchronization overhead.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Serializes job submission; `try_lock` failure means "pool busy, run
+    /// inline" rather than queueing (prevents self-deadlock on nesting).
+    submit: Mutex<()>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes jobs on `threads` threads total — the
+    /// submitting caller plus `threads - 1` parked workers. `threads` is
+    /// clamped to at least 1.
+    #[must_use]
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("pagpass-gemm-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    // LINT-ALLOW: no-unwrap-in-lib spawn fails only on
+                    // resource exhaustion at process start; nothing to do.
+                    .expect("spawn GEMM worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            submit: Mutex::new(()),
+            threads,
+            workers,
+        }
+    }
+
+    /// Total threads this pool applies to a job (workers + caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `task(0)`, `task(1)`, …, `task(chunks - 1)` across the pool,
+    /// returning once all have run. Chunks must be independent; they are
+    /// claimed in arbitrary thread order.
+    ///
+    /// Runs inline on the caller when the pool has one thread, the job has
+    /// one chunk, or another job is already in flight (nested parallelism).
+    pub fn run(&self, chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if chunks <= 1 || self.workers.is_empty() {
+            for c in 0..chunks {
+                task(c);
+            }
+            return;
+        }
+        // A poisoned or held submit lock both mean "don't park on the pool".
+        let Ok(_submit) = self.submit.try_lock() else {
+            for c in 0..chunks {
+                task(c);
+            }
+            return;
+        };
+        // SAFETY: pure lifetime erasure on a fat pointer — the `'static`
+        // in `TaskPtr`'s pointee is never relied on; dereferences are
+        // confined to this call by the latch wait below.
+        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Job {
+            task: TaskPtr(task),
+            chunks,
+            claimed: Arc::new(AtomicUsize::new(0)),
+            latch: Arc::new(Latch::new()),
+        };
+        {
+            let mut st = lock(&self.shared.state);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(job.clone());
+            self.shared.work_ready.notify_all();
+        }
+        job.execute();
+        job.latch.wait(job.chunks);
+        // Retire the job so the erased pointer cannot linger in shared
+        // state past the borrow it was created from.
+        lock(&self.shared.state).job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Sizes the process-wide pool used by the [`crate::Mat`] kernels.
+///
+/// Call this once, early (the CLI does so while parsing `--threads`).
+/// Returns the pool's actual thread count: `threads` on the first call, or
+/// the previously established size if the pool was already built — callers
+/// can compare and warn on a lost race, but cannot resize a live pool.
+pub fn configure(threads: usize) -> usize {
+    let threads = threads.max(1);
+    GLOBAL.get_or_init(|| ThreadPool::new(threads)).threads()
+}
+
+/// The process-wide pool, building it on first use from `PAGPASS_THREADS`
+/// or, failing that, the machine's available parallelism.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Thread count the global pool would use if built right now.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for chunks in [0, 1, 2, 3, 7, 64] {
+            let hits: Vec<AtomicU64> = (0..chunks).map(|_| AtomicU64::new(0)).collect();
+            pool.run(chunks, &|c| {
+                // ORD: test counter; asserted after the run's latch.
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {c} of {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_no_workers_and_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        let caller = thread::current().id();
+        pool.run(5, &|_| assert_eq!(thread::current().id(), caller));
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(8, &|c| {
+                // ORD: test counter; asserted after all runs complete.
+                total.fetch_add(c as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 100 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_runs_fall_back_to_inline_instead_of_deadlocking() {
+        let pool = ThreadPool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.run(2, &|_| {
+            pool.run(3, &|_| {
+                // ORD: test counter; asserted after the outer latch.
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn chunk_results_are_independent_of_claim_order() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        pool.run(out.len(), &|c| {
+            // ORD: disjoint per-chunk cells; read back after the latch.
+            out[c].store((c as u64).wrapping_mul(2_654_435_761), Ordering::Relaxed);
+        });
+        for (c, v) in out.iter().enumerate() {
+            assert_eq!(
+                v.load(Ordering::Relaxed),
+                (c as u64).wrapping_mul(2_654_435_761)
+            );
+        }
+    }
+
+    #[test]
+    fn configure_is_first_writer_wins() {
+        // The global pool is process-wide; this test only asserts the
+        // contract that repeated configuration reports the live size.
+        let first = configure(2);
+        assert_eq!(configure(7), first);
+        assert_eq!(global().threads(), first);
+    }
+}

@@ -121,7 +121,15 @@ fn jsonl_records_roundtrip_through_the_parser() {
     assert_eq!(fields.get("healthy").unwrap(), &JsonValue::Bool(true));
     let span = parse_json(lines[1]).unwrap();
     assert_eq!(span.get("kind").unwrap().as_str(), Some("span"));
-    assert!(span.get("fields").unwrap().get("ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(
+        span.get("fields")
+            .unwrap()
+            .get("ms")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            >= 0.0
+    );
 }
 
 #[test]

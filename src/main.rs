@@ -25,7 +25,7 @@ use pagpass::core::{
 };
 use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
-use pagpass::nn::{atomic_write, GptConfig};
+use pagpass::nn::{atomic_write, pool, GptConfig};
 use pagpass::patterns::{Pattern, PatternDistribution};
 use pagpass::telemetry::{Field, LogFormat, Reporter, Telemetry};
 use pagpass::tokenizer::VOCAB_SIZE;
@@ -64,6 +64,11 @@ Telemetry (any subcommand):
   --metrics-out FILE         write a final metrics snapshot as JSON
   --quiet                    suppress all stderr records
 
+Compute (any subcommand):
+  --threads N                GEMM worker threads (default: PAGPASS_THREADS,
+                             else all available cores); output is identical
+                             at any thread count
+
 Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
 and continue with --resume. dcgen exits with code 3 when tasks were
 abandoned after exhausting retries.";
@@ -73,6 +78,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Err("missing subcommand".into());
     };
     let parsed = Parsed::parse(rest)?;
+    // Size the GEMM pool before any model work touches it. 0 means "auto"
+    // (PAGPASS_THREADS, else available cores). Thread count never changes
+    // results — kernels are bit-exact at any parallelism — only speed.
+    let threads: usize = parsed.num("threads", 0)?;
+    if threads > 0 {
+        let got = pool::configure(threads);
+        if got != threads {
+            eprintln!(
+                "warning: GEMM pool already sized to {got} threads; --threads {threads} ignored"
+            );
+        }
+    }
     let tel = TelemetrySetup::from_flags(&parsed)?;
     let code = match command.as_str() {
         "synth" => cmd_synth(&parsed, &tel),
@@ -324,7 +341,10 @@ fn install_sigint(cancel: &CancelToken, tel: &Arc<Telemetry>) {
             tel.event(
                 "warn",
                 "cli.interrupted",
-                &[("action", Field::Str("draining; Ctrl-C again to kill".into()))],
+                &[(
+                    "action",
+                    Field::Str("draining; Ctrl-C again to kill".into()),
+                )],
             );
             cancel.cancel();
             unsafe {
@@ -351,7 +371,7 @@ fn cmd_synth(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             &[
                 ("unique", Field::U64(report.unique_total as u64)),
                 ("retained", Field::U64(report.retained.len() as u64)),
-                ("retention_pct", Field::F64(100.0 * f64::from(report.retention_rate()))),
+                ("retention_pct", Field::F64(100.0 * report.retention_rate())),
             ],
         );
         leak = report.retained;
@@ -401,13 +421,26 @@ fn cmd_train(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             ("corpus", Field::U64(corpus.len() as u64)),
             (
                 "first_loss",
-                Field::F64(report.epoch_losses.first().map_or(f64::NAN, |l| f64::from(*l))),
+                Field::F64(
+                    report
+                        .epoch_losses
+                        .first()
+                        .map_or(f64::NAN, |l| f64::from(*l)),
+                ),
             ),
             (
                 "last_loss",
-                Field::F64(report.epoch_losses.last().map_or(f64::NAN, |l| f64::from(*l))),
+                Field::F64(
+                    report
+                        .epoch_losses
+                        .last()
+                        .map_or(f64::NAN, |l| f64::from(*l)),
+                ),
             ),
-            ("skipped_steps", Field::U64(report.skipped_steps.len() as u64)),
+            (
+                "skipped_steps",
+                Field::U64(report.skipped_steps.len() as u64),
+            ),
         ],
     );
     if report.checkpoint_errors > 0 {
@@ -427,9 +460,7 @@ fn cmd_train(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
                 ("step", Field::U64(report.steps)),
                 (
                     "resume_with",
-                    Field::Str(format!(
-                        "pagpass train ... --checkpoint {ckpt} --resume"
-                    )),
+                    Field::Str(format!("pagpass train ... --checkpoint {ckpt} --resume")),
                 ),
             ],
         );
@@ -538,7 +569,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             0.0
         }
     } else {
-        100.0 * f64::from(repeat_rate(&report.passwords))
+        100.0 * repeat_rate(&report.passwords)
     };
     tel.summary(
         "dcgen.summary",
@@ -774,8 +805,11 @@ mod tests {
 
         let corpus: Vec<String> = (0..60).map(|i| format!("pass{i:02}")).collect();
         std::fs::write(&corpus_path, corpus.join("\n")).unwrap();
-        let mut model =
-            PasswordModel::new(ModelKind::PagPassGpt, pagpass::nn::GptConfig::tiny(VOCAB_SIZE), 1);
+        let mut model = PasswordModel::new(
+            ModelKind::PagPassGpt,
+            pagpass::nn::GptConfig::tiny(VOCAB_SIZE),
+            1,
+        );
         model.save(model_path.to_str().unwrap()).unwrap();
 
         let code = run(&s(&[
