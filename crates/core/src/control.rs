@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -48,6 +49,71 @@ impl CancelToken {
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A monotonic deadline whose expiry instant is fixed at construction.
+///
+/// Wraps `Instant::now() + budget` captured exactly once, so every
+/// subsequent [`expired`](Deadline::expired) check compares against the
+/// same monotonic instant — repeated polling never re-reads the wall
+/// clock to recompute the target, and the deadline is immune to system
+/// clock adjustments. Both the D&C-GEN worker pool (`--deadline-secs`)
+/// and the serve request scheduler (per-request `deadline_ms`) poll
+/// deadlines through this type.
+///
+/// Deadlines bound *real elapsed time*, never generated work: expiry
+/// stops a run early but must not change any bytes emitted before the
+/// stop. Copyable so workers can poll a shared deadline without
+/// synchronization.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use pagpassgpt::Deadline;
+///
+/// let d = Deadline::after(Duration::from_secs(3600));
+/// assert!(!d.expired());
+/// assert!(d.remaining() > Duration::from_secs(3500));
+///
+/// let past = Deadline::after(Duration::ZERO);
+/// assert!(past.expired());
+/// assert_eq!(past.remaining(), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now. The clock is read here, once.
+    #[must_use]
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry; `Duration::ZERO` once expired.
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The earlier of two deadlines — e.g. a per-request deadline capped
+    /// by a server-wide drain deadline.
+    #[must_use]
+    pub fn min(self, other: Deadline) -> Deadline {
+        Deadline {
+            at: self.at.min(other.at),
+        }
     }
 }
 
@@ -163,6 +229,32 @@ mod tests {
         assert!(b.is_cancelled());
         a.cancel(); // idempotent
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_is_fixed_at_construction() {
+        let d = Deadline::after(Duration::from_secs(600));
+        assert!(!d.expired());
+        let r1 = d.remaining();
+        let r2 = d.remaining();
+        // Remaining time only shrinks; the target instant never moves.
+        assert!(r2 <= r1);
+        assert!(r1 <= Duration::from_secs(600));
+    }
+
+    #[test]
+    fn zero_budget_deadline_is_immediately_expired() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_min_picks_the_earlier() {
+        let soon = Deadline::after(Duration::ZERO);
+        let late = Deadline::after(Duration::from_secs(600));
+        assert_eq!(soon.min(late), soon);
+        assert_eq!(late.min(soon), soon);
     }
 
     #[test]

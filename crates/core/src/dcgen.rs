@@ -9,7 +9,7 @@ use pagpass_telemetry::{Counter, Field, Gauge, Histogram, Telemetry, DEPTH_BOUND
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
-use crate::control::{CancelToken, FaultPlan, INJECTED_PANIC};
+use crate::control::{CancelToken, Deadline, FaultPlan, INJECTED_PANIC};
 use crate::inference::InferenceSession;
 use crate::journal::{DcGenJournal, JournalTask};
 use crate::{CoreError, ModelKind, PasswordModel};
@@ -561,7 +561,9 @@ impl<'a> DcGen<'a> {
         let total = self.config.total;
         // DET: the deadline is wall-clock by design — it bounds real run
         // time, not generated work, and never influences emitted passwords.
-        let deadline_at = opts.deadline.map(|d| Instant::now() + d);
+        // `Deadline::after` reads the monotonic clock exactly once, here;
+        // per-task polls compare against that fixed instant.
+        let deadline_at = opts.deadline.map(Deadline::after);
         let tel: &Telemetry = match opts.telemetry {
             Some(tel) => tel,
             None => Telemetry::disabled(),
@@ -614,7 +616,7 @@ impl<'a> DcGen<'a> {
                                 }
                                 let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
                                 // DET: deadline check only; see deadline_at.
-                                || deadline_at.is_some_and(|at| Instant::now() >= at);
+                                || deadline_at.is_some_and(|d| d.expired());
                                 if cancelled {
                                     s.stopping = true;
                                     work_ready.notify_all();

@@ -41,6 +41,16 @@ pub enum CoreError {
         /// Total pattern length in characters.
         pattern_len: usize,
     },
+    /// A password's encoded rule does not fit the model's context window,
+    /// so it cannot be scored. Surfaced as an error instead of letting the
+    /// decode panic mid-forward: scoring servers must reject oversized
+    /// inputs per request, not lose a worker to them.
+    RuleTooLong {
+        /// Tokens in the encoded rule.
+        rule_len: usize,
+        /// The model's context window.
+        ctx_len: usize,
+    },
     /// A D&C-GEN journal was malformed or failed its checksum.
     Journal(String),
     /// A training checkpoint was malformed or failed its checksum.
@@ -75,6 +85,10 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "prefix of {prefix_len} characters does not fit a {pattern_len}-character pattern"
+            ),
+            CoreError::RuleTooLong { rule_len, ctx_len } => write!(
+                f,
+                "password encodes to {rule_len} tokens, beyond the {ctx_len}-token context window"
             ),
             CoreError::Journal(what) => write!(f, "bad generation journal: {what}"),
             CoreError::Checkpoint(what) => write!(f, "bad training checkpoint: {what}"),

@@ -389,9 +389,11 @@ impl<'m> InferenceSession<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Tokenize`] for passwords outside the alphabet.
+    /// Returns [`CoreError::Tokenize`] for passwords outside the alphabet
+    /// and [`CoreError::RuleTooLong`] when the encoded rule exceeds the
+    /// context window.
     pub fn log_probability(&mut self, password: &str) -> Result<f64, CoreError> {
-        let rule = self.model.encode(password)?;
+        let rule = self.encode_scorable(password)?;
         self.reset();
         let mut lp = 0.0f64;
         for (i, &tok) in rule.iter().enumerate() {
@@ -403,6 +405,88 @@ impl<'m> InferenceSession<'m> {
             self.feed(tok);
         }
         Ok(lp)
+    }
+
+    /// Encodes a password and checks the rule fits the context window.
+    fn encode_scorable(&self, password: &str) -> Result<Vec<TokenId>, CoreError> {
+        let rule = self.model.encode(password)?;
+        let ctx_len = self.model.gpt().config().ctx_len;
+        if rule.len() > ctx_len {
+            return Err(CoreError::RuleTooLong {
+                rule_len: rule.len(),
+                ctx_len,
+            });
+        }
+        Ok(rule)
+    }
+
+    /// Scores many passwords in batched forwards: one row per scorable
+    /// password, every decode step processing the whole batch. Returns one
+    /// result per input, in input order — per-row failures (unknown
+    /// characters, oversized rules) never disturb their neighbors.
+    ///
+    /// Every rule starts with `<BOS>`, so the batch is assembled by
+    /// seeking this session to `<BOS>` once and broadcasting that cache
+    /// across the batch ([`DecodeState::broadcast`]); rows shorter than
+    /// the longest rule re-feed `<BOS>` as an inert filler once their own
+    /// tokens run out (attention rows never interact across a batch, so a
+    /// filler feed cannot perturb any other row, and a finished row's own
+    /// score is already fully accumulated).
+    ///
+    /// # Exactness
+    ///
+    /// Per-row results are **bit-identical** to calling
+    /// [`log_probability`](Self::log_probability) on each password alone:
+    /// the decode path runs row-independent exact kernels, and the per-row
+    /// f64 accumulation order here matches the solo loop term for term.
+    /// The serve smoke-test and `score_batch_is_bit_identical_to_solo`
+    /// assert `==` on the scores, not an epsilon.
+    pub fn score_batch(&mut self, passwords: &[impl AsRef<str>]) -> Vec<Result<f64, CoreError>> {
+        let encoded: Vec<Result<Vec<TokenId>, CoreError>> = passwords
+            .iter()
+            .map(|pw| self.encode_scorable(pw.as_ref()))
+            .collect();
+        let rules: Vec<&[TokenId]> = encoded.iter().filter_map(|r| r.as_deref().ok()).collect();
+        let Some(max_len) = rules.iter().map(|r| r.len()).max() else {
+            // Nothing scorable: every slot already carries its error.
+            return encoded.into_iter().map(|r| r.map(|_| 0.0)).collect();
+        };
+        let b = rules.len();
+        // Assemble the batch from this session's cache: seek to the shared
+        // `<BOS>` prompt (bit-exact, possibly reused from the previous
+        // wave) and replicate it across the batch.
+        self.seek(&[Vocab::BOS]);
+        let mut wide = self.state.broadcast(b);
+        let saved = (self.state.pos() * b) as u64;
+        self.reused += saved;
+        self.reuse_counter.add(saved);
+        // Logits matrix after the tokens fed so far; row r scores its
+        // token at index `pos` exactly as the solo loop would.
+        let mut logits = replicate_row(&self.last_logits, b);
+        let mut lps = vec![0.0f64; b];
+        for pos in 1..max_len {
+            for (r, rule) in rules.iter().enumerate() {
+                if pos < rule.len() {
+                    let mut probs = logits.row(r).to_vec();
+                    softmax_in_place(&mut probs);
+                    lps[r] += f64::from(probs[rule[pos] as usize].max(1e-20)).ln();
+                }
+            }
+            if pos + 1 < max_len {
+                // Feed index `pos`; exhausted rows feed the inert filler.
+                let tokens: Vec<TokenId> = rules
+                    .iter()
+                    .map(|rule| rule.get(pos).copied().unwrap_or(Vocab::BOS))
+                    .collect();
+                logits = self.model.gpt().decode_step(&tokens, &mut wide);
+                self.computed += b as u64;
+            }
+        }
+        let mut scored = lps.into_iter();
+        encoded
+            .into_iter()
+            .map(|slot| slot.map(|_| scored.next().unwrap_or(0.0)))
+            .collect()
     }
 }
 
@@ -605,5 +689,63 @@ mod tests {
         let via_model = model.log_probability("abc12").unwrap();
         assert_eq!(via_session, via_model);
         assert!(session.log_probability("has space").is_err());
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_to_solo() {
+        // The serving guarantee: co-batched scoring returns exactly the
+        // floats a one-shot solo scoring of each password returns — `==`,
+        // not an epsilon — regardless of batch composition or row order.
+        let model = tiny(ModelKind::PagPassGpt);
+        let passwords = ["abc12", "zzz", "q1w2e3", "a", "longerpw9"];
+        let solo: Vec<f64> = passwords
+            .iter()
+            .map(|pw| InferenceSession::new(&model).log_probability(pw).unwrap())
+            .collect();
+        let mut session = InferenceSession::new(&model);
+        let batched = session.score_batch(&passwords);
+        for ((pw, want), got) in passwords.iter().zip(&solo).zip(&batched) {
+            assert_eq!(
+                got.as_ref().copied().unwrap(),
+                *want,
+                "batched score for {pw:?} diverged from solo"
+            );
+        }
+        // A different batch shape scores the same rows identically.
+        let rebatched = session.score_batch(&passwords[..2]);
+        assert_eq!(rebatched[0].as_ref().copied().unwrap(), solo[0]);
+        assert_eq!(rebatched[1].as_ref().copied().unwrap(), solo[1]);
+    }
+
+    #[test]
+    fn score_batch_isolates_per_row_failures() {
+        let model = tiny(ModelKind::PagPassGpt);
+        let mut session = InferenceSession::new(&model);
+        let solo = InferenceSession::new(&model)
+            .log_probability("abc12")
+            .unwrap();
+        let results = session.score_batch(&["abc12", "has space", "abc12"]);
+        assert_eq!(results[0].as_ref().copied().unwrap(), solo);
+        assert!(matches!(results[1], Err(CoreError::Tokenize(_))));
+        assert_eq!(results[2].as_ref().copied().unwrap(), solo);
+        // An all-error batch still answers slot by slot.
+        let all_bad = session.score_batch(&["bad pw", "also bad"]);
+        assert!(all_bad.iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn oversized_rules_error_instead_of_panicking() {
+        // 16 single-char segments encode past the 32-token window; both
+        // scoring paths must reject, not panic the decode loop.
+        let model = tiny(ModelKind::PagPassGpt);
+        let long = "a1b2c3d4e5f6g7h8";
+        let mut session = InferenceSession::new(&model);
+        assert!(matches!(
+            session.log_probability(long),
+            Err(CoreError::RuleTooLong { .. })
+        ));
+        let results = session.score_batch(&["abc12", long]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::RuleTooLong { .. })));
     }
 }

@@ -52,14 +52,16 @@ mod generate;
 mod inference;
 mod journal;
 mod model;
+mod serve;
 mod trainer;
 
 pub use checkpoint::{TrainCheckpoint, TrainProgress};
-pub use control::{CancelToken, FaultPlan};
+pub use control::{CancelToken, Deadline, FaultPlan};
 pub use dcgen::{DcGen, DcGenConfig, DcGenOptions, DcGenReport, FailedTask, PasswordSink};
 pub use enumerate::EnumerationReport;
 pub use error::CoreError;
 pub use inference::{InferenceSession, RulePrefix, PREFIX_REUSE_COUNTER};
 pub use journal::{DcGenJournal, JournalTask};
 pub use model::{ModelKind, PasswordModel};
+pub use serve::{run_with_listener, ScoreOutcome, ServeConfig, ServeReport, ShedReason};
 pub use trainer::{CheckpointPolicy, TrainConfig, TrainOptions, TrainingReport};

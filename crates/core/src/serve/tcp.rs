@@ -1,0 +1,355 @@
+//! Newline-delimited-JSON protocol layer for the scoring server.
+//!
+//! One TCP connection carries many requests: each line is a JSON object
+//! `{"password": "...", "id": 7, "deadline_ms": 250}` (`id` and
+//! `deadline_ms` optional) and each response is one JSON line tagged with
+//! the request's `id` when it had one. Requests carrying an explicit
+//! `deadline_ms` are admitted into the high-priority lane.
+//!
+//! Per connection the server runs a reader thread and a writer thread
+//! joined by a bounded channel, so one slow client can neither stall a
+//! scoring worker nor buffer responses unboundedly: when the client stops
+//! draining its socket the channel fills and further responses for that
+//! connection are dropped (counted as `serve.dropped_responses`), never
+//! queued without limit. A malformed line is answered immediately with an
+//! error and is never admitted; a line longer than [`MAX_LINE_BYTES`]
+//! closes the connection.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::Scope;
+use std::time::Duration;
+
+use pagpass_telemetry::{parse_json, write_json_f64, write_json_str, JsonValue};
+
+use crate::control::{CancelToken, Deadline};
+
+use super::engine::{ScoreOutcome, ScoreRequest, ServeMetrics};
+use super::queue::{AdmissionQueue, Priority, PushError};
+use super::ServeConfig;
+
+/// Hard cap on one request line; beyond this the connection is closed.
+pub(super) const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Responses buffered per connection before a slow client starts losing
+/// them.
+const RESPONSE_CHANNEL_DEPTH: usize = 1024;
+
+/// How long socket reads block before re-checking cancellation.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// How long the acceptor sleeps when no connection is pending.
+pub(super) const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Everything a connection handler needs, borrowed from the server scope.
+pub(super) struct ConnShared<'a> {
+    pub queue: &'a AdmissionQueue<ScoreRequest>,
+    pub metrics: &'a Arc<ServeMetrics>,
+    pub cfg: &'a ServeConfig,
+    pub server_cancel: &'a CancelToken,
+    pub seq: &'a AtomicU64,
+    pub active_readers: &'a AtomicUsize,
+    pub connections: &'a AtomicUsize,
+}
+
+/// Accepts connections until the server token cancels, spawning a
+/// reader/writer pair per connection into `scope`.
+pub(super) fn accept_loop<'scope>(
+    scope: &'scope Scope<'scope, '_>,
+    listener: &TcpListener,
+    shared: &'scope ConnShared<'scope>,
+) {
+    while !shared.server_cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => spawn_connection(scope, stream, shared),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (aborted handshake, fd pressure):
+            // back off and keep serving existing connections.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_connection<'scope>(
+    scope: &'scope Scope<'scope, '_>,
+    stream: TcpStream,
+    shared: &'scope ConnShared<'scope>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (resp_tx, resp_rx) = mpsc::sync_channel::<String>(RESPONSE_CHANNEL_DEPTH);
+    // ORD: AcqRel so the returned count pairs with the matching
+    // decrement and the gauge never goes negative under churn.
+    let n = shared.connections.fetch_add(1, Ordering::AcqRel) + 1;
+    shared.metrics.connections.set(n as f64);
+    // ORD: AcqRel pairs increment/decrement with the drain loop's
+    // Acquire read, so zero means every reader has really exited.
+    shared.active_readers.fetch_add(1, Ordering::AcqRel);
+    scope.spawn(move || writer_loop(write_half, resp_rx));
+    scope.spawn(move || {
+        reader_loop(stream, resp_tx, shared);
+        // ORD: AcqRel, see the matching increment above.
+        let n = shared.connections.fetch_sub(1, Ordering::AcqRel) - 1;
+        shared.metrics.connections.set(n as f64);
+        // ORD: AcqRel releases this reader's admissions before the
+        // drain loop can observe zero and close the queue.
+        shared.active_readers.fetch_sub(1, Ordering::AcqRel);
+    });
+}
+
+/// Drains rendered responses onto the socket until every sender (the
+/// reader plus all in-flight responders) is gone. A write error stops
+/// writing; senders then observe the closed channel and count drops.
+fn writer_loop(mut stream: TcpStream, responses: Receiver<String>) {
+    while let Ok(line) = responses.recv() {
+        if stream.write_all(line.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads request lines until the client disconnects or the server drains.
+/// Client disconnect cancels the connection token so queued requests are
+/// shed instead of scored for nobody; server drain leaves the token alone
+/// so admitted requests still complete and flush.
+fn reader_loop(mut stream: TcpStream, resp_tx: SyncSender<String>, shared: &ConnShared<'_>) {
+    let conn_cancel = CancelToken::new();
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.server_cancel.is_cancelled() {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                conn_cancel.cancel();
+                return;
+            }
+            Ok(n) => {
+                acc.extend_from_slice(&buf[..n]);
+                while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = acc.drain(..=pos).collect();
+                    handle_line(&line[..pos], &resp_tx, &conn_cancel, shared);
+                }
+                if acc.len() > MAX_LINE_BYTES {
+                    shared.metrics.bad_requests.inc();
+                    send_response(
+                        &resp_tx,
+                        shared.metrics,
+                        render_error(None, "request line exceeds 64 KiB"),
+                    );
+                    conn_cancel.cancel();
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => {
+                conn_cancel.cancel();
+                return;
+            }
+        }
+    }
+}
+
+/// Parses one request line and either admits it or answers immediately
+/// (malformed input, full queue, draining server).
+fn handle_line(
+    raw: &[u8],
+    resp_tx: &SyncSender<String>,
+    conn_cancel: &CancelToken,
+    shared: &ConnShared<'_>,
+) {
+    let line = String::from_utf8_lossy(raw);
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    let (password, id, explicit_deadline) = match parse_request(line) {
+        Ok(parts) => parts,
+        Err(why) => {
+            shared.metrics.bad_requests.inc();
+            send_response(resp_tx, shared.metrics, render_error(None, &why));
+            return;
+        }
+    };
+    let deadline = explicit_deadline
+        .map(Deadline::after)
+        .or_else(|| shared.cfg.default_deadline.map(Deadline::after));
+    let priority = if explicit_deadline.is_some() {
+        Priority::High
+    } else {
+        Priority::Normal
+    };
+    // ORD: Relaxed — seq only needs uniqueness, not ordering; the
+    // queue push that publishes the request is the synchronizing op.
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    let responder = {
+        let resp_tx = resp_tx.clone();
+        let metrics = Arc::clone(shared.metrics);
+        move |outcome: ScoreOutcome| {
+            send_response(&resp_tx, &metrics, render_response(id, &outcome));
+        }
+    };
+    let request = ScoreRequest::new(
+        seq,
+        password,
+        deadline,
+        conn_cancel.clone(),
+        Arc::clone(shared.metrics),
+        responder,
+    );
+    match shared.queue.push(request, priority) {
+        Ok(()) => {
+            shared.metrics.admitted.inc();
+            shared.metrics.queue_depth.set(shared.queue.len() as f64);
+        }
+        Err(PushError::Full(mut request)) => request.respond(ScoreOutcome::Rejected {
+            retry_after_ms: shared.cfg.retry_after_ms,
+            draining: false,
+        }),
+        Err(PushError::Closed(mut request)) => request.respond(ScoreOutcome::Rejected {
+            retry_after_ms: shared.cfg.retry_after_ms,
+            draining: true,
+        }),
+    }
+}
+
+/// Extracts `(password, id, deadline)` from one request object.
+fn parse_request(line: &str) -> Result<(String, Option<u64>, Option<Duration>), String> {
+    let value = parse_json(line).map_err(|e| format!("bad request: {e}"))?;
+    let JsonValue::Obj(_) = &value else {
+        return Err("bad request: expected a JSON object".to_string());
+    };
+    let password = value
+        .get("password")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "bad request: missing string field \"password\"".to_string())?
+        .to_string();
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_f64)
+        .map(|v| v.max(0.0) as u64);
+    let deadline = value
+        .get("deadline_ms")
+        .and_then(JsonValue::as_f64)
+        .map(|ms| Duration::from_millis(ms.max(0.0) as u64));
+    Ok((password, id, deadline))
+}
+
+/// Hands a rendered response line to the connection's writer, counting it
+/// as dropped when the slow-client buffer is full or the writer is gone.
+fn send_response(resp_tx: &SyncSender<String>, metrics: &ServeMetrics, line: String) {
+    match resp_tx.try_send(line) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            metrics.dropped_responses.inc();
+        }
+    }
+}
+
+/// Renders one response line. Scores carry full precision (shortest
+/// round-trip formatting), so a client parsing `ln_prob` back recovers the
+/// bit-exact f64 the one-shot `strength --precise` command prints.
+pub(super) fn render_response(id: Option<u64>, outcome: &ScoreOutcome) -> String {
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.to_string());
+        out.push(',');
+    }
+    match outcome {
+        ScoreOutcome::Score(lp) => {
+            out.push_str("\"ok\":true,\"ln_prob\":");
+            write_json_f64(&mut out, *lp);
+        }
+        ScoreOutcome::Unscorable(why) => {
+            out.push_str("\"ok\":false,\"error\":");
+            write_json_str(&mut out, why);
+        }
+        ScoreOutcome::Rejected {
+            retry_after_ms,
+            draining,
+        } => {
+            out.push_str("\"ok\":false,\"rejected\":true,\"draining\":");
+            out.push_str(if *draining { "true" } else { "false" });
+            out.push_str(",\"retry_after_ms\":");
+            out.push_str(&retry_after_ms.to_string());
+            out.push_str(",\"error\":");
+            let why = if *draining {
+                "server is draining; do not retry here"
+            } else {
+                "server at capacity; retry after the hinted delay"
+            };
+            write_json_str(&mut out, why);
+        }
+        ScoreOutcome::Shed(reason) => {
+            out.push_str("\"ok\":false,\"shed\":true,\"error\":");
+            let why = match reason {
+                super::engine::ShedReason::DeadlineExpired => {
+                    "deadline expired before a forward slot opened"
+                }
+                super::engine::ShedReason::Disconnected => "connection closed before scoring",
+            };
+            write_json_str(&mut out, why);
+        }
+        ScoreOutcome::Failed(why) => {
+            out.push_str("\"ok\":false,\"failed\":true,\"error\":");
+            write_json_str(&mut out, why);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_error(id: Option<u64>, why: &str) -> String {
+    render_response(id, &ScoreOutcome::Unscorable(why.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing_accepts_optional_fields_and_rejects_garbage() {
+        let (pw, id, dl) = parse_request(r#"{"password":"hunter2"}"#).unwrap();
+        assert_eq!(pw, "hunter2");
+        assert_eq!(id, None);
+        assert_eq!(dl, None);
+        let (pw, id, dl) = parse_request(r#"{"password":"a b","id":7,"deadline_ms":250}"#).unwrap();
+        assert_eq!(pw, "a b");
+        assert_eq!(id, Some(7));
+        assert_eq!(dl, Some(Duration::from_millis(250)));
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"password":12}"#).is_err());
+        assert!(parse_request(r#"{"id":7}"#).is_err());
+    }
+
+    #[test]
+    fn responses_render_as_single_json_lines() {
+        let ok = render_response(Some(3), &ScoreOutcome::Score(-12.5));
+        assert_eq!(ok, "{\"id\":3,\"ok\":true,\"ln_prob\":-12.5}\n");
+        let rejected = render_response(
+            None,
+            &ScoreOutcome::Rejected {
+                retry_after_ms: 50,
+                draining: false,
+            },
+        );
+        assert!(rejected.starts_with("{\"ok\":false,\"rejected\":true,\"draining\":false"));
+        assert!(rejected.contains("\"retry_after_ms\":50"));
+        // Full-precision score survives a JSON round-trip bit-exactly.
+        let lp = -123.456_789_012_345_67_f64;
+        let line = render_response(None, &ScoreOutcome::Score(lp));
+        let parsed = parse_json(line.trim()).unwrap();
+        assert_eq!(parsed.get("ln_prob").and_then(JsonValue::as_f64), Some(lp));
+    }
+}

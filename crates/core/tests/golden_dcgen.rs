@@ -1,11 +1,16 @@
-//! Golden-output regression for the KV-cached inference refactor.
+//! Golden-output regression pinning the full decode stream.
 //!
-//! The file `tests/golden/dcgen_seed9.txt` was generated by the code *before*
-//! workers shared a KV-cache session (every split and leaf re-fed its whole
-//! prompt). Prefix reuse is bit-exact — truncating a cache to a common prefix
-//! and re-feeding the remainder produces identical K/V rows, and broadcasting
-//! a batch-1 prompt equals per-row priming — so the refactored engine must
-//! reproduce that output byte for byte, not merely statistically.
+//! The file `tests/golden/dcgen_seed9.txt` pins model init + D&C-GEN
+//! sampling byte for byte: prefix reuse is bit-exact — truncating a cache to
+//! a common prefix and re-feeding the remainder produces identical K/V rows,
+//! and broadcasting a batch-1 prompt equals per-row priming — so engine
+//! refactors must reproduce this output exactly, not merely statistically.
+//!
+//! Provenance: regenerated under the committed offline verification harness
+//! (`tools/offline-stubs/`, RFC-vector-verified ChaCha12 `StdRng`); the
+//! original PR-4 file was produced by a since-lost ad-hoc rand stand-in
+//! whose stream could not be reconstructed. Regenerate only from
+//! `tools/offline-stubs/README.md` instructions, never by hand.
 
 use pagpass_nn::GptConfig;
 use pagpass_patterns::PatternDistribution;

@@ -45,7 +45,7 @@ mod trace;
 use std::io::Write;
 use std::sync::OnceLock;
 
-pub use json::{parse_json, JsonValue};
+pub use json::{parse_json, write_json_f64, write_json_str, JsonValue};
 pub use registry::{
     wall_clock_ms, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEPTH_BOUNDS, LATENCY_MS_BOUNDS,

@@ -348,6 +348,44 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated value at quantile `q` (clamped to `0..=1`), or `None`
+    /// with no samples.
+    ///
+    /// The estimate interpolates linearly inside the bucket holding the
+    /// `q·count`-th sample, Prometheus `histogram_quantile` style: the
+    /// first bucket's lower edge is the observed minimum, the overflow
+    /// bucket cannot be interpolated and reports the observed maximum.
+    /// Results are clamped to `[min, max]`, so a quantile never leaves
+    /// the range of values actually recorded.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = seen + n;
+            if next as f64 >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no upper edge to interpolate toward.
+                    return Some(max);
+                }
+                let lo = if i == 0 { min } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (rank - seen as f64) / n as f64;
+                return Some((lo + (hi - lo) * frac).clamp(min, max));
+            }
+            seen = next;
+        }
+        Some(max)
+    }
 }
 
 /// Frozen state of a whole registry, ready to serialize.
@@ -457,6 +495,44 @@ mod tests {
         assert_eq!(hs.min, Some(0.5));
         assert_eq!(hs.max, Some(100.0));
         assert!((hs.sum - 106.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", &[10.0, 20.0, 40.0]);
+        // 8 samples in (min=2)..10, 1 in 10..20, 1 in 20..40.
+        for v in [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 15.0, 35.0] {
+            h.record(v);
+        }
+        let hs = &reg.snapshot().histograms["q"];
+        // p50 → rank 5 of 8 samples in bucket [2, 10]: 2 + 8·(5/8) = 7.
+        assert_eq!(hs.quantile(0.5), Some(7.0));
+        // p90 → rank 9, last sample of the second bucket: its bound.
+        assert_eq!(hs.quantile(0.9), Some(20.0));
+        // Extremes pin to observed min/max.
+        assert_eq!(hs.quantile(0.0), Some(2.0));
+        assert_eq!(hs.quantile(1.0), Some(35.0));
+        // Monotonic in q.
+        let qs: Vec<f64> = (0..=10)
+            .map(|i| hs.quantile(f64::from(i) / 10.0).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("edge", &[1.0]);
+        assert_eq!(reg.snapshot().histograms["edge"].quantile(0.5), None);
+        // A single overflow sample: every quantile is that sample.
+        h.record(50.0);
+        let hs = &reg.snapshot().histograms["edge"];
+        assert_eq!(hs.quantile(0.5), Some(50.0));
+        assert_eq!(hs.quantile(0.99), Some(50.0));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(hs.quantile(7.0), Some(50.0));
+        assert_eq!(hs.quantile(-1.0), Some(50.0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! pagpass dcgen    --model model.bin --corpus leak.txt --n 10000 --threshold 256
 //! pagpass eval     --guesses guesses.txt --test test.txt
 //! pagpass strength --kind pagpassgpt --model model.bin 'hunter2!'
+//! pagpass serve    --kind pagpassgpt --model model.bin --addr 127.0.0.1:7687
 //! pagpass analyze  --deny-all
 //! ```
 //!
@@ -20,8 +21,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pagpass::core::{
-    CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal, DcGenOptions, ModelKind,
-    PasswordModel, PasswordSink, TrainConfig, TrainOptions,
+    run_with_listener, CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal,
+    DcGenOptions, ModelKind, PasswordModel, PasswordSink, ServeConfig, TrainConfig, TrainOptions,
 };
 use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
@@ -55,7 +56,10 @@ const USAGE: &str = "usage:
                    [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
                    [--no-prefix-reuse]
   pagpass eval     --guesses FILE --test FILE
-  pagpass strength --kind <passgpt|pagpassgpt> --model FILE PASSWORD...
+  pagpass strength --kind <passgpt|pagpassgpt> --model FILE [--in FILE] [--precise] [PASSWORD...]
+  pagpass serve    --kind <passgpt|pagpassgpt> --model FILE [--addr HOST:PORT] [--max-batch N]
+                   [--batch-window-ms N] [--queue-cap N] [--sessions N] [--retries N]
+                   [--deadline-ms N]
   pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
 
 Telemetry (any subcommand):
@@ -71,7 +75,11 @@ Compute (any subcommand):
 
 Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
 and continue with --resume. dcgen exits with code 3 when tasks were
-abandoned after exhausting retries.";
+abandoned after exhausting retries.
+
+serve speaks newline-delimited JSON over TCP; SIGINT/SIGTERM drains
+in-flight requests before exiting. A full admission queue answers
+reject-with-retry-after instead of buffering unboundedly.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((command, rest)) = args.split_first() else {
@@ -98,6 +106,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "dcgen" => cmd_dcgen(&parsed, &tel),
         "eval" => cmd_eval(&parsed),
         "strength" => cmd_strength(&parsed),
+        "serve" => cmd_serve(&parsed, &tel),
         "analyze" => cmd_analyze(&parsed),
         other => Err(format!("unknown subcommand {other:?}")),
     }?;
@@ -174,6 +183,7 @@ impl Parsed {
                     || name == "deny-all"
                     || name == "update-allowlist"
                     || name == "no-prefix-reuse"
+                    || name == "precise"
                 {
                     parsed.flags.insert(name.to_owned(), "true".to_owned());
                     continue;
@@ -358,6 +368,53 @@ fn install_sigint(cancel: &CancelToken, tel: &Arc<Telemetry>) {
 
 #[cfg(not(unix))]
 fn install_sigint(_cancel: &CancelToken, _tel: &Arc<Telemetry>) {}
+
+/// Installs SIGINT *and* SIGTERM handlers that trip `cancel`, for the
+/// server: both a Ctrl-C and a supervisor's terminate must drain in-flight
+/// requests instead of dropping them. A second signal falls back to the
+/// default handler and kills the process.
+#[cfg(unix)]
+fn install_shutdown_signals(cancel: &CancelToken, tel: &Arc<Telemetry>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    let cancel = cancel.clone();
+    let tel = Arc::clone(tel);
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            tel.event(
+                "warn",
+                "cli.interrupted",
+                &[(
+                    "action",
+                    Field::Str("draining; signal again to kill".into()),
+                )],
+            );
+            cancel.cancel();
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+                signal(SIGTERM, SIG_DFL);
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals(_cancel: &CancelToken, _tel: &Arc<Telemetry>) {}
 
 fn cmd_synth(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let site = parse_site(p.required("site")?)?;
@@ -700,20 +757,83 @@ fn cmd_eval(p: &Parsed) -> Result<ExitCode, String> {
 fn cmd_strength(p: &Parsed) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
     let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
-    if p.positional.is_empty() {
-        return Err("strength needs at least one password argument".into());
+    let precise = p.flags.contains_key("precise");
+    let mut passwords = p.positional.clone();
+    if let Some(path) = p.flags.get("in") {
+        let from_file: Vec<String> = read_lines(path)?
+            .into_iter()
+            .filter(|line| !line.trim().is_empty())
+            .collect();
+        if from_file.is_empty() && passwords.is_empty() {
+            // Exit 2 with a diagnostic, matching eval's contract: silence
+            // plus success on an empty input reads as "scored nothing
+            // wrong" when nothing was scored at all.
+            return Err(format!("input file {path} contains no passwords"));
+        }
+        passwords.extend(from_file);
     }
-    for pw in &p.positional {
+    if passwords.is_empty() {
+        return Err("strength needs at least one password (positional or --in FILE)".into());
+    }
+    for pw in &passwords {
         match model.log_probability(pw) {
             Ok(lp) => {
                 let pattern =
                     Pattern::of_password(pw).map_or_else(|_| "?".to_owned(), |pt| pt.to_string());
-                println!("{pw}\tln Pr = {lp:.2}\tpattern {pattern}");
+                if precise {
+                    // Shortest-round-trip formatting: parsing this back
+                    // recovers the bit-exact f64, for comparison against
+                    // the serve protocol's ln_prob field.
+                    println!("{pw}\tln Pr = {lp}\tpattern {pattern}");
+                } else {
+                    println!("{pw}\tln Pr = {lp:.2}\tpattern {pattern}");
+                }
             }
             Err(e) => println!("{pw}\tunscorable ({e})"),
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
+    let kind = parse_kind(p.required("kind")?)?;
+    let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
+    let addr = p.flags.get("addr").map_or("127.0.0.1:7687", String::as_str);
+    let defaults = ServeConfig::default();
+    let deadline_ms: u64 = p.num("deadline-ms", 0)?;
+    let cfg = ServeConfig {
+        max_batch: p.num("max-batch", defaults.max_batch)?,
+        batch_window: Duration::from_millis(p.num("batch-window-ms", 2)?),
+        queue_cap: p.num("queue-cap", defaults.queue_cap)?,
+        sessions: p.num("sessions", defaults.sessions)?,
+        retries: p.num("retries", defaults.retries)?,
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        ..defaults
+    };
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let cancel = CancelToken::new();
+    install_shutdown_signals(&cancel, &tel.tel);
+    tel.tel.event(
+        "progress",
+        "serve.listening",
+        &[("addr", Field::Str(local.to_string()))],
+    );
+    let report = run_with_listener(&model, &listener, &cfg, &cancel, tel.telemetry(), None)
+        .map_err(|e| e.to_string())?;
+    tel.summary(
+        "cli.serve_done",
+        &[
+            ("admitted", Field::U64(report.admitted)),
+            ("completed", Field::U64(report.completed)),
+            ("reconciles", Field::Bool(report.reconciles())),
+        ],
+    );
+    if report.reconciles() && report.lost == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,52 @@
+//! Offline stand-in for `criterion` 0.5 — enough to link non-bench
+//! targets. Bench targets themselves are a known stub-harness gap and
+//! only build in CI with the real crate.
+
+pub struct Criterion;
+
+impl Criterion {
+    #[must_use]
+    pub fn default() -> Criterion {
+        Criterion
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher;
+        f(&mut b);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

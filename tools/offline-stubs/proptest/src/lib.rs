@@ -1,0 +1,245 @@
+//! Offline stand-in for `proptest` 1.x: the `proptest!` macro discards
+//! its body (property tests become no-ops under the stub harness — the
+//! real crate runs them in CI), while the `Strategy` combinator surface
+//! typechecks so strategy-constructor functions outside the macro still
+//! compile.
+
+use std::marker::PhantomData;
+
+/// A typecheck-only strategy producing values of type `T`.
+pub struct St<T>(PhantomData<T>);
+
+impl<T> St<T> {
+    #[must_use]
+    pub fn new() -> St<T> {
+        St(PhantomData)
+    }
+}
+
+impl<T> Default for St<T> {
+    fn default() -> St<T> {
+        St::new()
+    }
+}
+
+impl<T> Clone for St<T> {
+    fn clone(&self) -> St<T> {
+        St::new()
+    }
+}
+
+pub trait Strategy: Sized {
+    type Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, _f: F) -> St<O> {
+        St::new()
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, _f: F) -> St<S::Value> {
+        St::new()
+    }
+
+    fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: R,
+        _f: F,
+    ) -> St<Self::Value> {
+        St::new()
+    }
+
+    fn prop_filter_map<R: Into<String>, O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        _whence: R,
+        _f: F,
+    ) -> St<O> {
+        St::new()
+    }
+
+    fn boxed(self) -> St<Self::Value> {
+        St::new()
+    }
+}
+
+impl<T> Strategy for St<T> {
+    type Value = T;
+}
+
+pub type BoxedStrategy<T> = St<T>;
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// `prop_oneof!` support: every arm must share a value type.
+#[must_use]
+pub fn one_of2<A, B>(_arms: (A, B)) -> St<A::Value>
+where
+    A: Strategy,
+    B: Strategy<Value = A::Value>,
+{
+    St::new()
+}
+
+#[must_use]
+pub fn one_of3<A, B, C>(_arms: (A, B, C)) -> St<A::Value>
+where
+    A: Strategy,
+    B: Strategy<Value = A::Value>,
+    C: Strategy<Value = A::Value>,
+{
+    St::new()
+}
+
+#[must_use]
+pub fn one_of4<A, B, C, D>(_arms: (A, B, C, D)) -> St<A::Value>
+where
+    A: Strategy,
+    B: Strategy<Value = A::Value>,
+    C: Strategy<Value = A::Value>,
+    D: Strategy<Value = A::Value>,
+{
+    St::new()
+}
+
+#[must_use]
+pub fn any<T>() -> St<T> {
+    St::new()
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod collection {
+    use super::{St, Strategy};
+
+    pub struct SizeRange;
+
+    impl From<usize> for SizeRange {
+        fn from(_: usize) -> SizeRange {
+            SizeRange
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(_: core::ops::Range<usize>) -> SizeRange {
+            SizeRange
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(_: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange
+        }
+    }
+
+    pub fn vec<S: Strategy>(_element: S, _size: impl Into<SizeRange>) -> St<Vec<S::Value>> {
+        St::new()
+    }
+}
+
+pub mod sample {
+    use super::St;
+
+    pub fn select<T, X>(_options: X) -> St<T>
+    where
+        T: Clone + core::fmt::Debug,
+        X: core::ops::Deref<Target = [T]>,
+    {
+        St::new()
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Strategy};
+
+    /// `Just` strategy: always produces the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+    }
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::sample;
+    pub use super::strategy::Just;
+    pub use super::{any, BoxedStrategy, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Discards the entire body: property tests are a no-op under the
+/// offline stub harness.
+#[macro_export]
+macro_rules! proptest {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::one_of2(($a, $b))
+    };
+    ($a:expr, $b:expr, $c:expr $(,)?) => {
+        $crate::one_of3(($a, $b, $c))
+    };
+    ($a:expr, $b:expr, $c:expr, $d:expr $(,)?) => {
+        $crate::one_of4(($a, $b, $c, $d))
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => {};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($($tt:tt)*) => {};
+}

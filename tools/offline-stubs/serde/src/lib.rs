@@ -1,0 +1,331 @@
+//! Offline stand-in for `serde` 1.x: a tree-based data model instead of
+//! visitor-driven serializers. `Serialize` lowers a value into
+//! [`Value`]; `Deserialize` lifts it back. The companion `serde_derive`
+//! stub generates impls for named-field structs and unit enums, and the
+//! `serde_json` stub renders/parses [`Value`] as JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing tree every value serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    #[must_use]
+    pub fn get_field<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == key))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Best-effort rendering of a value used as a map key.
+    #[must_use]
+    pub fn as_key_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::U64(n) => n.to_string(),
+            Value::F64(n) => n.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_value(v: &Value) -> Option<Self>;
+}
+
+pub mod de {
+    use super::Value;
+
+    pub trait DeserializeOwned: Sized {
+        fn deserialize_owned(v: &Value) -> Option<Self>;
+    }
+
+    impl<T> DeserializeOwned for T
+    where
+        T: for<'de> super::Deserialize<'de>,
+    {
+        fn deserialize_owned(v: &Value) -> Option<T> {
+            T::from_value(v)
+        }
+    }
+}
+
+macro_rules! int_impl {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self < 0 {
+                    Value::I64(*self as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Option<$ty> {
+                match v {
+                    Value::I64(n) => <$ty>::try_from(*n).ok(),
+                    Value::U64(n) => <$ty>::try_from(*n).ok(),
+                    Value::F64(n) if n.fract() == 0.0 => Some(*n as $ty),
+                    _ => None,
+                }
+            }
+        }
+    )+};
+}
+
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impl {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Option<$ty> {
+                match v {
+                    Value::F64(n) => Some(*n as $ty),
+                    Value::I64(n) => Some(*n as $ty),
+                    Value::U64(n) => Some(*n as $ty),
+                    _ => None,
+                }
+            }
+        }
+    )+};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Option<bool> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Option<String> {
+        match v {
+            Value::Str(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Option<char> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => s.chars().next(),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::path::PathBuf {
+    fn from_value(v: &Value) -> Option<std::path::PathBuf> {
+        match v {
+            Value::Str(s) => Some(std::path::PathBuf::from(s)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Option<Vec<T>> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Option<Option<T>> {
+        match v {
+            Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Option<($($name,)+)> {
+                match v {
+                    Value::Arr(items) if items.len() == [$($idx),+].len() => {
+                        Some(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+tuple_impl!(A.0, B.1);
+tuple_impl!(A.0, B.1, C.2);
+tuple_impl!(A.0, B.1, C.2, D.3);
+tuple_impl!(A.0, B.1, C.2, D.3, E.4);
+tuple_impl!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_impl!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_impl!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Option<BTreeMap<K, V>> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Some((K::from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output, matching what serde_json users see
+        // when diffing committed JSON artifacts.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by_key(|(k, _)| k.as_key_string());
+        Value::Map(entries)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Option<HashMap<K, V>> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Some((K::from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Option<Value> {
+        Some(v.clone())
+    }
+}

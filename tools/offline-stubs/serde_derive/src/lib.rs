@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde_derive`: hand-rolled token walking that
+//! generates `to_value`/`from_value` impls for the shapes this
+//! workspace actually derives — named-field structs (with
+//! `#[serde(skip)]` / `#[serde(default)]`), newtype structs, and enums
+//! whose variants are unit or newtype (externally tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// Type inside a newtype variant; `None` for unit variants.
+    payload: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct(String),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Serde-relevant flags found in one attribute run.
+#[derive(Default)]
+struct Attrs {
+    skip: bool,
+    default: bool,
+}
+
+fn parse_attrs(tokens: &[TokenTree], mut i: usize) -> (Attrs, usize) {
+    let mut attrs = Attrs::default();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    let txt = args.stream().to_string();
+                                    for part in txt.split(',') {
+                                        let part = part.trim();
+                                        if part == "skip"
+                                            || part == "skip_serializing"
+                                            || part == "skip_deserializing"
+                                        {
+                                            attrs.skip = true;
+                                        }
+                                        if part == "default" || part.starts_with("default =") {
+                                            attrs.default = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    (attrs, i)
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Collects type tokens until a top-level comma, tracking angle-bracket
+/// depth (generic args contain bare commas at token level).
+fn collect_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut out = TokenStream::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        out.extend([tokens[i].clone()]);
+        i += 1;
+    }
+    (out.to_string(), i)
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, next) = parse_attrs(&tokens, i);
+        i = skip_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub: expected ':' after field {name}, got {other:?}"),
+        }
+        let (ty, next) = collect_type(&tokens, i);
+        i = next;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            ty,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_attrs, next) = parse_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let mut payload = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let (ty, end) = collect_type(&inner, 0);
+                    assert!(
+                        end == inner.len(),
+                        "serde stub: only newtype enum variants are supported ({name})"
+                    );
+                    payload = Some(ty);
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde stub: struct enum variants unsupported ({name})")
+                }
+                _ => {}
+            }
+        }
+        // Skip an explicit discriminant `= expr` if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (_attrs, next) = parse_attrs(&tokens, 0);
+    let mut i = skip_visibility(&tokens, next);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde stub: generic items unsupported ({name})"
+        );
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let start = {
+                    let (_a, n) = parse_attrs(&inner, 0);
+                    skip_visibility(&inner, n)
+                };
+                let (ty, end) = collect_type(&inner, start);
+                assert!(
+                    end == inner.len(),
+                    "serde stub: only single-field tuple structs supported ({name})"
+                );
+                Shape::NewtypeStruct(ty)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde stub: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde stub: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde stub: cannot derive for {other} {name}"),
+    };
+    Item { name, shape }
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.push((::serde::Value::Str(::std::string::String::from(\"{0}\")), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::NewtypeStruct(_) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.payload {
+                    None => s.push_str(&format!(
+                        "{name}::{0} => ::serde::Value::Str(::std::string::String::from(\"{0}\")),\n",
+                        v.name
+                    )),
+                    Some(_) => s.push_str(&format!(
+                        "{name}::{0}(__x) => ::serde::Value::Map(::std::vec![(::serde::Value::Str(::std::string::String::from(\"{0}\")), ::serde::Serialize::to_value(__x))]),\n",
+                        v.name
+                    )),
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!("::std::option::Option::Some({name} {{\n");
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    s.push_str(&format!(
+                        "{0}: match __v.get_field(\"{0}\") {{\n ::std::option::Option::Some(__x) => <{1} as ::serde::Deserialize>::from_value(__x)?,\n ::std::option::Option::None => ::core::default::Default::default(),\n }},\n",
+                        f.name, f.ty
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{0}: <{1} as ::serde::Deserialize>::from_value(__v.get_field(\"{0}\")?)?,\n",
+                        f.name, f.ty
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::NewtypeStruct(ty) => format!(
+            "::std::option::Option::Some({name}(<{ty} as ::serde::Deserialize>::from_value(__v)?))"
+        ),
+        Shape::UnitStruct => format!("::std::option::Option::Some({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                match &v.payload {
+                    None => unit_arms.push_str(&format!(
+                        "\"{0}\" => ::std::option::Option::Some({name}::{0}),\n",
+                        v.name
+                    )),
+                    Some(ty) => newtype_arms.push_str(&format!(
+                        "\"{0}\" => ::std::option::Option::Some({name}::{0}(<{ty} as ::serde::Deserialize>::from_value(__val)?)),\n",
+                        v.name
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n ::serde::Value::Str(__s) => match __s.as_str() {{\n {unit_arms} _ => ::std::option::Option::None,\n }},\n ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n let (__key, __val) = &__entries[0];\n match __key.as_key_string().as_str() {{\n {newtype_arms} _ => ::std::option::Option::None,\n }}\n }},\n _ => ::std::option::Option::None,\n }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::option::Option<Self> {{\n {body}\n }}\n}}\n"
+    )
+}
