@@ -31,7 +31,7 @@
 
 use pagpass_nn::{softmax_in_place, DecodeState, Mat, Rng};
 use pagpass_patterns::Pattern;
-use pagpass_telemetry::{Counter, Telemetry};
+use pagpass_telemetry::{Counter, Histogram, Telemetry, LATENCY_MS_BOUNDS};
 use pagpass_tokenizer::{TokenId, TokenizeError, Tokenizer, Vocab};
 
 use crate::generate::{sample_batched_primed, SamplePlan};
@@ -42,6 +42,11 @@ use crate::CoreError;
 /// cache instead of recomputed. The journal's `prefix_cache_hits` stat and
 /// the paired bench both read this.
 pub const PREFIX_REUSE_COUNTER: &str = "dcgen.prefix_reuse_tokens";
+
+/// Histogram of wall time per batched forward phase
+/// ([`InferenceSession::score_batch`]), milliseconds. The serve HTTP plane
+/// exposes it via `GET /metrics` as `inference_forward_ms`.
+pub const FORWARD_MS_HISTOGRAM: &str = "inference.forward.ms";
 
 /// The token prompt a generation query starts from, according to the model
 /// kind: `<BOS>` alone, `<BOS> pattern <SEP>` for pattern-conditioned
@@ -143,6 +148,8 @@ pub struct InferenceSession<'m> {
     /// Logits after the last fed token (empty until the first feed).
     last_logits: Vec<f32>,
     reuse_counter: Counter,
+    /// Wall time of whole batched-forward phases ([`Self::score_batch`]).
+    forward_ms: Histogram,
     reused: u64,
     computed: u64,
 }
@@ -175,6 +182,9 @@ impl<'m> InferenceSession<'m> {
             tokens: Vec::new(),
             last_logits: Vec::new(),
             reuse_counter: tel.counter(PREFIX_REUSE_COUNTER),
+            forward_ms: tel
+                .registry()
+                .histogram(FORWARD_MS_HISTOGRAM, LATENCY_MS_BOUNDS),
             reused: 0,
             computed: 0,
         }
@@ -209,6 +219,7 @@ impl<'m> InferenceSession<'m> {
             tokens: self.tokens.clone(),
             last_logits: self.last_logits.clone(),
             reuse_counter: self.reuse_counter.clone(),
+            forward_ms: self.forward_ms.clone(),
             reused: 0,
             computed: 0,
         }
@@ -442,6 +453,16 @@ impl<'m> InferenceSession<'m> {
     /// The serve smoke-test and `score_batch_is_bit_identical_to_solo`
     /// assert `==` on the scores, not an epsilon.
     pub fn score_batch(&mut self, passwords: &[impl AsRef<str>]) -> Vec<Result<f64, CoreError>> {
+        // DET: wall-clock timing feeds the forward-phase latency histogram
+        // only; it never influences scores or token streams.
+        let started = std::time::Instant::now();
+        let scores = self.score_batch_inner(passwords);
+        self.forward_ms
+            .record(started.elapsed().as_secs_f64() * 1e3);
+        scores
+    }
+
+    fn score_batch_inner(&mut self, passwords: &[impl AsRef<str>]) -> Vec<Result<f64, CoreError>> {
         let encoded: Vec<Result<Vec<TokenId>, CoreError>> = passwords
             .iter()
             .map(|pw| self.encode_scorable(pw.as_ref()))

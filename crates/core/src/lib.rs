@@ -60,8 +60,10 @@ pub use control::{CancelToken, Deadline, FaultPlan};
 pub use dcgen::{DcGen, DcGenConfig, DcGenOptions, DcGenReport, FailedTask, PasswordSink};
 pub use enumerate::EnumerationReport;
 pub use error::CoreError;
-pub use inference::{InferenceSession, RulePrefix, PREFIX_REUSE_COUNTER};
+pub use inference::{InferenceSession, RulePrefix, FORWARD_MS_HISTOGRAM, PREFIX_REUSE_COUNTER};
 pub use journal::{DcGenJournal, JournalTask};
 pub use model::{ModelKind, PasswordModel};
-pub use serve::{run_with_listener, ScoreOutcome, ServeConfig, ServeReport, ShedReason};
+pub use serve::{
+    run_with_listener, run_with_listeners, ScoreOutcome, ServeConfig, ServeReport, ShedReason,
+};
 pub use trainer::{CheckpointPolicy, TrainConfig, TrainOptions, TrainingReport};

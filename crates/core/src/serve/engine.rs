@@ -30,7 +30,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pagpass_telemetry::{
-    Counter, Field, Gauge, Histogram, Telemetry, DEPTH_BOUNDS, LATENCY_MS_BOUNDS,
+    next_span_id, next_trace_id, wall_clock_ms, Counter, Field, Gauge, Histogram, Telemetry,
+    TraceCtx, TraceRecorder, DEPTH_BOUNDS, LATENCY_MS_BOUNDS,
 };
 use parking_lot::Mutex;
 
@@ -91,12 +92,19 @@ pub(crate) struct ServeMetrics {
     pub bad_requests: Counter,
     pub dropped_responses: Counter,
     pub lost: Counter,
+    pub http_requests: Counter,
     pub queue_depth: Gauge,
     pub effective_max_batch: Gauge,
     pub connections: Gauge,
+    pub http_connections: Gauge,
     pub occupancy: Histogram,
     pub latency: Histogram,
     pub wave_ms: Histogram,
+    pub queue_wait: Histogram,
+    pub batch_assembly: Histogram,
+    pub forward_ms: Histogram,
+    pub rescore_ms: Histogram,
+    pub response_write: Histogram,
 }
 
 impl ServeMetrics {
@@ -112,13 +120,49 @@ impl ServeMetrics {
             bad_requests: tel.counter("serve.bad_requests"),
             dropped_responses: tel.counter("serve.dropped_responses"),
             lost: tel.counter("serve.lost"),
+            http_requests: tel.counter("serve.http_requests"),
             queue_depth: tel.gauge("serve.queue_depth"),
             effective_max_batch: tel.gauge("serve.effective_max_batch"),
             connections: tel.gauge("serve.connections"),
+            http_connections: tel.gauge("serve.http_connections"),
             occupancy: reg.histogram("serve.batch.occupancy", DEPTH_BOUNDS),
             latency: reg.histogram("serve.latency.ms", LATENCY_MS_BOUNDS),
             wave_ms: reg.histogram("serve.wave.ms", LATENCY_MS_BOUNDS),
+            queue_wait: reg.histogram("serve.queue_wait.ms", LATENCY_MS_BOUNDS),
+            batch_assembly: reg.histogram("serve.batch_assembly.ms", LATENCY_MS_BOUNDS),
+            forward_ms: reg.histogram("serve.forward.ms", LATENCY_MS_BOUNDS),
+            rescore_ms: reg.histogram("serve.rescore.ms", LATENCY_MS_BOUNDS),
+            response_write: reg.histogram("serve.response_write.ms", LATENCY_MS_BOUNDS),
         })
+    }
+}
+
+/// One request's trace identity, fixed at admission and carried through
+/// the pipeline. Every stage records its span as a child of `root_span`
+/// under `trace_id`; the root span itself is recorded when the request
+/// answers (see [`ScoreRequest::respond`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReqTrace {
+    /// The trace id shared by every span of this request.
+    pub trace_id: u64,
+    /// Pre-allocated id of the root (`serve.request`) span, so child
+    /// spans can reference it before the root completes.
+    pub root_span: u64,
+    /// True when the client supplied the trace id (echo it back).
+    pub client_supplied: bool,
+    /// True when this request's full span tree exports to the JSONL sink
+    /// (`--trace-sample`); the in-memory ring always gets the spans.
+    pub sampled: bool,
+}
+
+impl ReqTrace {
+    pub(crate) fn new(client_trace_id: Option<u64>, sampled: bool) -> ReqTrace {
+        ReqTrace {
+            trace_id: client_trace_id.unwrap_or_else(next_trace_id),
+            root_span: next_span_id(),
+            client_supplied: client_trace_id.is_some(),
+            sampled,
+        }
     }
 }
 
@@ -137,8 +181,13 @@ pub(crate) struct ScoreRequest {
     pub attempts: u32,
     /// Admission instant, for end-to-end latency.
     pub enqueued_at: Instant,
+    /// Admission wall clock, anchoring this request's spans in time.
+    pub enqueued_wall_ms: u64,
+    /// This request's trace identity.
+    pub trace: ReqTrace,
     responder: Option<Box<dyn FnOnce(ScoreOutcome) + Send>>,
     metrics: Arc<ServeMetrics>,
+    tracer: TraceRecorder,
 }
 
 impl std::fmt::Debug for ScoreRequest {
@@ -151,12 +200,17 @@ impl std::fmt::Debug for ScoreRequest {
 }
 
 impl ScoreRequest {
+    // An internal constructor with two call sites (the NDJSON and HTTP
+    // planes); a builder would add ceremony without adding clarity.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         seq: u64,
         password: String,
         deadline: Option<Deadline>,
         cancel: CancelToken,
         metrics: Arc<ServeMetrics>,
+        tracer: TraceRecorder,
+        trace: ReqTrace,
         responder: impl FnOnce(ScoreOutcome) + Send + 'static,
     ) -> ScoreRequest {
         ScoreRequest {
@@ -166,9 +220,32 @@ impl ScoreRequest {
             cancel,
             attempts: 0,
             enqueued_at: Instant::now(),
+            enqueued_wall_ms: wall_clock_ms(),
+            trace,
             responder: Some(Box::new(responder)),
             metrics,
+            tracer,
         }
+    }
+
+    /// Records one completed pipeline stage as a child span of this
+    /// request's root, exporting it to the JSONL sink when sampled.
+    pub(crate) fn child_span(&self, name: &str, start_ms: u64, dur_ms: f64) {
+        self.tracer.record(
+            TraceCtx::child_of(self.trace.trace_id, self.trace.root_span),
+            name,
+            start_ms,
+            dur_ms,
+            self.trace.sampled,
+        );
+    }
+
+    /// Records queue wait (admission → dequeue) as a span + histogram;
+    /// called by the worker the moment it pops the request.
+    pub(crate) fn note_dequeued(&self) {
+        let waited_ms = self.enqueued_at.elapsed().as_secs_f64() * 1e3;
+        self.metrics.queue_wait.record(waited_ms);
+        self.child_span("serve.queue_wait", self.enqueued_wall_ms, waited_ms);
     }
 
     /// Answers the client and does the terminal metric bookkeeping. The
@@ -190,6 +267,17 @@ impl ScoreRequest {
             ScoreOutcome::Rejected { .. } => self.metrics.rejected.inc(),
         }
         responder(outcome);
+        // The root span closes when the request answers; children recorded
+        // later (response write happens inside the responder's channel
+        // consumer) still reference it by the pre-allocated id.
+        self.tracer.record_with_id(
+            self.trace.root_span,
+            TraceCtx::root(self.trace.trace_id),
+            "serve.request",
+            self.enqueued_wall_ms,
+            self.enqueued_at.elapsed().as_secs_f64() * 1e3,
+            self.trace.sampled,
+        );
     }
 }
 
@@ -324,12 +412,19 @@ pub(crate) fn worker_loop(
             Pop::TimedOut => continue,
             Pop::Closed => return,
         };
+        first.note_dequeued();
+        // Batch assembly: first pop → sheds applied and the wave grouped.
+        let assembly_started = Instant::now();
+        let assembly_wall_ms = wall_clock_ms();
         let mut wave = vec![first];
         let ceiling = degrade.effective_max();
         let window_ends = Deadline::after(cfg.batch_window);
         while wave.len() < ceiling && !window_ends.expired() {
             match queue.pop_timeout(window_ends.remaining()) {
-                Pop::Item(r) => wave.push(r),
+                Pop::Item(r) => {
+                    r.note_dequeued();
+                    wave.push(r);
+                }
                 Pop::TimedOut | Pop::Closed => break,
             }
         }
@@ -352,6 +447,11 @@ pub(crate) fn worker_loop(
         degrade.record_wave(missed_deadline, metrics, tel);
         if group.is_empty() {
             continue;
+        }
+        let assembly_ms = assembly_started.elapsed().as_secs_f64() * 1e3;
+        metrics.batch_assembly.record(assembly_ms);
+        for req in &group {
+            req.child_span("serve.batch_assembly", assembly_wall_ms, assembly_ms);
         }
         metrics.occupancy.record(group.len() as f64);
         let wave_started = Instant::now();
@@ -376,13 +476,16 @@ fn score_wave(
     fault: Option<&FaultPlan>,
 ) {
     // Later-scored halves are pushed first so response order within the
-    // wave stays FIFO.
-    let mut stack = vec![group];
-    while let Some(mut group) = stack.pop() {
+    // wave stays FIFO. Depth 0 is the original forward; anything deeper
+    // is a halving re-score after a contained panic.
+    let mut stack = vec![(group, 0u32)];
+    while let Some((mut group, depth)) = stack.pop() {
         if group.is_empty() {
             continue;
         }
         let passwords: Vec<&str> = group.iter().map(|r| r.password.as_str()).collect();
+        let forward_started = Instant::now();
+        let forward_wall_ms = wall_clock_ms();
         let scores = catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = fault {
                 for req in &group {
@@ -393,9 +496,18 @@ fn score_wave(
             }
             session.score_batch(&passwords)
         }));
+        let forward_ms = forward_started.elapsed().as_secs_f64() * 1e3;
+        let span_name = if depth == 0 {
+            metrics.forward_ms.record(forward_ms);
+            "serve.forward"
+        } else {
+            metrics.rescore_ms.record(forward_ms);
+            "serve.rescore"
+        };
         match scores {
             Ok(scores) => {
                 for (mut req, score) in group.into_iter().zip(scores) {
+                    req.child_span(span_name, forward_wall_ms, forward_ms);
                     match score {
                         Ok(lp) => req.respond(ScoreOutcome::Score(lp)),
                         Err(e) => req.respond(ScoreOutcome::Unscorable(e.to_string())),
@@ -410,15 +522,16 @@ fn score_wave(
                     if let Some(mut req) = group.pop() {
                         req.attempts += 1;
                         if req.attempts > cfg.retries {
+                            req.child_span(span_name, forward_wall_ms, forward_ms);
                             req.respond(ScoreOutcome::Failed(panic_message(payload.as_ref())));
                         } else {
-                            stack.push(vec![req]);
+                            stack.push((vec![req], depth + 1));
                         }
                     }
                 } else {
                     let right = group.split_off(group.len() / 2);
-                    stack.push(right);
-                    stack.push(group);
+                    stack.push((right, depth + 1));
+                    stack.push((group, depth + 1));
                 }
             }
         }
@@ -520,6 +633,8 @@ mod tests {
             deadline,
             cancel,
             Arc::clone(metrics),
+            quiet_tel().trace_recorder(),
+            ReqTrace::new(None, false),
             move |outcome| sink.lock().push((seq, outcome)),
         )
     }

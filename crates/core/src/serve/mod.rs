@@ -17,6 +17,16 @@
 //!   batch ceiling under sustained deadline misses.
 //! * `tcp` — the protocol layer: line framing, per-connection
 //!   reader/writer threads, slow-client response dropping.
+//! * `http` — an optional zero-dependency HTTP/1.1 observability plane
+//!   (`GET /metrics`, `/healthz`, `/statusz`; `POST /score` bridging to
+//!   the same queue and workers), enabled by passing a second listener to
+//!   [`run_with_listeners`].
+//!
+//! Every admitted request carries a trace: admission, queue wait, batch
+//! assembly, forward (or halving re-score), and response write each record
+//! a child span under the request's `trace_id` into the telemetry span
+//! ring; `trace_sample > 0` additionally exports every Nth request's full
+//! span tree to the JSONL sink.
 //!
 //! Shutdown ([`CancelToken`] cancelled, typically by SIGINT/SIGTERM) is a
 //! drain: the acceptor stops, readers stop admitting, workers score
@@ -32,6 +42,7 @@
 //! [`InferenceSession::score_batch`]: crate::InferenceSession::score_batch
 
 mod engine;
+mod http;
 mod queue;
 mod tcp;
 
@@ -73,6 +84,9 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Backoff hint attached to queue-full rejections.
     pub retry_after_ms: u64,
+    /// Export every Nth request's full span tree to the JSONL sink
+    /// (0 = never; the in-memory span ring is always populated).
+    pub trace_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +101,7 @@ impl Default for ServeConfig {
             recover_after: 8,
             default_deadline: None,
             retry_after_ms: 50,
+            trace_sample: 0,
         }
     }
 }
@@ -147,7 +162,38 @@ pub fn run_with_listener(
     tel: &Telemetry,
     fault: Option<&FaultPlan>,
 ) -> Result<ServeReport, CoreError> {
+    run_with_listeners(model, listener, None, cfg, cancel, tel, fault)
+}
+
+/// Like [`run_with_listener`], with an optional second listener serving
+/// the HTTP observability plane: `GET /metrics` (Prometheus text
+/// exposition), `GET /healthz` (drain/degraded aware), `GET /statusz`
+/// (queue depths, batch ceiling, recent traces as JSON), and
+/// `POST /score` bridging to the same admission queue and workers as the
+/// NDJSON protocol — scores are bit-identical and both planes share one
+/// reconciliation invariant.
+///
+/// The HTTP plane deliberately outlives the drain: when `cancel` fires it
+/// keeps answering (with `/healthz` flipped to `503 draining`) until every
+/// admitted request has been scored, so monitors observe the drain instead
+/// of a vanished endpoint.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Io`] if a listener cannot be configured.
+pub fn run_with_listeners(
+    model: &PasswordModel,
+    listener: &TcpListener,
+    http_listener: Option<&TcpListener>,
+    cfg: &ServeConfig,
+    cancel: &CancelToken,
+    tel: &Telemetry,
+    fault: Option<&FaultPlan>,
+) -> Result<ServeReport, CoreError> {
     listener.set_nonblocking(true)?;
+    if let Some(hl) = http_listener {
+        hl.set_nonblocking(true)?;
+    }
     let queue = AdmissionQueue::new(cfg.queue_cap);
     let metrics = ServeMetrics::new(tel);
     metrics.effective_max_batch.set(cfg.max_batch.max(1) as f64);
@@ -162,6 +208,8 @@ pub fn run_with_listener(
     let seq = AtomicU64::new(0);
     let active_readers = AtomicUsize::new(0);
     let connections = AtomicUsize::new(0);
+    let tracer = tel.trace_recorder();
+    let http_stop = CancelToken::new();
     let shared = ConnShared {
         queue: &queue,
         metrics: &metrics,
@@ -170,12 +218,29 @@ pub fn run_with_listener(
         seq: &seq,
         active_readers: &active_readers,
         connections: &connections,
+        tracer: &tracer,
+    };
+    let http_shared = http::HttpShared {
+        queue: &queue,
+        metrics: &metrics,
+        cfg,
+        server_cancel: cancel,
+        stop: &http_stop,
+        seq: &seq,
+        degrade: &degrade,
+        tel,
+        tracer: &tracer,
     };
     thread::scope(|s| {
+        let mut workers = Vec::with_capacity(cfg.sessions.max(1));
         for _ in 0..cfg.sessions.max(1) {
-            s.spawn(|| {
+            workers.push(s.spawn(|| {
                 engine::worker_loop(model, &queue, &engine_cfg, &degrade, &metrics, fault, tel);
-            });
+            }));
+        }
+        if let Some(hl) = http_listener {
+            let http_shared = &http_shared;
+            s.spawn(move || http::http_loop(s, hl, http_shared));
         }
         accept_loop(s, listener, &shared);
         // Drain: the acceptor has stopped; wait for every reader to stop
@@ -194,6 +259,14 @@ pub fn run_with_listener(
             );
         }
         queue.close();
+        // Join the workers explicitly: only once every admitted request
+        // has been answered may the HTTP plane stop, so a monitor polling
+        // /healthz observes the whole drain (503) before the endpoint
+        // disappears.
+        for w in workers {
+            let _ = w.join();
+        }
+        http_stop.cancel();
     });
     let report = build_report(&metrics, tel);
     emit_summary(&report, tel);

@@ -1,10 +1,15 @@
 //! Newline-delimited-JSON protocol layer for the scoring server.
 //!
 //! One TCP connection carries many requests: each line is a JSON object
-//! `{"password": "...", "id": 7, "deadline_ms": 250}` (`id` and
-//! `deadline_ms` optional) and each response is one JSON line tagged with
-//! the request's `id` when it had one. Requests carrying an explicit
-//! `deadline_ms` are admitted into the high-priority lane.
+//! `{"password": "...", "id": 7, "deadline_ms": 250, "trace_id": 9}`
+//! (`id`, `deadline_ms`, and `trace_id` optional) and each response is one
+//! JSON line tagged with the request's `id` when it had one. Requests
+//! carrying an explicit `deadline_ms` are admitted into the high-priority
+//! lane. A client-supplied `trace_id` names the request's trace (echoed
+//! back as `"trace_id"` on the response); without one the server allocates
+//! a fresh id. Either way every pipeline stage records a child span under
+//! that trace — in the in-memory span ring always, and to the JSONL sink
+//! for every `trace_sample`-th request.
 //!
 //! Per connection the server runs a reader thread and a writer thread
 //! joined by a bounded channel, so one slow client can neither stall a
@@ -21,13 +26,15 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::Scope;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use pagpass_telemetry::{parse_json, write_json_f64, write_json_str, JsonValue};
+use pagpass_telemetry::{
+    parse_json, wall_clock_ms, write_json_f64, write_json_str, JsonValue, TraceCtx, TraceRecorder,
+};
 
 use crate::control::{CancelToken, Deadline};
 
-use super::engine::{ScoreOutcome, ScoreRequest, ServeMetrics};
+use super::engine::{ReqTrace, ScoreOutcome, ScoreRequest, ServeMetrics};
 use super::queue::{AdmissionQueue, Priority, PushError};
 use super::ServeConfig;
 
@@ -53,6 +60,7 @@ pub(super) struct ConnShared<'a> {
     pub seq: &'a AtomicU64,
     pub active_readers: &'a AtomicUsize,
     pub connections: &'a AtomicUsize,
+    pub tracer: &'a TraceRecorder,
 }
 
 /// Accepts connections until the server token cancels, spawning a
@@ -149,7 +157,14 @@ fn reader_loop(mut stream: TcpStream, resp_tx: SyncSender<String>, shared: &Conn
                     return;
                 }
             }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            // Interrupted: a signal (e.g. the SIGTERM that starts the
+            // drain) landed on this thread mid-read; retry, don't drop
+            // the connection.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
             Err(_) => {
                 conn_cancel.cancel();
                 return;
@@ -166,12 +181,14 @@ fn handle_line(
     conn_cancel: &CancelToken,
     shared: &ConnShared<'_>,
 ) {
+    let admit_started = Instant::now();
+    let admit_wall_ms = wall_clock_ms();
     let line = String::from_utf8_lossy(raw);
     let line = line.trim();
     if line.is_empty() {
         return;
     }
-    let (password, id, explicit_deadline) = match parse_request(line) {
+    let (password, id, explicit_deadline, client_trace_id) = match parse_request(line) {
         Ok(parts) => parts,
         Err(why) => {
             shared.metrics.bad_requests.inc();
@@ -190,11 +207,26 @@ fn handle_line(
     // ORD: Relaxed — seq only needs uniqueness, not ordering; the
     // queue push that publishes the request is the synchronizing op.
     let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    let sampled = shared.cfg.trace_sample > 0 && seq.is_multiple_of(shared.cfg.trace_sample);
+    let trace = ReqTrace::new(client_trace_id, sampled);
     let responder = {
         let resp_tx = resp_tx.clone();
         let metrics = Arc::clone(shared.metrics);
+        let tracer = shared.tracer.clone();
         move |outcome: ScoreOutcome| {
-            send_response(&resp_tx, &metrics, render_response(id, &outcome));
+            let write_started = Instant::now();
+            let write_wall_ms = wall_clock_ms();
+            let echo = trace.client_supplied.then_some(trace.trace_id);
+            send_response(&resp_tx, &metrics, render_response(id, echo, &outcome));
+            let write_ms = write_started.elapsed().as_secs_f64() * 1e3;
+            metrics.response_write.record(write_ms);
+            tracer.record(
+                TraceCtx::child_of(trace.trace_id, trace.root_span),
+                "serve.response_write",
+                write_wall_ms,
+                write_ms,
+                trace.sampled,
+            );
         }
     };
     let request = ScoreRequest::new(
@@ -203,7 +235,17 @@ fn handle_line(
         deadline,
         conn_cancel.clone(),
         Arc::clone(shared.metrics),
+        shared.tracer.clone(),
+        trace,
         responder,
+    );
+    // Admission span: line received → about to enqueue (parse + build).
+    shared.tracer.record(
+        TraceCtx::child_of(trace.trace_id, trace.root_span),
+        "serve.admission",
+        admit_wall_ms,
+        admit_started.elapsed().as_secs_f64() * 1e3,
+        trace.sampled,
     );
     match shared.queue.push(request, priority) {
         Ok(()) => {
@@ -221,8 +263,11 @@ fn handle_line(
     }
 }
 
-/// Extracts `(password, id, deadline)` from one request object.
-fn parse_request(line: &str) -> Result<(String, Option<u64>, Option<Duration>), String> {
+/// Extracts `(password, id, deadline, trace_id)` from one request object.
+#[allow(clippy::type_complexity)]
+pub(super) fn parse_request(
+    line: &str,
+) -> Result<(String, Option<u64>, Option<Duration>, Option<u64>), String> {
     let value = parse_json(line).map_err(|e| format!("bad request: {e}"))?;
     let JsonValue::Obj(_) = &value else {
         return Err("bad request: expected a JSON object".to_string());
@@ -240,7 +285,11 @@ fn parse_request(line: &str) -> Result<(String, Option<u64>, Option<Duration>), 
         .get("deadline_ms")
         .and_then(JsonValue::as_f64)
         .map(|ms| Duration::from_millis(ms.max(0.0) as u64));
-    Ok((password, id, deadline))
+    let trace_id = value
+        .get("trace_id")
+        .and_then(JsonValue::as_f64)
+        .map(|v| v.max(0.0) as u64);
+    Ok((password, id, deadline, trace_id))
 }
 
 /// Hands a rendered response line to the connection's writer, counting it
@@ -256,13 +305,23 @@ fn send_response(resp_tx: &SyncSender<String>, metrics: &ServeMetrics, line: Str
 
 /// Renders one response line. Scores carry full precision (shortest
 /// round-trip formatting), so a client parsing `ln_prob` back recovers the
-/// bit-exact f64 the one-shot `strength --precise` command prints.
-pub(super) fn render_response(id: Option<u64>, outcome: &ScoreOutcome) -> String {
+/// bit-exact f64 the one-shot `strength --precise` command prints. A
+/// client-supplied trace id is echoed as `"trace_id"`.
+pub(super) fn render_response(
+    id: Option<u64>,
+    trace_id: Option<u64>,
+    outcome: &ScoreOutcome,
+) -> String {
     let mut out = String::with_capacity(64);
     out.push('{');
     if let Some(id) = id {
         out.push_str("\"id\":");
         out.push_str(&id.to_string());
+        out.push(',');
+    }
+    if let Some(trace_id) = trace_id {
+        out.push_str("\"trace_id\":");
+        out.push_str(&trace_id.to_string());
         out.push(',');
     }
     match outcome {
@@ -309,8 +368,8 @@ pub(super) fn render_response(id: Option<u64>, outcome: &ScoreOutcome) -> String
     out
 }
 
-fn render_error(id: Option<u64>, why: &str) -> String {
-    render_response(id, &ScoreOutcome::Unscorable(why.to_string()))
+pub(super) fn render_error(id: Option<u64>, why: &str) -> String {
+    render_response(id, None, &ScoreOutcome::Unscorable(why.to_string()))
 }
 
 #[cfg(test)]
@@ -319,14 +378,17 @@ mod tests {
 
     #[test]
     fn request_parsing_accepts_optional_fields_and_rejects_garbage() {
-        let (pw, id, dl) = parse_request(r#"{"password":"hunter2"}"#).unwrap();
+        let (pw, id, dl, tr) = parse_request(r#"{"password":"hunter2"}"#).unwrap();
         assert_eq!(pw, "hunter2");
         assert_eq!(id, None);
         assert_eq!(dl, None);
-        let (pw, id, dl) = parse_request(r#"{"password":"a b","id":7,"deadline_ms":250}"#).unwrap();
+        assert_eq!(tr, None);
+        let (pw, id, dl, tr) =
+            parse_request(r#"{"password":"a b","id":7,"deadline_ms":250,"trace_id":99}"#).unwrap();
         assert_eq!(pw, "a b");
         assert_eq!(id, Some(7));
         assert_eq!(dl, Some(Duration::from_millis(250)));
+        assert_eq!(tr, Some(99));
         assert!(parse_request("not json").is_err());
         assert!(parse_request("[1,2]").is_err());
         assert!(parse_request(r#"{"password":12}"#).is_err());
@@ -335,9 +397,10 @@ mod tests {
 
     #[test]
     fn responses_render_as_single_json_lines() {
-        let ok = render_response(Some(3), &ScoreOutcome::Score(-12.5));
+        let ok = render_response(Some(3), None, &ScoreOutcome::Score(-12.5));
         assert_eq!(ok, "{\"id\":3,\"ok\":true,\"ln_prob\":-12.5}\n");
         let rejected = render_response(
+            None,
             None,
             &ScoreOutcome::Rejected {
                 retry_after_ms: 50,
@@ -348,8 +411,22 @@ mod tests {
         assert!(rejected.contains("\"retry_after_ms\":50"));
         // Full-precision score survives a JSON round-trip bit-exactly.
         let lp = -123.456_789_012_345_67_f64;
-        let line = render_response(None, &ScoreOutcome::Score(lp));
+        let line = render_response(None, None, &ScoreOutcome::Score(lp));
         let parsed = parse_json(line.trim()).unwrap();
         assert_eq!(parsed.get("ln_prob").and_then(JsonValue::as_f64), Some(lp));
+    }
+
+    #[test]
+    fn client_trace_id_is_echoed_before_the_body() {
+        let line = render_response(Some(1), Some(777), &ScoreOutcome::Score(-2.0));
+        assert_eq!(
+            line,
+            "{\"id\":1,\"trace_id\":777,\"ok\":true,\"ln_prob\":-2}\n"
+        );
+        let parsed = parse_json(line.trim()).unwrap();
+        assert_eq!(
+            parsed.get("trace_id").and_then(JsonValue::as_f64),
+            Some(777.0)
+        );
     }
 }

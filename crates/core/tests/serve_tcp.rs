@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -32,6 +33,26 @@ fn tiny() -> PasswordModel {
 
 fn quiet_tel() -> Telemetry {
     Telemetry::to_writer(LogFormat::Json, Box::new(std::io::sink()))
+}
+
+/// Cloneable in-memory sink capturing the server's JSONL output.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().expect("buf lock").clone()).expect("utf8 log")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Runs a server on an ephemeral port, drives it with `client`, cancels,
@@ -156,6 +177,94 @@ fn malformed_lines_answer_errors_and_zero_deadlines_are_shed() {
     assert_eq!(report.shed, 1);
     assert_eq!(report.completed, 1);
     assert!(report.reconciles(), "{report:?}");
+}
+
+#[test]
+fn client_trace_id_is_echoed_and_stamped_on_every_exported_span() {
+    let model = tiny();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let cancel = CancelToken::new();
+    let buf = SharedBuf::default();
+    let tel = Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone()));
+    let cfg = ServeConfig {
+        trace_sample: 1, // export every request's span tree
+        ..ServeConfig::default()
+    };
+    let trace_id = 777u64;
+    let report = thread::scope(|s| {
+        let server = s.spawn(|| {
+            run_with_listener(&model, &listener, &cfg, &cancel, &tel, None).expect("serve")
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream
+            .write_all(
+                format!("{{\"password\":\"hello123\",\"id\":1,\"trace_id\":{trace_id}}}\n")
+                    .as_bytes(),
+            )
+            .expect("send request");
+        let mut reader = BufReader::new(stream);
+        let got = read_responses(&mut reader, 1);
+        let response = &got[&Some(1)];
+        assert!(is_true(response.get("ok")), "{response:?}");
+        // The client-supplied trace id is echoed on the response line.
+        assert_eq!(
+            response.get("trace_id").and_then(JsonValue::as_f64),
+            Some(trace_id as f64),
+            "{response:?}"
+        );
+        cancel.cancel();
+        server.join().expect("server thread")
+    });
+    assert!(report.reconciles(), "{report:?}");
+
+    // Every exported span of the request's tree carries the same trace id,
+    // children reference the root span, and the whole pipeline is covered.
+    let log = buf.contents();
+    let mut root = None;
+    let mut children: Vec<(String, u64)> = Vec::new();
+    for line in log.lines() {
+        let rec = parse_json(line).expect("JSONL record");
+        if rec.get("kind").and_then(JsonValue::as_str) != Some("span") {
+            continue;
+        }
+        let fields = rec.get("fields").expect("span fields");
+        if fields.get("trace_id").and_then(JsonValue::as_f64) != Some(trace_id as f64) {
+            continue;
+        }
+        let name = rec.get("name").and_then(JsonValue::as_str).expect("name");
+        let span_id = fields
+            .get("span_id")
+            .and_then(JsonValue::as_f64)
+            .expect("span_id") as u64;
+        let parent = fields
+            .get("parent_span_id")
+            .and_then(JsonValue::as_f64)
+            .expect("parent_span_id") as u64;
+        if name == "serve.request" {
+            assert_eq!(parent, 0, "root span has no parent");
+            root = Some(span_id);
+        } else {
+            children.push((name.to_string(), parent));
+        }
+    }
+    let root = root.expect("exported trace has a serve.request root span");
+    let names: Vec<&str> = children.iter().map(|(n, _)| n.as_str()).collect();
+    for stage in [
+        "serve.admission",
+        "serve.queue_wait",
+        "serve.batch_assembly",
+        "serve.forward",
+        "serve.response_write",
+    ] {
+        assert!(names.contains(&stage), "missing {stage} in {names:?}");
+    }
+    for (name, parent) in &children {
+        assert_eq!(*parent, root, "{name} must parent on the root span");
+    }
 }
 
 #[test]

@@ -1,0 +1,184 @@
+//! Prometheus text exposition over a [`MetricsSnapshot`].
+//!
+//! Renders the registry's counters, gauges, and histograms in the
+//! Prometheus text format (version 0.0.4): dotted metric names are
+//! sanitized to `[a-zA-Z0-9_:]`, counters gain the conventional `_total`
+//! suffix, and histogram buckets are emitted *cumulatively* with a final
+//! `+Inf` bucket equal to `_count` — the invariants Prometheus scrapers
+//! (and the in-repo `tools/promcheck.py` checker) verify line by line.
+
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a dotted metric name to a valid Prometheus metric name: characters
+/// outside `[a-zA-Z0-9_:]` become `_`, and a leading digit is prefixed.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Writes one f64 the way Prometheus expects samples (shortest round-trip;
+/// non-finite values render as `NaN`/`+Inf`/`-Inf`).
+fn write_sample_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    // Cumulative buckets: the registry stores per-bucket counts, the
+    // exposition wants "samples <= bound". The `+Inf` bucket and `_count`
+    // both carry the bucket total, so the series is self-consistent even
+    // if `h.count` raced ahead of the bucket increments mid-snapshot.
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        let _ = write!(out, "{name}_bucket{{le=\"");
+        match h.bounds.get(i) {
+            Some(bound) => write_sample_f64(out, *bound),
+            None => out.push_str("+Inf"),
+        }
+        let _ = writeln!(out, "\"}} {cumulative}");
+    }
+    let _ = write!(out, "{name}_sum ");
+    write_sample_f64(out, h.sum);
+    out.push('\n');
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+/// Renders the whole snapshot as Prometheus text exposition (one `# HELP`
+/// line carrying the original dotted name, one `# TYPE` line, then the
+/// samples, per metric; metrics in sorted-name order).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_telemetry::{render_prometheus, MetricsRegistry};
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("serve.admitted").add(3);
+/// let text = render_prometheus(&reg.snapshot());
+/// assert!(text.contains("# TYPE serve_admitted_total counter"));
+/// assert!(text.contains("serve_admitted_total 3"));
+/// ```
+#[must_use]
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in &snap.counters {
+        let pname = format!("{}_total", prometheus_name(name));
+        let _ = writeln!(out, "# HELP {pname} {name}");
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {pname} {name}");
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = write!(out, "{pname} ");
+        write_sample_f64(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {pname} {name}");
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        render_histogram(&mut out, &pname, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prometheus_name("serve.latency.ms"), "serve_latency_ms");
+        assert_eq!(prometheus_name("a-b c.d"), "a_b_c_d");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.admitted").add(5);
+        reg.gauge("serve.queue_depth").set(2.5);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE serve_admitted_total counter"));
+        assert!(text.contains("\nserve_admitted_total 5\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge"));
+        assert!(text.contains("\nserve_queue_depth 2.5\n"));
+        // HELP lines carry the original dotted name for traceability.
+        assert!(text.contains("# HELP serve_admitted_total serve.admitted"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_consistent_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat.ms", &[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 100.0, 200.0] {
+            h.record(v);
+        }
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE lat_ms histogram"));
+        assert!(text.contains("lat_ms_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"10\"} 3\n"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lat_ms_count 5\n"));
+        assert!(text.contains("lat_ms_sum 306.2\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").inc();
+        reg.gauge("c.d").set(-1.5);
+        reg.histogram("e.f", &[2.0]).record(3.0);
+        for line in render_prometheus(&reg.snapshot()).lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            // Sample lines: `name[{labels}] value` with a parseable value.
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty(), "{line}");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_series() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("empty.ms", &[1.0]);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("empty_ms_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_ms_count 0\n"));
+        assert!(text.contains("empty_ms_sum 0\n"));
+    }
+}

@@ -37,27 +37,35 @@
 //! assert_eq!(snap.histograms["gen.batch.ms"].count, 1);
 //! ```
 
+mod expo;
 mod json;
 mod registry;
 mod reporter;
+mod ring;
 mod trace;
 
 use std::io::Write;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
+pub use expo::{prometheus_name, render_prometheus};
 pub use json::{parse_json, write_json_f64, write_json_str, JsonValue};
 pub use registry::{
     wall_clock_ms, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEPTH_BOUNDS, LATENCY_MS_BOUNDS,
 };
 pub use reporter::Reporter;
-pub use trace::{EventSink, Field, LogFormat, Span};
+pub use ring::{next_span_id, next_trace_id, SpanRecord, SpanRing, TraceCtx};
+pub use trace::{record_schema_version, EventSink, Field, LogFormat, Span, JSONL_SCHEMA_VERSION};
+
+/// Spans retained by a [`Telemetry`]'s ring before the oldest are evicted.
+const SPAN_RING_CAPACITY: usize = 512;
 
 /// One registry plus one sink: everything a run needs to be observable.
 #[derive(Debug)]
 pub struct Telemetry {
     registry: MetricsRegistry,
-    sink: EventSink,
+    sink: Arc<EventSink>,
+    spans: Arc<SpanRing>,
 }
 
 impl Telemetry {
@@ -66,7 +74,8 @@ impl Telemetry {
     pub fn new(format: LogFormat, quiet: bool) -> Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
-            sink: EventSink::stderr(format, quiet),
+            sink: Arc::new(EventSink::stderr(format, quiet)),
+            spans: Arc::new(SpanRing::new(SPAN_RING_CAPACITY)),
         }
     }
 
@@ -75,7 +84,8 @@ impl Telemetry {
     pub fn to_writer(format: LogFormat, out: Box<dyn Write + Send>) -> Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
-            sink: EventSink::to_writer(format, false, out),
+            sink: Arc::new(EventSink::to_writer(format, false, out)),
+            spans: Arc::new(SpanRing::new(SPAN_RING_CAPACITY)),
         }
     }
 
@@ -150,6 +160,93 @@ impl Telemetry {
     pub fn timer(&self, name: &str) -> Span<'_> {
         Span::new(self, name, false)
     }
+
+    /// An RAII traced span: silent like [`timer`](Self::timer), but
+    /// carrying a [`TraceCtx`] — on drop the completed span also lands in
+    /// this telemetry's bounded [`SpanRing`]. Parent child spans with
+    /// [`Span::span_id`] + [`TraceCtx::child_of`].
+    #[must_use]
+    pub fn traced(&self, ctx: TraceCtx, name: &str) -> Span<'_> {
+        Span::with_ctx(self, name, false, Some(ctx))
+    }
+
+    /// The bounded ring of completed traced spans.
+    #[must_use]
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// A cheap cloneable recorder for completed spans measured outside an
+    /// RAII scope (cross-thread intervals); see [`TraceRecorder::record`].
+    #[must_use]
+    pub fn trace_recorder(&self) -> TraceRecorder {
+        TraceRecorder {
+            ring: Arc::clone(&self.spans),
+            sink: Arc::clone(&self.sink),
+        }
+    }
+}
+
+/// Records completed spans into a [`Telemetry`]'s span ring — and
+/// optionally exports them as JSONL `span` records — without borrowing the
+/// `Telemetry`. A recorder is two `Arc`s: clone it freely into responder
+/// closures and worker threads whose lifetimes outlive the borrow.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    ring: Arc<SpanRing>,
+    sink: Arc<EventSink>,
+}
+
+impl TraceRecorder {
+    /// Records one completed span measured externally (`start_ms` wall
+    /// clock, `dur_ms` duration), allocating and returning its span id.
+    /// With `export`, the span is also emitted as a JSONL `span` record
+    /// carrying its trace identity — the sampled-trace export path.
+    pub fn record(
+        &self,
+        ctx: TraceCtx,
+        name: &str,
+        start_ms: u64,
+        dur_ms: f64,
+        export: bool,
+    ) -> u64 {
+        self.record_with_id(next_span_id(), ctx, name, start_ms, dur_ms, export)
+    }
+
+    /// Like [`record`](Self::record) but with a caller-allocated span id —
+    /// used for root spans whose id was handed to children up front.
+    pub fn record_with_id(
+        &self,
+        span_id: u64,
+        ctx: TraceCtx,
+        name: &str,
+        start_ms: u64,
+        dur_ms: f64,
+        export: bool,
+    ) -> u64 {
+        self.ring.push(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent_span_id: ctx.parent_span_id,
+            name: name.to_owned(),
+            start_ms,
+            dur_ms,
+        });
+        if export {
+            self.sink.emit(
+                "span",
+                name,
+                &[
+                    ("trace_id", Field::U64(ctx.trace_id)),
+                    ("span_id", Field::U64(span_id)),
+                    ("parent_span_id", Field::U64(ctx.parent_span_id)),
+                    ("start_ms", Field::U64(start_ms)),
+                    ("ms", Field::F64(dur_ms)),
+                ],
+            );
+        }
+        span_id
+    }
 }
 
 #[cfg(test)]
@@ -171,5 +268,36 @@ mod tests {
         drop(tel.span("phase.a"));
         let snap = tel.snapshot();
         assert_eq!(snap.histograms["phase.a.ms"].count, 2);
+    }
+
+    #[test]
+    fn traced_spans_land_in_the_ring_with_parentage() {
+        let tel = Telemetry::new(LogFormat::Text, true);
+        let trace_id = next_trace_id();
+        let root_id;
+        {
+            let root = tel.traced(TraceCtx::root(trace_id), "req");
+            root_id = root.span_id();
+            drop(tel.traced(TraceCtx::child_of(trace_id, root_id), "req.child"));
+        }
+        let spans = tel.spans().trace(trace_id);
+        assert_eq!(spans.len(), 2);
+        // The child completed (dropped) first; the root closed after it.
+        assert_eq!(spans[0].name, "req.child");
+        assert_eq!(spans[0].parent_span_id, root_id);
+        assert_eq!(spans[1].name, "req");
+        assert_eq!(spans[1].parent_span_id, 0);
+        assert_eq!(tel.snapshot().histograms["req.child.ms"].count, 1);
+    }
+
+    #[test]
+    fn trace_recorder_outlives_the_borrow_and_exports() {
+        let recorder = {
+            let tel = Telemetry::new(LogFormat::Text, true);
+            tel.trace_recorder()
+        };
+        // The Telemetry is gone; the recorder still records safely.
+        let id = recorder.record(TraceCtx::root(9), "late", 1_000, 2.5, false);
+        assert_ne!(id, 0);
     }
 }

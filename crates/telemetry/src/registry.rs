@@ -360,12 +360,17 @@ impl HistogramSnapshot {
     /// the range of values actually recorded.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        // Rank against the bucket total, not `count`: under a torn
+        // snapshot `count` can race ahead of the bucket increments, and an
+        // empty-bucket histogram must return `None` deterministically
+        // instead of falling through the scan below.
+        let bucket_total: u64 = self.buckets.iter().sum();
+        if self.count == 0 || bucket_total == 0 {
             return None;
         }
         let (min, max) = (self.min?, self.max?);
         let q = q.clamp(0.0, 1.0);
-        let rank = q * self.count as f64;
+        let rank = q * bucket_total as f64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -384,6 +389,8 @@ impl HistogramSnapshot {
             }
             seen = next;
         }
+        // Float-edge safety only: rank <= bucket_total guarantees the scan
+        // returned above for any exactly-representable arithmetic.
         Some(max)
     }
 }
@@ -533,6 +540,50 @@ mod tests {
         // Out-of-range q clamps instead of panicking.
         assert_eq!(hs.quantile(7.0), Some(50.0));
         assert_eq!(hs.quantile(-1.0), Some(50.0));
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_none_at_every_q() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("empty", &[1.0, 10.0]);
+        let hs = &reg.snapshot().histograms["empty"];
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(hs.quantile(q), None, "q={q}");
+        }
+        // A torn snapshot where `count` raced ahead of the bucket
+        // increments must also refuse, not fall through the bucket scan.
+        let torn = HistogramSnapshot {
+            count: 3,
+            ..hs.clone()
+        };
+        assert_eq!(torn.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_between_min_and_bound() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("single", &[10.0]);
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            h.record(v);
+        }
+        let hs = &reg.snapshot().histograms["single"];
+        // All 4 samples in [min=2, 10]: p50 → rank 2, 2 + 8·(2/4) = 6.
+        assert_eq!(hs.quantile(0.5), Some(6.0));
+        assert_eq!(hs.quantile(0.0), Some(2.0));
+        assert_eq!(hs.quantile(1.0), Some(8.0));
+    }
+
+    #[test]
+    fn quantile_all_samples_in_overflow_reports_max() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("over", &[1.0]);
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        let hs = &reg.snapshot().histograms["over"];
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(hs.quantile(q), Some(30.0), "q={q}");
+        }
     }
 
     #[test]

@@ -92,6 +92,18 @@ fn run(tel: &Telemetry, shared: &Shared, interval: Duration) {
     }
 }
 
+/// A per-second rate for one tick, or `None` when no rate can be derived:
+/// nothing moved, the wall-clock delta is zero or negative (clock-equal
+/// ticks, the first tick firing instantly), or the division itself would
+/// not be finite. Guarantees the JSONL stream never carries `inf`/`NaN`.
+fn rate(delta: u64, dt_secs: f64) -> Option<f64> {
+    if delta == 0 || !dt_secs.is_finite() || dt_secs <= 0.0 {
+        return None;
+    }
+    let r = delta as f64 / dt_secs;
+    r.is_finite().then_some(r)
+}
+
 /// One `report` record: counter totals (with `/s` rates for counters that
 /// moved this tick), gauges, and histogram means.
 fn emit_report(tel: &Telemetry, prev: &MetricsSnapshot, snap: &MetricsSnapshot, dt_secs: f64) {
@@ -99,9 +111,8 @@ fn emit_report(tel: &Telemetry, prev: &MetricsSnapshot, snap: &MetricsSnapshot, 
     for (name, &value) in &snap.counters {
         fields.push((name.clone(), Field::U64(value)));
         let before = prev.counters.get(name).copied().unwrap_or(0);
-        let delta = value.saturating_sub(before);
-        if delta > 0 && dt_secs > 0.0 {
-            fields.push((format!("{name}/s"), Field::F64(delta as f64 / dt_secs)));
+        if let Some(r) = rate(value.saturating_sub(before), dt_secs) {
+            fields.push((format!("{name}/s"), Field::F64(r)));
         }
     }
     for (name, &value) in &snap.gauges {
@@ -122,7 +133,27 @@ fn emit_report(tel: &Telemetry, prev: &MetricsSnapshot, snap: &MetricsSnapshot, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LogFormat;
+    use crate::{parse_json, LogFormat};
+    use std::io::Write;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().expect("buf lock").clone()).expect("utf8")
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buf lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
     #[test]
     fn final_report_includes_rates() {
@@ -135,5 +166,38 @@ mod tests {
         // Smoke: emit_report must not panic and must handle new metrics
         // appearing between snapshots.
         emit_report(&tel, &prev, &snap, 2.0);
+    }
+
+    #[test]
+    fn rate_guards_degenerate_ticks() {
+        assert_eq!(rate(10, 2.0), Some(5.0));
+        // Nothing moved: no rate, even with a healthy dt.
+        assert_eq!(rate(0, 2.0), None);
+        // Clock-equal ticks (dt == 0) must not divide.
+        assert_eq!(rate(10, 0.0), None);
+        // Clock going backwards or poisoned dt values.
+        assert_eq!(rate(10, -1.0), None);
+        assert_eq!(rate(10, f64::NAN), None);
+        assert_eq!(rate(10, f64::INFINITY), None);
+        // A denormal dt whose division overflows to +Inf is suppressed.
+        assert_eq!(rate(u64::MAX, f64::MIN_POSITIVE), None);
+    }
+
+    #[test]
+    fn zero_dt_report_emits_no_rates_and_no_nonfinite_json() {
+        let buf = SharedBuf::default();
+        let tel = Arc::new(Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone())));
+        tel.counter("z.count").add(5);
+        let prev = tel.snapshot();
+        tel.counter("z.count").add(5);
+        let snap = tel.snapshot();
+        emit_report(&tel, &prev, &snap, 0.0);
+        let out = buf.contents();
+        let line = out.lines().next().expect("one report line");
+        let v = parse_json(line).expect("report is valid JSON");
+        let fields = v.get("fields").expect("fields");
+        assert!(fields.get("z.count").is_some());
+        assert!(fields.get("z.count/s").is_none());
+        assert!(!out.contains("inf") && !out.contains("NaN"), "{out}");
     }
 }

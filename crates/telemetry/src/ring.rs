@@ -1,0 +1,265 @@
+//! Lock-sharded bounded ring buffer of completed spans.
+//!
+//! Request-scoped tracing needs somewhere cheap to put finished spans so a
+//! live endpoint (`/statusz`) can show "the last N spans" without asking
+//! the hot path to serialize anything. The ring is that somewhere: a fixed
+//! capacity split across independently locked shards, written round-robin
+//! so concurrent recorders rarely contend on the same shard, and snapshot
+//! at read time into one list ordered by completion.
+//!
+//! The ring never grows: once a shard is full the oldest span in that
+//! shard is evicted. Losing old spans is the point — this is a window, not
+//! a log; the JSONL sink is the durable export path (sampled traces).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Independently locked shards; more than typical recorder concurrency so
+/// round-robin writers rarely collide.
+const RING_SHARDS: usize = 8;
+
+/// Monotonic span-id allocator shared by every recorder in the process.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Monotonic trace-id allocator for requests that did not supply one.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique span id (never 0 — 0 means "no parent").
+#[must_use]
+pub fn next_span_id() -> u64 {
+    // ORD: a pure id allocator; uniqueness comes from the atomic RMW,
+    // no cross-variable ordering is needed.
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A fresh process-unique trace id (never 0).
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    // ORD: same pure-allocator argument as `next_span_id`.
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Position of one span inside a request-scoped trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The trace every span of one request shares.
+    pub trace_id: u64,
+    /// Id of the enclosing span, or 0 for a trace's root span.
+    pub parent_span_id: u64,
+}
+
+impl TraceCtx {
+    /// Context for a trace's root span (no parent).
+    #[must_use]
+    pub fn root(trace_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            parent_span_id: 0,
+        }
+    }
+
+    /// Context for a child span under `parent_span_id`.
+    #[must_use]
+    pub fn child_of(trace_id: u64, parent_span_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            parent_span_id,
+        }
+    }
+}
+
+/// One completed span as stored in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id (unique per process).
+    pub span_id: u64,
+    /// The enclosing span's id, or 0 for the root.
+    pub parent_span_id: u64,
+    /// Dotted span name (`serve.queue_wait`, …).
+    pub name: String,
+    /// Wall-clock start, milliseconds since the UNIX epoch.
+    pub start_ms: u64,
+    /// Duration in milliseconds.
+    pub dur_ms: f64,
+}
+
+/// One shard: a bounded FIFO window of spans plus a push sequence number
+/// so a snapshot can interleave shards in completion order.
+#[derive(Debug, Default)]
+struct Shard {
+    spans: std::collections::VecDeque<(u64, SpanRecord)>,
+}
+
+/// Locks a shard, riding through poisoning: shard state is a `VecDeque`
+/// that is valid at every instruction boundary.
+fn lock(m: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The bounded, lock-sharded span ring. See the module docs.
+#[derive(Debug)]
+pub struct SpanRing {
+    shards: Vec<Mutex<Shard>>,
+    /// Round-robin write cursor.
+    cursor: AtomicUsize,
+    /// Global push sequence, for ordering snapshots across shards.
+    pushed: AtomicU64,
+    per_shard_cap: usize,
+}
+
+impl SpanRing {
+    /// A ring holding at most (roughly) `capacity` spans, split evenly
+    /// across the shards; `capacity` is clamped to at least one span per
+    /// shard.
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            shards: (0..RING_SHARDS).map(|_| Mutex::default()).collect(),
+            cursor: AtomicUsize::new(0),
+            pushed: AtomicU64::new(0),
+            per_shard_cap: capacity.div_ceil(RING_SHARDS).max(1),
+        }
+    }
+
+    /// Total spans the ring can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * RING_SHARDS
+    }
+
+    /// Appends one completed span, evicting the oldest span in its shard
+    /// when that shard is full.
+    pub fn push(&self, record: SpanRecord) {
+        // ORD: the cursor only spreads load; any interleaving is correct.
+        let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % RING_SHARDS;
+        // ORD: the sequence number orders snapshots; the shard mutex is
+        // the synchronizing operation for the record itself.
+        let seq = self.pushed.fetch_add(1, Ordering::Relaxed);
+        let mut guard = lock(&self.shards[shard]);
+        if guard.spans.len() >= self.per_shard_cap {
+            guard.spans.pop_front();
+        }
+        guard.spans.push_back((seq, record));
+    }
+
+    /// Spans currently held (across all shards).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).spans.len()).sum()
+    }
+
+    /// Whether the ring holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every retained span, oldest first (by push order, which is
+    /// completion order up to recorder concurrency).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut all: Vec<(u64, SpanRecord)> = Vec::with_capacity(self.capacity());
+        for shard in &self.shards {
+            all.extend(lock(shard).spans.iter().cloned());
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// The retained spans of one trace, oldest first.
+    #[must_use]
+    pub fn trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans = self.snapshot();
+        spans.retain(|r| r.trace_id == trace_id);
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, name: &str) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            span_id: next_span_id(),
+            parent_span_id: 0,
+            name: name.to_owned(),
+            start_ms: 1_000,
+            dur_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_ne!(next_trace_id(), 0);
+    }
+
+    #[test]
+    fn trace_ctx_constructors() {
+        assert_eq!(TraceCtx::root(7).parent_span_id, 0);
+        let child = TraceCtx::child_of(7, 3);
+        assert_eq!((child.trace_id, child.parent_span_id), (7, 3));
+    }
+
+    #[test]
+    fn push_and_snapshot_preserve_order() {
+        let ring = SpanRing::new(64);
+        for i in 0..10u64 {
+            ring.push(span(i, &format!("s{i}")));
+        }
+        assert_eq!(ring.len(), 10);
+        let snap = ring.snapshot();
+        let names: Vec<&str> = snap.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"]
+        );
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_evicts_oldest() {
+        let ring = SpanRing::new(8); // one span per shard
+        assert_eq!(ring.capacity(), 8);
+        for i in 0..100u64 {
+            ring.push(span(i, "s"));
+        }
+        assert_eq!(ring.len(), 8);
+        // Everything retained is from the most recent writes.
+        assert!(ring.snapshot().iter().all(|r| r.trace_id >= 84));
+    }
+
+    #[test]
+    fn trace_filters_by_id() {
+        let ring = SpanRing::new(64);
+        ring.push(span(1, "a"));
+        ring.push(span(2, "b"));
+        ring.push(span(1, "c"));
+        let got = ring.trace(1);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| r.trace_id == 1));
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::new(32));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        ring.push(span(t * 1000 + i, "c"));
+                    }
+                });
+            }
+        });
+        assert!(ring.len() <= ring.capacity());
+    }
+}

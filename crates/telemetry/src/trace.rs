@@ -2,16 +2,45 @@
 //! progress lines or JSONL records, and RAII timer spans.
 //!
 //! Every record carries the same schema regardless of format:
-//! `{"ts_ms", "kind", "name", "fields"}` — wall-clock timestamp, a coarse
-//! record kind (`progress`, `span`, `report`, `summary`, `warn`), a
-//! dotted event name, and a flat map of typed fields.
+//! `{"schema_version", "ts_ms", "kind", "name", "fields"}` — the record
+//! format version ([`JSONL_SCHEMA_VERSION`]), wall-clock timestamp, a
+//! coarse record kind (`progress`, `span`, `report`, `summary`, `warn`),
+//! a dotted event name, and a flat map of typed fields. v1 records predate
+//! the version field; [`record_schema_version`] treats its absence as 1.
 
 use std::io::Write;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::json::{write_json_f64, write_json_str};
+use crate::json::{write_json_f64, write_json_str, JsonValue};
 use crate::registry::wall_clock_ms;
+use crate::ring::{next_span_id, SpanRecord, TraceCtx};
+
+/// Version stamped into every JSONL record as `schema_version`.
+///
+/// History: v1 (unversioned) was `{"ts_ms", "kind", "name", "fields"}`;
+/// v2 added this field. Parsers must stay tolerant of v1 records — see
+/// [`record_schema_version`].
+pub const JSONL_SCHEMA_VERSION: u64 = 2;
+
+/// The schema version of one parsed JSONL record: the `schema_version`
+/// field when present, else 1 (v1 records predate the field).
+///
+/// # Examples
+///
+/// ```
+/// use pagpass_telemetry::{parse_json, record_schema_version};
+///
+/// let v1 = parse_json(r#"{"ts_ms":1,"kind":"progress","name":"x","fields":{}}"#).unwrap();
+/// assert_eq!(record_schema_version(&v1), 1);
+/// ```
+#[must_use]
+pub fn record_schema_version(record: &JsonValue) -> u64 {
+    record
+        .get("schema_version")
+        .and_then(JsonValue::as_f64)
+        .map_or(1, |v| v.max(0.0) as u64)
+}
 
 /// Output format of an [`EventSink`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,7 +253,11 @@ impl EventSink {
 fn render_json(kind: &str, name: &str, fields: &[(&str, Field)]) -> String {
     use std::fmt::Write as _;
     let mut line = String::with_capacity(128);
-    let _ = write!(line, "{{\"ts_ms\":{},\"kind\":", wall_clock_ms());
+    let _ = write!(
+        line,
+        "{{\"schema_version\":{JSONL_SCHEMA_VERSION},\"ts_ms\":{},\"kind\":",
+        wall_clock_ms()
+    );
     write_json_str(&mut line, kind);
     line.push_str(",\"name\":");
     write_json_str(&mut line, name);
@@ -244,21 +277,41 @@ fn render_json(kind: &str, name: &str, fields: &[(&str, Field)]) -> String {
 /// An RAII timer. On drop it records its elapsed milliseconds into the
 /// histogram `<name>.ms` and — unless created with
 /// [`Telemetry::timer`](crate::Telemetry::timer) — emits a `span` record.
+///
+/// A span created with [`Telemetry::traced`](crate::Telemetry::traced)
+/// additionally carries a [`TraceCtx`]: on drop it lands in the
+/// telemetry's bounded span ring as a [`SpanRecord`], and its `span` event
+/// (when emitted) carries `trace_id`/`span_id`/`parent_span_id` fields.
 #[derive(Debug)]
 pub struct Span<'a> {
     tel: &'a crate::Telemetry,
     name: String,
     start: Instant,
+    start_wall_ms: u64,
     emit: bool,
+    ctx: Option<TraceCtx>,
+    span_id: u64,
 }
 
 impl<'a> Span<'a> {
     pub(crate) fn new(tel: &'a crate::Telemetry, name: &str, emit: bool) -> Span<'a> {
+        Span::with_ctx(tel, name, emit, None)
+    }
+
+    pub(crate) fn with_ctx(
+        tel: &'a crate::Telemetry,
+        name: &str,
+        emit: bool,
+        ctx: Option<TraceCtx>,
+    ) -> Span<'a> {
         Span {
             tel,
             name: name.to_owned(),
             start: Instant::now(),
+            start_wall_ms: wall_clock_ms(),
             emit,
+            ctx,
+            span_id: next_span_id(),
         }
     }
 
@@ -266,6 +319,19 @@ impl<'a> Span<'a> {
     #[must_use]
     pub fn elapsed_ms(&self) -> f64 {
         self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// This span's id, for parenting child spans
+    /// ([`TraceCtx::child_of`]).
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The trace context this span runs under, if any.
+    #[must_use]
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.ctx
     }
 }
 
@@ -279,10 +345,33 @@ impl Drop for Span<'_> {
                 crate::registry::LATENCY_MS_BOUNDS,
             )
             .record(ms);
+        if let Some(ctx) = self.ctx {
+            self.tel.spans().push(SpanRecord {
+                trace_id: ctx.trace_id,
+                span_id: self.span_id,
+                parent_span_id: ctx.parent_span_id,
+                name: self.name.clone(),
+                start_ms: self.start_wall_ms,
+                dur_ms: ms,
+            });
+        }
         if self.emit {
-            self.tel
-                .sink()
-                .emit("span", &self.name, &[("ms", Field::F64(ms))]);
+            match self.ctx {
+                Some(ctx) => self.tel.sink().emit(
+                    "span",
+                    &self.name,
+                    &[
+                        ("trace_id", Field::U64(ctx.trace_id)),
+                        ("span_id", Field::U64(self.span_id)),
+                        ("parent_span_id", Field::U64(ctx.parent_span_id)),
+                        ("ms", Field::F64(ms)),
+                    ],
+                ),
+                None => self
+                    .tel
+                    .sink()
+                    .emit("span", &self.name, &[("ms", Field::F64(ms))]),
+            }
         }
     }
 }
@@ -326,12 +415,64 @@ mod tests {
         let bytes = buf.0.lock().unwrap().clone();
         let line = String::from_utf8(bytes).unwrap();
         let v = parse_json(line.trim()).unwrap();
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64(),
+            Some(JSONL_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(record_schema_version(&v), JSONL_SCHEMA_VERSION);
         assert_eq!(v.get("kind").unwrap().as_str(), Some("progress"));
         assert_eq!(v.get("name").unwrap().as_str(), Some("train.step"));
         assert!(v.get("ts_ms").unwrap().as_f64().unwrap() > 0.0);
         let fields = v.get("fields").unwrap();
         assert_eq!(fields.get("step").unwrap().as_f64(), Some(7.0));
         assert_eq!(fields.get("loss").unwrap().as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn v1_records_without_a_version_field_still_parse() {
+        // A record written before schema_version existed: it must parse,
+        // report version 1, and expose its fields unchanged.
+        let line = r#"{"ts_ms":1700000000000,"kind":"summary","name":"dcgen.done","fields":{"emitted":100}}"#;
+        let v = parse_json(line).expect("v1 record parses");
+        assert_eq!(record_schema_version(&v), 1);
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("summary"));
+        assert_eq!(
+            v.get("fields").unwrap().get("emitted").unwrap().as_f64(),
+            Some(100.0)
+        );
+        // And a malformed version field degrades to 0, not a panic.
+        let odd = parse_json(r#"{"schema_version":-3,"fields":{}}"#).unwrap();
+        assert_eq!(record_schema_version(&odd), 0);
+    }
+
+    #[test]
+    fn traced_span_event_carries_trace_fields() {
+        let buf = SharedBuf::default();
+        let tel = crate::Telemetry::to_writer(LogFormat::Json, Box::new(buf.clone()));
+        let ctx = TraceCtx::child_of(42, 7);
+        let span_id;
+        {
+            let span = Span::with_ctx(&tel, "unit.traced", true, Some(ctx));
+            span_id = span.span_id();
+            assert_eq!(span.trace_ctx(), Some(ctx));
+        }
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        let v = parse_json(line.trim()).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("span"));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("trace_id").unwrap().as_f64(), Some(42.0));
+        assert_eq!(fields.get("parent_span_id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            fields.get("span_id").unwrap().as_f64(),
+            Some(span_id as f64)
+        );
+        // The completed span also landed in the ring.
+        let ring = tel.spans().trace(42);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring[0].span_id, span_id);
+        assert_eq!(ring[0].parent_span_id, 7);
+        assert_eq!(ring[0].name, "unit.traced");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pagpass::core::{
-    run_with_listener, CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal,
+    run_with_listeners, CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal,
     DcGenOptions, ModelKind, PasswordModel, PasswordSink, ServeConfig, TrainConfig, TrainOptions,
 };
 use pagpass::datasets::{clean, Site};
@@ -59,7 +59,7 @@ const USAGE: &str = "usage:
   pagpass strength --kind <passgpt|pagpassgpt> --model FILE [--in FILE] [--precise] [PASSWORD...]
   pagpass serve    --kind <passgpt|pagpassgpt> --model FILE [--addr HOST:PORT] [--max-batch N]
                    [--batch-window-ms N] [--queue-cap N] [--sessions N] [--retries N]
-                   [--deadline-ms N]
+                   [--deadline-ms N] [--http-port N] [--trace-sample N]
   pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
 
 Telemetry (any subcommand):
@@ -79,7 +79,10 @@ abandoned after exhausting retries.
 
 serve speaks newline-delimited JSON over TCP; SIGINT/SIGTERM drains
 in-flight requests before exiting. A full admission queue answers
-reject-with-retry-after instead of buffering unboundedly.";
+reject-with-retry-after instead of buffering unboundedly.
+--http-port adds an HTTP observability plane on the same host
+(GET /metrics, /healthz, /statusz; POST /score); --trace-sample N exports
+every Nth request's span tree to the JSONL log (0 = never).";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some((command, rest)) = args.split_first() else {
@@ -808,10 +811,21 @@ fn cmd_serve(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         sessions: p.num("sessions", defaults.sessions)?,
         retries: p.num("retries", defaults.retries)?,
         default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        trace_sample: p.num("trace-sample", defaults.trace_sample)?,
         ..defaults
     };
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // The observability plane binds the same host as the scoring address.
+    let http_port: u16 = p.num("http-port", 0)?;
+    let http_listener = if http_port > 0 {
+        let http_addr = std::net::SocketAddr::new(local.ip(), http_port);
+        let l =
+            std::net::TcpListener::bind(http_addr).map_err(|e| format!("bind {http_addr}: {e}"))?;
+        Some(l)
+    } else {
+        None
+    };
     let cancel = CancelToken::new();
     install_shutdown_signals(&cancel, &tel.tel);
     tel.tel.event(
@@ -819,8 +833,24 @@ fn cmd_serve(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         "serve.listening",
         &[("addr", Field::Str(local.to_string()))],
     );
-    let report = run_with_listener(&model, &listener, &cfg, &cancel, tel.telemetry(), None)
-        .map_err(|e| e.to_string())?;
+    if let Some(hl) = &http_listener {
+        let http_local = hl.local_addr().map_err(|e| e.to_string())?;
+        tel.tel.event(
+            "progress",
+            "serve.http_listening",
+            &[("addr", Field::Str(http_local.to_string()))],
+        );
+    }
+    let report = run_with_listeners(
+        &model,
+        &listener,
+        http_listener.as_ref(),
+        &cfg,
+        &cancel,
+        tel.telemetry(),
+        None,
+    )
+    .map_err(|e| e.to_string())?;
     tel.summary(
         "cli.serve_done",
         &[

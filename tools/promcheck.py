@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape line by line.
+
+Stdlib-only checker used by the `http-smoke` CI job against the output of
+`GET /metrics`. Checks, per line:
+
+  * every line is a `# HELP`, `# TYPE`, or sample line — nothing else;
+  * metric names match the Prometheus grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+  * sample values parse as floats (`NaN`/`+Inf`/`-Inf` included);
+  * `# TYPE` precedes the samples of its family, once per family;
+
+and, per histogram family:
+
+  * `_bucket` samples carry an `le` label and are cumulative
+    (non-decreasing as `le` increases);
+  * the `+Inf` bucket equals the family's `_count`;
+  * `_count` and `_sum` are both present.
+
+Flags:
+
+  --require NAME [NAME ...]   fail unless each named family has a sample
+  --reconcile                 assert the serve invariant
+                              admitted == completed + shed + failed
+
+Exit status is 0 when every check passes, 1 otherwise, with one line per
+violation on stderr.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_value(raw):
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def parse_labels(raw):
+    """Parses `k="v",k2="v2"` into a dict, or returns None on bad syntax."""
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        m = LABEL_RE.match(part.strip())
+        if not m:
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def family_of(name):
+    """Strips histogram sample suffixes back to the family name."""
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("scrape", help="file holding the /metrics body ('-' for stdin)")
+    ap.add_argument("--require", nargs="+", default=[], metavar="NAME",
+                    help="metric families that must be present")
+    ap.add_argument("--reconcile", action="store_true",
+                    help="assert serve_admitted_total == completed + shed + failed")
+    args = ap.parse_args()
+
+    text = sys.stdin.read() if args.scrape == "-" else open(args.scrape).read()
+
+    errors = []
+    types = {}          # family -> declared type
+    samples = {}        # full sample name -> {frozenset(labels) -> value}
+    buckets = {}        # family -> [(le, value)] in scrape order
+    seen_families = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"line {lineno}: empty line in exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.fullmatch(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+            if parts[1] == "TYPE":
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if name in seen_families:
+                    errors.append(f"line {lineno}: TYPE for {name} after its samples")
+                if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append(f"line {lineno}: unknown type {parts[3]!r}")
+                types[name] = parts[3]
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group("name", "labels", "value")
+        labels = parse_labels(raw_labels or "")
+        if labels is None:
+            errors.append(f"line {lineno}: bad labels: {line!r}")
+            continue
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {raw_value!r}")
+            continue
+        family = family_of(name)
+        seen_families.add(family)
+        samples.setdefault(name, {})[frozenset(labels.items())] = value
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {lineno}: _bucket sample without le label")
+                continue
+            buckets.setdefault(family, []).append((parse_value(labels["le"]), value))
+
+    for family, entries in sorted(buckets.items()):
+        if types.get(family) != "histogram":
+            errors.append(f"{family}: _bucket samples but TYPE is not histogram")
+        les = [le for le, _ in entries]
+        if les != sorted(les):
+            errors.append(f"{family}: buckets not ordered by le")
+        values = [v for _, v in entries]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"{family}: bucket counts not cumulative: {values}")
+        if not entries or not math.isinf(entries[-1][0]):
+            errors.append(f"{family}: missing +Inf bucket")
+        count = samples.get(f"{family}_count", {}).get(frozenset())
+        if count is None:
+            errors.append(f"{family}: missing _count")
+        elif entries and entries[-1][1] != count:
+            errors.append(
+                f"{family}: +Inf bucket {entries[-1][1]} != _count {count}"
+            )
+        if f"{family}_sum" not in samples:
+            errors.append(f"{family}: missing _sum")
+
+    for name in args.require:
+        if name not in samples and name not in seen_families:
+            errors.append(f"required metric {name} not found")
+
+    if args.reconcile:
+        def scalar(name):
+            vals = samples.get(name, {})
+            if frozenset() not in vals:
+                errors.append(f"reconcile: {name} not found")
+                return None
+            return vals[frozenset()]
+
+        admitted = scalar("serve_admitted_total")
+        completed = scalar("serve_completed_total")
+        shed = scalar("serve_shed_total")
+        failed = scalar("serve_failed_total")
+        if None not in (admitted, completed, shed, failed):
+            if admitted != completed + shed + failed:
+                errors.append(
+                    "reconcile: admitted "
+                    f"{admitted} != completed {completed} + shed {shed} "
+                    f"+ failed {failed}"
+                )
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(
+        f"promcheck ok: {len(samples)} sample names, "
+        f"{len(buckets)} histograms, {len(types)} typed families"
+    )
+
+
+if __name__ == "__main__":
+    main()
