@@ -1,0 +1,410 @@
+//! Atomics audit: acquire/release pairing and signal-field ordering.
+//!
+//! The ordering-discipline lint (in [`crate::lints`]) already forces an
+//! `// ORD:` justification onto every atomic ordering. This module checks
+//! what the justifications *claim*: a `Release` store publishes nothing
+//! unless some load on the same field acquires it, and vice versa — an
+//! unpaired side is a silent memory-ordering bug (`atomic-pairing`).
+//! Separately, fields named like cross-thread signals
+//! (`stop` / `*_stop` / `draining` / `*_draining` / `*_seq`) must not use
+//! `Relaxed`: a relaxed signal can be observed arbitrarily late, which is
+//! exactly the "worker never notices the drain" bug class
+//! (`atomic-signal`).
+//!
+//! Pairing is keyed by `(crate, field name)` — a lexical approximation of
+//! "the same atomic". Two distinct structs in one crate sharing a field
+//! name would alias; keep atomic field names crate-unique (they already
+//! are in this workspace).
+
+use crate::lexer::{FileKind, SourceFile};
+use crate::lints::{inline_allowed, token_position, Finding, Severity};
+
+/// Lint name for unpaired release/acquire sides.
+pub const PAIRING_LINT: &str = "atomic-pairing";
+/// Lint name for `Relaxed` on signal-pattern fields.
+pub const SIGNAL_LINT: &str = "atomic-signal";
+
+/// Memory-ordering sides an operation participates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sides {
+    /// Publishes (store side): `Release`, `AcqRel`, `SeqCst`.
+    release: bool,
+    /// Observes (load side): `Acquire`, `AcqRel`, `SeqCst`.
+    acquire: bool,
+    /// Uses `Relaxed` anywhere in the call.
+    relaxed: bool,
+}
+
+/// One atomic operation site.
+#[derive(Debug, Clone)]
+struct Op {
+    file: usize,
+    line: usize,
+    field: String,
+    /// True for `store`/RMW ops, which can publish.
+    is_store: bool,
+    /// True for `load`/RMW ops, which can observe.
+    is_load: bool,
+    sides: Sides,
+}
+
+/// Atomic methods and whether they store / load.
+const METHODS: &[(&str, bool, bool)] = &[
+    (".load(", false, true),
+    (".store(", true, false),
+    (".swap(", true, true),
+    (".fetch_add(", true, true),
+    (".fetch_sub(", true, true),
+    (".fetch_and(", true, true),
+    (".fetch_or(", true, true),
+    (".fetch_xor(", true, true),
+    (".fetch_nand(", true, true),
+    (".fetch_max(", true, true),
+    (".fetch_min(", true, true),
+    (".fetch_update(", true, true),
+    (".compare_exchange(", true, true),
+    (".compare_exchange_weak(", true, true),
+];
+
+/// Collects the `Ordering::` variants on `code` starting at `from`,
+/// spilling onto up to two continuation lines for multi-line calls.
+fn orderings_near(file: &SourceFile, idx: usize, from: usize) -> Sides {
+    let mut sides = Sides {
+        release: false,
+        acquire: false,
+        relaxed: false,
+    };
+    let first = &file.lines[idx].code;
+    scan_orderings(&first[from.min(first.len())..], &mut sides);
+    if !(sides.release || sides.acquire || sides.relaxed) {
+        for next in file.lines.iter().skip(idx + 1).take(2) {
+            scan_orderings(&next.code, &mut sides);
+            if sides.release || sides.acquire || sides.relaxed {
+                break;
+            }
+        }
+    }
+    sides
+}
+
+/// Folds every `Ordering::` variant in `code` into `sides`.
+fn scan_orderings(code: &str, sides: &mut Sides) {
+    let mut at = 0;
+    while let Some(p) = code[at..].find("Ordering::") {
+        let pos = at + p + "Ordering::".len();
+        let variant: String = code[pos..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric())
+            .collect();
+        match variant.as_str() {
+            "Release" => sides.release = true,
+            "Acquire" => sides.acquire = true,
+            "AcqRel" | "SeqCst" => {
+                sides.release = true;
+                sides.acquire = true;
+            }
+            "Relaxed" => sides.relaxed = true,
+            _ => {}
+        }
+        at = pos;
+    }
+}
+
+/// Extracts the field name (last receiver path component) for a method
+/// call at `pos`; `None` for call-result receivers.
+fn field_before(code: &str, pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = pos;
+    while j > 0 {
+        let c = bytes[j - 1] as char;
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j > 0 && bytes[j - 1] as char == ')' {
+        return None;
+    }
+    let path = &code[j..pos];
+    let field = path
+        .rsplit('.')
+        .next()
+        .and_then(|last| last.rsplit("::").next())
+        .unwrap_or(path);
+    (!field.is_empty()
+        && field
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_'))
+    .then(|| field.to_string())
+}
+
+/// True for field names used as cross-thread signals, where `Relaxed`
+/// provides no ordering for the data the signal is supposed to publish.
+fn is_signal_field(field: &str) -> bool {
+    field == "stop"
+        || field == "draining"
+        || field.ends_with("_stop")
+        || field.ends_with("_draining")
+        || field.ends_with("_seq")
+}
+
+/// Maps a workspace-relative path to its crate qualifier.
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("cli")
+}
+
+/// Runs the atomics audit over the whole source set.
+#[must_use]
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut ops: Vec<Op> = Vec::new();
+    for (fidx, file) in files.iter().enumerate() {
+        if file.kind == FileKind::TestOnly {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.is_test {
+                continue;
+            }
+            let code = &line.code;
+            for (pat, is_store, is_load) in METHODS {
+                let mut from = 0;
+                while let Some(p) = token_position(&code[from..], pat) {
+                    let pos = from + p;
+                    from = pos + pat.len();
+                    let Some(field) = field_before(code, pos) else {
+                        continue;
+                    };
+                    let sides = orderings_near(file, idx, pos);
+                    if !(sides.release || sides.acquire || sides.relaxed) {
+                        continue; // not an atomic call (no Ordering argument)
+                    }
+                    ops.push(Op {
+                        file: fidx,
+                        line: idx,
+                        field,
+                        is_store: *is_store,
+                        is_load: *is_load,
+                        sides,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // Signal-pattern fields must not relax.
+    for op in &ops {
+        if op.sides.relaxed && is_signal_field(&op.field) {
+            let file = &files[op.file];
+            if inline_allowed(file, op.line, SIGNAL_LINT) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: SIGNAL_LINT,
+                path: file.path.clone(),
+                line: op.line + 1,
+                message: format!(
+                    "`Relaxed` on signal field `{}` — cross-thread signals need Release/Acquire (or SeqCst) so the data they publish is visible",
+                    op.field
+                ),
+                snippet: file.lines[op.line].raw.trim().to_string(),
+                severity: Severity::Deny,
+            });
+        }
+    }
+
+    // Pairing per (crate, field): a publishing store with no acquiring
+    // load anywhere in the crate (or vice versa) orders nothing.
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        let key = (crate_of(&files[op.file].path).to_string(), op.field.clone());
+        groups.entry(key).or_default().push(i);
+    }
+    for ((_, field), members) in &groups {
+        let has_release = members
+            .iter()
+            .any(|&i| ops[i].is_store && ops[i].sides.release);
+        let has_acquire = members
+            .iter()
+            .any(|&i| ops[i].is_load && ops[i].sides.acquire);
+        let unpaired: Vec<usize> = if has_release && !has_acquire {
+            members
+                .iter()
+                .copied()
+                .filter(|&i| ops[i].is_store && ops[i].sides.release)
+                .collect()
+        } else if has_acquire && !has_release {
+            members
+                .iter()
+                .copied()
+                .filter(|&i| ops[i].is_load && ops[i].sides.acquire)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for i in unpaired {
+            let op = &ops[i];
+            let file = &files[op.file];
+            if inline_allowed(file, op.line, PAIRING_LINT) {
+                continue;
+            }
+            let (this, missing) = if has_release {
+                ("Release", "Acquire/AcqRel/SeqCst load")
+            } else {
+                ("Acquire", "Release/AcqRel/SeqCst store")
+            };
+            findings.push(Finding {
+                lint: PAIRING_LINT,
+                path: file.path.clone(),
+                line: op.line + 1,
+                message: format!(
+                    "{this}-side atomic op on field `{field}` has no matching {missing} on the same field in this crate — the ordering pairs with nothing"
+                ),
+                snippet: file.lines[op.line].raw.trim().to_string(),
+                severity: Severity::Deny,
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn audit(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::lex(p, s)).collect();
+        run(&files)
+    }
+
+    #[test]
+    fn unpaired_release_store_is_flagged() {
+        let hits = audit(&[(
+            "crates/x/src/lib.rs",
+            "fn f(a: &A) { a.ready.store(true, Ordering::Release); }",
+        )]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, PAIRING_LINT);
+        assert!(hits[0].message.contains("ready"));
+    }
+
+    #[test]
+    fn paired_across_files_in_one_crate_is_clean() {
+        let hits = audit(&[
+            (
+                "crates/x/src/a.rs",
+                "fn f(a: &A) { a.ready.store(true, Ordering::Release); }",
+            ),
+            (
+                "crates/x/src/b.rs",
+                "fn g(a: &A) { let r = a.ready.load(Ordering::Acquire); }",
+            ),
+        ]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn acqrel_rmw_pairs_with_acquire_load() {
+        let hits = audit(&[
+            (
+                "crates/x/src/a.rs",
+                "fn f(a: &A) { a.count.fetch_add(1, Ordering::AcqRel); }",
+            ),
+            (
+                "crates/x/src/b.rs",
+                "fn g(a: &A) { a.count.load(Ordering::Acquire); }",
+            ),
+        ]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn seqcst_both_sides_is_self_pairing() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(a: &A) { a.flag.store(true, Ordering::SeqCst); a.flag.load(Ordering::SeqCst); }",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn same_field_in_other_crate_does_not_pair() {
+        let hits = audit(&[
+            (
+                "crates/x/src/a.rs",
+                "fn f(a: &A) { a.ready.store(true, Ordering::Release); }",
+            ),
+            (
+                "crates/y/src/b.rs",
+                "fn g(a: &A) { a.ready.load(Ordering::Acquire); }",
+            ),
+        ]);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn relaxed_counter_is_not_a_pairing_finding() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(a: &A) { a.hits.fetch_add(1, Ordering::Relaxed); }",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn relaxed_signal_field_is_flagged() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(a: &A) { a.stop.store(true, Ordering::Relaxed); a.worker_stop.load(Ordering::Relaxed); a.push_seq.fetch_add(1, Ordering::Relaxed); }",
+        )]);
+        let signal: Vec<_> = hits.iter().filter(|f| f.lint == SIGNAL_LINT).collect();
+        assert_eq!(signal.len(), 3, "{hits:?}");
+    }
+
+    #[test]
+    fn seq_suffix_requires_underscore() {
+        // `seq` alone is not a signal pattern (tcp.rs uses a plain `seq`
+        // counter deliberately).
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(a: &A) { a.seq.fetch_add(1, Ordering::Relaxed); }",
+        )]);
+        assert!(hits.iter().all(|f| f.lint != SIGNAL_LINT), "{hits:?}");
+    }
+
+    #[test]
+    fn multiline_call_finds_ordering_on_next_line() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(a: &A) {\n    a.ready.store(\n        true,\n        Ordering::Release,\n    );\n}",
+        )]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].lint, PAIRING_LINT);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_pairing() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "// LINT-ALLOW: atomic-pairing consumer lives downstream\nfn f(a: &A) { a.ready.store(true, Ordering::Release); }",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn non_atomic_store_without_ordering_is_ignored() {
+        let hits = audit(&[(
+            "crates/x/src/a.rs",
+            "fn f(db: &Db) { db.kv.store(key, value); }",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

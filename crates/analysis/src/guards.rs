@@ -1,0 +1,799 @@
+//! Guard-scope dataflow: tracks Mutex/RwLock guard bindings from their
+//! acquisition site to `drop(guard)` or end of scope, names the lock they
+//! hold by `struct.field` path, and flags blocking operations performed
+//! while a guard is live (`guard-blocking`). The same scan feeds the
+//! cross-file lock-order graph in [`crate::lockgraph`].
+//!
+//! This is still a lexical analysis — no types, no HIR — so the scanner
+//! leans on the workspace's own conventions:
+//!
+//! * guards come from `.lock()` / `.try_lock()` / `.read()` / `.write()`
+//!   method calls with empty argument lists, or from the poison-tolerant
+//!   `lock(&path)` helper functions in `pool.rs` / `queue.rs` / `ring.rs`;
+//! * a lock is named by the last two components of its (alias-resolved)
+//!   receiver path — `self.shared.state` and `shared.state` both become
+//!   `shared.state` — and a bare `self.field` is qualified by the
+//!   enclosing `impl` type (`ThreadPool.submit`);
+//! * stdio handles (`stdout.lock()`) and generic `&Mutex` function
+//!   parameters are not locks and produce no acquisition.
+
+use crate::lexer::{impl_types, FileKind, SourceFile};
+use crate::lints::{finding, inline_allowed, token_position, Finding, Severity};
+
+/// Lint name for blocking calls under a live guard.
+pub const GUARD_BLOCKING: &str = "guard-blocking";
+
+/// How a guard was acquired. `TryLock` never blocks on acquisition but
+/// holds the lock all the same once it succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `.lock()` or the `lock(&…)` helper.
+    Lock,
+    /// `.try_lock()`.
+    TryLock,
+    /// `.read()` (shared).
+    Read,
+    /// `.write()` (exclusive).
+    Write,
+}
+
+/// One lock acquisition with its guard's live range.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// 0-based line of the acquisition site.
+    pub line: usize,
+    /// Binding name when `let`-bound; `None` for statement temporaries
+    /// whose guard dies at the end of the statement.
+    pub guard: Option<String>,
+    /// Canonical lock name (not yet crate-qualified), or `None` when the
+    /// receiver does not name a lock (stdio, `&Mutex` parameters).
+    pub lock: Option<String>,
+    /// Raw receiver text as written (`self.shared.state`, `m`, …).
+    pub receiver: String,
+    /// 0-based last line on which the guard is live (inclusive).
+    pub end: usize,
+    /// Acquisition method.
+    pub kind: AcqKind,
+    /// True when the site is inside `#[cfg(test)]` code.
+    pub is_test: bool,
+}
+
+/// A guard binding that is still open during the scan.
+struct Open {
+    /// Index into the result vector.
+    acq: usize,
+    /// Brace depth at the acquisition site; the guard closes when depth
+    /// drops below this.
+    depth: i64,
+    /// Binding name (for `drop(name)` detection).
+    name: String,
+    /// `if let` / `while let` scrutinee guards die with the block the
+    /// line opens (depth returning *to* `depth`), not the enclosing
+    /// scope — `if let Some(m) = shard.read()….get(k) { … }` followed by
+    /// `shard.write()` is sequential, not nested.
+    block_scoped: bool,
+}
+
+/// An acquisition site found on a single line of code.
+struct Site {
+    /// Byte position of the method/helper token.
+    pos: usize,
+    kind: AcqKind,
+    /// Raw receiver text (`self.shared.state`, `&self.shards[shard]`, …).
+    receiver: String,
+}
+
+/// Scans `file` and returns every lock acquisition with resolved lock
+/// names and guard live ranges. The scan is brace-depth-accurate within a
+/// line, so `let Ok(g) = m.try_lock() else { … };` does not close `g` at
+/// the `else` block's brace.
+#[must_use]
+pub fn scan(file: &SourceFile) -> Vec<Acquisition> {
+    let impls = impl_types(&file.lines);
+    let file_stem = file
+        .path
+        .rsplit('/')
+        .next()
+        .unwrap_or(&file.path)
+        .trim_end_matches(".rs")
+        .to_string();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut result: Vec<Acquisition> = Vec::new();
+    let mut open: Vec<Open> = Vec::new();
+    let mut depth: i64 = 0;
+    // Most recent `fn` signature text, for `&Mutex` parameter detection.
+    let mut fn_sig = String::new();
+    let mut fn_sig_open = false;
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if let Some(p) = token_position(code, "fn ") {
+            fn_sig = code[p..].to_string();
+            fn_sig_open = !code[p..].contains('{');
+        } else if fn_sig_open {
+            fn_sig.push(' ');
+            fn_sig.push_str(code);
+            if code.contains('{') {
+                fn_sig_open = false;
+            }
+        }
+        record_aliases(code, &mut aliases);
+
+        // `drop(name)` ends a guard's live range on this line.
+        open.retain(|o| {
+            if contains_call(code, "drop", &o.name) || contains_call(code, "mem::drop", &o.name) {
+                result[o.acq].end = idx;
+                false
+            } else {
+                true
+            }
+        });
+
+        let sites = find_sites(code);
+        let mut site_iter = sites.into_iter().peekable();
+        for (at, ch) in code.char_indices() {
+            // Register sites we have passed, at the current depth.
+            while site_iter.peek().is_some_and(|s| s.pos <= at) {
+                let site = match site_iter.next() {
+                    Some(s) => s,
+                    None => break,
+                };
+                register_site(
+                    file,
+                    idx,
+                    &site,
+                    depth,
+                    &aliases,
+                    &fn_sig,
+                    &impls,
+                    &file_stem,
+                    &mut result,
+                    &mut open,
+                );
+            }
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    open.retain(|o| {
+                        if depth < o.depth || (o.block_scoped && depth == o.depth) {
+                            result[o.acq].end = idx;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                _ => {}
+            }
+        }
+        for site in site_iter {
+            register_site(
+                file,
+                idx,
+                &site,
+                depth,
+                &aliases,
+                &fn_sig,
+                &impls,
+                &file_stem,
+                &mut result,
+                &mut open,
+            );
+        }
+        for o in &open {
+            result[o.acq].end = idx;
+        }
+    }
+    result
+}
+
+/// Registers one acquisition site: resolves the lock name, extracts the
+/// guard binding, and opens the guard's live range.
+#[allow(clippy::too_many_arguments)]
+fn register_site(
+    file: &SourceFile,
+    idx: usize,
+    site: &Site,
+    depth: i64,
+    aliases: &[(String, String)],
+    fn_sig: &str,
+    impls: &[Option<String>],
+    file_stem: &str,
+    result: &mut Vec<Acquisition>,
+    open: &mut Vec<Open>,
+) {
+    let code = &file.lines[idx].code;
+    let lock = lock_name(
+        &site.receiver,
+        impls[idx].as_deref(),
+        aliases,
+        fn_sig,
+        file_stem,
+    );
+    let guard = guard_binding(code, site.pos);
+    let acq = result.len();
+    result.push(Acquisition {
+        line: idx,
+        guard: guard.clone(),
+        lock,
+        receiver: site.receiver.clone(),
+        end: idx,
+        kind: site.kind,
+        is_test: file.lines[idx].is_test,
+    });
+    if let Some(name) = guard {
+        let block_scoped = [
+            token_position(code, "if let"),
+            token_position(code, "while let"),
+        ]
+        .iter()
+        .flatten()
+        .any(|&p| p < site.pos);
+        open.push(Open {
+            acq,
+            depth,
+            name,
+            block_scoped,
+        });
+    }
+}
+
+/// True when `code` calls `func(name)` (optionally `func(&name)`).
+fn contains_call(code: &str, func: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find(func) {
+        let pos = from + p;
+        let boundary = pos == 0
+            || !code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        if boundary {
+            let rest = code[pos + func.len()..].trim_start();
+            if let Some(args) = rest.strip_prefix('(') {
+                let arg = args.trim_start().trim_start_matches('&').trim_start();
+                if arg
+                    .strip_prefix(name)
+                    .is_some_and(|r| r.starts_with(')') || r.trim_start().starts_with(')'))
+                {
+                    return true;
+                }
+            }
+        }
+        from = pos + func.len();
+    }
+    false
+}
+
+/// Finds every acquisition site on one line of code, sorted by position.
+fn find_sites(code: &str) -> Vec<Site> {
+    let mut sites: Vec<Site> = Vec::new();
+    for (pat, kind) in [
+        (".lock()", AcqKind::Lock),
+        (".try_lock()", AcqKind::TryLock),
+        (".read()", AcqKind::Read),
+        (".write()", AcqKind::Write),
+    ] {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let pos = from + p;
+            from = pos + pat.len();
+            // `.try_lock()` also matches the `.lock()` scan at its inner
+            // `.lock()`; reject method hits preceded by an ident char
+            // continuation (`try_` before `lock` is handled because the
+            // match includes the leading dot — `_try.lock()` cannot
+            // occur, but `.try_lock()` contains no inner `.lock()`).
+            if let Some(receiver) = receiver_before(code, pos) {
+                sites.push(Site {
+                    pos,
+                    kind,
+                    receiver,
+                });
+            }
+        }
+    }
+    // Poison-tolerant helper form: `lock(&path)` not preceded by `.` and
+    // not a definition (`fn lock`).
+    let mut from = 0;
+    while let Some(p) = code[from..].find("lock(") {
+        let pos = from + p;
+        from = pos + 5;
+        let before = &code[..pos];
+        let prev = before.chars().next_back();
+        if prev.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            continue; // method call or longer identifier
+        }
+        if before.trim_end().ends_with("fn") {
+            continue; // the helper's own definition
+        }
+        let arg: String = code[pos + 5..]
+            .trim_start()
+            .trim_start_matches('&')
+            .trim_start_matches("mut ")
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':' | '[' | ']'))
+            .collect();
+        if arg.is_empty() {
+            continue;
+        }
+        sites.push(Site {
+            pos,
+            kind: AcqKind::Lock,
+            receiver: arg,
+        });
+    }
+    sites.sort_by_key(|s| s.pos);
+    sites
+}
+
+/// Extracts the receiver path ending just before the `.` at `pos`.
+/// Returns `None` for call-result receivers (`io::stdout().lock()`).
+fn receiver_before(code: &str, pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = pos;
+    while j > 0 {
+        let c = bytes[j - 1] as char;
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            j -= 1;
+        } else if c == ']' {
+            // Skip a balanced index expression.
+            let mut depth = 0usize;
+            let mut k = j;
+            loop {
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+                match bytes[k] as char {
+                    ']' => depth += 1,
+                    '[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j = k;
+        } else {
+            break;
+        }
+    }
+    let recv = code[j..pos].trim_start_matches('.');
+    if recv.is_empty() || recv.ends_with(')') {
+        return None;
+    }
+    if j > 0 && bytes[j - 1] as char == ')' {
+        return None; // result of a call: `io::stdout().lock()`
+    }
+    Some(recv.to_string())
+}
+
+/// Records reference aliases introduced on this line:
+/// `let x = &path;`, `for x in &path {`, and `let x = self.method(…)`.
+fn record_aliases(code: &str, aliases: &mut Vec<(String, String)>) {
+    let push = |aliases: &mut Vec<(String, String)>, name: String, target: String| {
+        if name.is_empty() || target.is_empty() || name == target {
+            return;
+        }
+        aliases.retain(|(n, _)| *n != name);
+        aliases.push((name, target));
+    };
+    if let Some(p) = token_position(code, "for ") {
+        let rest = &code[p + 4..];
+        if let Some(inpos) = rest.find(" in ") {
+            let name = rest[..inpos].trim();
+            if name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                let iterated = rest[inpos + 4..]
+                    .trim_start()
+                    .trim_start_matches('&')
+                    .trim_start_matches("mut ");
+                let target = path_prefix(iterated);
+                push(aliases, name.to_string(), target);
+            }
+        }
+        return;
+    }
+    let Some(p) = token_position(code, "let ") else {
+        return;
+    };
+    let rest = code[p + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return;
+    }
+    let Some(eq) = rest.find('=') else {
+        return;
+    };
+    if rest[..eq].contains('(') || rest[..eq].contains(':') {
+        return; // destructuring pattern or type ascription — not an alias
+    }
+    let rhs = rest[eq + 1..].trim_start();
+    if let Some(referenced) = rhs.strip_prefix('&') {
+        let target = path_prefix(referenced.trim_start_matches("mut ").trim_start());
+        push(aliases, name, target);
+    } else if rhs.starts_with("self.") {
+        // `let shard = self.shard(name);` — treat the accessor result as
+        // the path `self.shard` so the lock it returns gets a real name.
+        let target = path_prefix(rhs);
+        push(aliases, name, target);
+    }
+}
+
+/// Leading path of an expression: identifiers, `.`, `::`, with index
+/// brackets and trailing `.iter()`-style calls stripped.
+fn path_prefix(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            out.push(c);
+        } else {
+            break;
+        }
+    }
+    // `self.shards.iter` → `self.shards`; a trailing call segment is not
+    // part of the lock path.
+    for call in [".iter", ".iter_mut", ".as_ref", ".as_mut"] {
+        if let Some(stripped) = out.strip_suffix(call) {
+            out = stripped.to_string();
+        }
+    }
+    out.trim_end_matches('.').to_string()
+}
+
+/// Resolves a receiver path to a canonical lock name, or `None` when the
+/// receiver is not a lock we track (stdio handles, `&Mutex` parameters).
+fn lock_name(
+    receiver: &str,
+    impl_ty: Option<&str>,
+    aliases: &[(String, String)],
+    fn_sig: &str,
+    file_stem: &str,
+) -> Option<String> {
+    // Drop index expressions wholesale: `self.shards[shard]` names the
+    // `shards` field, not a `shardsshard` mashup.
+    let mut cleaned = String::new();
+    let mut bracket = 0usize;
+    for c in receiver.chars() {
+        match c {
+            '[' => bracket += 1,
+            ']' => bracket = bracket.saturating_sub(1),
+            _ if bracket == 0 => cleaned.push(c),
+            _ => {}
+        }
+    }
+    let mut comps: Vec<String> = cleaned
+        .split('.')
+        .map(|c| c.rsplit("::").next().unwrap_or(c).to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if comps.is_empty() {
+        return None;
+    }
+    // Resolve the head through the alias map (bounded, cycle-safe).
+    for _ in 0..4 {
+        let head = comps[0].clone();
+        let Some((_, target)) = aliases.iter().rev().find(|(n, _)| *n == head) else {
+            break;
+        };
+        let mut head_comps: Vec<String> = target
+            .split('.')
+            .map(|c| c.rsplit("::").next().unwrap_or(c).to_string())
+            .filter(|c| !c.is_empty())
+            .collect();
+        if head_comps.is_empty() || head_comps[0] == head {
+            break;
+        }
+        head_comps.extend(comps.drain(1..));
+        comps = head_comps;
+    }
+    let self_rooted = comps[0] == "self";
+    if self_rooted {
+        comps.remove(0);
+    }
+    if comps.is_empty() {
+        return None;
+    }
+    if comps.len() == 1 {
+        let c = &comps[0];
+        if matches!(c.as_str(), "stdout" | "stderr" | "stdin") {
+            return None;
+        }
+        if !self_rooted && is_lock_param(fn_sig, c) {
+            return None; // generic forwarding helper: `fn lock<T>(m: &Mutex<T>)`
+        }
+        // `self.field` is owned by the impl type; an unresolvable local
+        // falls back to the file stem so distinct files never collide.
+        let owner = if self_rooted {
+            impl_ty.unwrap_or(file_stem)
+        } else {
+            file_stem
+        };
+        return Some(format!("{owner}.{c}"));
+    }
+    let n = comps.len();
+    Some(format!("{}.{}", comps[n - 2], comps[n - 1]))
+}
+
+/// True when `fn_sig` declares `name` as a `&Mutex`/`&RwLock` parameter.
+fn is_lock_param(fn_sig: &str, name: &str) -> bool {
+    for pat in [
+        format!("{name}: &Mutex"),
+        format!("{name}: &std::sync::Mutex"),
+        format!("{name}: &RwLock"),
+        format!("{name}: &std::sync::RwLock"),
+    ] {
+        if fn_sig.contains(&pat) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts the guard binding name for an acquisition at `pos`, walking
+/// back to the nearest `let` on the same line. Handles `let [mut] g`,
+/// `let Ok(g)` / `let Some(mut g)` (incl. `if let` / `while let`), and
+/// treats a bare `_` as a temporary (the guard drops immediately).
+fn guard_binding(code: &str, pos: usize) -> Option<String> {
+    let before = &code[..pos];
+    let let_pos = find_last_token(before, "let ")?;
+    let pat = before[let_pos + 4..].split('=').next()?.trim();
+    if pat.is_empty() {
+        return None;
+    }
+    let inner = match pat.find('(') {
+        Some(open) => {
+            let close = pat.rfind(')')?;
+            if close <= open {
+                return None;
+            }
+            pat[open + 1..close].trim()
+        }
+        None => pat,
+    };
+    if inner.contains(',') {
+        return None; // tuple pattern — not a simple guard binding
+    }
+    let inner = inner.strip_prefix("mut ").unwrap_or(inner).trim();
+    let name: String = inner
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" || name.chars().next().is_some_and(char::is_uppercase) {
+        return None;
+    }
+    Some(name)
+}
+
+/// Last token-boundary occurrence of `pat` in `code`.
+fn find_last_token(code: &str, pat: &str) -> Option<usize> {
+    let mut found = None;
+    let mut from = 0;
+    while let Some(p) = token_position(&code[from..], pat) {
+        found = Some(from + p);
+        from = from + p + 1;
+    }
+    found
+}
+
+/// Condvar wait calls: exempt when the wait's argument mentions the guard
+/// itself (the protocol releases that lock while waiting).
+const WAIT_CALLS: &[&str] = &[
+    ".wait(",
+    ".wait_while(",
+    ".wait_for(",
+    ".wait_timeout(",
+    ".wait_timeout_while(",
+    ".wait_timeout_ms(",
+];
+
+/// Blocking operations that must not run under a live guard. Acquiring
+/// *another* lock is deliberately absent: nested acquisition is the
+/// lock-order graph's domain, not this lint's.
+const BLOCKING_CALLS: &[&str] = &[
+    ".join()",
+    ".recv()",
+    ".recv_timeout(",
+    ".recv_deadline(",
+    "thread::sleep(",
+    ".accept()",
+    "TcpStream::connect(",
+    ".read_line(",
+    ".read_to_string(",
+    ".read_to_end(",
+    ".read_exact(",
+    ".write_all(",
+    ".flush()",
+    ".sync_all(",
+    "File::open(",
+    "File::create(",
+    "fs::read(",
+    "fs::read_to_string(",
+    "fs::write(",
+    "fs::copy(",
+    "fs::rename(",
+];
+
+/// `guard-blocking`: a blocking operation while a Mutex/RwLock guard is
+/// live stalls every other user of that lock. Deliberate sites (a sink
+/// serializing writes under its own lock) carry
+/// `// LINT-ALLOW: guard-blocking <why>`.
+pub fn guard_blocking(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind == FileKind::TestOnly {
+        return;
+    }
+    for acq in scan(file) {
+        // Stdio handle "locks" serialize console output; holding one
+        // across a write is the point. Everything else — including
+        // generic `&Mutex` parameters the lock graph cannot name — is a
+        // real lock.
+        let stdio = acq
+            .receiver
+            .split('.')
+            .any(|c| matches!(c, "stdout" | "stderr" | "stdin"));
+        if acq.is_test || stdio {
+            continue;
+        }
+        let Some(guard) = acq.guard.as_deref() else {
+            continue;
+        };
+        'lines: for j in acq.line + 1..=acq.end.min(file.lines.len() - 1) {
+            let code = &file.lines[j].code;
+            for pat in WAIT_CALLS {
+                if let Some(p) = token_position(code, pat) {
+                    let args = &code[p + pat.len()..];
+                    if token_position(args, guard).is_some() {
+                        continue; // condvar waiting on this very guard
+                    }
+                    report(file, &acq, guard, pat, j, out);
+                    break 'lines;
+                }
+            }
+            for pat in BLOCKING_CALLS {
+                if contains_blocking(code, pat) {
+                    report(file, &acq, guard, pat, j, out);
+                    break 'lines;
+                }
+            }
+        }
+    }
+}
+
+/// Token-boundary blocking-call match.
+fn contains_blocking(code: &str, pat: &str) -> bool {
+    token_position(code, pat).is_some()
+}
+
+fn report(
+    file: &SourceFile,
+    acq: &Acquisition,
+    guard: &str,
+    call: &str,
+    at: usize,
+    out: &mut Vec<Finding>,
+) {
+    if inline_allowed(file, acq.line, GUARD_BLOCKING) || inline_allowed(file, at, GUARD_BLOCKING) {
+        return;
+    }
+    let lock = acq.lock.as_deref().unwrap_or(&acq.receiver);
+    out.push(finding(
+        GUARD_BLOCKING,
+        file,
+        acq.line,
+        format!(
+            "guard `{guard}` (lock `{lock}`) held across blocking call `{}` on line {}; drop the guard first or annotate `// LINT-ALLOW: guard-blocking <why>`",
+            call.trim_end_matches('(').trim_end_matches("()"),
+            at + 1
+        ),
+        Severity::Deny,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn scan_src(src: &str) -> Vec<Acquisition> {
+        scan(&SourceFile::lex("crates/demo/src/lib.rs", src))
+    }
+
+    fn blocking_on(src: &str) -> Vec<Finding> {
+        let file = SourceFile::lex("crates/demo/src/lib.rs", src);
+        let mut out = Vec::new();
+        guard_blocking(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn names_self_field_by_impl_type() {
+        let src = "struct Pool { submit: Mutex<()> }\nimpl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n    }\n}";
+        let acqs = scan_src(src);
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].lock.as_deref(), Some("Pool.submit"));
+        assert_eq!(acqs[0].guard.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn unifies_self_and_alias_paths() {
+        let src = "impl P {\n    fn a(&self) { let g = self.shared.state.lock(); }\n}\nfn worker(shared: &Shared) {\n    let g = shared.state.lock();\n}";
+        let acqs = scan_src(src);
+        assert_eq!(acqs.len(), 2);
+        assert_eq!(acqs[0].lock, acqs[1].lock);
+        assert_eq!(acqs[0].lock.as_deref(), Some("shared.state"));
+    }
+
+    #[test]
+    fn helper_form_and_alias_resolution() {
+        let src = "impl Ring {\n    fn snapshot(&self) {\n        for shard in &self.shards {\n            let g = lock(shard);\n        }\n    }\n}";
+        let acqs = scan_src(src);
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].lock.as_deref(), Some("Ring.shards"));
+    }
+
+    #[test]
+    fn mutex_param_and_stdio_are_not_locks() {
+        let src = "fn lock<T>(m: &Mutex<T>) -> MutexGuard<T> {\n    m.lock().unwrap_or_else(PoisonError::into_inner)\n}\nfn p() { let mut o = std::io::stdout().lock(); }\nfn q(stdout: S) { let g = stdout.lock(); }";
+        let acqs = scan_src(src);
+        assert!(acqs.iter().all(|a| a.lock.is_none()), "{acqs:?}");
+    }
+
+    #[test]
+    fn let_else_does_not_close_guard_early() {
+        let src = "impl P {\n    fn run(&self) {\n        let Ok(_submit) = self.submit.try_lock() else {\n            return;\n        };\n        work();\n        more();\n    }\n}";
+        let acqs = scan_src(src);
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].guard.as_deref(), Some("_submit"));
+        assert_eq!(acqs[0].kind, AcqKind::TryLock);
+        // Live until the closing brace of `run`, line 8 (0-based 7).
+        assert!(acqs[0].end >= 6, "{acqs:?}");
+    }
+
+    #[test]
+    fn drop_ends_the_live_range() {
+        let src =
+            "fn f(m: M) {\n    let g = m.q.lock();\n    g.push(1);\n    drop(g);\n    slow();\n}";
+        let acqs = scan_src(src);
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].end, 3);
+    }
+
+    #[test]
+    fn blocking_under_guard_is_flagged() {
+        let src = "fn f(s: &S) {\n    let g = s.inner.lock();\n    rx.recv();\n}";
+        let hits = blocking_on(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, GUARD_BLOCKING);
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].message.contains("inner"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn drop_before_blocking_is_clean() {
+        let src = "fn f(s: &S) {\n    let g = s.inner.lock();\n    drop(g);\n    rx.recv();\n}";
+        assert!(blocking_on(src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_on_same_guard_is_exempt() {
+        let src = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    while !g.done {\n        g = s.cv.wait(g);\n    }\n}";
+        assert!(blocking_on(src).is_empty());
+        let other = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    let mut h = s.other.lock();\n    h = s.cv.wait(h);\n}";
+        // `g` is held across a wait on a *different* lock's guard `h`.
+        let hits = blocking_on(other);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_at_either_end() {
+        let src = "fn f(s: &S) {\n    // LINT-ALLOW: guard-blocking sink serializes writes by design\n    let g = s.out.lock();\n    w.flush();\n}";
+        assert!(blocking_on(src).is_empty());
+    }
+}

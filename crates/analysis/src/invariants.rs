@@ -17,6 +17,13 @@
 //!    `src/main.rs` must appear in README.md. Flags have shipped in PRs 1
 //!    and 2 faster than the docs kept up; this makes the drift a build
 //!    failure.
+//!
+//! 3. **`telemetry-schema-version`** — the JSONL schema version is a
+//!    cross-file contract: the `JSONL_SCHEMA_VERSION` constant, the
+//!    `record_schema_version` parser, and every CI validator asserting
+//!    `schema_version == N` must agree. PR 7 pinned the CI validators to
+//!    a literal `2`; this check makes the next bump a one-place edit that
+//!    fails loudly everywhere else.
 
 use std::collections::BTreeMap;
 
@@ -24,17 +31,28 @@ use crate::lexer::{FileKind, SourceFile};
 use crate::lints::{Finding, Severity};
 
 /// Names of the invariant checks (reported like lints).
-pub const INVARIANT_NAMES: &[&str] = &["format-versions", "cli-flags-documented"];
+pub const INVARIANT_NAMES: &[&str] = &[
+    "format-versions",
+    "cli-flags-documented",
+    "telemetry-schema-version",
+];
 
-/// Runs both invariant checks. `readme` is the text of README.md when
-/// available; without it the flag check is skipped.
+/// Runs the invariant checks. `readme` is the text of README.md when
+/// available (without it the flag check is skipped); `ci_yaml` is the CI
+/// workflow text (without it the schema-version validators are not
+/// cross-checked).
 #[must_use]
-pub fn run_invariants(files: &[SourceFile], readme: Option<&str>) -> Vec<Finding> {
+pub fn run_invariants(
+    files: &[SourceFile],
+    readme: Option<&str>,
+    ci_yaml: Option<&str>,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     format_versions(files, &mut out);
     if let Some(readme) = readme {
         cli_flags_documented(files, readme, &mut out);
     }
+    telemetry_schema_version(files, ci_yaml, &mut out);
     out
 }
 
@@ -225,6 +243,115 @@ fn cli_flags_documented(files: &[SourceFile], readme: &str, out: &mut Vec<Findin
     }
 }
 
+/// Cross-checks the telemetry JSONL schema version: the declaring
+/// constant must be consulted by `record_schema_version`, and every CI
+/// validator asserting a literal `schema_version == N` must use the same
+/// `N`. At least two validators are required (the telemetry-smoke and
+/// http-smoke jobs both parse JSONL) — fewer means a validator was
+/// dropped and the schema can drift unnoticed.
+fn telemetry_schema_version(files: &[SourceFile], ci_yaml: Option<&str>, out: &mut Vec<Finding>) {
+    // Find the declaring constant (raw channel: the value is a plain
+    // integer literal, not a string, but stay consistent with the other
+    // raw-line parses).
+    let mut decl: Option<(&SourceFile, usize, u32)> = None;
+    for file in files {
+        if file.kind != FileKind::Library {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.is_test || !line.code.contains("const JSONL_SCHEMA_VERSION") {
+                continue;
+            }
+            let Some(eq) = line.raw.find('=') else {
+                continue;
+            };
+            let digits: String = line.raw[eq + 1..]
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if let Ok(v) = digits.parse::<u32>() {
+                decl = Some((file, idx, v));
+            }
+        }
+    }
+    let Some((file, idx, version)) = decl else {
+        return; // no telemetry crate in this source set (fixtures)
+    };
+    let mk = |line: usize, message: String| Finding {
+        lint: "telemetry-schema-version",
+        path: file.path.clone(),
+        line: line + 1,
+        message,
+        snippet: file.lines[line].raw.trim().to_string(),
+        severity: Severity::Deny,
+    };
+    let has_parser = file
+        .lines
+        .iter()
+        .any(|l| token_occurs(&l.code, "fn record_schema_version"));
+    if !has_parser {
+        out.push(mk(
+            idx,
+            "JSONL_SCHEMA_VERSION is declared but `record_schema_version` (the tolerant reader) is gone — v1 files would stop loading".into(),
+        ));
+    }
+    // A consultation may live inside a format string (`{JSONL_SCHEMA_VERSION}`
+    // interpolation when stamping records), which the lexer blanks from the
+    // code channel — so also accept raw-line hits that are not comments.
+    let consulted = file.lines.iter().enumerate().any(|(i, l)| {
+        i != idx
+            && !l.is_test
+            && (token_occurs(&l.code, "JSONL_SCHEMA_VERSION")
+                || (token_occurs(&l.raw, "JSONL_SCHEMA_VERSION")
+                    && !l.comment.contains("JSONL_SCHEMA_VERSION")))
+    });
+    if !consulted {
+        out.push(mk(
+            idx,
+            "JSONL_SCHEMA_VERSION is declared but never stamped onto a record or checked by a parser".into(),
+        ));
+    }
+    let Some(ci) = ci_yaml else {
+        return;
+    };
+    let mut validators = 0usize;
+    for (ci_idx, ci_line) in ci.lines().enumerate() {
+        if !ci_line.contains("schema_version") {
+            continue;
+        }
+        let Some(eq) = ci_line.find("==") else {
+            continue;
+        };
+        let digits: String = ci_line[eq + 2..]
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let Ok(asserted) = digits.parse::<u32>() else {
+            continue; // `==` against a non-literal (set comparison etc.)
+        };
+        validators += 1;
+        if asserted != version {
+            out.push(mk(
+                idx,
+                format!(
+                    "CI validator (ci.yml line {}) asserts schema_version == {asserted} but JSONL_SCHEMA_VERSION is {version}",
+                    ci_idx + 1
+                ),
+            ));
+        }
+    }
+    if validators < 2 {
+        out.push(mk(
+            idx,
+            format!(
+                "only {validators} CI validator(s) assert the JSONL schema_version literal — the telemetry-smoke and http-smoke jobs must both pin it"
+            ),
+        ));
+    }
+}
+
 /// If a string literal opens at/after byte `at` (per the code channel, so
 /// the quote is real), returns its contents read from `raw`.
 fn quoted_at(raw: &str, code: &str, at: usize) -> Option<String> {
@@ -246,8 +373,15 @@ mod tests {
 
     fn check(files: &[(&str, &str)], readme: Option<&str>) -> Vec<Finding> {
         let lexed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::lex(p, s)).collect();
-        run_invariants(&lexed, readme)
+        run_invariants(&lexed, readme, None)
     }
+
+    fn check_ci(files: &[(&str, &str)], ci: &str) -> Vec<Finding> {
+        let lexed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::lex(p, s)).collect();
+        run_invariants(&lexed, None, Some(ci))
+    }
+
+    const SCHEMA_SRC: &str = "pub const JSONL_SCHEMA_VERSION: u64 = 2;\npub fn record_schema_version(r: &R) -> u64 { r.get(JSONL_SCHEMA_VERSION) }\nfn stamp(w: &mut W) { w.field(JSONL_SCHEMA_VERSION); }";
 
     #[test]
     fn contiguous_referenced_versions_pass() {
@@ -286,6 +420,47 @@ mod tests {
         let f = check(&[("src/main.rs", main)], Some(readme));
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("--n"));
+    }
+
+    #[test]
+    fn schema_version_agreeing_validators_pass() {
+        let ci = "      - run: |\n          assert rec[\"schema_version\"] == 2, rec\n      - run: |\n          assert first[\"schema_version\"] == 2\n";
+        let f = check_ci(&[("crates/telemetry/src/trace.rs", SCHEMA_SRC)], ci);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn schema_version_mismatched_validator_is_flagged() {
+        let ci = "assert rec[\"schema_version\"] == 2\nassert first[\"schema_version\"] == 3\n";
+        let f = check_ci(&[("crates/telemetry/src/trace.rs", SCHEMA_SRC)], ci);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("== 3"));
+        assert!(f[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn schema_version_needs_two_validators() {
+        let ci = "assert rec[\"schema_version\"] == 2\n";
+        let f = check_ci(&[("crates/telemetry/src/trace.rs", SCHEMA_SRC)], ci);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("1 CI validator"));
+    }
+
+    #[test]
+    fn schema_version_set_comparison_is_not_a_validator() {
+        // `assert set(rec) == {"schema_version", ...}` has `==` against a
+        // non-literal and must be ignored, not miscounted.
+        let ci = "assert set(rec) == {\"schema_version\", \"ts_ms\"}\nassert rec[\"schema_version\"] == 2\nassert first[\"schema_version\"] == 2\n";
+        let f = check_ci(&[("crates/telemetry/src/trace.rs", SCHEMA_SRC)], ci);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn schema_version_missing_parser_is_flagged() {
+        let src = "pub const JSONL_SCHEMA_VERSION: u64 = 2;\nfn stamp(w: &mut W) { w.field(JSONL_SCHEMA_VERSION); }";
+        let f = check(&[("crates/telemetry/src/trace.rs", src)], None);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("record_schema_version"));
     }
 
     #[test]

@@ -335,6 +335,94 @@ fn match_positions(s: &str, pat: &str) -> Vec<usize> {
     out
 }
 
+/// Per-line enclosing `impl` block target type, tracked by brace depth the
+/// same way test regions are: an `impl`-initial line arms a pending type
+/// name that latches onto the next `{`. The target is the *implementing*
+/// type — `ThreadPool` for both `impl ThreadPool` and
+/// `impl Drop for ThreadPool` — which is what the concurrency lints use to
+/// qualify `self.field` lock names. Only lines that *start* with `impl`
+/// count, so `-> impl Iterator` return types never open a region.
+#[must_use]
+pub fn impl_types(lines: &[Line]) -> Vec<Option<String>> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut depth = 0usize;
+    let mut pending: Option<String> = None;
+    let mut stack: Vec<(usize, String)> = Vec::new();
+    for line in lines {
+        if let Some(name) = impl_target(&line.code) {
+            pending = Some(name);
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(name) = pending.take() {
+                        stack.push((depth, name));
+                    }
+                }
+                '}' => {
+                    if stack.last().is_some_and(|(d, _)| *d == depth) {
+                        stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => pending = None,
+                _ => {}
+            }
+        }
+        out.push(stack.last().map(|(_, n)| n.clone()));
+    }
+    out
+}
+
+/// Extracts the implementing type from an `impl`-initial line: the type
+/// after ` for ` when present, else the first type after the (possibly
+/// generic) `impl` keyword. Paths are reduced to their final segment and
+/// generics are dropped (`impl<T> queue::AdmissionQueue<T>` →
+/// `AdmissionQueue`).
+fn impl_target(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("impl")?;
+    // `impl` must be the keyword, not a prefix of an identifier.
+    if rest.chars().next().is_some_and(is_ident_char) {
+        return None;
+    }
+    let rest = skip_generics(rest.trim_start());
+    let head = rest.split('{').next().unwrap_or(rest);
+    let target = match head.find(" for ") {
+        Some(p) => &head[p + 5..],
+        None => head,
+    };
+    let target = target.trim_start().trim_start_matches('&');
+    let path: String = target
+        .chars()
+        .take_while(|c| is_ident_char(*c) || *c == ':')
+        .collect();
+    let name = path.rsplit("::").next().unwrap_or(&path).to_string();
+    (!name.is_empty() && name.chars().next().is_some_and(char::is_alphabetic)).then_some(name)
+}
+
+/// Skips a balanced leading `<...>` generics list, if any.
+fn skip_generics(s: &str) -> &str {
+    if !s.starts_with('<') {
+        return s;
+    }
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return s[i + 1..].trim_start();
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
 /// True when `line`'s comment (or the contiguous comment-only block just
 /// above it) carries the annotation `tag` (e.g. `"ORD:"`).
 #[must_use]

@@ -5,35 +5,54 @@
 //! output — but nothing *enforced* them: one stray `Instant::now()` in a
 //! generation path silently breaks determinism. This crate is the
 //! machine-checked discipline: a comment- and string-aware lexer
-//! ([`lexer`]), five repo-specific lints ([`lints`]), two cross-file
-//! domain invariant checks ([`invariants`]), and a content-keyed
-//! allowlist ([`allowlist`]), wired into `pagpass analyze` and CI.
+//! ([`lexer`]), the per-line repo-specific lints ([`lints`]), a
+//! concurrency-correctness layer — guard-scope dataflow ([`guards`]),
+//! a cross-file lock acquisition-order graph ([`lockgraph`]), and an
+//! acquire/release pairing audit ([`atomics`]) — cross-file domain
+//! invariant checks ([`invariants`]), and a content-keyed allowlist
+//! ([`allowlist`]), wired into `pagpass analyze` and CI.
 //!
 //! Std-only by design, like `pagpass-telemetry`: the analysis gate must
 //! not depend on anything it polices.
 //!
 //! ```
-//! use pagpass_analysis::{analyze_sources, Allowlist};
+//! use pagpass_analysis::{analyze_sources, Allowlist, AnalysisInputs};
 //!
 //! let files = vec![(
 //!     "crates/demo/src/lib.rs".to_string(),
 //!     "fn f(x: Option<u32>) -> u32 { x.unwrap() }".to_string(),
 //! )];
-//! let report = analyze_sources(files, None, &Allowlist::default());
+//! let report = analyze_sources(files, &AnalysisInputs::default(), &Allowlist::default());
 //! assert_eq!(report.findings.len(), 1);
 //! assert_eq!(report.findings[0].finding.lint, "no-unwrap-in-lib");
 //! ```
 
 pub mod allowlist;
+pub mod atomics;
+pub mod guards;
 pub mod invariants;
 pub mod lexer;
 pub mod lints;
+pub mod lockgraph;
 
 use std::path::{Path, PathBuf};
 
 pub use allowlist::{Allowlist, Entry};
 pub use lexer::{FileKind, SourceFile};
 pub use lints::{Finding, Severity};
+pub use lockgraph::LockOrderFile;
+
+/// Non-source inputs to an analysis run. All optional: absent inputs
+/// skip the checks that need them.
+#[derive(Debug, Default)]
+pub struct AnalysisInputs {
+    /// README.md text, for the `cli-flags-documented` invariant.
+    pub readme: Option<String>,
+    /// CI workflow text, for the `telemetry-schema-version` validators.
+    pub ci_yaml: Option<String>,
+    /// Committed canonical lock order, for the `lock-order` invariant.
+    pub lock_order: Option<LockOrderFile>,
+}
 
 /// A finding plus its allowlist disposition.
 #[derive(Debug, Clone)]
@@ -54,6 +73,9 @@ pub struct Report {
     pub stale: Vec<Entry>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Canonical lock acquisition order computed from the tree (empty
+    /// when the acquisition graph has a cycle).
+    pub lock_order: Vec<String>,
 }
 
 impl Report {
@@ -127,11 +149,11 @@ impl Report {
 }
 
 /// Analyzes in-memory sources: `(workspace-relative path, contents)`.
-/// `readme` enables the CLI-flag documentation invariant.
+/// See [`AnalysisInputs`] for the optional non-source inputs.
 #[must_use]
 pub fn analyze_sources(
     files: Vec<(String, String)>,
-    readme: Option<&str>,
+    inputs: &AnalysisInputs,
     allowlist: &Allowlist,
 ) -> Report {
     let lexed: Vec<SourceFile> = files
@@ -142,7 +164,14 @@ pub fn analyze_sources(
     for file in &lexed {
         findings.extend(lints::run_lints(file));
     }
-    findings.extend(invariants::run_invariants(&lexed, readme));
+    findings.extend(invariants::run_invariants(
+        &lexed,
+        inputs.readme.as_deref(),
+        inputs.ci_yaml.as_deref(),
+    ));
+    findings.extend(atomics::run(&lexed));
+    let (graph_findings, lock_order) = lockgraph::run(&lexed, inputs.lock_order.as_ref());
+    findings.extend(graph_findings);
     findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     let findings = findings
         .into_iter()
@@ -155,11 +184,14 @@ pub fn analyze_sources(
         findings,
         stale: allowlist.stale().into_iter().cloned().collect(),
         files_scanned: lexed.len(),
+        lock_order,
     }
 }
 
 /// Analyzes the workspace rooted at `root`: every `.rs` file under `src/`
-/// and `crates/*/src/`, plus README.md for the flag-documentation check.
+/// and `crates/*/src/`, plus README.md (flag documentation), the CI
+/// workflow (schema-version validators), and — when `lock_order_path` is
+/// given — the committed canonical lock order, which must exist.
 ///
 /// Test fixtures (any path containing a `fixtures` component) are skipped
 /// — they exist to *contain* violations.
@@ -167,7 +199,11 @@ pub fn analyze_sources(
 /// # Errors
 ///
 /// Returns a message for unreadable files or a missing workspace layout.
-pub fn analyze_repo(root: &Path, allowlist: &Allowlist) -> Result<Report, String> {
+pub fn analyze_repo(
+    root: &Path,
+    lock_order_path: Option<&Path>,
+    allowlist: &Allowlist,
+) -> Result<Report, String> {
     if !root.join("Cargo.toml").exists() {
         return Err(format!(
             "{} does not look like a workspace root (no Cargo.toml)",
@@ -200,7 +236,28 @@ pub fn analyze_repo(root: &Path, allowlist: &Allowlist) -> Result<Report, String
         files.push((rel, text));
     }
     let readme = std::fs::read_to_string(root.join("README.md")).ok();
-    Ok(analyze_sources(files, readme.as_deref(), allowlist))
+    let ci_yaml = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).ok();
+    let lock_order = match lock_order_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("read lock-order file {}: {e}", p.display()))?;
+            Some(LockOrderFile {
+                path: p
+                    .strip_prefix(root)
+                    .unwrap_or(p)
+                    .to_string_lossy()
+                    .into_owned(),
+                text,
+            })
+        }
+        None => None,
+    };
+    let inputs = AnalysisInputs {
+        readme,
+        ci_yaml,
+        lock_order,
+    };
+    Ok(analyze_sources(files, &inputs, allowlist))
 }
 
 /// Recursively collects `.rs` files under `dir`, skipping `fixtures` and
@@ -242,14 +299,18 @@ mod tests {
                 "fn t() { x.unwrap(); }".to_string(),
             ),
         ];
-        let report = analyze_sources(files.clone(), None, &Allowlist::default());
+        let report = analyze_sources(
+            files.clone(),
+            &AnalysisInputs::default(),
+            &Allowlist::default(),
+        );
         assert_eq!(report.findings.len(), 2);
         assert!(report.failed(false));
 
         // Allowlist the unwrap: only the println remains active.
         let text = "no-unwrap-in-lib\tcrates/a/src/lib.rs\tfn f() { x.unwrap(); }\n";
         let allow = Allowlist::parse(text).unwrap();
-        let report = analyze_sources(files, None, &allow);
+        let report = analyze_sources(files, &AnalysisInputs::default(), &allow);
         assert_eq!(report.allowed_count(), 1);
         assert_eq!(report.active(false).len(), 1);
         assert!(report.stale.is_empty());
@@ -260,7 +321,7 @@ mod tests {
         let allow = Allowlist::parse("no-unwrap-in-lib\tcrates/a/src/lib.rs\tgone();\n").unwrap();
         let report = analyze_sources(
             vec![("crates/a/src/lib.rs".to_string(), "fn ok() {}".to_string())],
-            None,
+            &AnalysisInputs::default(),
             &allow,
         );
         assert!(report.findings.is_empty());
@@ -270,15 +331,41 @@ mod tests {
     }
 
     #[test]
-    fn warn_only_fails_under_deny_all() {
-        let src = "fn f() {\n    let mut s = state.lock();\n    cv.wait(&mut s);\n}";
+    fn lock_order_and_graph_flow_through_the_report() {
+        let src = "impl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n        let s = self.state.lock();\n    }\n}";
+        let files = vec![("crates/nn/src/pool.rs".to_string(), src.to_string())];
         let report = analyze_sources(
-            vec![("crates/a/src/lib.rs".to_string(), src.to_string())],
-            None,
+            files.clone(),
+            &AnalysisInputs::default(),
             &Allowlist::default(),
         );
-        assert_eq!(report.findings.len(), 1);
-        assert!(!report.failed(false));
-        assert!(report.failed(true));
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.lock_order, vec!["nn:Pool.submit", "nn:Pool.state"]);
+
+        // Feeding the canonical order back in is clean; contradicting it
+        // is a deny-level `lock-order` finding.
+        let inputs = AnalysisInputs {
+            lock_order: Some(LockOrderFile {
+                path: "analysis/lock_order.txt".into(),
+                text: lockgraph::render_order(&report.lock_order),
+            }),
+            ..AnalysisInputs::default()
+        };
+        let clean = analyze_sources(files.clone(), &inputs, &Allowlist::default());
+        assert!(!clean.failed(true), "{}", clean.render(true));
+
+        let inputs = AnalysisInputs {
+            lock_order: Some(LockOrderFile {
+                path: "analysis/lock_order.txt".into(),
+                text: "nn:Pool.state\nnn:Pool.submit\n".into(),
+            }),
+            ..AnalysisInputs::default()
+        };
+        let contradicted = analyze_sources(files, &inputs, &Allowlist::default());
+        assert!(contradicted.failed(false));
+        assert!(contradicted
+            .findings
+            .iter()
+            .any(|d| d.finding.lint == "lock-order"));
     }
 }

@@ -48,7 +48,11 @@ pub const LINT_NAMES: &[&str] = &[
     "no-stdout-in-lib",
     "ordering-discipline",
     "determinism",
-    "lock-scope",
+    "guard-blocking",
+    "lock-order-cycle",
+    "lock-order",
+    "atomic-pairing",
+    "atomic-signal",
 ];
 
 /// Modules whose output must be a pure function of their inputs: the
@@ -74,7 +78,7 @@ fn stdout_exempt(path: &str) -> bool {
         || path.starts_with("crates/bench/")
 }
 
-fn finding(
+pub(crate) fn finding(
     lint: &'static str,
     file: &SourceFile,
     idx: usize,
@@ -93,7 +97,7 @@ fn finding(
 
 /// True when line `idx` carries a `LINT-ALLOW: <lint>` annotation (same
 /// line or the comment block above).
-fn inline_allowed(file: &SourceFile, idx: usize, lint: &str) -> bool {
+pub(crate) fn inline_allowed(file: &SourceFile, idx: usize, lint: &str) -> bool {
     let lines = &file.lines;
     let tagged = |comment: &str| {
         comment
@@ -123,7 +127,7 @@ fn contains_token(code: &str, pat: &str) -> bool {
     token_position(code, pat).is_some()
 }
 
-fn token_position(code: &str, pat: &str) -> Option<usize> {
+pub(crate) fn token_position(code: &str, pat: &str) -> Option<usize> {
     // Patterns starting with `.` (method calls) legitimately follow an
     // identifier; only ident-initial patterns need a left boundary.
     let needs_boundary = pat
@@ -155,7 +159,7 @@ pub fn run_lints(file: &SourceFile) -> Vec<Finding> {
     no_stdout_in_lib(file, &mut out);
     ordering_discipline(file, &mut out);
     determinism(file, &mut out);
-    lock_scope(file, &mut out);
+    crate::guards::guard_blocking(file, &mut out);
     out
 }
 
@@ -211,10 +215,13 @@ fn no_stdout_in_lib(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// `ordering-discipline`: every non-SeqCst atomic ordering must carry an
-/// adjacent `// ORD:` comment explaining why the relaxation is sound.
-/// (`SeqCst` is the conservative default and needs no justification;
-/// `cmp::Ordering` variants like `Equal` never match.)
+/// `ordering-discipline`: every atomic ordering — `SeqCst` included —
+/// must carry an adjacent `// ORD:` comment saying what the ordering
+/// buys. Relaxations need a soundness argument; `SeqCst` needs a reason
+/// it isn't hiding one. (`cmp::Ordering` variants like `Equal` never
+/// match.) The [`crate::atomics`] audit then cross-checks what the
+/// annotations claim: release/acquire pairing per field and no `Relaxed`
+/// on signal-pattern fields.
 fn ordering_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
     const LINT: &str = "ordering-discipline";
     if file.kind == FileKind::TestOnly {
@@ -229,6 +236,7 @@ fn ordering_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
             "Ordering::Acquire",
             "Ordering::Release",
             "Ordering::AcqRel",
+            "Ordering::SeqCst",
         ]
         .iter()
         .any(|m| contains_token(&line.code, m));
@@ -237,7 +245,7 @@ fn ordering_discipline(file: &SourceFile, out: &mut Vec<Finding>) {
                 LINT,
                 file,
                 idx,
-                "relaxed atomic ordering without an adjacent `// ORD:` justification".into(),
+                "atomic ordering without an adjacent `// ORD:` justification".into(),
                 Severity::Deny,
             ));
         }
@@ -328,91 +336,6 @@ fn let_binding_name(code: &str) -> Option<String> {
     (!name.is_empty()).then_some(name)
 }
 
-/// `lock-scope`: a `let`-bound Mutex/RwLock guard held across a blocking
-/// call (condvar wait, join, recv, sleep, or acquiring another lock) can
-/// stall every other user of the lock — or deadlock. Intentional sites
-/// (condvar handoff is one by design) carry `// LINT-ALLOW: lock-scope`.
-fn lock_scope(file: &SourceFile, out: &mut Vec<Finding>) {
-    const LINT: &str = "lock-scope";
-    if file.kind == FileKind::TestOnly {
-        return;
-    }
-    let lines = &file.lines;
-    for idx in 0..lines.len() {
-        if lines[idx].is_test {
-            continue;
-        }
-        let code = &lines[idx].code;
-        let is_guard_binding =
-            (code.contains(".lock()") || code.contains(".read()") || code.contains(".write()"))
-                && let_binding_name(code).is_some();
-        if !is_guard_binding {
-            continue;
-        }
-        let guard = match let_binding_name(code) {
-            Some(g) => g,
-            None => continue,
-        };
-        // `let Some(m) = …` / `let Ok(g) = …` destructure patterns and
-        // discards aren't simple guard bindings; skip them.
-        if guard == "_" || guard.chars().next().is_some_and(char::is_uppercase) {
-            continue;
-        }
-        // Walk the enclosing scope: from the line after the binding until
-        // brace depth drops below the binding's, or `drop(guard)`.
-        let mut depth: i64 = 0;
-        let mut j = idx;
-        'scan: while j + 1 < lines.len() {
-            j += 1;
-            let c = &lines[j].code;
-            for ch in c.chars() {
-                match ch {
-                    '{' => depth += 1,
-                    '}' => {
-                        depth -= 1;
-                        if depth < 0 {
-                            break 'scan;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if c.contains(&format!("drop({guard})")) {
-                break;
-            }
-            let blocking = [
-                ".wait(",
-                ".wait_for(",
-                ".wait_while(",
-                ".wait_timeout",
-                ".join()",
-                ".recv()",
-                ".recv_timeout(",
-                "thread::sleep(",
-                ".lock()",
-            ]
-            .iter()
-            .find(|m| c.contains(*m));
-            if let Some(m) = blocking {
-                if !inline_allowed(file, idx, LINT) && !inline_allowed(file, j, LINT) {
-                    out.push(finding(
-                        LINT,
-                        file,
-                        idx,
-                        format!(
-                            "lock guard `{guard}` held across blocking call `{}` on line {}",
-                            m.trim_end_matches('('),
-                            j + 1
-                        ),
-                        Severity::Warn,
-                    ));
-                }
-                break;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,13 +381,18 @@ mod tests {
     }
 
     #[test]
-    fn ordering_needs_ord_comment_and_ignores_cmp_and_seqcst() {
+    fn ordering_needs_ord_comment_and_ignores_cmp() {
         let bad = "fn f() { a.load(Ordering::Relaxed); }";
         assert_eq!(lints_on("crates/x/src/lib.rs", bad).len(), 1);
         let good = "// ORD: counter, no cross-thread happens-before needed\nfn f() { a.load(Ordering::Relaxed); }";
         assert!(lints_on("crates/x/src/lib.rs", good).is_empty());
+        // SeqCst needs a justification too — it is often a relaxation
+        // postponed, and the pairing audit needs the intent on record.
         let seqcst = "fn f() { a.load(Ordering::SeqCst); }";
-        assert!(lints_on("crates/x/src/lib.rs", seqcst).is_empty());
+        assert_eq!(lints_on("crates/x/src/lib.rs", seqcst).len(), 1);
+        let seqcst_ok =
+            "// ORD: SeqCst, rare control-path flag; not worth relaxing\nfn f() { a.load(Ordering::SeqCst); }";
+        assert!(lints_on("crates/x/src/lib.rs", seqcst_ok).is_empty());
         let cmp = "fn f() -> Ordering { Ordering::Equal }";
         assert!(lints_on("crates/x/src/lib.rs", cmp).is_empty());
     }
@@ -489,18 +417,16 @@ mod tests {
     }
 
     #[test]
-    fn lock_scope_flags_wait_under_guard() {
-        let src = "fn f() {\n    let mut s = state.lock();\n    cv.wait(&mut s);\n}";
+    fn guard_blocking_runs_as_part_of_run_lints() {
+        // The full dataflow lint lives in crate::guards; run_lints wires
+        // it in. Condvar wait on the guard itself is the sanctioned
+        // protocol and stays clean.
+        let src = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    rx.recv();\n}";
         let hits = lints_on("crates/x/src/lib.rs", src);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].severity, Severity::Warn);
-        let allowed = "fn f() {\n    // LINT-ALLOW: lock-scope condvar handoff by design\n    let mut s = state.lock();\n    cv.wait(&mut s);\n}";
-        assert!(lints_on("crates/x/src/lib.rs", allowed).is_empty());
-    }
-
-    #[test]
-    fn lock_scope_ignores_short_guards() {
-        let src = "fn f() {\n    let mut s = state.lock();\n    s.x += 1;\n}\nfn g() { thread::sleep(d); }";
-        assert!(lints_on("crates/x/src/lib.rs", src).is_empty());
+        assert_eq!(hits[0].lint, "guard-blocking");
+        assert_eq!(hits[0].severity, Severity::Deny);
+        let handoff = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    g = cv.wait(g);\n}";
+        assert!(lints_on("crates/x/src/lib.rs", handoff).is_empty());
     }
 }

@@ -1,0 +1,484 @@
+//! Cross-file lock acquisition-order graph.
+//!
+//! Every lock acquisition that happens while another guard is live adds a
+//! directed edge `held → acquired`. A cycle in that graph is a potential
+//! deadlock (`lock-order-cycle`); an acyclic graph has a canonical
+//! acquisition order — the deterministic topological sort committed to
+//! `analysis/lock_order.txt` and checked as an invariant (`lock-order`):
+//! every observed lock must be listed, no listed lock may be unobserved,
+//! and no observed edge may contradict the committed order.
+//!
+//! Lock names come from [`crate::guards::scan`] and are qualified by the
+//! owning crate (`nn:ThreadPool.submit`, `core:shared.state`) so
+//! same-named fields in different crates never alias.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::guards::{scan, Acquisition};
+use crate::lexer::{FileKind, SourceFile};
+use crate::lints::{inline_allowed, Finding, Severity};
+
+/// Lint name for cycles in the acquisition graph.
+pub const CYCLE_LINT: &str = "lock-order-cycle";
+/// Lint name for disagreements with the committed canonical order.
+pub const ORDER_LINT: &str = "lock-order";
+
+/// The committed canonical-order file, when the caller supplies one.
+#[derive(Debug, Clone)]
+pub struct LockOrderFile {
+    /// Path used in findings (e.g. `analysis/lock_order.txt`).
+    pub path: String,
+    /// Raw file contents.
+    pub text: String,
+}
+
+/// Where a node or edge was observed, for reporting.
+#[derive(Debug, Clone)]
+struct Witness {
+    file: usize,
+    line: usize,
+}
+
+/// The assembled graph plus node/edge witnesses.
+struct Graph {
+    /// Every observed lock name, with its first acquisition site.
+    nodes: BTreeMap<String, Witness>,
+    /// `held → acquired` edges, each with the site of the *inner*
+    /// acquisition.
+    edges: BTreeMap<(String, String), Witness>,
+}
+
+/// Maps a workspace-relative path to its crate qualifier: `nn:` for
+/// `crates/nn/src/…`, `cli:` for the root binary.
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("cli")
+}
+
+/// Collects qualified acquisitions per file (test code excluded — test
+/// helpers acquire locks in patterns the production order never uses).
+fn collect(files: &[SourceFile]) -> Vec<Vec<Acquisition>> {
+    files
+        .iter()
+        .map(|file| {
+            if file.kind == FileKind::TestOnly {
+                return Vec::new();
+            }
+            let qualifier = crate_of(&file.path);
+            scan(file)
+                .into_iter()
+                .filter(|a| !a.is_test && a.lock.is_some())
+                .map(|mut a| {
+                    a.lock = a.lock.map(|l| format!("{qualifier}:{l}"));
+                    a
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the graph: a node per observed lock, an edge for every
+/// acquisition made while another guard is live.
+fn build(per_file: &[Vec<Acquisition>]) -> Graph {
+    let mut nodes: BTreeMap<String, Witness> = BTreeMap::new();
+    let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    for (fidx, acqs) in per_file.iter().enumerate() {
+        for acq in acqs {
+            let lock = acq.lock.clone().unwrap_or_default();
+            nodes.entry(lock).or_insert(Witness {
+                file: fidx,
+                line: acq.line,
+            });
+        }
+        for (i, outer) in acqs.iter().enumerate() {
+            if outer.guard.is_none() {
+                continue; // temporaries die within their statement
+            }
+            let from = outer.lock.clone().unwrap_or_default();
+            for inner in acqs.iter().skip(i + 1) {
+                if inner.line < outer.line || inner.line > outer.end {
+                    continue;
+                }
+                let to = inner.lock.clone().unwrap_or_default();
+                edges.entry((from.clone(), to)).or_insert(Witness {
+                    file: fidx,
+                    line: inner.line,
+                });
+            }
+        }
+    }
+    Graph { nodes, edges }
+}
+
+/// Strongly connected components (iterative Tarjan), smallest-name-first
+/// within each component for deterministic reporting.
+fn sccs(nodes: &BTreeSet<&str>, edges: &BTreeMap<(String, String), Witness>) -> Vec<Vec<String>> {
+    let names: Vec<&str> = nodes.iter().copied().collect();
+    let index_of: BTreeMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (from, to) in edges.keys() {
+        if let (Some(&f), Some(&t)) = (index_of.get(from.as_str()), index_of.get(to.as_str())) {
+            adj[f].push(t);
+        }
+    }
+    let n = names.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+    // Iterative Tarjan: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(names[w].to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Deterministic canonical order: Kahn's algorithm with a smallest-name
+/// tie-break. Only valid when the graph is acyclic; nodes trapped in
+/// cycles are appended in name order so the output is still total.
+fn canonical_order(
+    nodes: &BTreeSet<&str>,
+    edges: &BTreeMap<(String, String), Witness>,
+) -> Vec<String> {
+    let mut indegree: BTreeMap<&str, usize> = nodes.iter().map(|n| (*n, 0)).collect();
+    for (from, to) in edges.keys() {
+        if from != to && nodes.contains(from.as_str()) && nodes.contains(to.as_str()) {
+            *indegree.entry(to.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut ready: BTreeSet<&str> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(n, _)| *n)
+        .collect();
+    let mut order: Vec<String> = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    while let Some(&next) = ready.iter().next() {
+        ready.remove(next);
+        done.insert(next);
+        order.push(next.to_string());
+        for ((from, to), _) in edges.iter() {
+            if from == next && from != to && !done.contains(to.as_str()) {
+                let d = indegree.entry(to.as_str()).or_insert(1);
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    ready.insert(to.as_str());
+                }
+            }
+        }
+    }
+    for n in nodes {
+        if !done.contains(n) {
+            order.push((*n).to_string());
+        }
+    }
+    order
+}
+
+/// Renders the canonical order as the committed `lock_order.txt` text.
+#[must_use]
+pub fn render_order(order: &[String]) -> String {
+    let mut out = String::from(
+        "# Canonical lock acquisition order (generated by `pagpass analyze --update-lock-order`).\n\
+         # A lock earlier in this file may be held while acquiring a later one, never the\n\
+         # reverse. `pagpass analyze --lock-order` fails when the tree contradicts this\n\
+         # order, observes a lock missing from it, or finds a stale entry.\n",
+    );
+    for name in order {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a committed order file into `(1-based line, name)` entries.
+fn parse_order(text: &str) -> Vec<(usize, String)> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let t = l.trim();
+            (!t.is_empty() && !t.starts_with('#')).then(|| (i + 1, t.to_string()))
+        })
+        .collect()
+}
+
+/// Runs the lock-order analysis: returns findings plus the canonical
+/// order computed from the tree (empty when the graph has cycles).
+pub fn run(
+    files: &[SourceFile],
+    order_file: Option<&LockOrderFile>,
+) -> (Vec<Finding>, Vec<String>) {
+    let per_file = collect(files);
+    let graph = build(&per_file);
+    let nodes: BTreeSet<&str> = graph.nodes.keys().map(String::as_str).collect();
+    let mut findings = Vec::new();
+
+    let finding_at = |w: &Witness, lint: &'static str, message: String| -> Option<Finding> {
+        let file = &files[w.file];
+        if inline_allowed(file, w.line, lint) {
+            return None;
+        }
+        Some(Finding {
+            lint,
+            path: file.path.clone(),
+            line: w.line + 1,
+            message,
+            snippet: file.lines[w.line].raw.trim().to_string(),
+            severity: Severity::Deny,
+        })
+    };
+
+    // Cycles: every edge inside a non-trivial SCC (or a self-edge) gets a
+    // finding at its witness, so each file participating in a cross-file
+    // cycle reports locally.
+    let mut cyclic = false;
+    for comp in sccs(&nodes, &graph.edges) {
+        let members: BTreeSet<&str> = comp.iter().map(String::as_str).collect();
+        for ((from, to), w) in &graph.edges {
+            let in_comp = members.contains(from.as_str()) && members.contains(to.as_str());
+            let is_cycle_edge = (comp.len() > 1 && in_comp)
+                || (from == to && members.contains(from.as_str()) && comp.len() == 1);
+            if !is_cycle_edge {
+                continue;
+            }
+            cyclic = true;
+            let msg = if from == to {
+                format!("lock `{from}` re-acquired while already held — self-deadlock")
+            } else {
+                format!(
+                    "lock-order cycle: acquiring `{to}` while holding `{from}` (cycle members: {}) — potential deadlock",
+                    comp.join(", ")
+                )
+            };
+            findings.extend(finding_at(w, CYCLE_LINT, msg));
+        }
+    }
+
+    let order = if cyclic {
+        Vec::new()
+    } else {
+        canonical_order(&nodes, &graph.edges)
+    };
+
+    if let Some(of) = order_file {
+        let entries = parse_order(&of.text);
+        let position: BTreeMap<&str, usize> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, name))| (name.as_str(), i))
+            .collect();
+        for (name, w) in &graph.nodes {
+            if !position.contains_key(name.as_str()) {
+                findings.extend(finding_at(
+                    w,
+                    ORDER_LINT,
+                    format!(
+                        "lock `{name}` is not listed in {}; regenerate with `pagpass analyze --update-lock-order`",
+                        of.path
+                    ),
+                ));
+            }
+        }
+        for ((from, to), w) in &graph.edges {
+            if from == to {
+                continue;
+            }
+            if let (Some(&pf), Some(&pt)) = (position.get(from.as_str()), position.get(to.as_str()))
+            {
+                if pf > pt {
+                    findings.extend(finding_at(
+                        w,
+                        ORDER_LINT,
+                        format!(
+                            "acquires `{to}` while holding `{from}`, but {} orders `{to}` before `{from}`",
+                            of.path
+                        ),
+                    ));
+                }
+            }
+        }
+        for (line, name) in &entries {
+            if !graph.nodes.contains_key(name) {
+                findings.push(Finding {
+                    lint: ORDER_LINT,
+                    path: of.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "canonical order lists lock `{name}` but no acquisition of it was observed — delete the entry or regenerate with `pagpass analyze --update-lock-order`"
+                    ),
+                    snippet: name.clone(),
+                    severity: Severity::Deny,
+                });
+            }
+        }
+    }
+
+    (findings, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn lex(path: &str, src: &str) -> SourceFile {
+        SourceFile::lex(path, src)
+    }
+
+    #[test]
+    fn single_edge_yields_canonical_order() {
+        let files = vec![lex(
+            "crates/nn/src/pool.rs",
+            "impl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n        let s = self.state.lock();\n    }\n}",
+        )];
+        let (findings, order) = run(&files, None);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(order, vec!["nn:Pool.submit", "nn:Pool.state"]);
+    }
+
+    #[test]
+    fn cross_file_cycle_is_reported_in_both_files() {
+        let a = lex(
+            "crates/core/src/a.rs",
+            "fn f(s: &S) {\n    let g = s.alpha.lock();\n    let h = s.beta.lock();\n}",
+        );
+        let b = lex(
+            "crates/core/src/b.rs",
+            "fn g(s: &S) {\n    let h = s.beta.lock();\n    let g = s.alpha.lock();\n}",
+        );
+        let (findings, order) = run(&[a, b], None);
+        let cycle: Vec<_> = findings.iter().filter(|f| f.lint == CYCLE_LINT).collect();
+        assert_eq!(cycle.len(), 2, "{findings:?}");
+        let paths: BTreeSet<&str> = cycle.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths.len(), 2);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn self_edge_is_a_finding() {
+        let files = vec![lex(
+            "crates/core/src/x.rs",
+            "fn f(s: &S) {\n    let g = s.inner.lock();\n    let h = s.inner.lock();\n}",
+        )];
+        let (findings, _) = run(&files, None);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn order_file_checks_missing_contradicted_and_stale() {
+        let files = vec![lex(
+            "crates/nn/src/pool.rs",
+            "impl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n        let s = self.state.lock();\n    }\n}",
+        )];
+        // Contradicts the observed submit→state edge, lists a ghost lock,
+        // and omits `state`.
+        let of = LockOrderFile {
+            path: "analysis/lock_order.txt".into(),
+            text: "# header\nnn:Pool.state_ghost\nnn:Pool.submit\n".into(),
+        };
+        let (findings, _) = run(&files, Some(&of));
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("not listed")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("no acquisition of it was observed")),
+            "{msgs:?}"
+        );
+        let stale = findings
+            .iter()
+            .find(|f| f.message.contains("no acquisition"))
+            .unwrap();
+        assert_eq!(stale.path, "analysis/lock_order.txt");
+        assert_eq!(stale.line, 2);
+    }
+
+    #[test]
+    fn order_file_contradiction_detected() {
+        let files = vec![lex(
+            "crates/nn/src/pool.rs",
+            "impl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n        let s = self.state.lock();\n    }\n}",
+        )];
+        let of = LockOrderFile {
+            path: "analysis/lock_order.txt".into(),
+            text: "nn:Pool.state\nnn:Pool.submit\n".into(),
+        };
+        let (findings, _) = run(&files, Some(&of));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.lint == ORDER_LINT && f.message.contains("orders")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn matching_order_file_is_clean() {
+        let files = vec![lex(
+            "crates/nn/src/pool.rs",
+            "impl Pool {\n    fn run(&self) {\n        let g = self.submit.lock();\n        let s = self.state.lock();\n    }\n}",
+        )];
+        let (_, order) = run(&files, None);
+        let of = LockOrderFile {
+            path: "analysis/lock_order.txt".into(),
+            text: render_order(&order),
+        };
+        let (findings, order2) = run(&files, Some(&of));
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(order, order2);
+    }
+
+    #[test]
+    fn nested_guard_in_inner_scope_is_an_edge_not_a_cycle() {
+        // Consistent order in two places — edge recorded once, no cycle.
+        let files = vec![lex(
+            "crates/core/src/x.rs",
+            "fn f(s: &S) {\n    let g = s.outer.lock();\n    {\n        let h = s.inner.lock();\n    }\n}\nfn g2(s: &S) {\n    let g = s.outer.lock();\n    let h = s.inner.lock();\n}",
+        )];
+        let (findings, order) = run(&files, None);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(order, vec!["core:s.outer", "core:s.inner"]);
+    }
+}

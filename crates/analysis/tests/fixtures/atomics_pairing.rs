@@ -1,0 +1,22 @@
+//@ path: crates/fixture/src/lib.rs
+//! `atomic-pairing`: a Release store whose field has no Acquire-side
+//! load anywhere in the crate orders nothing. The `ready` flag below is
+//! published but never acquired (finding); `handoff` is properly paired
+//! (clean); an AcqRel RMW self-pairs only if something loads it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn publish(ready: &AtomicBool) {
+    // ORD: Release intends to publish initialization — but see pairing.
+    ready.store(true, Ordering::Release);
+}
+
+fn publish_handoff(h: &Handoff) {
+    // ORD: Release publishes the buffer write below.
+    h.handoff.store(1, Ordering::Release);
+}
+
+fn consume_handoff(h: &Handoff) -> u64 {
+    // ORD: Acquire pairs with the Release store in publish_handoff.
+    h.handoff.load(Ordering::Acquire)
+}

@@ -1,0 +1,23 @@
+//@ path: crates/fixture/src/lib.rs
+//! Atomics negatives: `Relaxed` counter bumps under `// ORD:` are the
+//! sanctioned telemetry pattern — no pairing requirement (Relaxed is
+//! neither side) and no signal-field match.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn count_hit(c: &Counters) {
+    // ORD: monotonic counter; readers only need eventual visibility.
+    c.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read_hits(c: &Counters) -> u64 {
+    // ORD: snapshot read; a torn rate is acceptable for telemetry.
+    c.hits.load(Ordering::Relaxed)
+}
+
+fn seqcst_flag_roundtrip(c: &Counters) -> bool {
+    // ORD: SeqCst store+load on the same field self-pairs.
+    c.armed.store(true, Ordering::SeqCst);
+    // ORD: SeqCst load side of the same flag.
+    c.armed.load(Ordering::SeqCst)
+}

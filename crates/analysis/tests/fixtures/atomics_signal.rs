@@ -1,0 +1,27 @@
+//@ path: crates/fixture/src/lib.rs
+//! `atomic-signal`: `Relaxed` on signal-pattern fields
+//! (`stop` / `*_stop` / `draining` / `*_draining` / `*_seq`) — an
+//! `// ORD:` justification does not excuse it, because a relaxed signal
+//! orders none of the data it is supposed to publish.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn request_stop(s: &Shared) {
+    // ORD: believed harmless — the lint disagrees: stop is a signal.
+    s.stop.store(true, Ordering::Relaxed);
+}
+
+fn poll_drain(s: &Shared) -> bool {
+    // ORD: drain check on the hot path.
+    s.worker_draining.load(Ordering::Relaxed)
+}
+
+fn bump_push_seq(s: &Shared) -> u64 {
+    // ORD: sequence numbers stamp records for post-hoc ordering.
+    s.push_seq.fetch_add(1, Ordering::Relaxed)
+}
+
+fn plain_seq_counter_is_fine(s: &Shared) -> u64 {
+    // ORD: `seq` without the underscore pattern is a plain counter.
+    s.seq.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,41 @@
+//@ path: crates/fixture/src/lib.rs
+//! `guard-blocking`: blocking operations while a Mutex/RwLock guard is
+//! live (deny severity; supersedes the old lock-scope warn).
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+struct Sink {
+    out: Mutex<File>,
+}
+
+fn guard_across_recv(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let guard = m.lock();
+    let v = rx.recv();
+    drop(guard);
+    v.unwrap_or(0)
+}
+
+impl Sink {
+    fn emit_flagged(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+
+    fn emit_sanctioned(&self, line: &str) {
+        // LINT-ALLOW: guard-blocking the sink's lock exists precisely to
+        // serialize writers; blocking under it is its contract
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn join_under_read_guard(m: &std::sync::RwLock<u32>, h: std::thread::JoinHandle<()>) {
+    let g = m.read();
+    let _ = h.join();
+    drop(g);
+}

@@ -1,0 +1,32 @@
+//@ path: crates/fixture/src/lib.rs
+//! `guard-blocking` negatives: guards dropped (explicitly or by scope)
+//! before the blocking call, and the sanctioned condvar protocol.
+//! (parking_lot-style lock API: no unwrap on acquisition.)
+
+use std::sync::mpsc::Receiver;
+
+fn guard_dropped_first(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    let guard = m.lock();
+    drop(guard);
+    rx.recv().unwrap_or(0)
+}
+
+fn guard_scoped_out(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    {
+        let guard = m.lock();
+        let _ = guard;
+    }
+    rx.recv().unwrap_or(0)
+}
+
+fn condvar_wait_on_own_guard(m: &Mutex<bool>, cv: &Condvar) {
+    let mut ready = m.lock();
+    while !*ready {
+        ready = cv.wait(ready);
+    }
+}
+
+fn statement_temporary_then_block(m: &Mutex<u32>, rx: &Receiver<u32>) -> u32 {
+    *m.lock() += 1;
+    rx.recv().unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+//@ path: crates/fixture/src/cycle_a.rs
+//@ group: lock-cycle
+//! One half of a cross-file lock-order cycle: this file acquires
+//! `registry` then `journal`; its sibling (`lockgraph_cycle_b.rs`)
+//! acquires them in the opposite order. Either order alone is fine —
+//! only the *pair* deadlocks, which is exactly what a per-file lint
+//! cannot see.
+
+struct State {
+    registry: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+fn checkpoint(s: &State) {
+    let reg = s.registry.lock();
+    let jrn = s.journal.lock();
+    let _ = (reg, jrn);
+}

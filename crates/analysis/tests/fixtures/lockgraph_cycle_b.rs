@@ -1,0 +1,15 @@
+//@ path: crates/fixture/src/cycle_b.rs
+//@ group: lock-cycle
+//! The other half of the cross-file cycle: `journal` before `registry`,
+//! opposite of `lockgraph_cycle_a.rs`.
+
+struct State {
+    registry: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+fn replay(s: &State) {
+    let jrn = s.journal.lock();
+    let reg = s.registry.lock();
+    let _ = (jrn, reg);
+}

@@ -1,0 +1,24 @@
+//@ path: crates/fixture/src/lib.rs
+//! Lock-order negative: nested acquisition in one consistent order from
+//! two call sites is an edge, not a cycle — the graph stays acyclic and
+//! the run stays clean (no committed order file is supplied here, so
+//! the canonical order is computed, not checked).
+
+struct Shared {
+    lanes: Mutex<u32>,
+    stats: Mutex<u32>,
+}
+
+fn push(s: &Shared) {
+    let lanes = s.lanes.lock();
+    {
+        let stats = s.stats.lock();
+        let _ = (&lanes, stats);
+    }
+}
+
+fn drain(s: &Shared) {
+    let lanes = s.lanes.lock();
+    let stats = s.stats.lock();
+    let _ = (lanes, stats);
+}

@@ -1,0 +1,19 @@
+//@ path: crates/fixture/src/lib.rs
+//@ lock-order: fixture:q.inner;fixture:q.outer;fixture:q.ghost
+//! `lock-order`: the committed canonical order (supplied via the
+//! directive above) puts `inner` before `outer`, but this file acquires
+//! `inner` while holding `outer` — a contradiction, reported at the
+//! inner acquisition. The order file also lists a `ghost` lock that is
+//! never acquired anywhere: a stale entry, reported at the order file's
+//! own line.
+
+struct Queues {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+fn requeue(q: &Queues) {
+    let o = q.outer.lock();
+    let i = q.inner.lock();
+    let _ = (o, i);
+}

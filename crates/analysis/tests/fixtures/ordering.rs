@@ -1,5 +1,6 @@
 //@ path: crates/fixture/src/lib.rs
-//! `ordering-discipline`: relaxed atomics need an `// ORD:` comment.
+//! `ordering-discipline`: explicit atomic orderings — including
+//! `SeqCst` — need an `// ORD:` comment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -17,8 +18,13 @@ fn justified_block_above(c: &AtomicU64) -> u64 {
     c.load(Ordering::Acquire)
 }
 
-fn seqcst_needs_nothing(c: &AtomicU64) -> u64 {
+fn bare_seqcst(c: &AtomicU64) -> u64 {
     c.load(Ordering::SeqCst)
+}
+
+fn justified_seqcst(c: &AtomicU64) {
+    // ORD: SeqCst — this flag participates in a cross-field protocol.
+    c.store(2, Ordering::SeqCst);
 }
 
 fn cmp_ordering_is_not_atomic(a: u32, b: u32) -> bool {

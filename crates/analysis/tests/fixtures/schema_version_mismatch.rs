@@ -1,0 +1,15 @@
+//@ path: crates/fixture/src/lib.rs
+//@ ci: assert rec["schema_version"] == 2, rec;assert first["schema_version"] == 3
+//! `telemetry-schema-version`: the constant says 2, one CI validator
+//! pins 2, the other pins 3 — the drifted validator is a finding at the
+//! constant's declaration (naming the ci.yml line).
+
+pub const JSONL_SCHEMA_VERSION: u64 = 2;
+
+pub fn record_schema_version(rec: &Record) -> u64 {
+    rec.u64_field("schema_version").unwrap_or(1)
+}
+
+pub fn stamp(w: &mut Writer) {
+    w.field_u64("schema_version", JSONL_SCHEMA_VERSION);
+}

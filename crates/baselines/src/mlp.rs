@@ -60,6 +60,8 @@ impl MlpNet {
     /// Output dimensionality.
     #[must_use]
     pub fn out_dim(&self) -> usize {
+        // LINT-ALLOW: no-unwrap-in-lib invariant: the constructor panics
+        // on fewer than two dims, so `layers` is never empty.
         self.layers.last().expect("non-empty").out_dim()
     }
 

@@ -148,6 +148,8 @@ impl VaePass {
                 let target = xrow[lo..lo + SYMBOLS]
                     .iter()
                     .position(|&v| v == 1.0)
+                    // LINT-ALLOW: no-unwrap-in-lib invariant: `encode` built
+                    // `x` one-hot; every symbol block has exactly one 1.0.
                     .expect("one-hot input");
                 recon_loss -= probs[target].max(1e-12).ln() * inv;
                 for (i, &p) in probs.iter().enumerate() {

@@ -68,5 +68,6 @@ fn main() {
     save_json(
         &format!("ablation-threshold-{}-s{}", ctx.scale.name, ctx.seed),
         &json,
-    );
+    )
+    .expect("write bench result");
 }

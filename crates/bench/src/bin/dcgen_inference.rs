@@ -256,7 +256,7 @@ fn main() {
         split_phase,
         end_to_end,
     };
-    save_json(&format!("dcgen-inference-{}", s.mode), &report);
+    save_json(&format!("dcgen-inference-{}", s.mode), &report).expect("write bench result");
     println!(
         "{}",
         serde_json::to_string_pretty(&report).expect("serialize report")

@@ -449,5 +449,5 @@ fn main() {
         train_step: train,
         speedups,
     };
-    save_json_str(&format!("gemm-{}", s.mode), &report.json());
+    save_json_str(&format!("gemm-{}", s.mode), &report.json()).expect("write bench result");
 }

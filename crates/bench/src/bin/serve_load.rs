@@ -396,7 +396,7 @@ fn main() {
         report.p99_latency_ms.unwrap_or(0.0),
         out.speedups.serve_batched_scoring,
     );
-    save_json(&format!("serve-load-{}", s.mode), &out);
+    save_json(&format!("serve-load-{}", s.mode), &out).expect("write bench result");
 
     // Acceptance checks — a violated robustness contract fails the run.
     assert!(out.server.reconciles, "counters must reconcile: {report:?}");

@@ -39,5 +39,6 @@ fn main() {
         ctx.scale.name
     );
     table.print();
-    save_json(&format!("table2-{}-s{}", ctx.scale.name, ctx.seed), &json);
+    save_json(&format!("table2-{}-s{}", ctx.scale.name, ctx.seed), &json)
+        .expect("write bench result");
 }

@@ -43,5 +43,6 @@ fn main() {
     save_json(
         &format!("table3-{}-s{}", ctx.scale.name, ctx.seed),
         &columns,
-    );
+    )
+    .expect("write bench result");
 }

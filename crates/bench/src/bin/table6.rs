@@ -74,5 +74,6 @@ fn main() {
         table.print();
         println!();
     }
-    save_json(&format!("table6-{}-s{}", ctx.scale.name, ctx.seed), &json);
+    save_json(&format!("table6-{}-s{}", ctx.scale.name, ctx.seed), &json)
+        .expect("write bench result");
 }

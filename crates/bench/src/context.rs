@@ -337,6 +337,8 @@ pub fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(std::path::Path::parent)
+        // LINT-ALLOW: no-unwrap-in-lib invariant: CARGO_MANIFEST_DIR is a
+        // compile-time constant with two parent components by construction.
         .expect("crates/bench sits two levels below the root")
         .to_path_buf()
 }

@@ -11,35 +11,37 @@ pub fn results_dir() -> PathBuf {
     workspace_root().join("crates/bench/results")
 }
 
-/// Serializes `value` to `crates/bench/results/<name>.json`.
+/// Serializes `value` to `crates/bench/results/<name>.json`, returning
+/// the path written. Experiment binaries `.expect` the result (an
+/// experiment that cannot record its output should fail loudly); the
+/// cached-run layer logs and continues instead.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the results directory cannot be created or written — an
-/// experiment that cannot record its output should fail loudly.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
-    std::fs::write(&path, json).expect("write result file");
-    eprintln!("[result] wrote {}", path.display());
+/// Fails when the results directory cannot be created, the file cannot
+/// be written, or `value` does not serialize.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| std::io::Error::other(e.to_string()))?;
+    save_json_str(name, &json)
 }
 
-/// Writes a pre-rendered JSON string to `crates/bench/results/<name>.json`.
+/// Writes a pre-rendered JSON string to `crates/bench/results/<name>.json`,
+/// returning the path written.
 ///
 /// For benchmarks that format their own reports — keeping the artifact a
 /// pure function of the measurements rather than of a serializer.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the results directory cannot be created or written.
-pub fn save_json_str(name: &str, json: &str) {
+/// Fails when the results directory cannot be created or written.
+pub fn save_json_str(name: &str, json: &str) -> std::io::Result<PathBuf> {
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, json).expect("write result file");
+    std::fs::write(&path, json)?;
     eprintln!("[result] wrote {}", path.display());
+    Ok(path)
 }
 
 /// Loads a previously saved JSON result, if present.
@@ -154,7 +156,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        save_json("selftest", &vec![1u32, 2, 3]);
+        save_json("selftest", &vec![1u32, 2, 3]).unwrap();
         let loaded: Option<Vec<u32>> = load_json("selftest");
         assert_eq!(loaded, Some(vec![1, 2, 3]));
         std::fs::remove_file(results_dir().join("selftest.json")).ok();

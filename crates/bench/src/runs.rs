@@ -68,6 +68,8 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
     let site = Site::RockYou;
     let split = ctx.split(site);
     let budgets = ctx.scale.budgets.clone();
+    // LINT-ALLOW: no-unwrap-in-lib invariant: every committed Scale
+    // declares a non-empty budget ladder; an empty one is a config bug.
     let n = *budgets.last().expect("budgets are non-empty");
     let tel = run_telemetry();
     let mut models = Vec::new();
@@ -140,6 +142,9 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
                 ..DcGenOptions::default()
             },
         )
+        // LINT-ALLOW: no-unwrap-in-lib the model was trained as
+        // PagPassGPT four lines up; a kind mismatch is unreachable, and a
+        // bench experiment that cannot generate should fail loudly.
         .expect("PagPassGPT model kind");
         dc_curve
             .hit_rates
@@ -177,7 +182,10 @@ pub fn trawling_runs(ctx: &Context) -> TrawlingRuns {
         models,
         telemetry: snapshot_value(&tel),
     };
-    save_json(&key, &runs);
+    // A failed cache write costs a re-run, not the experiment.
+    if let Err(e) = save_json(&key, &runs) {
+        eprintln!("[cache] failed to write {key}: {e}");
+    }
     runs
 }
 
@@ -301,7 +309,10 @@ pub fn guided_runs(ctx: &Context) -> GuidedRuns {
         categories,
         telemetry: snapshot_value(&tel),
     };
-    save_json(&key, &runs);
+    // A failed cache write costs a re-run, not the experiment.
+    if let Err(e) = save_json(&key, &runs) {
+        eprintln!("[cache] failed to write {key}: {e}");
+    }
     runs
 }
 
@@ -401,6 +412,9 @@ pub fn distribution_runs(ctx: &Context) -> DistributionRuns {
         pagpass_curve,
         telemetry: snapshot_value(&tel),
     };
-    save_json(&key, &runs);
+    // A failed cache write costs a re-run, not the experiment.
+    if let Err(e) = save_json(&key, &runs) {
+        eprintln!("[cache] failed to write {key}: {e}");
+    }
     runs
 }

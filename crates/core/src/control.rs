@@ -42,12 +42,16 @@ impl CancelToken {
     /// Requests cancellation. Idempotent; safe from any thread (including
     /// a signal-watcher thread).
     pub fn cancel(&self) {
+        // ORD: SeqCst — the cancel flag is set from signal handlers and
+        // polled by every worker; a single total order keeps "cancelled"
+        // consistent across checkpoint, drain, and telemetry decisions.
         self.flag.store(true, Ordering::SeqCst);
     }
 
     /// Whether cancellation has been requested.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
+        // ORD: SeqCst load side of the cancel flag (see `cancel`).
         self.flag.load(Ordering::SeqCst)
     }
 }

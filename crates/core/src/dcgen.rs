@@ -606,9 +606,6 @@ impl<'a> DcGen<'a> {
                     loop {
                         // ---- acquire: take a task or park until one appears.
                         let (task, leaf_n) = {
-                            // LINT-ALLOW: lock-scope the guard must be held
-                            // across `wait_for` — that is how condvars work; the
-                            // wait atomically releases and reacquires the lock.
                             let mut s = state.lock();
                             loop {
                                 if s.stopping {

@@ -139,8 +139,6 @@ impl<T> AdmissionQueue<T> {
     /// is drained, then returns [`Pop::Closed`].
     pub fn pop_timeout(&self, wait: Duration) -> Pop<T> {
         let deadline = Instant::now() + wait;
-        // LINT-ALLOW: lock-scope the guard rides through the condvar wait;
-        // that is the condvar protocol, not a held-lock bug.
         let mut lanes = lock(&self.lanes);
         loop {
             if let Some(item) = lanes.take() {

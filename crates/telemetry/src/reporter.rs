@@ -70,8 +70,6 @@ fn run(tel: &Telemetry, shared: &Shared, interval: Duration) {
     let mut prev_at = Instant::now();
     loop {
         let stopping = {
-            // LINT-ALLOW: lock-scope the guard rides through the condvar
-            // wait on purpose — that is the condvar protocol.
             // LINT-ALLOW: no-unwrap-in-lib poisoning unreachable, as in Drop.
             let guard = shared.stop.lock().expect("reporter lock poisoned");
             let (guard, _timeout) = shared

@@ -147,7 +147,11 @@ impl SpanRing {
     /// Spans currently held (across all shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).spans.len()).sum()
+        let mut n = 0;
+        for shard in &self.shards {
+            n += lock(shard).spans.len();
+        }
+        n
     }
 
     /// Whether the ring holds no spans.

@@ -229,6 +229,9 @@ impl EventSink {
             LogFormat::Text => self.render_text(kind, name, fields),
             LogFormat::Json => render_json(kind, name, fields),
         };
+        // LINT-ALLOW: guard-blocking records from concurrent threads must
+        // not interleave mid-line; writing under the sink lock is the
+        // sink's contract, and the line is fully rendered before locking.
         if let Ok(mut out) = self.out.lock() {
             let _ = out.write_all(line.as_bytes());
             let _ = out.flush();

@@ -61,6 +61,7 @@ const USAGE: &str = "usage:
                    [--batch-window-ms N] [--queue-cap N] [--sessions N] [--retries N]
                    [--deadline-ms N] [--http-port N] [--trace-sample N]
   pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
+                   [--lock-order FILE] [--update-lock-order]
 
 Telemetry (any subcommand):
   --log-format <text|json>   structured stderr records (default text)
@@ -185,6 +186,7 @@ impl Parsed {
                     || name == "quiet"
                     || name == "deny-all"
                     || name == "update-allowlist"
+                    || name == "update-lock-order"
                     || name == "no-prefix-reuse"
                     || name == "precise"
                 {
@@ -318,6 +320,9 @@ impl LineSink {
 
 impl PasswordSink for LineSink {
     fn emit(&self, batch: &[String]) -> std::io::Result<()> {
+        // LINT-ALLOW: guard-blocking the whole point of the lock is to
+        // keep a batch's lines contiguous in the output file; the write
+        // and flush must happen under it.
         let mut out = self.out.lock().expect("sink lock poisoned");
         for line in batch {
             writeln!(out, "{line}")?;
@@ -339,6 +344,8 @@ fn install_sigint(cancel: &CancelToken, tel: &Arc<Telemetry>) {
     const SIGINT: i32 = 2;
     const SIG_DFL: usize = 0;
     extern "C" fn on_sigint(_sig: i32) {
+        // ORD: SeqCst — stores from an async signal context must not be
+        // reordered against anything the watcher thread observes.
         SIGNALLED.store(true, Ordering::SeqCst);
     }
     extern "C" {
@@ -350,6 +357,7 @@ fn install_sigint(cancel: &CancelToken, tel: &Arc<Telemetry>) {
     let cancel = cancel.clone();
     let tel = Arc::clone(tel);
     std::thread::spawn(move || loop {
+        // ORD: SeqCst load side of the signal-handler flag above.
         if SIGNALLED.load(Ordering::SeqCst) {
             tel.event(
                 "warn",
@@ -384,6 +392,8 @@ fn install_shutdown_signals(cancel: &CancelToken, tel: &Arc<Telemetry>) {
     const SIGTERM: i32 = 15;
     const SIG_DFL: usize = 0;
     extern "C" fn on_signal(_sig: i32) {
+        // ORD: SeqCst — stores from an async signal context must not be
+        // reordered against anything the watcher thread observes.
         SIGNALLED.store(true, Ordering::SeqCst);
     }
     extern "C" {
@@ -396,6 +406,7 @@ fn install_shutdown_signals(cancel: &CancelToken, tel: &Arc<Telemetry>) {
     let cancel = cancel.clone();
     let tel = Arc::clone(tel);
     std::thread::spawn(move || loop {
+        // ORD: SeqCst load side of the signal-handler flag above.
         if SIGNALLED.load(Ordering::SeqCst) {
             tel.event(
                 "warn",
@@ -702,20 +713,27 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
 ///
 /// Exit codes: 0 clean, 1 findings (or stale allowlist entries), 2 usage.
 /// `--deny-all` (the CI entry point) also fails on warn-level lints.
+/// `--lock-order FILE` checks observed lock acquisitions against the
+/// committed canonical order; `--update-lock-order` regenerates it.
 fn cmd_analyze(p: &Parsed) -> Result<ExitCode, String> {
-    use pagpass::analysis::{analyze_repo, Allowlist};
+    use pagpass::analysis::{analyze_repo, lockgraph, Allowlist};
 
     let root = PathBuf::from(p.flags.get("root").map_or(".", String::as_str));
     let allowlist_path = p
         .flags
         .get("allowlist")
         .map_or_else(|| root.join("analysis/allowlist.txt"), PathBuf::from);
+    let lock_order_path = p.flags.get("lock-order").map(PathBuf::from).or_else(|| {
+        p.flags
+            .contains_key("update-lock-order")
+            .then(|| root.join("analysis/lock_order.txt"))
+    });
     let deny_all = p.flags.contains_key("deny-all");
 
     if p.flags.contains_key("update-allowlist") {
         // Regenerate the allowlist from current findings: run with an
         // empty allowlist and grandfather everything still firing.
-        let report = analyze_repo(&root, &Allowlist::default())?;
+        let report = analyze_repo(&root, None, &Allowlist::default())?;
         let keep: Vec<_> = report.findings.into_iter().map(|d| d.finding).collect();
         let text = Allowlist::render(&keep);
         if let Some(parent) = allowlist_path.parent() {
@@ -732,8 +750,33 @@ fn cmd_analyze(p: &Parsed) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if p.flags.contains_key("update-lock-order") {
+        // Regenerate the canonical order from the observed graph. A
+        // cyclic graph has no canonical order — fix the cycle first.
+        let report = analyze_repo(&root, None, &Allowlist::default())?;
+        if report.lock_order.is_empty() {
+            return Err("lock-order graph is cyclic (or no locks were observed); \
+                 run `pagpass analyze` and fix lock-order-cycle findings first"
+                .into());
+        }
+        let path = lock_order_path.expect("defaulted above when flag is present");
+        let text = lockgraph::render_order(&report.lock_order);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+        }
+        atomic_write(&path, text.as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "wrote {} lock name(s) to {}",
+            report.lock_order.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let allowlist = Allowlist::load(&allowlist_path)?;
-    let report = analyze_repo(&root, &allowlist)?;
+    let report = analyze_repo(&root, lock_order_path.as_deref(), &allowlist)?;
     print!("{}", report.render(deny_all));
     if report.failed(deny_all) {
         Ok(ExitCode::FAILURE)
