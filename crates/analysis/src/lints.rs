@@ -56,11 +56,18 @@ pub const LINT_NAMES: &[&str] = &[
 ];
 
 /// Modules whose output must be a pure function of their inputs: the
-/// D&C-GEN task tree (non-overlap guarantee), the trainer (bit-exact
-/// resume), both persistence formats, and the GEMM worker pool plus its
-/// kernels (thread-count-invariant results).
+/// D&C-GEN task tree (non-overlap guarantee), the generation schedulers
+/// and their shared worker pool (byte-identical output at any worker
+/// count; SOPG's exact emission order), the trainer (bit-exact resume),
+/// both persistence formats, and the GEMM worker pool plus its kernels
+/// (thread-count-invariant results).
 const DETERMINISTIC_MODULES: &[&str] = &[
     "crates/core/src/dcgen.rs",
+    "crates/core/src/sched/mod.rs",
+    "crates/core/src/sched/pool.rs",
+    "crates/core/src/sched/dcgen.rs",
+    "crates/core/src/sched/sample.rs",
+    "crates/core/src/sched/sopg.rs",
     "crates/core/src/inference.rs",
     "crates/core/src/trainer.rs",
     "crates/core/src/journal.rs",

@@ -1,0 +1,196 @@
+//! Scheduler comparison — D&C-GEN, SOPG ordered enumeration, and plain
+//! sampling driving the same worker pool at the same guess budget.
+//!
+//! The corpus is synthetic with a deliberately small pattern search
+//! space, so even the untrained model's near-uniform guesses land hits
+//! and the comparison exercises the schedulers (ordering, budget
+//! division, repeats) rather than model quality. The report embeds a
+//! [`SchedulerComparison`] that must pass its own `validate()` — in
+//! particular SOPG must show exactly zero repeats and monotone
+//! non-increasing emission log-probabilities — plus a flat `speedups`
+//! object so `bench_gate` can gate the dcgen-vs-sopg throughput ratio.
+//!
+//! Run `cargo run --release -p pagpass-bench --bin sched_compare` for
+//! the full configuration or with `-- --smoke` for the CI scale.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use pagpass_bench::save_json;
+use pagpass_eval::{
+    emission_is_non_increasing, repeat_rate, GuessCurve, SchedulerComparison, SchedulerCurve,
+};
+use pagpass_nn::GptConfig;
+use pagpass_patterns::PatternDistribution;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, ModelKind, PasswordModel, SchedulerKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    mode: &'static str,
+    model_dim: usize,
+    threshold: u64,
+    frontier_cap: u64,
+    comparison: SchedulerComparison,
+    speedups: BTreeMap<String, f64>,
+}
+
+struct Setup {
+    mode: &'static str,
+    config: GptConfig,
+    budget: u64,
+    threshold: u64,
+    frontier_cap: u64,
+    ladder: Vec<usize>,
+}
+
+fn setup(smoke: bool) -> Setup {
+    if smoke {
+        Setup {
+            mode: "smoke",
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 16,
+                n_layers: 1,
+                n_heads: 2,
+            },
+            budget: 200,
+            threshold: 32,
+            frontier_cap: 512,
+            ladder: vec![25, 50, 100],
+        }
+    } else {
+        Setup {
+            mode: "full",
+            config: GptConfig {
+                vocab_size: VOCAB_SIZE,
+                ctx_len: 32,
+                dim: 64,
+                n_layers: 2,
+                n_heads: 4,
+            },
+            budget: 1_200,
+            threshold: 64,
+            frontier_cap: 4_096,
+            ladder: vec![100, 300, 600],
+        }
+    }
+}
+
+/// The synthetic corpus: every `N2` password (00–99) plus every `L1N1`
+/// password (a0–z9), so the combined search space is 360 guessable
+/// strings and pattern priors are fixed by construction.
+fn corpus() -> Vec<String> {
+    let mut out: Vec<String> = (0..100).map(|i| format!("{i:02}")).collect();
+    for c in 'a'..='z' {
+        for d in 0..10 {
+            out.push(format!("{c}{d}"));
+        }
+    }
+    out
+}
+
+/// The test set is every fourth password of the space — hits measure how
+/// much of the space each scheduler's emission covered, not model skill.
+fn test_set() -> Vec<String> {
+    corpus().into_iter().step_by(4).collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let s = setup(smoke);
+    let model = PasswordModel::new(ModelKind::PagPassGpt, s.config, 5);
+    let corpus = corpus();
+    let patterns = PatternDistribution::from_passwords(corpus.iter().map(String::as_str));
+    let test = test_set();
+
+    let mut entries = Vec::new();
+    let mut throughput: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for kind in SchedulerKind::ALL {
+        let config = DcGenConfig {
+            threshold: s.threshold,
+            seed: 9,
+            workers: 1,
+            scheduler: kind,
+            frontier_cap: if kind == SchedulerKind::Sopg {
+                s.frontier_cap
+            } else {
+                0
+            },
+            ..DcGenConfig::new(s.budget)
+        };
+        let started = Instant::now();
+        let report = DcGen::new(&model, config)
+            .run_with(&patterns, &DcGenOptions::default())
+            .expect("PagPassGPT kind");
+        let secs = started.elapsed().as_secs_f64();
+        let max_ladder = *s.ladder.last().expect("non-empty ladder") as u64;
+        assert!(
+            report.emitted >= max_ladder,
+            "{kind}: emitted {} below the ladder top {max_ladder}",
+            report.emitted
+        );
+        let gps = if secs > 0.0 {
+            report.emitted as f64 / secs
+        } else {
+            0.0
+        };
+        throughput.insert(kind.name(), gps);
+        eprintln!(
+            "[{kind}] emitted {} in {:.2}s ({gps:.0} guesses/s), repeat {:.4}, evictions {}",
+            report.emitted,
+            secs,
+            repeat_rate(&report.passwords),
+            report.frontier_evictions,
+        );
+        let monotone = (kind == SchedulerKind::Sopg)
+            .then(|| emission_is_non_increasing(&report.emission_log_probs));
+        entries.push(SchedulerCurve {
+            scheduler: kind.name().to_owned(),
+            budget: s.budget,
+            emitted: report.emitted,
+            curve: GuessCurve::compute(&report.passwords, &test, &s.ladder),
+            repeat_rate: repeat_rate(&report.passwords),
+            hit_rate: pagpass_eval::hit_rate(&report.passwords, &test).rate(),
+            guesses_per_sec: gps,
+            emission_monotone: monotone,
+            frontier_evictions: report.frontier_evictions,
+        });
+    }
+
+    let comparison = SchedulerComparison {
+        budget: s.budget,
+        test_size: test.len(),
+        budgets: s.ladder.clone(),
+        schedulers: entries,
+    };
+    let errors = comparison.validate();
+    assert!(errors.is_empty(), "invalid comparison: {errors:?}");
+
+    // Gate on relative scheduler throughput, not wall-clock: the ratio is
+    // stable across machines in a way absolute guesses/sec is not.
+    let mut speedups = BTreeMap::new();
+    speedups.insert(
+        "dcgen_vs_sopg_throughput".to_owned(),
+        throughput["dcgen"] / throughput["sopg"],
+    );
+
+    let report = Report {
+        bench: "sched_compare",
+        mode: s.mode,
+        model_dim: s.config.dim,
+        threshold: s.threshold,
+        frontier_cap: s.frontier_cap,
+        comparison,
+        speedups,
+    };
+    let name = if smoke {
+        "sched-compare-smoke"
+    } else {
+        "sched-compare"
+    };
+    save_json(name, &report).expect("write sched_compare report");
+}

@@ -1,17 +1,13 @@
-use std::collections::{HashSet, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use pagpass_nn::Rng;
 use pagpass_patterns::{Pattern, PatternDistribution};
-use pagpass_telemetry::{Counter, Field, Gauge, Histogram, Telemetry, DEPTH_BOUNDS};
-use parking_lot::{Condvar, Mutex};
+use pagpass_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
-use crate::control::{CancelToken, Deadline, FaultPlan, INJECTED_PANIC};
-use crate::inference::InferenceSession;
-use crate::journal::{DcGenJournal, JournalTask};
+use crate::control::{CancelToken, FaultPlan};
+use crate::journal::DcGenJournal;
+use crate::sched::{self, pool::PoolState, SchedulerKind};
 use crate::{CoreError, ModelKind, PasswordModel};
 
 /// Configuration of a D&C-GEN run (paper Algorithm 1 plus the §III-C3
@@ -48,11 +44,22 @@ pub struct DcGenConfig {
     /// given ([`DcGenOptions::journal`]); `0` journals only at the end of
     /// the run.
     pub journal_every: u64,
+    /// Which guess-ordering strategy drives the run. The default,
+    /// [`SchedulerKind::Dcgen`], is the paper's algorithm; see
+    /// [`SchedulerKind`] for the alternatives.
+    #[serde(default)]
+    pub scheduler: SchedulerKind,
+    /// SOPG frontier cap: maximum pending nodes kept by the best-first
+    /// scheduler before the least probable are evicted deterministically.
+    /// `0` means unbounded. Ignored by the other schedulers.
+    #[serde(default)]
+    pub frontier_cap: u64,
 }
 
 impl DcGenConfig {
     /// A sensible CPU-scale default: `N` guesses with threshold 256,
-    /// single-worker for determinism, two retries per faulty task.
+    /// single-worker for determinism, two retries per faulty task, the
+    /// paper's D&C-GEN scheduler.
     #[must_use]
     pub fn new(total: u64) -> DcGenConfig {
         DcGenConfig {
@@ -65,7 +72,26 @@ impl DcGenConfig {
             workers: 1,
             max_task_retries: 2,
             journal_every: 64,
+            scheduler: SchedulerKind::Dcgen,
+            frontier_cap: 0,
         }
+    }
+
+    /// CRC32 of the scheduling-relevant configuration, journaled so a
+    /// resumed run can show *what* it is resuming (scheduler identity is
+    /// checked separately and hard-fails on mismatch).
+    #[must_use]
+    pub fn sched_config_hash(&self) -> u32 {
+        let canon = format!(
+            "{} total={} threshold={} temp={:08x} seed={} frontier_cap={}",
+            self.scheduler,
+            self.total,
+            self.threshold,
+            self.temperature.to_bits(),
+            self.seed,
+            self.frontier_cap,
+        );
+        pagpass_nn::crc32(canon.as_bytes())
     }
 }
 
@@ -141,7 +167,8 @@ pub trait PasswordSink: Sync {
 /// Outcome of a D&C-GEN run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DcGenReport {
-    /// Every generated password, leaf by leaf. Empty when a
+    /// Every generated password, leaf by leaf (or, for the SOPG
+    /// scheduler, in exact descending-probability order). Empty when a
     /// [`PasswordSink`] streamed them out instead; on resume, contains
     /// only passwords generated *after* the journal snapshot.
     pub passwords: Vec<String>,
@@ -149,7 +176,8 @@ pub struct DcGenReport {
     pub leaf_tasks: usize,
     /// Number of task expansions (model-guided divisions).
     pub expansions: usize,
-    /// Subtasks dropped because their quota rounded below one password.
+    /// Subtasks dropped because their quota rounded below one password
+    /// (or, for SOPG, children pruned for zero probability).
     pub deleted_tasks: usize,
     /// Patterns that received budget.
     pub patterns_used: usize,
@@ -172,6 +200,16 @@ pub struct DcGenReport {
     /// reuse is bit-exact and never changes which passwords are emitted.
     #[serde(default)]
     pub prefix_cache_hits: u64,
+    /// Frontier nodes evicted by the SOPG memory cap
+    /// ([`DcGenConfig::frontier_cap`]); zero for the other schedulers.
+    #[serde(default)]
+    pub frontier_evictions: u64,
+    /// Log-probabilities of ordered emissions, in emission order (SOPG
+    /// only; empty for sampling schedulers). Non-increasing by
+    /// construction — the property the scheduler-comparison report and
+    /// property tests assert.
+    #[serde(default)]
+    pub emission_log_probs: Vec<f64>,
     /// Whether the run stopped early (cancellation or deadline) with tasks
     /// still pending. A journaled interrupted run can be continued with
     /// [`DcGen::resume`].
@@ -195,6 +233,8 @@ impl DcGenReport {
             retries: 0,
             leaf_duplicates: 0,
             prefix_cache_hits: 0,
+            frontier_evictions: 0,
+            emission_log_probs: Vec::new(),
             interrupted: false,
             journal_errors: 0,
         }
@@ -210,6 +250,13 @@ impl DcGenReport {
 /// sample their quota under the (pattern, prefix) constraint. Distinct
 /// subtasks are disjoint by construction — they differ in pattern or in
 /// prefix — so repeats can only arise *within* one leaf.
+///
+/// # Scheduling
+///
+/// The division policy above is one [`SchedulerKind`]; the same runner
+/// also drives SOPG best-first ordered enumeration and a plain-sampling
+/// baseline ([`DcGenConfig::scheduler`]). All schedulers share the worker
+/// pool, fault tolerance, journaling, and telemetry below.
 ///
 /// # Fault tolerance
 ///
@@ -237,140 +284,6 @@ impl DcGenReport {
 pub struct DcGen<'a> {
     model: &'a PasswordModel,
     config: DcGenConfig,
-}
-
-/// One pending subtask: a pattern index, a password prefix, a quota, and
-/// its remaining retry budget. The id doubles as the task's RNG key, which
-/// is what makes resumed runs byte-identical: a task samples the same
-/// passwords no matter which worker picks it up or when.
-#[derive(Debug, Clone)]
-struct Task {
-    id: u64,
-    pattern_idx: usize,
-    prefix: String,
-    quota: f64,
-    retries_left: u32,
-}
-
-/// Shared state of the worker pool, guarded by one mutex. Workers park on
-/// the companion condvar when the queue is empty but siblings are still
-/// executing (their splits may enqueue more work).
-struct PoolState {
-    queue: VecDeque<Task>,
-    /// Tasks currently executing; journals persist them alongside the
-    /// queue so an interrupted task is simply re-run on resume.
-    in_flight: Vec<Task>,
-    /// Budget reserved by leaves that have started (never exceeds
-    /// `total`); reservations roll back if the leaf panics.
-    reserved: u64,
-    /// Passwords actually appended or sunk (including a resumed base).
-    emitted: u64,
-    completed: u64,
-    next_id: u64,
-    leaves: usize,
-    expansions: usize,
-    deleted: usize,
-    patterns_used: usize,
-    retries: u64,
-    /// Within-leaf duplicate passwords observed so far.
-    leaf_duplicates: u64,
-    /// KV positions served from worker session caches so far.
-    prefix_cache_hits: u64,
-    failed: Vec<FailedTask>,
-    passwords: Vec<String>,
-    stopping: bool,
-    journal_errors: u64,
-    sink_error: Option<std::io::Error>,
-}
-
-/// Pre-created telemetry handles for the pool's hot path. Handles are
-/// cheap `Arc`s over atomics; creating them once up front keeps the
-/// registry's name map out of the per-task path entirely.
-struct PoolMetrics {
-    passwords: Counter,
-    duplicates: Counter,
-    tasks_completed: Counter,
-    tasks_failed: Counter,
-    retries: Counter,
-    leaves: Counter,
-    expansions: Counter,
-    deleted: Counter,
-    journal_writes: Counter,
-    journal_errors: Counter,
-    queue_depth: Gauge,
-    workers_busy: Gauge,
-    queue_depth_hist: Histogram,
-    task_ms: Histogram,
-    journal_ms: Histogram,
-    gemm_calls: Counter,
-    pool_threads: Gauge,
-}
-
-impl PoolMetrics {
-    fn new(tel: &Telemetry) -> PoolMetrics {
-        PoolMetrics {
-            passwords: tel.counter("dcgen.passwords"),
-            duplicates: tel.counter("dcgen.leaf_duplicates"),
-            tasks_completed: tel.counter("dcgen.tasks_completed"),
-            tasks_failed: tel.counter("dcgen.tasks_failed"),
-            retries: tel.counter("dcgen.task_retries"),
-            leaves: tel.counter("dcgen.leaf_tasks"),
-            expansions: tel.counter("dcgen.expansions"),
-            deleted: tel.counter("dcgen.deleted_tasks"),
-            journal_writes: tel.counter("dcgen.journal_writes"),
-            journal_errors: tel.counter("dcgen.journal_errors"),
-            queue_depth: tel.gauge("dcgen.queue_depth"),
-            workers_busy: tel.gauge("dcgen.workers_busy"),
-            queue_depth_hist: tel
-                .registry()
-                .histogram("dcgen.queue_depth.hist", DEPTH_BOUNDS),
-            task_ms: tel.histogram_ms("dcgen.task.ms"),
-            journal_ms: tel.histogram_ms("dcgen.journal.ms"),
-            gemm_calls: tel.counter("nn.gemm_calls"),
-            pool_threads: tel.gauge("nn.pool_threads"),
-        }
-    }
-
-    /// Refreshes the pool-shape gauges from the shared state.
-    fn observe_pool(&self, s: &PoolState) {
-        self.queue_depth.set(s.queue.len() as f64);
-        self.workers_busy.set(s.in_flight.len() as f64);
-    }
-}
-
-/// Duplicates inside one leaf's batch (the only place repeats can occur).
-fn count_batch_duplicates(pwds: &[String]) -> u64 {
-    let mut seen: HashSet<&str> = HashSet::with_capacity(pwds.len());
-    pwds.iter().filter(|p| !seen.insert(p.as_str())).count() as u64
-}
-
-/// What one task execution produced (computed outside the lock).
-enum TaskOutput {
-    Leaf(Vec<String>),
-    Split {
-        children: Vec<(String, f64)>,
-        deleted: usize,
-    },
-}
-
-/// Derives a task's RNG seed from the run seed and the task id
-/// (SplitMix64-style finalizer so nearby ids decorrelate).
-fn task_seed(seed: u64, id: u64) -> u64 {
-    let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Extracts a printable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "task panicked".to_string()
-    }
 }
 
 impl<'a> DcGen<'a> {
@@ -426,67 +339,31 @@ impl<'a> DcGen<'a> {
             return Ok(DcGenReport::empty());
         }
 
-        // Line 3: N_{P_i} = N · Pr(P_i), renormalized over the kept set and
-        // capped at the pattern's search space (optimization 2).
         let pattern_list: Vec<Pattern> = ranked.iter().map(|e| e.pattern.clone()).collect();
-        let mut initial: VecDeque<Task> = VecDeque::new();
-        let mut deleted_up_front = 0usize;
-        let mut patterns_used = 0usize;
-        let mut next_id = 0u64;
-        for (idx, entry) in ranked.iter().enumerate() {
-            let pr = if self.config.uniform_patterns {
-                1.0
-            } else {
-                entry.probability
-            };
-            let mut quota = self.config.total as f64 * pr / mass;
-            quota = quota.min(entry.pattern.search_space());
-            if quota < 1.0 {
-                deleted_up_front += 1;
-                continue;
-            }
-            patterns_used += 1;
-            initial.push_back(Task {
-                id: next_id,
-                pattern_idx: idx,
-                prefix: String::new(),
-                quota,
-                retries_left: self.config.max_task_retries,
-            });
-            next_id += 1;
-        }
-
-        let state = PoolState {
-            queue: initial,
-            in_flight: Vec::new(),
-            reserved: 0,
-            emitted: 0,
-            completed: 0,
-            next_id,
-            leaves: 0,
-            expansions: 0,
-            deleted: deleted_up_front,
-            patterns_used,
-            retries: 0,
-            leaf_duplicates: 0,
-            prefix_cache_hits: 0,
-            failed: Vec::new(),
-            passwords: Vec::new(),
-            stopping: false,
-            journal_errors: 0,
-            sink_error: None,
-        };
-        self.run_pool(state, &pattern_list, opts)
+        let priors: Vec<f64> = ranked
+            .iter()
+            .map(|e| {
+                if self.config.uniform_patterns {
+                    1.0
+                } else {
+                    e.probability
+                }
+            })
+            .collect();
+        let seeded = sched::seed(&self.config, &pattern_list, &priors, mass);
+        let state = PoolState::fresh(seeded.scheduler, seeded.patterns_used, seeded.deleted);
+        sched::pool::run_pool(self.model, &self.config, state, &pattern_list, opts)
     }
 
     /// Continues an interrupted run from its journal.
     ///
-    /// The journal carries the original configuration, the pattern table,
-    /// and every task not yet completed; generation picks up from there.
-    /// Passwords counted by the journal are *not* regenerated — truncate a
-    /// partially-written output file to [`DcGenJournal::emitted`] lines and
-    /// append this run's output. With `workers == 1` the combined output is
-    /// byte-identical to the uninterrupted run.
+    /// The journal carries the original configuration (scheduler
+    /// included), the pattern table, and every task not yet completed;
+    /// generation picks up from there. Passwords counted by the journal
+    /// are *not* regenerated — truncate a partially-written output file to
+    /// [`DcGenJournal::emitted`] lines and append this run's output. With
+    /// `workers == 1` the combined output is byte-identical to the
+    /// uninterrupted run.
     ///
     /// # Errors
     ///
@@ -512,429 +389,12 @@ impl<'a> DcGen<'a> {
             workers: journal.workers,
             max_task_retries: journal.max_task_retries,
             journal_every: journal.journal_every,
+            scheduler: journal.scheduler,
+            frontier_cap: journal.frontier_cap,
         };
-        let gen = DcGen { model, config };
-        let queue: VecDeque<Task> = journal
-            .tasks
-            .iter()
-            .map(|t| Task {
-                id: t.id,
-                pattern_idx: t.pattern_idx,
-                prefix: t.prefix.clone(),
-                quota: t.quota,
-                retries_left: journal.max_task_retries,
-            })
-            .collect();
-        let state = PoolState {
-            queue,
-            in_flight: Vec::new(),
-            reserved: journal.emitted,
-            emitted: journal.emitted,
-            completed: journal.completed,
-            next_id: journal.next_id,
-            leaves: journal.leaves,
-            expansions: journal.expansions,
-            deleted: journal.deleted,
-            patterns_used: journal.patterns_used,
-            retries: journal.retries,
-            leaf_duplicates: journal.leaf_duplicates,
-            prefix_cache_hits: journal.prefix_cache_hits,
-            failed: journal.failed.clone(),
-            passwords: Vec::new(),
-            stopping: false,
-            journal_errors: 0,
-            sink_error: None,
-        };
-        gen.run_pool(state, &journal.patterns, opts)
-    }
-
-    /// Supervised worker pool: executes every task in `state`, growing the
-    /// tree as splits enqueue children, until the queue drains or a stop is
-    /// requested.
-    fn run_pool(
-        &self,
-        state: PoolState,
-        pattern_list: &[Pattern],
-        opts: &DcGenOptions<'_>,
-    ) -> Result<DcGenReport, CoreError> {
-        let threshold = self.config.threshold as f64;
-        let total = self.config.total;
-        // DET: the deadline is wall-clock by design — it bounds real run
-        // time, not generated work, and never influences emitted passwords.
-        // `Deadline::after` reads the monotonic clock exactly once, here;
-        // per-task polls compare against that fixed instant.
-        let deadline_at = opts.deadline.map(Deadline::after);
-        let tel: &Telemetry = match opts.telemetry {
-            Some(tel) => tel,
-            None => Telemetry::disabled(),
-        };
-        let metrics = PoolMetrics::new(tel);
-        metrics
-            .pool_threads
-            .set(pagpass_nn::pool::global().threads() as f64);
-        // The GEMM counter is process-global; record this run's delta so
-        // the metric covers exactly this run.
-        let gemm_at_start = pagpass_nn::gemm_calls();
-        let run_timer = tel.timer("dcgen.run");
-        tel.event(
-            "progress",
-            "dcgen.start",
-            &[
-                ("total", Field::U64(total)),
-                ("threshold", Field::U64(self.config.threshold)),
-                ("workers", Field::U64(self.config.workers.max(1) as u64)),
-                ("queued", Field::U64(state.queue.len() as u64)),
-                ("resumed_emitted", Field::U64(state.emitted)),
-            ],
-        );
-        let state = Mutex::new(state);
-        let work_ready = Condvar::new();
-        let workers = self.config.workers.max(1);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let state = &state;
-                let work_ready = &work_ready;
-                let metrics = &metrics;
-                scope.spawn(move || {
-                    // One KV-cached session per worker, threaded through
-                    // every split and leaf this worker executes. FIFO order
-                    // means consecutive tasks are usually siblings, so the
-                    // session's seek pays ~one token per split instead of
-                    // the whole prompt.
-                    let mut session = InferenceSession::with_telemetry(self.model, tel);
-                    loop {
-                        // ---- acquire: take a task or park until one appears.
-                        let (task, leaf_n) = {
-                            let mut s = state.lock();
-                            loop {
-                                if s.stopping {
-                                    return;
-                                }
-                                let cancelled = opts.cancel.is_some_and(CancelToken::is_cancelled)
-                                // DET: deadline check only; see deadline_at.
-                                || deadline_at.is_some_and(|d| d.expired());
-                                if cancelled {
-                                    s.stopping = true;
-                                    work_ready.notify_all();
-                                    return;
-                                }
-                                if let Some(task) = s.queue.pop_front() {
-                                    let pattern = &pattern_list[task.pattern_idx];
-                                    let is_leaf = task.quota <= threshold
-                                        || task.prefix.chars().count() == pattern.char_len();
-                                    // Leaves reserve against the global budget
-                                    // up front, so the run stops at exactly
-                                    // `total` no matter how quotas rounded.
-                                    let leaf_n = is_leaf.then(|| {
-                                        let want = task.quota.round().max(1.0) as u64;
-                                        let n = want.min(total - s.reserved);
-                                        s.reserved += n;
-                                        n as usize
-                                    });
-                                    s.in_flight.push(task.clone());
-                                    metrics.observe_pool(&s);
-                                    metrics.queue_depth_hist.record(s.queue.len() as f64);
-                                    break (task, leaf_n);
-                                }
-                                if s.in_flight.is_empty() {
-                                    // Nothing queued and nobody executing:
-                                    // the tree is exhausted.
-                                    s.stopping = true;
-                                    work_ready.notify_all();
-                                    return;
-                                }
-                                // Parked: a sibling's split may publish work,
-                                // or a stop may arrive. The timeout bounds how
-                                // long a parked worker can miss a deadline.
-                                work_ready.wait_for(&mut s, Duration::from_millis(20));
-                            }
-                        };
-
-                        // ---- execute outside the lock, inside a panic boundary.
-                        let pattern = &pattern_list[task.pattern_idx];
-                        if opts.no_prefix_reuse {
-                            // Bench baseline: forget everything between tasks.
-                            session.reset();
-                        }
-                        let reused_before = session.reused_tokens();
-                        // DET: telemetry timing only; feeds a histogram, never
-                        // the generation path.
-                        let task_started = Instant::now();
-                        let caught =
-                            catch_unwind(AssertUnwindSafe(|| -> Result<TaskOutput, CoreError> {
-                                if opts.fault.is_some_and(|f| f.take_task_panic(task.id)) {
-                                    panic!("{INJECTED_PANIC}");
-                                }
-                                if let Some(n) = leaf_n {
-                                    // Leaf: execute (Algorithm 1, lines 5 & 13).
-                                    let pwds = if n == 0 {
-                                        Vec::new()
-                                    } else {
-                                        let mut rng =
-                                            Rng::seed_from(task_seed(self.config.seed, task.id));
-                                        if opts.no_prefix_reuse {
-                                            // Per-row prompt priming, as before
-                                            // the inference session existed.
-                                            self.model.generate_leaf(
-                                                pattern,
-                                                &task.prefix,
-                                                n,
-                                                self.config.temperature,
-                                                &mut rng,
-                                            )?
-                                        } else {
-                                            session.generate_leaf(
-                                                pattern,
-                                                &task.prefix,
-                                                n,
-                                                self.config.temperature,
-                                                &mut rng,
-                                            )?
-                                        }
-                                    };
-                                    Ok(TaskOutput::Leaf(pwds))
-                                } else {
-                                    // Split on the next character (lines 15–20).
-                                    let (ids, probs) =
-                                        session.next_char_distribution(pattern, &task.prefix)?;
-                                    let vocab = self.model.tokenizer().vocab();
-                                    let mut children = Vec::new();
-                                    let mut deleted = 0usize;
-                                    for (&id, &p) in ids.iter().zip(&probs) {
-                                        let child_quota = task.quota * p;
-                                        if child_quota < 1.0 {
-                                            deleted += 1;
-                                            continue;
-                                        }
-                                        let ch = match vocab.token_of(id) {
-                                            Some(pagpass_tokenizer::Token::Char(c)) => c,
-                                            _ => continue,
-                                        };
-                                        let mut prefix = task.prefix.clone();
-                                        prefix.push(ch);
-                                        children.push((prefix, child_quota));
-                                    }
-                                    Ok(TaskOutput::Split { children, deleted })
-                                }
-                            }));
-                        // A task failing with a CoreError (bad prefix, unknown
-                        // character) takes the same retry/abandon path as a
-                        // panic: supervision does not care how a task died.
-                        let outcome: Result<TaskOutput, String> = match caught {
-                            Ok(Ok(out)) => Ok(out),
-                            Ok(Err(e)) => Err(e.to_string()),
-                            Err(payload) => Err(panic_message(payload.as_ref())),
-                        };
-                        let task_reuse = session.reused_tokens() - reused_before;
-
-                        metrics
-                            .task_ms
-                            .record(task_started.elapsed().as_secs_f64() * 1e3);
-                        // Duplicate counting hashes the whole batch — do it
-                        // before taking the lock.
-                        let batch_dups = match &outcome {
-                            Ok(TaskOutput::Leaf(pwds)) => count_batch_duplicates(pwds),
-                            _ => 0,
-                        };
-
-                        // ---- commit under the lock.
-                        let mut s = state.lock();
-                        s.prefix_cache_hits += task_reuse;
-                        if let Some(pos) = s.in_flight.iter().position(|t| t.id == task.id) {
-                            s.in_flight.remove(pos);
-                        }
-                        match outcome {
-                            Ok(TaskOutput::Leaf(pwds)) => {
-                                s.leaves += 1;
-                                s.emitted += pwds.len() as u64;
-                                if let Some(sink) = opts.sink {
-                                    if let Err(e) = sink.emit(&pwds) {
-                                        s.emitted -= pwds.len() as u64;
-                                        s.reserved -= leaf_n.unwrap_or(0) as u64;
-                                        s.sink_error = Some(e);
-                                        s.stopping = true;
-                                        work_ready.notify_all();
-                                        return;
-                                    }
-                                }
-                                s.leaf_duplicates += batch_dups;
-                                metrics.leaves.inc();
-                                metrics.passwords.add(pwds.len() as u64);
-                                metrics.duplicates.add(batch_dups);
-                                if opts.sink.is_none() {
-                                    s.passwords.extend(pwds);
-                                }
-                                self.finish_task(&mut s, pattern_list, opts, metrics);
-                            }
-                            Ok(TaskOutput::Split { children, deleted }) => {
-                                s.expansions += 1;
-                                s.deleted += deleted;
-                                metrics.expansions.inc();
-                                metrics.deleted.add(deleted as u64);
-                                for (prefix, quota) in children {
-                                    let id = s.next_id;
-                                    s.next_id += 1;
-                                    s.queue.push_back(Task {
-                                        id,
-                                        pattern_idx: task.pattern_idx,
-                                        prefix,
-                                        quota,
-                                        retries_left: self.config.max_task_retries,
-                                    });
-                                }
-                                self.finish_task(&mut s, pattern_list, opts, metrics);
-                                work_ready.notify_all();
-                            }
-                            Err(message) => {
-                                // Supervision: retry with the same id (same RNG
-                                // stream), or abandon into `failed`.
-                                if let Some(n) = leaf_n {
-                                    s.reserved -= n as u64;
-                                }
-                                if task.retries_left > 0 {
-                                    s.retries += 1;
-                                    metrics.retries.inc();
-                                    s.queue.push_back(Task {
-                                        retries_left: task.retries_left - 1,
-                                        ..task
-                                    });
-                                    work_ready.notify_all();
-                                } else {
-                                    metrics.tasks_failed.inc();
-                                    s.failed.push(FailedTask {
-                                        pattern: pattern.to_string(),
-                                        prefix: task.prefix.clone(),
-                                        quota: task.quota,
-                                        error: message,
-                                    });
-                                }
-                            }
-                        }
-                        metrics.observe_pool(&s);
-                    }
-                });
-            }
-        });
-
-        let mut s = state.into_inner();
-        let interrupted = !s.queue.is_empty();
-        if let Some(path) = opts.journal {
-            self.write_journal(&mut s, pattern_list, path, opts.fault, &metrics);
-        }
-        metrics.observe_pool(&s);
-        metrics
-            .gemm_calls
-            .add(pagpass_nn::gemm_calls().saturating_sub(gemm_at_start));
-        drop(run_timer); // records dcgen.run.ms before the final event
-        tel.event(
-            "progress",
-            "dcgen.done",
-            &[
-                ("emitted", Field::U64(s.emitted)),
-                ("leaves", Field::U64(s.leaves as u64)),
-                ("expansions", Field::U64(s.expansions as u64)),
-                ("failed_tasks", Field::U64(s.failed.len() as u64)),
-                ("prefix_cache_hits", Field::U64(s.prefix_cache_hits)),
-                ("interrupted", Field::Bool(interrupted)),
-            ],
-        );
-        if let Some(e) = s.sink_error {
-            return Err(CoreError::Io(e));
-        }
-        Ok(DcGenReport {
-            passwords: s.passwords,
-            leaf_tasks: s.leaves,
-            expansions: s.expansions,
-            deleted_tasks: s.deleted,
-            patterns_used: s.patterns_used,
-            emitted: s.emitted,
-            failed_tasks: s.failed,
-            retries: s.retries,
-            leaf_duplicates: s.leaf_duplicates,
-            prefix_cache_hits: s.prefix_cache_hits,
-            interrupted,
-            journal_errors: s.journal_errors,
-        })
-    }
-
-    /// Post-completion bookkeeping: success counter, periodic journal,
-    /// injected kill point.
-    fn finish_task(
-        &self,
-        s: &mut PoolState,
-        pattern_list: &[Pattern],
-        opts: &DcGenOptions<'_>,
-        metrics: &PoolMetrics,
-    ) {
-        s.completed += 1;
-        metrics.tasks_completed.inc();
-        if let Some(path) = opts.journal {
-            let every = self.config.journal_every;
-            if every > 0 && s.completed.is_multiple_of(every) {
-                self.write_journal(s, pattern_list, path, opts.fault, metrics);
-            }
-        }
-        if opts.fault.is_some_and(|f| f.should_cancel(s.completed)) {
-            s.stopping = true;
-        }
-    }
-
-    /// Snapshots `s` to the journal file. Failures are counted, not fatal:
-    /// the journal improves crash recovery but must never take down a run
-    /// that is otherwise producing passwords.
-    fn write_journal(
-        &self,
-        s: &mut PoolState,
-        pattern_list: &[Pattern],
-        path: &Path,
-        fault: Option<&FaultPlan>,
-        metrics: &PoolMetrics,
-    ) {
-        let journal = DcGenJournal {
-            total: self.config.total,
-            threshold: self.config.threshold,
-            temperature: self.config.temperature,
-            seed: self.config.seed,
-            workers: self.config.workers,
-            max_task_retries: self.config.max_task_retries,
-            journal_every: self.config.journal_every,
-            patterns: pattern_list.to_vec(),
-            emitted: s.emitted,
-            completed: s.completed,
-            leaves: s.leaves,
-            expansions: s.expansions,
-            deleted: s.deleted,
-            patterns_used: s.patterns_used,
-            retries: s.retries,
-            leaf_duplicates: s.leaf_duplicates,
-            prefix_cache_hits: s.prefix_cache_hits,
-            next_id: s.next_id,
-            tasks: s
-                .queue
-                .iter()
-                .chain(s.in_flight.iter())
-                .map(|t| JournalTask {
-                    id: t.id,
-                    pattern_idx: t.pattern_idx,
-                    prefix: t.prefix.clone(),
-                    quota: t.quota,
-                })
-                .collect(),
-            failed: s.failed.clone(),
-        };
-        let injected = fault.is_some_and(FaultPlan::take_write_failure);
-        // DET: telemetry timing only; journal contents stay deterministic.
-        let started = Instant::now();
-        if injected || journal.save(path).is_err() {
-            s.journal_errors += 1;
-            metrics.journal_errors.inc();
-        } else {
-            metrics.journal_writes.inc();
-        }
-        metrics
-            .journal_ms
-            .record(started.elapsed().as_secs_f64() * 1e3);
+        let scheduler = sched::restore(&config, journal);
+        let state = PoolState::resumed(scheduler, journal);
+        sched::pool::run_pool(model, &config, state, &journal.patterns, opts)
     }
 }
 
@@ -1126,5 +586,41 @@ mod tests {
         assert!(!report.interrupted);
         assert!(report.failed_tasks.is_empty());
         assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn sample_scheduler_emits_conforming_passwords_within_budget() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let patterns = simple_patterns();
+        let config = DcGenConfig {
+            threshold: 64,
+            scheduler: SchedulerKind::Sample,
+            ..DcGenConfig::new(300)
+        };
+        let report = DcGen::new(&model, config).run(&patterns).unwrap();
+        assert_eq!(report.expansions, 0, "plain sampling never divides");
+        assert!(report.passwords.len() as u64 <= 300);
+        assert!(!report.passwords.is_empty());
+        let known: Vec<Pattern> = patterns.ranked().into_iter().map(|e| e.pattern).collect();
+        for pw in &report.passwords {
+            let p = Pattern::of_password(pw).unwrap();
+            assert!(known.contains(&p), "{pw} has unexpected pattern {p}");
+        }
+    }
+
+    #[test]
+    fn sample_scheduler_is_deterministic_single_worker() {
+        let model = tiny_model(ModelKind::PagPassGpt);
+        let config = DcGenConfig {
+            threshold: 32,
+            seed: 4,
+            scheduler: SchedulerKind::Sample,
+            ..DcGenConfig::new(200)
+        };
+        let a = DcGen::new(&model, config.clone())
+            .run(&simple_patterns())
+            .unwrap();
+        let b = DcGen::new(&model, config).run(&simple_patterns()).unwrap();
+        assert_eq!(a.passwords, b.passwords);
     }
 }

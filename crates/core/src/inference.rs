@@ -595,6 +595,46 @@ mod tests {
         );
     }
 
+    #[test]
+    fn best_first_access_pattern_is_bit_exact_against_full_forwards() {
+        // SOPG's frontier hops between unrelated subtrees — a child of
+        // "qx" one query, a sibling of "ab" the next — so the session
+        // repeatedly truncates to shallow shared prefixes instead of
+        // walking a single lineage like D&C-GEN's FIFO order does.
+        // Replay an actual best-first expansion and demand every
+        // distribution equal a fresh full forward bitwise.
+        let model = tiny(ModelKind::PagPassGpt);
+        let pattern: Pattern = "L2N2".parse().unwrap();
+        let vocab = model.tokenizer().vocab();
+        let mut session = InferenceSession::new(&model);
+        let mut frontier: Vec<(f64, String)> = vec![(0.0, String::new())];
+        for _ in 0..30 {
+            let best = frontier
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, p))| p.chars().count() < pattern.char_len())
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1)))
+                .map(|(i, _)| i)
+                .expect("pattern space is deep enough for 30 expansions");
+            let (lp, prefix) = frontier.swap_remove(best);
+            let (ids, probs) = session.next_char_distribution(&pattern, &prefix).unwrap();
+            let (ref_ids, ref_probs) = reference_distribution(&model, &pattern, &prefix);
+            assert_eq!(ids, ref_ids, "prefix {prefix:?}");
+            assert_eq!(probs, ref_probs, "prefix {prefix:?}");
+            for (&id, &p) in ids.iter().zip(&probs) {
+                if let Some(pagpass_tokenizer::Token::Char(c)) = vocab.token_of(id) {
+                    let mut child = prefix.clone();
+                    child.push(c);
+                    frontier.push((lp + p.ln(), child));
+                }
+            }
+        }
+        assert!(
+            session.reused_tokens() > 0,
+            "best-first hopping must still reuse shared shallow prefixes"
+        );
+    }
+
     /// The pre-refactor implementation: full forward from token zero.
     fn reference_distribution(
         model: &PasswordModel,

@@ -24,6 +24,7 @@ use pagpass_nn::{atomic_write, crc32};
 use pagpass_patterns::Pattern;
 
 use crate::dcgen::FailedTask;
+use crate::sched::SchedulerKind;
 use crate::CoreError;
 
 /// First line of every journal file.
@@ -59,6 +60,19 @@ pub struct DcGenJournal {
     pub max_task_retries: u32,
     /// Journal cadence (completed tasks between snapshots).
     pub journal_every: u64,
+    /// Scheduler that wrote this journal. Task semantics are
+    /// scheduler-specific (D&C-GEN quotas vs SOPG log-probs), so
+    /// [`check_scheduler`](Self::check_scheduler) refuses to resume under
+    /// a different one. Journals from older builds default to
+    /// [`SchedulerKind::Dcgen`], the only scheduler that existed then.
+    pub scheduler: SchedulerKind,
+    /// CRC32 of the scheduling-relevant configuration
+    /// ([`DcGenConfig::sched_config_hash`](crate::DcGenConfig::sched_config_hash));
+    /// `0` in journals from older builds.
+    pub sched_config_hash: u32,
+    /// SOPG frontier cap of the original run (`0` = unbounded or not
+    /// SOPG).
+    pub frontier_cap: u64,
     /// Pattern table; task `pattern_idx` fields index into this.
     pub patterns: Vec<Pattern>,
     /// Passwords emitted so far. An output file being resumed should be
@@ -121,7 +135,7 @@ impl DcGenJournal {
         }
         let _ = writeln!(
             out,
-            "stats {} {} {} {} {} {} {} {} {} {}",
+            "stats {} {} {} {} {} {} {} {} {} {} {} {:08x} {}",
             self.emitted,
             self.completed,
             self.leaves,
@@ -132,6 +146,9 @@ impl DcGenJournal {
             self.next_id,
             self.leaf_duplicates,
             self.prefix_cache_hits,
+            self.scheduler,
+            self.sched_config_hash,
+            self.frontier_cap,
         );
         let _ = writeln!(out, "tasks {}", self.tasks.len());
         for t in &self.tasks {
@@ -227,9 +244,11 @@ impl DcGenJournal {
             .ok_or_else(|| bad("missing stats line"))?
             .split(' ')
             .collect();
-        // 8 fields is the original layout; a 9th (leaf duplicates) was
-        // appended later and defaults to 0 when reading old journals.
-        if !(8..=10).contains(&stats.len()) {
+        // 8 fields is the original layout; later builds appended leaf
+        // duplicates, prefix-cache hits, and the scheduler identity
+        // triple. Older journals omit the trailing fields and take their
+        // defaults.
+        if !(8..=13).contains(&stats.len()) {
             return Err(bad("stats field count"));
         }
         let emitted = uint(stats[0])?;
@@ -240,10 +259,22 @@ impl DcGenJournal {
         let patterns_used = uint(stats[5])? as usize;
         let retries = uint(stats[6])?;
         let next_id = uint(stats[7])?;
-        // Fields 9 and 10 were appended in later revisions; journals from
-        // older builds omit them and default to zero.
+        // Fields 9+ were appended in later revisions; journals from older
+        // builds omit them and default to zero (and, for the scheduler
+        // name, to D&C-GEN — the only scheduler those builds had).
         let leaf_duplicates = stats.get(8).map_or(Ok(0), |s| uint(s))?;
         let prefix_cache_hits = stats.get(9).map_or(Ok(0), |s| uint(s))?;
+        let scheduler = match stats.get(10) {
+            Some(s) => s
+                .parse::<SchedulerKind>()
+                .map_err(|_| bad("bad scheduler name"))?,
+            None => SchedulerKind::Dcgen,
+        };
+        let sched_config_hash = match stats.get(11) {
+            Some(s) => u32::from_str_radix(s, 16).map_err(|_| bad("bad scheduler config hash"))?,
+            None => 0,
+        };
+        let frontier_cap = stats.get(12).map_or(Ok(0), |s| uint(s))?;
 
         let n_tasks = lines
             .next()
@@ -303,6 +334,9 @@ impl DcGenJournal {
             workers,
             max_task_retries,
             journal_every,
+            scheduler,
+            sched_config_hash,
+            frontier_cap,
             patterns,
             emitted,
             completed,
@@ -317,6 +351,29 @@ impl DcGenJournal {
             tasks,
             failed,
         })
+    }
+
+    /// Verifies that this journal was written by `requested`'s scheduler.
+    ///
+    /// Task quotas are scheduler-specific state (guess quotas for the
+    /// quota-splitting schedulers, log-probabilities for SOPG), so
+    /// feeding one scheduler's journal to another would silently
+    /// misinterpret them. Resume paths call this before rebuilding the
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] naming both schedulers when they
+    /// differ.
+    pub fn check_scheduler(&self, requested: SchedulerKind) -> Result<(), CoreError> {
+        if self.scheduler != requested {
+            return Err(CoreError::Journal(format!(
+                "journal was written by the `{}` scheduler but this resume requested `{requested}`; \
+                 rerun with --scheduler {} or start a fresh run",
+                self.scheduler, self.scheduler
+            )));
+        }
+        Ok(())
     }
 
     /// Writes the journal to `path` atomically.
@@ -353,6 +410,9 @@ mod tests {
             workers: 2,
             max_task_retries: 2,
             journal_every: 16,
+            scheduler: SchedulerKind::Dcgen,
+            sched_config_hash: 0x1234_abcd,
+            frontier_cap: 0,
             patterns: vec!["L4N2".parse().unwrap(), "L8".parse().unwrap()],
             emitted: 300,
             completed: 7,
@@ -449,12 +509,15 @@ mod tests {
     #[test]
     fn legacy_eight_field_stats_line_still_loads() {
         // Journals written before the leaf-duplicates and prefix-cache-hit
-        // fields had an 8-field stats line; they must keep loading (both
-        // appended fields default to 0).
+        // fields had an 8-field stats line; they must keep loading (the
+        // appended fields default to 0 / dcgen).
         let j = sample();
-        let parsed = DcGenJournal::from_text(&legacy_text(&j, 2)).unwrap();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 5)).unwrap();
         assert_eq!(parsed.leaf_duplicates, 0);
         assert_eq!(parsed.prefix_cache_hits, 0);
+        assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
+        assert_eq!(parsed.sched_config_hash, 0);
+        assert_eq!(parsed.frontier_cap, 0);
         assert_eq!(parsed.emitted, j.emitted);
         assert_eq!(parsed.tasks, j.tasks);
     }
@@ -464,10 +527,79 @@ mod tests {
         // Journals from builds with leaf duplicates but no prefix-cache
         // statistic had a 9-field stats line.
         let j = sample();
-        let parsed = DcGenJournal::from_text(&legacy_text(&j, 1)).unwrap();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 4)).unwrap();
         assert_eq!(parsed.leaf_duplicates, j.leaf_duplicates);
         assert_eq!(parsed.prefix_cache_hits, 0);
+        assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
         assert_eq!(parsed.tasks, j.tasks);
+    }
+
+    #[test]
+    fn legacy_ten_field_stats_line_defaults_to_dcgen_scheduler() {
+        // Journals from just before the scheduler refactor had a 10-field
+        // stats line; the scheduler identity triple defaults.
+        let j = sample();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 3)).unwrap();
+        assert_eq!(parsed.leaf_duplicates, j.leaf_duplicates);
+        assert_eq!(parsed.prefix_cache_hits, j.prefix_cache_hits);
+        assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
+        assert_eq!(parsed.sched_config_hash, 0);
+        assert_eq!(parsed.frontier_cap, 0);
+        assert_eq!(parsed.tasks, j.tasks);
+    }
+
+    #[test]
+    fn scheduler_identity_roundtrips() {
+        let mut j = sample();
+        j.scheduler = SchedulerKind::Sopg;
+        j.frontier_cap = 4096;
+        j.sched_config_hash = 0xdead_beef;
+        let parsed = DcGenJournal::from_text(&j.to_text()).unwrap();
+        assert_eq!(parsed.scheduler, SchedulerKind::Sopg);
+        assert_eq!(parsed.frontier_cap, 4096);
+        assert_eq!(parsed.sched_config_hash, 0xdead_beef);
+    }
+
+    #[test]
+    fn check_scheduler_refuses_mismatch_with_clear_diagnostic() {
+        let mut j = sample();
+        j.scheduler = SchedulerKind::Sopg;
+        assert!(j.check_scheduler(SchedulerKind::Sopg).is_ok());
+        let err = j.check_scheduler(SchedulerKind::Dcgen).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`sopg`"), "names the journal scheduler: {msg}");
+        assert!(
+            msg.contains("`dcgen`"),
+            "names the requested scheduler: {msg}"
+        );
+        assert!(msg.contains("--scheduler sopg"), "suggests the fix: {msg}");
+    }
+
+    #[test]
+    fn garbage_scheduler_name_is_rejected() {
+        let j = sample();
+        let tampered_body = j
+            .to_text()
+            .lines()
+            .map(|l| {
+                if l.starts_with("stats ") {
+                    l.replace(" dcgen ", " bogus ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Drop the stale crc line and re-sign the tampered body.
+        let body = tampered_body
+            .rsplit_once('\n')
+            .map(|(b, _)| format!("{b}\n"))
+            .unwrap();
+        let text = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+        assert!(matches!(
+            DcGenJournal::from_text(&text),
+            Err(CoreError::Journal(msg)) if msg.contains("scheduler")
+        ));
     }
 
     #[test]

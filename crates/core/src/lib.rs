@@ -52,6 +52,7 @@ mod generate;
 mod inference;
 mod journal;
 mod model;
+mod sched;
 mod serve;
 mod trainer;
 
@@ -63,6 +64,7 @@ pub use error::CoreError;
 pub use inference::{InferenceSession, RulePrefix, FORWARD_MS_HISTOGRAM, PREFIX_REUSE_COUNTER};
 pub use journal::{DcGenJournal, JournalTask};
 pub use model::{ModelKind, PasswordModel};
+pub use sched::SchedulerKind;
 pub use serve::{
     run_with_listener, run_with_listeners, ScoreOutcome, ServeConfig, ServeReport, ShedReason,
 };

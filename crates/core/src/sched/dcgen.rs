@@ -1,0 +1,112 @@
+//! D&C-GEN scheduling (paper Algorithm 1), re-homed behind [`Scheduler`].
+//!
+//! This is a mechanical extraction of the decision logic that used to be
+//! fused into the worker pool, and it must stay *byte-identical* to it:
+//! the FIFO queue order, the leaf cutoff, the up-front budget
+//! reservation, the child-quota arithmetic, and the id assignment order
+//! all feed either task RNG streams or the golden output directly
+//! (`crates/core/tests/golden/dcgen_seed9.txt` pins the result).
+
+use std::collections::VecDeque;
+
+use super::{Acquire, AcquireCtx, Scheduler, SchedulerKind, Task};
+use crate::journal::JournalTask;
+
+/// FIFO divide-and-conquer scheduler: quotas split along the model's
+/// next-character distribution until they fall under the threshold, then
+/// leaves sample their quota.
+pub(crate) struct DcgenScheduler {
+    queue: VecDeque<Task>,
+    next_id: u64,
+    retries: u32,
+}
+
+impl DcgenScheduler {
+    pub(crate) fn new(queue: VecDeque<Task>, next_id: u64, retries: u32) -> DcgenScheduler {
+        DcgenScheduler {
+            queue,
+            next_id,
+            retries,
+        }
+    }
+}
+
+impl Scheduler for DcgenScheduler {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Dcgen
+    }
+
+    fn acquire(&mut self, ctx: AcquireCtx<'_>) -> Acquire {
+        if let Some(task) = self.queue.pop_front() {
+            let pattern = &ctx.patterns[task.pattern_idx];
+            let is_leaf =
+                task.quota <= ctx.threshold || task.prefix.chars().count() == pattern.char_len();
+            // Leaves reserve against the global budget up front, so the
+            // run stops at exactly `total` no matter how quotas rounded.
+            let leaf_n = is_leaf.then(|| {
+                let want = task.quota.round().max(1.0) as u64;
+                let n = want.min(ctx.total - *ctx.reserved);
+                *ctx.reserved += n;
+                n as usize
+            });
+            return Acquire::Run { task, leaf_n };
+        }
+        if ctx.in_flight.is_empty() {
+            // Nothing queued and nobody executing: the tree is exhausted.
+            Acquire::Done
+        } else {
+            Acquire::Park
+        }
+    }
+
+    fn commit_split(&mut self, parent: &Task, children: &[(char, f64)]) -> usize {
+        let mut deleted = 0usize;
+        for &(ch, p) in children {
+            let child_quota = parent.quota * p;
+            if child_quota < 1.0 {
+                deleted += 1;
+                continue;
+            }
+            let mut prefix = parent.prefix.clone();
+            prefix.push(ch);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.queue.push_back(Task {
+                id,
+                pattern_idx: parent.pattern_idx,
+                prefix,
+                quota: child_quota,
+                retries_left: self.retries,
+            });
+        }
+        deleted
+    }
+
+    fn requeue(&mut self, task: Task) {
+        self.queue.push_back(task);
+    }
+
+    fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn pending_tasks(&self) -> Vec<JournalTask> {
+        self.queue
+            .iter()
+            .map(|t| JournalTask {
+                id: t.id,
+                pattern_idx: t.pattern_idx,
+                prefix: t.prefix.clone(),
+                quota: t.quota,
+            })
+            .collect()
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    fn interrupted(&self, _reserved: u64, _total: u64) -> bool {
+        !self.queue.is_empty()
+    }
+}

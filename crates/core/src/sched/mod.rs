@@ -1,0 +1,360 @@
+//! Pluggable generation scheduling.
+//!
+//! D&C-GEN (paper Algorithm 1), SOPG best-first ordered enumeration
+//! (arXiv 2403.09954), and plain pattern-conditioned sampling are three
+//! answers to the same four questions: *what to expand next*, *how to
+//! split the guess budget*, *when a node becomes a leaf*, and *how
+//! guesses are emitted*. The [`Scheduler`] trait isolates exactly those
+//! decisions; everything else — the supervised worker pool, panic
+//! isolation and retries, `InferenceSession` prefix reuse, journaling,
+//! cancellation, and telemetry — lives in [`pool`] and is shared by
+//! every implementation.
+//!
+//! The pool holds one mutex around all shared state (including the
+//! scheduler itself), so scheduler implementations are plain sequential
+//! data structures: every trait method is called under that lock.
+
+pub(crate) mod pool;
+
+mod dcgen;
+mod sample;
+mod sopg;
+
+use std::collections::VecDeque;
+
+use pagpass_patterns::Pattern;
+use serde::{Deserialize, Serialize};
+
+use crate::dcgen::DcGenConfig;
+use crate::journal::{DcGenJournal, JournalTask};
+
+pub(crate) use self::dcgen::DcgenScheduler;
+pub(crate) use self::sample::SampleScheduler;
+pub(crate) use self::sopg::SopgScheduler;
+
+/// Which guess-ordering strategy drives the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum SchedulerKind {
+    /// Divide-and-conquer budget splitting (paper Algorithm 1): quotas
+    /// divide along the model's next-character distribution until they
+    /// fall under the threshold, then leaves sample their quota.
+    #[default]
+    Dcgen,
+    /// Best-first ordered enumeration in the spirit of SOPG
+    /// (arXiv 2403.09954): a memory-capped max-frontier over partial
+    /// sequences ordered by log-probability, emitting complete guesses
+    /// in exact descending-probability order with zero repeats.
+    Sopg,
+    /// Plain pattern-conditioned sampling: the per-pattern budget is
+    /// sampled directly in threshold-sized batches, with no model-guided
+    /// division. The repeat-rate baseline the paper compares against.
+    Sample,
+}
+
+impl SchedulerKind {
+    /// Every scheduler, in CLI/documentation order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Dcgen,
+        SchedulerKind::Sopg,
+        SchedulerKind::Sample,
+    ];
+
+    /// Stable lower-case name (CLI value, journal field, report key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Dcgen => "dcgen",
+            SchedulerKind::Sopg => "sopg",
+            SchedulerKind::Sample => "sample",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchedulerKind, String> {
+        match s {
+            "dcgen" => Ok(SchedulerKind::Dcgen),
+            "sopg" => Ok(SchedulerKind::Sopg),
+            "sample" => Ok(SchedulerKind::Sample),
+            other => Err(format!(
+                "unknown scheduler `{other}` (expected dcgen, sopg, or sample)"
+            )),
+        }
+    }
+}
+
+/// One pending subtask: a pattern index, a password prefix, a
+/// scheduler-defined priority, and its remaining retry budget. The id
+/// doubles as the task's RNG key, which is what makes resumed runs
+/// byte-identical: a task samples the same passwords no matter which
+/// worker picks it up or when.
+///
+/// `quota` is scheduler-defined: D&C-GEN and plain sampling carry a guess
+/// quota; SOPG carries the prefix log-probability. Either way it is an
+/// `f64` whose bit pattern journals losslessly.
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    pub id: u64,
+    pub pattern_idx: usize,
+    pub prefix: String,
+    pub quota: f64,
+    pub retries_left: u32,
+}
+
+/// Everything a scheduler may read (and, for the budget reservation,
+/// write) while deciding its next action. Borrowed from the pool's
+/// locked state, so reservations and in-flight visibility are atomic
+/// with the decision itself.
+pub(crate) struct AcquireCtx<'a> {
+    /// Pattern table; task `pattern_idx` fields index into this.
+    pub patterns: &'a [Pattern],
+    /// Division threshold `T` as a float (leaf cutoff / batch size).
+    pub threshold: f64,
+    /// Global guess budget `N`.
+    pub total: u64,
+    /// Budget reserved so far; schedulers bump this when they commit to
+    /// emitting (directly or via a leaf), never past `total`.
+    pub reserved: &'a mut u64,
+    /// Tasks currently executing on other workers.
+    pub in_flight: &'a [Task],
+}
+
+/// A scheduler's answer to "what should this worker do now?".
+pub(crate) enum Acquire {
+    /// Execute `task` outside the lock: sample a leaf of `leaf_n`
+    /// passwords when `Some`, expand the next-character distribution
+    /// when `None`.
+    Run { task: Task, leaf_n: Option<usize> },
+    /// Emit finished guesses directly from scheduler state (SOPG pops
+    /// complete sequences off its frontier). `log_probs` parallels
+    /// `passwords`; the reservation was already taken.
+    Emit {
+        passwords: Vec<String>,
+        log_probs: Vec<f64>,
+    },
+    /// Nothing to do yet, but in-flight work may publish more; park on
+    /// the condvar.
+    Park,
+    /// The run is finished (tree exhausted or budget reached); stop the
+    /// pool.
+    Done,
+}
+
+/// The scheduling seam of the generation pool. Implementations own the
+/// pending-work structure (queue, frontier, …) and all ordering/budget
+/// policy; the pool owns execution, fault tolerance, and I/O.
+///
+/// Every method is called with the pool lock held, so implementations
+/// need no internal synchronization — but must therefore never block.
+pub(crate) trait Scheduler: Send {
+    /// Which strategy this is (journaled; resume refuses a mismatch).
+    fn kind(&self) -> SchedulerKind;
+
+    /// Decides the next action for an idle worker.
+    fn acquire(&mut self, ctx: AcquireCtx<'_>) -> Acquire;
+
+    /// Commits an expansion's next-character distribution `(char, prob)`
+    /// back into the pending structure. Returns how many children were
+    /// pruned (quota under one password, zero probability, eviction-free
+    /// policy deletions — *not* frontier-cap evictions).
+    fn commit_split(&mut self, parent: &Task, children: &[(char, f64)]) -> usize;
+
+    /// Returns a task to the pending structure for retry. The pool has
+    /// already decremented `retries_left`; the id is preserved so the
+    /// retry replays the same RNG stream.
+    fn requeue(&mut self, task: Task);
+
+    /// Number of pending (not in-flight) work items, for telemetry.
+    fn pending_len(&self) -> usize;
+
+    /// Snapshot of pending work for the journal. In-flight tasks are
+    /// appended by the pool; together they are exactly the work a resume
+    /// must redo.
+    fn pending_tasks(&self) -> Vec<JournalTask>;
+
+    /// Next unassigned task id (journaled so resumed ids never collide).
+    fn next_id(&self) -> u64;
+
+    /// Frontier-cap evictions so far (SOPG only; zero elsewhere).
+    fn evictions(&self) -> u64 {
+        0
+    }
+
+    /// Whether stopping now — with `reserved` of `total` guesses taken —
+    /// leaves work behind that a resume should redo.
+    fn interrupted(&self, reserved: u64, total: u64) -> bool;
+}
+
+/// A freshly seeded scheduler plus the initial-allocation statistics the
+/// report carries.
+pub(crate) struct Seeded {
+    pub scheduler: Box<dyn Scheduler>,
+    pub patterns_used: usize,
+    pub deleted: usize,
+}
+
+/// Builds and seeds the scheduler selected by `config` from the ranked
+/// pattern priors. `priors[i]` is pattern `i`'s weight (already 1.0 per
+/// pattern under uniform allocation) and `mass` their sum.
+pub(crate) fn seed(
+    config: &DcGenConfig,
+    patterns: &[Pattern],
+    priors: &[f64],
+    mass: f64,
+) -> Seeded {
+    match config.scheduler {
+        SchedulerKind::Dcgen => {
+            let alloc = allocate_quotas(config, patterns, priors, mass);
+            Seeded {
+                scheduler: Box::new(DcgenScheduler::new(
+                    alloc.queue,
+                    alloc.next_id,
+                    config.max_task_retries,
+                )),
+                patterns_used: alloc.patterns_used,
+                deleted: alloc.deleted,
+            }
+        }
+        SchedulerKind::Sample => {
+            let alloc = allocate_quotas(config, patterns, priors, mass);
+            Seeded {
+                scheduler: Box::new(SampleScheduler::new(
+                    alloc.queue,
+                    alloc.next_id,
+                    config.max_task_retries,
+                )),
+                patterns_used: alloc.patterns_used,
+                deleted: alloc.deleted,
+            }
+        }
+        SchedulerKind::Sopg => {
+            let (scheduler, patterns_used) = SopgScheduler::seed(config, priors, mass);
+            Seeded {
+                scheduler: Box::new(scheduler),
+                patterns_used,
+                deleted: 0,
+            }
+        }
+    }
+}
+
+/// Rebuilds the journaled scheduler's pending structure for a resume.
+pub(crate) fn restore(config: &DcGenConfig, journal: &DcGenJournal) -> Box<dyn Scheduler> {
+    match config.scheduler {
+        SchedulerKind::Dcgen => Box::new(DcgenScheduler::new(
+            restore_queue(journal),
+            journal.next_id,
+            journal.max_task_retries,
+        )),
+        SchedulerKind::Sample => Box::new(SampleScheduler::new(
+            restore_queue(journal),
+            journal.next_id,
+            journal.max_task_retries,
+        )),
+        SchedulerKind::Sopg => Box::new(SopgScheduler::restore(config, journal)),
+    }
+}
+
+fn restore_queue(journal: &DcGenJournal) -> VecDeque<Task> {
+    journal
+        .tasks
+        .iter()
+        .map(|t| Task {
+            id: t.id,
+            pattern_idx: t.pattern_idx,
+            prefix: t.prefix.clone(),
+            quota: t.quota,
+            retries_left: journal.max_task_retries,
+        })
+        .collect()
+}
+
+/// Initial quota allocation shared by the quota-splitting schedulers
+/// (paper Algorithm 1 line 3): `N_{P_i} = N · Pr(P_i)`, renormalized
+/// over the kept set and capped at the pattern's search space
+/// (optimization 2).
+struct Allocation {
+    queue: VecDeque<Task>,
+    patterns_used: usize,
+    deleted: usize,
+    next_id: u64,
+}
+
+fn allocate_quotas(
+    config: &DcGenConfig,
+    patterns: &[Pattern],
+    priors: &[f64],
+    mass: f64,
+) -> Allocation {
+    let mut queue: VecDeque<Task> = VecDeque::new();
+    let mut deleted = 0usize;
+    let mut patterns_used = 0usize;
+    let mut next_id = 0u64;
+    for (idx, (pattern, &pr)) in patterns.iter().zip(priors).enumerate() {
+        let mut quota = config.total as f64 * pr / mass;
+        quota = quota.min(pattern.search_space());
+        if quota < 1.0 {
+            deleted += 1;
+            continue;
+        }
+        patterns_used += 1;
+        queue.push_back(Task {
+            id: next_id,
+            pattern_idx: idx,
+            prefix: String::new(),
+            quota,
+            retries_left: config.max_task_retries,
+        });
+        next_id += 1;
+    }
+    Allocation {
+        queue,
+        patterns_used,
+        deleted,
+        next_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_roundtrips_through_fromstr() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.name().parse::<SchedulerKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("best-first".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn default_kind_is_dcgen() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Dcgen);
+    }
+
+    #[test]
+    fn allocation_caps_at_search_space_and_prunes_sub_one_quotas() {
+        let patterns: Vec<Pattern> = vec!["N1".parse().unwrap(), "L4N2".parse().unwrap()];
+        let priors = vec![0.5, 0.5];
+        let config = DcGenConfig::new(100_000);
+        let alloc = allocate_quotas(&config, &patterns, &priors, 1.0);
+        assert_eq!(alloc.patterns_used, 2);
+        // N1 admits only 10 passwords; its quota is capped there.
+        assert!(alloc.queue[0].quota <= 10.0 + f64::EPSILON);
+        // Tiny budget: every quota rounds below one password.
+        let tiny = DcGenConfig::new(1);
+        let alloc = allocate_quotas(&tiny, &patterns, &priors, 1.0);
+        assert_eq!(alloc.patterns_used + alloc.deleted, 2);
+        assert!(alloc.queue.len() <= 1);
+    }
+}

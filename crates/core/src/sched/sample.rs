@@ -1,0 +1,106 @@
+//! Plain pattern-conditioned sampling: the no-division baseline.
+//!
+//! Budget is allocated across patterns exactly like D&C-GEN (so the two
+//! are comparable at equal `N`), but every task is sampled directly —
+//! the model's next-character distribution is never used to split, so
+//! repeats are bounded only by chance. Oversized quotas are chunked at
+//! the division threshold purely to bound leaf batch memory; chunking
+//! assigns fresh ids, so each chunk draws from its own RNG stream and
+//! single-worker runs stay deterministic.
+
+use std::collections::VecDeque;
+
+use super::{Acquire, AcquireCtx, Scheduler, SchedulerKind, Task};
+use crate::journal::JournalTask;
+
+/// FIFO sampler: every acquired task is a leaf; quotas above the
+/// threshold are split arithmetically (no model guidance).
+pub(crate) struct SampleScheduler {
+    queue: VecDeque<Task>,
+    next_id: u64,
+    retries: u32,
+}
+
+impl SampleScheduler {
+    pub(crate) fn new(queue: VecDeque<Task>, next_id: u64, retries: u32) -> SampleScheduler {
+        SampleScheduler {
+            queue,
+            next_id,
+            retries,
+        }
+    }
+}
+
+impl Scheduler for SampleScheduler {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Sample
+    }
+
+    fn acquire(&mut self, ctx: AcquireCtx<'_>) -> Acquire {
+        if let Some(mut task) = self.queue.pop_front() {
+            // Chunk oversized quotas so one leaf batch never exceeds the
+            // threshold; the remainder re-queues under a fresh id.
+            if ctx.threshold >= 1.0 && task.quota > ctx.threshold {
+                let rest = task.quota - ctx.threshold;
+                if rest >= 1.0 {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.queue.push_back(Task {
+                        id,
+                        pattern_idx: task.pattern_idx,
+                        prefix: task.prefix.clone(),
+                        quota: rest,
+                        retries_left: self.retries,
+                    });
+                }
+                task.quota = ctx.threshold;
+            }
+            let want = task.quota.round().max(1.0) as u64;
+            let n = want.min(ctx.total - *ctx.reserved);
+            *ctx.reserved += n;
+            return Acquire::Run {
+                task,
+                leaf_n: Some(n as usize),
+            };
+        }
+        if ctx.in_flight.is_empty() {
+            Acquire::Done
+        } else {
+            Acquire::Park
+        }
+    }
+
+    fn commit_split(&mut self, _parent: &Task, _children: &[(char, f64)]) -> usize {
+        // Unreachable: every task this scheduler hands out is a leaf.
+        debug_assert!(false, "plain sampling never expands tasks");
+        0
+    }
+
+    fn requeue(&mut self, task: Task) {
+        self.queue.push_back(task);
+    }
+
+    fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn pending_tasks(&self) -> Vec<JournalTask> {
+        self.queue
+            .iter()
+            .map(|t| JournalTask {
+                id: t.id,
+                pattern_idx: t.pattern_idx,
+                prefix: t.prefix.clone(),
+                quota: t.quota,
+            })
+            .collect()
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    fn interrupted(&self, _reserved: u64, _total: u64) -> bool {
+        !self.queue.is_empty()
+    }
+}

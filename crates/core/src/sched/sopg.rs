@@ -1,0 +1,477 @@
+//! SOPG-style best-first ordered enumeration (arXiv 2403.09954).
+//!
+//! The frontier is a set of partial sequences ordered by total
+//! log-probability. Each step either *emits* the frontier maximum (when
+//! it is a complete password and no in-flight expansion could still
+//! produce something more probable) or *expands* the most probable
+//! incomplete node through the model's next-character distribution.
+//! Children carry `lp(parent) + ln p(char)`, which never exceeds the
+//! parent's log-probability — so the emitted sequence is non-increasing
+//! in probability by construction, and every emission is a distinct
+//! root-to-leaf path, so the repeat rate is exactly zero.
+//!
+//! # Memory cap and eviction
+//!
+//! An unbounded frontier can grow with the whole enumerated tree. A
+//! `frontier_cap > 0` bounds it: after every insertion the *minimum*
+//! node is evicted until the cap holds. Eviction is deterministic (the
+//! frontier is a `BTreeSet` with a total order: log-prob bits, then
+//! pattern index, then prefix) and only ever discards the least
+//! probable pending work, so it can suppress low-probability tail
+//! output but can never reorder what is emitted. Evictions are counted
+//! and reported ([`DcGenReport::frontier_evictions`]
+//! (crate::DcGenReport::frontier_evictions)).
+//!
+//! # Budget semantics
+//!
+//! `total` is an exact emission budget: each emitted password reserves
+//! one slot, and the run completes the moment the budget is reserved.
+//! The division threshold plays no role here — there are no leaves; the
+//! frontier itself is the emission site.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use pagpass_patterns::Pattern;
+
+use super::{Acquire, AcquireCtx, Scheduler, SchedulerKind, Task};
+use crate::dcgen::DcGenConfig;
+use crate::journal::{DcGenJournal, JournalTask};
+
+/// One frontier entry: a partial (or complete) sequence and its total
+/// log-probability under the model, pattern prior included.
+#[derive(Debug, Clone)]
+struct Node {
+    lp: f64,
+    pattern_idx: usize,
+    prefix: String,
+}
+
+impl Node {
+    fn is_complete(&self, patterns: &[Pattern]) -> bool {
+        self.prefix.chars().count() == patterns[self.pattern_idx].char_len()
+    }
+}
+
+// Total order: log-probability first (total_cmp — lp is never NaN, but
+// the order must be total for BTreeSet), then pattern index and prefix
+// as deterministic tie-breaks so eviction and pop order never depend on
+// float coincidences.
+impl Ord for Node {
+    fn cmp(&self, other: &Node) -> Ordering {
+        self.lp
+            .total_cmp(&other.lp)
+            .then_with(|| self.pattern_idx.cmp(&other.pattern_idx))
+            .then_with(|| self.prefix.cmp(&other.prefix))
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Node) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Node) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Node {}
+
+/// Best-first ordered enumerator with a bounded frontier.
+pub(crate) struct SopgScheduler {
+    frontier: BTreeSet<Node>,
+    /// Maximum frontier size; `usize::MAX` when uncapped.
+    cap: usize,
+    next_id: u64,
+    retries: u32,
+    evictions: u64,
+}
+
+impl SopgScheduler {
+    fn with_cap(frontier_cap: u64, next_id: u64, retries: u32) -> SopgScheduler {
+        SopgScheduler {
+            frontier: BTreeSet::new(),
+            cap: if frontier_cap == 0 {
+                usize::MAX
+            } else {
+                frontier_cap as usize
+            },
+            next_id,
+            retries,
+            evictions: 0,
+        }
+    }
+
+    /// Seeds one root per pattern with `lp = ln(Pr(P_i))` (renormalized
+    /// over the kept set). Returns the scheduler and how many patterns
+    /// received a root.
+    pub(crate) fn seed(config: &DcGenConfig, priors: &[f64], mass: f64) -> (SopgScheduler, usize) {
+        let mut sched = SopgScheduler::with_cap(config.frontier_cap, 0, config.max_task_retries);
+        let mut patterns_used = 0usize;
+        for (idx, &pr) in priors.iter().enumerate() {
+            let lp = (pr / mass).ln();
+            if !lp.is_finite() {
+                continue;
+            }
+            patterns_used += 1;
+            sched.insert(Node {
+                lp,
+                pattern_idx: idx,
+                prefix: String::new(),
+            });
+        }
+        (sched, patterns_used)
+    }
+
+    /// Rebuilds the frontier from a journal snapshot (task quotas carry
+    /// the node log-probabilities bit-exactly).
+    pub(crate) fn restore(config: &DcGenConfig, journal: &DcGenJournal) -> SopgScheduler {
+        let mut sched = SopgScheduler::with_cap(
+            config.frontier_cap,
+            journal.next_id,
+            journal.max_task_retries,
+        );
+        for t in &journal.tasks {
+            sched.insert(Node {
+                lp: t.quota,
+                pattern_idx: t.pattern_idx,
+                prefix: t.prefix.clone(),
+            });
+        }
+        sched
+    }
+
+    /// Inserts a node and enforces the cap by evicting minima.
+    fn insert(&mut self, node: Node) {
+        self.frontier.insert(node);
+        while self.frontier.len() > self.cap {
+            self.frontier.pop_first();
+            self.evictions += 1;
+        }
+    }
+}
+
+impl Scheduler for SopgScheduler {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Sopg
+    }
+
+    fn acquire(&mut self, ctx: AcquireCtx<'_>) -> Acquire {
+        if *ctx.reserved >= ctx.total {
+            return Acquire::Done;
+        }
+        // In-flight expansions can still insert children at up to their
+        // own log-probability, so the frontier maximum is only safe to
+        // emit once it is at least as probable as every executing node.
+        let barrier = ctx
+            .in_flight
+            .iter()
+            .map(|t| t.quota)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Drain every emittable maximum in one pass (consecutive
+        // complete nodes above the barrier), respecting the budget.
+        let mut passwords = Vec::new();
+        let mut log_probs = Vec::new();
+        while *ctx.reserved < ctx.total {
+            let emittable = self
+                .frontier
+                .last()
+                .is_some_and(|top| top.lp >= barrier && top.is_complete(ctx.patterns));
+            if !emittable {
+                break;
+            }
+            if let Some(node) = self.frontier.pop_last() {
+                *ctx.reserved += 1;
+                log_probs.push(node.lp);
+                passwords.push(node.prefix);
+            }
+        }
+        if !passwords.is_empty() {
+            return Acquire::Emit {
+                passwords,
+                log_probs,
+            };
+        }
+
+        // Otherwise expand the most probable incomplete node; complete
+        // nodes blocked by the barrier stay put until it clears.
+        let target = self
+            .frontier
+            .iter()
+            .rev()
+            .find(|n| !n.is_complete(ctx.patterns))
+            .cloned();
+        if let Some(node) = target {
+            self.frontier.remove(&node);
+            let id = self.next_id;
+            self.next_id += 1;
+            return Acquire::Run {
+                task: Task {
+                    id,
+                    pattern_idx: node.pattern_idx,
+                    prefix: node.prefix,
+                    quota: node.lp,
+                    retries_left: self.retries,
+                },
+                leaf_n: None,
+            };
+        }
+        if self.frontier.is_empty() && ctx.in_flight.is_empty() {
+            // Search space exhausted before the budget.
+            Acquire::Done
+        } else {
+            Acquire::Park
+        }
+    }
+
+    fn commit_split(&mut self, parent: &Task, children: &[(char, f64)]) -> usize {
+        let parent_lp = parent.quota;
+        let mut deleted = 0usize;
+        for &(ch, p) in children {
+            if p <= 0.0 {
+                deleted += 1;
+                continue;
+            }
+            let lp = parent_lp + p.ln();
+            if !lp.is_finite() {
+                deleted += 1;
+                continue;
+            }
+            let mut prefix = parent.prefix.clone();
+            prefix.push(ch);
+            self.insert(Node {
+                lp,
+                pattern_idx: parent.pattern_idx,
+                prefix,
+            });
+        }
+        deleted
+    }
+
+    fn requeue(&mut self, task: Task) {
+        self.insert(Node {
+            lp: task.quota,
+            pattern_idx: task.pattern_idx,
+            prefix: task.prefix,
+        });
+    }
+
+    fn pending_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    fn pending_tasks(&self) -> Vec<JournalTask> {
+        // Most probable first, so a truncated inspection of the journal
+        // shows the work that matters. Ids are synthetic: SOPG task ids
+        // never feed RNG streams (expansions do not sample).
+        self.frontier
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, n)| JournalTask {
+                id: i as u64,
+                pattern_idx: n.pattern_idx,
+                prefix: n.prefix.clone(),
+                quota: n.lp,
+            })
+            .collect()
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn interrupted(&self, reserved: u64, total: u64) -> bool {
+        // A non-empty frontier is the normal end state once the budget
+        // is reserved; only an early stop leaves resumable work behind.
+        !self.frontier.is_empty() && reserved < total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Pattern> {
+        vec!["L1N1".parse().unwrap(), "N2".parse().unwrap()]
+    }
+
+    fn ctx<'a>(
+        patterns: &'a [Pattern],
+        reserved: &'a mut u64,
+        total: u64,
+        in_flight: &'a [Task],
+    ) -> AcquireCtx<'a> {
+        AcquireCtx {
+            patterns,
+            threshold: 64.0,
+            total,
+            reserved,
+            in_flight,
+        }
+    }
+
+    #[test]
+    fn emits_frontier_maxima_in_descending_order() {
+        let pats = patterns();
+        let mut s = SopgScheduler::with_cap(0, 0, 2);
+        s.insert(Node {
+            lp: -1.0,
+            pattern_idx: 0,
+            prefix: "a1".into(),
+        });
+        s.insert(Node {
+            lp: -0.5,
+            pattern_idx: 1,
+            prefix: "42".into(),
+        });
+        s.insert(Node {
+            lp: -2.0,
+            pattern_idx: 1,
+            prefix: "07".into(),
+        });
+        let mut reserved = 0;
+        match s.acquire(ctx(&pats, &mut reserved, 10, &[])) {
+            Acquire::Emit {
+                passwords,
+                log_probs,
+            } => {
+                assert_eq!(passwords, vec!["42", "a1", "07"]);
+                assert_eq!(log_probs, vec![-0.5, -1.0, -2.0]);
+            }
+            _ => panic!("expected emission"),
+        }
+        assert_eq!(reserved, 3);
+    }
+
+    #[test]
+    fn expands_best_incomplete_before_lower_complete() {
+        let pats = patterns();
+        let mut s = SopgScheduler::with_cap(0, 0, 2);
+        // Incomplete node outranks the complete one: expand, don't emit.
+        s.insert(Node {
+            lp: -0.2,
+            pattern_idx: 0,
+            prefix: "a".into(),
+        });
+        s.insert(Node {
+            lp: -0.9,
+            pattern_idx: 1,
+            prefix: "11".into(),
+        });
+        let mut reserved = 0;
+        match s.acquire(ctx(&pats, &mut reserved, 10, &[])) {
+            Acquire::Run { task, leaf_n } => {
+                assert_eq!(task.prefix, "a");
+                assert_eq!(leaf_n, None);
+            }
+            _ => panic!("expected expansion"),
+        }
+        assert_eq!(reserved, 0, "expansion reserves nothing");
+    }
+
+    #[test]
+    fn in_flight_barrier_blocks_emission() {
+        let pats = patterns();
+        let mut s = SopgScheduler::with_cap(0, 1, 2);
+        s.insert(Node {
+            lp: -1.5,
+            pattern_idx: 1,
+            prefix: "99".into(),
+        });
+        // An executing expansion at lp -1.0 could still beat -1.5.
+        let busy = [Task {
+            id: 0,
+            pattern_idx: 0,
+            prefix: "z".into(),
+            quota: -1.0,
+            retries_left: 2,
+        }];
+        let mut reserved = 0;
+        assert!(matches!(
+            s.acquire(ctx(&pats, &mut reserved, 10, &busy)),
+            Acquire::Park
+        ));
+        // Barrier cleared: the complete node emits.
+        assert!(matches!(
+            s.acquire(ctx(&pats, &mut reserved, 10, &[])),
+            Acquire::Emit { .. }
+        ));
+    }
+
+    #[test]
+    fn budget_bounds_emission_and_flags_done() {
+        let pats = patterns();
+        let mut s = SopgScheduler::with_cap(0, 0, 2);
+        for (i, lp) in [(-0.1f64), (-0.2), (-0.3)].iter().enumerate() {
+            s.insert(Node {
+                lp: *lp,
+                pattern_idx: 1,
+                prefix: format!("{i}{i}"),
+            });
+        }
+        let mut reserved = 0;
+        match s.acquire(ctx(&pats, &mut reserved, 2, &[])) {
+            Acquire::Emit { passwords, .. } => assert_eq!(passwords.len(), 2),
+            _ => panic!("expected emission"),
+        }
+        assert!(matches!(
+            s.acquire(ctx(&pats, &mut reserved, 2, &[])),
+            Acquire::Done
+        ));
+        assert!(
+            !s.interrupted(2, 2),
+            "budget completion is not an interrupt"
+        );
+        assert!(s.interrupted(1, 2), "early stop with pending work is");
+    }
+
+    #[test]
+    fn frontier_cap_evicts_minima_deterministically() {
+        let pats = patterns();
+        let mut s = SopgScheduler::with_cap(2, 0, 2);
+        for (lp, pfx) in [(-3.0, "00"), (-1.0, "11"), (-2.0, "22"), (-0.5, "33")] {
+            s.insert(Node {
+                lp,
+                pattern_idx: 1,
+                prefix: pfx.into(),
+            });
+        }
+        assert_eq!(s.pending_len(), 2);
+        assert_eq!(s.evictions(), 2);
+        let mut reserved = 0;
+        match s.acquire(ctx(&pats, &mut reserved, 10, &[])) {
+            Acquire::Emit { passwords, .. } => {
+                // The two most probable survive, still in order.
+                assert_eq!(passwords, vec!["33", "11"]);
+            }
+            _ => panic!("expected emission"),
+        }
+    }
+
+    #[test]
+    fn commit_split_prunes_zero_probability_children() {
+        let mut s = SopgScheduler::with_cap(0, 0, 2);
+        let parent = Task {
+            id: 0,
+            pattern_idx: 0,
+            prefix: String::new(),
+            quota: -0.5,
+            retries_left: 2,
+        };
+        let deleted = s.commit_split(&parent, &[('a', 0.6), ('b', 0.0), ('c', 0.4)]);
+        assert_eq!(deleted, 1);
+        assert_eq!(s.pending_len(), 2);
+        // Children carry parent lp plus ln p.
+        let tasks = s.pending_tasks();
+        assert!((tasks[0].quota - (-0.5 + 0.6f64.ln())).abs() < 1e-12);
+    }
+}

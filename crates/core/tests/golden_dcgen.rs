@@ -15,7 +15,7 @@
 use pagpass_nn::GptConfig;
 use pagpass_patterns::PatternDistribution;
 use pagpass_tokenizer::VOCAB_SIZE;
-use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, ModelKind, PasswordModel};
+use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, ModelKind, PasswordModel, SchedulerKind};
 
 fn tiny_model() -> PasswordModel {
     PasswordModel::new(
@@ -59,6 +59,29 @@ fn dcgen_output_matches_pre_refactor_golden_file() {
     assert!(
         report.prefix_cache_hits > 0,
         "the run should have reused cached prefix positions"
+    );
+}
+
+#[test]
+fn explicit_dcgen_scheduler_reproduces_the_golden_file() {
+    // `--scheduler dcgen` routes through the Scheduler trait like every
+    // other kind; the plug-in path must be byte-identical to the golden
+    // stream, not merely statistically equivalent.
+    let model = tiny_model();
+    let report = DcGen::new(
+        &model,
+        DcGenConfig {
+            scheduler: SchedulerKind::Dcgen,
+            ..golden_config()
+        },
+    )
+    .run(&simple_patterns())
+    .unwrap();
+    let got = report.passwords.join("\n") + "\n";
+    assert_eq!(
+        got,
+        include_str!("golden/dcgen_seed9.txt"),
+        "the trait-dispatched dcgen scheduler diverged from the golden output"
     );
 }
 

@@ -1,0 +1,182 @@
+//! SOPG ordered-enumeration guarantees, end to end through the public
+//! `DcGen` API: emission log-probabilities are non-increasing and the
+//! repeat rate is exactly 0.0 — under any frontier cap, any worker
+//! count, and across a kill + journal resume.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use pagpass_nn::GptConfig;
+use pagpass_patterns::PatternDistribution;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{
+    DcGen, DcGenConfig, DcGenJournal, DcGenOptions, DcGenReport, FaultPlan, ModelKind,
+    PasswordModel, SchedulerKind,
+};
+use proptest::prelude::*;
+
+fn tiny_model() -> PasswordModel {
+    PasswordModel::new(
+        ModelKind::PagPassGpt,
+        GptConfig {
+            vocab_size: VOCAB_SIZE,
+            ctx_len: 32,
+            dim: 16,
+            n_layers: 1,
+            n_heads: 2,
+        },
+        5,
+    )
+}
+
+fn patterns() -> PatternDistribution {
+    PatternDistribution::from_passwords(["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied())
+}
+
+fn sopg_config(total: u64, frontier_cap: u64, workers: usize) -> DcGenConfig {
+    DcGenConfig {
+        threshold: 16,
+        seed: 9,
+        workers,
+        scheduler: SchedulerKind::Sopg,
+        frontier_cap,
+        ..DcGenConfig::new(total)
+    }
+}
+
+fn run_sopg(total: u64, frontier_cap: u64, workers: usize) -> DcGenReport {
+    DcGen::new(&tiny_model(), sopg_config(total, frontier_cap, workers))
+        .run(&patterns())
+        .unwrap()
+}
+
+/// The two SOPG invariants plus structural sanity, shared by the direct
+/// tests and the property tests.
+fn check_ordered_emission(report: &DcGenReport, total: u64) {
+    assert!(report.emitted > 0, "sopg emitted nothing");
+    assert!(report.emitted <= total, "emission exceeded the budget");
+    assert_eq!(
+        report.passwords.len() as u64,
+        report.emitted,
+        "in-memory emission must match the emitted count"
+    );
+    assert_eq!(
+        report.emission_log_probs.len(),
+        report.passwords.len(),
+        "every emission carries its log-probability"
+    );
+    assert!(
+        report
+            .emission_log_probs
+            .iter()
+            .all(|lp| lp.is_finite() && *lp <= 0.0),
+        "emission log-probs must be finite and non-positive"
+    );
+    assert!(
+        report.emission_log_probs.windows(2).all(|w| w[0] >= w[1]),
+        "emission log-probs must be non-increasing"
+    );
+    let unique: HashSet<&str> = report.passwords.iter().map(String::as_str).collect();
+    assert_eq!(
+        unique.len(),
+        report.passwords.len(),
+        "sopg repeat rate must be exactly zero"
+    );
+    let dist = patterns();
+    assert!(
+        report
+            .passwords
+            .iter()
+            .all(|pw| dist.top(10).iter().any(|e| e.pattern.matches(pw))),
+        "every emission conforms to a corpus pattern"
+    );
+}
+
+#[test]
+fn emission_is_ordered_and_repeat_free_across_frontier_caps() {
+    for cap in [0u64, 500, 64, 8] {
+        let report = run_sopg(300, cap, 1);
+        check_ordered_emission(&report, 300);
+        if cap == 0 {
+            assert_eq!(report.frontier_evictions, 0, "uncapped run evicted");
+        }
+    }
+    // A cap smaller than one expansion's fan-out must force evictions —
+    // and the ordering/uniqueness guarantees held above regardless.
+    let tight = run_sopg(300, 8, 1);
+    assert!(tight.frontier_evictions > 0, "cap 8 never evicted");
+}
+
+#[test]
+fn eviction_under_a_tight_cap_is_deterministic() {
+    let a = run_sopg(250, 8, 1);
+    let b = run_sopg(250, 8, 1);
+    assert_eq!(a.passwords, b.passwords);
+    assert_eq!(a.emission_log_probs, b.emission_log_probs);
+    assert_eq!(a.frontier_evictions, b.frontier_evictions);
+}
+
+#[test]
+fn worker_count_does_not_change_the_emission_order() {
+    // The in-flight barrier delays emission until no pending expansion
+    // could still beat the frontier's best complete node, so the emitted
+    // sequence is the top-N by probability no matter the interleaving.
+    let solo = run_sopg(300, 0, 1);
+    let pooled = run_sopg(300, 0, 3);
+    assert_eq!(solo.passwords, pooled.passwords);
+    assert_eq!(solo.emission_log_probs, pooled.emission_log_probs);
+}
+
+#[test]
+fn kill_and_resume_preserves_order_and_uniqueness() {
+    let dir = std::env::temp_dir().join("pagpass_sched_sopg");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_path: PathBuf = dir.join("sopg.journal");
+    std::fs::remove_file(&journal_path).ok();
+
+    let model = tiny_model();
+    let full = DcGen::new(&model, sopg_config(300, 0, 1))
+        .run(&patterns())
+        .unwrap();
+    check_ordered_emission(&full, 300);
+
+    let fault = FaultPlan::new().cancel_after_tasks(3);
+    let opts = DcGenOptions {
+        journal: Some(&journal_path),
+        fault: Some(&fault),
+        ..DcGenOptions::default()
+    };
+    let partial = DcGen::new(&model, sopg_config(300, 0, 1))
+        .run_with(&patterns(), &opts)
+        .unwrap();
+    assert!(partial.interrupted, "the kill left no pending frontier");
+    assert!(partial.emitted < full.emitted);
+
+    let journal = DcGenJournal::load(&journal_path).unwrap();
+    assert_eq!(journal.scheduler, SchedulerKind::Sopg);
+    assert_eq!(journal.emitted, partial.emitted);
+
+    let resumed = DcGen::resume(&model, &journal, &DcGenOptions::default()).unwrap();
+    assert!(!resumed.interrupted);
+
+    let mut stitched = partial.passwords.clone();
+    stitched.extend(resumed.passwords.iter().cloned());
+    assert_eq!(
+        stitched, full.passwords,
+        "interrupted + resumed emission must equal one uninterrupted run"
+    );
+    std::fs::remove_file(journal_path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any frontier cap and any budget: emission stays ordered and
+    /// repeat-free. Caps below the per-expansion fan-out stress the
+    /// eviction path; large ones never evict.
+    #[test]
+    fn ordered_repeat_free_under_any_cap(cap in 0u64..256, total in 50u64..250) {
+        let report = run_sopg(total, cap, 1);
+        check_ordered_emission(&report, total);
+    }
+}

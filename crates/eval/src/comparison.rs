@@ -1,0 +1,212 @@
+//! Scheduler comparison report: hit-rate-per-guess and repeat-rate for
+//! several generation schedulers run at the *same* guess budget.
+//!
+//! The D&C-GEN paper argument (Fig. 10) is that scheduling — not the
+//! model — controls the repeat rate; the SOPG argument (arXiv
+//! 2403.09954) is that ordered enumeration additionally front-loads the
+//! probability mass. Both claims are only meaningful side by side at an
+//! equal budget, which is what [`SchedulerComparison`] captures and
+//! [`SchedulerComparison::validate`] enforces before a report is
+//! committed or gated in CI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GuessCurve;
+
+/// One scheduler's measured behavior at the shared budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerCurve {
+    /// Scheduler name (`dcgen`, `sopg`, `sample`).
+    pub scheduler: String,
+    /// Guess budget the run was given.
+    pub budget: u64,
+    /// Guesses actually emitted (≤ budget; quota rounding may undershoot).
+    pub emitted: u64,
+    /// Hit/repeat rates along the shared budget ladder.
+    pub curve: GuessCurve,
+    /// Repeat rate over the full emission.
+    pub repeat_rate: f64,
+    /// Hit rate over the full emission.
+    pub hit_rate: f64,
+    /// Emission throughput of the run.
+    pub guesses_per_sec: f64,
+    /// Whether per-guess emission log-probabilities were non-increasing.
+    /// `None` when the scheduler does not report emission probabilities
+    /// (dcgen and sample do not).
+    pub emission_monotone: Option<bool>,
+    /// Frontier evictions forced by the memory cap (SOPG only).
+    pub frontier_evictions: u64,
+}
+
+/// All schedulers compared at one budget against one test set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerComparison {
+    /// Shared guess budget every scheduler ran with.
+    pub budget: u64,
+    /// Test-set size the hit rates are measured against.
+    pub test_size: usize,
+    /// The budget ladder every curve was evaluated on.
+    pub budgets: Vec<usize>,
+    /// Per-scheduler results.
+    pub schedulers: Vec<SchedulerCurve>,
+}
+
+impl SchedulerComparison {
+    /// Checks the structural invariants a committed comparison report
+    /// must hold. Returns every violation, empty when valid:
+    ///
+    /// * at least two schedulers, all at the shared budget,
+    /// * every curve evaluated on the shared budget ladder,
+    /// * rates within `[0, 1]`,
+    /// * `sopg`, when present, has exactly zero repeats and monotone
+    ///   non-increasing emission log-probabilities.
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        if self.schedulers.len() < 2 {
+            errors.push(format!(
+                "comparison needs at least two schedulers, got {}",
+                self.schedulers.len()
+            ));
+        }
+        for s in &self.schedulers {
+            let name = s.scheduler.as_str();
+            if s.budget != self.budget {
+                errors.push(format!(
+                    "{name}: budget {} differs from shared budget {}",
+                    s.budget, self.budget
+                ));
+            }
+            if s.emitted > s.budget {
+                errors.push(format!(
+                    "{name}: emitted {} exceeds budget {}",
+                    s.emitted, s.budget
+                ));
+            }
+            if s.curve.budgets != self.budgets {
+                errors.push(format!("{name}: curve ladder differs from shared ladder"));
+            }
+            for (label, v) in [("repeat_rate", s.repeat_rate), ("hit_rate", s.hit_rate)] {
+                if !(0.0..=1.0).contains(&v) {
+                    errors.push(format!("{name}: {label} {v} outside [0, 1]"));
+                }
+            }
+            if name == "sopg" {
+                if s.repeat_rate != 0.0 {
+                    errors.push(format!(
+                        "sopg: repeat rate must be exactly 0.0, got {}",
+                        s.repeat_rate
+                    ));
+                }
+                if s.emission_monotone != Some(true) {
+                    errors.push(format!(
+                        "sopg: emission log-probs must be monotone non-increasing, got {:?}",
+                        s.emission_monotone
+                    ));
+                }
+            }
+        }
+        errors
+    }
+}
+
+/// Whether a sequence of emission log-probabilities is non-increasing —
+/// the SOPG ordered-enumeration guarantee. Treats NaN as a violation.
+#[must_use]
+pub fn emission_is_non_increasing(log_probs: &[f64]) -> bool {
+    log_probs.iter().all(|lp| !lp.is_nan()) && log_probs.windows(2).all(|w| w[0] >= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(budgets: &[usize]) -> GuessCurve {
+        GuessCurve {
+            budgets: budgets.to_vec(),
+            hit_rates: budgets.iter().map(|_| 0.1).collect(),
+            repeat_rates: budgets.iter().map(|_| 0.0).collect(),
+        }
+    }
+
+    fn entry(name: &str, budget: u64, budgets: &[usize]) -> SchedulerCurve {
+        SchedulerCurve {
+            scheduler: name.to_owned(),
+            budget,
+            emitted: budget,
+            curve: curve(budgets),
+            repeat_rate: 0.0,
+            hit_rate: 0.1,
+            guesses_per_sec: 100.0,
+            emission_monotone: (name == "sopg").then_some(true),
+            frontier_evictions: 0,
+        }
+    }
+
+    #[test]
+    fn valid_comparison_has_no_errors() {
+        let cmp = SchedulerComparison {
+            budget: 100,
+            test_size: 50,
+            budgets: vec![10, 100],
+            schedulers: vec![
+                entry("dcgen", 100, &[10, 100]),
+                entry("sopg", 100, &[10, 100]),
+                entry("sample", 100, &[10, 100]),
+            ],
+        };
+        assert_eq!(cmp.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unequal_budget_and_ladder_are_rejected() {
+        let cmp = SchedulerComparison {
+            budget: 100,
+            test_size: 50,
+            budgets: vec![10, 100],
+            schedulers: vec![
+                entry("dcgen", 100, &[10, 100]),
+                entry("sopg", 90, &[10, 90]),
+            ],
+        };
+        let errors = cmp.validate();
+        assert!(errors.iter().any(|e| e.contains("shared budget")));
+        assert!(errors.iter().any(|e| e.contains("ladder")));
+    }
+
+    #[test]
+    fn sopg_with_repeats_or_unordered_emission_is_rejected() {
+        let mut bad = entry("sopg", 100, &[10, 100]);
+        bad.repeat_rate = 0.01;
+        bad.emission_monotone = Some(false);
+        let cmp = SchedulerComparison {
+            budget: 100,
+            test_size: 50,
+            budgets: vec![10, 100],
+            schedulers: vec![entry("dcgen", 100, &[10, 100]), bad],
+        };
+        let errors = cmp.validate();
+        assert!(errors.iter().any(|e| e.contains("exactly 0.0")));
+        assert!(errors.iter().any(|e| e.contains("monotone")));
+    }
+
+    #[test]
+    fn single_scheduler_is_not_a_comparison() {
+        let cmp = SchedulerComparison {
+            budget: 100,
+            test_size: 50,
+            budgets: vec![100],
+            schedulers: vec![entry("dcgen", 100, &[100])],
+        };
+        assert!(!cmp.validate().is_empty());
+    }
+
+    #[test]
+    fn monotone_helper_rejects_increases_and_nan() {
+        assert!(emission_is_non_increasing(&[]));
+        assert!(emission_is_non_increasing(&[-1.0]));
+        assert!(emission_is_non_increasing(&[-1.0, -1.0, -2.5]));
+        assert!(!emission_is_non_increasing(&[-2.0, -1.0]));
+        assert!(!emission_is_non_increasing(&[-1.0, f64::NAN]));
+    }
+}

@@ -57,7 +57,7 @@ impl GuessNumberEstimator {
             !sorted.is_empty(),
             "estimator needs at least one finite sample"
         );
-        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        sorted.sort_by(|a, b| b.total_cmp(a));
         let n = sorted.len() as f64;
         let mut prefix_mass = Vec::with_capacity(sorted.len());
         let mut acc = 0.0;

@@ -11,6 +11,9 @@
 //! * [`PatternGuidedEval`] — the `HR_s` / `HR_P` protocol of the
 //!   pattern-guided guessing test (Eqs. 4–5, Figs. 8–9), including the
 //!   top-21-patterns-per-category target selection,
+//! * [`SchedulerComparison`] — hit-rate-per-guess and repeat-rate for
+//!   several generation schedulers (D&C-GEN, SOPG, plain sampling) run
+//!   at the same guess budget,
 //! * [`GuessNumberEstimator`] — Monte Carlo guess-number estimation
 //!   (Dell'Amico & Filippone 2015), turning any scoring model into a
 //!   strength meter calibrated in guesses-to-crack.
@@ -31,8 +34,10 @@ use std::collections::{BTreeMap, HashSet};
 use pagpass_patterns::{Pattern, PatternDistribution};
 use serde::{Deserialize, Serialize};
 
+mod comparison;
 mod guess_number;
 
+pub use comparison::{emission_is_non_increasing, SchedulerComparison, SchedulerCurve};
 pub use guess_number::GuessNumberEstimator;
 
 /// Outcome of a hit-rate measurement.

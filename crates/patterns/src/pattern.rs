@@ -59,8 +59,8 @@ impl Segment {
     /// The run length (between 1 and 12).
     #[must_use]
     pub fn len(self) -> std::num::NonZeroU8 {
-        // Invariant upheld by `new`.
-        std::num::NonZeroU8::new(self.len).expect("segment length is non-zero")
+        // Invariant upheld by `new`; the fallback is unreachable.
+        std::num::NonZeroU8::new(self.len).unwrap_or(std::num::NonZeroU8::MIN)
     }
 
     /// Number of distinct strings matching this segment,

@@ -212,11 +212,9 @@ impl Tokenizer {
 
     fn push_pattern(&self, ids: &mut Vec<TokenId>, pattern: &Pattern) {
         for &seg in pattern.segments() {
-            ids.push(
-                self.vocab
-                    .segment_id(seg)
-                    .expect("all valid segments are in the vocabulary"),
-            );
+            // Every valid segment is in the vocabulary; `<UNK>` is the
+            // unreachable out-of-vocabulary fallback.
+            ids.push(self.vocab.segment_id(seg).unwrap_or(Vocab::UNK));
         }
     }
 }

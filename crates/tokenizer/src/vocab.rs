@@ -100,9 +100,12 @@ impl Vocab {
         let mut tokens = Vec::with_capacity(VOCAB_SIZE);
         tokens.extend([Token::Bos, Token::Sep, Token::Eos, Token::Unk, Token::Pad]);
         for class in CharClass::ALL {
+            // 1..=12 are all valid segment lengths; the `VOCAB_SIZE`
+            // debug assertion below would catch any silently skipped one.
             for len in 1..=MAX_SEGMENT_LEN {
-                let seg = Segment::new(class, len).expect("1..=12 is a valid segment length");
-                tokens.push(Token::Pattern(seg));
+                if let Ok(seg) = Segment::new(class, len) {
+                    tokens.push(Token::Pattern(seg));
+                }
             }
         }
         for class in CharClass::ALL {
@@ -158,13 +161,12 @@ impl Vocab {
     /// pattern demands a letter / digit / special next.
     #[must_use]
     pub fn class_char_ids(&self, class: CharClass) -> Vec<TokenId> {
+        // Every class character is in the vocabulary by construction, so
+        // the filter never drops one.
         class
             .chars()
             .chars()
-            .map(|c| {
-                self.char_id(c)
-                    .expect("class characters are in the vocabulary")
-            })
+            .filter_map(|c| self.char_id(c))
             .collect()
     }
 

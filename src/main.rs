@@ -22,7 +22,8 @@ use std::time::Duration;
 
 use pagpass::core::{
     run_with_listeners, CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal,
-    DcGenOptions, ModelKind, PasswordModel, PasswordSink, ServeConfig, TrainConfig, TrainOptions,
+    DcGenOptions, ModelKind, PasswordModel, PasswordSink, SchedulerKind, ServeConfig, TrainConfig,
+    TrainOptions,
 };
 use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
@@ -54,7 +55,7 @@ const USAGE: &str = "usage:
   pagpass generate --kind <passgpt|pagpassgpt> --model FILE --n N [--pattern P] [--temp T] [--seed S] [--out FILE]
   pagpass dcgen    --model FILE --corpus FILE --n N [--threshold T] [--seed S] [--out FILE]
                    [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
-                   [--no-prefix-reuse]
+                   [--no-prefix-reuse] [--scheduler <dcgen|sopg|sample>] [--frontier-cap N]
   pagpass eval     --guesses FILE --test FILE
   pagpass strength --kind <passgpt|pagpassgpt> --model FILE [--in FILE] [--precise] [PASSWORD...]
   pagpass serve    --kind <passgpt|pagpassgpt> --model FILE [--addr HOST:PORT] [--max-batch N]
@@ -574,6 +575,11 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         Some(_) => Some(Duration::from_secs(p.num("deadline-secs", 0u64)?)),
         None => None,
     };
+    let scheduler: SchedulerKind = match p.flags.get("scheduler") {
+        Some(v) => v.parse()?,
+        None => SchedulerKind::default(),
+    };
+    let frontier_cap: u64 = p.num("frontier-cap", 0)?;
     let journal_path = p.flags.get("checkpoint").map(PathBuf::from);
     let resume = p.flags.contains_key("resume");
     if resume && journal_path.is_none() {
@@ -590,6 +596,12 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let journal = match (&journal_path, resume) {
         (Some(path), true) => {
             let j = DcGenJournal::load(path).map_err(|e| e.to_string())?;
+            // A journal resumes under the scheduler that wrote it; an
+            // explicit conflicting --scheduler is a user error, not a
+            // silent override.
+            if p.flags.contains_key("scheduler") {
+                j.check_scheduler(scheduler).map_err(|e| e.to_string())?;
+            }
             if let Some(out_path) = out {
                 truncate_lines(out_path, j.emitted)?;
             }
@@ -612,6 +624,8 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         no_prefix_reuse: p.flags.contains_key("no-prefix-reuse"),
     };
 
+    // On resume the journal's scheduler runs, whatever the flag default was.
+    let ran_scheduler = journal.as_ref().map_or(scheduler, |j| j.scheduler);
     let report = match &journal {
         Some(j) => DcGen::resume(&model, j, &opts).map_err(|e| e.to_string())?,
         None => {
@@ -622,6 +636,8 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
                 seed,
                 workers,
                 max_task_retries: retries,
+                scheduler,
+                frontier_cap,
                 ..DcGenConfig::new(n)
             };
             DcGen::new(&model, config)
@@ -645,6 +661,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     tel.summary(
         "dcgen.summary",
         &[
+            ("scheduler", Field::Str(ran_scheduler.to_string())),
             ("emitted", Field::U64(report.emitted)),
             ("leaves", Field::U64(report.leaf_tasks as u64)),
             ("expansions", Field::U64(report.expansions as u64)),
@@ -1040,6 +1057,7 @@ mod tests {
             "dcgen.task_retries",
             "dcgen.leaf_tasks",
             "dcgen.leaf_duplicates",
+            "sched.emitted",
         ] {
             assert!(counters.get(name).is_some(), "missing counter {name}");
         }
@@ -1047,9 +1065,12 @@ mod tests {
             counters.get("dcgen.passwords").unwrap().as_f64(),
             Some(200.0)
         );
+        // Every password flows through the scheduler-neutral counter too.
+        assert_eq!(counters.get("sched.emitted").unwrap().as_f64(), Some(200.0));
         let gauges = v.get("gauges").expect("gauges section");
         assert!(gauges.get("dcgen.queue_depth").is_some());
         assert!(gauges.get("dcgen.workers_busy").is_some());
+        assert!(gauges.get("sched.frontier_depth").is_some());
         let hists = v.get("histograms").expect("histograms section");
         for name in ["dcgen.run.ms", "dcgen.task.ms"] {
             assert!(hists.get(name).is_some(), "missing histogram {name}");
