@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use pagpass_bench::save_json;
-use pagpass_nn::GptConfig;
+use pagpass_nn::{set_kernel_mode, GptConfig, KernelMode};
 use pagpass_patterns::{Pattern, PatternDistribution};
 use pagpass_tokenizer::VOCAB_SIZE;
 use pagpassgpt::{DcGen, DcGenConfig, DcGenOptions, InferenceSession, ModelKind, PasswordModel};
@@ -32,6 +32,13 @@ struct SplitPhase {
     session_reused_tokens: u64,
     session_computed_tokens: u64,
     distributions_identical: bool,
+    /// Same task sequence through a `--kernel quantized` session.
+    quantized_ms: f64,
+    /// Pinned session over quantized session: the int8 decode win.
+    quantized_speedup_vs_pinned: f64,
+    /// Max elementwise probability divergence, quantized vs pinned — int8
+    /// quantization noise, bounded by the accuracy budget in `crates/eval`.
+    quantized_max_prob_diff: f64,
 }
 
 #[derive(Serialize)]
@@ -184,6 +191,34 @@ fn main() {
         "cached split distributions diverged from stateless ones"
     );
 
+    // Quantized arm: the identical task sequence through a session built
+    // under `KernelMode::Quantized` (which packs the weights once at
+    // construction — untimed, like a `--kernel quantized` run). Not
+    // bit-compatible with f32, so the check is a divergence bound rather
+    // than equality.
+    set_kernel_mode(KernelMode::Quantized);
+    let mut qsession = InferenceSession::new(&model);
+    let started = Instant::now();
+    let mut quantized = Vec::with_capacity(tasks.len());
+    for prefix in &tasks {
+        quantized.push(
+            qsession
+                .next_char_distribution(&pattern, prefix)
+                .expect("prefix fits the pattern"),
+        );
+    }
+    let quantized_ms = started.elapsed().as_secs_f64() * 1e3;
+    set_kernel_mode(KernelMode::Blocked);
+    let quantized_max_prob_diff = cached
+        .iter()
+        .zip(&quantized)
+        .flat_map(|((_, p), (_, q))| p.iter().zip(q).map(|(&a, &b)| f64::from((a - b).abs())))
+        .fold(0.0, f64::max);
+    assert!(
+        quantized_max_prob_diff < 0.05,
+        "quantized split distributions drifted {quantized_max_prob_diff} from pinned"
+    );
+
     let split_phase = SplitPhase {
         tasks: tasks.len(),
         max_prefix_depth: depth,
@@ -193,11 +228,18 @@ fn main() {
         session_reused_tokens: session.reused_tokens(),
         session_computed_tokens: session.computed_tokens(),
         distributions_identical,
+        quantized_ms,
+        quantized_speedup_vs_pinned: session_ms / quantized_ms,
+        quantized_max_prob_diff,
     };
     eprintln!(
         "[split] stateless {stateless_ms:.1} ms, session {:.1} ms ({:.2}x), reused {} / computed {} tokens",
         session_ms, split_phase.speedup, split_phase.session_reused_tokens,
         split_phase.session_computed_tokens
+    );
+    eprintln!(
+        "[split] quantized session {quantized_ms:.1} ms ({:.2}x vs pinned session), max prob diff {quantized_max_prob_diff:.2e}",
+        split_phase.quantized_speedup_vs_pinned
     );
 
     // ---- end to end: a full dcgen run with the session disabled vs. on.

@@ -27,7 +27,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use pagpass_bench::save_json_str;
-use pagpass_nn::{pool, set_kernel_mode, AdamW, Gpt, GptConfig, KernelMode, Mat, Rng, ThreadPool};
+use pagpass_nn::{
+    pool, set_force_portable, set_kernel_mode, AdamW, Gpt, GptConfig, KernelMode, Mat,
+    QuantizedGpt, Rng, ThreadPool,
+};
 use pagpass_tokenizer::VOCAB_SIZE;
 
 struct KernelTiming {
@@ -69,12 +72,30 @@ struct TrainStep {
     losses_max_rel_diff: f64,
 }
 
+struct DecodeTiming {
+    dim: usize,
+    n_layers: usize,
+    batch: usize,
+    seq: usize,
+    reps: usize,
+    pinned_ms: f64,
+    quantized_ms: f64,
+    /// pinned / quantized: the `--kernel quantized` decode win.
+    speedup: f64,
+    /// Quantized logits bit-identical under SIMD and portable dispatch.
+    dispatch_deterministic: bool,
+    /// Max quantized-vs-pinned logit divergence relative to the largest
+    /// logit magnitude (int8 quantization noise, bounded but nonzero).
+    logits_max_rel_diff: f64,
+}
+
 struct Report {
     bench: &'static str,
     mode: &'static str,
     pool_threads: usize,
     kernels: Vec<KernelTiming>,
     train_step: TrainStep,
+    decode: DecodeTiming,
     /// Dimensionless blocked-over-naive ratios, keyed for `bench_gate`.
     speedups: BTreeMap<String, f64>,
 }
@@ -130,6 +151,26 @@ impl TrainStep {
     }
 }
 
+impl DecodeTiming {
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"dim\": {}, \"n_layers\": {}, \"batch\": {}, \"seq\": {}, \"reps\": {},\n    \
+             \"pinned_ms\": {:.3}, \"quantized_ms\": {:.3}, \"speedup\": {:.3},\n    \
+             \"dispatch_deterministic\": {}, \"logits_max_rel_diff\": {:.3e}\n  }}",
+            self.dim,
+            self.n_layers,
+            self.batch,
+            self.seq,
+            self.reps,
+            self.pinned_ms,
+            self.quantized_ms,
+            self.speedup,
+            self.dispatch_deterministic,
+            self.logits_max_rel_diff
+        )
+    }
+}
+
 impl Report {
     fn json(&self) -> String {
         let mut out = String::new();
@@ -144,6 +185,7 @@ impl Report {
         }
         out.push_str("  ],\n");
         let _ = writeln!(out, "  \"train_step\": {},", self.train_step.json());
+        let _ = writeln!(out, "  \"decode\": {},", self.decode.json());
         out.push_str("  \"speedups\": {\n");
         for (i, (key, value)) in self.speedups.iter().enumerate() {
             let sep = if i + 1 < self.speedups.len() { "," } else { "" };
@@ -379,6 +421,83 @@ fn run_training(s: &Setup, mode: KernelMode) -> (f64, Vec<f32>) {
     (wall, losses)
 }
 
+/// Times a KV-cached decode loop under the pinned blocked f32 kernels and
+/// under the packed int8 kernels (`decode_quantized_vs_pinned` in the
+/// gated speedups). The pack itself (`Gpt::quantize`) runs untimed: it is
+/// the once-per-session cost an `InferenceSession` pays at build, not a
+/// per-token cost. The quantized arm must be bitwise identical under SIMD
+/// and portable dispatch, and its logits must sit within int8 noise of the
+/// pinned logits.
+fn bench_decode(s: &Setup) -> DecodeTiming {
+    set_kernel_mode(KernelMode::Blocked);
+    let gpt = Gpt::new(s.config, &mut Rng::seed_from(5));
+    let mut data_rng = Rng::seed_from(23);
+    let steps: Vec<Vec<u32>> = (0..s.seq)
+        .map(|_| {
+            (0..s.batch)
+                .map(|_| data_rng.below(s.config.vocab_size) as u32)
+                .collect()
+        })
+        .collect();
+    let q = gpt.quantize();
+
+    let run = |quant: Option<&QuantizedGpt>| -> Mat {
+        let mut state = gpt.begin_decode(s.batch);
+        let mut logits = None;
+        for tokens in &steps {
+            logits = Some(gpt.decode_step_with(quant, tokens, &mut state));
+        }
+        logits.expect("at least one decode step")
+    };
+
+    let (pinned_ms, pinned_logits) = time_kernel(s.kernel_reps, || run(None));
+    let (quantized_ms, quant_logits) = time_kernel(s.kernel_reps, || run(Some(&q)));
+
+    set_force_portable(true);
+    let portable_logits = run(Some(&q));
+    set_force_portable(false);
+    let dispatch_deterministic = portable_logits == quant_logits;
+    assert!(
+        dispatch_deterministic,
+        "quantized decode diverged between SIMD and portable dispatch"
+    );
+
+    let scale = pinned_logits
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()));
+    let logits_max_rel_diff = pinned_logits
+        .as_slice()
+        .iter()
+        .zip(quant_logits.as_slice())
+        .map(|(&x, &y)| f64::from((x - y).abs() / scale))
+        .fold(0.0, f64::max);
+    assert!(
+        logits_max_rel_diff < 0.05,
+        "quantized logits drifted {logits_max_rel_diff} from pinned — \
+         beyond int8 noise, a kernel bug"
+    );
+
+    let timing = DecodeTiming {
+        dim: s.config.dim,
+        n_layers: s.config.n_layers,
+        batch: s.batch,
+        seq: s.seq,
+        reps: s.kernel_reps,
+        pinned_ms,
+        quantized_ms,
+        speedup: pinned_ms / quantized_ms,
+        dispatch_deterministic,
+        logits_max_rel_diff,
+    };
+    eprintln!(
+        "[gemm] decode dim={} batch={}x{}: pinned {pinned_ms:.1}ms  quantized \
+         {quantized_ms:.1}ms  speedup {:.2}x  logit drift {logits_max_rel_diff:.2e}",
+        s.config.dim, s.batch, s.seq, timing.speedup
+    );
+    timing
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let s = setup(smoke);
@@ -435,11 +554,14 @@ fn main() {
         train.speedup
     );
 
+    let decode = bench_decode(&s);
+
     let mut speedups = BTreeMap::new();
     for kt in &kernels {
         speedups.insert(kt.kernel.to_string(), kt.speedup_blocked);
     }
     speedups.insert("train_step".to_string(), train.speedup);
+    speedups.insert("decode_quantized_vs_pinned".to_string(), decode.speedup);
 
     let report = Report {
         bench: "gemm",
@@ -447,6 +569,7 @@ fn main() {
         pool_threads,
         kernels,
         train_step: train,
+        decode,
         speedups,
     };
     save_json_str(&format!("gemm-{}", s.mode), &report.json()).expect("write bench result");

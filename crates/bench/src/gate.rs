@@ -183,6 +183,7 @@ mod tests {
             "matmul_t_accum",
             "matmul_t_accum_fast",
             "train_step",
+            "decode_quantized_vs_pinned",
         ] {
             assert!(baseline.contains_key(key), "baseline lacks {key}");
         }

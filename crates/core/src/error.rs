@@ -51,6 +51,9 @@ pub enum CoreError {
         /// The model's context window.
         ctx_len: usize,
     },
+    /// A user-supplied configuration value was invalid (bad flag value,
+    /// unknown mode name).
+    Config(String),
     /// A D&C-GEN journal was malformed or failed its checksum.
     Journal(String),
     /// A training checkpoint was malformed or failed its checksum.
@@ -90,6 +93,7 @@ impl fmt::Display for CoreError {
                 f,
                 "password encodes to {rule_len} tokens, beyond the {ctx_len}-token context window"
             ),
+            CoreError::Config(what) => write!(f, "invalid configuration: {what}"),
             CoreError::Journal(what) => write!(f, "bad generation journal: {what}"),
             CoreError::Checkpoint(what) => write!(f, "bad training checkpoint: {what}"),
             CoreError::Internal(what) => write!(f, "internal invariant violated: {what}"),

@@ -1,4 +1,4 @@
-use pagpass_nn::{sample_categorical, sample_masked, DecodeState, Gpt, Mat, Rng};
+use pagpass_nn::{sample_categorical, sample_masked, DecodeState, Gpt, Mat, QuantizedGpt, Rng};
 use pagpass_tokenizer::{TokenId, Vocab};
 
 /// A batched sampling request against a shared prompt.
@@ -38,7 +38,7 @@ pub(crate) fn sample_batched(
     batch: usize,
     rng: &mut Rng,
 ) -> Vec<Vec<TokenId>> {
-    sample_batched_primed(gpt, vocab, plan, n, batch, rng, &mut |b| {
+    sample_batched_primed(gpt, None, vocab, plan, n, batch, rng, &mut |b| {
         let mut state = gpt.begin_decode(b);
         let mut logits = Mat::zeros(0, 0);
         for &tok in &plan.prefix {
@@ -54,11 +54,17 @@ pub(crate) fn sample_batched(
 /// broadcast an already-computed batch-1 prompt instead of re-feeding it
 /// per row (bit-identical — see `crate::inference`).
 ///
+/// When `quant` is present every decode step routes through the packed
+/// int8 weights; the primer must have produced its state and logits under
+/// the same kernel or the sampled stream would mix modes.
+///
 /// # Panics
 ///
 /// Panics if the prompt plus budget exceed the model's context window.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sample_batched_primed(
     gpt: &Gpt,
+    quant: Option<&QuantizedGpt>,
     vocab: &Vocab,
     plan: &SamplePlan<'_>,
     n: usize,
@@ -79,14 +85,18 @@ pub(crate) fn sample_batched_primed(
     while remaining > 0 {
         let b = remaining.min(batch);
         let (state, logits) = prime(b);
-        out.extend(sample_one_batch(gpt, vocab, plan, b, rng, state, logits));
+        out.extend(sample_one_batch(
+            gpt, quant, vocab, plan, b, rng, state, logits,
+        ));
         remaining -= b;
     }
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sample_one_batch(
     gpt: &Gpt,
+    quant: Option<&QuantizedGpt>,
     vocab: &Vocab,
     plan: &SamplePlan<'_>,
     b: usize,
@@ -124,7 +134,7 @@ fn sample_one_batch(
         if all_done || step + 1 == plan.max_new {
             break;
         }
-        logits = gpt.decode_step(&next_tokens, &mut state);
+        logits = gpt.decode_step_with(quant, &next_tokens, &mut state);
     }
     let _ = vocab; // vocabulary is part of the contract; ids map through it
     sequences

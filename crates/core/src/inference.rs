@@ -29,7 +29,9 @@
 //! cache equals feeding the prefix to every row. The cached-vs-uncached
 //! tests in this module assert `==` on logits, not an epsilon.
 
-use pagpass_nn::{softmax_in_place, DecodeState, Mat, Rng};
+use std::sync::Arc;
+
+use pagpass_nn::{softmax_in_place, DecodeState, KernelMode, Mat, QuantizedGpt, Rng};
 use pagpass_patterns::Pattern;
 use pagpass_telemetry::{Counter, Histogram, Telemetry, LATENCY_MS_BOUNDS};
 use pagpass_tokenizer::{TokenId, TokenizeError, Tokenizer, Vocab};
@@ -142,6 +144,10 @@ impl RulePrefix {
 /// threads it through every split and leaf that worker executes.
 pub struct InferenceSession<'m> {
     model: &'m PasswordModel,
+    /// Pack-once int8 decode weights, present iff the session was built
+    /// under [`KernelMode::Quantized`]. Arc'd so [`fork`](Self::fork) and
+    /// batch priming share one pack instead of re-quantizing.
+    quant: Option<Arc<QuantizedGpt>>,
     state: DecodeState,
     /// Tokens currently in the cache; `state.pos() == tokens.len()`.
     tokens: Vec<TokenId>,
@@ -174,10 +180,19 @@ impl<'m> InferenceSession<'m> {
 
     /// Opens a session whose cache hits feed `tel`'s
     /// [`PREFIX_REUSE_COUNTER`].
+    ///
+    /// This is the quantized-decode prepare step: when the process-wide
+    /// kernel mode is [`KernelMode::Quantized`], the model's decode-path
+    /// weights are packed into int8 blocks here, once, and every decode
+    /// this session performs routes through them. Under any other mode the
+    /// session decodes in bit-exact f32.
     #[must_use]
     pub fn with_telemetry(model: &'m PasswordModel, tel: &Telemetry) -> InferenceSession<'m> {
+        let quant = (pagpass_nn::kernel_mode() == KernelMode::Quantized)
+            .then(|| Arc::new(model.gpt().quantize()));
         InferenceSession {
             model,
+            quant,
             state: model.gpt().begin_decode(1),
             tokens: Vec::new(),
             last_logits: Vec::new(),
@@ -215,6 +230,7 @@ impl<'m> InferenceSession<'m> {
     pub fn fork(&self) -> InferenceSession<'m> {
         InferenceSession {
             model: self.model,
+            quant: self.quant.clone(),
             state: self.state.fork(),
             tokens: self.tokens.clone(),
             last_logits: self.last_logits.clone(),
@@ -235,7 +251,10 @@ impl<'m> InferenceSession<'m> {
 
     /// Feeds one token and records its logits.
     fn feed(&mut self, tok: TokenId) {
-        let logits = self.model.gpt().decode_step(&[tok], &mut self.state);
+        let logits =
+            self.model
+                .gpt()
+                .decode_step_with(self.quant.as_deref(), &[tok], &mut self.state);
         self.last_logits.clear();
         self.last_logits.extend_from_slice(logits.row(0));
         self.tokens.push(tok);
@@ -367,8 +386,10 @@ impl<'m> InferenceSession<'m> {
             banned: model.banned_ids(),
             allowed_at: Box::new(|step| masks.get(step).map(Vec::as_slice)),
         };
+        let quant = self.quant.clone();
         let sequences = sample_batched_primed(
             model.gpt(),
+            quant.as_deref(),
             vocab,
             &plan,
             n,
@@ -499,7 +520,10 @@ impl<'m> InferenceSession<'m> {
                     .iter()
                     .map(|rule| rule.get(pos).copied().unwrap_or(Vocab::BOS))
                     .collect();
-                logits = self.model.gpt().decode_step(&tokens, &mut wide);
+                logits =
+                    self.model
+                        .gpt()
+                        .decode_step_with(self.quant.as_deref(), &tokens, &mut wide);
                 self.computed += b as u64;
             }
         }

@@ -24,11 +24,18 @@ use pagpass_nn::{atomic_write, crc32};
 use pagpass_patterns::Pattern;
 
 use crate::dcgen::FailedTask;
+use crate::kernel::KernelChoice;
 use crate::sched::SchedulerKind;
 use crate::CoreError;
 
-/// First line of every journal file.
-const HEADER: &str = "PAGPASS-DCGEN-JOURNAL v1";
+/// Header of journals written by builds before the decode-kernel field
+/// existed. Still accepted on load; the kernel defaults to
+/// [`KernelChoice::Pinned`], the only kernel those builds had.
+const HEADER_V1: &str = "PAGPASS-DCGEN-JOURNAL v1";
+
+/// First line of every journal this build writes. v2 appended the decode
+/// kernel to the stats line; the rest of the format is unchanged.
+const HEADER_V2: &str = "PAGPASS-DCGEN-JOURNAL v2";
 
 /// A pending subtask as persisted in a journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +80,12 @@ pub struct DcGenJournal {
     /// SOPG frontier cap of the original run (`0` = unbounded or not
     /// SOPG).
     pub frontier_cap: u64,
+    /// Decode kernel the run was started under. Sampled token streams are
+    /// kernel-specific (pinned f32 and quantized int8 logits differ), so
+    /// [`check_kernel`](Self::check_kernel) refuses to resume under a
+    /// different one. Journals from older builds default to
+    /// [`KernelChoice::Pinned`], the only kernel that existed then.
+    pub kernel: KernelChoice,
     /// Pattern table; task `pattern_idx` fields index into this.
     pub patterns: Vec<Pattern>,
     /// Passwords emitted so far. An output file being resumed should be
@@ -117,7 +130,7 @@ impl DcGenJournal {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "{HEADER_V2}");
         let _ = writeln!(
             out,
             "config {} {} {:08x} {} {} {} {}",
@@ -135,7 +148,7 @@ impl DcGenJournal {
         }
         let _ = writeln!(
             out,
-            "stats {} {} {} {} {} {} {} {} {} {} {} {:08x} {}",
+            "stats {} {} {} {} {} {} {} {} {} {} {} {:08x} {} {}",
             self.emitted,
             self.completed,
             self.leaves,
@@ -149,6 +162,7 @@ impl DcGenJournal {
             self.scheduler,
             self.sched_config_hash,
             self.frontier_cap,
+            self.kernel,
         );
         let _ = writeln!(out, "tasks {}", self.tasks.len());
         for t in &self.tasks {
@@ -204,7 +218,8 @@ impl DcGenJournal {
         }
 
         let mut lines = body.lines();
-        if lines.next() != Some(HEADER) {
+        let header = lines.next();
+        if header != Some(HEADER_V2) && header != Some(HEADER_V1) {
             return Err(bad("bad header"));
         }
         let config: Vec<&str> = lines
@@ -245,10 +260,10 @@ impl DcGenJournal {
             .split(' ')
             .collect();
         // 8 fields is the original layout; later builds appended leaf
-        // duplicates, prefix-cache hits, and the scheduler identity
-        // triple. Older journals omit the trailing fields and take their
-        // defaults.
-        if !(8..=13).contains(&stats.len()) {
+        // duplicates, prefix-cache hits, the scheduler identity triple,
+        // and the decode kernel. Older journals omit the trailing fields
+        // and take their defaults.
+        if !(8..=14).contains(&stats.len()) {
             return Err(bad("stats field count"));
         }
         let emitted = uint(stats[0])?;
@@ -275,6 +290,12 @@ impl DcGenJournal {
             None => 0,
         };
         let frontier_cap = stats.get(12).map_or(Ok(0), |s| uint(s))?;
+        let kernel = match stats.get(13) {
+            Some(s) => s
+                .parse::<KernelChoice>()
+                .map_err(|_| bad("bad kernel name"))?,
+            None => KernelChoice::Pinned,
+        };
 
         let n_tasks = lines
             .next()
@@ -337,6 +358,7 @@ impl DcGenJournal {
             scheduler,
             sched_config_hash,
             frontier_cap,
+            kernel,
             patterns,
             emitted,
             completed,
@@ -371,6 +393,30 @@ impl DcGenJournal {
                 "journal was written by the `{}` scheduler but this resume requested `{requested}`; \
                  rerun with --scheduler {} or start a fresh run",
                 self.scheduler, self.scheduler
+            )));
+        }
+        Ok(())
+    }
+
+    /// Verifies that this journal was written under `requested`'s decode
+    /// kernel.
+    ///
+    /// A resumed run replays the original RNG streams against the model's
+    /// logits, and pinned-f32 and quantized-int8 logits differ — resuming
+    /// under the other kernel would splice two incompatible password
+    /// streams into one output file. Resume paths call this before
+    /// rebuilding the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] naming both kernels when they
+    /// differ.
+    pub fn check_kernel(&self, requested: KernelChoice) -> Result<(), CoreError> {
+        if self.kernel != requested {
+            return Err(CoreError::Journal(format!(
+                "journal was written by the `{}` kernel but this resume requested `{requested}`; \
+                 rerun with --kernel {} or start a fresh run",
+                self.kernel, self.kernel
             )));
         }
         Ok(())
@@ -413,6 +459,7 @@ mod tests {
             scheduler: SchedulerKind::Dcgen,
             sched_config_hash: 0x1234_abcd,
             frontier_cap: 0,
+            kernel: KernelChoice::Pinned,
             patterns: vec!["L4N2".parse().unwrap(), "L8".parse().unwrap()],
             emitted: 300,
             completed: 7,
@@ -482,15 +529,18 @@ mod tests {
         std::fs::remove_dir_all(dir).ok();
     }
 
-    /// Re-serializes `j` with `strip` trailing stats fields removed and the
-    /// CRC recomputed, imitating a journal from an older build.
+    /// Re-serializes `j` with `strip` trailing stats fields removed, the
+    /// header downgraded to v1, and the CRC recomputed, imitating a
+    /// journal from an older build.
     fn legacy_text(j: &DcGenJournal, strip: usize) -> String {
         let text = j.to_text();
         let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
         let legacy_body = text[..body_end]
             .lines()
             .map(|l| {
-                if l.starts_with("stats ") {
+                if l == HEADER_V2 {
+                    HEADER_V1.to_string()
+                } else if l.starts_with("stats ") {
                     let mut l = l.to_string();
                     for _ in 0..strip {
                         l = l.rsplit_once(' ').unwrap().0.to_string();
@@ -512,12 +562,13 @@ mod tests {
         // fields had an 8-field stats line; they must keep loading (the
         // appended fields default to 0 / dcgen).
         let j = sample();
-        let parsed = DcGenJournal::from_text(&legacy_text(&j, 5)).unwrap();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 6)).unwrap();
         assert_eq!(parsed.leaf_duplicates, 0);
         assert_eq!(parsed.prefix_cache_hits, 0);
         assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
         assert_eq!(parsed.sched_config_hash, 0);
         assert_eq!(parsed.frontier_cap, 0);
+        assert_eq!(parsed.kernel, KernelChoice::Pinned);
         assert_eq!(parsed.emitted, j.emitted);
         assert_eq!(parsed.tasks, j.tasks);
     }
@@ -527,7 +578,7 @@ mod tests {
         // Journals from builds with leaf duplicates but no prefix-cache
         // statistic had a 9-field stats line.
         let j = sample();
-        let parsed = DcGenJournal::from_text(&legacy_text(&j, 4)).unwrap();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 5)).unwrap();
         assert_eq!(parsed.leaf_duplicates, j.leaf_duplicates);
         assert_eq!(parsed.prefix_cache_hits, 0);
         assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
@@ -539,13 +590,81 @@ mod tests {
         // Journals from just before the scheduler refactor had a 10-field
         // stats line; the scheduler identity triple defaults.
         let j = sample();
-        let parsed = DcGenJournal::from_text(&legacy_text(&j, 3)).unwrap();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 4)).unwrap();
         assert_eq!(parsed.leaf_duplicates, j.leaf_duplicates);
         assert_eq!(parsed.prefix_cache_hits, j.prefix_cache_hits);
         assert_eq!(parsed.scheduler, SchedulerKind::Dcgen);
         assert_eq!(parsed.sched_config_hash, 0);
         assert_eq!(parsed.frontier_cap, 0);
         assert_eq!(parsed.tasks, j.tasks);
+    }
+
+    #[test]
+    fn legacy_thirteen_field_stats_line_defaults_to_pinned_kernel() {
+        // v1 journals (pre decode-kernel field) have a 13-field stats
+        // line; the kernel defaults to pinned, the only kernel then.
+        let j = sample();
+        let parsed = DcGenJournal::from_text(&legacy_text(&j, 1)).unwrap();
+        assert_eq!(parsed.kernel, KernelChoice::Pinned);
+        assert_eq!(parsed.scheduler, j.scheduler);
+        assert_eq!(parsed.sched_config_hash, j.sched_config_hash);
+        assert_eq!(parsed.tasks, j.tasks);
+    }
+
+    #[test]
+    fn kernel_identity_roundtrips() {
+        let mut j = sample();
+        j.kernel = KernelChoice::Quantized;
+        let parsed = DcGenJournal::from_text(&j.to_text()).unwrap();
+        assert_eq!(parsed.kernel, KernelChoice::Quantized);
+    }
+
+    #[test]
+    fn check_kernel_refuses_mismatch_with_clear_diagnostic() {
+        let mut j = sample();
+        j.kernel = KernelChoice::Quantized;
+        assert!(j.check_kernel(KernelChoice::Quantized).is_ok());
+        let err = j.check_kernel(KernelChoice::Pinned).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("`quantized`"),
+            "names the journal kernel: {msg}"
+        );
+        assert!(
+            msg.contains("`pinned`"),
+            "names the requested kernel: {msg}"
+        );
+        assert!(
+            msg.contains("--kernel quantized"),
+            "suggests the fix: {msg}"
+        );
+    }
+
+    #[test]
+    fn garbage_kernel_name_is_rejected() {
+        let j = sample();
+        let tampered_body = j
+            .to_text()
+            .lines()
+            .map(|l| {
+                if l.starts_with("stats ") {
+                    format!("{} int4", l.rsplit_once(' ').unwrap().0)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Drop the stale crc line and re-sign the tampered body.
+        let body = tampered_body
+            .rsplit_once('\n')
+            .map(|(b, _)| format!("{b}\n"))
+            .unwrap();
+        let text = format!("{body}crc {:08x}\n", crc32(body.as_bytes()));
+        assert!(matches!(
+            DcGenJournal::from_text(&text),
+            Err(CoreError::Journal(msg)) if msg.contains("kernel")
+        ));
     }
 
     #[test]

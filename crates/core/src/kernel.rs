@@ -1,0 +1,98 @@
+//! The `--kernel` decode-mode choice shared by `dcgen`, `strength`, and
+//! `serve`.
+//!
+//! [`KernelChoice`] is the user-facing name for what [`pagpass_nn`] calls a
+//! [`KernelMode`]: `pinned` is the bit-exact blocked f32 decode the golden
+//! files pin, `quantized` is the pack-once int8 decode with its own goldens
+//! and accuracy budget. The choice is recorded in D&C-GEN journals (so a
+//! resume under a conflicting `--kernel` fails loudly instead of silently
+//! mixing modes) and in `dcgen.summary`/`serve.summary` telemetry.
+
+use std::fmt;
+use std::str::FromStr;
+
+use pagpass_nn::KernelMode;
+
+use crate::error::CoreError;
+
+/// Which decode kernel family a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Bit-exact blocked f32 decode — the default, pinned by the f32
+    /// golden files.
+    #[default]
+    Pinned,
+    /// Pack-once int8 decode ([`pagpass_nn::QMat`]) — deterministic, with
+    /// its own golden files and an accuracy budget enforced by
+    /// `crates/eval`.
+    Quantized,
+}
+
+impl KernelChoice {
+    /// The [`KernelMode`] to install process-wide for this choice.
+    #[must_use]
+    pub fn mode(self) -> KernelMode {
+        match self {
+            KernelChoice::Pinned => KernelMode::Blocked,
+            KernelChoice::Quantized => KernelMode::Quantized,
+        }
+    }
+
+    /// The choice implied by the currently installed [`KernelMode`].
+    /// `Naive` maps to `Pinned`: it is bit-identical to `Blocked`, so the
+    /// f32 goldens (and journals) treat them as one mode.
+    #[must_use]
+    pub fn current() -> KernelChoice {
+        match pagpass_nn::kernel_mode() {
+            KernelMode::Quantized => KernelChoice::Quantized,
+            KernelMode::Naive | KernelMode::Blocked => KernelChoice::Pinned,
+        }
+    }
+}
+
+impl fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelChoice::Pinned => "pinned",
+            KernelChoice::Quantized => "quantized",
+        })
+    }
+}
+
+impl FromStr for KernelChoice {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<KernelChoice, CoreError> {
+        match s {
+            "pinned" => Ok(KernelChoice::Pinned),
+            "quantized" => Ok(KernelChoice::Quantized),
+            other => Err(CoreError::Config(format!(
+                "unknown kernel `{other}` (expected `pinned` or `quantized`)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        for k in [KernelChoice::Pinned, KernelChoice::Quantized] {
+            assert_eq!(k.to_string().parse::<KernelChoice>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_rejected_with_both_options_named() {
+        let err = "int4".parse::<KernelChoice>().unwrap_err().to_string();
+        assert!(err.contains("int4") && err.contains("pinned") && err.contains("quantized"));
+    }
+
+    #[test]
+    fn modes_map_to_nn_kernel_modes() {
+        assert_eq!(KernelChoice::Pinned.mode(), KernelMode::Blocked);
+        assert_eq!(KernelChoice::Quantized.mode(), KernelMode::Quantized);
+    }
+}

@@ -299,6 +299,10 @@ fn emit_summary(report: &ServeReport, tel: &Telemetry) {
         "summary",
         "serve.summary",
         &[
+            (
+                "kernel",
+                Field::Str(crate::kernel::KernelChoice::current().to_string()),
+            ),
             ("admitted", Field::U64(report.admitted)),
             ("completed", Field::U64(report.completed)),
             ("shed", Field::U64(report.shed)),

@@ -1,0 +1,107 @@
+//! Golden-output regression pinning the quantized decode stream.
+//!
+//! The file `tests/golden/dcgen_seed9_q8.txt` pins model init + D&C-GEN
+//! sampling under `KernelMode::Quantized` byte for byte — the same run as
+//! `golden_dcgen.rs` but with every decode matmul routed through the
+//! pack-once int8 kernels. The quantized stream is deterministic across
+//! thread counts *and* SIMD dispatch: per-block dot products are exact
+//! i32 sums whether computed by the AVX2 or the portable kernel, and the
+//! f32 scale accumulation visits blocks in the same order either way.
+//! The CI `quantized-equivalence` job re-runs this binary under
+//! `PAGPASS_THREADS=1`, `PAGPASS_THREADS=4`, and `PAGPASS_FORCE_PORTABLE=1`.
+//!
+//! This lives in its own test binary because the kernel mode is
+//! process-wide; the f32 golden (`golden_dcgen.rs`) must keep running
+//! under the default mode.
+//!
+//! Provenance: generated under the committed offline verification harness
+//! (`tools/offline-stubs/`, RFC-vector-verified ChaCha12 `StdRng`).
+//! Regenerate only from `tools/offline-stubs/README.md` instructions,
+//! never by hand.
+
+use pagpass_nn::{set_force_portable, set_kernel_mode, GptConfig, KernelMode};
+use pagpass_patterns::PatternDistribution;
+use pagpass_tokenizer::VOCAB_SIZE;
+use pagpassgpt::{DcGen, DcGenConfig, ModelKind, PasswordModel};
+
+fn tiny_model() -> PasswordModel {
+    PasswordModel::new(
+        ModelKind::PagPassGpt,
+        GptConfig {
+            vocab_size: VOCAB_SIZE,
+            ctx_len: 32,
+            dim: 16,
+            n_layers: 1,
+            n_heads: 2,
+        },
+        5,
+    )
+}
+
+fn simple_patterns() -> PatternDistribution {
+    PatternDistribution::from_passwords(["ab12", "cd34", "ef56", "xy9", "qqq1"].iter().copied())
+}
+
+fn golden_config() -> DcGenConfig {
+    DcGenConfig {
+        threshold: 16,
+        seed: 9,
+        workers: 1,
+        ..DcGenConfig::new(1_500)
+    }
+}
+
+fn quantized_stream() -> String {
+    set_kernel_mode(KernelMode::Quantized);
+    let model = tiny_model();
+    let report = DcGen::new(&model, golden_config())
+        .run(&simple_patterns())
+        .unwrap();
+    report.passwords.join("\n") + "\n"
+}
+
+#[test]
+fn quantized_dcgen_output_is_pinned_and_dispatch_independent() {
+    let want = include_str!("golden/dcgen_seed9_q8.txt");
+    // First pass under the process default dispatch (AVX2 where the CPU
+    // has it, unless PAGPASS_FORCE_PORTABLE already forced scalar).
+    assert_eq!(
+        quantized_stream(),
+        want,
+        "quantized generation diverged from the pinned output"
+    );
+    // Second pass forced onto the portable scalar kernels: the int8 dot
+    // products are exact integers under either dispatch, so the sampled
+    // stream must be bitwise identical, not merely close.
+    set_force_portable(true);
+    let portable = quantized_stream();
+    set_force_portable(false);
+    assert_eq!(
+        portable, want,
+        "portable-dispatch quantized stream diverged from the pinned output"
+    );
+}
+
+#[test]
+fn quantized_stream_differs_from_the_f32_golden() {
+    // Documents that `--kernel quantized` is a genuinely different decode:
+    // the int8 logits perturb sampling enough that the two pinned streams
+    // are not the same file (which is why journals record the kernel).
+    assert_ne!(
+        include_str!("golden/dcgen_seed9_q8.txt"),
+        include_str!("golden/dcgen_seed9.txt"),
+    );
+}
+
+/// Regenerates the golden file. Ignored in normal runs; see
+/// `tools/offline-stubs/README.md` before using it — the bytes are only
+/// meaningful when produced under the committed offline harness.
+#[test]
+#[ignore = "writes the golden file; run explicitly under tools/offline-stubs"]
+fn regenerate_quantized_golden() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/dcgen_seed9_q8.txt"
+    );
+    std::fs::write(path, quantized_stream()).unwrap();
+}

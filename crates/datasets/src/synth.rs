@@ -230,6 +230,8 @@ impl SiteProfile {
         let zipf_weights: Vec<f64> = (1..=self.reuse_pool)
             .map(|r| 1.0 / (r as f64).powf(self.reuse_s))
             .collect();
+        // LINT-ALLOW: no-unwrap-in-lib weights are 1/r^s over r >= 1 —
+        // always finite, positive, and non-empty (reuse_pool >= 1)
         let zipf = WeightedIndex::new(&zipf_weights).expect("non-empty positive weights");
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -260,6 +262,8 @@ impl SiteProfile {
             self.w_walk,
         ];
         let recipe = WeightedIndex::new(weights)
+            // LINT-ALLOW: no-unwrap-in-lib the built-in site profiles all
+            // carry at least one positive recipe weight
             .expect("profile weights are positive")
             .sample(rng);
         let pw = match recipe {

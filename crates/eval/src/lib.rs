@@ -14,6 +14,9 @@
 //! * [`SchedulerComparison`] — hit-rate-per-guess and repeat-rate for
 //!   several generation schedulers (D&C-GEN, SOPG, plain sampling) run
 //!   at the same guess budget,
+//! * [`quant_equivalence`] — the accuracy budget for the quantized decode
+//!   kernels (hit-rate delta ≤ 1 point, per-token log-prob MAE under a
+//!   committed bound), enforced by CI against the pinned f32 decode,
 //! * [`GuessNumberEstimator`] — Monte Carlo guess-number estimation
 //!   (Dell'Amico & Filippone 2015), turning any scoring model into a
 //!   strength meter calibrated in guesses-to-crack.
@@ -36,9 +39,11 @@ use serde::{Deserialize, Serialize};
 
 mod comparison;
 mod guess_number;
+mod quant;
 
 pub use comparison::{emission_is_non_increasing, SchedulerComparison, SchedulerCurve};
 pub use guess_number::GuessNumberEstimator;
+pub use quant::{quant_equivalence, QuantEquivalence, MAX_HIT_RATE_DELTA, MAX_LOG_PROB_MAE};
 
 /// Outcome of a hit-rate measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

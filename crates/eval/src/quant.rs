@@ -1,0 +1,149 @@
+//! Accuracy budget for the quantized decode kernels.
+//!
+//! `--kernel quantized` trades bit-exactness against the f32 decode for
+//! speed; this module is the committed contract on how much accuracy the
+//! trade may cost. The bounds are consts (not config) so that loosening
+//! the budget is a reviewed diff, and the harness takes raw guess lists
+//! and score pairs rather than models, keeping `pagpass-eval` free of any
+//! inference dependency — CI feeds it from an end-to-end run of both
+//! kernels on the same trained model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hit_rate;
+
+/// Maximum absolute hit-rate difference (quantized vs pinned f32) the
+/// quantized kernels may introduce: 1 percentage point.
+pub const MAX_HIT_RATE_DELTA: f64 = 0.01;
+
+/// Maximum mean absolute per-token log-probability error between the two
+/// kernels scoring the same passwords. Measured MAE on the CI reference
+/// model is ~1.6e-4 nats per token; the bound leaves over an order of
+/// magnitude of headroom so it trips on real regressions (a broken scale,
+/// a transposed block), not on quantization noise.
+pub const MAX_LOG_PROB_MAE: f64 = 0.005;
+
+/// Side-by-side accuracy measurement of the two decode kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantEquivalence {
+    /// Hit rate of the pinned-f32 guess stream against the test set.
+    pub pinned_hit_rate: f64,
+    /// Hit rate of the quantized guess stream against the same test set.
+    pub quantized_hit_rate: f64,
+    /// Mean absolute difference between paired per-token log-probability
+    /// scores of the same passwords under the two kernels.
+    pub log_prob_mae: f64,
+}
+
+impl QuantEquivalence {
+    /// Absolute hit-rate difference between the kernels.
+    #[must_use]
+    pub fn hit_rate_delta(&self) -> f64 {
+        (self.pinned_hit_rate - self.quantized_hit_rate).abs()
+    }
+
+    /// Whether both measurements sit inside the committed budget.
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.hit_rate_delta() <= MAX_HIT_RATE_DELTA && self.log_prob_mae <= MAX_LOG_PROB_MAE
+    }
+}
+
+/// Measures the quantized kernels against the pinned f32 kernels.
+///
+/// `pinned_guesses` and `quantized_guesses` are full guess streams
+/// produced by the respective kernels from the same model, budget, and
+/// seed; `test_set` is the common evaluation set. `pinned_scores` and
+/// `quantized_scores` are paired per-token log-probabilities of the same
+/// password list scored under each kernel (callers normalize a password's
+/// total log-probability by its scored token count).
+///
+/// # Panics
+///
+/// Panics if the score slices differ in length — pairing is positional.
+#[must_use]
+pub fn quant_equivalence<S: AsRef<str>>(
+    pinned_guesses: &[S],
+    quantized_guesses: &[S],
+    test_set: &[S],
+    pinned_scores: &[f64],
+    quantized_scores: &[f64],
+) -> QuantEquivalence {
+    assert_eq!(
+        pinned_scores.len(),
+        quantized_scores.len(),
+        "score lists must pair positionally"
+    );
+    let mae = if pinned_scores.is_empty() {
+        0.0
+    } else {
+        pinned_scores
+            .iter()
+            .zip(quantized_scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / pinned_scores.len() as f64
+    };
+    QuantEquivalence {
+        pinned_hit_rate: hit_rate(pinned_guesses, test_set).rate(),
+        quantized_hit_rate: hit_rate(quantized_guesses, test_set).rate(),
+        log_prob_mae: mae,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn identical_streams_are_trivially_within_budget() {
+        let test = s(&["abc123", "qwerty", "zz99"]);
+        let guesses = s(&["abc123", "nope1", "zz99"]);
+        let scores = [-2.5, -3.0, -1.25];
+        let eq = quant_equivalence(&guesses, &guesses, &test, &scores, &scores);
+        assert_eq!(eq.hit_rate_delta(), 0.0);
+        assert_eq!(eq.log_prob_mae, 0.0);
+        assert!(eq.within_budget());
+    }
+
+    #[test]
+    fn hit_rate_delta_is_absolute_and_gated() {
+        let test = s(&[
+            "p00", "p01", "p02", "p03", "p04", "p05", "p06", "p07", "p08", "p09", "p10", "p11",
+            "p12", "p13", "p14", "p15", "p16", "p17", "p18", "p19",
+        ]);
+        // Pinned finds 10/20, quantized 9/20: a 5-point delta, over budget.
+        let pinned: Vec<String> = test[..10].to_vec();
+        let quantized: Vec<String> = test[..9].to_vec();
+        let eq = quant_equivalence(&pinned, &quantized, &test, &[], &[]);
+        assert!((eq.hit_rate_delta() - 0.05).abs() < 1e-12);
+        assert!(!eq.within_budget());
+    }
+
+    #[test]
+    fn log_prob_mae_is_the_mean_absolute_pairwise_error() {
+        let test = s(&["x1"]);
+        let guesses = s(&["x1"]);
+        let a = [-1.0, -2.0, -3.0];
+        let b = [-1.003, -1.997, -3.0];
+        let eq = quant_equivalence(&guesses, &guesses, &test, &a, &b);
+        assert!((eq.log_prob_mae - 0.002).abs() < 1e-12);
+        assert!(eq.within_budget());
+        // A broken kernel (scores off by nats, not millinats) trips it.
+        let broken = [-4.0, -2.0, -3.0];
+        let eq = quant_equivalence(&guesses, &guesses, &test, &a, &broken);
+        assert!(eq.log_prob_mae > MAX_LOG_PROB_MAE);
+        assert!(!eq.within_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "pair positionally")]
+    fn mismatched_score_lists_panic() {
+        let g = s(&["x1"]);
+        let _ = quant_equivalence(&g, &g, &g, &[-1.0], &[]);
+    }
+}

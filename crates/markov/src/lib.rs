@@ -80,6 +80,8 @@ impl MarkovModel {
                 let symbol = if i == chars.len() {
                     END
                 } else {
+                    // LINT-ALLOW: no-unwrap-in-lib every char passed the
+                    // char_index filter at the top of this loop
                     char_index(chars[i]).expect("validated above")
                 };
                 counts.entry(context).or_insert_with(|| vec![0; 95])[symbol] += 1;

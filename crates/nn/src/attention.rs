@@ -1,7 +1,8 @@
 use serde::{Deserialize, Serialize};
 
+use crate::layers::QLinear;
 use crate::mat::{axpy, dot};
-use crate::sampling::softmax_in_place;
+use crate::sampling::{softmax_in_place, softmax_in_place_fast};
 use crate::{Linear, Mat, Param, Rng};
 
 /// Causal multi-head self-attention with manual backprop and KV-cached
@@ -141,6 +142,8 @@ impl SelfAttention {
         let cache = self
             .cache
             .take()
+            // LINT-ALLOW: no-unwrap-in-lib trainer API contract: forward
+            // always precedes backward, documented as a panic above
             .expect("backward requires a cached forward");
         let TrainCache {
             b,
@@ -223,6 +226,19 @@ impl SelfAttention {
     /// Panics if the cache belongs to a different batch size or is full.
     #[must_use]
     pub fn step(&self, x: &Mat, cache: &mut KvCache) -> Mat {
+        self.step_with(None, x, cache)
+    }
+
+    /// [`step`](Self::step) with the two projections optionally swapped for
+    /// their packed int8 twins. The attention math between them —
+    /// scores, softmax, weighted value sum — is the same f32 code either
+    /// way; only the `qkv` and output projections change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache belongs to a different batch size or is full.
+    #[must_use]
+    pub fn step_with(&self, quant: Option<&QSelfAttention>, x: &Mat, cache: &mut KvCache) -> Mat {
         let c = self.dim();
         let h = self.n_heads;
         let d = c / h;
@@ -231,7 +247,10 @@ impl SelfAttention {
         assert_eq!(x.rows(), b, "batch size must match the cache");
         assert!(cache.len < cache.ctx, "KV cache is full");
 
-        let qkv = self.qkv.apply(x);
+        let qkv = match quant {
+            Some(q) => q.qkv.apply(x),
+            None => self.qkv.apply(x),
+        };
         let t_new = cache.len;
         for bi in 0..b {
             let row = qkv.row(bi);
@@ -251,14 +270,33 @@ impl SelfAttention {
                 for (j, s) in scores.iter_mut().enumerate() {
                     *s = dot(qh, &cache.k_row(bi, j)[col..col + d]) * scale;
                 }
-                softmax_in_place(&mut scores);
+                // The quantized arm softmaxes through `fast_exp`: bounded
+                // by that mode's accuracy budget, pinned by its goldens.
+                // The f32 arm must keep libm `exp` bits exactly.
+                if quant.is_some() {
+                    softmax_in_place_fast(&mut scores);
+                } else {
+                    softmax_in_place(&mut scores);
+                }
                 let orow = &mut out.row_mut(bi)[col..col + d];
                 for (j, &p) in scores.iter().enumerate() {
                     axpy(orow, p, &cache.v_row(bi, j)[col..col + d]);
                 }
             }
         }
-        self.proj.apply(&out)
+        match quant {
+            Some(q) => q.proj.apply(&out),
+            None => self.proj.apply(&out),
+        }
+    }
+
+    /// Packs both projections for quantized decode.
+    #[must_use]
+    pub fn quantize(&self) -> QSelfAttention {
+        QSelfAttention {
+            qkv: self.qkv.quantize(),
+            proj: self.proj.quantize(),
+        }
     }
 
     /// Visits all parameters (optimizer hook).
@@ -266,6 +304,17 @@ impl SelfAttention {
         self.qkv.visit_params(f);
         self.proj.visit_params(f);
     }
+}
+
+/// [`SelfAttention`]'s quantized twin: both projections packed once; heads,
+/// masking, and the KV cache stay in f32 on the [`SelfAttention`] that built
+/// it.
+#[derive(Debug, Clone)]
+pub struct QSelfAttention {
+    /// Packed fused query/key/value projection.
+    pub qkv: QLinear,
+    /// Packed output projection.
+    pub proj: QLinear,
 }
 
 /// Copies the `d` head columns starting at `col` of rows `[row0, row0+t)`

@@ -1,0 +1,117 @@
+//! Fast deterministic transcendental approximations for the quantized
+//! decode path.
+//!
+//! `--kernel quantized` already trades bounded accuracy for speed on every
+//! matmul; these functions extend the same trade to the element-wise
+//! transcendentals between them, where libm `tanh`/`exp` calls otherwise
+//! rival the int8 kernels on decode-sized matvecs. Relative error stays
+//! around `5e-5` — two orders of magnitude below the int8 quantization
+//! noise the mode's accuracy budget (`crates/eval`) already absorbs.
+//!
+//! Everything here is plain scalar f32 arithmetic in a fixed order: no
+//! tables, no cpuid dispatch, no libm. Results are bitwise reproducible
+//! across platforms, thread counts, and the SIMD/portable kernel split,
+//! which is what lets the quantized golden files pin them. The f32 decode
+//! path never calls into this module — pinned-kernel bits are untouched.
+
+/// `e^x` by range reduction to `2^n · e^r`, `|r| ≤ ln2/2`, with a
+/// degree-4 polynomial for `e^r`. Relative error ≤ ~5e-5 over the clamped
+/// domain; inputs outside `[-87, 87]` saturate toward `0` / `e^87` instead
+/// of denormalizing or overflowing.
+#[must_use]
+#[inline]
+pub fn fast_exp(x: f32) -> f32 {
+    // ln2 split so `r = x - n·ln2` keeps full precision: the high part has
+    // an exact short mantissa, the low part restores the remainder.
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let x = x.clamp(-87.0, 87.0);
+    let t = x * std::f32::consts::LOG2_E;
+    // Round to nearest (halves away from zero) without `roundf`.
+    let n = (t + 0.5f32.copysign(t)) as i32;
+    let nf = n as f32;
+    let r = (x - nf * LN2_HI) - nf * LN2_LO;
+    // Horner Taylor for e^r on |r| ≤ 0.347.
+    let p = 1.0 + r * (1.0 + r * (0.5 + r * (1.0 / 6.0 + r * (1.0 / 24.0))));
+    // |n| ≤ 126 after the clamp, so the biased exponent stays normal.
+    f32::from_bits(((n + 127) << 23) as u32) * p
+}
+
+/// `tanh(x)` as `(e^{2x} - 1) / (e^{2x} + 1)` over [`fast_exp`].
+/// Inherits its ~5e-5 relative error; saturates cleanly to ±1.
+#[must_use]
+#[inline]
+pub fn fast_tanh(x: f32) -> f32 {
+    let e = fast_exp(2.0 * x);
+    (e - 1.0) / (e + 1.0)
+}
+
+/// GELU with the same tanh-form shape as [`crate::gelu`], evaluated through
+/// [`fast_tanh`]. Used by the quantized MLP only.
+#[must_use]
+#[inline]
+pub fn gelu_fast(x: f32) -> f32 {
+    const K: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + fast_tanh(K * (x + 0.044_715 * x * x * x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_exp_tracks_libm() {
+        let mut x = -20.0f32;
+        while x <= 20.0 {
+            let exact = x.exp();
+            let approx = fast_exp(x);
+            assert!(
+                (approx - exact).abs() <= exact * 1e-4 + 1e-30,
+                "exp({x}): {approx} vs {exact}"
+            );
+            x += 0.037;
+        }
+        assert_eq!(fast_exp(-200.0), fast_exp(-87.0));
+        assert!(fast_exp(-87.0) > 0.0);
+        assert!(fast_exp(200.0).is_finite());
+    }
+
+    #[test]
+    fn fast_tanh_tracks_libm_and_saturates() {
+        let mut x = -10.0f32;
+        while x <= 10.0 {
+            let exact = x.tanh();
+            let approx = fast_tanh(x);
+            assert!(
+                (approx - exact).abs() <= 1e-4,
+                "tanh({x}): {approx} vs {exact}"
+            );
+            x += 0.013;
+        }
+        assert!((fast_tanh(50.0) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(-50.0) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_fast_tracks_gelu() {
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            let exact = crate::gelu(x);
+            let approx = gelu_fast(x);
+            assert!(
+                (approx - exact).abs() <= 1e-4 * x.abs().max(1.0),
+                "gelu({x}): {approx} vs {exact}"
+            );
+            x += 0.011;
+        }
+        assert_eq!(gelu_fast(0.0), 0.0);
+    }
+
+    #[test]
+    fn fast_exp_is_deterministic() {
+        // Same bits on every call — the golden files rely on it.
+        for x in [-5.5f32, -0.1, 0.0, 0.3, 4.2, 86.9] {
+            assert_eq!(fast_exp(x).to_bits(), fast_exp(x).to_bits());
+        }
+    }
+}

@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use crate::attention::QSelfAttention;
+use crate::layers::{QLinear, QMlp};
 use crate::{AdamW, Embedding, KvCache, LayerNorm, Linear, Mat, Mlp, Param, Rng, SelfAttention};
 
 /// Hyper-parameters of the decoder-only transformer.
@@ -100,14 +102,32 @@ impl Block {
         dx
     }
 
-    fn step(&self, x: &Mat, cache: &mut KvCache) -> Mat {
+    fn step_with(&self, quant: Option<&QBlock>, x: &Mat, cache: &mut KvCache) -> Mat {
+        // The quantized arm normalizes through the lane-parallel LayerNorm
+        // — reassociated sums its goldens pin — while the f32 arm keeps the
+        // serial fold's exact bits.
+        let ln = |layer: &LayerNorm, v: &Mat| match quant {
+            Some(_) => layer.apply_fast(v),
+            None => layer.apply(v),
+        };
         let mut h = x.clone();
-        let a = self.attn.step(&self.ln1.apply(x), cache);
+        let a = self
+            .attn
+            .step_with(quant.map(|q| &q.attn), &ln(&self.ln1, x), cache);
         h.add_assign(&a);
-        let m = self.mlp.apply(&self.ln2.apply(&h));
+        let m = self
+            .mlp
+            .apply_with(quant.map(|q| &q.mlp), &ln(&self.ln2, &h));
         let mut out = h;
         out.add_assign(&m);
         out
+    }
+
+    fn quantize(&self) -> QBlock {
+        QBlock {
+            attn: self.attn.quantize(),
+            mlp: self.mlp.quantize(),
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -116,6 +136,32 @@ impl Block {
         self.ln2.visit_params(f);
         self.mlp.visit_params(f);
     }
+}
+
+/// One decoder block's packed projections ([`QBlock::attn`] + mlp). The
+/// LayerNorm weights and residual adds stay on the f32 [`Block`] that
+/// built it; on the quantized arm the norms run through
+/// [`LayerNorm::apply_fast`] (lane-parallel reductions) and the MLP/softmax
+/// through the `fastmath` approximations — all deterministic and pinned by
+/// the quantized golden files.
+#[derive(Debug, Clone)]
+struct QBlock {
+    attn: QSelfAttention,
+    mlp: QMlp,
+}
+
+/// The pack-once int8 decode weights of a [`Gpt`]: every Linear that a
+/// decode step multiplies through — each block's qkv/proj and MLP
+/// projections plus the LM head — packed into [`crate::QMat`] blocks.
+/// Build with [`Gpt::quantize`] and pass to [`Gpt::decode_step_with`];
+/// embeddings, LayerNorms, attention math, and the KV cache stay f32.
+///
+/// Holds no gradient state: training always runs on the f32 weights, and a
+/// `QuantizedGpt` is a snapshot of the weights it was packed from.
+#[derive(Debug, Clone)]
+pub struct QuantizedGpt {
+    blocks: Vec<QBlock>,
+    lm_head: QLinear,
 }
 
 /// Incremental-decoding state: one [`KvCache`] per layer plus the current
@@ -407,22 +453,71 @@ impl Gpt {
     /// context window is exhausted, or if an id is out of range.
     #[must_use]
     pub fn decode_step(&self, tokens: &[u32], state: &mut DecodeState) -> Mat {
+        self.decode_step_with(None, tokens, state)
+    }
+
+    /// [`decode_step`](Self::decode_step) with every Linear optionally
+    /// routed through packed int8 weights. `quant` must come from
+    /// [`Gpt::quantize`] on this model; passing `None` is exactly
+    /// `decode_step`. The quantized path is deterministic — bitwise
+    /// identical at any thread count and under SIMD or portable dispatch —
+    /// but *not* bit-compatible with the f32 path; it has its own golden
+    /// files and accuracy budget (see `crates/eval`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len()` differs from the decode batch, if the
+    /// context window is exhausted, if an id is out of range, or if `quant`
+    /// was packed from a model with a different layer count.
+    #[must_use]
+    pub fn decode_step_with(
+        &self,
+        quant: Option<&QuantizedGpt>,
+        tokens: &[u32],
+        state: &mut DecodeState,
+    ) -> Mat {
         let b = state.batch();
         assert_eq!(tokens.len(), b, "one token per sequence");
         assert!(state.pos < self.config.ctx_len, "context window exhausted");
+        if let Some(q) = quant {
+            assert_eq!(
+                q.blocks.len(),
+                self.blocks.len(),
+                "quantized weights were packed from a different model"
+            );
+        }
         let tok = self.tok_emb.apply(tokens);
         let pos = self.pos_emb.apply(&vec![state.pos as u32; b]);
         let mut x = tok;
         x.add_assign(&pos);
-        for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
-            x = block.step(&x, cache);
+        for (i, (block, cache)) in self.blocks.iter().zip(&mut state.caches).enumerate() {
+            x = block.step_with(quant.map(|q| &q.blocks[i]), &x, cache);
         }
         for cache in &mut state.caches {
             cache.advance();
         }
         state.pos += 1;
-        let x = self.ln_f.apply(&x);
-        self.lm_head.apply(&x)
+        let x = match quant {
+            Some(_) => self.ln_f.apply_fast(&x),
+            None => self.ln_f.apply(&x),
+        };
+        match quant {
+            Some(q) => q.lm_head.apply(&x),
+            None => self.lm_head.apply(&x),
+        }
+    }
+
+    /// Packs every decode-path Linear into int8 blocks — the pack-once
+    /// prepare step for `--kernel quantized` sessions. O(params) work,
+    /// done once per session; the pack holds the int8 columns plus an
+    /// AVX2-interleaved copy, so it costs about half the f32 weight
+    /// memory (a quarter without the tiled copy).
+    #[must_use]
+    pub fn quantize(&self) -> QuantizedGpt {
+        QuantizedGpt {
+            blocks: self.blocks.iter().map(Block::quantize).collect(),
+            lm_head: self.lm_head.quantize(),
+        }
     }
 
     /// Next-token logits after consuming `prefix` (single sequence).
@@ -669,6 +764,48 @@ mod tests {
         let a = model.decode_step(&[1, 5, 8], &mut wide);
         let b = model.decode_step(&[1, 5, 8], &mut refstate);
         assert_eq!(a.as_slice(), b.as_slice(), "broadcast must be exact");
+    }
+
+    #[test]
+    fn quantized_decode_tracks_f32_and_is_deterministic() {
+        let model = tiny();
+        let q = model.quantize();
+        let prefix = [4u32, 2, 9, 7];
+        let mut fs = model.begin_decode(1);
+        let mut qs = model.begin_decode(1);
+        let mut qs2 = model.begin_decode(1);
+        for &tok in &prefix {
+            let f32_logits = model.decode_step(&[tok], &mut fs);
+            let q_logits = model.decode_step_with(Some(&q), &[tok], &mut qs);
+            let q_again = model.decode_step_with(Some(&q), &[tok], &mut qs2);
+            // Determinism within the mode: same packed weights, same bits.
+            assert_eq!(q_logits, q_again);
+            // Accuracy: quantized logits track f32 within a loose bound —
+            // the tight budget is asserted on real corpora in crates/eval.
+            let norm = f32_logits
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |m, v| m.max(v.abs()));
+            for (a, e) in q_logits.as_slice().iter().zip(f32_logits.as_slice()) {
+                assert!((a - e).abs() <= norm * 0.25 + 5e-2, "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn quantized_weights_from_wrong_model_panic() {
+        let model = tiny();
+        let other = Gpt::new(
+            GptConfig {
+                n_layers: 1,
+                ..GptConfig::tiny(12)
+            },
+            &mut Rng::seed_from(3),
+        );
+        let q = other.quantize();
+        let mut state = model.begin_decode(1);
+        let _ = model.decode_step_with(Some(&q), &[1], &mut state);
     }
 
     #[test]

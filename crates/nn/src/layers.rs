@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use crate::qmat::QMat;
 use crate::{Mat, Param, Rng};
 
 /// A fully-connected layer `y = x·W + b` with manual backprop.
@@ -82,6 +83,17 @@ impl Linear {
         }
     }
 
+    /// Packs the weight into int8 blocks for quantized decode. The bias
+    /// stays f32 — it is added after dequantization either way, so
+    /// quantizing it would add error for zero speedup.
+    #[must_use]
+    pub fn quantize(&self) -> QLinear {
+        QLinear {
+            w: QMat::pack(&self.w.value),
+            b: self.b.value.row(0).to_vec(),
+        }
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dX`.
     ///
     /// # Panics
@@ -92,6 +104,8 @@ impl Linear {
         let x = self
             .cached_x
             .take()
+            // LINT-ALLOW: no-unwrap-in-lib trainer API contract: forward
+            // always precedes backward, documented as a panic above
             .expect("backward requires a cached forward");
         x.matmul_t_accum_fast(dy, &mut self.w.grad);
         let db = self.b.grad.row_mut(0);
@@ -109,6 +123,33 @@ impl Linear {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+}
+
+/// [`Linear`]'s pack-once quantized twin for the decode path: int8 block
+/// weights ([`QMat`]) with the bias kept f32. Built by [`Linear::quantize`]
+/// at session-prepare time; holds no gradient state and cannot train.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    /// Packed weight, logically `in × out`.
+    pub w: QMat,
+    /// Bias, length `out`, applied in f32 exactly like [`Linear::apply`].
+    pub b: Vec<f32>,
+}
+
+impl QLinear {
+    /// Quantized forward pass: int8 matmul, then the same f32 bias adds in
+    /// the same order as [`Linear::apply`].
+    #[must_use]
+    pub fn apply(&self, x: &Mat) -> Mat {
+        let mut y = self.w.matmul(x);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (o, &bias) in row.iter_mut().zip(&self.b) {
+                *o += bias;
+            }
+        }
+        y
     }
 }
 
@@ -168,6 +209,8 @@ impl Embedding {
         let ids = self
             .cached_ids
             .take()
+            // LINT-ALLOW: no-unwrap-in-lib trainer API contract: forward
+            // always precedes backward, documented as a panic above
             .expect("backward requires a cached forward");
         assert_eq!(ids.len(), dy.rows());
         for (r, &id) in ids.iter().enumerate() {
@@ -219,10 +262,71 @@ impl LayerNorm {
         y
     }
 
-    /// Inference-only forward pass.
+    /// Inference-only forward pass. Per-element math is exactly
+    /// [`forward`](Self::forward)'s — `((x - mean) · rstd) · γ + β` with the
+    /// same serial mean/variance folds — but skips materializing the
+    /// normalized activations and rstd vector that only backward needs, so
+    /// decode pays one output allocation instead of three.
     #[must_use]
     pub fn apply(&self, x: &Mat) -> Mat {
-        self.compute(x).0
+        let dim = x.cols();
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        let mut y = Mat::zeros(x.rows(), dim);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+            let rstd = 1.0 / (var + self.eps).sqrt();
+            let yr = y.row_mut(r);
+            for i in 0..dim {
+                yr[i] = (row[i] - mean) * rstd * gamma[i] + beta[i];
+            }
+        }
+        y
+    }
+
+    /// [`apply`](Self::apply) with the mean and variance folded in eight
+    /// parallel lanes instead of one serial chain, letting the reductions
+    /// vectorize. Reassociating f32 sums changes low bits, so this is the
+    /// quantized decode path's variant — that mode's golden files pin the
+    /// lane order chosen here, and the f32 path keeps the serial fold.
+    #[must_use]
+    pub fn apply_fast(&self, x: &Mat) -> Mat {
+        const LANES: usize = 8;
+        let dim = x.cols();
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        let mut y = Mat::zeros(x.rows(), dim);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mut acc = [0.0f32; LANES];
+            for chunk in row.chunks_exact(LANES) {
+                for (a, &v) in acc.iter_mut().zip(chunk) {
+                    *a += v;
+                }
+            }
+            for (a, &v) in acc.iter_mut().zip(row.chunks_exact(LANES).remainder()) {
+                *a += v;
+            }
+            let mean = acc.iter().sum::<f32>() / dim as f32;
+            let mut acc = [0.0f32; LANES];
+            for chunk in row.chunks_exact(LANES) {
+                for (a, &v) in acc.iter_mut().zip(chunk) {
+                    *a += (v - mean) * (v - mean);
+                }
+            }
+            for (a, &v) in acc.iter_mut().zip(row.chunks_exact(LANES).remainder()) {
+                *a += (v - mean) * (v - mean);
+            }
+            let var = acc.iter().sum::<f32>() / dim as f32;
+            let rstd = 1.0 / (var + self.eps).sqrt();
+            let yr = y.row_mut(r);
+            for i in 0..dim {
+                yr[i] = (row[i] - mean) * rstd * gamma[i] + beta[i];
+            }
+        }
+        y
     }
 
     fn compute(&self, x: &Mat) -> (Mat, Mat, Vec<f32>) {
@@ -258,6 +362,8 @@ impl LayerNorm {
         let cache = self
             .cache
             .take()
+            // LINT-ALLOW: no-unwrap-in-lib trainer API contract: forward
+            // always precedes backward, documented as a panic above
             .expect("backward requires a cached forward");
         let dim = dy.cols();
         let gamma = self.gamma.value.row(0);
@@ -401,11 +507,46 @@ impl Mlp {
     /// Inference-only forward pass.
     #[must_use]
     pub fn apply(&self, x: &Mat) -> Mat {
-        let mut a = self.fc1.apply(x);
-        for v in a.as_mut_slice() {
-            *v = gelu(*v);
+        self.apply_with(None, x)
+    }
+
+    /// Inference-only forward pass that swaps the two projections for their
+    /// quantized twins when `q` is present. The quantized arm also runs the
+    /// GELU through [`gelu_fast`](crate::gelu_fast) — libm `tanh` on the
+    /// 4×-expanded hidden row would rival the int8 matvecs it sits between,
+    /// and the ~5e-5 approximation error vanishes under that mode's
+    /// accuracy budget. The f32 arm keeps libm bits exactly.
+    #[must_use]
+    pub fn apply_with(&self, q: Option<&QMlp>, x: &Mat) -> Mat {
+        let mut a = match q {
+            Some(q) => q.fc1.apply(x),
+            None => self.fc1.apply(x),
+        };
+        match q {
+            Some(_) => {
+                for v in a.as_mut_slice() {
+                    *v = crate::fastmath::gelu_fast(*v);
+                }
+            }
+            None => {
+                for v in a.as_mut_slice() {
+                    *v = gelu(*v);
+                }
+            }
         }
-        self.fc2.apply(&a)
+        match q {
+            Some(q) => q.fc2.apply(&a),
+            None => self.fc2.apply(&a),
+        }
+    }
+
+    /// Packs both projections for quantized decode.
+    #[must_use]
+    pub fn quantize(&self) -> QMlp {
+        QMlp {
+            fc1: self.fc1.quantize(),
+            fc2: self.fc2.quantize(),
+        }
     }
 
     /// Backward pass.
@@ -418,6 +559,8 @@ impl Mlp {
         let MlpCache { h, tanh } = self
             .cached
             .take()
+            // LINT-ALLOW: no-unwrap-in-lib trainer API contract: forward
+            // always precedes backward, documented as a panic above
             .expect("backward requires a cached forward");
         let mut da = self.fc2.backward(dy);
         for ((g, &pre), &t) in da.as_mut_slice().iter_mut().zip(h.as_slice()).zip(&tanh) {
@@ -431,6 +574,15 @@ impl Mlp {
         self.fc1.visit_params(f);
         self.fc2.visit_params(f);
     }
+}
+
+/// [`Mlp`]'s quantized twin: both projections packed, GELU untouched.
+#[derive(Debug, Clone)]
+pub struct QMlp {
+    /// Packed expansion projection.
+    pub fc1: QLinear,
+    /// Packed contraction projection.
+    pub fc2: QLinear,
 }
 
 #[cfg(test)]
@@ -523,6 +675,34 @@ mod tests {
         let y2 = mlp.apply(&x);
         for (a, b) in y.as_slice().iter().zip(y2.as_slice()) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_linear_tracks_f32_apply() {
+        let mut rng = Rng::seed_from(8);
+        let l = Linear::new(48, 20, &mut rng);
+        let q = l.quantize();
+        let x = Mat::randn(3, 48, 1.0, &mut rng);
+        let exact = l.apply(&x);
+        let approx = q.apply(&x);
+        let norm = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+            assert!((a - e).abs() <= norm * 0.05 + 1e-3, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn quantized_mlp_tracks_f32_apply() {
+        let mut rng = Rng::seed_from(9);
+        let mlp = Mlp::new(16, &mut rng);
+        let q = mlp.quantize();
+        let x = Mat::randn(2, 16, 1.0, &mut rng);
+        let exact = mlp.apply(&x);
+        let approx = mlp.apply_with(Some(&q), &x);
+        let norm = exact.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+            assert!((a - e).abs() <= norm * 0.1 + 1e-2, "{a} vs {e}");
         }
     }
 

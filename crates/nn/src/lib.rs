@@ -50,23 +50,28 @@
 mod adamw;
 mod attention;
 mod fast;
+mod fastmath;
 mod gpt;
 pub mod gradcheck;
 mod layers;
 mod mat;
 pub mod pool;
+pub mod qmat;
 mod rng;
 mod sampling;
 mod serialize;
 
 pub use adamw::{AdamW, LrSchedule, Param};
-pub use attention::{KvCache, SelfAttention};
-pub use gpt::{DecodeState, Gpt, GptConfig};
-pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp};
+pub use attention::{KvCache, QSelfAttention, SelfAttention};
+pub use fastmath::{fast_exp, fast_tanh, gelu_fast};
+pub use gpt::{DecodeState, Gpt, GptConfig, QuantizedGpt};
+pub use layers::{gelu, gelu_grad, Embedding, LayerNorm, Linear, Mlp, QLinear, QMlp};
 pub use mat::{gemm_calls, kernel_mode, set_kernel_mode, KernelMode, Mat};
 pub use pool::ThreadPool;
+pub use qmat::{set_force_portable, QMat, QBLOCK};
 pub use rng::Rng;
 pub use sampling::{
     argmax, sample_categorical, sample_masked, sample_top_k, sample_top_p, softmax_in_place,
+    softmax_in_place_fast,
 };
 pub use serialize::{atomic_write, crc32, LoadError};

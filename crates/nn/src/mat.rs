@@ -12,12 +12,21 @@ use crate::Rng;
 /// benchmarks can pair the two and tests can assert they are bit-identical.
 /// Both paths perform the same per-element floating-point operations in the
 /// same order, so switching modes never changes results — only speed.
+///
+/// `Quantized` is different in kind: the f32 GEMM entry points below still
+/// run the blocked kernels (training and f32 fallbacks must stay bit-exact),
+/// but inference sessions that see this mode pack their decode weights into
+/// [`crate::QMat`] int8 blocks and route decode matmuls through
+/// [`crate::qmat`]. It is an explicit alternative decode mode with its own
+/// golden files and accuracy budget, not a bit-compatible swap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelMode {
     /// Reference single-threaded triple loops.
     Naive,
     /// Cache-blocked kernels running on the global [`pool`].
     Blocked,
+    /// Blocked f32 kernels plus int8 pack-once decode ([`crate::qmat`]).
+    Quantized,
 }
 
 static KERNEL_MODE: AtomicU8 = AtomicU8::new(KernelMode::Blocked as u8);
@@ -35,8 +44,11 @@ pub fn set_kernel_mode(mode: KernelMode) {
 #[must_use]
 pub fn kernel_mode() -> KernelMode {
     // ORD: see `set_kernel_mode` — stale reads are benign.
-    if KERNEL_MODE.load(Ordering::Relaxed) == KernelMode::Naive as u8 {
+    let v = KERNEL_MODE.load(Ordering::Relaxed);
+    if v == KernelMode::Naive as u8 {
         KernelMode::Naive
+    } else if v == KernelMode::Quantized as u8 {
+        KernelMode::Quantized
     } else {
         KernelMode::Blocked
     }
@@ -51,7 +63,7 @@ pub fn gemm_calls() -> u64 {
     GEMM_CALLS.load(Ordering::Relaxed)
 }
 
-fn count_gemm_call() {
+pub(crate) fn count_gemm_call() {
     // ORD: monotonic telemetry counter; no cross-thread ordering needed.
     GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
 }
@@ -229,7 +241,9 @@ impl Mat {
         count_gemm_call();
         match kernel_mode() {
             KernelMode::Naive => self.matmul_into_naive(other, out),
-            KernelMode::Blocked => self.matmul_into_pool(other, out, pool::global()),
+            KernelMode::Blocked | KernelMode::Quantized => {
+                self.matmul_into_pool(other, out, pool::global());
+            }
         }
     }
 
@@ -319,7 +333,9 @@ impl Mat {
         count_gemm_call();
         match kernel_mode() {
             KernelMode::Naive => self.matmul_t_accum_naive(other, out),
-            KernelMode::Blocked => self.matmul_t_accum_pool(other, out, pool::global()),
+            KernelMode::Blocked | KernelMode::Quantized => {
+                self.matmul_t_accum_pool(other, out, pool::global());
+            }
         }
     }
 
@@ -411,7 +427,9 @@ impl Mat {
         let mut out = Mat::zeros(self.rows, other.rows);
         match kernel_mode() {
             KernelMode::Naive => self.matmul_bt_rows(other, 0, self.rows, &mut out.data),
-            KernelMode::Blocked => self.matmul_bt_pool(other, &mut out, pool::global()),
+            KernelMode::Blocked | KernelMode::Quantized => {
+                self.matmul_bt_pool(other, &mut out, pool::global());
+            }
         }
         out
     }
@@ -510,7 +528,7 @@ impl Mat {
         self.assert_bt_shapes(other);
         match kernel_mode() {
             KernelMode::Naive => self.matmul_bt(other),
-            KernelMode::Blocked => {
+            KernelMode::Blocked | KernelMode::Quantized => {
                 count_gemm_call();
                 let packed = other.transposed();
                 let mut out = Mat::zeros(self.rows, other.rows);
@@ -554,7 +572,9 @@ impl Mat {
         count_gemm_call();
         match kernel_mode() {
             KernelMode::Naive => self.matmul_into_naive(other, &mut out),
-            KernelMode::Blocked => self.fast_gemm_pool(other, &mut out, pool::global(), false),
+            KernelMode::Blocked | KernelMode::Quantized => {
+                self.fast_gemm_pool(other, &mut out, pool::global(), false);
+            }
         }
         out
     }
@@ -591,7 +611,7 @@ impl Mat {
         count_gemm_call();
         match kernel_mode() {
             KernelMode::Naive => self.matmul_t_accum_naive(other, out),
-            KernelMode::Blocked => {
+            KernelMode::Blocked | KernelMode::Quantized => {
                 let xt = self.transposed();
                 xt.fast_gemm_pool(other, out, pool::global(), true);
             }

@@ -22,12 +22,12 @@ use std::time::Duration;
 
 use pagpass::core::{
     run_with_listeners, CancelToken, CheckpointPolicy, DcGen, DcGenConfig, DcGenJournal,
-    DcGenOptions, ModelKind, PasswordModel, PasswordSink, SchedulerKind, ServeConfig, TrainConfig,
-    TrainOptions,
+    DcGenOptions, InferenceSession, KernelChoice, ModelKind, PasswordModel, PasswordSink,
+    SchedulerKind, ServeConfig, TrainConfig, TrainOptions,
 };
 use pagpass::datasets::{clean, Site};
 use pagpass::eval::{hit_rate, repeat_rate};
-use pagpass::nn::{atomic_write, pool, GptConfig};
+use pagpass::nn::{atomic_write, pool, set_kernel_mode, GptConfig};
 use pagpass::patterns::{Pattern, PatternDistribution};
 use pagpass::telemetry::{Field, LogFormat, Reporter, Telemetry};
 use pagpass::tokenizer::VOCAB_SIZE;
@@ -56,11 +56,14 @@ const USAGE: &str = "usage:
   pagpass dcgen    --model FILE --corpus FILE --n N [--threshold T] [--seed S] [--out FILE]
                    [--workers N] [--retries N] [--deadline-secs N] [--checkpoint FILE] [--resume]
                    [--no-prefix-reuse] [--scheduler <dcgen|sopg|sample>] [--frontier-cap N]
+                   [--kernel <pinned|quantized>]
   pagpass eval     --guesses FILE --test FILE
-  pagpass strength --kind <passgpt|pagpassgpt> --model FILE [--in FILE] [--precise] [PASSWORD...]
+  pagpass strength --kind <passgpt|pagpassgpt> --model FILE [--in FILE] [--precise]
+                   [--kernel <pinned|quantized>] [PASSWORD...]
   pagpass serve    --kind <passgpt|pagpassgpt> --model FILE [--addr HOST:PORT] [--max-batch N]
                    [--batch-window-ms N] [--queue-cap N] [--sessions N] [--retries N]
                    [--deadline-ms N] [--http-port N] [--trace-sample N]
+                   [--kernel <pinned|quantized>]
   pagpass analyze  [--root DIR] [--allowlist FILE] [--deny-all] [--update-allowlist]
                    [--lock-order FILE] [--update-lock-order]
 
@@ -74,6 +77,14 @@ Compute (any subcommand):
   --threads N                GEMM worker threads (default: PAGPASS_THREADS,
                              else all available cores); output is identical
                              at any thread count
+
+Decode kernel (dcgen, strength, serve):
+  --kernel <pinned|quantized>  pinned (default) is the bit-exact blocked
+                             f32 decode; quantized packs weights to int8
+                             once at startup and decodes faster within a
+                             committed accuracy budget. Both are
+                             deterministic at any thread count. A journal
+                             resumes under the kernel that wrote it.
 
 Interrupted `train`/`dcgen` runs with --checkpoint drain cleanly on Ctrl-C
 and continue with --resume. dcgen exits with code 3 when tasks were
@@ -230,6 +241,16 @@ fn parse_site(name: &str) -> Result<Site, String> {
         "myspace" => Ok(Site::MySpace),
         "yahoo" => Ok(Site::Yahoo),
         other => Err(format!("unknown site {other:?}")),
+    }
+}
+
+/// Parses `--kernel` (default `pinned`) without installing it. Callers
+/// install the effective choice via [`set_kernel_mode`] once it is known —
+/// a `dcgen --resume` defers to the kernel recorded in the journal.
+fn parse_kernel(p: &Parsed) -> Result<KernelChoice, String> {
+    match p.flags.get("kernel") {
+        Some(v) => v.parse::<KernelChoice>().map_err(|e| e.to_string()),
+        None => Ok(KernelChoice::default()),
     }
 }
 
@@ -580,6 +601,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         None => SchedulerKind::default(),
     };
     let frontier_cap: u64 = p.num("frontier-cap", 0)?;
+    let kernel = parse_kernel(p)?;
     let journal_path = p.flags.get("checkpoint").map(PathBuf::from);
     let resume = p.flags.contains_key("resume");
     if resume && journal_path.is_none() {
@@ -601,6 +623,12 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
             // silent override.
             if p.flags.contains_key("scheduler") {
                 j.check_scheduler(scheduler).map_err(|e| e.to_string())?;
+            }
+            // Same contract for the decode kernel: the journal's token
+            // stream is kernel-specific, so it resumes under the kernel
+            // that wrote it.
+            if p.flags.contains_key("kernel") {
+                j.check_kernel(kernel).map_err(|e| e.to_string())?;
             }
             if let Some(out_path) = out {
                 truncate_lines(out_path, j.emitted)?;
@@ -626,6 +654,10 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
 
     // On resume the journal's scheduler runs, whatever the flag default was.
     let ran_scheduler = journal.as_ref().map_or(scheduler, |j| j.scheduler);
+    // Likewise the journal's kernel; install it before any session packs
+    // weights.
+    let ran_kernel = journal.as_ref().map_or(kernel, |j| j.kernel);
+    set_kernel_mode(ran_kernel.mode());
     let report = match &journal {
         Some(j) => DcGen::resume(&model, j, &opts).map_err(|e| e.to_string())?,
         None => {
@@ -662,6 +694,7 @@ fn cmd_dcgen(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
         "dcgen.summary",
         &[
             ("scheduler", Field::Str(ran_scheduler.to_string())),
+            ("kernel", Field::Str(ran_kernel.to_string())),
             ("emitted", Field::U64(report.emitted)),
             ("leaves", Field::U64(report.leaf_tasks as u64)),
             ("expansions", Field::U64(report.expansions as u64)),
@@ -819,6 +852,7 @@ fn cmd_eval(p: &Parsed) -> Result<ExitCode, String> {
 
 fn cmd_strength(p: &Parsed) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
+    set_kernel_mode(parse_kernel(p)?.mode());
     let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
     let precise = p.flags.contains_key("precise");
     let mut passwords = p.positional.clone();
@@ -838,8 +872,11 @@ fn cmd_strength(p: &Parsed) -> Result<ExitCode, String> {
     if passwords.is_empty() {
         return Err("strength needs at least one password (positional or --in FILE)".into());
     }
+    // One session for the whole batch: under `--kernel quantized` the
+    // weights pack to int8 once here instead of once per password.
+    let mut session = InferenceSession::new(&model);
     for pw in &passwords {
-        match model.log_probability(pw) {
+        match session.log_probability(pw) {
             Ok(lp) => {
                 let pattern =
                     Pattern::of_password(pw).map_or_else(|_| "?".to_owned(), |pt| pt.to_string());
@@ -860,6 +897,7 @@ fn cmd_strength(p: &Parsed) -> Result<ExitCode, String> {
 
 fn cmd_serve(p: &Parsed, tel: &TelemetrySetup) -> Result<ExitCode, String> {
     let kind = parse_kind(p.required("kind")?)?;
+    set_kernel_mode(parse_kernel(p)?.mode());
     let model = PasswordModel::load(kind, p.required("model")?).map_err(|e| e.to_string())?;
     let addr = p.flags.get("addr").map_or("127.0.0.1:7687", String::as_str);
     let defaults = ServeConfig::default();
